@@ -1,0 +1,237 @@
+//! Cutoff data augmentation (§IV-A, Figure 5).
+//!
+//! Cutoff operators act directly on the *input token-embedding matrix* of the encoder:
+//! given a `seq_len x dim` matrix they zero out
+//!
+//! * **token cutoff** — entire rows (whole tokens),
+//! * **feature cutoff** — entire columns (embedding dimensions),
+//! * **span cutoff** — a contiguous block of rows.
+//!
+//! The paper applies cutoff *batch-wise*: the same sampled cut is applied to every item in a
+//! batch. Because items have different sequence lengths, a [`CutoffPlan`] samples the cut in
+//! relative coordinates once per batch and maps it to each item's length when applied.
+
+use rand::Rng;
+
+use sudowoodo_nn::matrix::Matrix;
+
+/// Which flavour of cutoff to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CutoffKind {
+    /// Zero whole token rows.
+    Token,
+    /// Zero whole feature columns.
+    Feature,
+    /// Zero a contiguous span of token rows.
+    Span,
+    /// Do nothing (used when the optimization is ablated).
+    None,
+}
+
+impl CutoffKind {
+    /// Display name used in experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CutoffKind::Token => "token_cutoff",
+            CutoffKind::Feature => "feature_cutoff",
+            CutoffKind::Span => "span_cutoff",
+            CutoffKind::None => "no_cutoff",
+        }
+    }
+}
+
+/// A batch-wise cutoff decision sampled once and applied to every item of the batch.
+#[derive(Clone, Debug)]
+pub struct CutoffPlan {
+    kind: CutoffKind,
+    /// Fraction of tokens/features affected.
+    ratio: f32,
+    /// Relative start position in `[0, 1)` for token/span cutoff.
+    rel_start: f32,
+    /// Concrete feature indices for feature cutoff (feature dimension is fixed per model).
+    feature_indices: Vec<usize>,
+}
+
+impl CutoffPlan {
+    /// Samples a plan for a batch.
+    ///
+    /// `dim` is the embedding dimensionality (needed to pre-sample feature indices);
+    /// `ratio` is the `cutoff_ratio` hyper-parameter of Table IV.
+    pub fn sample(kind: CutoffKind, ratio: f32, dim: usize, rng: &mut impl Rng) -> Self {
+        let ratio = ratio.clamp(0.0, 1.0);
+        let rel_start = rng.gen_range(0.0..1.0f32);
+        let n_features = ((dim as f32 * ratio).ceil() as usize).min(dim);
+        let mut feature_indices = Vec::new();
+        if matches!(kind, CutoffKind::Feature) && n_features > 0 {
+            // Sample distinct feature indices.
+            let mut candidates: Vec<usize> = (0..dim).collect();
+            for i in 0..n_features {
+                let j = rng.gen_range(i..candidates.len());
+                candidates.swap(i, j);
+            }
+            feature_indices = candidates[..n_features].to_vec();
+        }
+        CutoffPlan { kind, ratio, rel_start, feature_indices }
+    }
+
+    /// A plan that never modifies its input.
+    pub fn noop() -> Self {
+        CutoffPlan { kind: CutoffKind::None, ratio: 0.0, rel_start: 0.0, feature_indices: Vec::new() }
+    }
+
+    /// The cutoff kind of this plan.
+    pub fn kind(&self) -> CutoffKind {
+        self.kind
+    }
+
+    /// Applies the plan to one item's `seq_len x dim` token-embedding matrix.
+    pub fn apply(&self, embeddings: &Matrix) -> Matrix {
+        let seq_len = embeddings.rows();
+        let dim = embeddings.cols();
+        if seq_len == 0 || dim == 0 {
+            return embeddings.clone();
+        }
+        match self.kind {
+            CutoffKind::None => embeddings.clone(),
+            CutoffKind::Token => {
+                let n = ((seq_len as f32 * self.ratio).ceil() as usize).clamp(0, seq_len);
+                if n == 0 {
+                    return embeddings.clone();
+                }
+                let mut out = embeddings.clone();
+                // Zero `n` rows starting at the relative position, wrapping around so the
+                // same relative decision affects every item in the batch.
+                let start = (self.rel_start * seq_len as f32) as usize % seq_len;
+                for k in 0..n {
+                    let row = (start + k * seq_len / n.max(1)) % seq_len;
+                    for v in out.row_mut(row) {
+                        *v = 0.0;
+                    }
+                }
+                out
+            }
+            CutoffKind::Span => {
+                let n = ((seq_len as f32 * self.ratio).ceil() as usize).clamp(1, seq_len);
+                let start = ((self.rel_start * (seq_len - n + 1) as f32) as usize).min(seq_len - n);
+                let mut out = embeddings.clone();
+                for row in start..start + n {
+                    for v in out.row_mut(row) {
+                        *v = 0.0;
+                    }
+                }
+                out
+            }
+            CutoffKind::Feature => {
+                let mut out = embeddings.clone();
+                for &c in &self.feature_indices {
+                    if c >= dim {
+                        continue;
+                    }
+                    for r in 0..seq_len {
+                        out.set(r, c, 0.0);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Counts the number of all-zero rows in a matrix (test/diagnostic helper).
+pub fn zero_rows(m: &Matrix) -> usize {
+    (0..m.rows()).filter(|&r| m.row(r).iter().all(|&v| v == 0.0)).count()
+}
+
+/// Counts the number of all-zero columns in a matrix (test/diagnostic helper).
+pub fn zero_cols(m: &Matrix) -> usize {
+    (0..m.cols()).filter(|&c| (0..m.rows()).all(|r| m.get(r, c) == 0.0)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn non_zero_matrix(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| 1.0 + (r * cols + c) as f32)
+    }
+
+    #[test]
+    fn noop_plan_is_identity() {
+        let m = non_zero_matrix(5, 4);
+        assert_eq!(CutoffPlan::noop().apply(&m), m);
+        assert_eq!(CutoffPlan::noop().kind(), CutoffKind::None);
+    }
+
+    #[test]
+    fn span_cutoff_zeros_contiguous_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = CutoffPlan::sample(CutoffKind::Span, 0.4, 4, &mut rng);
+        let m = non_zero_matrix(10, 4);
+        let out = plan.apply(&m);
+        let zr = zero_rows(&out);
+        assert_eq!(zr, 4, "expected ceil(10*0.4)=4 zero rows, got {zr}");
+        // Contiguity: find zero rows and check they are consecutive.
+        let zero_idx: Vec<usize> = (0..10).filter(|&r| out.row(r).iter().all(|&v| v == 0.0)).collect();
+        for pair in zero_idx.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1);
+        }
+    }
+
+    #[test]
+    fn token_cutoff_zeros_expected_row_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = CutoffPlan::sample(CutoffKind::Token, 0.2, 4, &mut rng);
+        let out = plan.apply(&non_zero_matrix(10, 4));
+        assert_eq!(zero_rows(&out), 2);
+    }
+
+    #[test]
+    fn feature_cutoff_zeros_columns_consistently_across_items() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = CutoffPlan::sample(CutoffKind::Feature, 0.25, 8, &mut rng);
+        let a = plan.apply(&non_zero_matrix(5, 8));
+        let b = plan.apply(&non_zero_matrix(9, 8));
+        assert_eq!(zero_cols(&a), 2);
+        assert_eq!(zero_cols(&b), 2);
+        // Batch-wise consistency: the same columns are zeroed in both items.
+        let cols_a: Vec<usize> = (0..8).filter(|&c| (0..5).all(|r| a.get(r, c) == 0.0)).collect();
+        let cols_b: Vec<usize> = (0..8).filter(|&c| (0..9).all(|r| b.get(r, c) == 0.0)).collect();
+        assert_eq!(cols_a, cols_b);
+    }
+
+    #[test]
+    fn zero_ratio_changes_nothing_for_token_cutoff() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = CutoffPlan::sample(CutoffKind::Token, 0.0, 4, &mut rng);
+        let m = non_zero_matrix(6, 4);
+        assert_eq!(plan.apply(&m), m);
+    }
+
+    #[test]
+    fn single_row_input_survives_span_cutoff() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = CutoffPlan::sample(CutoffKind::Span, 0.5, 4, &mut rng);
+        let m = non_zero_matrix(1, 4);
+        let out = plan.apply(&m);
+        assert_eq!(out.shape(), (1, 4));
+        assert_eq!(zero_rows(&out), 1);
+    }
+
+    #[test]
+    fn empty_matrix_is_returned_unchanged() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let plan = CutoffPlan::sample(CutoffKind::Span, 0.5, 4, &mut rng);
+        let m = Matrix::zeros(0, 4);
+        assert_eq!(plan.apply(&m).shape(), (0, 4));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(CutoffKind::Token.name(), "token_cutoff");
+        assert_eq!(CutoffKind::Feature.name(), "feature_cutoff");
+        assert_eq!(CutoffKind::Span.name(), "span_cutoff");
+        assert_eq!(CutoffKind::None.name(), "no_cutoff");
+    }
+}

@@ -1,0 +1,23 @@
+//! # sudowoodo-augment
+//!
+//! Data augmentation for contrastive pre-training (§IV-A of the paper).
+//!
+//! Two families of operators:
+//!
+//! * [`ops`] — string-level DA operators from Table I (`token_del`, `token_repl`,
+//!   `token_swap`, `token_insert`, `span_del`, `span_shuffle`, `col_shuffle`, `col_del`)
+//!   plus the `cell_shuffle` operator added for column matching. They transform serialized
+//!   data items while preserving the `[COL]`/`[VAL]` structure.
+//! * [`cutoff`] — embedding-level cutoff operators (token/feature/span cutoff) that zero
+//!   parts of the token-embedding matrix, applied batch-wise as in the paper.
+//!
+//! A pre-training view of a data item is produced by first applying a base DA operator to
+//! the serialization and then a batch-wise [`cutoff::CutoffPlan`] to its token embeddings.
+
+#![warn(missing_docs)]
+
+pub mod cutoff;
+pub mod ops;
+
+pub use cutoff::{CutoffKind, CutoffPlan};
+pub use ops::{augment, augment_pair, DaOp};

@@ -1,0 +1,415 @@
+//! Data augmentation (DA) operators for serialized data items (Table I of the paper).
+//!
+//! DA operators generate semantically similar *views* of a data item for contrastive
+//! pre-training. All operators work on the serialized token sequence and are aware of the
+//! `[COL] attr [VAL] value` structure so that attribute-level operators (`col_shuffle`,
+//! `col_del`) move whole attribute spans, while token/span-level operators only touch value
+//! tokens (never the `[COL]`/`[VAL]` markers or attribute names).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sudowoodo_text::serialize::{split_serialized_attributes, COL, VAL};
+use sudowoodo_text::tokenize;
+
+/// The augmentation operators supported for Entity Matching (Table I) plus the cell-level
+/// operator added for column matching (§V-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DaOp {
+    /// Sample and delete a token.
+    TokenDel,
+    /// Sample a token and replace it with a synonym.
+    TokenRepl,
+    /// Sample two tokens and swap them.
+    TokenSwap,
+    /// Sample a token and insert a synonym to its right.
+    TokenInsert,
+    /// Sample and delete a span of tokens.
+    SpanDel,
+    /// Sample a span of tokens and shuffle their order.
+    SpanShuffle,
+    /// Choose two attributes and swap their order.
+    ColShuffle,
+    /// Choose an attribute and drop it entirely.
+    ColDel,
+    /// Shuffle the order of the column values (column-matching only).
+    CellShuffle,
+    /// Identity (no augmentation); useful as a control in ablations.
+    None,
+}
+
+impl DaOp {
+    /// All operators applicable to entity-record serializations.
+    pub fn entity_ops() -> Vec<DaOp> {
+        vec![
+            DaOp::TokenDel,
+            DaOp::TokenRepl,
+            DaOp::TokenSwap,
+            DaOp::TokenInsert,
+            DaOp::SpanDel,
+            DaOp::SpanShuffle,
+            DaOp::ColShuffle,
+            DaOp::ColDel,
+        ]
+    }
+
+    /// Operators applicable to column serializations (attribute-level operators removed,
+    /// cell shuffling added), per §V-B.
+    pub fn column_ops() -> Vec<DaOp> {
+        vec![
+            DaOp::TokenDel,
+            DaOp::TokenRepl,
+            DaOp::TokenSwap,
+            DaOp::TokenInsert,
+            DaOp::SpanDel,
+            DaOp::SpanShuffle,
+            DaOp::CellShuffle,
+        ]
+    }
+
+    /// Short name used in experiment reports (matches the paper's notation).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DaOp::TokenDel => "token_del",
+            DaOp::TokenRepl => "token_repl",
+            DaOp::TokenSwap => "token_swap",
+            DaOp::TokenInsert => "token_insert",
+            DaOp::SpanDel => "span_del",
+            DaOp::SpanShuffle => "span_shuffle",
+            DaOp::ColShuffle => "col_shuffle",
+            DaOp::ColDel => "col_del",
+            DaOp::CellShuffle => "cell_shuffle",
+            DaOp::None => "none",
+        }
+    }
+}
+
+/// A tiny built-in synonym dictionary for `token_repl` / `token_insert`.
+///
+/// The paper relies on external synonym resources; offline we combine a hand-written list of
+/// domain abbreviations common in product/publication data with a fallback that samples
+/// another token from the same item (which preserves the bag-of-words distribution).
+const SYNONYMS: &[(&str, &str)] = &[
+    ("deluxe", "dlux"),
+    ("dlux", "deluxe"),
+    ("immersion", "immers"),
+    ("immers", "immersion"),
+    ("incorporated", "inc"),
+    ("inc", "incorporated"),
+    ("corporation", "corp"),
+    ("corp", "corporation"),
+    ("company", "co"),
+    ("co", "company"),
+    ("street", "st"),
+    ("st", "street"),
+    ("avenue", "ave"),
+    ("ave", "avenue"),
+    ("edition", "ed"),
+    ("ed", "edition"),
+    ("proceedings", "proc"),
+    ("proc", "proceedings"),
+    ("journal", "j"),
+    ("international", "intl"),
+    ("intl", "international"),
+    ("conference", "conf"),
+    ("conf", "conference"),
+    ("and", "&"),
+    ("&", "and"),
+    ("laboratory", "lab"),
+    ("lab", "laboratory"),
+    ("department", "dept"),
+    ("dept", "department"),
+    ("university", "univ"),
+    ("univ", "university"),
+    ("software", "sw"),
+    ("hardware", "hw"),
+    ("version", "v"),
+    ("grade", "gr"),
+];
+
+/// Looks up a synonym for a token; falls back to `None`.
+pub fn synonym_of(token: &str) -> Option<&'static str> {
+    SYNONYMS.iter().find(|(k, _)| *k == token).map(|(_, v)| *v)
+}
+
+/// Applies a DA operator to a serialized data item, producing an augmented serialization.
+///
+/// The operator never touches `[COL]` / `[VAL]` markers or attribute names, so the result is
+/// still a well-formed serialization.
+pub fn augment(serialized: &str, op: DaOp, rng: &mut impl Rng) -> String {
+    match op {
+        DaOp::None => serialized.to_string(),
+        DaOp::ColShuffle => col_shuffle(serialized, rng),
+        DaOp::ColDel => col_del(serialized, rng),
+        DaOp::CellShuffle => cell_shuffle(serialized, rng),
+        _ => token_level(serialized, op, rng),
+    }
+}
+
+/// Applies the same operator twice to obtain two independent augmented views (SimCLR-style).
+pub fn augment_pair(serialized: &str, op: DaOp, rng: &mut impl Rng) -> (String, String) {
+    (augment(serialized, op, rng), augment(serialized, op, rng))
+}
+
+fn is_marker(token: &str) -> bool {
+    token.starts_with('[') && token.ends_with(']')
+}
+
+/// Positions of value tokens (tokens that are inside a `[VAL] ...` span and not markers).
+fn value_positions(tokens: &[String]) -> Vec<usize> {
+    let mut positions = Vec::new();
+    let mut in_value = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if t == COL {
+            in_value = false;
+            continue;
+        }
+        if t == VAL {
+            in_value = true;
+            continue;
+        }
+        if is_marker(t) {
+            continue;
+        }
+        if in_value {
+            positions.push(i);
+        }
+    }
+    // Column serializations ("[VAL] v1 [VAL] v2") and plain text have no [COL]; if nothing
+    // was collected (e.g. plain text without markers), every non-marker token is fair game.
+    if positions.is_empty() {
+        return tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !is_marker(t))
+            .map(|(i, _)| i)
+            .collect();
+    }
+    positions
+}
+
+fn token_level(serialized: &str, op: DaOp, rng: &mut impl Rng) -> String {
+    let mut tokens = tokenize(serialized);
+    let positions = value_positions(&tokens);
+    if positions.is_empty() {
+        return tokens.join(" ");
+    }
+    match op {
+        DaOp::TokenDel => {
+            let &pos = positions.choose(rng).expect("non-empty");
+            tokens.remove(pos);
+        }
+        DaOp::TokenRepl => {
+            let &pos = positions.choose(rng).expect("non-empty");
+            let replacement = synonym_of(&tokens[pos])
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| tokens[*positions.choose(rng).expect("non-empty")].clone());
+            tokens[pos] = replacement;
+        }
+        DaOp::TokenSwap => {
+            if positions.len() >= 2 {
+                let i = *positions.choose(rng).expect("non-empty");
+                let j = *positions.choose(rng).expect("non-empty");
+                tokens.swap(i, j);
+            }
+        }
+        DaOp::TokenInsert => {
+            let &pos = positions.choose(rng).expect("non-empty");
+            let inserted = synonym_of(&tokens[pos])
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| tokens[pos].clone());
+            tokens.insert(pos + 1, inserted);
+        }
+        DaOp::SpanDel => {
+            let span = sample_span(&positions, rng, 0.25);
+            // Remove from the back so indices stay valid.
+            for &pos in span.iter().rev() {
+                tokens.remove(pos);
+            }
+        }
+        DaOp::SpanShuffle => {
+            let span = sample_span(&positions, rng, 0.3);
+            let mut values: Vec<String> = span.iter().map(|&p| tokens[p].clone()).collect();
+            values.shuffle(rng);
+            for (slot, value) in span.iter().zip(values) {
+                tokens[*slot] = value;
+            }
+        }
+        _ => unreachable!("token_level only handles token/span operators"),
+    }
+    tokens.join(" ")
+}
+
+/// Samples a contiguous run of positions covering roughly `fraction` of the value tokens.
+fn sample_span(positions: &[usize], rng: &mut impl Rng, fraction: f32) -> Vec<usize> {
+    let span_len = ((positions.len() as f32 * fraction).ceil() as usize).clamp(1, positions.len());
+    let start = rng.gen_range(0..=positions.len() - span_len);
+    positions[start..start + span_len].to_vec()
+}
+
+fn col_shuffle(serialized: &str, rng: &mut impl Rng) -> String {
+    let mut attrs = split_serialized_attributes(serialized);
+    if attrs.len() >= 2 {
+        let i = rng.gen_range(0..attrs.len());
+        let j = rng.gen_range(0..attrs.len());
+        attrs.swap(i, j);
+    }
+    join_attributes(&attrs)
+}
+
+fn col_del(serialized: &str, rng: &mut impl Rng) -> String {
+    let mut attrs = split_serialized_attributes(serialized);
+    if attrs.len() >= 2 {
+        let i = rng.gen_range(0..attrs.len());
+        attrs.remove(i);
+    }
+    join_attributes(&attrs)
+}
+
+fn cell_shuffle(serialized: &str, rng: &mut impl Rng) -> String {
+    // Column serialization: "[VAL] v1 ... [VAL] v2 ...". Split on [VAL] and shuffle cells.
+    let mut cells: Vec<String> = serialized
+        .split(VAL)
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if cells.len() >= 2 {
+        cells.shuffle(rng);
+    }
+    cells
+        .iter()
+        .map(|c| format!("{VAL} {c}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn join_attributes(attrs: &[(String, String)]) -> String {
+    attrs
+        .iter()
+        .map(|(a, v)| {
+            if v.is_empty() {
+                format!("{COL} {a} {VAL}")
+            } else {
+                format!("{COL} {a} {VAL} {v}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sudowoodo_text::serialize::serialize_record;
+    use sudowoodo_text::Record;
+
+    fn sample() -> String {
+        serialize_record(&Record::from_pairs([
+            ("title", "instant immersion spanish deluxe edition"),
+            ("manufacturer", "topics entertainment"),
+            ("price", "36.11"),
+        ]))
+    }
+
+    #[test]
+    fn every_entity_op_produces_well_formed_output() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample();
+        for op in DaOp::entity_ops() {
+            let out = augment(&s, op, &mut rng);
+            assert!(!out.is_empty(), "op {:?} produced empty output", op);
+            // markers must stay balanced: every [COL] is followed by a [VAL] eventually
+            let cols = out.matches("[COL]").count();
+            let vals = out.matches("[VAL]").count();
+            assert_eq!(cols, vals, "op {:?} broke marker structure: {}", op, out);
+        }
+    }
+
+    #[test]
+    fn token_del_removes_exactly_one_token() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample();
+        let before = tokenize(&s).len();
+        let after = tokenize(&augment(&s, DaOp::TokenDel, &mut rng)).len();
+        assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    fn token_insert_adds_exactly_one_token() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample();
+        let before = tokenize(&s).len();
+        let after = tokenize(&augment(&s, DaOp::TokenInsert, &mut rng)).len();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn col_del_drops_one_attribute() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = augment(&sample(), DaOp::ColDel, &mut rng);
+        assert_eq!(out.matches("[COL]").count(), 2);
+    }
+
+    #[test]
+    fn col_shuffle_preserves_attribute_set() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = augment(&sample(), DaOp::ColShuffle, &mut rng);
+        for attr in ["title", "manufacturer", "price"] {
+            assert!(out.contains(attr), "missing attribute {attr} in {out}");
+        }
+    }
+
+    #[test]
+    fn markers_and_attribute_names_are_never_deleted_by_token_ops() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = sample();
+        for _ in 0..50 {
+            let out = augment(&s, DaOp::TokenDel, &mut rng);
+            assert!(out.contains("[COL] title [VAL]"));
+            assert!(out.contains("[COL] manufacturer [VAL]"));
+            assert!(out.contains("[COL] price [VAL]"));
+        }
+    }
+
+    #[test]
+    fn cell_shuffle_preserves_cell_multiset() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = "[VAL] new york [VAL] california [VAL] florida";
+        let out = augment(s, DaOp::CellShuffle, &mut rng);
+        assert_eq!(out.matches("[VAL]").count(), 3);
+        for cell in ["new york", "california", "florida"] {
+            assert!(out.contains(cell));
+        }
+    }
+
+    #[test]
+    fn synonym_lookup() {
+        assert_eq!(synonym_of("deluxe"), Some("dlux"));
+        assert_eq!(synonym_of("unknown-token"), None);
+    }
+
+    #[test]
+    fn none_op_is_identity_after_tokenization() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = sample();
+        assert_eq!(augment(&s, DaOp::None, &mut rng), s);
+    }
+
+    #[test]
+    fn augment_pair_produces_two_views() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = sample();
+        let (a, b) = augment_pair(&s, DaOp::TokenDel, &mut rng);
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn op_names_match_paper() {
+        assert_eq!(DaOp::TokenDel.name(), "token_del");
+        assert_eq!(DaOp::SpanShuffle.name(), "span_shuffle");
+        assert_eq!(DaOp::entity_ops().len(), 8);
+        assert_eq!(DaOp::column_ops().len(), 7);
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 8: hyper-parameter sensitivity.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin fig08_sensitivity`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::fig08_sensitivity;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = fig08_sensitivity(&config);
+    table.print("Figure 8: hyper-parameter sensitivity");
+    ResultWriter::new().write(&table.id, &table);
+}

@@ -1,0 +1,15 @@
+//! Figures 9-11: running time.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin fig09_11_runtime`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::fig09_11_runtime;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = fig09_11_runtime(&config);
+    table.print("Figures 9-11: running time");
+    ResultWriter::new().write(&table.id, &table);
+}

@@ -1,0 +1,15 @@
+//! Table II / XVII: EM dataset statistics.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table02_em_datasets`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table02_em_datasets;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table02_em_datasets(&config);
+    table.print("Table II / XVII: EM dataset statistics");
+    ResultWriter::new().write(&table.id, &table);
+}

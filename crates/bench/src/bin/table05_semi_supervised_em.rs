@@ -1,0 +1,15 @@
+//! Table V: semi-supervised EM F1 (with ablations).
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table05_semi_supervised_em`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table05_semi_supervised;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table05_semi_supervised(&config);
+    table.print("Table V: semi-supervised EM F1 (with ablations)");
+    ResultWriter::new().write(&table.id, &table);
+}

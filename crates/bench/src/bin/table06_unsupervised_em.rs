@@ -1,0 +1,15 @@
+//! Table VI: unsupervised EM F1.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table06_unsupervised_em`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table06_unsupervised;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table06_unsupervised(&config);
+    table.print("Table VI: unsupervised EM F1");
+    ResultWriter::new().write(&table.id, &table);
+}

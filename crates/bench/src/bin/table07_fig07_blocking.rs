@@ -1,0 +1,15 @@
+//! Table VII + Figure 7: blocking recall / CSSR.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table07_fig07_blocking`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table07_fig07_blocking;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table07_fig07_blocking(&config);
+    table.print("Table VII + Figure 7: blocking recall / CSSR");
+    ResultWriter::new().write(&table.id, &table);
+}

@@ -1,0 +1,15 @@
+//! Table VIII: error-correction F1.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table08_data_cleaning`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table08_cleaning;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table08_cleaning(&config);
+    table.print("Table VIII: error-correction F1");
+    ResultWriter::new().write(&table.id, &table);
+}

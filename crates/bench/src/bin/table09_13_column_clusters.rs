@@ -1,0 +1,15 @@
+//! Tables IX / XIII: discovered column clusters.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table09_13_column_clusters`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table09_13_column_clusters;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table09_13_column_clusters(&config);
+    table.print("Tables IX / XIII: discovered column clusters");
+    ResultWriter::new().write(&table.id, &table);
+}

@@ -1,0 +1,15 @@
+//! Tables X / XII: column matching P/R/F1.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table10_12_column_matching`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table10_12_column_matching;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table10_12_column_matching(&config);
+    table.print("Tables X / XII: column matching P/R/F1");
+    ResultWriter::new().write(&table.id, &table);
+}

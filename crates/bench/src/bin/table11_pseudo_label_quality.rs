@@ -1,0 +1,15 @@
+//! Table XI: pseudo-label TPR/TNR.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table11_pseudo_label_quality`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table11_pseudo_quality;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table11_pseudo_quality(&config);
+    table.print("Table XI: pseudo-label TPR/TNR");
+    ResultWriter::new().write(&table.id, &table);
+}

@@ -1,0 +1,15 @@
+//! Tables XIV / XV: candidate stats + cleaning ablation.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table14_15_cleaning_detail`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table14_15_cleaning_detail;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table14_15_cleaning_detail(&config);
+    table.print("Tables XIV / XV: candidate stats + cleaning ablation");
+    ResultWriter::new().write(&table.id, &table);
+}

@@ -1,0 +1,15 @@
+//! Table XVI: difficulty-level analysis.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table16_difficulty`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table16_difficulty;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table16_difficulty(&config);
+    table.print("Table XVI: difficulty-level analysis");
+    ResultWriter::new().write(&table.id, &table);
+}

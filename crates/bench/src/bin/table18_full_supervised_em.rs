@@ -1,0 +1,15 @@
+//! Table XVIII: fully supervised EM F1.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin table18_full_supervised_em`.
+//! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+
+use sudowoodo_bench::experiments::table18_full_supervised;
+use sudowoodo_bench::{HarnessConfig, ResultWriter};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!("harness config: {config:?}");
+    let table = table18_full_supervised(&config);
+    table.print("Table XVIII: fully supervised EM F1");
+    ResultWriter::new().write(&table.id, &table);
+}

@@ -1,0 +1,19 @@
+//! # sudowoodo-bench
+//!
+//! The experiment harness: one function (and one binary under `src/bin/`) per table and
+//! figure of the paper's evaluation section. Every function prints the same rows/series the
+//! paper reports and writes a machine-readable JSON copy under `target/experiments/`.
+//!
+//! Runtime is controlled by two environment variables:
+//!
+//! * `SUDOWOODO_SCALE` — dataset scale factor (default 0.2; the paper's datasets are larger
+//!   but the synthetic generators preserve their relative difficulty at any scale);
+//! * `SUDOWOODO_QUICK` — when set to `1`, restricts sweeps to fewer datasets / variants so a
+//!   full pass of all binaries completes in minutes on a laptop.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{HarnessConfig, ResultWriter};

@@ -1,0 +1,220 @@
+//! Clustering-based negative sampling (Algorithm 2 of the paper).
+//!
+//! Mini-batches for contrastive pre-training are formed *within* TF-IDF/k-means clusters,
+//! so that the in-batch negatives of SimCLR are lexically similar ("harder") items. The
+//! alternative, uniform batching, is also provided for the SimCLR baseline and the ablation
+//! `Sudowoodo (-cls)`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::tfidf::TfIdfVectorizer;
+
+/// A batching strategy producing mini-batches of item indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// Uniformly shuffled batches (standard SimCLR).
+    Uniform,
+    /// Cluster the corpus with TF-IDF + k-means and draw batches within clusters.
+    Clustered {
+        /// Number of k-means clusters (the `num_clusters` hyper-parameter).
+        num_clusters: usize,
+    },
+}
+
+/// A batch sampler that can be re-used across epochs. Clustering results are computed once
+/// and cached, matching the "Cache the results for future epochs" note of Algorithm 2.
+#[derive(Clone, Debug)]
+pub struct BatchSampler {
+    strategy: BatchStrategy,
+    /// Cached cluster membership (`None` for the uniform strategy).
+    clusters: Option<Vec<Vec<usize>>>,
+    num_items: usize,
+    batch_size: usize,
+}
+
+impl BatchSampler {
+    /// Builds a sampler for `texts` (the serialized corpus).
+    ///
+    /// For the clustered strategy this runs TF-IDF featurization and k-means once.
+    pub fn new(
+        texts: &[String],
+        strategy: BatchStrategy,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let clusters = match &strategy {
+            BatchStrategy::Uniform => None,
+            BatchStrategy::Clustered { num_clusters } => {
+                let vectorizer = TfIdfVectorizer::fit(texts.iter().map(|s| s.as_str()));
+                let points = vectorizer.transform_all(texts.iter().map(|s| s.as_str()));
+                let result = kmeans(
+                    &points,
+                    &KMeansConfig {
+                        k: (*num_clusters).max(1),
+                        max_iterations: 10,
+                        num_features: vectorizer.num_features(),
+                    },
+                    rng,
+                );
+                Some(result.clusters())
+            }
+        };
+        BatchSampler { strategy, clusters, num_items: texts.len(), batch_size }
+    }
+
+    /// The strategy this sampler was built with.
+    pub fn strategy(&self) -> &BatchStrategy {
+        &self.strategy
+    }
+
+    /// Cached cluster membership, when the clustered strategy is active.
+    pub fn clusters(&self) -> Option<&[Vec<usize>]> {
+        self.clusters.as_deref()
+    }
+
+    /// Generates the mini-batches for one epoch (Algorithm 2 lines 3–12).
+    ///
+    /// Clusters are shuffled, items are shuffled within each cluster, and batches are filled
+    /// by walking the clusters in order, so most batches contain items from a single cluster.
+    /// The final partial batch is kept (it simply yields fewer negatives).
+    pub fn epoch_batches(&self, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        if self.num_items == 0 {
+            return Vec::new();
+        }
+        let ordered: Vec<usize> = match &self.clusters {
+            None => {
+                let mut all: Vec<usize> = (0..self.num_items).collect();
+                all.shuffle(rng);
+                all
+            }
+            Some(clusters) => {
+                let mut cluster_refs: Vec<&Vec<usize>> =
+                    clusters.iter().filter(|c| !c.is_empty()).collect();
+                cluster_refs.shuffle(rng);
+                let mut ordered = Vec::with_capacity(self.num_items);
+                for cluster in cluster_refs {
+                    let mut members = cluster.clone();
+                    members.shuffle(rng);
+                    ordered.extend(members);
+                }
+                ordered
+            }
+        };
+        let mut batches: Vec<Vec<usize>> = ordered
+            .chunks(self.batch_size)
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        batches.shuffle(rng);
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus() -> Vec<String> {
+        // Two clearly separated lexical topics. The per-item suffix tokens are disjoint
+        // between the topics so that rare tokens cannot bridge them.
+        let mut c = Vec::new();
+        for i in 0..30 {
+            c.push(format!("canon printer ink cartridge model sku{i}"));
+        }
+        for i in 0..30 {
+            c.push(format!("deep learning paper transformer attention ref{i}"));
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_batches_cover_all_items_exactly_once() {
+        let texts = corpus();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampler = BatchSampler::new(&texts, BatchStrategy::Uniform, 8, &mut rng);
+        let batches = sampler.epoch_batches(&mut rng);
+        let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..texts.len()).collect::<Vec<_>>());
+        assert!(batches.iter().all(|b| b.len() <= 8));
+        assert!(sampler.clusters().is_none());
+    }
+
+    #[test]
+    fn clustered_batches_cover_all_items_exactly_once() {
+        let texts = corpus();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sampler = BatchSampler::new(
+            &texts,
+            BatchStrategy::Clustered { num_clusters: 2 },
+            8,
+            &mut rng,
+        );
+        let batches = sampler.epoch_batches(&mut rng);
+        let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..texts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clustered_batches_are_mostly_single_topic() {
+        // Items 0..30 are printers, 30..60 are papers. With within-cluster batching, most
+        // full batches should be topic-pure; uniform batching mixes topics in most batches.
+        let texts = corpus();
+        let mut rng = StdRng::seed_from_u64(3);
+        let clustered = BatchSampler::new(
+            &texts,
+            BatchStrategy::Clustered { num_clusters: 2 },
+            10,
+            &mut rng,
+        );
+        let pure = |batches: &[Vec<usize>]| {
+            batches
+                .iter()
+                .filter(|b| b.len() == 10)
+                .filter(|b| {
+                    b.iter().all(|&i| i < 30) || b.iter().all(|&i| i >= 30)
+                })
+                .count() as f32
+                / batches.iter().filter(|b| b.len() == 10).count().max(1) as f32
+        };
+        let clustered_purity = pure(&clustered.epoch_batches(&mut rng));
+        let uniform = BatchSampler::new(&texts, BatchStrategy::Uniform, 10, &mut rng);
+        let uniform_purity = pure(&uniform.epoch_batches(&mut rng));
+        assert!(
+            clustered_purity > uniform_purity,
+            "clustered purity {clustered_purity} should exceed uniform purity {uniform_purity}"
+        );
+        assert!(clustered_purity > 0.8);
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_batches() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sampler = BatchSampler::new(&[], BatchStrategy::Uniform, 4, &mut rng);
+        assert!(sampler.epoch_batches(&mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = BatchSampler::new(&["a".to_string()], BatchStrategy::Uniform, 0, &mut rng);
+    }
+
+    #[test]
+    fn epochs_differ_but_are_reproducible_with_same_seed() {
+        let texts = corpus();
+        let mut rng = StdRng::seed_from_u64(6);
+        let sampler = BatchSampler::new(&texts, BatchStrategy::Uniform, 8, &mut rng);
+        let a = sampler.epoch_batches(&mut StdRng::seed_from_u64(100));
+        let b = sampler.epoch_batches(&mut StdRng::seed_from_u64(100));
+        let c = sampler.epoch_batches(&mut StdRng::seed_from_u64(101));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

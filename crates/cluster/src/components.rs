@@ -1,0 +1,161 @@
+//! Connected components over pairwise-match edges, plus cluster-quality metrics.
+//!
+//! §V-B / Appendix C: Sudowoodo turns the pairwise column-matching predictions into clusters
+//! of same-type columns by computing connected components, and reports the average purity of
+//! the discovered clusters against the ground-truth types.
+
+use std::collections::HashMap;
+
+/// Union-find (disjoint-set) structure with path compression and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates a structure with `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Finds the representative of `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut current = x;
+        while self.parent[current] != root {
+            let next = self.parent[current];
+            self.parent[current] = root;
+            current = next;
+        }
+        root
+    }
+
+    /// Unions the sets containing `a` and `b`; returns `true` when they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Returns `true` when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// Computes connected components of an undirected graph over `n` nodes given by `edges`.
+///
+/// Returns the clusters sorted by decreasing size (singletons included).
+pub fn connected_components(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in edges {
+        assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} nodes");
+        uf.union(a, b);
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        groups.entry(root).or_default().push(i);
+    }
+    let mut clusters: Vec<Vec<usize>> = groups.into_values().collect();
+    clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    clusters
+}
+
+/// Average purity of clusters against ground-truth labels, weighted by cluster size.
+///
+/// The purity of a cluster is the fraction of its members carrying the cluster's majority
+/// label. Singleton clusters are trivially pure; pass `min_size` to exclude small clusters
+/// from the average (the paper reports purity over discovered multi-column clusters).
+pub fn cluster_purity(clusters: &[Vec<usize>], labels: &[usize], min_size: usize) -> f32 {
+    let mut weighted = 0.0f32;
+    let mut total = 0usize;
+    for cluster in clusters {
+        if cluster.len() < min_size {
+            continue;
+        }
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &member in cluster {
+            *counts.entry(labels[member]).or_insert(0) += 1;
+        }
+        let majority = counts.values().copied().max().unwrap_or(0);
+        weighted += majority as f32;
+        total += cluster.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        weighted / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basic_operations() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn components_from_edges() {
+        let clusters = connected_components(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters[1], vec![3, 4]);
+        assert_eq!(clusters[2], vec![5]);
+    }
+
+    #[test]
+    fn components_with_no_edges_are_singletons() {
+        let clusters = connected_components(3, &[]);
+        assert_eq!(clusters.len(), 3);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn components_reject_out_of_range_edges() {
+        let _ = connected_components(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn purity_of_perfect_and_mixed_clusters() {
+        // labels: two types
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let perfect = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        assert!((cluster_purity(&perfect, &labels, 2) - 1.0).abs() < 1e-6);
+        let mixed = vec![vec![0, 1, 3], vec![2, 4, 5]];
+        assert!((cluster_purity(&mixed, &labels, 2) - 2.0 / 3.0).abs() < 1e-6);
+        // min_size filters everything -> 0
+        assert_eq!(cluster_purity(&perfect, &labels, 10), 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Spherical k-means over sparse TF-IDF vectors.
+//!
+//! Algorithm 2 of the paper clusters the unlabeled corpus with k-means over TF-IDF features
+//! so that mini-batches can be drawn from within a cluster (lexically similar items become
+//! in-batch negatives). Because all vectors are L2-normalized, maximizing the dot product
+//! against a centroid is equivalent to cosine assignment (spherical k-means).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::tfidf::{add_into_dense, dense_sparse_dot, SparseVector};
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Number of clusters actually produced (≤ requested `k`).
+    pub k: usize,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Groups point indices by cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            groups[c].push(i);
+        }
+        groups
+    }
+
+    /// Sizes of all clusters.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.clusters().iter().map(|c| c.len()).collect()
+    }
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Requested number of clusters (`num_clusters` hyper-parameter, Table IV).
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Dimensionality of the feature space (from the TF-IDF vectorizer).
+    pub num_features: usize,
+}
+
+/// Runs spherical k-means on sparse unit vectors.
+///
+/// Empty clusters are re-seeded from random points; when there are fewer points than
+/// clusters, `k` is reduced to the number of points.
+pub fn kmeans(points: &[SparseVector], config: &KMeansConfig, rng: &mut impl Rng) -> KMeansResult {
+    let n = points.len();
+    if n == 0 {
+        return KMeansResult { assignments: Vec::new(), k: 0, iterations: 0 };
+    }
+    let k = config.k.clamp(1, n);
+    let order: Vec<usize> = {
+        let mut o: Vec<usize> = (0..n).collect();
+        o.shuffle(rng);
+        o
+    };
+    // k-means++ style seeding with cosine distance (1 - similarity): each new centroid is
+    // sampled proportionally to its distance from the closest existing centroid. This avoids
+    // the classic failure mode where two seeds land in the same lexical cluster.
+    let mut centroid_ids: Vec<usize> = vec![order[0]];
+    let mut min_dist: Vec<f32> = points
+        .iter()
+        .map(|p| (1.0 - crate::tfidf::sparse_dot(p, &points[order[0]])).max(0.0))
+        .collect();
+    while centroid_ids.len() < k {
+        let total: f32 = min_dist.iter().sum();
+        let next = if total <= 1e-9 {
+            // All remaining points coincide with existing centroids; fall back to any unused.
+            order
+                .iter()
+                .copied()
+                .find(|i| !centroid_ids.contains(i))
+                .unwrap_or(order[0])
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = 0usize;
+            for (i, &d) in min_dist.iter().enumerate() {
+                if target <= d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroid_ids.push(next);
+        for (i, p) in points.iter().enumerate() {
+            let d = (1.0 - crate::tfidf::sparse_dot(p, &points[next])).max(0.0);
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    let mut centroids: Vec<Vec<f32>> = centroid_ids
+        .iter()
+        .map(|&i| {
+            let mut c = vec![0.0f32; config.num_features];
+            add_into_dense(&mut c, &points[i]);
+            c
+        })
+        .collect();
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, point) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_score = f32::NEG_INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let score = dense_sparse_dot(centroid, point);
+                if score > best_score {
+                    best_score = score;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step: mean of assigned points, re-normalized (spherical k-means).
+        let mut new_centroids = vec![vec![0.0f32; config.num_features]; k];
+        let mut counts = vec![0usize; k];
+        for (i, point) in points.iter().enumerate() {
+            add_into_dense(&mut new_centroids[assignments[i]], point);
+            counts[assignments[i]] += 1;
+        }
+        for (c, centroid) in new_centroids.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                // Re-seed empty cluster from a random point.
+                let &seed = order.choose(rng).expect("non-empty");
+                centroid.iter_mut().for_each(|v| *v = 0.0);
+                add_into_dense(centroid, &points[seed]);
+                continue;
+            }
+            let norm: f32 = centroid.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for v in centroid.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+        centroids = new_centroids;
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+    KMeansResult { assignments, k, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tfidf::TfIdfVectorizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_topic_corpus() -> Vec<String> {
+        let mut corpus = Vec::new();
+        for i in 0..20 {
+            corpus.push(format!("canon printer ink cartridge model {i}"));
+            corpus.push(format!("neural network paper conference acl {i}"));
+        }
+        corpus
+    }
+
+    #[test]
+    fn separates_two_obvious_topics() {
+        let corpus = two_topic_corpus();
+        let v = TfIdfVectorizer::fit(corpus.iter().map(|s| s.as_str()));
+        let points = v.transform_all(corpus.iter().map(|s| s.as_str()));
+        let mut rng = StdRng::seed_from_u64(42);
+        let result = kmeans(
+            &points,
+            &KMeansConfig { k: 2, max_iterations: 20, num_features: v.num_features() },
+            &mut rng,
+        );
+        assert_eq!(result.k, 2);
+        // All printer docs (even indices) should share a cluster, all paper docs another.
+        let printer_cluster = result.assignments[0];
+        let paper_cluster = result.assignments[1];
+        assert_ne!(printer_cluster, paper_cluster);
+        for i in 0..corpus.len() {
+            let expected = if i % 2 == 0 { printer_cluster } else { paper_cluster };
+            assert_eq!(result.assignments[i], expected, "doc {i} misassigned");
+        }
+    }
+
+    #[test]
+    fn handles_fewer_points_than_clusters() {
+        let v = TfIdfVectorizer::fit(["a b", "c d"]);
+        let points = v.transform_all(["a b", "c d"]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = kmeans(
+            &points,
+            &KMeansConfig { k: 10, max_iterations: 5, num_features: v.num_features() },
+            &mut rng,
+        );
+        assert_eq!(result.k, 2);
+        assert_eq!(result.assignments.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_result() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = kmeans(&[], &KMeansConfig { k: 3, max_iterations: 5, num_features: 10 }, &mut rng);
+        assert_eq!(result.k, 0);
+        assert!(result.assignments.is_empty());
+    }
+
+    #[test]
+    fn cluster_accessors_are_consistent() {
+        let corpus = two_topic_corpus();
+        let v = TfIdfVectorizer::fit(corpus.iter().map(|s| s.as_str()));
+        let points = v.transform_all(corpus.iter().map(|s| s.as_str()));
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = kmeans(
+            &points,
+            &KMeansConfig { k: 4, max_iterations: 10, num_features: v.num_features() },
+            &mut rng,
+        );
+        let sizes = result.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), corpus.len());
+        assert_eq!(result.clusters().len(), result.k);
+    }
+}

@@ -1,0 +1,23 @@
+//! # sudowoodo-cluster
+//!
+//! Clustering utilities for the Sudowoodo reproduction:
+//!
+//! * [`tfidf`] — sparse TF-IDF featurization of serialized data items;
+//! * [`kmeans`] — spherical k-means over the sparse vectors;
+//! * [`batching`] — the clustering-based negative sampler of Algorithm 2 (mini-batches drawn
+//!   within lexical clusters so that in-batch negatives are "hard"), plus uniform batching
+//!   for the SimCLR baseline;
+//! * [`components`] — union-find connected components and cluster purity, used to turn
+//!   pairwise column-matching predictions into discovered semantic-type clusters (§V-B).
+
+#![warn(missing_docs)]
+
+pub mod batching;
+pub mod components;
+pub mod kmeans;
+pub mod tfidf;
+
+pub use batching::{BatchSampler, BatchStrategy};
+pub use components::{cluster_purity, connected_components, UnionFind};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use tfidf::{sparse_dot, SparseVector, TfIdfVectorizer};

@@ -1,0 +1,191 @@
+//! TF-IDF featurization of serialized data items.
+//!
+//! Used by the clustering-based negative sampler (Algorithm 2) and by the DL-Block-style
+//! blocking baseline. Vectors are sparse `(feature, weight)` lists, L2-normalized so that
+//! dot products are cosine similarities.
+
+use std::collections::HashMap;
+
+use sudowoodo_text::tokenize;
+
+/// A sparse vector: sorted `(feature index, weight)` pairs.
+pub type SparseVector = Vec<(usize, f32)>;
+
+/// A fitted TF-IDF vectorizer.
+#[derive(Clone, Debug)]
+pub struct TfIdfVectorizer {
+    vocabulary: HashMap<String, usize>,
+    idf: Vec<f32>,
+}
+
+impl TfIdfVectorizer {
+    /// Fits the vectorizer on a corpus of raw texts.
+    ///
+    /// Tokens appearing in a single document only still get a feature (the corpora here are
+    /// small), and marker tokens (`[COL]`, `[VAL]`, ...) are excluded because they appear in
+    /// every document and carry no discriminative signal.
+    pub fn fit<'a>(texts: impl IntoIterator<Item = &'a str>) -> Self {
+        let docs: Vec<Vec<String>> = texts.into_iter().map(tokenize).collect();
+        let n_docs = docs.len().max(1);
+        let mut vocabulary: HashMap<String, usize> = HashMap::new();
+        let mut doc_freq: Vec<usize> = Vec::new();
+        for doc in &docs {
+            let mut seen: Vec<usize> = Vec::new();
+            for token in doc {
+                if token.starts_with('[') && token.ends_with(']') {
+                    continue;
+                }
+                let next_id = vocabulary.len();
+                let id = *vocabulary.entry(token.clone()).or_insert(next_id);
+                if id == doc_freq.len() {
+                    doc_freq.push(0);
+                }
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    doc_freq[id] += 1;
+                }
+            }
+        }
+        let idf = doc_freq
+            .iter()
+            .map(|&df| ((n_docs as f32 + 1.0) / (df as f32 + 1.0)).ln() + 1.0)
+            .collect();
+        TfIdfVectorizer { vocabulary, idf }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// Transforms one text into an L2-normalized sparse TF-IDF vector.
+    ///
+    /// Tokens unseen at fit time are ignored.
+    pub fn transform(&self, text: &str) -> SparseVector {
+        let mut counts: HashMap<usize, f32> = HashMap::new();
+        for token in tokenize(text) {
+            if let Some(&id) = self.vocabulary.get(&token) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut vec: SparseVector = counts
+            .into_iter()
+            .map(|(id, tf)| (id, tf * self.idf[id]))
+            .collect();
+        vec.sort_by_key(|(id, _)| *id);
+        l2_normalize(&mut vec);
+        vec
+    }
+
+    /// Transforms a batch of texts.
+    pub fn transform_all<'a>(&self, texts: impl IntoIterator<Item = &'a str>) -> Vec<SparseVector> {
+        texts.into_iter().map(|t| self.transform(t)).collect()
+    }
+}
+
+/// Normalizes a sparse vector to unit L2 norm (no-op for the zero vector).
+pub fn l2_normalize(vec: &mut SparseVector) {
+    let norm: f32 = vec.iter().map(|(_, w)| w * w).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for (_, w) in vec.iter_mut() {
+            *w /= norm;
+        }
+    }
+}
+
+/// Dot product of two sparse vectors (equals cosine similarity when both are normalized).
+pub fn sparse_dot(a: &SparseVector, b: &SparseVector) -> f32 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut sum = 0.0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                sum += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    sum
+}
+
+/// Adds a sparse vector into a dense accumulator (used by k-means centroid updates).
+pub fn add_into_dense(dense: &mut [f32], sparse: &SparseVector) {
+    for &(id, w) in sparse {
+        dense[id] += w;
+    }
+}
+
+/// Dot product between a dense vector and a sparse vector.
+pub fn dense_sparse_dot(dense: &[f32], sparse: &SparseVector) -> f32 {
+    sparse.iter().map(|&(id, w)| dense[id] * w).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_produces_normalized_vectors() {
+        let corpus = [
+            "[COL] title [VAL] canon ink cartridge",
+            "[COL] title [VAL] epson ink bottle",
+            "[COL] title [VAL] canon camera",
+        ];
+        let v = TfIdfVectorizer::fit(corpus.iter().copied());
+        assert!(v.num_features() >= 6);
+        let x = v.transform(corpus[0]);
+        let norm: f32 = x.iter().map(|(_, w)| w * w).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        // Markers excluded.
+        assert!(v.transform("[COL] [VAL]").is_empty());
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        let corpus = ["ink canon", "ink epson", "ink hp", "canon camera"];
+        let v = TfIdfVectorizer::fit(corpus.iter().copied());
+        let x = v.transform("ink canon");
+        // "ink" appears in 3 docs, "canon" in 2 -> canon weight must be larger.
+        let weights: HashMap<usize, f32> = x.into_iter().collect();
+        let ink_id = v.vocabulary["ink"];
+        let canon_id = v.vocabulary["canon"];
+        assert!(weights[&canon_id] > weights[&ink_id]);
+    }
+
+    #[test]
+    fn cosine_of_similar_docs_is_higher() {
+        let corpus = [
+            "canon ink cartridge cyan",
+            "canon ink cartridge magenta",
+            "florida state university",
+        ];
+        let v = TfIdfVectorizer::fit(corpus.iter().copied());
+        let a = v.transform(corpus[0]);
+        let b = v.transform(corpus[1]);
+        let c = v.transform(corpus[2]);
+        assert!(sparse_dot(&a, &b) > sparse_dot(&a, &c));
+        assert!(sparse_dot(&a, &c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_tokens_are_ignored() {
+        let v = TfIdfVectorizer::fit(["alpha beta"]);
+        assert!(v.transform("gamma delta").is_empty());
+    }
+
+    #[test]
+    fn dense_sparse_helpers() {
+        let mut dense = vec![0.0; 4];
+        let sparse = vec![(1, 2.0), (3, 0.5)];
+        add_into_dense(&mut dense, &sparse);
+        assert_eq!(dense, vec![0.0, 2.0, 0.0, 0.5]);
+        assert_eq!(dense_sparse_dot(&dense, &sparse), 4.25);
+        let mut zero: SparseVector = vec![];
+        l2_normalize(&mut zero);
+        assert!(zero.is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! The embedding model `M_emb` (§II, §III).
+//!
+//! The encoder maps a serialized data item to an L2-normalized `dim`-dimensional vector.
+//! The paper uses a pre-trained RoBERTa/DistilBERT; this reproduction trains a compact
+//! encoder from scratch (see DESIGN.md for the substitution rationale). Two architectures
+//! are provided behind [`EncoderKind`]:
+//!
+//! * `MeanPool` — token embeddings, mean pooling, a two-layer MLP;
+//! * `Transformer` — token + positional embeddings, `layers` pre-norm Transformer blocks,
+//!   mean pooling.
+//!
+//! Both consume the token-embedding matrix, so the cutoff augmentation (which zeroes parts
+//! of that matrix) applies identically to either. Outputs are always L2-normalized so that
+//! dot products are cosine similarities, as required by blocking, pseudo-labeling, and the
+//! contrastive objective.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sudowoodo_augment::CutoffPlan;
+use sudowoodo_nn::layers::{
+    Embedding, FeedForward, Layer, LayerNorm, PositionalEmbedding, TransformerBlock,
+};
+use sudowoodo_nn::matrix::Matrix;
+use sudowoodo_nn::param::Param;
+use sudowoodo_nn::tape::{Tape, VarId};
+use sudowoodo_text::{Vocab, VocabConfig};
+
+use crate::config::{EncoderConfig, EncoderKind};
+
+/// The Sudowoodo embedding model.
+#[derive(Clone, Debug)]
+pub struct Encoder {
+    /// Architecture configuration.
+    pub config: EncoderConfig,
+    vocab: Vocab,
+    embedding: Embedding,
+    positional: PositionalEmbedding,
+    blocks: Vec<TransformerBlock>,
+    pool_mlp: FeedForward,
+    output_norm: LayerNorm,
+}
+
+impl Encoder {
+    /// Creates an encoder whose vocabulary is built from `corpus`.
+    pub fn from_corpus(config: EncoderConfig, corpus: &[String], seed: u64) -> Self {
+        let vocab = Vocab::build_from_texts(
+            corpus.iter().map(|s| s.as_str()),
+            &VocabConfig { max_size: 20_000, min_count: 1, hash_buckets: 256 },
+        );
+        Self::with_vocab(config, vocab, seed)
+    }
+
+    /// Creates an encoder with an existing vocabulary.
+    pub fn with_vocab(config: EncoderConfig, vocab: Vocab, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embedding = Embedding::new("encoder.embedding", vocab.size(), config.dim, &mut rng);
+        let positional = PositionalEmbedding::new("encoder", config.max_len, config.dim, &mut rng);
+        let blocks = (0..config.layers)
+            .map(|i| {
+                TransformerBlock::new(
+                    &format!("encoder.block{i}"),
+                    config.dim,
+                    config.heads,
+                    config.ff_hidden,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let pool_mlp = FeedForward::new("encoder.pool_mlp", config.dim, config.ff_hidden, &mut rng);
+        let output_norm = LayerNorm::new("encoder.output_norm", config.dim);
+        Encoder { config, vocab, embedding, positional, blocks, pool_mlp, output_norm }
+    }
+
+    /// The vocabulary used by this encoder.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut ps = self.embedding.params();
+        match self.config.kind {
+            EncoderKind::MeanPool => {
+                ps.extend(self.pool_mlp.params());
+            }
+            EncoderKind::Transformer => {
+                ps.extend(self.positional.params());
+                for b in &self.blocks {
+                    ps.extend(b.params());
+                }
+            }
+        }
+        ps.extend(self.output_norm.params());
+        ps
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.num_elements()).sum()
+    }
+
+    /// Encodes one tokenized item on the tape, returning a `1 x dim` L2-normalized vector.
+    pub fn encode_ids(&self, tape: &mut Tape, token_ids: &[usize], cutoff: &CutoffPlan) -> VarId {
+        let ids: Vec<usize> = token_ids.iter().take(self.config.max_len).copied().collect();
+        let embedded = self.embedding.forward(tape, &ids);
+        // Cutoff acts on the token-embedding matrix: multiply by a constant 0/1 mask so that
+        // gradients still flow to the surviving entries.
+        let mask = cutoff.apply(&Matrix::full(ids.len(), self.config.dim, 1.0));
+        let mask_node = tape.constant(mask);
+        let masked = tape.mul(embedded, mask_node);
+
+        let pooled = match self.config.kind {
+            EncoderKind::MeanPool => {
+                let mean = tape.mean_rows(masked);
+                let lifted = self.pool_mlp.forward(tape, mean);
+                tape.add(mean, lifted)
+            }
+            EncoderKind::Transformer => {
+                let mut x = self.positional.forward(tape, masked, ids.len());
+                for block in &self.blocks {
+                    x = block.forward(tape, x);
+                }
+                tape.mean_rows(x)
+            }
+        };
+        let normed = self.output_norm.forward(tape, pooled);
+        tape.l2_normalize_rows(normed)
+    }
+
+    /// Encodes one serialized text on the tape.
+    pub fn encode_text(&self, tape: &mut Tape, text: &str, cutoff: &CutoffPlan) -> VarId {
+        let ids = self.vocab.encode(text, self.config.max_len);
+        self.encode_ids(tape, &ids, cutoff)
+    }
+
+    /// Encodes a batch of serialized texts on the tape, returning an `n x dim` matrix of
+    /// L2-normalized rows.
+    pub fn encode_batch(&self, tape: &mut Tape, texts: &[&str], cutoff: &CutoffPlan) -> VarId {
+        assert!(!texts.is_empty(), "encode_batch: empty batch");
+        let rows: Vec<VarId> = texts
+            .iter()
+            .map(|t| self.encode_text(tape, t, cutoff))
+            .collect();
+        tape.stack_rows(&rows)
+    }
+
+    /// Inference-only embedding of many texts (no augmentation, gradients discarded).
+    ///
+    /// Items are processed in chunks so the tape for each chunk stays small.
+    pub fn embed_all(&self, texts: &[String]) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(texts.len());
+        for chunk in texts.chunks(64) {
+            let mut tape = Tape::new();
+            let refs: Vec<&str> = chunk.iter().map(|s| s.as_str()).collect();
+            let batch = self.encode_batch(&mut tape, &refs, &CutoffPlan::noop());
+            let values = tape.value(batch);
+            for r in 0..values.rows() {
+                out.push(values.row(r).to_vec());
+            }
+        }
+        out
+    }
+
+    /// Convenience: embedding of a single text.
+    pub fn embed_one(&self, text: &str) -> Vec<f32> {
+        self.embed_all(&[text.to_string()]).remove(0)
+    }
+}
+
+/// Cosine similarity between two embeddings produced by [`Encoder::embed_all`].
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    Matrix::cosine(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderConfig;
+
+    fn small_corpus() -> Vec<String> {
+        vec![
+            "[COL] title [VAL] canon ink cartridge cyan [COL] price [VAL] 13.99".to_string(),
+            "[COL] title [VAL] canon cyan ink tank [COL] price [VAL] 16.00".to_string(),
+            "[COL] title [VAL] post mortem dreamcatcher [COL] price [VAL] 29.99".to_string(),
+            "[COL] title [VAL] spanish language course deluxe [COL] price [VAL] 36.11".to_string(),
+        ]
+    }
+
+    #[test]
+    fn meanpool_and_transformer_produce_unit_vectors() {
+        for kind in [EncoderKind::MeanPool, EncoderKind::Transformer] {
+            let config = EncoderConfig { kind, dim: 16, layers: 1, heads: 2, ff_hidden: 32, max_len: 24 };
+            let encoder = Encoder::from_corpus(config, &small_corpus(), 1);
+            let embeddings = encoder.embed_all(&small_corpus());
+            assert_eq!(embeddings.len(), 4);
+            for e in &embeddings {
+                assert_eq!(e.len(), 16);
+                let norm: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+                assert!((norm - 1.0).abs() < 1e-4, "embedding not normalized: {norm}");
+            }
+            assert!(encoder.num_parameters() > 0);
+        }
+    }
+
+    #[test]
+    fn identical_texts_have_cosine_one() {
+        let encoder = Encoder::from_corpus(EncoderConfig::tiny(), &small_corpus(), 2);
+        let a = encoder.embed_one(&small_corpus()[0]);
+        let b = encoder.embed_one(&small_corpus()[0]);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn encode_batch_matches_individual_encoding() {
+        let encoder = Encoder::from_corpus(EncoderConfig::tiny(), &small_corpus(), 3);
+        let corpus = small_corpus();
+        let all = encoder.embed_all(&corpus);
+        let single = encoder.embed_one(&corpus[2]);
+        assert!((cosine(&all[2], &single) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn encoder_is_differentiable_end_to_end() {
+        let corpus = small_corpus();
+        let config = EncoderConfig { kind: EncoderKind::Transformer, dim: 8, layers: 1, heads: 2, ff_hidden: 16, max_len: 16 };
+        let encoder = Encoder::from_corpus(config, &corpus, 4);
+        let mut tape = Tape::new();
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let batch = encoder.encode_batch(&mut tape, &refs, &CutoffPlan::noop());
+        let sq = tape.pow2(batch);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        let mut with_grad = 0;
+        for (node, _) in tape.bindings() {
+            if grads.get(*node).is_some() {
+                with_grad += 1;
+            }
+        }
+        assert!(with_grad > 0, "no parameter received a gradient");
+    }
+
+    #[test]
+    fn long_inputs_are_truncated_to_max_len() {
+        let config = EncoderConfig { max_len: 6, ..EncoderConfig::tiny() };
+        let encoder = Encoder::from_corpus(config, &small_corpus(), 5);
+        let long_text = "[COL] title [VAL] ".to_string() + &"token ".repeat(100);
+        let e = encoder.embed_one(&long_text);
+        assert_eq!(e.len(), config.dim);
+        assert!(e.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn vocab_accessor_reflects_corpus() {
+        let encoder = Encoder::from_corpus(EncoderConfig::tiny(), &small_corpus(), 6);
+        assert!(encoder.vocab().known_size() > 6);
+        assert_eq!(encoder.dim(), 16);
+    }
+}

@@ -1,0 +1,269 @@
+//! The pairwise matching model `M_pm` and its fine-tuning (§III-B, Figure 4).
+//!
+//! Given a pair of serialized data items `(x, y)`, the matcher encodes `x`, `y`, and the
+//! concatenation `xy` with the (pre-trained) embedding model and predicts match / non-match
+//! from `Linear(Z_xy ⊕ |Z_x − Z_y|)` followed by a softmax. The `use_diff_head = false`
+//! variant drops the similarity-aware part and uses only `Z_xy`, which is the default
+//! sequence-pair fine-tuning of pre-trained LMs (used by the Ditto-like baseline).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sudowoodo_augment::CutoffPlan;
+use sudowoodo_nn::layers::{Layer, Linear};
+use sudowoodo_nn::optim::AdamW;
+use sudowoodo_nn::tape::{Tape, VarId};
+use sudowoodo_text::serialize::serialize_pair;
+
+use crate::encoder::Encoder;
+
+/// A labeled training pair of serialized data items.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainPair {
+    /// Serialization of the left item.
+    pub left: String,
+    /// Serialization of the right item.
+    pub right: String,
+    /// Match (true) or non-match (false).
+    pub label: bool,
+}
+
+impl TrainPair {
+    /// Convenience constructor.
+    pub fn new(left: impl Into<String>, right: impl Into<String>, label: bool) -> Self {
+        TrainPair { left: left.into(), right: right.into(), label }
+    }
+}
+
+/// Fine-tuning hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FineTuneConfig {
+    /// Number of passes over the training pairs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// AdamW learning rate.
+    pub learning_rate: f32,
+    /// Random seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        FineTuneConfig { epochs: 10, batch_size: 16, learning_rate: 5e-4, seed: 7 }
+    }
+}
+
+/// The pairwise matching model.
+#[derive(Clone, Debug)]
+pub struct PairMatcher {
+    /// The (shared) embedding model; fine-tuning updates it together with the head.
+    pub encoder: Encoder,
+    head: Linear,
+    use_diff_head: bool,
+}
+
+impl PairMatcher {
+    /// Wraps a (typically pre-trained) encoder into a matcher.
+    pub fn new(encoder: Encoder, use_diff_head: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(101));
+        let input_dim = if use_diff_head { 2 * encoder.dim() } else { encoder.dim() };
+        let head = Linear::new("matcher.head", input_dim, 2, &mut rng);
+        PairMatcher { encoder, head, use_diff_head }
+    }
+
+    /// Whether the similarity-aware head is active.
+    pub fn uses_diff_head(&self) -> bool {
+        self.use_diff_head
+    }
+
+    /// Builds the feature row (`1 x input_dim`) of one pair on the tape.
+    fn pair_features(&self, tape: &mut Tape, left: &str, right: &str) -> VarId {
+        let noop = CutoffPlan::noop();
+        let pair_text = serialize_pair(left, right);
+        let z_xy = self.encoder.encode_text(tape, &pair_text, &noop);
+        if !self.use_diff_head {
+            return z_xy;
+        }
+        let z_x = self.encoder.encode_text(tape, left, &noop);
+        let z_y = self.encoder.encode_text(tape, right, &noop);
+        let diff = tape.sub(z_x, z_y);
+        let abs_diff = tape.abs(diff);
+        tape.concat_cols(z_xy, abs_diff)
+    }
+
+    /// Builds the logits (`n x 2`) of a batch of pairs on the tape.
+    fn batch_logits(&self, tape: &mut Tape, pairs: &[(&str, &str)]) -> VarId {
+        let rows: Vec<VarId> = pairs
+            .iter()
+            .map(|(l, r)| self.pair_features(tape, l, r))
+            .collect();
+        let features = tape.stack_rows(&rows);
+        self.head.forward(tape, features)
+    }
+
+    /// Fine-tunes the matcher (encoder + head) on labeled pairs; returns the mean loss per
+    /// epoch.
+    pub fn fine_tune(&mut self, pairs: &[TrainPair], config: &FineTuneConfig) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut optimizer = AdamW::new(config.learning_rate);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                let batch: Vec<(&str, &str)> = chunk
+                    .iter()
+                    .map(|&i| (pairs[i].left.as_str(), pairs[i].right.as_str()))
+                    .collect();
+                let targets: Vec<usize> =
+                    chunk.iter().map(|&i| usize::from(pairs[i].label)).collect();
+                let mut tape = Tape::new();
+                let logits = self.batch_logits(&mut tape, &batch);
+                let loss = tape.softmax_cross_entropy(logits, &targets);
+                let grads = tape.backward(loss);
+                optimizer.step(&tape, &grads);
+                epoch_loss += tape.scalar(loss);
+                batches += 1;
+            }
+            epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        }
+        epoch_losses
+    }
+
+    /// Probability that a pair matches.
+    pub fn predict_proba(&self, left: &str, right: &str) -> f32 {
+        self.predict_scores(&[(left.to_string(), right.to_string())])[0]
+    }
+
+    /// Match probabilities for many pairs (processed in chunks).
+    pub fn predict_scores(&self, pairs: &[(String, String)]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(32) {
+            let refs: Vec<(&str, &str)> =
+                chunk.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+            let mut tape = Tape::new();
+            let logits = self.batch_logits(&mut tape, &refs);
+            let values = tape.value(logits);
+            for r in 0..values.rows() {
+                let l0 = values.get(r, 0);
+                let l1 = values.get(r, 1);
+                let max = l0.max(l1);
+                let e0 = (l0 - max).exp();
+                let e1 = (l1 - max).exp();
+                out.push(e1 / (e0 + e1));
+            }
+        }
+        out
+    }
+
+    /// Hard predictions at a given probability threshold.
+    pub fn predict_labels(&self, pairs: &[(String, String)], threshold: f32) -> Vec<bool> {
+        self.predict_scores(pairs).into_iter().map(|p| p >= threshold).collect()
+    }
+
+    /// Number of trainable parameters (encoder + head).
+    pub fn num_parameters(&self) -> usize {
+        self.encoder.num_parameters() + self.head.params().iter().map(|p| p.num_elements()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderConfig;
+
+    /// A tiny matching task: items are "<brand> <model>" strings; a pair matches iff the
+    /// model number token is identical.
+    fn toy_pairs(n: usize) -> (Vec<String>, Vec<TrainPair>) {
+        let brands = ["canon", "epson", "sony", "dell"];
+        let mut corpus = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let brand = brands[i % brands.len()];
+            let left = format!("[COL] title [VAL] {brand} printer model m{i}");
+            let right_match = format!("[COL] title [VAL] {brand} printer m{i} refurbished");
+            let right_nonmatch =
+                format!("[COL] title [VAL] {brand} printer model m{}", (i + 1) % n);
+            corpus.push(left.clone());
+            corpus.push(right_match.clone());
+            corpus.push(right_nonmatch.clone());
+            pairs.push(TrainPair::new(left.clone(), right_match, true));
+            pairs.push(TrainPair::new(left, right_nonmatch, false));
+        }
+        (corpus, pairs)
+    }
+
+    fn tiny_matcher(corpus: &[String], use_diff_head: bool) -> PairMatcher {
+        let encoder = Encoder::from_corpus(EncoderConfig::tiny(), corpus, 3);
+        PairMatcher::new(encoder, use_diff_head, 3)
+    }
+
+    #[test]
+    fn fine_tuning_reduces_loss_and_learns_the_task() {
+        let (corpus, pairs) = toy_pairs(12);
+        let mut matcher = tiny_matcher(&corpus, true);
+        let losses = matcher.fine_tune(
+            &pairs,
+            &FineTuneConfig { epochs: 8, batch_size: 8, learning_rate: 2e-3, seed: 1 },
+        );
+        assert_eq!(losses.len(), 8);
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "loss should decrease: {:?}",
+            losses
+        );
+        // Training accuracy should beat chance comfortably.
+        let eval_pairs: Vec<(String, String)> =
+            pairs.iter().map(|p| (p.left.clone(), p.right.clone())).collect();
+        let predictions = matcher.predict_labels(&eval_pairs, 0.5);
+        let correct = predictions
+            .iter()
+            .zip(pairs.iter())
+            .filter(|(pred, gold)| **pred == gold.label)
+            .count();
+        assert!(
+            correct as f32 / pairs.len() as f32 > 0.7,
+            "training accuracy too low: {correct}/{}",
+            pairs.len()
+        );
+    }
+
+    #[test]
+    fn diff_head_and_concat_head_have_different_feature_widths() {
+        let (corpus, _) = toy_pairs(4);
+        let with_diff = tiny_matcher(&corpus, true);
+        let concat_only = tiny_matcher(&corpus, false);
+        assert!(with_diff.uses_diff_head());
+        assert!(!concat_only.uses_diff_head());
+        assert!(with_diff.num_parameters() > concat_only.num_parameters());
+        // Both must produce valid probabilities.
+        let p1 = with_diff.predict_proba(&corpus[0], &corpus[1]);
+        let p2 = concat_only.predict_proba(&corpus[0], &corpus[1]);
+        assert!((0.0..=1.0).contains(&p1));
+        assert!((0.0..=1.0).contains(&p2));
+    }
+
+    #[test]
+    fn predict_scores_is_consistent_with_predict_proba() {
+        let (corpus, _) = toy_pairs(4);
+        let matcher = tiny_matcher(&corpus, true);
+        let single = matcher.predict_proba(&corpus[0], &corpus[1]);
+        let batch = matcher.predict_scores(&[(corpus[0].clone(), corpus[1].clone())]);
+        assert!((single - batch[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let (corpus, _) = toy_pairs(4);
+        let mut matcher = tiny_matcher(&corpus, true);
+        let losses = matcher.fine_tune(&[], &FineTuneConfig::default());
+        assert!(losses.is_empty());
+    }
+}

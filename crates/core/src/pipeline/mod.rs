@@ -1,0 +1,11 @@
+//! Task pipelines built on top of the Sudowoodo framework: Entity Matching (blocking +
+//! matching), data cleaning (error correction), and column matching (semantic type
+//! detection).
+
+pub mod cleaning;
+pub mod columns;
+pub mod em;
+
+pub use cleaning::{CleaningPipeline, CleaningResult};
+pub use columns::{ColumnMatchResult, ColumnPipeline};
+pub use em::{EmPipeline, EmResult, EmTimings};

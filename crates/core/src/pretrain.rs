@@ -1,0 +1,227 @@
+//! Contrastive pre-training (Algorithm 1) with the three optimizations of §IV.
+//!
+//! Given an unlabeled corpus of serialized data items, [`pretrain`] trains the embedding
+//! model by:
+//!
+//! 1. drawing mini-batches either uniformly or from TF-IDF/k-means clusters
+//!    (clustering-based negative sampling, Algorithm 2);
+//! 2. generating two views of every item — the original serialization and a view distorted
+//!    by a base DA operator — and additionally applying a batch-wise cutoff mask to the
+//!    augmented view's token embeddings;
+//! 3. passing both views through the shared encoder and a projection head `g`;
+//! 4. minimizing the combined loss `(1 - alpha) * L_contrast + alpha * L_BT` with AdamW.
+//!
+//! The projection head is discarded at the end; only the encoder is returned.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sudowoodo_augment::{augment, CutoffKind, CutoffPlan};
+use sudowoodo_cluster::{BatchSampler, BatchStrategy};
+use sudowoodo_nn::layers::{Layer, Linear};
+use sudowoodo_nn::optim::AdamW;
+use sudowoodo_nn::tape::Tape;
+
+use crate::config::SudowoodoConfig;
+use crate::encoder::Encoder;
+use crate::loss::combined_loss;
+
+/// Diagnostics returned by [`pretrain`].
+#[derive(Clone, Debug)]
+pub struct PretrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Total number of optimizer steps taken.
+    pub steps: usize,
+    /// Number of corpus items actually used (after the `max_corpus_size` cap).
+    pub corpus_size: usize,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+}
+
+/// Pre-trains an embedding model on an unlabeled corpus of serialized data items.
+pub fn pretrain(corpus: &[String], config: &SudowoodoConfig) -> (Encoder, PretrainReport) {
+    assert!(!corpus.is_empty(), "pretrain: empty corpus");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Cap the corpus (the paper fixes the pre-training corpus to 10k items by up/down
+    // sampling; we only down-sample since up-sampling adds no information here).
+    let mut items: Vec<String> = corpus.to_vec();
+    if items.len() > config.max_corpus_size {
+        use rand::seq::SliceRandom;
+        items.shuffle(&mut rng);
+        items.truncate(config.max_corpus_size);
+    }
+
+    let encoder = Encoder::from_corpus(config.encoder, &items, config.seed);
+    let mut projector_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    let projector = Linear::new(
+        "projector",
+        config.encoder.dim,
+        config.projector_dim,
+        &mut projector_rng,
+    );
+    let _ = projector.params(); // projector participates in training via the tape bindings
+
+    let strategy = if config.use_clustering {
+        BatchStrategy::Clustered { num_clusters: config.num_clusters }
+    } else {
+        BatchStrategy::Uniform
+    };
+    let sampler = BatchSampler::new(&items, strategy, config.batch_size, &mut rng);
+    let mut optimizer = AdamW::new(config.pretrain_lr);
+
+    let cutoff_kind = if config.use_cutoff { config.cutoff } else { CutoffKind::None };
+    let bt_alpha = if config.use_barlow_twins { config.bt_alpha } else { 0.0 };
+
+    let mut epoch_losses = Vec::with_capacity(config.pretrain_epochs);
+    let mut steps = 0usize;
+    for _epoch in 0..config.pretrain_epochs {
+        let batches = sampler.epoch_batches(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut epoch_batches = 0usize;
+        for batch in batches {
+            if batch.len() < 2 {
+                continue; // the contrastive loss needs at least one in-batch negative
+            }
+            // Two views per item: the original serialization and a DA-distorted one.
+            let originals: Vec<&str> = batch.iter().map(|&i| items[i].as_str()).collect();
+            let augmented: Vec<String> = batch
+                .iter()
+                .map(|&i| augment(&items[i], config.da_op, &mut rng))
+                .collect();
+            let augmented_refs: Vec<&str> = augmented.iter().map(|s| s.as_str()).collect();
+            // Batch-wise cutoff: one plan per batch, applied to the augmented view.
+            let plan = CutoffPlan::sample(cutoff_kind, config.cutoff_ratio, config.encoder.dim, &mut rng);
+
+            let mut tape = Tape::new();
+            let z_ori = encoder.encode_batch(&mut tape, &originals, &CutoffPlan::noop());
+            let z_ori = projector.forward(&mut tape, z_ori);
+            let z_aug = encoder.encode_batch(&mut tape, &augmented_refs, &plan);
+            let z_aug = projector.forward(&mut tape, z_aug);
+            let loss = combined_loss(
+                &mut tape,
+                z_ori,
+                z_aug,
+                config.temperature,
+                config.bt_lambda,
+                bt_alpha,
+            );
+            let grads = tape.backward(loss);
+            optimizer.step(&tape, &grads);
+            epoch_loss += tape.scalar(loss);
+            epoch_batches += 1;
+            steps += 1;
+        }
+        epoch_losses.push(if epoch_batches == 0 { 0.0 } else { epoch_loss / epoch_batches as f32 });
+    }
+
+    let report = PretrainReport {
+        epoch_losses,
+        steps,
+        corpus_size: items.len(),
+        seconds: start.elapsed().as_secs_f64(),
+    };
+    (encoder, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SudowoodoConfig;
+    use crate::encoder::cosine;
+
+    /// A toy corpus with two clearly separated item groups (printers vs papers); items within
+    /// a group share most tokens.
+    fn toy_corpus() -> Vec<String> {
+        let mut corpus = Vec::new();
+        for i in 0..24 {
+            corpus.push(format!(
+                "[COL] title [VAL] canon printer ink cartridge cyan model sku{i} [COL] price [VAL] {}",
+                10 + i
+            ));
+            corpus.push(format!(
+                "[COL] title [VAL] efficient query optimization survey paper ref{i} [COL] venue [VAL] sigmod"
+            ));
+        }
+        corpus
+    }
+
+    #[test]
+    fn pretraining_reduces_the_contrastive_loss() {
+        let mut config = SudowoodoConfig::test_config();
+        config.pretrain_epochs = 4;
+        config.batch_size = 8;
+        let (_, report) = pretrain(&toy_corpus(), &config);
+        assert_eq!(report.epoch_losses.len(), 4);
+        assert!(report.steps > 0);
+        assert!(report.corpus_size == 48);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(
+            last < first,
+            "loss should decrease over epochs: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn pretrained_encoder_separates_groups_better_than_random() {
+        // After pre-training, an item should be closer to another item of its own group than
+        // to an item of the other group (on average).
+        let corpus = toy_corpus();
+        let mut config = SudowoodoConfig::test_config();
+        config.pretrain_epochs = 4;
+        config.batch_size = 8;
+        let (encoder, _) = pretrain(&corpus, &config);
+        let embeddings = encoder.embed_all(&corpus);
+        // Even indices are printers, odd are papers.
+        let mut same = 0.0f32;
+        let mut cross = 0.0f32;
+        let mut count = 0;
+        for i in (0..corpus.len()).step_by(2).take(10) {
+            same += cosine(&embeddings[i], &embeddings[(i + 2) % corpus.len()]);
+            cross += cosine(&embeddings[i], &embeddings[i + 1]);
+            count += 1;
+        }
+        same /= count as f32;
+        cross /= count as f32;
+        assert!(
+            same > cross,
+            "within-group similarity ({same}) should exceed cross-group similarity ({cross})"
+        );
+    }
+
+    #[test]
+    fn all_ablation_variants_run() {
+        let corpus = toy_corpus();
+        for variant in [
+            SudowoodoConfig::test_config(),
+            SudowoodoConfig::test_config().simclr(),
+            SudowoodoConfig::test_config().without("cut"),
+            SudowoodoConfig::test_config().without("cls"),
+            SudowoodoConfig::test_config().without("RR"),
+        ] {
+            let (_, report) = pretrain(&corpus, &variant);
+            assert!(report.steps > 0, "variant {} did not train", variant.variant_name());
+            assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        }
+    }
+
+    #[test]
+    fn corpus_cap_is_respected() {
+        let mut config = SudowoodoConfig::test_config();
+        config.max_corpus_size = 16;
+        config.pretrain_epochs = 1;
+        let (_, report) = pretrain(&toy_corpus(), &config);
+        assert_eq!(report.corpus_size, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_corpus_panics() {
+        let _ = pretrain(&[], &SudowoodoConfig::test_config());
+    }
+}

@@ -1,0 +1,251 @@
+//! Pseudo labeling (§III-C).
+//!
+//! After pre-training, the embedding model provides a reliable similarity space. For every
+//! unlabeled candidate pair, Sudowoodo assigns a positive pseudo label when the cosine
+//! similarity of the two embeddings exceeds a threshold `theta_plus`, and a negative pseudo
+//! label when it falls below `theta_minus`. The thresholds are not tuned directly: the user
+//! fixes the positive ratio `rho`, the target number of pseudo labels (the `multiplier`
+//! hyper-parameter times the manually labeled set size), and the thresholds follow from the
+//! score distribution. A small hill-climbing refinement over `theta_plus` is also provided,
+//! mirroring the paper's use of a fixed number of fine-tuning trials.
+
+/// A scored candidate pair: `(left index, right index, cosine similarity)`.
+pub type ScoredPair = (usize, usize, f32);
+
+/// A pseudo-labeled pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PseudoLabel {
+    /// Left item index.
+    pub a: usize,
+    /// Right item index.
+    pub b: usize,
+    /// The assigned label.
+    pub label: bool,
+    /// The cosine score that produced the label.
+    pub score: f32,
+}
+
+/// Result of pseudo labeling.
+#[derive(Clone, Debug)]
+pub struct PseudoLabelSet {
+    /// The generated labels.
+    pub labels: Vec<PseudoLabel>,
+    /// Positive threshold `theta_plus` actually used.
+    pub theta_plus: f32,
+    /// Negative threshold `theta_minus` actually used.
+    pub theta_minus: f32,
+}
+
+impl PseudoLabelSet {
+    /// Number of positive pseudo labels.
+    pub fn num_positive(&self) -> usize {
+        self.labels.iter().filter(|l| l.label).count()
+    }
+
+    /// Number of negative pseudo labels.
+    pub fn num_negative(&self) -> usize {
+        self.labels.len() - self.num_positive()
+    }
+
+    /// Quality of the pseudo labels against a gold predicate: returns
+    /// `(true positive rate, true negative rate)` as reported in Table XI.
+    pub fn quality(&self, is_gold_match: impl Fn(usize, usize) -> bool) -> (f32, f32) {
+        let mut tp = 0usize;
+        let mut pos = 0usize;
+        let mut tn = 0usize;
+        let mut neg = 0usize;
+        for l in &self.labels {
+            if l.label {
+                pos += 1;
+                if is_gold_match(l.a, l.b) {
+                    tp += 1;
+                }
+            } else {
+                neg += 1;
+                if !is_gold_match(l.a, l.b) {
+                    tn += 1;
+                }
+            }
+        }
+        (
+            if pos == 0 { 0.0 } else { tp as f32 / pos as f32 },
+            if neg == 0 { 0.0 } else { tn as f32 / neg as f32 },
+        )
+    }
+}
+
+/// Generates pseudo labels from scored candidate pairs.
+///
+/// The `target_count` highest-confidence decisions are kept: the top `rho * target_count`
+/// scores become positives and the bottom `(1 - rho) * target_count` scores become
+/// negatives, which fixes the positive ratio at `rho` as described in §III-C.
+pub fn generate_pseudo_labels(
+    scored: &[ScoredPair],
+    rho: f32,
+    target_count: usize,
+) -> PseudoLabelSet {
+    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+    if scored.is_empty() || target_count == 0 {
+        return PseudoLabelSet { labels: Vec::new(), theta_plus: 1.0, theta_minus: -1.0 };
+    }
+    let mut sorted: Vec<ScoredPair> = scored.to_vec();
+    sorted.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let target = target_count.min(sorted.len());
+    let num_pos = ((target as f32) * rho).round() as usize;
+    let num_neg = target - num_pos;
+
+    let mut labels = Vec::with_capacity(target);
+    for &(a, b, score) in sorted.iter().take(num_pos) {
+        labels.push(PseudoLabel { a, b, label: true, score });
+    }
+    for &(a, b, score) in sorted.iter().rev().take(num_neg) {
+        labels.push(PseudoLabel { a, b, label: false, score });
+    }
+    let theta_plus = if num_pos > 0 { sorted[num_pos - 1].2 } else { 1.0 };
+    let theta_minus = if num_neg > 0 { sorted[sorted.len() - num_neg].2 } else { -1.0 };
+    PseudoLabelSet { labels, theta_plus, theta_minus }
+}
+
+/// Hill-climbing refinement of the positive threshold (§III-C).
+///
+/// Starting from the quantile-derived `theta_plus` of [`generate_pseudo_labels`], the
+/// threshold is nudged up and down by `step`; each candidate threshold is scored with the
+/// user-provided `evaluate` closure (e.g. validation F1 after a quick fine-tuning trial) and
+/// the search keeps the best-scoring threshold. At most `trials` evaluations are spent.
+pub fn hill_climb_threshold(
+    initial_theta: f32,
+    step: f32,
+    trials: usize,
+    mut evaluate: impl FnMut(f32) -> f32,
+) -> (f32, f32) {
+    let mut best_theta = initial_theta;
+    let mut best_score = evaluate(initial_theta);
+    let mut used = 1usize;
+    let mut current_step = step;
+    while used < trials {
+        let mut improved = false;
+        for candidate in [best_theta + current_step, best_theta - current_step] {
+            if used >= trials {
+                break;
+            }
+            let candidate = candidate.clamp(-1.0, 1.0);
+            let score = evaluate(candidate);
+            used += 1;
+            if score > best_score {
+                best_score = score;
+                best_theta = candidate;
+                improved = true;
+            }
+        }
+        if !improved {
+            current_step /= 2.0;
+            if current_step < 1e-3 {
+                break;
+            }
+        }
+    }
+    (best_theta, best_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic candidate scores: the first `n_pos` pairs are "true matches" with high
+    /// scores, the rest are non-matches with low scores (plus a noisy overlap region).
+    fn synthetic_scores(n_pos: usize, n_neg: usize) -> Vec<ScoredPair> {
+        let mut scored = Vec::new();
+        for i in 0..n_pos {
+            scored.push((i, i, 0.9 - 0.001 * i as f32));
+        }
+        for i in 0..n_neg {
+            scored.push((i, i + 1000, 0.2 - 0.0005 * i as f32));
+        }
+        scored
+    }
+
+    #[test]
+    fn labels_respect_rho_and_target_count() {
+        let scored = synthetic_scores(50, 450);
+        let set = generate_pseudo_labels(&scored, 0.1, 200);
+        assert_eq!(set.labels.len(), 200);
+        assert_eq!(set.num_positive(), 20);
+        assert_eq!(set.num_negative(), 180);
+        assert!(set.theta_plus > set.theta_minus);
+    }
+
+    #[test]
+    fn high_scores_become_positives_and_low_scores_negatives() {
+        let scored = synthetic_scores(50, 450);
+        let set = generate_pseudo_labels(&scored, 0.1, 300);
+        for l in &set.labels {
+            if l.label {
+                assert!(l.score >= set.theta_plus);
+            } else {
+                assert!(l.score <= set.theta_minus);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_is_perfect_when_scores_separate_classes() {
+        let scored = synthetic_scores(50, 450);
+        let set = generate_pseudo_labels(&scored, 0.1, 300);
+        // Gold: a pair is a match iff left == right (how synthetic_scores built positives).
+        let (tpr, tnr) = set.quality(|a, b| a == b);
+        assert_eq!(tpr, 1.0);
+        assert_eq!(tnr, 1.0);
+    }
+
+    #[test]
+    fn quality_degrades_with_noisy_scores() {
+        // Flip the scores of a few true matches to the bottom so they get negative labels.
+        let mut scored = synthetic_scores(50, 450);
+        for item in scored.iter_mut().take(5) {
+            item.2 = 0.01;
+        }
+        let set = generate_pseudo_labels(&scored, 0.1, 300);
+        let (_, tnr) = set.quality(|a, b| a == b);
+        assert!(tnr < 1.0);
+    }
+
+    #[test]
+    fn empty_input_and_zero_target_are_safe() {
+        let set = generate_pseudo_labels(&[], 0.1, 100);
+        assert!(set.labels.is_empty());
+        let set = generate_pseudo_labels(&synthetic_scores(5, 5), 0.1, 0);
+        assert!(set.labels.is_empty());
+    }
+
+    #[test]
+    fn target_larger_than_candidates_is_clamped() {
+        let scored = synthetic_scores(5, 5);
+        let set = generate_pseudo_labels(&scored, 0.5, 1000);
+        assert_eq!(set.labels.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn invalid_rho_panics() {
+        let _ = generate_pseudo_labels(&synthetic_scores(2, 2), 1.5, 4);
+    }
+
+    #[test]
+    fn hill_climbing_finds_better_threshold() {
+        // The objective peaks at theta = 0.62; start at 0.5.
+        let objective = |theta: f32| 1.0 - (theta - 0.62).abs();
+        let (best_theta, best_score) = hill_climb_threshold(0.5, 0.05, 20, objective);
+        assert!((best_theta - 0.62).abs() < 0.05, "found {best_theta}");
+        assert!(best_score > 0.95);
+    }
+
+    #[test]
+    fn hill_climbing_respects_trial_budget() {
+        let mut calls = 0usize;
+        let _ = hill_climb_threshold(0.5, 0.1, 7, |_| {
+            calls += 1;
+            0.0
+        });
+        assert!(calls <= 7);
+    }
+}

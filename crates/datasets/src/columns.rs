@@ -1,0 +1,303 @@
+//! Synthetic column corpus for semantic type detection / column matching (§V-B, §VI-D).
+//!
+//! The paper uses ~119k columns from the VizNet corpus annotated with 78 semantic types.
+//! Offline, this module generates a typed column corpus: each column is assigned a semantic
+//! type (and, for some types, a finer-grained subtype such as "central EU city" inside
+//! "city", mirroring Table IX), and its values are drawn from that type's value generator
+//! with light noise. Column matching labels two columns as a match iff they share the
+//! coarse semantic type; the subtype labels let the experiments verify that Sudowoodo's
+//! discovered clusters are finer-grained than the coarse label set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sudowoodo_text::serialize::serialize_column;
+use sudowoodo_text::Column;
+
+use crate::vocab;
+
+/// A column corpus with coarse and fine-grained type labels.
+#[derive(Clone, Debug)]
+pub struct ColumnCorpus {
+    /// The columns.
+    pub columns: Vec<Column>,
+    /// Coarse semantic type index per column (index into [`ColumnCorpus::type_names`]).
+    pub type_labels: Vec<usize>,
+    /// Coarse type names.
+    pub type_names: Vec<String>,
+    /// Fine-grained subtype index per column (index into [`ColumnCorpus::fine_names`]).
+    pub fine_labels: Vec<usize>,
+    /// Fine-grained subtype names.
+    pub fine_names: Vec<String>,
+}
+
+impl ColumnCorpus {
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Serializations of every column (bare-bone `[VAL] ...` scheme, capped at `max_values`).
+    pub fn corpus(&self, max_values: usize) -> Vec<String> {
+        self.columns.iter().map(|c| serialize_column(c, max_values)).collect()
+    }
+
+    /// `true` when two columns share the coarse semantic type (the matching criterion).
+    pub fn same_type(&self, i: usize, j: usize) -> bool {
+        self.type_labels[i] == self.type_labels[j]
+    }
+}
+
+/// Generation profile for the column corpus.
+#[derive(Clone, Debug)]
+pub struct ColumnProfile {
+    /// Number of columns to generate (at scale 1.0).
+    pub num_columns: usize,
+    /// Values per column (sampled uniformly within the range).
+    pub min_values: usize,
+    /// Upper bound of values per column.
+    pub max_values: usize,
+}
+
+impl Default for ColumnProfile {
+    fn default() -> Self {
+        ColumnProfile { num_columns: 600, min_values: 8, max_values: 20 }
+    }
+}
+
+/// The coarse semantic types of the synthetic corpus with their fine-grained subtypes.
+/// Each entry is `(coarse type, subtypes)`.
+fn type_catalog() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("city", vec!["us city", "central eu city"]),
+        ("state", vec!["us state code", "us state name"]),
+        ("name", vec!["person name", "company name"]),
+        ("result", vec!["ball game result", "baseball in-game event"]),
+        ("language", vec!["language"]),
+        ("club", vec!["club"]),
+        ("weight", vec!["weight"]),
+        ("year", vec!["year"]),
+        ("age", vec!["age"]),
+        ("price", vec!["price"]),
+        ("gender", vec!["gender"]),
+        ("currency", vec!["currency"]),
+        ("phone", vec!["phone"]),
+        ("zip", vec!["zip"]),
+        ("brand", vec!["brand"]),
+        ("venue", vec!["venue"]),
+        ("style", vec!["beer style"]),
+        ("street", vec!["street address"]),
+        ("artist", vec!["artist"]),
+        ("measure", vec!["medical measure"]),
+    ]
+}
+
+/// Generates one value of the given fine-grained subtype.
+fn generate_value(subtype: &str, rng: &mut impl Rng) -> String {
+    match subtype {
+        "us city" => vocab::pick(vocab::US_CITIES, rng).to_string(),
+        "central eu city" => vocab::pick(vocab::EU_CITIES, rng).to_string(),
+        "us state code" => vocab::pick(vocab::US_STATES, rng).to_string(),
+        "us state name" => vocab::pick(vocab::US_STATE_NAMES, rng).to_string(),
+        "person name" => vocab::person_name(rng),
+        "company name" => vocab::pick(vocab::COMPANIES, rng).to_string(),
+        "ball game result" => vocab::pick(vocab::GAME_RESULTS, rng).to_string(),
+        "baseball in-game event" => vocab::pick(vocab::BASEBALL_EVENTS, rng).to_string(),
+        "language" => vocab::pick(vocab::LANGUAGES, rng).to_string(),
+        "club" => vocab::pick(vocab::CLUBS, rng).to_string(),
+        "weight" => vocab::pick(vocab::WEIGHTS, rng).to_string(),
+        "year" => rng.gen_range(1950..2023).to_string(),
+        "age" => rng.gen_range(1..95).to_string(),
+        "price" => vocab::price(1.0, 500.0, rng),
+        "gender" => vocab::pick(vocab::GENDERS, rng).to_string(),
+        "currency" => vocab::pick(vocab::CURRENCIES, rng).to_string(),
+        "phone" => vocab::phone(rng),
+        "zip" => vocab::zip(rng),
+        "brand" => vocab::pick(vocab::BRANDS, rng).to_string(),
+        "venue" => vocab::pick(vocab::VENUES, rng).to_string(),
+        "beer style" => vocab::pick(vocab::BEER_STYLES, rng).to_string(),
+        "street address" => {
+            format!("{} {}", rng.gen_range(1..999), vocab::pick(vocab::STREETS, rng))
+        }
+        "artist" => vocab::pick(vocab::ARTISTS, rng).to_string(),
+        "medical measure" => vocab::pick(vocab::MEASURES, rng).to_string(),
+        other => panic!("unknown column subtype: {other}"),
+    }
+}
+
+impl ColumnProfile {
+    /// Generates the corpus at the given scale and seed.
+    pub fn generate(&self, scale: f32, seed: u64) -> ColumnCorpus {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c01); // distinct stream per task
+        let num_columns = ((self.num_columns as f32 * scale).round() as usize).max(20);
+        let catalog = type_catalog();
+        let type_names: Vec<String> = catalog.iter().map(|(t, _)| t.to_string()).collect();
+        let fine_names: Vec<String> = catalog
+            .iter()
+            .flat_map(|(_, subs)| subs.iter().map(|s| s.to_string()))
+            .collect();
+        // Map fine index -> coarse index.
+        let mut fine_to_coarse = Vec::new();
+        for (coarse_idx, (_, subs)) in catalog.iter().enumerate() {
+            for _ in subs {
+                fine_to_coarse.push(coarse_idx);
+            }
+        }
+
+        let mut columns = Vec::with_capacity(num_columns);
+        let mut type_labels = Vec::with_capacity(num_columns);
+        let mut fine_labels = Vec::with_capacity(num_columns);
+        for _ in 0..num_columns {
+            let fine = rng.gen_range(0..fine_names.len());
+            let coarse = fine_to_coarse[fine];
+            let len = rng.gen_range(self.min_values..=self.max_values);
+            let mut values: Vec<String> = (0..len)
+                .map(|_| generate_value(&fine_names[fine], &mut rng))
+                .collect();
+            // Light noise: a small fraction of cells come from a different type, as in messy
+            // web tables.
+            if rng.gen_bool(0.2) && !values.is_empty() {
+                let other = rng.gen_range(0..fine_names.len());
+                let slot = rng.gen_range(0..values.len());
+                values[slot] = generate_value(&fine_names[other], &mut rng);
+            }
+            columns.push(Column { name: Some(type_names[coarse].clone()), values });
+            type_labels.push(coarse);
+            fine_labels.push(fine);
+        }
+        ColumnCorpus { columns, type_labels, type_names, fine_labels, fine_names }
+    }
+}
+
+/// A labeled column pair for training/evaluating pairwise column matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnPair {
+    /// Index of the first column.
+    pub left: usize,
+    /// Index of the second column.
+    pub right: usize,
+    /// `true` when the two columns share the coarse semantic type.
+    pub label: bool,
+}
+
+/// Samples `n` labeled column pairs from candidate pairs, preserving the candidate
+/// positive/negative mix, and splits them train/valid/test 2:1:1 (the paper's protocol).
+pub fn sample_labeled_pairs(
+    corpus: &ColumnCorpus,
+    candidates: &[(usize, usize)],
+    n: usize,
+    seed: u64,
+) -> (Vec<ColumnPair>, Vec<ColumnPair>, Vec<ColumnPair>) {
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: Vec<(usize, usize)> = candidates.to_vec();
+    chosen.shuffle(&mut rng);
+    chosen.truncate(n);
+    let pairs: Vec<ColumnPair> = chosen
+        .into_iter()
+        .map(|(l, r)| ColumnPair { left: l, right: r, label: corpus.same_type(l, r) })
+        .collect();
+    let n = pairs.len();
+    let train_end = n / 2;
+    let valid_end = n * 3 / 4;
+    (
+        pairs[..train_end].to_vec(),
+        pairs[train_end..valid_end].to_vec(),
+        pairs[valid_end..].to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_columns_of_every_type_and_valid_labels() {
+        let corpus = ColumnProfile::default().generate(0.5, 3);
+        assert!(!corpus.is_empty());
+        assert!(corpus.len() >= 100);
+        assert_eq!(corpus.columns.len(), corpus.type_labels.len());
+        assert_eq!(corpus.columns.len(), corpus.fine_labels.len());
+        for (&t, &f) in corpus.type_labels.iter().zip(&corpus.fine_labels) {
+            assert!(t < corpus.type_names.len());
+            assert!(f < corpus.fine_names.len());
+        }
+        // With 300 columns and 20 types, every coarse type should appear.
+        let mut seen = vec![false; corpus.type_names.len()];
+        for &t in &corpus.type_labels {
+            seen[t] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some coarse type never generated");
+    }
+
+    #[test]
+    fn same_type_matches_labels() {
+        let corpus = ColumnProfile::default().generate(0.2, 5);
+        for i in 0..corpus.len().min(20) {
+            for j in 0..corpus.len().min(20) {
+                assert_eq!(
+                    corpus.same_type(i, j),
+                    corpus.type_labels[i] == corpus.type_labels[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_uses_val_markers_and_caps_length() {
+        let corpus = ColumnProfile::default().generate(0.2, 7);
+        let texts = corpus.corpus(5);
+        assert_eq!(texts.len(), corpus.len());
+        for t in &texts {
+            assert!(t.starts_with("[VAL]"));
+            assert!(t.matches("[VAL]").count() <= 5);
+        }
+    }
+
+    #[test]
+    fn subtypes_share_coarse_type_but_differ_in_values() {
+        let corpus = ColumnProfile { num_columns: 400, min_values: 10, max_values: 12 }.generate(1.0, 11);
+        // Find a "us city" column and a "central eu city" column: same coarse type.
+        let us = corpus.fine_names.iter().position(|n| n == "us city").unwrap();
+        let eu = corpus.fine_names.iter().position(|n| n == "central eu city").unwrap();
+        let us_col = corpus.fine_labels.iter().position(|&f| f == us);
+        let eu_col = corpus.fine_labels.iter().position(|&f| f == eu);
+        let (us_col, eu_col) = (us_col.expect("us city column"), eu_col.expect("eu city column"));
+        assert!(corpus.same_type(us_col, eu_col));
+        assert_ne!(corpus.fine_labels[us_col], corpus.fine_labels[eu_col]);
+        // Their value sets should be (almost) disjoint.
+        let us_values: std::collections::HashSet<&String> =
+            corpus.columns[us_col].values.iter().collect();
+        let overlap = corpus.columns[eu_col]
+            .values
+            .iter()
+            .filter(|v| us_values.contains(v))
+            .count();
+        assert!(overlap <= 2);
+    }
+
+    #[test]
+    fn labeled_pair_sampling_respects_split_and_labels() {
+        let corpus = ColumnProfile::default().generate(0.3, 13);
+        let candidates: Vec<(usize, usize)> = (0..corpus.len() - 1).map(|i| (i, i + 1)).collect();
+        let (train, valid, test) = sample_labeled_pairs(&corpus, &candidates, 100, 1);
+        assert_eq!(train.len() + valid.len() + test.len(), 100);
+        assert!(train.len() >= valid.len());
+        for p in train.iter().chain(&valid).chain(&test) {
+            assert_eq!(p.label, corpus.same_type(p.left, p.right));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ColumnProfile::default().generate(0.2, 99);
+        let b = ColumnProfile::default().generate(0.2, 99);
+        assert_eq!(a.columns, b.columns);
+        assert_eq!(a.type_labels, b.type_labels);
+    }
+}

@@ -1,0 +1,139 @@
+//! Jaccard-based difficulty profiling of EM test sets (Table XVI / Appendix E).
+//!
+//! The paper splits each test set into five equal-size difficulty levels: pairs are ranked
+//! so that the hardest level contains the positive pairs with the *lowest* Jaccard
+//! similarity and the negative pairs with the *highest* Jaccard similarity (i.e. the pairs a
+//! purely syntactic matcher gets wrong), keeping the positive rate of every level equal.
+
+use sudowoodo_text::jaccard::jaccard_text;
+
+use crate::em::{EmDataset, LabeledPair};
+
+/// One difficulty level of a test set.
+#[derive(Clone, Debug)]
+pub struct DifficultyLevel {
+    /// Level number; 1 = easiest, `num_levels` = hardest.
+    pub level: usize,
+    /// The pairs of this level.
+    pub pairs: Vec<LabeledPair>,
+    /// Jaccard range `[min, max]` of the positive pairs in this level.
+    pub positive_jaccard_range: (f32, f32),
+    /// Jaccard range `[min, max]` of the negative pairs in this level.
+    pub negative_jaccard_range: (f32, f32),
+}
+
+/// Splits `pairs` (typically a test set) into `num_levels` difficulty levels of equal size
+/// and equal positive ratio.
+pub fn difficulty_levels(
+    dataset: &EmDataset,
+    pairs: &[LabeledPair],
+    num_levels: usize,
+) -> Vec<DifficultyLevel> {
+    assert!(num_levels >= 1, "need at least one level");
+    let jaccard_of = |p: &LabeledPair| {
+        jaccard_text(&dataset.table_a[p.a].text(), &dataset.table_b[p.b].text())
+    };
+
+    // Positives: ascending Jaccard = hardest first. Negatives: descending Jaccard = hardest
+    // first. Level `num_levels` takes the head of both lists.
+    let mut positives: Vec<(LabeledPair, f32)> = pairs
+        .iter()
+        .filter(|p| p.label)
+        .map(|p| (*p, jaccard_of(p)))
+        .collect();
+    let mut negatives: Vec<(LabeledPair, f32)> = pairs
+        .iter()
+        .filter(|p| !p.label)
+        .map(|p| (*p, jaccard_of(p)))
+        .collect();
+    positives.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    negatives.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut levels = Vec::with_capacity(num_levels);
+    for i in 0..num_levels {
+        // i = 0 -> hardest (level number num_levels), i = num_levels-1 -> easiest (level 1)
+        let pos_chunk = chunk(&positives, i, num_levels);
+        let neg_chunk = chunk(&negatives, i, num_levels);
+        let range = |chunk: &[(LabeledPair, f32)]| {
+            if chunk.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (
+                    chunk.iter().map(|(_, j)| *j).fold(f32::MAX, f32::min),
+                    chunk.iter().map(|(_, j)| *j).fold(f32::MIN, f32::max),
+                )
+            }
+        };
+        let mut level_pairs: Vec<LabeledPair> = pos_chunk.iter().map(|(p, _)| *p).collect();
+        level_pairs.extend(neg_chunk.iter().map(|(p, _)| *p));
+        levels.push(DifficultyLevel {
+            level: num_levels - i,
+            pairs: level_pairs,
+            positive_jaccard_range: range(&pos_chunk),
+            negative_jaccard_range: range(&neg_chunk),
+        });
+    }
+    levels
+}
+
+fn chunk<T: Clone>(items: &[T], index: usize, num_chunks: usize) -> Vec<T> {
+    let n = items.len();
+    let start = n * index / num_chunks;
+    let end = n * (index + 1) / num_chunks;
+    items[start..end].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::EmProfile;
+
+    #[test]
+    fn levels_partition_the_test_set_with_equal_positive_ratio() {
+        let ds = EmProfile::abt_buy().generate(0.4, 19);
+        let levels = difficulty_levels(&ds, &ds.test, 5);
+        assert_eq!(levels.len(), 5);
+        let total: usize = levels.iter().map(|l| l.pairs.len()).sum();
+        assert_eq!(total, ds.test.len());
+        // Level sizes within 2 of each other, positive counts within 2 of each other.
+        let sizes: Vec<usize> = levels.iter().map(|l| l.pairs.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 2);
+        let pos_counts: Vec<usize> = levels
+            .iter()
+            .map(|l| l.pairs.iter().filter(|p| p.label).count())
+            .collect();
+        assert!(pos_counts.iter().max().unwrap() - pos_counts.iter().min().unwrap() <= 2);
+    }
+
+    #[test]
+    fn hardest_level_has_lowest_positive_and_highest_negative_jaccard() {
+        let ds = EmProfile::walmart_amazon().generate(0.4, 23);
+        let levels = difficulty_levels(&ds, &ds.test, 5);
+        let hardest = levels.iter().find(|l| l.level == 5).unwrap();
+        let easiest = levels.iter().find(|l| l.level == 1).unwrap();
+        assert!(
+            hardest.positive_jaccard_range.1 <= easiest.positive_jaccard_range.0 + 1e-6,
+            "hardest positives should have lower Jaccard than easiest positives"
+        );
+        assert!(
+            hardest.negative_jaccard_range.0 >= easiest.negative_jaccard_range.1 - 1e-6,
+            "hardest negatives should have higher Jaccard than easiest negatives"
+        );
+    }
+
+    #[test]
+    fn single_level_contains_everything() {
+        let ds = EmProfile::dblp_acm().generate(0.3, 29);
+        let levels = difficulty_levels(&ds, &ds.test, 1);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].pairs.len(), ds.test.len());
+        assert_eq!(levels[0].level, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_rejected() {
+        let ds = EmProfile::dblp_acm().generate(0.2, 31);
+        let _ = difficulty_levels(&ds, &ds.test, 0);
+    }
+}

@@ -1,0 +1,704 @@
+//! Synthetic Entity Matching benchmarks.
+//!
+//! The paper evaluates on the DeepMatcher benchmark suite (Abt-Buy, Amazon-Google,
+//! DBLP-ACM, DBLP-Scholar, Walmart-Amazon, plus Beer / Fodors-Zagats / iTunes-Amazon for
+//! the fully supervised setting, Tables II and XVII). Those datasets are not available
+//! offline, so this module generates synthetic counterparts that reproduce the properties
+//! the paper's analysis attributes performance differences to:
+//!
+//! * two entity tables with controlled size asymmetry,
+//! * a controlled fraction of matching entities rendered with source-specific noise
+//!   (abbreviations, dropped tokens, typos, reordered words, numeric jitter),
+//! * hard non-matching pairs drawn from the same "family" (same brand & product line, same
+//!   research group & topic, ...), which is what makes Walmart-Amazon-like datasets hard,
+//! * labeled pair sets with the paper's positive rates, split 3:1:1.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use sudowoodo_text::serialize::serialize_record;
+use sudowoodo_text::Record;
+
+use crate::perturb::{perturb_number, perturb_text};
+use crate::vocab;
+
+/// A labeled candidate pair referencing rows of table A and table B.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// Row index in table A.
+    pub a: usize,
+    /// Row index in table B.
+    pub b: usize,
+    /// `true` when the two rows refer to the same real-world entity.
+    pub label: bool,
+}
+
+/// A complete EM dataset: two tables, gold matches, and labeled splits.
+#[derive(Clone, Debug)]
+pub struct EmDataset {
+    /// Dataset name (mirrors the paper's abbreviations: AB, AG, DA, DS, WA, ...).
+    pub name: String,
+    /// Left entity table.
+    pub table_a: Vec<Record>,
+    /// Right entity table.
+    pub table_b: Vec<Record>,
+    /// All true matching `(a, b)` pairs (used for blocking recall).
+    pub gold_matches: Vec<(usize, usize)>,
+    /// Training pairs.
+    pub train: Vec<LabeledPair>,
+    /// Validation pairs.
+    pub valid: Vec<LabeledPair>,
+    /// Test pairs.
+    pub test: Vec<LabeledPair>,
+}
+
+/// Summary statistics in the layout of Table II.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmStats {
+    /// Dataset name.
+    pub name: String,
+    /// |Table A|.
+    pub size_a: usize,
+    /// |Table B|.
+    pub size_b: usize,
+    /// Number of train + validation pairs.
+    pub train_valid: usize,
+    /// Number of test pairs.
+    pub test: usize,
+    /// Positive rate over all labeled pairs.
+    pub positive_rate: f32,
+}
+
+impl EmDataset {
+    /// All labeled pairs (train + valid + test).
+    pub fn all_pairs(&self) -> Vec<LabeledPair> {
+        let mut v = self.train.clone();
+        v.extend(self.valid.iter().copied());
+        v.extend(self.test.iter().copied());
+        v
+    }
+
+    /// Serializations of every entity in both tables (the unlabeled pre-training corpus).
+    pub fn corpus(&self) -> Vec<String> {
+        self.table_a
+            .iter()
+            .chain(self.table_b.iter())
+            .map(serialize_record)
+            .collect()
+    }
+
+    /// Table II style statistics.
+    pub fn stats(&self) -> EmStats {
+        let all = self.all_pairs();
+        let pos = all.iter().filter(|p| p.label).count();
+        EmStats {
+            name: self.name.clone(),
+            size_a: self.table_a.len(),
+            size_b: self.table_b.len(),
+            train_valid: self.train.len() + self.valid.len(),
+            test: self.test.len(),
+            positive_rate: if all.is_empty() { 0.0 } else { pos as f32 / all.len() as f32 },
+        }
+    }
+}
+
+/// The entity domain determining schema and vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Domain {
+    /// Consumer products / electronics / software.
+    Product,
+    /// Bibliographic records.
+    Publication,
+    /// Restaurants.
+    Restaurant,
+    /// Music tracks.
+    Song,
+    /// Beers.
+    Beer,
+}
+
+/// Generation profile for one synthetic EM dataset.
+#[derive(Clone, Debug)]
+pub struct EmProfile {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Entity domain.
+    pub domain: Domain,
+    /// Size of table A (at scale 1.0).
+    pub size_a: usize,
+    /// Size of table B (at scale 1.0).
+    pub size_b: usize,
+    /// Number of labeled pairs (at scale 1.0).
+    pub num_pairs: usize,
+    /// Fraction of labeled pairs that are positive.
+    pub positive_rate: f32,
+    /// Perturbation level applied when rendering table-B entities (dataset difficulty).
+    pub match_noise: f32,
+    /// Fraction of negative pairs drawn from the same entity family (hard negatives).
+    pub hard_negative_rate: f32,
+    /// Fraction of table-B rows that have a counterpart in table A.
+    pub overlap: f32,
+}
+
+impl EmProfile {
+    /// Abt-Buy analog: mid-sized product tables, noisy descriptions.
+    pub fn abt_buy() -> Self {
+        EmProfile {
+            name: "Abt-Buy",
+            domain: Domain::Product,
+            size_a: 300,
+            size_b: 300,
+            num_pairs: 1400,
+            positive_rate: 0.107,
+            match_noise: 0.45,
+            hard_negative_rate: 0.5,
+            overlap: 0.5,
+        }
+    }
+
+    /// Amazon-Google analog: asymmetric product tables, heavier noise.
+    pub fn amazon_google() -> Self {
+        EmProfile {
+            name: "Amazon-Google",
+            domain: Domain::Product,
+            size_a: 300,
+            size_b: 650,
+            num_pairs: 1600,
+            positive_rate: 0.102,
+            match_noise: 0.6,
+            hard_negative_rate: 0.6,
+            overlap: 0.35,
+        }
+    }
+
+    /// DBLP-ACM analog: clean bibliographic records (the easy dataset).
+    pub fn dblp_acm() -> Self {
+        EmProfile {
+            name: "DBLP-ACM",
+            domain: Domain::Publication,
+            size_a: 500,
+            size_b: 450,
+            num_pairs: 1700,
+            positive_rate: 0.18,
+            match_noise: 0.1,
+            hard_negative_rate: 0.3,
+            overlap: 0.8,
+        }
+    }
+
+    /// DBLP-Scholar analog: large noisy right table.
+    pub fn dblp_scholar() -> Self {
+        EmProfile {
+            name: "DBLP-Scholar",
+            domain: Domain::Publication,
+            size_a: 500,
+            size_b: 1600,
+            num_pairs: 2400,
+            positive_rate: 0.186,
+            match_noise: 0.35,
+            hard_negative_rate: 0.4,
+            overlap: 0.28,
+        }
+    }
+
+    /// Walmart-Amazon analog: the hardest product dataset (strong noise, many hard negatives).
+    pub fn walmart_amazon() -> Self {
+        EmProfile {
+            name: "Walmart-Amazon",
+            domain: Domain::Product,
+            size_a: 350,
+            size_b: 1500,
+            num_pairs: 1400,
+            positive_rate: 0.094,
+            match_noise: 0.65,
+            hard_negative_rate: 0.7,
+            overlap: 0.25,
+        }
+    }
+
+    /// Beer analog (fully supervised setting).
+    pub fn beer() -> Self {
+        EmProfile {
+            name: "Beer",
+            domain: Domain::Beer,
+            size_a: 350,
+            size_b: 300,
+            num_pairs: 360,
+            positive_rate: 0.151,
+            match_noise: 0.3,
+            hard_negative_rate: 0.4,
+            overlap: 0.3,
+        }
+    }
+
+    /// Fodors-Zagats analog (fully supervised setting; nearly clean).
+    pub fn fodors_zagats() -> Self {
+        EmProfile {
+            name: "Fodors-Zagats",
+            domain: Domain::Restaurant,
+            size_a: 250,
+            size_b: 180,
+            num_pairs: 500,
+            positive_rate: 0.116,
+            match_noise: 0.2,
+            hard_negative_rate: 0.3,
+            overlap: 0.45,
+        }
+    }
+
+    /// iTunes-Amazon analog (fully supervised setting).
+    pub fn itunes_amazon() -> Self {
+        EmProfile {
+            name: "iTunes-Amazon",
+            domain: Domain::Song,
+            size_a: 400,
+            size_b: 700,
+            num_pairs: 430,
+            positive_rate: 0.245,
+            match_noise: 0.4,
+            hard_negative_rate: 0.5,
+            overlap: 0.3,
+        }
+    }
+
+    /// The five datasets of the semi-supervised / unsupervised experiments (Tables V, VI, VII).
+    pub fn semi_supervised_suite() -> Vec<EmProfile> {
+        vec![
+            Self::abt_buy(),
+            Self::amazon_google(),
+            Self::dblp_acm(),
+            Self::dblp_scholar(),
+            Self::walmart_amazon(),
+        ]
+    }
+
+    /// The eight datasets of the fully supervised experiment (Table XVIII).
+    pub fn full_suite() -> Vec<EmProfile> {
+        vec![
+            Self::abt_buy(),
+            Self::amazon_google(),
+            Self::beer(),
+            Self::dblp_acm(),
+            Self::dblp_scholar(),
+            Self::fodors_zagats(),
+            Self::itunes_amazon(),
+            Self::walmart_amazon(),
+        ]
+    }
+
+    /// Generates the dataset at the given scale (1.0 = profile sizes) and seed.
+    pub fn generate(&self, scale: f32, seed: u64) -> EmDataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(self.name));
+        let size_a = scaled(self.size_a, scale);
+        let size_b = scaled(self.size_b, scale);
+        let num_pairs = scaled(self.num_pairs, scale);
+
+        // --- 1. generate underlying entities grouped into families --------------------
+        let matched = ((size_b as f32) * self.overlap).round() as usize;
+        let matched = matched.min(size_a).min(size_b);
+        let num_entities = size_a + size_b - matched;
+        let family_size = 4usize;
+        let num_families = num_entities.div_ceil(family_size).max(1);
+        let mut entities: Vec<Entity> = Vec::with_capacity(num_entities);
+        for family in 0..num_families {
+            let family_seed = FamilySeed::generate(self.domain, &mut rng);
+            for _ in 0..family_size {
+                if entities.len() == num_entities {
+                    break;
+                }
+                entities.push(Entity::generate(self.domain, family, &family_seed, &mut rng));
+            }
+        }
+
+        // --- 2. assign entities to tables ---------------------------------------------
+        // Entities [0, size_a) appear in A. Entities [0, matched) also appear in B,
+        // together with entities [size_a, size_a + (size_b - matched)).
+        let mut table_a: Vec<Record> = Vec::with_capacity(size_a);
+        for entity in entities.iter().take(size_a) {
+            table_a.push(entity.render_a(&mut rng));
+        }
+        let mut table_b: Vec<Record> = Vec::with_capacity(size_b);
+        let mut b_entity_ids: Vec<usize> = Vec::with_capacity(size_b);
+        for (id, entity) in entities.iter().enumerate().take(matched) {
+            table_b.push(entity.render_b(self.match_noise, &mut rng));
+            b_entity_ids.push(id);
+        }
+        for (id, entity) in entities.iter().enumerate().skip(size_a).take(size_b - matched) {
+            table_b.push(entity.render_b(self.match_noise, &mut rng));
+            b_entity_ids.push(id);
+        }
+        // Shuffle table B so matched rows are not all at the front.
+        let mut b_order: Vec<usize> = (0..table_b.len()).collect();
+        b_order.shuffle(&mut rng);
+        let table_b: Vec<Record> = b_order.iter().map(|&i| table_b[i].clone()).collect();
+        let b_entity_ids: Vec<usize> = b_order.iter().map(|&i| b_entity_ids[i]).collect();
+
+        // --- 3. gold matches ------------------------------------------------------------
+        let entity_to_b: HashMap<usize, usize> = b_entity_ids
+            .iter()
+            .enumerate()
+            .map(|(b_idx, &entity)| (entity, b_idx))
+            .collect();
+        let mut gold_matches: Vec<(usize, usize)> = Vec::new();
+        for a_idx in 0..size_a.min(entities.len()) {
+            if let Some(&b_idx) = entity_to_b.get(&a_idx) {
+                gold_matches.push((a_idx, b_idx));
+            }
+        }
+
+        // --- 4. labeled pairs -------------------------------------------------------------
+        let num_pos = ((num_pairs as f32) * self.positive_rate).round() as usize;
+        let num_pos = num_pos.min(gold_matches.len().max(1) * 4); // allow re-sampling
+        let num_neg = num_pairs.saturating_sub(num_pos);
+        // Group table-B rows by family for hard-negative sampling.
+        let mut family_to_b: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (b_idx, &entity) in b_entity_ids.iter().enumerate() {
+            family_to_b.entry(entities[entity].family).or_default().push(b_idx);
+        }
+        let mut pairs: Vec<LabeledPair> = Vec::with_capacity(num_pairs);
+        for _ in 0..num_pos {
+            if gold_matches.is_empty() {
+                break;
+            }
+            let &(a, b) = gold_matches.choose(&mut rng).expect("non-empty");
+            pairs.push(LabeledPair { a, b, label: true });
+        }
+        let gold_set: std::collections::HashSet<(usize, usize)> =
+            gold_matches.iter().copied().collect();
+        let mut attempts = 0;
+        while pairs.len() < num_pos + num_neg && attempts < num_pairs * 20 {
+            attempts += 1;
+            let a = rng.gen_range(0..table_a.len());
+            let b = if rng.gen::<f32>() < self.hard_negative_rate {
+                // Hard negative: a table-B row from the same family as `a`, if one exists.
+                let family = entities[a].family;
+                match family_to_b.get(&family).and_then(|v| v.choose(&mut rng)) {
+                    Some(&b) => b,
+                    None => rng.gen_range(0..table_b.len()),
+                }
+            } else {
+                rng.gen_range(0..table_b.len())
+            };
+            if gold_set.contains(&(a, b)) {
+                continue;
+            }
+            pairs.push(LabeledPair { a, b, label: false });
+        }
+        pairs.shuffle(&mut rng);
+
+        // --- 5. split 3:1:1 -----------------------------------------------------------------
+        let n = pairs.len();
+        let train_end = n * 3 / 5;
+        let valid_end = n * 4 / 5;
+        EmDataset {
+            name: self.name.to_string(),
+            table_a,
+            table_b,
+            gold_matches,
+            train: pairs[..train_end].to_vec(),
+            valid: pairs[train_end..valid_end].to_vec(),
+            test: pairs[valid_end..].to_vec(),
+        }
+    }
+}
+
+fn scaled(base: usize, scale: f32) -> usize {
+    ((base as f32 * scale).round() as usize).max(4)
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Family-level attributes shared by hard-negative siblings.
+struct FamilySeed {
+    brand: String,
+    noun: String,
+    topic: String,
+    venue: String,
+    city: String,
+    state_idx: usize,
+    artist: String,
+    brewery: String,
+}
+
+impl FamilySeed {
+    fn generate(domain: Domain, rng: &mut impl Rng) -> Self {
+        let _ = domain;
+        FamilySeed {
+            brand: vocab::pick(vocab::BRANDS, rng).to_string(),
+            noun: vocab::pick(vocab::PRODUCT_NOUNS, rng).to_string(),
+            topic: vocab::pick(vocab::PAPER_TOPICS, rng).to_string(),
+            venue: vocab::pick(vocab::VENUES, rng).to_string(),
+            city: vocab::pick(vocab::US_CITIES, rng).to_string(),
+            state_idx: rng.gen_range(0..vocab::US_STATES.len()),
+            artist: vocab::pick(vocab::ARTISTS, rng).to_string(),
+            brewery: vocab::pick(vocab::BREWERIES, rng).to_string(),
+        }
+    }
+}
+
+/// An underlying real-world entity with canonical attribute values.
+struct Entity {
+    family: usize,
+    attributes: Vec<(String, String)>,
+    domain: Domain,
+}
+
+impl Entity {
+    fn generate(domain: Domain, family: usize, seed: &FamilySeed, rng: &mut impl Rng) -> Self {
+        let attributes = match domain {
+            Domain::Product => {
+                let modifier = vocab::pick(vocab::PRODUCT_MODIFIERS, rng);
+                let model = vocab::model_number(rng);
+                let color = vocab::pick(vocab::COLORS, rng);
+                let price = vocab::price(8.0, 900.0, rng);
+                vec![
+                    (
+                        "title".to_string(),
+                        format!("{} {} {} {}", seed.brand, seed.noun, modifier, model),
+                    ),
+                    ("brand".to_string(), seed.brand.clone()),
+                    ("modelno".to_string(), model),
+                    ("description".to_string(), format!("{} {} {}", seed.noun, color, modifier)),
+                    ("price".to_string(), price),
+                ]
+            }
+            Domain::Publication => {
+                let frame = vocab::pick(vocab::PAPER_FRAMES, rng);
+                let year = rng.gen_range(1995..2021).to_string();
+                let authors = format!(
+                    "{} and {}",
+                    vocab::person_name(rng),
+                    vocab::person_name(rng)
+                );
+                vec![
+                    ("title".to_string(), format!("{} {}", frame, seed.topic)),
+                    ("authors".to_string(), authors),
+                    ("venue".to_string(), seed.venue.clone()),
+                    ("year".to_string(), year),
+                ]
+            }
+            Domain::Restaurant => {
+                let name = vocab::pick(vocab::RESTAURANTS, rng);
+                let number = rng.gen_range(1..999);
+                let street = vocab::pick(vocab::STREETS, rng);
+                vec![
+                    ("name".to_string(), name.to_string()),
+                    ("address".to_string(), format!("{number} {street}")),
+                    ("city".to_string(), seed.city.clone()),
+                    ("state".to_string(), vocab::US_STATES[seed.state_idx].to_string()),
+                    ("phone".to_string(), vocab::phone(rng)),
+                ]
+            }
+            Domain::Song => {
+                let title = format!(
+                    "{} {}",
+                    vocab::pick(vocab::SONG_WORDS, rng),
+                    vocab::pick(vocab::SONG_WORDS, rng)
+                );
+                let album = format!("{} album", vocab::pick(vocab::SONG_WORDS, rng));
+                vec![
+                    ("song".to_string(), title),
+                    ("artist".to_string(), seed.artist.clone()),
+                    ("album".to_string(), album),
+                    ("price".to_string(), vocab::price(0.69, 1.49, rng)),
+                ]
+            }
+            Domain::Beer => {
+                let style = vocab::pick(vocab::BEER_STYLES, rng);
+                let name = format!("{} {}", vocab::pick(vocab::SONG_WORDS, rng), style);
+                let abv = format!("{:.3}", rng.gen_range(0.03..0.12));
+                vec![
+                    ("beer_name".to_string(), name),
+                    ("style".to_string(), style.to_string()),
+                    ("brewery".to_string(), seed.brewery.clone()),
+                    ("abv".to_string(), abv),
+                ]
+            }
+        };
+        Entity { family, attributes, domain }
+    }
+
+    /// Renders the entity as a table-A record (canonical, clean values; A-side schema).
+    fn render_a(&self, _rng: &mut impl Rng) -> Record {
+        let keep: Vec<&str> = match self.domain {
+            Domain::Product => vec!["title", "description", "price"],
+            Domain::Publication => vec!["title", "authors", "venue", "year"],
+            Domain::Restaurant => vec!["name", "address", "city", "state", "phone"],
+            Domain::Song => vec!["song", "artist", "album", "price"],
+            Domain::Beer => vec!["beer_name", "style", "brewery", "abv"],
+        };
+        Record::from_pairs(
+            self.attributes
+                .iter()
+                .filter(|(a, _)| keep.contains(&a.as_str()))
+                .map(|(a, v)| (a.clone(), v.clone())),
+        )
+    }
+
+    /// Renders the entity as a table-B record: B-side schema plus source noise.
+    fn render_b(&self, noise: f32, rng: &mut impl Rng) -> Record {
+        let keep: Vec<&str> = match self.domain {
+            Domain::Product => vec!["title", "brand", "modelno", "price"],
+            Domain::Publication => vec!["title", "authors", "venue", "year"],
+            Domain::Restaurant => vec!["name", "address", "city", "phone"],
+            Domain::Song => vec!["song", "artist", "album", "price"],
+            Domain::Beer => vec!["beer_name", "style", "brewery", "abv"],
+        };
+        let mut pairs = Vec::new();
+        for (attr, value) in &self.attributes {
+            if !keep.contains(&attr.as_str()) {
+                continue;
+            }
+            let rendered = if attr == "price" || attr == "abv" || attr == "year" {
+                if rng.gen::<f32>() < noise * 0.5 {
+                    perturb_number(value, 0.08, rng)
+                } else {
+                    value.clone()
+                }
+            } else if attr == "modelno" || attr == "phone" {
+                // Identifier attributes are kept verbatim most of the time; occasionally
+                // dropped entirely (empty value), which is what makes matching hard.
+                if rng.gen::<f32>() < noise * 0.3 {
+                    String::new()
+                } else {
+                    value.clone()
+                }
+            } else {
+                perturb_text(value, noise, rng)
+            };
+            pairs.push((attr.clone(), rendered));
+        }
+        Record::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudowoodo_text::jaccard::jaccard_text;
+
+    #[test]
+    fn profiles_generate_requested_shapes() {
+        for profile in EmProfile::semi_supervised_suite() {
+            let ds = profile.generate(0.3, 7);
+            let stats = ds.stats();
+            assert!(stats.size_a > 0 && stats.size_b > 0);
+            assert!(!ds.train.is_empty() && !ds.valid.is_empty() && !ds.test.is_empty());
+            // Positive rate within a factor of ~2 of the profile target.
+            assert!(
+                (stats.positive_rate - profile.positive_rate).abs() < profile.positive_rate,
+                "{}: positive rate {} too far from {}",
+                profile.name,
+                stats.positive_rate,
+                profile.positive_rate
+            );
+            // All pair indices in range.
+            for p in ds.all_pairs() {
+                assert!(p.a < ds.table_a.len() && p.b < ds.table_b.len());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = EmProfile::abt_buy();
+        let d1 = p.generate(0.2, 42);
+        let d2 = p.generate(0.2, 42);
+        let d3 = p.generate(0.2, 43);
+        assert_eq!(d1.table_a, d2.table_a);
+        assert_eq!(d1.train, d2.train);
+        assert_ne!(
+            d1.table_a
+                .iter()
+                .map(|r| r.text())
+                .collect::<Vec<_>>(),
+            d3.table_a.iter().map(|r| r.text()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gold_matches_reference_valid_rows_and_positives_are_gold() {
+        let ds = EmProfile::dblp_acm().generate(0.3, 5);
+        let gold: std::collections::HashSet<(usize, usize)> =
+            ds.gold_matches.iter().copied().collect();
+        for &(a, b) in &ds.gold_matches {
+            assert!(a < ds.table_a.len() && b < ds.table_b.len());
+        }
+        for p in ds.all_pairs() {
+            assert_eq!(p.label, gold.contains(&(p.a, p.b)), "label/gold inconsistency");
+        }
+    }
+
+    #[test]
+    fn matched_pairs_are_textually_closer_than_negatives() {
+        // The whole premise of similarity-based matching: on average, gold matches overlap
+        // more than hard negatives. Verify on the easy and on the hardest profile.
+        for profile in [EmProfile::dblp_acm(), EmProfile::walmart_amazon()] {
+            let ds = profile.generate(0.3, 11);
+            let avg = |pairs: &[LabeledPair], label| {
+                let sel: Vec<f32> = pairs
+                    .iter()
+                    .filter(|p| p.label == label)
+                    .map(|p| jaccard_text(&ds.table_a[p.a].text(), &ds.table_b[p.b].text()))
+                    .collect();
+                sel.iter().sum::<f32>() / sel.len().max(1) as f32
+            };
+            let all = ds.all_pairs();
+            let pos = avg(&all, true);
+            let neg = avg(&all, false);
+            assert!(
+                pos > neg + 0.05,
+                "{}: positives ({pos}) should overlap more than negatives ({neg})",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn easy_dataset_has_higher_match_overlap_than_hard_dataset() {
+        let easy = EmProfile::dblp_acm().generate(0.3, 13);
+        let hard = EmProfile::walmart_amazon().generate(0.3, 13);
+        let avg_match_overlap = |ds: &EmDataset| {
+            let sims: Vec<f32> = ds
+                .gold_matches
+                .iter()
+                .map(|&(a, b)| jaccard_text(&ds.table_a[a].text(), &ds.table_b[b].text()))
+                .collect();
+            sims.iter().sum::<f32>() / sims.len().max(1) as f32
+        };
+        assert!(
+            avg_match_overlap(&easy) > avg_match_overlap(&hard) + 0.1,
+            "DBLP-ACM analog should be much cleaner than Walmart-Amazon analog"
+        );
+    }
+
+    #[test]
+    fn corpus_contains_all_rows_serialized() {
+        let ds = EmProfile::beer().generate(0.2, 3);
+        let corpus = ds.corpus();
+        assert_eq!(corpus.len(), ds.table_a.len() + ds.table_b.len());
+        assert!(corpus[0].starts_with("[COL]"));
+    }
+
+    #[test]
+    fn full_suite_has_eight_profiles() {
+        assert_eq!(EmProfile::full_suite().len(), 8);
+        assert_eq!(EmProfile::semi_supervised_suite().len(), 5);
+    }
+
+    #[test]
+    fn table_sizes_respect_asymmetry() {
+        let ds = EmProfile::dblp_scholar().generate(0.2, 9);
+        assert!(ds.table_b.len() > 2 * ds.table_a.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! # sudowoodo-datasets
+//!
+//! Synthetic workloads standing in for the paper's benchmarks (none of which are available
+//! offline). Every generator is deterministic given a seed and exposes a `scale` knob so the
+//! test suite can run on tiny instances while the benchmark harness uses larger ones.
+//!
+//! * [`em`] — Entity Matching datasets modeled after the DeepMatcher suite (Abt-Buy,
+//!   Amazon-Google, DBLP-ACM, DBLP-Scholar, Walmart-Amazon, Beer, Fodors-Zagats,
+//!   iTunes-Amazon): two entity tables, gold matches, labeled pair splits, with per-profile
+//!   difficulty controlled through rendering noise and hard-negative density.
+//! * [`cleaning`] — dirty relational tables with injected errors of the four types in
+//!   Table III plus a Baran-style candidate-correction generator (coverage / candidate-set
+//!   size knobs).
+//! * [`columns`] — a typed column corpus for semantic type detection, including fine-grained
+//!   subtypes (e.g. "central EU city" within "city") to exercise the cluster-discovery
+//!   analysis of Table IX.
+//! * [`difficulty`] — Jaccard-similarity difficulty levels of EM test sets (Table XVI).
+//! * [`perturb`] / [`vocab`] — shared string-corruption utilities and word lists.
+
+#![warn(missing_docs)]
+
+pub mod cleaning;
+pub mod columns;
+pub mod difficulty;
+pub mod em;
+pub mod perturb;
+pub mod vocab;
+
+pub use cleaning::{CleaningDataset, CleaningProfile, CleaningStats, ErrorType};
+pub use columns::{ColumnCorpus, ColumnPair, ColumnProfile};
+pub use difficulty::{difficulty_levels, DifficultyLevel};
+pub use em::{Domain, EmDataset, EmProfile, EmStats, LabeledPair};

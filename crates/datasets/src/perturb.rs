@@ -1,0 +1,229 @@
+//! String perturbation utilities shared by the dataset generators.
+//!
+//! Matched entity entries in two sources rarely agree verbatim: one side abbreviates,
+//! drops tokens, reorders words, introduces typos, or reports slightly different numeric
+//! values. These helpers inject exactly those discrepancies, with a single `noise`
+//! knob controlling how aggressive the perturbation is (this is what makes the
+//! Walmart-Amazon-like profiles "hard" and the DBLP-ACM-like profiles "easy").
+
+use rand::Rng;
+
+/// Common abbreviation pairs applied during perturbation (direction chosen at random).
+const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("deluxe", "dlux"),
+    ("immersion", "immers"),
+    ("professional", "pro"),
+    ("incorporated", "inc"),
+    ("corporation", "corp"),
+    ("edition", "ed"),
+    ("international", "intl"),
+    ("proceedings", "proc"),
+    ("conference", "conf"),
+    ("journal", "j"),
+    ("street", "st"),
+    ("avenue", "ave"),
+    ("second", "2nd"),
+    ("seventh", "7th"),
+    ("eighth", "8th"),
+    ("memorial", "mem"),
+    ("hospital", "hosp"),
+    ("company", "co"),
+    ("brewing", "brew"),
+    ("systems", "sys"),
+    ("wireless", "wi fi"),
+];
+
+/// Replaces a token with its abbreviation (or expansion) when one is known.
+pub fn abbreviate(token: &str) -> Option<&'static str> {
+    for (long, short) in ABBREVIATIONS {
+        if token == *long {
+            return Some(short);
+        }
+        if token == *short {
+            return Some(long);
+        }
+    }
+    None
+}
+
+/// Introduces a single character-level typo (swap, delete, or duplicate) into a token.
+pub fn typo(token: &str, rng: &mut impl Rng) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() < 3 {
+        return token.to_string();
+    }
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => {
+            // swap two adjacent characters
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        1 => {
+            // delete a character
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        _ => {
+            // duplicate a character
+            let i = rng.gen_range(0..out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Perturbs free text: per token, tokens may be dropped, abbreviated, typo'd, or kept.
+/// `noise` in `[0, 1]` scales every corruption probability; 0 returns the input verbatim.
+pub fn perturb_text(text: &str, noise: f32, rng: &mut impl Rng) -> String {
+    if noise <= 0.0 {
+        return text.to_string();
+    }
+    let mut tokens: Vec<String> = Vec::new();
+    for token in text.split_whitespace() {
+        let roll: f32 = rng.gen();
+        if roll < 0.25 * noise {
+            continue; // drop token
+        } else if roll < 0.55 * noise {
+            if let Some(ab) = abbreviate(token) {
+                tokens.push(ab.to_string());
+                continue;
+            }
+            tokens.push(typo(token, rng));
+        } else if roll < 0.7 * noise {
+            tokens.push(typo(token, rng));
+        } else {
+            tokens.push(token.to_string());
+        }
+    }
+    if tokens.is_empty() {
+        // Never return an empty string: keep the first original token.
+        return text.split_whitespace().next().unwrap_or("").to_string();
+    }
+    // Occasionally swap two adjacent tokens (word-order discrepancy between sources).
+    if tokens.len() >= 2 && rng.gen::<f32>() < 0.4 * noise {
+        let i = rng.gen_range(0..tokens.len() - 1);
+        tokens.swap(i, i + 1);
+    }
+    tokens.join(" ")
+}
+
+/// Perturbs a numeric string by a relative amount of up to `max_relative`, preserving the
+/// number of decimals. Non-numeric strings are returned unchanged.
+pub fn perturb_number(value: &str, max_relative: f32, rng: &mut impl Rng) -> String {
+    match value.parse::<f64>() {
+        Err(_) => value.to_string(),
+        Ok(v) => {
+            let factor = 1.0 + rng.gen_range(-max_relative..=max_relative) as f64;
+            let perturbed = v * factor;
+            let decimals = value.split('.').nth(1).map(|d| d.len()).unwrap_or(0);
+            format!("{:.*}", decimals, perturbed)
+        }
+    }
+}
+
+/// Reformats a value the way a second data source might (formatting-issue style error):
+/// adds a percent sign to a decimal, uppercases a short code, or adds a unit suffix.
+pub fn reformat(value: &str, rng: &mut impl Rng) -> String {
+    if value.parse::<f64>().is_ok() {
+        match rng.gen_range(0..3) {
+            0 => format!("{value}%"),
+            1 => format!("{value} ounce"),
+            _ => format!("${value}"),
+        }
+    } else if value.len() <= 4 {
+        value.to_uppercase()
+    } else {
+        let mut c = value.chars();
+        match c.next() {
+            Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+            None => value.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = "canon cli8c ink cartridge cyan";
+        assert_eq!(perturb_text(text, 0.0, &mut rng), text);
+    }
+
+    #[test]
+    fn high_noise_changes_but_never_empties_text() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let text = "instant immersion spanish deluxe edition topics entertainment";
+        let mut changed = 0;
+        for _ in 0..20 {
+            let p = perturb_text(text, 0.9, &mut rng);
+            assert!(!p.is_empty());
+            if p != text {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 18, "high noise should almost always change the text");
+    }
+
+    #[test]
+    fn low_noise_often_keeps_text_similar() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let text = "efficient query optimization in distributed systems";
+        let mut unchanged = 0;
+        for _ in 0..50 {
+            if perturb_text(text, 0.05, &mut rng) == text {
+                unchanged += 1;
+            }
+        }
+        assert!(unchanged > 25, "low noise should keep most strings intact: {unchanged}/50");
+    }
+
+    #[test]
+    fn abbreviations_work_both_ways() {
+        assert_eq!(abbreviate("deluxe"), Some("dlux"));
+        assert_eq!(abbreviate("dlux"), Some("deluxe"));
+        assert_eq!(abbreviate("zebra"), None);
+    }
+
+    #[test]
+    fn typo_changes_long_tokens_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(typo("ab", &mut rng), "ab");
+        let mut changed = 0;
+        for _ in 0..20 {
+            if typo("cartridge", &mut rng) != "cartridge" {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15);
+    }
+
+    #[test]
+    fn number_perturbation_preserves_decimals_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let p = perturb_number("36.11", 0.1, &mut rng);
+            let v: f64 = p.parse().unwrap();
+            assert!(v > 30.0 && v < 42.0);
+            assert_eq!(p.split('.').nth(1).unwrap().len(), 2);
+        }
+        assert_eq!(perturb_number("n/a", 0.1, &mut rng), "n/a");
+    }
+
+    #[test]
+    fn reformat_produces_expected_patterns() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = reformat("0.08", &mut rng);
+        assert!(out.contains("0.08"));
+        assert_ne!(out, "0.08");
+        assert_eq!(reformat("ca", &mut rng), "CA");
+        let long = reformat("heart failure", &mut rng);
+        assert!(long.starts_with('H'));
+    }
+}

@@ -1,0 +1,240 @@
+//! Exact top-k cosine similarity search over dense vectors.
+//!
+//! Sudowoodo's blocking stage vectorizes every data item with the learned embedding model
+//! and retrieves, for each left-table item, the `k` nearest right-table items as the
+//! candidate set (§II-C step 2). The corpora in this reproduction are small enough that an
+//! exact brute-force scan is both simpler and faster than an approximate index.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A searchable collection of L2-normalized dense vectors.
+#[derive(Clone, Debug, Default)]
+pub struct CosineIndex {
+    vectors: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+/// A single search hit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index of the hit within the indexed collection.
+    pub id: usize,
+    /// Cosine similarity to the query.
+    pub score: f32,
+}
+
+/// Internal heap entry ordered by ascending score so the heap keeps the current worst hit on
+/// top (min-heap over a max-heap container via reversed ordering).
+#[derive(PartialEq)]
+struct HeapEntry {
+    score: f32,
+    id: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest score has highest priority.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl CosineIndex {
+    /// Builds an index from vectors, L2-normalizing each one.
+    pub fn build(vectors: Vec<Vec<f32>>) -> Self {
+        let dim = vectors.first().map(|v| v.len()).unwrap_or(0);
+        let normalized = vectors
+            .into_iter()
+            .map(|mut v| {
+                assert_eq!(v.len(), dim, "CosineIndex::build: inconsistent dimensions");
+                let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if norm > 1e-12 {
+                    for x in v.iter_mut() {
+                        *x /= norm;
+                    }
+                }
+                v
+            })
+            .collect();
+        CosineIndex { vectors: normalized, dim }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the `k` most similar indexed vectors to `query`, sorted by decreasing score.
+    pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.vectors.is_empty() {
+            return Vec::new();
+        }
+        let qnorm: f32 = query.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (id, v) in self.vectors.iter().enumerate() {
+            let dot: f32 = v.iter().zip(query.iter()).map(|(a, b)| a * b).sum();
+            let score = if qnorm > 1e-12 { dot / qnorm } else { 0.0 };
+            if heap.len() < k {
+                heap.push(HeapEntry { score, id });
+            } else if let Some(worst) = heap.peek() {
+                if score > worst.score {
+                    heap.pop();
+                    heap.push(HeapEntry { score, id });
+                }
+            }
+        }
+        let mut hits: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|e| Neighbor { id: e.id, score: e.score })
+            .collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        hits
+    }
+
+    /// Retrieves, for every query vector, its `k` nearest indexed vectors, returning the
+    /// candidate pair list `(query_index, indexed_index, score)`.
+    pub fn knn_join(&self, queries: &[Vec<f32>], k: usize) -> Vec<(usize, usize, f32)> {
+        let mut pairs = Vec::with_capacity(queries.len() * k);
+        for (qi, q) in queries.iter().enumerate() {
+            for hit in self.top_k(q, k) {
+                pairs.push((qi, hit.id, hit.score));
+            }
+        }
+        pairs
+    }
+}
+
+/// Evaluation of a blocking candidate set against gold matching pairs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockingQuality {
+    /// Fraction of gold positive pairs retained in the candidate set.
+    pub recall: f32,
+    /// Candidate set size.
+    pub num_candidates: usize,
+    /// Candidate Set Size Ratio: `num_candidates / (|A| * |B|)`.
+    pub cssr: f32,
+}
+
+/// Evaluates a candidate pair set produced by blocking.
+///
+/// `candidates` and `gold_positive_pairs` hold `(left, right)` id pairs; `left_size` and
+/// `right_size` are the table cardinalities used for the CSSR denominator.
+pub fn evaluate_blocking(
+    candidates: &[(usize, usize)],
+    gold_positive_pairs: &[(usize, usize)],
+    left_size: usize,
+    right_size: usize,
+) -> BlockingQuality {
+    use std::collections::HashSet;
+    let candidate_set: HashSet<(usize, usize)> = candidates.iter().copied().collect();
+    let retained = gold_positive_pairs
+        .iter()
+        .filter(|p| candidate_set.contains(p))
+        .count();
+    let recall = if gold_positive_pairs.is_empty() {
+        1.0
+    } else {
+        retained as f32 / gold_positive_pairs.len() as f32
+    };
+    let total = (left_size * right_size).max(1);
+    BlockingQuality {
+        recall,
+        num_candidates: candidate_set.len(),
+        cssr: candidate_set.len() as f32 / total as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: &[f32]) -> Vec<f32> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn top_k_returns_nearest_by_cosine() {
+        let index = CosineIndex::build(vec![
+            unit(&[1.0, 0.0]),
+            unit(&[0.0, 1.0]),
+            unit(&[0.7, 0.7]),
+        ]);
+        let hits = index.top_k(&[1.0, 0.1], 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn top_k_handles_k_larger_than_collection() {
+        let index = CosineIndex::build(vec![unit(&[1.0, 0.0]), unit(&[0.0, 1.0])]);
+        assert_eq!(index.top_k(&[1.0, 1.0], 10).len(), 2);
+        assert_eq!(index.top_k(&[1.0, 1.0], 0).len(), 0);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.dim(), 2);
+        assert!(!index.is_empty());
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let index = CosineIndex::build(Vec::new());
+        assert!(index.is_empty());
+        assert!(index.top_k(&[1.0], 3).is_empty());
+    }
+
+    #[test]
+    fn zero_query_scores_zero() {
+        let index = CosineIndex::build(vec![unit(&[1.0, 0.0])]);
+        let hits = index.top_k(&[0.0, 0.0], 1);
+        assert_eq!(hits[0].score, 0.0);
+    }
+
+    #[test]
+    fn knn_join_produces_pairs_per_query() {
+        let index = CosineIndex::build(vec![unit(&[1.0, 0.0]), unit(&[0.0, 1.0])]);
+        let queries = vec![unit(&[1.0, 0.0]), unit(&[0.0, 1.0])];
+        let pairs = index.knn_join(&queries, 1);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].0, pairs[0].1), (0, 0));
+        assert_eq!((pairs[1].0, pairs[1].1), (1, 1));
+    }
+
+    #[test]
+    fn blocking_evaluation_computes_recall_and_cssr() {
+        let candidates = vec![(0, 0), (0, 1), (1, 1), (1, 1)]; // duplicate collapses
+        let gold = vec![(0, 0), (1, 0)];
+        let q = evaluate_blocking(&candidates, &gold, 2, 2);
+        assert!((q.recall - 0.5).abs() < 1e-6);
+        assert_eq!(q.num_candidates, 3);
+        assert!((q.cssr - 3.0 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocking_evaluation_with_no_gold_pairs_is_perfect_recall() {
+        let q = evaluate_blocking(&[(0, 0)], &[], 1, 1);
+        assert_eq!(q.recall, 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! # sudowoodo-index
+//!
+//! High-dimensional similarity search for the blocking stage of Sudowoodo.
+//!
+//! The paper applies kNN search over the learned entity representations to produce a
+//! candidate set for matching, and reports blocking quality as recall versus candidate set
+//! size ratio (CSSR). This crate provides an exact [`knn::CosineIndex`] (brute-force top-k,
+//! appropriate for the corpus sizes used here) and [`knn::evaluate_blocking`].
+
+#![warn(missing_docs)]
+
+pub mod knn;
+
+pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor};

@@ -1,0 +1,243 @@
+//! Tree ensembles: random forest and gradient-boosted trees.
+//!
+//! These are the strongest classical baselines paired with the Sherlock/Sato column features
+//! in the paper's column-matching comparison (Table XII reports LR/SVM/GBT/RF variants, with
+//! GBT the best baseline).
+
+use rand::Rng;
+
+use crate::tree::{DecisionTree, RegressionTree, TreeConfig};
+
+/// A bagged random-forest classifier.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree induction configuration.
+    pub tree_config: TreeConfig,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest. `max_features` defaults to sqrt(d) at fit time when the
+    /// provided config leaves it as `None`.
+    pub fn new(num_trees: usize, tree_config: TreeConfig) -> Self {
+        RandomForest { trees: Vec::new(), num_trees, tree_config }
+    }
+
+    /// Fits the forest with bootstrap sampling and per-split feature subsampling.
+    pub fn fit(&mut self, x: &[Vec<f32>], y: &[bool], rng: &mut impl Rng) {
+        assert_eq!(x.len(), y.len(), "fit: feature/label length mismatch");
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let dim = x[0].len();
+        let mut config = self.tree_config;
+        if config.max_features.is_none() {
+            config.max_features = Some(((dim as f32).sqrt().ceil() as usize).max(1));
+        }
+        for _ in 0..self.num_trees {
+            // Bootstrap sample.
+            let mut bx = Vec::with_capacity(x.len());
+            let mut by = Vec::with_capacity(y.len());
+            for _ in 0..x.len() {
+                let i = rng.gen_range(0..x.len());
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let mut tree = DecisionTree::new(config);
+            tree.fit(&bx, &by, rng);
+            self.trees.push(tree);
+        }
+    }
+
+    /// Mean positive-class probability over the trees.
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees.iter().map(|t| t.predict_proba(features)).sum::<f32>() / self.trees.len() as f32
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, features: &[f32]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` when no tree has been fitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+/// A gradient-boosting binary classifier with regression-tree weak learners and logistic loss.
+#[derive(Clone, Debug)]
+pub struct GradientBoosting {
+    trees: Vec<RegressionTree>,
+    base_score: f32,
+    /// Number of boosting rounds.
+    pub num_rounds: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f32,
+    /// Weak-learner configuration.
+    pub tree_config: TreeConfig,
+}
+
+impl GradientBoosting {
+    /// Creates an unfitted booster.
+    pub fn new(num_rounds: usize, learning_rate: f32, tree_config: TreeConfig) -> Self {
+        GradientBoosting { trees: Vec::new(), base_score: 0.0, num_rounds, learning_rate, tree_config }
+    }
+
+    /// Fits the booster on binary labels using gradient descent in function space:
+    /// each round fits a regression tree to the residuals `y - sigmoid(F(x))`.
+    pub fn fit(&mut self, x: &[Vec<f32>], y: &[bool], rng: &mut impl Rng) {
+        assert_eq!(x.len(), y.len(), "fit: feature/label length mismatch");
+        self.trees.clear();
+        if x.is_empty() {
+            self.base_score = 0.0;
+            return;
+        }
+        // Initialize with the log-odds of the positive rate.
+        let pos = y.iter().filter(|&&b| b).count() as f32;
+        let rate = (pos / y.len() as f32).clamp(1e-4, 1.0 - 1e-4);
+        self.base_score = (rate / (1.0 - rate)).ln();
+        let mut scores = vec![self.base_score; x.len()];
+        for _ in 0..self.num_rounds {
+            let residuals: Vec<f32> = scores
+                .iter()
+                .zip(y.iter())
+                .map(|(&s, &label)| {
+                    let p = 1.0 / (1.0 + (-s).exp());
+                    (if label { 1.0 } else { 0.0 }) - p
+                })
+                .collect();
+            let mut tree = RegressionTree::new(self.tree_config);
+            tree.fit(x, &residuals, rng);
+            for (i, xi) in x.iter().enumerate() {
+                scores[i] += self.learning_rate * tree.predict(xi);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    /// Raw additive score `F(x)`.
+    pub fn decision(&self, features: &[f32]) -> f32 {
+        self.base_score
+            + self
+                .trees
+                .iter()
+                .map(|t| self.learning_rate * t.predict(features))
+                .sum::<f32>()
+    }
+
+    /// Positive-class probability.
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        1.0 / (1.0 + (-self.decision(features)).exp())
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, features: &[f32]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Number of fitted boosting rounds.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` when no rounds have been fitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Noisy circular decision boundary — not linearly separable, so it stresses the
+    /// ensembles more than a linear rule would.
+    fn ring_data(n: usize, rng: &mut impl Rng) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            x.push(vec![a, b]);
+            y.push(a * a + b * b < 0.5);
+        }
+        (x, y)
+    }
+
+    fn accuracy(pred: impl Fn(&[f32]) -> bool, x: &[Vec<f32>], y: &[bool]) -> f32 {
+        x.iter().zip(y).filter(|(xi, &yi)| pred(xi) == yi).count() as f32 / x.len() as f32
+    }
+
+    #[test]
+    fn random_forest_beats_chance_on_ring() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = ring_data(400, &mut rng);
+        let mut rf = RandomForest::new(15, TreeConfig { max_depth: 6, min_samples_split: 4, max_features: None });
+        rf.fit(&x, &y, &mut rng);
+        assert_eq!(rf.len(), 15);
+        assert!(!rf.is_empty());
+        let acc = accuracy(|f| rf.predict(f), &x, &y);
+        assert!(acc > 0.9, "random forest accuracy {acc}");
+        assert!(rf.predict_proba(&[0.0, 0.0]) > 0.8);
+        assert!(rf.predict_proba(&[0.95, 0.95]) < 0.3);
+    }
+
+    #[test]
+    fn gradient_boosting_beats_chance_on_ring() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = ring_data(400, &mut rng);
+        let mut gbt = GradientBoosting::new(
+            30,
+            0.3,
+            TreeConfig { max_depth: 3, min_samples_split: 4, max_features: None },
+        );
+        gbt.fit(&x, &y, &mut rng);
+        assert_eq!(gbt.len(), 30);
+        assert!(!gbt.is_empty());
+        let acc = accuracy(|f| gbt.predict(f), &x, &y);
+        assert!(acc > 0.9, "gradient boosting accuracy {acc}");
+    }
+
+    #[test]
+    fn gbt_base_score_matches_class_prior_when_no_rounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..10).map(|i| i < 3).collect();
+        let mut gbt = GradientBoosting::new(0, 0.1, TreeConfig::default());
+        gbt.fit(&x, &y, &mut rng);
+        assert!((gbt.predict_proba(&[5.0]) - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn unfitted_models_return_neutral_predictions() {
+        let rf = RandomForest::new(5, TreeConfig::default());
+        assert_eq!(rf.predict_proba(&[1.0]), 0.5);
+        let gbt = GradientBoosting::new(5, 0.1, TreeConfig::default());
+        assert_eq!(gbt.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn empty_training_sets_are_noops() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rf = RandomForest::new(3, TreeConfig::default());
+        rf.fit(&[], &[], &mut rng);
+        assert!(rf.is_empty());
+        let mut gbt = GradientBoosting::new(3, 0.1, TreeConfig::default());
+        gbt.fit(&[], &[], &mut rng);
+        assert!(gbt.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Gaussian Mixture Models fitted with Expectation-Maximization.
+//!
+//! The ZeroER baseline (Wu et al., SIGMOD 2020) models the distribution of similarity
+//! features of matching and non-matching pairs as a two-component Gaussian mixture and
+//! labels pairs by posterior probability without any labeled examples. This module provides
+//! the diagonal-covariance GMM that the baseline needs.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A single diagonal-covariance Gaussian component.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Mixture weight.
+    pub weight: f32,
+    /// Per-dimension mean.
+    pub mean: Vec<f32>,
+    /// Per-dimension variance (floored for stability).
+    pub variance: Vec<f32>,
+}
+
+impl Component {
+    /// Log probability density of a point under this component.
+    pub fn log_density(&self, x: &[f32]) -> f32 {
+        let mut log_p = 0.0f32;
+        for ((&xi, &mu), &var) in x.iter().zip(&self.mean).zip(&self.variance) {
+            let var = var.max(1e-6);
+            log_p += -0.5 * ((xi - mu) * (xi - mu) / var + var.ln() + (2.0 * std::f32::consts::PI).ln());
+        }
+        log_p
+    }
+}
+
+/// A fitted Gaussian mixture model.
+#[derive(Clone, Debug)]
+pub struct GaussianMixture {
+    /// Mixture components.
+    pub components: Vec<Component>,
+    /// Log-likelihood trace over EM iterations.
+    pub log_likelihood_trace: Vec<f32>,
+}
+
+/// Configuration for [`GaussianMixture::fit`].
+#[derive(Clone, Copy, Debug)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub num_components: usize,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the mean log-likelihood improvement.
+    pub tolerance: f32,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig { num_components: 2, max_iterations: 100, tolerance: 1e-4 }
+    }
+}
+
+impl GaussianMixture {
+    /// Fits a GMM with EM. Components are initialized from random points with the global
+    /// per-dimension variance.
+    pub fn fit(data: &[Vec<f32>], config: &GmmConfig, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "GaussianMixture::fit: empty data");
+        let dim = data[0].len();
+        let k = config.num_components.clamp(1, data.len());
+
+        // Global variance for initialization.
+        let mut global_mean = vec![0.0f32; dim];
+        for x in data {
+            for (m, &v) in global_mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in global_mean.iter_mut() {
+            *m /= data.len() as f32;
+        }
+        let mut global_var = vec![0.0f32; dim];
+        for x in data {
+            for ((gv, &v), &m) in global_var.iter_mut().zip(x).zip(&global_mean) {
+                *gv += (v - m) * (v - m);
+            }
+        }
+        for gv in global_var.iter_mut() {
+            *gv = (*gv / data.len() as f32).max(1e-4);
+        }
+
+        let mut seeds: Vec<usize> = (0..data.len()).collect();
+        seeds.shuffle(rng);
+        let mut components: Vec<Component> = seeds[..k]
+            .iter()
+            .map(|&i| Component {
+                weight: 1.0 / k as f32,
+                mean: data[i].clone(),
+                variance: global_var.clone(),
+            })
+            .collect();
+
+        let n = data.len();
+        let mut responsibilities = vec![vec![0.0f32; k]; n];
+        let mut trace = Vec::new();
+        let mut previous_ll = f32::NEG_INFINITY;
+        for _ in 0..config.max_iterations {
+            // E-step.
+            let mut total_ll = 0.0f32;
+            for (i, x) in data.iter().enumerate() {
+                let logs: Vec<f32> = components
+                    .iter()
+                    .map(|c| c.weight.max(1e-12).ln() + c.log_density(x))
+                    .collect();
+                let max = logs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let sum: f32 = logs.iter().map(|l| (l - max).exp()).sum();
+                total_ll += max + sum.ln();
+                for (j, l) in logs.iter().enumerate() {
+                    responsibilities[i][j] = ((l - max).exp() / sum).max(1e-12);
+                }
+            }
+            let mean_ll = total_ll / n as f32;
+            trace.push(mean_ll);
+            if (mean_ll - previous_ll).abs() < config.tolerance {
+                break;
+            }
+            previous_ll = mean_ll;
+
+            // M-step.
+            for j in 0..k {
+                let resp_sum: f32 = responsibilities.iter().map(|r| r[j]).sum();
+                let mut mean = vec![0.0f32; dim];
+                for (x, r) in data.iter().zip(&responsibilities) {
+                    for (m, &v) in mean.iter_mut().zip(x) {
+                        *m += r[j] * v;
+                    }
+                }
+                for m in mean.iter_mut() {
+                    *m /= resp_sum;
+                }
+                let mut variance = vec![0.0f32; dim];
+                for (x, r) in data.iter().zip(&responsibilities) {
+                    for ((s, &v), &m) in variance.iter_mut().zip(x).zip(&mean) {
+                        *s += r[j] * (v - m) * (v - m);
+                    }
+                }
+                for s in variance.iter_mut() {
+                    *s = (*s / resp_sum).max(1e-6);
+                }
+                components[j] = Component { weight: resp_sum / n as f32, mean, variance };
+            }
+        }
+        GaussianMixture { components, log_likelihood_trace: trace }
+    }
+
+    /// Posterior responsibility of each component for a point.
+    pub fn posterior(&self, x: &[f32]) -> Vec<f32> {
+        let logs: Vec<f32> = self
+            .components
+            .iter()
+            .map(|c| c.weight.max(1e-12).ln() + c.log_density(x))
+            .collect();
+        let max = logs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exp: Vec<f32> = logs.iter().map(|l| (l - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        exp.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Index of the most likely component.
+    pub fn assign(&self, x: &[f32]) -> usize {
+        let post = self.posterior(x);
+        post.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Index of the component with the largest mean along dimension `dim` — for ZeroER,
+    /// the "match" component is the one whose similarity features are highest.
+    pub fn component_with_largest_mean(&self, dim: usize) -> usize {
+        self.components
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.mean[dim]
+                    .partial_cmp(&b.1.mean[dim])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blob_data(rng: &mut impl Rng) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..100 {
+            data.push(vec![rng.gen_range(-0.2..0.2), rng.gen_range(-0.2..0.2)]);
+            labels.push(0);
+        }
+        for _ in 0..100 {
+            data.push(vec![3.0 + rng.gen_range(-0.2..0.2), 3.0 + rng.gen_range(-0.2..0.2)]);
+            labels.push(1);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn em_separates_two_well_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (data, labels) = two_blob_data(&mut rng);
+        let gmm = GaussianMixture::fit(&data, &GmmConfig::default(), &mut rng);
+        assert_eq!(gmm.components.len(), 2);
+        // The component with the larger mean on dim 0 should claim exactly the second blob.
+        let high = gmm.component_with_largest_mean(0);
+        let correct = data
+            .iter()
+            .zip(&labels)
+            .filter(|(x, &l)| (gmm.assign(x) == high) == (l == 1))
+            .count();
+        assert!(correct >= 198, "GMM separated only {correct}/200 points");
+        // Weights should be roughly balanced.
+        assert!((gmm.components[0].weight - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn log_likelihood_is_nondecreasing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (data, _) = two_blob_data(&mut rng);
+        let gmm = GaussianMixture::fit(&data, &GmmConfig { num_components: 2, max_iterations: 30, tolerance: 0.0 }, &mut rng);
+        let trace = &gmm.log_likelihood_trace;
+        assert!(trace.len() >= 2);
+        for w in trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-3, "log-likelihood decreased: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (data, _) = two_blob_data(&mut rng);
+        let gmm = GaussianMixture::fit(&data, &GmmConfig::default(), &mut rng);
+        let p = gmm.posterior(&[1.5, 1.5]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn single_component_covers_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let gmm = GaussianMixture::fit(
+            &data,
+            &GmmConfig { num_components: 1, max_iterations: 10, tolerance: 1e-4 },
+            &mut rng,
+        );
+        assert_eq!(gmm.components.len(), 1);
+        assert!((gmm.components[0].weight - 1.0).abs() < 1e-5);
+        assert_eq!(gmm.assign(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = GaussianMixture::fit(&[], &GmmConfig::default(), &mut rng);
+    }
+}

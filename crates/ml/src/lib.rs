@@ -1,0 +1,28 @@
+//! # sudowoodo-ml
+//!
+//! Classical machine-learning substrate for the Sudowoodo reproduction.
+//!
+//! Several of the paper's baselines are not deep models: ZeroER is a Gaussian-mixture model
+//! over pair-similarity features, and the Sherlock/Sato column-matching baselines pair
+//! hand-crafted column features with LR / SVM / Random Forest / Gradient-Boosting
+//! classifiers. This crate provides those learners plus the shared evaluation metrics:
+//!
+//! * [`metrics`] — precision / recall / F1, confusion matrices, threshold search;
+//! * [`linear`] — logistic regression and a linear SVM (SGD training);
+//! * [`tree`] — CART decision and regression trees;
+//! * [`ensemble`] — random forest and gradient boosting;
+//! * [`gmm`] — diagonal-covariance Gaussian mixtures fitted with EM.
+
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod gmm;
+pub mod linear;
+pub mod metrics;
+pub mod tree;
+
+pub use ensemble::{GradientBoosting, RandomForest};
+pub use gmm::{GaussianMixture, GmmConfig};
+pub use linear::{LinearSvm, LogisticRegression};
+pub use metrics::{best_f1_threshold, Confusion, PrF1};
+pub use tree::{DecisionTree, RegressionTree, TreeConfig};

@@ -1,0 +1,241 @@
+//! Linear classifiers: logistic regression and a linear SVM trained with SGD.
+//!
+//! These power the Sherlock/Sato column-matching baselines (LR / SVM variants of Table XII)
+//! and serve as simple probes elsewhere.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A dense feature vector.
+pub type Features = Vec<f32>;
+
+/// Binary logistic regression trained with mini-batch SGD and L2 regularization.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    weights: Vec<f32>,
+    bias: f32,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// Number of passes over the data.
+    pub epochs: usize,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model for `dim`-dimensional inputs.
+    pub fn new(dim: usize) -> Self {
+        LogisticRegression {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            epochs: 100,
+        }
+    }
+
+    /// Sets training hyper-parameters.
+    pub fn with_hyperparams(mut self, learning_rate: f32, l2: f32, epochs: usize) -> Self {
+        self.learning_rate = learning_rate;
+        self.l2 = l2;
+        self.epochs = epochs;
+        self
+    }
+
+    /// Trains on `(features, label)` pairs.
+    pub fn fit(&mut self, x: &[Features], y: &[bool], rng: &mut impl Rng) {
+        assert_eq!(x.len(), y.len(), "fit: feature/label length mismatch");
+        if x.is_empty() {
+            return;
+        }
+        let n = x.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let p = self.predict_proba(&x[i]);
+                let error = p - if y[i] { 1.0 } else { 0.0 };
+                for (w, &xi) in self.weights.iter_mut().zip(&x[i]) {
+                    *w -= self.learning_rate * (error * xi + self.l2 * *w);
+                }
+                self.bias -= self.learning_rate * error;
+            }
+        }
+    }
+
+    /// Probability of the positive class.
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        let z: f32 = self
+            .weights
+            .iter()
+            .zip(features.iter())
+            .map(|(w, x)| w * x)
+            .sum::<f32>()
+            + self.bias;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, features: &[f32]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Model weights (for inspection in tests).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+/// A linear support-vector machine trained by SGD on the hinge loss (Pegasos-style).
+#[derive(Clone, Debug)]
+pub struct LinearSvm {
+    weights: Vec<f32>,
+    bias: f32,
+    /// Regularization strength (lambda).
+    pub lambda: f32,
+    /// Number of passes over the data.
+    pub epochs: usize,
+}
+
+impl LinearSvm {
+    /// Creates an untrained model.
+    pub fn new(dim: usize) -> Self {
+        LinearSvm { weights: vec![0.0; dim], bias: 0.0, lambda: 1e-3, epochs: 100 }
+    }
+
+    /// Sets training hyper-parameters.
+    pub fn with_hyperparams(mut self, lambda: f32, epochs: usize) -> Self {
+        self.lambda = lambda;
+        self.epochs = epochs;
+        self
+    }
+
+    /// Trains on `(features, label)` pairs.
+    pub fn fit(&mut self, x: &[Features], y: &[bool], rng: &mut impl Rng) {
+        assert_eq!(x.len(), y.len(), "fit: feature/label length mismatch");
+        if x.is_empty() {
+            return;
+        }
+        let n = x.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0usize;
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (self.lambda * t as f32);
+                let target = if y[i] { 1.0 } else { -1.0 };
+                let margin = target * (self.decision(&x[i]));
+                // Shrink weights (regularization).
+                for w in self.weights.iter_mut() {
+                    *w *= 1.0 - eta * self.lambda;
+                }
+                if margin < 1.0 {
+                    for (w, &xi) in self.weights.iter_mut().zip(&x[i]) {
+                        *w += eta * target * xi;
+                    }
+                    self.bias += eta * target;
+                }
+            }
+        }
+    }
+
+    /// Signed decision value.
+    pub fn decision(&self, features: &[f32]) -> f32 {
+        self.weights
+            .iter()
+            .zip(features.iter())
+            .map(|(w, x)| w * x)
+            .sum::<f32>()
+            + self.bias
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, features: &[f32]) -> bool {
+        self.decision(features) >= 0.0
+    }
+
+    /// A pseudo-probability obtained by squashing the decision value; only used to rank.
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        1.0 / (1.0 + (-self.decision(features)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Linearly separable 2-D data: positive iff x0 + x1 > 1.
+    fn toy_data(n: usize, rng: &mut impl Rng) -> (Vec<Features>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            let b: f32 = rng.gen_range(0.0..1.0);
+            x.push(vec![a, b]);
+            y.push(a + b > 1.0);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn logistic_regression_learns_separable_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = toy_data(300, &mut rng);
+        let mut model = LogisticRegression::new(2).with_hyperparams(0.5, 1e-5, 60);
+        model.fit(&x, &y, &mut rng);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| model.predict(xi) == yi)
+            .count();
+        assert!(correct as f32 / x.len() as f32 > 0.93, "accuracy too low: {correct}/300");
+        // Both weights should be positive (both features push towards the positive class).
+        assert!(model.weights()[0] > 0.0 && model.weights()[1] > 0.0);
+    }
+
+    #[test]
+    fn logistic_regression_probabilities_are_calibrated_ordering() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = toy_data(300, &mut rng);
+        let mut model = LogisticRegression::new(2).with_hyperparams(0.5, 1e-5, 60);
+        model.fit(&x, &y, &mut rng);
+        assert!(model.predict_proba(&[0.9, 0.9]) > model.predict_proba(&[0.1, 0.1]));
+    }
+
+    #[test]
+    fn linear_svm_learns_separable_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = toy_data(300, &mut rng);
+        let mut model = LinearSvm::new(2).with_hyperparams(1e-3, 60);
+        model.fit(&x, &y, &mut rng);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| model.predict(xi) == yi)
+            .count();
+        assert!(correct as f32 / x.len() as f32 > 0.9, "accuracy too low: {correct}/300");
+        assert!(model.predict_proba(&[1.0, 1.0]) > 0.5);
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lr = LogisticRegression::new(3);
+        lr.fit(&[], &[], &mut rng);
+        assert_eq!(lr.predict_proba(&[1.0, 1.0, 1.0]), 0.5);
+        let mut svm = LinearSvm::new(3);
+        svm.fit(&[], &[], &mut rng);
+        assert!(svm.predict(&[0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lr = LogisticRegression::new(1);
+        lr.fit(&[vec![1.0]], &[], &mut rng);
+    }
+}

@@ -1,0 +1,176 @@
+//! Evaluation metrics used across the experiments.
+//!
+//! The matching and data-cleaning experiments report precision/recall/F1 over a binary
+//! label; blocking reports recall and candidate-set size (in `sudowoodo-index`).
+
+/// A binary confusion matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from predictions and gold labels.
+    ///
+    /// # Panics
+    /// Panics when the slices have different lengths.
+    pub fn from_predictions(predicted: &[bool], gold: &[bool]) -> Self {
+        assert_eq!(predicted.len(), gold.len(), "prediction/label length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &g) in predicted.iter().zip(gold.iter()) {
+            match (p, g) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`; defined as 0 when the denominator is 0.
+    pub fn precision(&self) -> f32 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `tp / (tp + fn)`; defined as 0 when the denominator is 0.
+    pub fn recall(&self) -> f32 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r <= 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all predictions.
+    pub fn accuracy(&self) -> f32 {
+        ratio(self.tp + self.tn, self.tp + self.tn + self.fp + self.fn_)
+    }
+
+    /// True-positive rate of the *labels themselves* (used for pseudo-label quality,
+    /// Table XI): among pairs labeled positive, the fraction that are truly positive.
+    pub fn label_tpr(&self) -> f32 {
+        self.precision()
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f32 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f32 / den as f32
+    }
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrF1 {
+    /// Precision.
+    pub precision: f32,
+    /// Recall.
+    pub recall: f32,
+    /// F1 score.
+    pub f1: f32,
+}
+
+impl PrF1 {
+    /// Computes precision/recall/F1 from predictions.
+    pub fn from_predictions(predicted: &[bool], gold: &[bool]) -> Self {
+        let c = Confusion::from_predictions(predicted, gold);
+        PrF1 { precision: c.precision(), recall: c.recall(), f1: c.f1() }
+    }
+}
+
+/// Picks the probability threshold maximizing F1 on `(score, gold)` pairs.
+///
+/// Returns `(threshold, best_f1)`. Used to mirror the paper's practice of selecting the best
+/// epoch/threshold on a validation split.
+pub fn best_f1_threshold(scores: &[f32], gold: &[bool]) -> (f32, f32) {
+    assert_eq!(scores.len(), gold.len());
+    let mut candidates: Vec<f32> = scores.to_vec();
+    candidates.push(0.5);
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup();
+    let mut best = (0.5f32, -1.0f32);
+    for &t in &candidates {
+        let predicted: Vec<bool> = scores.iter().map(|&s| s >= t).collect();
+        let f1 = PrF1::from_predictions(&predicted, gold).f1;
+        if f1 > best.1 {
+            best = (t, f1);
+        }
+    }
+    (best.0, best.1.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = vec![true, true, false, false, true];
+        let gold = vec![true, false, true, false, true];
+        let c = Confusion::from_predictions(&pred, &gold);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((c.accuracy() - 0.6).abs() < 1e-6);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.label_tpr(), c.precision());
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let c = Confusion::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let gold = vec![true, false, true];
+        let m = PrF1::from_predictions(&gold, &gold);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn threshold_search_finds_separating_point() {
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        let gold = vec![false, false, true, true];
+        let (t, f1) = best_f1_threshold(&scores, &gold);
+        assert_eq!(f1, 1.0);
+        assert!(t > 0.2 && t <= 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Confusion::from_predictions(&[true], &[true, false]);
+    }
+}

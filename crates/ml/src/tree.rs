@@ -1,0 +1,351 @@
+//! CART-style binary decision trees.
+//!
+//! Two flavours share the same induction machinery:
+//! * [`DecisionTree`] — classification with Gini impurity (used by the random forest);
+//! * [`RegressionTree`] — least-squares regression (used as the weak learner of the
+//!   gradient-boosting classifier).
+
+use rand::Rng;
+
+/// A node of a fitted tree.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, features: &[f32]) -> f32 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Split { feature, threshold, left, right } => {
+                if features[*feature] <= *threshold {
+                    left.predict(features)
+                } else {
+                    right.predict(features)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// Hyper-parameters shared by both tree types.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of random features examined per split (`None` = all features).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 6, min_samples_split: 4, max_features: None }
+    }
+}
+
+/// Outcome of searching for the best split of a node.
+struct BestSplit {
+    feature: usize,
+    threshold: f32,
+    score: f32,
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+/// Finds the best split of `indices` minimizing the weighted child impurity computed by
+/// `impurity(targets of child)`. Returns `None` when no split improves over the parent.
+fn best_split(
+    x: &[Vec<f32>],
+    targets: &[f32],
+    indices: &[usize],
+    config: &TreeConfig,
+    impurity: &dyn Fn(&[f32]) -> f32,
+    rng: &mut impl Rng,
+) -> Option<BestSplit> {
+    let num_features = x[0].len();
+    let parent_targets: Vec<f32> = indices.iter().map(|&i| targets[i]).collect();
+    let parent_impurity = impurity(&parent_targets);
+    if parent_impurity <= 1e-9 {
+        return None;
+    }
+
+    // Candidate features (optionally a random subset, for random forests).
+    let mut features: Vec<usize> = (0..num_features).collect();
+    if let Some(k) = config.max_features {
+        let k = k.clamp(1, num_features);
+        for i in 0..k {
+            let j = rng.gen_range(i..features.len());
+            features.swap(i, j);
+        }
+        features.truncate(k);
+    }
+
+    let mut best: Option<BestSplit> = None;
+    for &f in &features {
+        // Sort indices by this feature and scan midpoints between distinct values.
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_by(|&a, &b| {
+            x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for w in 1..sorted.len() {
+            let lo = x[sorted[w - 1]][f];
+            let hi = x[sorted[w]][f];
+            if (hi - lo).abs() < 1e-12 {
+                continue;
+            }
+            let threshold = (lo + hi) / 2.0;
+            let left: Vec<usize> = sorted[..w].to_vec();
+            let right: Vec<usize> = sorted[w..].to_vec();
+            let left_t: Vec<f32> = left.iter().map(|&i| targets[i]).collect();
+            let right_t: Vec<f32> = right.iter().map(|&i| targets[i]).collect();
+            let score = (left_t.len() as f32 * impurity(&left_t)
+                + right_t.len() as f32 * impurity(&right_t))
+                / indices.len() as f32;
+            if best.as_ref().map(|b| score < b.score).unwrap_or(true) {
+                best = Some(BestSplit { feature: f, threshold, score, left, right });
+            }
+        }
+    }
+    // Accept the best split even when it does not immediately reduce impurity (a greedy
+    // CART would otherwise be unable to enter XOR-like interactions); depth and
+    // min-samples limits bound the tree size instead.
+    best.filter(|b| b.score <= parent_impurity + 1e-9)
+}
+
+fn build_node(
+    x: &[Vec<f32>],
+    targets: &[f32],
+    indices: &[usize],
+    depth: usize,
+    config: &TreeConfig,
+    impurity: &dyn Fn(&[f32]) -> f32,
+    leaf_value: &dyn Fn(&[f32]) -> f32,
+    rng: &mut impl Rng,
+) -> Node {
+    let node_targets: Vec<f32> = indices.iter().map(|&i| targets[i]).collect();
+    if depth >= config.max_depth || indices.len() < config.min_samples_split {
+        return Node::Leaf { value: leaf_value(&node_targets) };
+    }
+    match best_split(x, targets, indices, config, impurity, rng) {
+        None => Node::Leaf { value: leaf_value(&node_targets) },
+        Some(split) => Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: Box::new(build_node(x, targets, &split.left, depth + 1, config, impurity, leaf_value, rng)),
+            right: Box::new(build_node(x, targets, &split.right, depth + 1, config, impurity, leaf_value, rng)),
+        },
+    }
+}
+
+/// Gini impurity of binary targets encoded as 0.0 / 1.0.
+fn gini(targets: &[f32]) -> f32 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let p = targets.iter().sum::<f32>() / targets.len() as f32;
+    2.0 * p * (1.0 - p)
+}
+
+/// Variance of continuous targets.
+fn variance(targets: &[f32]) -> f32 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mean = targets.iter().sum::<f32>() / targets.len() as f32;
+    targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f32>() / targets.len() as f32
+}
+
+fn mean(targets: &[f32]) -> f32 {
+    if targets.is_empty() {
+        0.0
+    } else {
+        targets.iter().sum::<f32>() / targets.len() as f32
+    }
+}
+
+/// A binary classification tree (Gini impurity). Leaves store the positive-class fraction.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    root: Option<Node>,
+    /// Induction hyper-parameters.
+    pub config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTree { root: None, config }
+    }
+
+    /// Fits the tree to binary labels.
+    pub fn fit(&mut self, x: &[Vec<f32>], y: &[bool], rng: &mut impl Rng) {
+        assert_eq!(x.len(), y.len(), "fit: feature/label length mismatch");
+        if x.is_empty() {
+            self.root = None;
+            return;
+        }
+        let targets: Vec<f32> = y.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let indices: Vec<usize> = (0..x.len()).collect();
+        self.root = Some(build_node(x, &targets, &indices, 0, &self.config, &gini, &mean, rng));
+    }
+
+    /// Probability of the positive class (leaf positive fraction).
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        self.root.as_ref().map(|r| r.predict(features)).unwrap_or(0.5)
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, features: &[f32]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Depth of the fitted tree (0 when unfitted).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map(|r| r.depth()).unwrap_or(0)
+    }
+}
+
+/// A least-squares regression tree. Leaves store the mean target.
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    root: Option<Node>,
+    /// Induction hyper-parameters.
+    pub config: TreeConfig,
+}
+
+impl RegressionTree {
+    /// Creates an unfitted tree.
+    pub fn new(config: TreeConfig) -> Self {
+        RegressionTree { root: None, config }
+    }
+
+    /// Fits the tree to continuous targets.
+    pub fn fit(&mut self, x: &[Vec<f32>], y: &[f32], rng: &mut impl Rng) {
+        assert_eq!(x.len(), y.len(), "fit: feature/target length mismatch");
+        if x.is_empty() {
+            self.root = None;
+            return;
+        }
+        let indices: Vec<usize> = (0..x.len()).collect();
+        self.root = Some(build_node(x, y, &indices, 0, &self.config, &variance, &mean, rng));
+    }
+
+    /// Predicted value.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        self.root.as_ref().map(|r| r.predict(features)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gini_and_variance_basics() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[1.0, 1.0]), 0.0);
+        assert!((gini(&[1.0, 0.0]) - 0.5).abs() < 1e-6);
+        assert_eq!(variance(&[]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classification_tree_learns_axis_aligned_rule() {
+        // Positive iff feature0 > 0.5, independent of feature1.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let a = (i as f32) / 100.0;
+            let b = ((i * 37) % 100) as f32 / 100.0;
+            x.push(vec![a, b]);
+            y.push(a > 0.5);
+        }
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y, &mut rng);
+        assert!(tree.depth() >= 2);
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
+        assert!(correct >= 98, "tree should nail an axis-aligned rule, got {correct}/100");
+        assert!(tree.predict_proba(&[0.9, 0.2]) > 0.9);
+        assert!(tree.predict_proba(&[0.1, 0.9]) < 0.1);
+    }
+
+    #[test]
+    fn classification_tree_xor_needs_depth_two() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = if i % 2 == 0 { 0.1 } else { 0.9 };
+            let b = if (i / 2) % 2 == 0 { 0.1 } else { 0.9 };
+            x.push(vec![a, b]);
+            y.push((a > 0.5) != (b > 0.5));
+        }
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 4, min_samples_split: 2, max_features: None });
+        tree.fit(&x, &y, &mut rng);
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
+        assert!(correct as f32 / 200.0 > 0.95, "XOR accuracy {correct}/200");
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 / 50.0]).collect();
+        let y: Vec<f32> = x.iter().map(|v| if v[0] < 0.4 { 1.0 } else { 5.0 }).collect();
+        let mut tree = RegressionTree::new(TreeConfig::default());
+        tree.fit(&x, &y, &mut rng);
+        assert!((tree.predict(&[0.1]) - 1.0).abs() < 0.2);
+        assert!((tree.predict(&[0.9]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn unfitted_and_empty_trees_return_defaults() {
+        let tree = DecisionTree::new(TreeConfig::default());
+        assert_eq!(tree.predict_proba(&[1.0]), 0.5);
+        assert_eq!(tree.depth(), 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rt = RegressionTree::new(TreeConfig::default());
+        rt.fit(&[], &[], &mut rng);
+        assert_eq!(rt.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn max_depth_one_produces_stump() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 1, min_samples_split: 2, max_features: None });
+        tree.fit(&x, &y, &mut rng);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn pure_node_is_not_split() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let y = vec![true; 10];
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y, &mut rng);
+        assert_eq!(tree.depth(), 1);
+        assert!(tree.predict(&[3.0]));
+    }
+}

@@ -1,0 +1,158 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test-suite (including property tests) to validate the hand-written backward
+//! passes of the fused ops in [`crate::tape`].
+
+use crate::param::Param;
+use crate::tape::{Tape, VarId};
+
+/// Result of checking one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Parameter name.
+    pub name: String,
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f32,
+    /// Maximum relative difference (normalized by the larger magnitude, floored at 1e-3).
+    pub max_rel_diff: f32,
+}
+
+/// Compares analytic gradients against central finite differences for every element of
+/// every parameter in `params`.
+///
+/// `build_loss` must construct a fresh forward pass on the provided tape, reading the
+/// *current* values of the parameters, and return the id of a scalar loss node.
+pub fn check_gradients(
+    params: &[Param],
+    mut build_loss: impl FnMut(&mut Tape) -> VarId,
+    epsilon: f32,
+) -> Vec<GradCheckReport> {
+    // Analytic gradients.
+    let mut tape = Tape::new();
+    let loss = build_loss(&mut tape);
+    let grads = tape.backward(loss);
+    let mut analytic: Vec<(Param, Vec<f32>)> = Vec::new();
+    for p in params {
+        let (rows, cols) = p.shape();
+        // Sum gradients over all bindings of this parameter.
+        let mut acc = vec![0.0f32; rows * cols];
+        for (node, bound) in tape.bindings() {
+            if bound.same_storage(p) {
+                if let Some(g) = grads.get(*node) {
+                    for (a, b) in acc.iter_mut().zip(g.data()) {
+                        *a += *b;
+                    }
+                }
+            }
+        }
+        analytic.push((p.clone(), acc));
+    }
+
+    // Numeric gradients via central differences.
+    let mut reports = Vec::new();
+    for (p, analytic_grad) in analytic {
+        let (rows, cols) = p.shape();
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        for r in 0..rows {
+            for c in 0..cols {
+                p.nudge(r, c, epsilon);
+                let mut t_plus = Tape::new();
+                let l_plus = build_loss(&mut t_plus);
+                let f_plus = t_plus.scalar(l_plus);
+
+                p.nudge(r, c, -2.0 * epsilon);
+                let mut t_minus = Tape::new();
+                let l_minus = build_loss(&mut t_minus);
+                let f_minus = t_minus.scalar(l_minus);
+
+                p.nudge(r, c, epsilon); // restore
+
+                let numeric = (f_plus - f_minus) / (2.0 * epsilon);
+                let a = analytic_grad[r * cols + c];
+                let abs_diff = (numeric - a).abs();
+                let denom = numeric.abs().max(a.abs()).max(1e-3);
+                max_abs = max_abs.max(abs_diff);
+                max_rel = max_rel.max(abs_diff / denom);
+            }
+        }
+        reports.push(GradCheckReport {
+            name: p.name(),
+            max_abs_diff: max_abs,
+            max_rel_diff: max_rel,
+        });
+    }
+    reports
+}
+
+/// Asserts that every parameter passes the gradient check within `rel_tol`.
+///
+/// # Panics
+/// Panics with a descriptive message when any parameter fails.
+pub fn assert_gradients_close(
+    params: &[Param],
+    build_loss: impl FnMut(&mut Tape) -> VarId,
+    epsilon: f32,
+    rel_tol: f32,
+) {
+    let reports = check_gradients(params, build_loss, epsilon);
+    for r in &reports {
+        assert!(
+            r.max_rel_diff <= rel_tol,
+            "gradient check failed for {}: max_rel_diff={} max_abs_diff={} (tol {})",
+            r.name,
+            r.max_rel_diff,
+            r.max_abs_diff,
+            rel_tol
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn detects_correct_gradient_of_quadratic() {
+        let p = Param::new("w", Matrix::from_rows(&[vec![0.3, -0.7]]));
+        assert_gradients_close(
+            &[p.clone()],
+            |tape| {
+                let w = tape.param(&p);
+                let sq = tape.pow2(w);
+                tape.sum_all(sq)
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn detects_wrong_gradient() {
+        // exp(x) has gradient exp(x); a loss computed with `ln` after clamping behaves
+        // differently from what an intentionally mismatched analytic path would give.
+        // Here we simulate a wrong backward by comparing against a different function value:
+        // build returns sum(2*w) analytically (grad 2), but we check against sum(w^2) numerically
+        // by changing behaviour across calls.
+        let p = Param::new("w", Matrix::from_rows(&[vec![1.5]]));
+        let mut call = 0usize;
+        assert_gradients_close(
+            &[p.clone()],
+            move |tape| {
+                call += 1;
+                let w = tape.param(&p);
+                if call == 1 {
+                    let s = tape.scale(w, 2.0);
+                    tape.sum_all(s)
+                } else {
+                    let sq = tape.pow2(w);
+                    tape.sum_all(sq)
+                }
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Weight initialization helpers.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::random_uniform(rows, cols, a, rng)
+}
+
+/// He/Kaiming normal initialization: `N(0, 2/fan_in)`.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / rows as f32).sqrt();
+    Matrix::random_normal(rows, cols, std, rng)
+}
+
+/// Small-scale normal initialization used for embedding tables: `N(0, 0.02^2)`
+/// (the convention used by BERT-style models).
+pub fn embedding_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::random_normal(rows, cols, 0.02, rng)
+}
+
+/// All-zeros initialization (biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+/// All-ones initialization (LayerNorm gains).
+pub fn ones(rows: usize, cols: usize) -> Matrix {
+    Matrix::full(rows, cols, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(16, 48, &mut rng);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(m.max_abs() <= bound + 1e-6);
+        assert!(m.max_abs() > bound * 0.5, "values should fill the range");
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = he_normal(128, 128, &mut rng);
+        let var = m.data().iter().map(|x| x * x).sum::<f32>() / m.len() as f32;
+        assert!((var - 2.0 / 128.0).abs() < 5e-3);
+    }
+
+    #[test]
+    fn constant_inits() {
+        assert_eq!(zeros(2, 2).sum(), 0.0);
+        assert_eq!(ones(2, 3).sum(), 6.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let e = embedding_normal(100, 8, &mut rng);
+        assert!(e.max_abs() < 0.15);
+    }
+}

@@ -1,0 +1,59 @@
+//! # sudowoodo-nn
+//!
+//! A small, dependency-free neural-network substrate used by the Sudowoodo reproduction.
+//!
+//! The paper fine-tunes pre-trained language models (RoBERTa/DistilBERT) with PyTorch;
+//! this crate provides the equivalent building blocks implemented from scratch in Rust:
+//!
+//! * [`matrix::Matrix`] — a dense row-major `f32` matrix, the only tensor type.
+//! * [`tape::Tape`] — reverse-mode automatic differentiation with a compact op set
+//!   (dense algebra, softmax, layer norm, L2 normalization, softmax cross-entropy).
+//! * [`layers`] — `Linear`, `Embedding`, `LayerNorm`, multi-head self-attention,
+//!   Transformer blocks, positional embeddings.
+//! * [`optim`] — AdamW (as used in the paper) and SGD.
+//! * [`gradcheck`] — finite-difference validation used extensively in tests.
+//!
+//! The crate is deliberately CPU-only and single-threaded per tape; the models trained in
+//! this reproduction are tiny (hidden sizes of 32–128, sequence lengths below 64), so the
+//! priority is correctness, determinism, and testability rather than throughput.
+//!
+//! ## Example
+//!
+//! ```
+//! use sudowoodo_nn::matrix::Matrix;
+//! use sudowoodo_nn::layers::{Layer, Linear};
+//! use sudowoodo_nn::optim::AdamW;
+//! use sudowoodo_nn::tape::Tape;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let layer = Linear::new("probe", 4, 1, &mut rng);
+//! let mut opt = AdamW::new(0.05);
+//! // Learn y = sum(x) from a few synthetic examples.
+//! for _ in 0..200 {
+//!     let mut tape = Tape::new();
+//!     let x = tape.constant(Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]));
+//!     let target = tape.constant(Matrix::from_rows(&[vec![10.0]]));
+//!     let y = layer.forward(&mut tape, x);
+//!     let diff = tape.sub(y, target);
+//!     let sq = tape.pow2(diff);
+//!     let loss = tape.sum_all(sq);
+//!     let grads = tape.backward(loss);
+//!     opt.step(&tape, &grads);
+//! }
+//! assert!(layer.params().len() == 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod param;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use param::Param;
+pub use tape::{Gradients, Tape, VarId};

@@ -1,0 +1,135 @@
+//! Trainable parameters.
+//!
+//! A [`Param`] is a shared, mutable matrix plus the optimizer state (first/second moment
+//! estimates for AdamW). Layers own `Param`s; every forward pass binds the current value
+//! into the [`crate::tape::Tape`] as a leaf node, and the optimizer later reads the
+//! gradient of that leaf and updates the parameter in place.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+
+/// Internal storage of a parameter.
+#[derive(Debug)]
+pub struct ParamInner {
+    /// Current value.
+    pub value: Matrix,
+    /// First-moment estimate (Adam `m`).
+    pub m: Matrix,
+    /// Second-moment estimate (Adam `v`).
+    pub v: Matrix,
+    /// Human-readable name (used in diagnostics).
+    pub name: String,
+}
+
+/// A shared handle to a trainable parameter.
+///
+/// Cloning a `Param` clones the handle, not the underlying value: all clones refer to the
+/// same storage, so a model can be borrowed immutably during the forward pass while the
+/// optimizer later mutates parameters through the same handles.
+#[derive(Clone, Debug)]
+pub struct Param(Rc<RefCell<ParamInner>>);
+
+impl Param {
+    /// Creates a named parameter from an initial value.
+    pub fn new(name: impl Into<String>, value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Param(Rc::new(RefCell::new(ParamInner {
+            value,
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+            name: name.into(),
+        })))
+    }
+
+    /// Returns a clone of the current value.
+    pub fn value(&self) -> Matrix {
+        self.0.borrow().value.clone()
+    }
+
+    /// Returns the parameter shape.
+    pub fn shape(&self) -> (usize, usize) {
+        self.0.borrow().value.shape()
+    }
+
+    /// Returns the parameter name.
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// Number of scalar elements.
+    pub fn num_elements(&self) -> usize {
+        self.0.borrow().value.len()
+    }
+
+    /// Overwrites the value (shape must match).
+    pub fn set_value(&self, value: Matrix) {
+        let mut inner = self.0.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            value.shape(),
+            "set_value: shape mismatch for parameter {}",
+            inner.name
+        );
+        inner.value = value;
+    }
+
+    /// Applies a closure to the mutable inner state (used by optimizers).
+    pub fn with_inner_mut<R>(&self, f: impl FnOnce(&mut ParamInner) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Applies a closure to the inner state.
+    pub fn with_inner<R>(&self, f: impl FnOnce(&ParamInner) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Stable identity of the underlying storage, used to de-duplicate parameters that are
+    /// bound several times in one tape (e.g. a shared embedding table).
+    pub fn id(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// Returns `true` if two handles refer to the same storage.
+    pub fn same_storage(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Perturbs a single element by `delta` (used by the finite-difference gradient checker).
+    pub fn nudge(&self, r: usize, c: usize, delta: f32) {
+        let mut inner = self.0.borrow_mut();
+        let v = inner.value.get(r, c);
+        inner.value.set(r, c, v + delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let p = Param::new("w", Matrix::zeros(2, 2));
+        let q = p.clone();
+        q.nudge(0, 0, 1.5);
+        assert_eq!(p.value().get(0, 0), 1.5);
+        assert!(p.same_storage(&q));
+        assert_eq!(p.id(), q.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_value_rejects_shape_change() {
+        let p = Param::new("w", Matrix::zeros(2, 2));
+        p.set_value(Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let p = Param::new("bias", Matrix::zeros(1, 8));
+        assert_eq!(p.name(), "bias");
+        assert_eq!(p.shape(), (1, 8));
+        assert_eq!(p.num_elements(), 8);
+    }
+}

@@ -1,0 +1,831 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tape`] records every operation of a forward pass as a node in a flat, topologically
+//! ordered vector. Calling [`Tape::backward`] seeds the gradient of a scalar (`1 x 1`) loss
+//! node and propagates gradients to every reachable node, returning a [`Gradients`] table.
+//!
+//! The op set is intentionally small and matched to what the Sudowoodo models need:
+//! dense layers, layer normalization, multi-head attention, the SimCLR contrastive loss,
+//! the Barlow Twins redundancy-regularization loss, and the pairwise fine-tuning head.
+//! Fused ops (`StandardizeRows`, `L2NormalizeRows`, `SoftmaxCrossEntropy`) keep graphs
+//! small and their hand-written backward passes are validated against finite differences
+//! by the property tests in `tests/gradcheck.rs`.
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Index of a node in a [`Tape`].
+pub type VarId = usize;
+
+/// A recorded operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf node (input constant or bound parameter).
+    Leaf,
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Mul(VarId, VarId),
+    MatMul(VarId, VarId),
+    Scale(VarId, f32),
+    AddScalar(VarId),
+    Transpose(VarId),
+    Relu(VarId),
+    Gelu(VarId),
+    Tanh(VarId),
+    Sigmoid(VarId),
+    Exp(VarId),
+    Ln(VarId),
+    Pow2(VarId),
+    Abs(VarId),
+    SumAll(VarId),
+    MeanAll(VarId),
+    RowSoftmax(VarId),
+    /// `x (n x d)` + `b (1 x d)` broadcast over rows.
+    AddRowBroadcast(VarId, VarId),
+    /// `x (n x d)` * `g (1 x d)` broadcast over rows.
+    MulRowBroadcast(VarId, VarId),
+    ConcatCols(VarId, VarId),
+    ConcatRows(VarId, VarId),
+    /// Stack many `1 x d` row vectors into an `n x d` matrix.
+    StackRows(Vec<VarId>),
+    /// Gather rows of the parent by index (embedding lookup). Gradient scatter-adds.
+    GatherRows(VarId, Vec<usize>),
+    SliceCols(VarId, usize, usize),
+    /// Mean over rows: `n x d -> 1 x d`.
+    MeanRows(VarId),
+    /// Per-row standardization `(x - mean) / sqrt(var + eps)` (LayerNorm core).
+    StandardizeRows(VarId, f32),
+    /// Per-row L2 normalization.
+    L2NormalizeRows(VarId),
+    /// Mean negative log-likelihood of a row-wise softmax against integer targets.
+    SoftmaxCrossEntropy(VarId, Vec<usize>),
+}
+
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Gradients produced by [`Tape::backward`]. Indexed by [`VarId`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to node `id`, if the node influenced the loss.
+    pub fn get(&self, id: VarId) -> Option<&Matrix> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient of `id`, or a zero matrix of the given shape when unreachable.
+    pub fn get_or_zeros(&self, id: VarId, rows: usize, cols: usize) -> Matrix {
+        self.get(id).cloned().unwrap_or_else(|| Matrix::zeros(rows, cols))
+    }
+}
+
+/// The autodiff tape. Create one per forward/backward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// `(leaf node, parameter)` bindings recorded by [`Tape::param`].
+    bindings: Vec<(VarId, Param)>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new(), bindings: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value held by node `id`.
+    pub fn value(&self, id: VarId) -> &Matrix {
+        &self.nodes[id].value
+    }
+
+    /// Scalar value of a `1 x 1` node.
+    pub fn scalar(&self, id: VarId) -> f32 {
+        let v = self.value(id);
+        assert_eq!(v.shape(), (1, 1), "scalar: node {} is not 1x1", id);
+        v.get(0, 0)
+    }
+
+    /// Parameter bindings recorded so far (leaf id, parameter handle).
+    pub fn bindings(&self) -> &[(VarId, Param)] {
+        &self.bindings
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> VarId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { value, op });
+        id
+    }
+
+    /// Records a constant leaf (no gradient will be requested for it by optimizers).
+    pub fn constant(&mut self, value: Matrix) -> VarId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Binds a trainable parameter as a leaf and remembers the binding so that an optimizer
+    /// can later collect its gradient.
+    pub fn param(&mut self, param: &Param) -> VarId {
+        let id = self.push(param.value(), Op::Leaf);
+        self.bindings.push((id, param.clone()));
+        id
+    }
+
+    // ---- element-wise and linear-algebra ops -------------------------------------------
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Addition of a scalar constant to every element.
+    pub fn add_scalar(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.value(a).map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    // ---- activations ---------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Gaussian error linear unit (tanh approximation).
+    pub fn gelu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(gelu);
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Element-wise natural logarithm (inputs are clamped to `1e-12` for stability).
+    pub fn ln(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(1e-12).ln());
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Element-wise square.
+    pub fn pow2(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Pow2(a))
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::abs);
+        self.push(v, Op::Abs(a))
+    }
+
+    // ---- reductions ------------------------------------------------------------------------
+
+    /// Sum of every element, as a `1 x 1` matrix.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of every element, as a `1 x 1` matrix.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Mean over rows: `n x d -> 1 x d`.
+    pub fn mean_rows(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).mean_rows();
+        self.push(v, Op::MeanRows(a))
+    }
+
+    // ---- structured / fused ops --------------------------------------------------------------
+
+    /// Row-wise softmax.
+    pub fn row_softmax(&mut self, a: VarId) -> VarId {
+        let v = row_softmax(self.value(a));
+        self.push(v, Op::RowSoftmax(a))
+    }
+
+    /// Adds a `1 x d` row vector to every row of an `n x d` matrix.
+    pub fn add_row_broadcast(&mut self, x: VarId, bias: VarId) -> VarId {
+        let xm = self.value(x);
+        let bm = self.value(bias);
+        assert_eq!(bm.rows(), 1, "add_row_broadcast: bias must be 1 x d");
+        assert_eq!(xm.cols(), bm.cols(), "add_row_broadcast: width mismatch");
+        let mut out = xm.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + bm.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        self.push(out, Op::AddRowBroadcast(x, bias))
+    }
+
+    /// Multiplies every row of an `n x d` matrix element-wise by a `1 x d` row vector.
+    pub fn mul_row_broadcast(&mut self, x: VarId, gain: VarId) -> VarId {
+        let xm = self.value(x);
+        let gm = self.value(gain);
+        assert_eq!(gm.rows(), 1, "mul_row_broadcast: gain must be 1 x d");
+        assert_eq!(xm.cols(), gm.cols(), "mul_row_broadcast: width mismatch");
+        let mut out = xm.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) * gm.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        self.push(out, Op::MulRowBroadcast(x, gain))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = Matrix::hstack(&[self.value(a), self.value(b)]);
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Vertical concatenation (stacking `b` below `a`).
+    pub fn concat_rows(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = Matrix::vstack(&[self.value(a), self.value(b)]);
+        self.push(v, Op::ConcatRows(a, b))
+    }
+
+    /// Stacks many `1 x d` row vectors into an `n x d` matrix.
+    pub fn stack_rows(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "stack_rows: empty input");
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        for m in &mats {
+            assert_eq!(m.rows(), 1, "stack_rows: every part must be 1 x d");
+        }
+        let v = Matrix::vstack(&mats);
+        self.push(v, Op::StackRows(parts.to_vec()))
+    }
+
+    /// Gathers rows of `a` by index (embedding lookup). Gradients scatter-add.
+    pub fn gather_rows(&mut self, a: VarId, indices: &[usize]) -> VarId {
+        let v = self.value(a).gather_rows(indices);
+        self.push(v, Op::GatherRows(a, indices.to_vec()))
+    }
+
+    /// Selects the column range `[start, end)`.
+    pub fn slice_cols(&mut self, a: VarId, start: usize, end: usize) -> VarId {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(v, Op::SliceCols(a, start, end))
+    }
+
+    /// Per-row standardization `(x - mean) / sqrt(var + eps)` (the core of LayerNorm).
+    pub fn standardize_rows(&mut self, a: VarId, eps: f32) -> VarId {
+        let v = standardize_rows(self.value(a), eps);
+        self.push(v, Op::StandardizeRows(a, eps))
+    }
+
+    /// Per-row L2 normalization.
+    pub fn l2_normalize_rows(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).l2_normalize_rows();
+        self.push(v, Op::L2NormalizeRows(a))
+    }
+
+    /// Mean softmax cross-entropy of `logits` (`n x k`) against integer `targets`.
+    ///
+    /// # Panics
+    /// Panics when `targets.len() != logits.rows()` or a target is out of range.
+    pub fn softmax_cross_entropy(&mut self, logits: VarId, targets: &[usize]) -> VarId {
+        let lm = self.value(logits);
+        assert_eq!(lm.rows(), targets.len(), "softmax_cross_entropy: target count mismatch");
+        let probs = row_softmax(lm);
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lm.cols(), "softmax_cross_entropy: target {} out of range", t);
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= targets.len() as f32;
+        let v = Matrix::from_vec(1, 1, vec![loss]);
+        self.push(v, Op::SoftmaxCrossEntropy(logits, targets.to_vec()))
+    }
+
+    // ---- backward pass --------------------------------------------------------------------
+
+    /// Propagates gradients from the scalar node `loss` back to every reachable node.
+    ///
+    /// # Panics
+    /// Panics when `loss` is not a `1 x 1` node.
+    pub fn backward(&self, loss: VarId) -> Gradients {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss node must be a 1x1 scalar"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for id in (0..=loss).rev() {
+            let grad = match grads[id].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.accumulate_parents(id, &grad, &mut grads);
+            grads[id] = Some(grad);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate_parents(&self, id: VarId, grad: &Matrix, grads: &mut [Option<Matrix>]) {
+        let node = &self.nodes[id];
+        let add_to = |grads: &mut [Option<Matrix>], pid: VarId, delta: Matrix| {
+            match &mut grads[pid] {
+                Some(existing) => existing.add_assign(&delta),
+                slot @ None => *slot = Some(delta),
+            }
+        };
+        match &node.op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                add_to(grads, *a, grad.clone());
+                add_to(grads, *b, grad.clone());
+            }
+            Op::Sub(a, b) => {
+                add_to(grads, *a, grad.clone());
+                add_to(grads, *b, grad.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let av = &self.nodes[*a].value;
+                let bv = &self.nodes[*b].value;
+                add_to(grads, *a, grad.hadamard(bv));
+                add_to(grads, *b, grad.hadamard(av));
+            }
+            Op::MatMul(a, b) => {
+                let av = &self.nodes[*a].value;
+                let bv = &self.nodes[*b].value;
+                add_to(grads, *a, grad.matmul(&bv.transpose()));
+                add_to(grads, *b, av.transpose().matmul(grad));
+            }
+            Op::Scale(a, s) => add_to(grads, *a, grad.scale(*s)),
+            Op::AddScalar(a) => add_to(grads, *a, grad.clone()),
+            Op::Transpose(a) => add_to(grads, *a, grad.transpose()),
+            Op::Relu(a) => {
+                let av = &self.nodes[*a].value;
+                add_to(grads, *a, grad.zip_map(av, |g, x| if x > 0.0 { g } else { 0.0 }));
+            }
+            Op::Gelu(a) => {
+                let av = &self.nodes[*a].value;
+                add_to(grads, *a, grad.zip_map(av, |g, x| g * gelu_grad(x)));
+            }
+            Op::Tanh(a) => {
+                let yv = &node.value;
+                add_to(grads, *a, grad.zip_map(yv, |g, y| g * (1.0 - y * y)));
+            }
+            Op::Sigmoid(a) => {
+                let yv = &node.value;
+                add_to(grads, *a, grad.zip_map(yv, |g, y| g * y * (1.0 - y)));
+            }
+            Op::Exp(a) => {
+                let yv = &node.value;
+                add_to(grads, *a, grad.hadamard(yv));
+            }
+            Op::Ln(a) => {
+                let av = &self.nodes[*a].value;
+                add_to(grads, *a, grad.zip_map(av, |g, x| g / x.max(1e-12)));
+            }
+            Op::Pow2(a) => {
+                let av = &self.nodes[*a].value;
+                add_to(grads, *a, grad.zip_map(av, |g, x| 2.0 * x * g));
+            }
+            Op::Abs(a) => {
+                let av = &self.nodes[*a].value;
+                add_to(
+                    grads,
+                    *a,
+                    grad.zip_map(av, |g, x| if x >= 0.0 { g } else { -g }),
+                );
+            }
+            Op::SumAll(a) => {
+                let av = &self.nodes[*a].value;
+                let g = grad.get(0, 0);
+                add_to(grads, *a, Matrix::full(av.rows(), av.cols(), g));
+            }
+            Op::MeanAll(a) => {
+                let av = &self.nodes[*a].value;
+                let g = grad.get(0, 0) / av.len() as f32;
+                add_to(grads, *a, Matrix::full(av.rows(), av.cols(), g));
+            }
+            Op::MeanRows(a) => {
+                let av = &self.nodes[*a].value;
+                let n = av.rows() as f32;
+                let mut out = Matrix::zeros(av.rows(), av.cols());
+                for r in 0..av.rows() {
+                    for c in 0..av.cols() {
+                        out.set(r, c, grad.get(0, c) / n);
+                    }
+                }
+                add_to(grads, *a, out);
+            }
+            Op::RowSoftmax(a) => {
+                // dx = y * (dy - sum_j dy_j y_j) per row
+                let y = &node.value;
+                let mut out = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f32 = y
+                        .row(r)
+                        .iter()
+                        .zip(grad.row(r).iter())
+                        .map(|(&yy, &gg)| yy * gg)
+                        .sum();
+                    for c in 0..y.cols() {
+                        out.set(r, c, y.get(r, c) * (grad.get(r, c) - dot));
+                    }
+                }
+                add_to(grads, *a, out);
+            }
+            Op::AddRowBroadcast(x, bias) => {
+                add_to(grads, *x, grad.clone());
+                let mut bias_grad = Matrix::zeros(1, grad.cols());
+                for r in 0..grad.rows() {
+                    for c in 0..grad.cols() {
+                        let v = bias_grad.get(0, c) + grad.get(r, c);
+                        bias_grad.set(0, c, v);
+                    }
+                }
+                add_to(grads, *bias, bias_grad);
+            }
+            Op::MulRowBroadcast(x, gain) => {
+                let xv = &self.nodes[*x].value;
+                let gv = &self.nodes[*gain].value;
+                let mut x_grad = Matrix::zeros(xv.rows(), xv.cols());
+                let mut g_grad = Matrix::zeros(1, xv.cols());
+                for r in 0..xv.rows() {
+                    for c in 0..xv.cols() {
+                        x_grad.set(r, c, grad.get(r, c) * gv.get(0, c));
+                        let v = g_grad.get(0, c) + grad.get(r, c) * xv.get(r, c);
+                        g_grad.set(0, c, v);
+                    }
+                }
+                add_to(grads, *x, x_grad);
+                add_to(grads, *gain, g_grad);
+            }
+            Op::ConcatCols(a, b) => {
+                let a_cols = self.nodes[*a].value.cols();
+                add_to(grads, *a, grad.slice_cols(0, a_cols));
+                add_to(grads, *b, grad.slice_cols(a_cols, grad.cols()));
+            }
+            Op::ConcatRows(a, b) => {
+                let a_rows = self.nodes[*a].value.rows();
+                add_to(grads, *a, grad.slice_rows(0, a_rows));
+                add_to(grads, *b, grad.slice_rows(a_rows, grad.rows()));
+            }
+            Op::StackRows(parents) => {
+                for (r, &pid) in parents.iter().enumerate() {
+                    add_to(grads, pid, grad.slice_rows(r, r + 1));
+                }
+            }
+            Op::GatherRows(a, indices) => {
+                let av = &self.nodes[*a].value;
+                let mut out = Matrix::zeros(av.rows(), av.cols());
+                for (i, &idx) in indices.iter().enumerate() {
+                    for c in 0..av.cols() {
+                        let v = out.get(idx, c) + grad.get(i, c);
+                        out.set(idx, c, v);
+                    }
+                }
+                add_to(grads, *a, out);
+            }
+            Op::SliceCols(a, start, end) => {
+                let av = &self.nodes[*a].value;
+                let mut out = Matrix::zeros(av.rows(), av.cols());
+                for r in 0..av.rows() {
+                    for (c, col) in (*start..*end).enumerate() {
+                        out.set(r, col, grad.get(r, c));
+                    }
+                }
+                add_to(grads, *a, out);
+            }
+            Op::StandardizeRows(a, eps) => {
+                // y = (x - mu) / sigma with sigma = sqrt(var + eps)
+                // dx = (dy - mean(dy) - y * mean(dy * y)) / sigma
+                let av = &self.nodes[*a].value;
+                let y = &node.value;
+                let d = av.cols() as f32;
+                let mut out = Matrix::zeros(av.rows(), av.cols());
+                for r in 0..av.rows() {
+                    let mean: f32 = av.row(r).iter().sum::<f32>() / d;
+                    let var: f32 =
+                        av.row(r).iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d;
+                    let sigma = (var + eps).sqrt();
+                    let mean_dy: f32 = grad.row(r).iter().sum::<f32>() / d;
+                    let mean_dyy: f32 = grad
+                        .row(r)
+                        .iter()
+                        .zip(y.row(r).iter())
+                        .map(|(&g, &yy)| g * yy)
+                        .sum::<f32>()
+                        / d;
+                    for c in 0..av.cols() {
+                        let v = (grad.get(r, c) - mean_dy - y.get(r, c) * mean_dyy) / sigma;
+                        out.set(r, c, v);
+                    }
+                }
+                add_to(grads, *a, out);
+            }
+            Op::L2NormalizeRows(a) => {
+                // y = x / ||x||; dx = (dy - y * (y . dy)) / ||x||
+                let av = &self.nodes[*a].value;
+                let y = &node.value;
+                let mut out = Matrix::zeros(av.rows(), av.cols());
+                for r in 0..av.rows() {
+                    let norm: f32 = av.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+                    if norm <= 1e-12 {
+                        // The forward pass left the row untouched, so it behaved as identity.
+                        for c in 0..av.cols() {
+                            out.set(r, c, grad.get(r, c));
+                        }
+                        continue;
+                    }
+                    let dot: f32 = y
+                        .row(r)
+                        .iter()
+                        .zip(grad.row(r).iter())
+                        .map(|(&yy, &gg)| yy * gg)
+                        .sum();
+                    for c in 0..av.cols() {
+                        out.set(r, c, (grad.get(r, c) - y.get(r, c) * dot) / norm);
+                    }
+                }
+                add_to(grads, *a, out);
+            }
+            Op::SoftmaxCrossEntropy(logits, targets) => {
+                let lv = &self.nodes[*logits].value;
+                let probs = row_softmax(lv);
+                let n = targets.len() as f32;
+                let upstream = grad.get(0, 0);
+                let mut out = probs;
+                for (r, &t) in targets.iter().enumerate() {
+                    let v = out.get(r, t) - 1.0;
+                    out.set(r, t, v);
+                }
+                add_to(grads, *logits, out.scale(upstream / n));
+            }
+        }
+    }
+}
+
+/// GELU activation (tanh approximation).
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the GELU tanh approximation.
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Numerically stable row-wise softmax over a plain matrix.
+pub fn row_softmax(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Per-row standardization used by LayerNorm.
+pub fn standardize_rows(x: &Matrix, eps: f32) -> Matrix {
+    let d = x.cols() as f32;
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let mean: f32 = out.row(r).iter().sum::<f32>() / d;
+        let var: f32 = out.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+        let sigma = (var + eps).sqrt();
+        for v in out.row_mut(r) {
+            *v = (*v - mean) / sigma;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_tape(f: impl Fn(&mut Tape, VarId) -> VarId, x: Matrix) -> (f32, Matrix) {
+        let mut tape = Tape::new();
+        let input = tape.constant(x.clone());
+        let out = f(&mut tape, input);
+        let loss = if tape.value(out).shape() == (1, 1) { out } else { tape.sum_all(out) };
+        let grads = tape.backward(loss);
+        (
+            tape.scalar(loss),
+            grads.get_or_zeros(input, x.rows(), x.cols()),
+        )
+    }
+
+    #[test]
+    fn add_and_scale_gradients() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let (loss, grad) = scalar_tape(|t, x| t.scale(x, 3.0), x);
+        assert!((loss - 30.0).abs() < 1e-5);
+        assert!(grad.approx_eq(&Matrix::full(2, 2, 3.0), 1e-6));
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![0.5, -1.0], vec![2.0, 1.5]]);
+        let mut tape = Tape::new();
+        let av = tape.constant(a.clone());
+        let bv = tape.constant(b.clone());
+        let c = tape.matmul(av, bv);
+        let loss = tape.sum_all(c);
+        let grads = tape.backward(loss);
+        // dL/dA = ones * B^T ; dL/dB = A^T * ones
+        let ones = Matrix::full(2, 2, 1.0);
+        assert!(grads.get(av).unwrap().approx_eq(&ones.matmul(&b.transpose()), 1e-5));
+        assert!(grads.get(bv).unwrap().approx_eq(&a.transpose().matmul(&ones), 1e-5));
+    }
+
+    #[test]
+    fn relu_masks_negative_gradients() {
+        let x = Matrix::from_rows(&[vec![-1.0, 2.0]]);
+        let (_, grad) = scalar_tape(|t, x| t.relu(x), x);
+        assert_eq!(grad.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let s = row_softmax(&x);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_is_probs_minus_onehot() {
+        let logits = Matrix::from_rows(&[vec![2.0, 0.5, -1.0]]);
+        let mut tape = Tape::new();
+        let lv = tape.constant(logits.clone());
+        let loss = tape.softmax_cross_entropy(lv, &[0]);
+        let grads = tape.backward(loss);
+        let p = row_softmax(&logits);
+        let expected = Matrix::from_rows(&[vec![p.get(0, 0) - 1.0, p.get(0, 1), p.get(0, 2)]]);
+        assert!(grads.get(lv).unwrap().approx_eq(&expected, 1e-5));
+    }
+
+    #[test]
+    fn standardize_rows_has_zero_mean_unit_variance() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]);
+        let y = standardize_rows(&x, 1e-5);
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn l2_normalize_rows_gradient_is_tangent() {
+        // Gradient of sum(y) wrt x must be orthogonal to y (projection removes radial part).
+        let x = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let y = tape.l2_normalize_rows(xv);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        let g = grads.get(xv).unwrap();
+        let yv = x.l2_normalize_rows();
+        let dot: f32 = g.row(0).iter().zip(yv.row(0)).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-5);
+    }
+
+    #[test]
+    fn gather_rows_scatter_adds_gradient() {
+        let table = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let mut tape = Tape::new();
+        let t = tape.constant(table);
+        let g = tape.gather_rows(t, &[1, 1, 2]);
+        let loss = tape.sum_all(g);
+        let grads = tape.backward(loss);
+        let expected = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 2.0], vec![1.0, 1.0]]);
+        assert!(grads.get(t).unwrap().approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn stack_rows_routes_gradients_to_parts() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::row_vector(&[1.0, 2.0]));
+        let b = tape.constant(Matrix::row_vector(&[3.0, 4.0]));
+        let stacked = tape.stack_rows(&[a, b]);
+        let scaled = tape.scale(stacked, 2.0);
+        let loss = tape.sum_all(scaled);
+        let grads = tape.backward(loss);
+        assert!(grads.get(a).unwrap().approx_eq(&Matrix::row_vector(&[2.0, 2.0]), 1e-6));
+        assert!(grads.get(b).unwrap().approx_eq(&Matrix::row_vector(&[2.0, 2.0]), 1e-6));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::row_vector(&[1.0]));
+        let b = tape.constant(Matrix::row_vector(&[5.0]));
+        let loss = tape.sum_all(a);
+        let grads = tape.backward(loss);
+        assert!(grads.get(b).is_none());
+        assert!(grads.get(a).is_some());
+    }
+
+    #[test]
+    fn param_binding_is_recorded() {
+        let p = Param::new("w", Matrix::row_vector(&[2.0]));
+        let mut tape = Tape::new();
+        let pv = tape.param(&p);
+        let loss = tape.sum_all(pv);
+        assert_eq!(tape.bindings().len(), 1);
+        let grads = tape.backward(loss);
+        assert!(grads.get(pv).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss node must be a 1x1 scalar")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::zeros(2, 2));
+        let _ = tape.backward(a);
+    }
+}

@@ -1,0 +1,130 @@
+//! Token-set similarity utilities.
+//!
+//! Jaccard similarity over token sets drives the paper's data-profiling analysis
+//! (Table XVI difficulty levels) and is used by the Auto-FuzzyJoin and DL-Block baselines.
+
+use std::collections::HashSet;
+
+use crate::tokenizer::tokenize;
+
+/// Jaccard similarity of two token sets.
+pub fn jaccard_tokens(a: &[String], b: &[String]) -> f32 {
+    let sa: HashSet<&str> = a.iter().map(|s| s.as_str()).collect();
+    let sb: HashSet<&str> = b.iter().map(|s| s.as_str()).collect();
+    jaccard_sets(&sa, &sb)
+}
+
+/// Jaccard similarity of two raw strings (tokenized first).
+pub fn jaccard_text(a: &str, b: &str) -> f32 {
+    let ta = tokenize(a);
+    let tb = tokenize(b);
+    jaccard_tokens(&ta, &tb)
+}
+
+fn jaccard_sets(a: &HashSet<&str>, b: &HashSet<&str>) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f32 / union as f32
+}
+
+/// Character n-gram multiset overlap (Dice coefficient), a cheap fuzzy string similarity used
+/// by the Auto-FuzzyJoin baseline for near-duplicate detection on short strings.
+pub fn char_ngram_dice(a: &str, b: &str, n: usize) -> f32 {
+    let ga = char_ngrams(a, n);
+    let gb = char_ngrams(b, n);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let sa: HashSet<&str> = ga.iter().map(|s| s.as_str()).collect();
+    let sb: HashSet<&str> = gb.iter().map(|s| s.as_str()).collect();
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f32 / (sa.len() + sb.len()) as f32
+}
+
+fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = s.to_lowercase().chars().filter(|c| !c.is_whitespace()).collect();
+    if chars.len() < n {
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
+}
+
+/// Levenshtein edit distance (used by the Baran-like corrector to rank typo fixes).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            current[j + 1] = (prev[j + 1] + 1).min(current[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+/// Normalized edit similarity in `[0, 1]`.
+pub fn edit_similarity(a: &str, b: &str) -> f32 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f32 / max_len as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        assert_eq!(jaccard_text("canon ink cyan", "canon ink cyan"), 1.0);
+        assert_eq!(jaccard_text("canon ink", "epson toner"), 0.0);
+        assert_eq!(jaccard_text("", ""), 1.0);
+        assert_eq!(jaccard_text("canon", ""), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        // {a,b,c} vs {b,c,d}: 2/4
+        assert!((jaccard_text("a b c", "b c d") - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dice_handles_short_strings() {
+        assert_eq!(char_ngram_dice("", "", 3), 1.0);
+        assert_eq!(char_ngram_dice("ab", "", 3), 0.0);
+        assert!(char_ngram_dice("microsoft", "microsft", 3) > 0.6);
+        assert!(char_ngram_dice("microsoft", "apple", 3) < 0.2);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert!((edit_similarity("hospital", "hosptial") - 0.75).abs() < 1e-6);
+        assert_eq!(edit_similarity("", ""), 1.0);
+    }
+}

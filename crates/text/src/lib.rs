@@ -1,0 +1,27 @@
+//! # sudowoodo-text
+//!
+//! Data model, serialization, and tokenization for the Sudowoodo reproduction.
+//!
+//! All Sudowoodo tasks operate on *data items* serialized into token sequences:
+//! entity entries and dirty-table cells become `[COL] attr [VAL] value ...` sequences
+//! (the Ditto scheme), table columns become `[VAL] v1 [VAL] v2 ...` sequences, and pairs
+//! of items are joined as `[CLS] x [SEP] y [SEP]`.
+//!
+//! This crate provides:
+//! * [`record`] — [`record::Record`], [`record::Table`], [`record::Column`]
+//! * [`serialize`] — the serialization schemes of §II-B and §V
+//! * [`tokenizer`] — a deterministic word-level tokenizer plus a corpus-built [`tokenizer::Vocab`]
+//!   with hashed out-of-vocabulary buckets
+//! * [`jaccard`] — token-set and string similarities used for data profiling and rule-based
+//!   baselines
+
+#![warn(missing_docs)]
+
+pub mod jaccard;
+pub mod record;
+pub mod serialize;
+pub mod tokenizer;
+
+pub use record::{Column, Record, Table};
+pub use serialize::{serialize_column, serialize_pair, serialize_record, serialize_record_pair};
+pub use tokenizer::{tokenize, Vocab, VocabConfig};

@@ -1,0 +1,295 @@
+//! Structured data items: entity records, relational tables, and table columns.
+//!
+//! These are the inputs of every Sudowoodo task: Entity Matching consumes [`Record`]s,
+//! data cleaning consumes [`Table`]s of records plus per-cell candidate corrections, and
+//! semantic type detection consumes [`Column`]s.
+
+use std::fmt;
+
+/// An entity entry / table row: an ordered list of `(attribute, value)` pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Record {
+    attributes: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Record { attributes: Vec::new() }
+    }
+
+    /// Creates a record from `(attribute, value)` pairs.
+    pub fn from_pairs<I, A, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (A, V)>,
+        A: Into<String>,
+        V: Into<String>,
+    {
+        Record {
+            attributes: pairs.into_iter().map(|(a, v)| (a.into(), v.into())).collect(),
+        }
+    }
+
+    /// Appends an attribute.
+    pub fn push(&mut self, attribute: impl Into<String>, value: impl Into<String>) {
+        self.attributes.push((attribute.into(), value.into()));
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `true` when the record has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Iterates over `(attribute, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attributes.iter().map(|(a, v)| (a.as_str(), v.as_str()))
+    }
+
+    /// All attribute names in order.
+    pub fn attribute_names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|(a, _)| a.as_str()).collect()
+    }
+
+    /// Value of the attribute at position `idx`.
+    pub fn value_at(&self, idx: usize) -> Option<&str> {
+        self.attributes.get(idx).map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute name at position `idx`.
+    pub fn attribute_at(&self, idx: usize) -> Option<&str> {
+        self.attributes.get(idx).map(|(a, _)| a.as_str())
+    }
+
+    /// Looks up a value by attribute name (first match).
+    pub fn get(&self, attribute: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(a, _)| a == attribute)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Replaces the value at position `idx`, returning the previous value.
+    pub fn set_value_at(&mut self, idx: usize, value: impl Into<String>) -> Option<String> {
+        self.attributes
+            .get_mut(idx)
+            .map(|(_, v)| std::mem::replace(v, value.into()))
+    }
+
+    /// Removes the attribute at position `idx`.
+    pub fn remove_at(&mut self, idx: usize) -> Option<(String, String)> {
+        if idx < self.attributes.len() {
+            Some(self.attributes.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Swaps two attributes (used by the `col_shuffle` augmentation operator).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        self.attributes.swap(i, j);
+    }
+
+    /// Concatenation of all values separated by spaces (used for TF-IDF features and
+    /// Jaccard-similarity profiling).
+    pub fn text(&self) -> String {
+        self.attributes
+            .iter()
+            .map(|(_, v)| v.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (a, v)) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A relational table: a schema plus rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Ordered column names.
+    pub columns: Vec<String>,
+    /// Rows; every row should have one value per column.
+    pub rows: Vec<Record>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        Table { name: name.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row built from values aligned with the schema.
+    ///
+    /// # Panics
+    /// Panics when the number of values differs from the number of columns.
+    pub fn push_row(&mut self, values: Vec<String>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "push_row: expected {} values, got {}",
+            self.columns.len(),
+            values.len()
+        );
+        let record = Record::from_pairs(self.columns.iter().cloned().zip(values));
+        self.rows.push(record);
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Extracts column `idx` as a [`Column`].
+    pub fn column(&self, idx: usize) -> Column {
+        Column {
+            name: Some(self.columns[idx].clone()),
+            values: self
+                .rows
+                .iter()
+                .map(|r| r.value_at(idx).unwrap_or_default().to_string())
+                .collect(),
+        }
+    }
+
+    /// The value of cell `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.value_at(col))
+    }
+
+    /// Overwrites the value of cell `(row, col)`.
+    pub fn set_cell(&mut self, row: usize, col: usize, value: impl Into<String>) {
+        if let Some(r) = self.rows.get_mut(row) {
+            r.set_value_at(col, value);
+        }
+    }
+}
+
+/// A table column: an optional header plus values, the data item of column matching.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Column {
+    /// Column header, when known. Sudowoodo's bare-bone serialization ignores it.
+    pub name: Option<String>,
+    /// Cell values.
+    pub values: Vec<String>,
+}
+
+impl Column {
+    /// Creates a column from values.
+    pub fn from_values<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<String>,
+    {
+        Column { name: None, values: values.into_iter().map(Into::into).collect() }
+    }
+
+    /// Creates a named column.
+    pub fn named<I, V>(name: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<String>,
+    {
+        Column {
+            name: Some(name.into()),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Truncates the column to at most `n` values (columns are long; serialization caps them).
+    pub fn truncated(&self, n: usize) -> Column {
+        Column {
+            name: self.name.clone(),
+            values: self.values.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let mut r = Record::from_pairs([("title", "instant immersion spanish"), ("price", "36.11")]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("price"), Some("36.11"));
+        assert_eq!(r.value_at(0), Some("instant immersion spanish"));
+        assert_eq!(r.attribute_at(1), Some("price"));
+        r.set_value_at(1, "17.10");
+        assert_eq!(r.get("price"), Some("17.10"));
+        r.push("brand", "encore");
+        assert_eq!(r.attribute_names(), vec!["title", "price", "brand"]);
+        r.swap(0, 2);
+        assert_eq!(r.attribute_at(0), Some("brand"));
+        let removed = r.remove_at(0).unwrap();
+        assert_eq!(removed.0, "brand");
+        assert!(r.text().contains("17.10"));
+        assert!(!r.is_empty());
+        assert!(format!("{r}").contains("price=17.10"));
+    }
+
+    #[test]
+    fn table_cells_and_columns() {
+        let mut t = Table::new("beers", vec!["name".into(), "abv".into()]);
+        t.push_row(vec!["ipa".into(), "0.08".into()]);
+        t.push_row(vec!["stout".into(), "0.05".into()]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.cell(1, 0), Some("stout"));
+        t.set_cell(1, 1, "0.06");
+        assert_eq!(t.cell(1, 1), Some("0.06"));
+        let col = t.column(1);
+        assert_eq!(col.name.as_deref(), Some("abv"));
+        assert_eq!(col.values, vec!["0.08", "0.06"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 values")]
+    fn push_row_validates_arity() {
+        let mut t = Table::new("t", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn column_truncation() {
+        let c = Column::named("state", ["NY", "CA", "FL", "TX"]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        let t = c.truncated(2);
+        assert_eq!(t.values, vec!["NY", "CA"]);
+        assert_eq!(t.name.as_deref(), Some("state"));
+        let anon = Column::from_values(["1", "2"]);
+        assert!(anon.name.is_none());
+    }
+}

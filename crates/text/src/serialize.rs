@@ -1,0 +1,184 @@
+//! Serialization of data items into token sequences.
+//!
+//! Follows the Ditto-style scheme used by the paper (§II-B and §V):
+//!
+//! * entity entry: `[COL] attr1 [VAL] v1 [COL] attr2 [VAL] v2 ...`
+//! * pair: `[CLS] serialize(x) [SEP] serialize(y) [SEP]`
+//! * cell, context-free: `[COL] attr_i [VAL] r_i`
+//! * cell, contextual: the full row serialization with the cell value replaced by the
+//!   candidate correction
+//! * column: `[VAL] v1 [VAL] v2 ...` (bare-bone scheme without metadata)
+
+use crate::record::{Column, Record};
+
+/// Marker token starting an attribute name.
+pub const COL: &str = "[COL]";
+/// Marker token starting an attribute value.
+pub const VAL: &str = "[VAL]";
+/// Sequence-start marker used for pair serialization.
+pub const CLS: &str = "[CLS]";
+/// Separator between the two items of a pair.
+pub const SEP: &str = "[SEP]";
+
+/// Serializes an entity entry / row: `[COL] a1 [VAL] v1 [COL] a2 [VAL] v2 ...`.
+pub fn serialize_record(record: &Record) -> String {
+    let mut out = String::new();
+    for (attr, value) in record.iter() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(COL);
+        out.push(' ');
+        out.push_str(attr);
+        out.push(' ');
+        out.push_str(VAL);
+        out.push(' ');
+        out.push_str(value);
+    }
+    out
+}
+
+/// Serializes a pair of already-serialized items: `[CLS] x [SEP] y [SEP]`.
+pub fn serialize_pair(x: &str, y: &str) -> String {
+    format!("{CLS} {x} {SEP} {y} {SEP}")
+}
+
+/// Serializes a pair of records.
+pub fn serialize_record_pair(x: &Record, y: &Record) -> String {
+    serialize_pair(&serialize_record(x), &serialize_record(y))
+}
+
+/// Context-free cell serialization: `[COL] attr [VAL] value`.
+pub fn serialize_cell(attribute: &str, value: &str) -> String {
+    format!("{COL} {attribute} {VAL} {value}")
+}
+
+/// Contextual cell serialization: the whole row with the value of `cell_idx` replaced by
+/// `replacement` (used to encode a candidate correction in its row context).
+pub fn serialize_cell_in_context(row: &Record, cell_idx: usize, replacement: &str) -> String {
+    let mut patched = row.clone();
+    patched.set_value_at(cell_idx, replacement);
+    serialize_record(&patched)
+}
+
+/// Bare-bone column serialization: `[VAL] v1 [VAL] v2 ...`, capped at `max_values` cells.
+pub fn serialize_column(column: &Column, max_values: usize) -> String {
+    let mut out = String::new();
+    for value in column.values.iter().take(max_values) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(VAL);
+        out.push(' ');
+        out.push_str(value);
+    }
+    out
+}
+
+/// Column serialization including the header name, for the "with metadata" variant
+/// discussed in §V-B.
+pub fn serialize_column_with_name(column: &Column, max_values: usize) -> String {
+    let body = serialize_column(column, max_values);
+    match &column.name {
+        Some(name) => format!("{COL} {name} {body}"),
+        None => body,
+    }
+}
+
+/// Splits a serialized record back into `(attribute, value)` chunks. Used by the
+/// attribute-level augmentation operators which must respect `[COL] ... [VAL] ...` spans.
+pub fn split_serialized_attributes(serialized: &str) -> Vec<(String, String)> {
+    let tokens: Vec<&str> = serialized.split_whitespace().collect();
+    let mut result = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i] == COL {
+            // attribute name runs until [VAL]
+            let mut attr = Vec::new();
+            i += 1;
+            while i < tokens.len() && tokens[i] != VAL {
+                attr.push(tokens[i]);
+                i += 1;
+            }
+            // skip [VAL]
+            if i < tokens.len() && tokens[i] == VAL {
+                i += 1;
+            }
+            let mut value = Vec::new();
+            while i < tokens.len() && tokens[i] != COL {
+                value.push(tokens[i]);
+                i += 1;
+            }
+            result.push((attr.join(" "), value.join(" ")));
+        } else {
+            i += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> Record {
+        Record::from_pairs([("title", "instant immers spanish dlux 2"), ("price", "36.11")])
+    }
+
+    #[test]
+    fn record_serialization_uses_col_val_markers() {
+        let s = serialize_record(&sample_record());
+        assert_eq!(
+            s,
+            "[COL] title [VAL] instant immers spanish dlux 2 [COL] price [VAL] 36.11"
+        );
+    }
+
+    #[test]
+    fn pair_serialization_wraps_with_cls_sep() {
+        let r = sample_record();
+        let s = serialize_record_pair(&r, &r);
+        assert!(s.starts_with("[CLS] [COL] title"));
+        assert!(s.ends_with("[SEP]"));
+        assert_eq!(s.matches(SEP).count(), 2);
+    }
+
+    #[test]
+    fn cell_serializations() {
+        assert_eq!(serialize_cell("state", "CA"), "[COL] state [VAL] CA");
+        let row = Record::from_pairs([("state", "CA"), ("zip", "98052")]);
+        let s = serialize_cell_in_context(&row, 0, "WA");
+        assert_eq!(s, "[COL] state [VAL] WA [COL] zip [VAL] 98052");
+    }
+
+    #[test]
+    fn column_serialization_caps_length() {
+        let c = Column::named("state", ["New York", "California", "Florida"]);
+        assert_eq!(
+            serialize_column(&c, 2),
+            "[VAL] New York [VAL] California"
+        );
+        assert!(serialize_column_with_name(&c, 1).starts_with("[COL] state [VAL]"));
+        let anon = Column::from_values(["a"]);
+        assert_eq!(serialize_column_with_name(&anon, 5), "[VAL] a");
+    }
+
+    #[test]
+    fn split_attributes_roundtrip() {
+        let r = sample_record();
+        let s = serialize_record(&r);
+        let parts = split_serialized_attributes(&s);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, "title");
+        assert_eq!(parts[0].1, "instant immers spanish dlux 2");
+        assert_eq!(parts[1], ("price".to_string(), "36.11".to_string()));
+    }
+
+    #[test]
+    fn split_attributes_handles_missing_values() {
+        let parts = split_serialized_attributes("[COL] manufacturer [VAL] [COL] price [VAL] 7.49");
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], ("manufacturer".to_string(), String::new()));
+        assert_eq!(parts[1].1, "7.49");
+    }
+}

@@ -1,0 +1,280 @@
+//! Tokenization and vocabulary management.
+//!
+//! The paper relies on the sub-word tokenizers of RoBERTa/DistilBERT. This reproduction
+//! uses a corpus-built word-level vocabulary with a deterministic character-trigram hashing
+//! fallback for out-of-vocabulary tokens, so rare strings (product IDs, zip codes) still map
+//! to stable ids instead of collapsing into a single `[UNK]` bucket — which matters for the
+//! contrastive objective, where exactly those rare tokens distinguish hard negatives.
+
+use std::collections::HashMap;
+
+/// Splits serialized text into lowercase tokens.
+///
+/// Special marker tokens (`[COL]`, `[VAL]`, `[CLS]`, `[SEP]`) are preserved verbatim;
+/// everything else is lowercased and split on whitespace and punctuation boundaries, with
+/// digit runs kept together.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for raw in text.split_whitespace() {
+        if raw.starts_with('[') && raw.ends_with(']') {
+            tokens.push(raw.to_string());
+            continue;
+        }
+        let mut current = String::new();
+        let mut current_is_alnum = false;
+        for ch in raw.chars() {
+            let is_alnum = ch.is_alphanumeric();
+            if is_alnum {
+                if !current.is_empty() && !current_is_alnum {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                current.push(ch.to_ascii_lowercase());
+            } else {
+                if !current.is_empty() && current_is_alnum {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                // punctuation characters are dropped (they carry no signal in these corpora)
+            }
+            current_is_alnum = is_alnum;
+        }
+        if !current.is_empty() {
+            tokens.push(current);
+        }
+    }
+    tokens
+}
+
+/// Reserved token ids.
+pub mod special {
+    /// Padding token id.
+    pub const PAD: usize = 0;
+    /// Unknown-token id (only used when hashing is disabled).
+    pub const UNK: usize = 1;
+    /// `[COL]` marker id.
+    pub const COL: usize = 2;
+    /// `[VAL]` marker id.
+    pub const VAL: usize = 3;
+    /// `[CLS]` marker id.
+    pub const CLS: usize = 4;
+    /// `[SEP]` marker id.
+    pub const SEP: usize = 5;
+    /// Number of reserved ids.
+    pub const COUNT: usize = 6;
+}
+
+/// A token vocabulary built from a corpus.
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+    /// Number of hash buckets appended after the in-vocabulary ids for OOV tokens.
+    hash_buckets: usize,
+}
+
+/// Configuration for building a [`Vocab`].
+#[derive(Clone, Debug)]
+pub struct VocabConfig {
+    /// Keep at most this many distinct non-special tokens (most frequent first).
+    pub max_size: usize,
+    /// Drop tokens seen fewer than this many times.
+    pub min_count: usize,
+    /// Number of hash buckets for out-of-vocabulary tokens (0 disables hashing; OOV → UNK).
+    pub hash_buckets: usize,
+}
+
+impl Default for VocabConfig {
+    fn default() -> Self {
+        VocabConfig { max_size: 20_000, min_count: 1, hash_buckets: 512 }
+    }
+}
+
+impl Vocab {
+    /// Builds a vocabulary from an iterator of already-tokenized documents.
+    pub fn build<'a>(docs: impl IntoIterator<Item = &'a [String]>, config: &VocabConfig) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for doc in docs {
+            for token in doc {
+                if is_special(token) {
+                    continue;
+                }
+                *counts.entry(token.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= config.min_count)
+            .collect();
+        // Sort by frequency (descending) then token (ascending) for determinism.
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(config.max_size);
+
+        let mut token_to_id = HashMap::new();
+        let mut id_to_token = vec![
+            "[PAD]".to_string(),
+            "[UNK]".to_string(),
+            "[COL]".to_string(),
+            "[VAL]".to_string(),
+            "[CLS]".to_string(),
+            "[SEP]".to_string(),
+        ];
+        token_to_id.insert("[PAD]".to_string(), special::PAD);
+        token_to_id.insert("[UNK]".to_string(), special::UNK);
+        token_to_id.insert("[COL]".to_string(), special::COL);
+        token_to_id.insert("[VAL]".to_string(), special::VAL);
+        token_to_id.insert("[CLS]".to_string(), special::CLS);
+        token_to_id.insert("[SEP]".to_string(), special::SEP);
+        for (token, _) in ranked {
+            let id = id_to_token.len();
+            token_to_id.insert(token.clone(), id);
+            id_to_token.push(token);
+        }
+        Vocab { token_to_id, id_to_token, hash_buckets: config.hash_buckets }
+    }
+
+    /// Builds a vocabulary directly from raw (unserialized) strings.
+    pub fn build_from_texts<'a>(texts: impl IntoIterator<Item = &'a str>, config: &VocabConfig) -> Self {
+        let tokenized: Vec<Vec<String>> = texts.into_iter().map(tokenize).collect();
+        Vocab::build(tokenized.iter().map(|t| t.as_slice()), config)
+    }
+
+    /// Total number of ids the vocabulary can emit (known tokens + hash buckets).
+    pub fn size(&self) -> usize {
+        self.id_to_token.len() + self.hash_buckets
+    }
+
+    /// Number of known (non-hashed) tokens including the special tokens.
+    pub fn known_size(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Maps a token to its id, hashing out-of-vocabulary tokens into the bucket range.
+    pub fn id_of(&self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        if self.hash_buckets == 0 {
+            return special::UNK;
+        }
+        let bucket = fnv1a(token) as usize % self.hash_buckets;
+        self.id_to_token.len() + bucket
+    }
+
+    /// The token for an in-vocabulary id.
+    pub fn token_of(&self, id: usize) -> Option<&str> {
+        self.id_to_token.get(id).map(|s| s.as_str())
+    }
+
+    /// Encodes text into token ids, truncated to `max_len`.
+    pub fn encode(&self, text: &str, max_len: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = tokenize(text).iter().map(|t| self.id_of(t)).collect();
+        ids.truncate(max_len);
+        if ids.is_empty() {
+            ids.push(special::PAD);
+        }
+        ids
+    }
+
+    /// Encodes a list of already-produced tokens.
+    pub fn encode_tokens(&self, tokens: &[String], max_len: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = tokens.iter().map(|t| self.id_of(t)).collect();
+        ids.truncate(max_len);
+        if ids.is_empty() {
+            ids.push(special::PAD);
+        }
+        ids
+    }
+}
+
+fn is_special(token: &str) -> bool {
+    token.starts_with('[') && token.ends_with(']')
+}
+
+/// FNV-1a hash, used for deterministic OOV bucketing.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits_punctuation() {
+        let tokens = tokenize("[COL] Title [VAL] Canon CLI-8C Ink, 0621B002!");
+        assert_eq!(
+            tokens,
+            vec!["[COL]", "title", "[VAL]", "canon", "cli", "8c", "ink", "0621b002"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_digit_runs() {
+        assert_eq!(tokenize("zip 98052-1234"), vec!["zip", "98052", "1234"]);
+    }
+
+    #[test]
+    fn vocab_assigns_stable_ids_and_hashes_oov() {
+        let docs = vec![
+            tokenize("canon ink cartridge cyan"),
+            tokenize("canon printer ink"),
+        ];
+        let vocab = Vocab::build(docs.iter().map(|d| d.as_slice()), &VocabConfig {
+            max_size: 100,
+            min_count: 1,
+            hash_buckets: 16,
+        });
+        // Most frequent tokens get the smallest post-special ids.
+        let canon = vocab.id_of("canon");
+        let ink = vocab.id_of("ink");
+        assert!(canon >= special::COUNT && ink >= special::COUNT);
+        assert!(canon < vocab.known_size() && ink < vocab.known_size());
+        // OOV hashes deterministically into the bucket range.
+        let oov1 = vocab.id_of("zzz-unseen");
+        let oov2 = vocab.id_of("zzz-unseen");
+        assert_eq!(oov1, oov2);
+        assert!(oov1 >= vocab.known_size());
+        assert!(oov1 < vocab.size());
+        assert_eq!(vocab.token_of(special::COL), Some("[COL]"));
+    }
+
+    #[test]
+    fn vocab_without_buckets_maps_oov_to_unk() {
+        let vocab = Vocab::build_from_texts(
+            ["alpha beta"],
+            &VocabConfig { max_size: 10, min_count: 1, hash_buckets: 0 },
+        );
+        assert_eq!(vocab.id_of("gamma"), special::UNK);
+    }
+
+    #[test]
+    fn min_count_filters_rare_tokens() {
+        let vocab = Vocab::build_from_texts(
+            ["common common rare"],
+            &VocabConfig { max_size: 10, min_count: 2, hash_buckets: 0 },
+        );
+        assert!(vocab.id_of("common") >= special::COUNT);
+        assert_eq!(vocab.id_of("rare"), special::UNK);
+    }
+
+    #[test]
+    fn encode_truncates_and_never_returns_empty() {
+        let vocab = Vocab::build_from_texts(["a b c d e"], &VocabConfig::default());
+        assert_eq!(vocab.encode("a b c d e", 3).len(), 3);
+        assert_eq!(vocab.encode("", 8), vec![special::PAD]);
+        let tokens = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(vocab.encode_tokens(&tokens, 8).len(), 2);
+    }
+
+    #[test]
+    fn special_tokens_preserved_in_encoding() {
+        let vocab = Vocab::build_from_texts(["[COL] title [VAL] canon"], &VocabConfig::default());
+        let ids = vocab.encode("[COL] title [VAL] canon", 16);
+        assert_eq!(ids[0], special::COL);
+        assert_eq!(ids[2], special::VAL);
+    }
+}

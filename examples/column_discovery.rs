@@ -1,0 +1,65 @@
+//! Semantic type discovery by column matching: Sudowoodo versus Sherlock/Sato-style
+//! feature-based classifiers, plus the connected-component cluster discovery of §V-B.
+//!
+//! Run with: `cargo run --release --example column_discovery`
+
+use sudowoodo::baselines::{run_column_baseline, ColumnFeaturizer, PairClassifier};
+use sudowoodo::datasets::columns::sample_labeled_pairs;
+use sudowoodo::prelude::*;
+
+fn main() {
+    // A typed synthetic column corpus (20 coarse semantic types, some with fine subtypes).
+    let corpus = ColumnProfile::default().generate(0.6, 5);
+    println!(
+        "column corpus: {} columns, {} coarse types, {} fine-grained subtypes",
+        corpus.len(),
+        corpus.type_names.len(),
+        corpus.fine_names.len()
+    );
+
+    // Candidate pairs enriched in same-type pairs (as kNN blocking would produce), labeled by
+    // coarse type, split 2:1:1.
+    let mut candidates = Vec::new();
+    for i in 0..corpus.len() {
+        if let Some(j) = (i + 1..corpus.len()).find(|&j| corpus.same_type(i, j)) {
+            candidates.push((i, j));
+        }
+        let other = (i * 53 + 17) % corpus.len();
+        if other != i {
+            candidates.push((i.min(other), i.max(other)));
+        }
+    }
+    let (train, valid, test) = sample_labeled_pairs(&corpus, &candidates, 400, 5);
+    println!("labeled pairs: {} train / {} valid / {} test", train.len(), valid.len(), test.len());
+
+    // Feature-based baselines (the paper's Table XII grid; GBT is their best classifier).
+    for (featurizer, name) in [(ColumnFeaturizer::Sherlock, "Sherlock-GBT"), (ColumnFeaturizer::Sato, "Sato-GBT")] {
+        let result = run_column_baseline(&corpus, featurizer, PairClassifier::GBT, &train, &valid, &test, 5);
+        println!("{name:<14} test F1 = {:.3}", result.test.f1);
+    }
+
+    // Sudowoodo column matching + cluster discovery.
+    let mut config = SudowoodoConfig::default();
+    config.encoder = EncoderConfig {
+        kind: EncoderKind::MeanPool,
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ff_hidden: 64,
+        max_len: 32,
+    };
+    config.projector_dim = 32;
+    config.pretrain_epochs = 2;
+    config.batch_size = 16;
+    config.max_corpus_size = 800;
+    config.finetune_epochs = 4;
+    config.blocking_k = 10;
+    let result = ColumnPipeline::new(config).run(&corpus, &train, &valid, &test);
+    println!("Sudowoodo      test F1 = {:.3}", result.test.f1);
+    println!(
+        "discovered {} clusters ({} with >= 2 columns), purity {:.1}%",
+        result.num_clusters,
+        result.num_multi_clusters,
+        result.purity * 100.0
+    );
+}

@@ -1,0 +1,80 @@
+//! Property-based cross-crate invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sudowoodo::augment::{augment, DaOp};
+use sudowoodo::core::encoder::Encoder;
+use sudowoodo::core::EncoderConfig;
+use sudowoodo::index::CosineIndex;
+use sudowoodo::text::serialize::{serialize_record, split_serialized_attributes};
+use sudowoodo::text::Record;
+
+/// Strategy generating a record with 1-4 attributes of short alphanumeric values.
+fn record_strategy() -> impl Strategy<Value = Record> {
+    proptest::collection::vec(("[a-z]{2,8}", "[a-z0-9 ]{1,20}"), 1..4).prop_map(|pairs| {
+        Record::from_pairs(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (a, v))| (format!("{a}{i}"), v.trim().to_string())),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn serialization_roundtrips_attribute_names(record in record_strategy()) {
+        let serialized = serialize_record(&record);
+        let parsed = split_serialized_attributes(&serialized);
+        prop_assert_eq!(parsed.len(), record.len());
+        for ((attr, _), (orig_attr, _)) in parsed.iter().zip(record.iter()) {
+            prop_assert_eq!(attr.as_str(), orig_attr);
+        }
+    }
+
+    #[test]
+    fn augmentation_preserves_marker_balance(record in record_strategy(), seed in 0u64..1000) {
+        let serialized = serialize_record(&record);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for op in DaOp::entity_ops() {
+            let out = augment(&serialized, op, &mut rng);
+            prop_assert_eq!(out.matches("[COL]").count(), out.matches("[VAL]").count(),
+                "operator {} broke the [COL]/[VAL] structure: {}", op.name(), out);
+        }
+    }
+
+    #[test]
+    fn embeddings_are_always_unit_length(records in proptest::collection::vec(record_strategy(), 3..6)) {
+        let corpus: Vec<String> = records.iter().map(serialize_record).collect();
+        let encoder = Encoder::from_corpus(EncoderConfig::tiny(), &corpus, 1);
+        for embedding in encoder.embed_all(&corpus) {
+            let norm: f32 = embedding.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-3, "embedding norm {} not unit", norm);
+        }
+    }
+
+    #[test]
+    fn knn_results_are_sorted_and_self_is_nearest(vectors in proptest::collection::vec(
+        proptest::collection::vec(-1.0f32..1.0, 4), 2..10)) {
+        // Skip degenerate all-zero vectors.
+        let vectors: Vec<Vec<f32>> = vectors
+            .into_iter()
+            .map(|v| if v.iter().all(|x| x.abs() < 1e-3) { vec![1.0, 0.0, 0.0, 0.0] } else { v })
+            .collect();
+        let index = CosineIndex::build(vectors.clone());
+        for (i, query) in vectors.iter().enumerate() {
+            let hits = index.top_k(query, 3);
+            prop_assert!(!hits.is_empty());
+            // Scores sorted descending.
+            for pair in hits.windows(2) {
+                prop_assert!(pair[0].score >= pair[1].score - 1e-6);
+            }
+            // The vector itself must be among the top hits with cosine ~1.
+            prop_assert!(hits.iter().any(|h| h.id == i || (h.score - hits[0].score).abs() < 1e-5));
+        }
+    }
+}
