@@ -71,12 +71,22 @@ impl CutoffPlan {
             }
             feature_indices = candidates[..n_features].to_vec();
         }
-        CutoffPlan { kind, ratio, rel_start, feature_indices }
+        CutoffPlan {
+            kind,
+            ratio,
+            rel_start,
+            feature_indices,
+        }
     }
 
     /// A plan that never modifies its input.
     pub fn noop() -> Self {
-        CutoffPlan { kind: CutoffKind::None, ratio: 0.0, rel_start: 0.0, feature_indices: Vec::new() }
+        CutoffPlan {
+            kind: CutoffKind::None,
+            ratio: 0.0,
+            rel_start: 0.0,
+            feature_indices: Vec::new(),
+        }
     }
 
     /// The cutoff kind of this plan.
@@ -139,12 +149,16 @@ impl CutoffPlan {
 
 /// Counts the number of all-zero rows in a matrix (test/diagnostic helper).
 pub fn zero_rows(m: &Matrix) -> usize {
-    (0..m.rows()).filter(|&r| m.row(r).iter().all(|&v| v == 0.0)).count()
+    (0..m.rows())
+        .filter(|&r| m.row(r).iter().all(|&v| v == 0.0))
+        .count()
 }
 
 /// Counts the number of all-zero columns in a matrix (test/diagnostic helper).
 pub fn zero_cols(m: &Matrix) -> usize {
-    (0..m.cols()).filter(|&c| (0..m.rows()).all(|r| m.get(r, c) == 0.0)).count()
+    (0..m.cols())
+        .filter(|&c| (0..m.rows()).all(|r| m.get(r, c) == 0.0))
+        .count()
 }
 
 #[cfg(test)]
@@ -173,7 +187,9 @@ mod tests {
         let zr = zero_rows(&out);
         assert_eq!(zr, 4, "expected ceil(10*0.4)=4 zero rows, got {zr}");
         // Contiguity: find zero rows and check they are consecutive.
-        let zero_idx: Vec<usize> = (0..10).filter(|&r| out.row(r).iter().all(|&v| v == 0.0)).collect();
+        let zero_idx: Vec<usize> = (0..10)
+            .filter(|&r| out.row(r).iter().all(|&v| v == 0.0))
+            .collect();
         for pair in zero_idx.windows(2) {
             assert_eq!(pair[1], pair[0] + 1);
         }
@@ -196,8 +212,12 @@ mod tests {
         assert_eq!(zero_cols(&a), 2);
         assert_eq!(zero_cols(&b), 2);
         // Batch-wise consistency: the same columns are zeroed in both items.
-        let cols_a: Vec<usize> = (0..8).filter(|&c| (0..5).all(|r| a.get(r, c) == 0.0)).collect();
-        let cols_b: Vec<usize> = (0..8).filter(|&c| (0..9).all(|r| b.get(r, c) == 0.0)).collect();
+        let cols_a: Vec<usize> = (0..8)
+            .filter(|&c| (0..5).all(|r| a.get(r, c) == 0.0))
+            .collect();
+        let cols_b: Vec<usize> = (0..8)
+            .filter(|&c| (0..9).all(|r| b.get(r, c) == 0.0))
+            .collect();
         assert_eq!(cols_a, cols_b);
     }
 

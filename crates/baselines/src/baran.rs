@@ -46,9 +46,9 @@ fn column_frequencies(dataset: &CleaningDataset) -> Vec<HashMap<String, usize>> 
     let cols = dataset.dirty.num_columns();
     let mut freq = vec![HashMap::new(); cols];
     for row in &dataset.dirty.rows {
-        for c in 0..cols {
+        for (c, counts) in freq.iter_mut().enumerate() {
             let v = row.value_at(c).unwrap_or_default().to_string();
-            *freq[c].entry(v).or_insert(0) += 1;
+            *counts.entry(v).or_insert(0) += 1;
         }
     }
     freq
@@ -72,14 +72,21 @@ fn candidate_features(
     );
     let len_ratio = {
         let (a, b) = (current.len() as f32, candidate.len() as f32);
-        if a.max(b) <= 0.0 { 1.0 } else { a.min(b) / a.max(b) }
+        if a.max(b) <= 0.0 {
+            1.0
+        } else {
+            a.min(b) / a.max(b)
+        }
     };
     vec![edit, cand_freq, cur_freq, cur_empty, same_format, len_ratio]
 }
 
 /// The Raha-like heuristic detector: a cell is flagged when it is empty, is a rare value in
 /// its column, or disagrees with the dominant numeric/textual format of the column.
-fn raha_like_detect(dataset: &CleaningDataset, freq: &[HashMap<String, usize>]) -> Vec<(usize, usize)> {
+fn raha_like_detect(
+    dataset: &CleaningDataset,
+    freq: &[HashMap<String, usize>],
+) -> Vec<(usize, usize)> {
     let rows = dataset.dirty.num_rows();
     let cols = dataset.dirty.num_columns();
     let mut flagged = Vec::new();
@@ -90,7 +97,11 @@ fn raha_like_detect(dataset: &CleaningDataset, freq: &[HashMap<String, usize>]) 
                 .dirty
                 .rows
                 .iter()
-                .filter(|r| r.value_at(c).map(|v| v.parse::<f64>().is_ok()).unwrap_or(false))
+                .filter(|r| {
+                    r.value_at(c)
+                        .map(|v| v.parse::<f64>().is_ok())
+                        .unwrap_or(false)
+                })
                 .count();
             numeric as f32 / rows.max(1) as f32
         })
@@ -101,11 +112,10 @@ fn raha_like_detect(dataset: &CleaningDataset, freq: &[HashMap<String, usize>]) 
             let count = *freq[c].get(value).unwrap_or(&0);
             let is_empty = value.is_empty() || value == "n/a";
             let is_rare = count <= 1 && rows > 20;
-            let numeric_mismatch = (value.parse::<f64>().is_ok() as i32 as f32
-                - numeric_fraction[c].round())
-            .abs()
-                > 0.5
-                && !value.is_empty();
+            let numeric_mismatch =
+                (value.parse::<f64>().is_ok() as i32 as f32 - numeric_fraction[c].round()).abs()
+                    > 0.5
+                    && !value.is_empty();
             if is_empty || is_rare || numeric_mismatch {
                 flagged.push((r, c));
             }
@@ -137,12 +147,14 @@ pub fn run_baran(
     let mut x = Vec::new();
     let mut y = Vec::new();
     for &row in &labeled {
-        for c in 0..dataset.dirty.num_columns() {
-            let Some(candidates) = dataset.candidates.get(&(row, c)) else { continue };
+        for (c, col_freq) in freq.iter().enumerate() {
+            let Some(candidates) = dataset.candidates.get(&(row, c)) else {
+                continue;
+            };
             let current = dataset.dirty.cell(row, c).unwrap_or_default();
             let clean = dataset.clean.cell(row, c).unwrap_or_default();
             for cand in candidates {
-                x.push(candidate_features(current, cand, &freq[c], num_rows));
+                x.push(candidate_features(current, cand, col_freq, num_rows));
                 y.push(cand == clean);
             }
         }
@@ -175,7 +187,12 @@ pub fn run_baran(
         let current = dataset.dirty.cell(row, col).unwrap_or_default();
         let best = candidates
             .iter()
-            .map(|cand| (cand, model.predict_proba(&candidate_features(current, cand, &freq[col], num_rows))))
+            .map(|cand| {
+                (
+                    cand,
+                    model.predict_proba(&candidate_features(current, cand, &freq[col], num_rows)),
+                )
+            })
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         if let Some((candidate, score)) = best {
             if score >= acceptance_threshold && candidate != current {
@@ -191,9 +208,21 @@ pub fn run_baran(
         .iter()
         .filter(|e| evaluated.contains(&e.row))
         .count();
-    let precision = if corrections_made == 0 { 0.0 } else { correct as f32 / corrections_made as f32 };
-    let recall = if errors_in_scope == 0 { 0.0 } else { correct as f32 / errors_in_scope as f32 };
-    let f1 = if precision + recall <= 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    let precision = if corrections_made == 0 {
+        0.0
+    } else {
+        correct as f32 / corrections_made as f32
+    };
+    let recall = if errors_in_scope == 0 {
+        0.0
+    } else {
+        correct as f32 / errors_in_scope as f32
+    };
+    let f1 = if precision + recall <= 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
 
     BaranResult {
         method: match detection {
@@ -201,7 +230,11 @@ pub fn run_baran(
             ErrorDetection::Perfect => "Perfect ED + Baran".to_string(),
         },
         dataset: dataset.name.clone(),
-        correction: PrF1 { precision, recall, f1 },
+        correction: PrF1 {
+            precision,
+            recall,
+            f1,
+        },
         seconds: start.elapsed().as_secs_f64(),
     }
 }
@@ -244,7 +277,13 @@ mod tests {
         let good = candidate_features("texs", "texas", &freq, 10);
         let bad = candidate_features("texs", "completely different", &freq, 10);
         assert!(good.iter().all(|v| (0.0..=1.0).contains(v)));
-        assert!(good[0] > bad[0], "edit similarity should favour the close fix");
-        assert!(good[1] > bad[1], "frequency should favour the in-domain fix");
+        assert!(
+            good[0] > bad[0],
+            "edit similarity should favour the close fix"
+        );
+        assert!(
+            good[1] > bad[1],
+            "frequency should favour the in-domain fix"
+        );
     }
 }

@@ -7,10 +7,14 @@
 //! contrastively learned embeddings retrieve the same recall with a smaller candidate set
 //! than a blocker whose representation is not trained for entity similarity.
 
-use sudowoodo_cluster::tfidf::TfIdfVectorizer;
+use sudowoodo_cluster::tfidf::{to_dense_matrix, TfIdfVectorizer};
 use sudowoodo_datasets::em::EmDataset;
 use sudowoodo_index::{evaluate_blocking, BlockingQuality};
 use sudowoodo_text::serialize::serialize_record;
+
+/// Above this `rows * features` element count the dense GEMM scoring path would allocate
+/// too much; fall back to per-pair sparse dots.
+const DENSE_SCORE_LIMIT: usize = 8_000_000;
 
 /// A blocking run for one `k`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,17 +33,36 @@ pub fn run_dlblock_curve(dataset: &EmDataset, ks: &[usize]) -> Vec<BlockingRun> 
     let vec_a = vectorizer.transform_all(texts_a.iter().map(|s| s.as_str()));
     let vec_b = vectorizer.transform_all(texts_b.iter().map(|s| s.as_str()));
 
-    // Score all pairs once (sparse dot products), then take prefixes per k.
+    // Score all pairs once, then take prefixes per k. When the feature space densifies
+    // comfortably, the whole A x B score matrix is one fused `A * B^T` GEMM over the
+    // blocked kernels; otherwise fall back to per-pair sparse dots.
+    let max_k = *ks.iter().max().unwrap_or(&1);
+    let features = vectorizer.num_features();
+    // Both the densified inputs AND the |A| x |B| score matrix must stay bounded.
+    let dense_ok = (vec_a.len().max(vec_b.len())).saturating_mul(features) <= DENSE_SCORE_LIMIT
+        && vec_a.len().saturating_mul(vec_b.len()) <= DENSE_SCORE_LIMIT;
     let mut neighbours: Vec<Vec<(usize, f32)>> = Vec::with_capacity(vec_a.len());
-    for a in &vec_a {
-        let mut scored: Vec<(usize, f32)> = vec_b
-            .iter()
-            .enumerate()
-            .map(|(j, b)| (j, sudowoodo_cluster::sparse_dot(a, b)))
-            .collect();
-        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(*ks.iter().max().unwrap_or(&1));
-        neighbours.push(scored);
+    if dense_ok && features > 0 {
+        let dense_a = to_dense_matrix(&vec_a, features);
+        let dense_b = to_dense_matrix(&vec_b, features);
+        let scores = dense_a.matmul_transpose_b(&dense_b); // |A| x |B| cosine tile
+        for i in 0..vec_a.len() {
+            let mut scored: Vec<(usize, f32)> = scores.row(i).iter().copied().enumerate().collect();
+            scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(max_k);
+            neighbours.push(scored);
+        }
+    } else {
+        for a in &vec_a {
+            let mut scored: Vec<(usize, f32)> = vec_b
+                .iter()
+                .enumerate()
+                .map(|(j, b)| (j, sudowoodo_cluster::sparse_dot(a, b)))
+                .collect();
+            scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(max_k);
+            neighbours.push(scored);
+        }
     }
 
     ks.iter()

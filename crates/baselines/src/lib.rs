@@ -23,7 +23,9 @@ pub mod supervised;
 pub mod unsupervised;
 
 pub use baran::{run_baran, BaranResult, ErrorDetection};
-pub use columns::{run_column_baseline, run_column_baseline_grid, ColumnFeaturizer, PairClassifier};
+pub use columns::{
+    run_column_baseline, run_column_baseline_grid, ColumnFeaturizer, PairClassifier,
+};
 pub use dlblock::{run_dlblock, run_dlblock_curve, BlockingRun};
 pub use supervised::{run_deepmatcher_full, run_ditto, run_rotom, SupervisedBaselineResult};
 pub use unsupervised::{run_auto_fuzzy_join, run_zeroer, UnsupervisedBaselineResult};

@@ -152,7 +152,14 @@ pub fn run_deepmatcher_full(
 ) -> SupervisedBaselineResult {
     let labeled = EmPipeline::new(config.clone()).sample_labels(dataset, None);
     let pairs = labeled_to_pairs(dataset, &labeled);
-    train_and_evaluate(dataset, &labeled, &pairs, config, false, "DeepMatcher (full)")
+    train_and_evaluate(
+        dataset,
+        &labeled,
+        &pairs,
+        config,
+        false,
+        "DeepMatcher (full)",
+    )
 }
 
 #[cfg(test)]
@@ -192,7 +199,10 @@ mod tests {
     fn deepmatcher_uses_all_labels() {
         let (dataset, config) = tiny_setup();
         let result = run_deepmatcher_full(&dataset, &config);
-        assert_eq!(result.labels_used, dataset.train.len() + dataset.valid.len());
+        assert_eq!(
+            result.labels_used,
+            dataset.train.len() + dataset.valid.len()
+        );
         assert_eq!(result.method, "DeepMatcher (full)");
     }
 }

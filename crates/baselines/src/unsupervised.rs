@@ -39,7 +39,11 @@ pub fn pair_features(dataset: &EmDataset, pair: &LabeledPair) -> Vec<f32> {
     let edit = edit_similarity(&a, &b);
     let len_ratio = {
         let (la, lb) = (a.len() as f32, b.len() as f32);
-        if la.max(lb) <= 0.0 { 1.0 } else { la.min(lb) / la.max(lb) }
+        if la.max(lb) <= 0.0 {
+            1.0
+        } else {
+            la.min(lb) / la.max(lb)
+        }
     };
     vec![jac, dice, edit, len_ratio]
 }
@@ -50,7 +54,10 @@ pub fn pair_features(dataset: &EmDataset, pair: &LabeledPair) -> Vec<f32> {
 pub fn run_zeroer(dataset: &EmDataset, seed: u64) -> UnsupervisedBaselineResult {
     let start = std::time::Instant::now();
     let all_pairs = dataset.all_pairs();
-    let features: Vec<Vec<f32>> = all_pairs.iter().map(|p| pair_features(dataset, p)).collect();
+    let features: Vec<Vec<f32>> = all_pairs
+        .iter()
+        .map(|p| pair_features(dataset, p))
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let gmm = GaussianMixture::fit(&features, &GmmConfig::default(), &mut rng);
     let match_component = gmm.component_with_largest_mean(0);
@@ -126,7 +133,11 @@ pub fn run_auto_fuzzy_join(dataset: &EmDataset) -> UnsupervisedBaselineResult {
         .map(|(i, &(j, _))| (i, j))
         .collect();
 
-    let predicted: Vec<bool> = dataset.test.iter().map(|p| joined.contains(&(p.a, p.b))).collect();
+    let predicted: Vec<bool> = dataset
+        .test
+        .iter()
+        .map(|p| joined.contains(&(p.a, p.b)))
+        .collect();
     let gold: Vec<bool> = dataset.test.iter().map(|p| p.label).collect();
     UnsupervisedBaselineResult {
         method: "Auto-FuzzyJoin".to_string(),
@@ -183,17 +194,29 @@ mod tests {
         for p in dataset.test.iter().take(20) {
             let f = pair_features(&dataset, p);
             assert_eq!(f.len(), 4);
-            assert!(f.iter().all(|v| (0.0..=1.0).contains(v)), "features out of range: {f:?}");
+            assert!(
+                f.iter().all(|v| (0.0..=1.0).contains(v)),
+                "features out of range: {f:?}"
+            );
         }
     }
 
     #[test]
     fn otsu_threshold_separates_bimodal_scores() {
         let scores: Vec<f32> = (0..50)
-            .map(|i| if i < 25 { 0.1 + 0.001 * i as f32 } else { 0.8 + 0.001 * i as f32 })
+            .map(|i| {
+                if i < 25 {
+                    0.1 + 0.001 * i as f32
+                } else {
+                    0.8 + 0.001 * i as f32
+                }
+            })
             .collect();
         let t = otsu_threshold(&scores);
-        assert!(t > 0.2 && t < 0.8, "threshold {t} should fall between the modes");
+        assert!(
+            t > 0.2 && t < 0.8,
+            "threshold {t} should fall between the modes"
+        );
         assert_eq!(otsu_threshold(&[]), 0.5);
     }
 }

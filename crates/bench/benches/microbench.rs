@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use sudowoodo_augment::{augment, CutoffKind, CutoffPlan, DaOp};
 use sudowoodo_cluster::{kmeans, BatchSampler, BatchStrategy, KMeansConfig, TfIdfVectorizer};
@@ -26,15 +26,64 @@ fn corpus() -> Vec<String> {
     EmProfile::abt_buy().generate(0.2, 7).corpus()
 }
 
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for size in [128usize, 256, 512, 1024] {
+        let a = Matrix::random_normal(size, size, 1.0, &mut rng);
+        let b = Matrix::random_normal(size, size, 1.0, &mut rng);
+        c.bench_function(&format!("matmul_{size}x{size}"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+        });
+        c.bench_function(&format!("matmul_transpose_b_{size}x{size}"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul_transpose_b(black_box(&b))))
+        });
+        if size <= 512 {
+            // The naive reference gets slow fast; keep the comparison points bounded.
+            c.bench_function(&format!("matmul_naive_{size}x{size}"), |bench| {
+                bench.iter(|| black_box(black_box(&a).matmul_naive(black_box(&b))))
+            });
+        }
+    }
+}
+
+fn bench_knn_join(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dim = 32;
+    let corpus: Vec<Vec<f32>> = (0..10_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..10_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let index = CosineIndex::build(corpus);
+    c.bench_function("knn_join_10kx10k_k20", |bench| {
+        bench.iter(|| black_box(index.knn_join(black_box(&queries), 20)))
+    });
+}
+
 fn bench_encoder(c: &mut Criterion) {
     let texts = corpus();
     let transformer = Encoder::from_corpus(
-        EncoderConfig { kind: EncoderKind::Transformer, dim: 32, layers: 1, heads: 2, ff_hidden: 64, max_len: 32 },
+        EncoderConfig {
+            kind: EncoderKind::Transformer,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
         &texts,
         1,
     );
     let meanpool = Encoder::from_corpus(
-        EncoderConfig { kind: EncoderKind::MeanPool, dim: 32, layers: 1, heads: 2, ff_hidden: 64, max_len: 32 },
+        EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
         &texts,
         1,
     );
@@ -59,6 +108,17 @@ fn bench_encoder(c: &mut Criterion) {
             let loss = tape.mean_all(sq);
             black_box(tape.backward(loss));
         })
+    });
+    let batch64: Vec<&str> = texts.iter().take(64).map(|s| s.as_str()).collect();
+    c.bench_function("encode_batch_meanpool_batch64", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            black_box(meanpool.encode_batch(&mut tape, black_box(&batch64), &CutoffPlan::noop()))
+        })
+    });
+    let chunk64: Vec<String> = texts.iter().take(64).cloned().collect();
+    c.bench_function("infer_chunk_meanpool_batch64", |b| {
+        b.iter(|| black_box(meanpool.infer_chunk(black_box(&chunk64))))
     });
 }
 
@@ -111,7 +171,11 @@ fn bench_clustering(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(3);
             black_box(kmeans(
                 &points,
-                &KMeansConfig { k: 12, max_iterations: 5, num_features: vectorizer.num_features() },
+                &KMeansConfig {
+                    k: 12,
+                    max_iterations: 5,
+                    num_features: vectorizer.num_features(),
+                },
                 &mut rng,
             ))
         })
@@ -170,6 +234,7 @@ fn bench_augmentation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_encoder, bench_losses, bench_clustering, bench_blocking, bench_augmentation
+    targets = bench_matmul, bench_encoder, bench_losses, bench_clustering, bench_blocking,
+        bench_knn_join, bench_augmentation
 }
 criterion_main!(benches);

@@ -1,15 +1,72 @@
-//! Figures 9-11: running time.
+//! Figures 9-11: running time, plus hot-path throughput tracking.
 //!
 //! Run with `cargo run --release -p sudowoodo-bench --bin fig09_11_runtime`.
 //! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
+//!
+//! Besides the paper's runtime table, this binary measures the two primitives that
+//! dominate end-to-end time — batched encoding (`embed_all`, records/sec) and the
+//! GEMM-tiled blocking join (`knn_join`, pairs/sec) — and writes them to
+//! `target/experiments/fig09_11_throughput.json` so successive benchmark logs track the
+//! performance trajectory.
 
 use sudowoodo_bench::experiments::fig09_11_runtime;
+use sudowoodo_bench::harness::{StageThroughput, Throughput};
 use sudowoodo_bench::{HarnessConfig, ResultWriter};
+use sudowoodo_core::encoder::Encoder;
+use sudowoodo_datasets::em::EmProfile;
+use sudowoodo_index::CosineIndex;
+use sudowoodo_text::serialize::serialize_record;
+
+fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
+    let dataset = EmProfile::abt_buy().generate(config.scale.max(0.2), config.seed);
+    let texts_a: Vec<String> = dataset.table_a.iter().map(serialize_record).collect();
+    let texts_b: Vec<String> = dataset.table_b.iter().map(serialize_record).collect();
+    let encoder = Encoder::from_corpus(
+        config.sudowoodo_config().encoder,
+        &dataset.corpus(),
+        config.seed,
+    );
+
+    let (emb_a, embed_a_t) = Throughput::measure(texts_a.len(), 0, || encoder.embed_all(&texts_a));
+    let (emb_b, _) = Throughput::measure(texts_b.len(), 0, || encoder.embed_all(&texts_b));
+
+    let k = 10;
+    let index = CosineIndex::build(emb_b);
+    let scored_pairs = emb_a.len() * index.len();
+    let (_, join_t) = Throughput::measure(emb_a.len(), scored_pairs, || index.knn_join(&emb_a, k));
+
+    vec![
+        StageThroughput {
+            stage: "embed_all".into(),
+            workload: dataset.name.clone(),
+            throughput: embed_a_t,
+        },
+        StageThroughput {
+            stage: "knn_join".into(),
+            workload: format!("{} k={k}", dataset.name),
+            throughput: join_t,
+        },
+    ]
+}
 
 fn main() {
     let config = HarnessConfig::from_env();
     println!("harness config: {config:?}");
     let table = fig09_11_runtime(&config);
     table.print("Figures 9-11: running time");
-    ResultWriter::new().write(&table.id, &table);
+    let writer = ResultWriter::new();
+    writer.write(&table.id, &table);
+
+    let stages = hot_path_throughput(&config);
+    for s in &stages {
+        println!(
+            "throughput {:<10} [{}]: {:.1} records/s, {:.0} pairs/s ({:.3}s)",
+            s.stage,
+            s.workload,
+            s.throughput.records_per_sec,
+            s.throughput.pairs_per_sec,
+            s.throughput.seconds
+        );
+    }
+    writer.write("fig09_11_throughput", &stages);
 }

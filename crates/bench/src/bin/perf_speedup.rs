@@ -1,0 +1,229 @@
+//! Kernel/batching speedup report: new hot path vs. the naive seed kernels.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin perf_speedup`.
+//!
+//! Measures, on this machine:
+//!
+//! * square `matmul` 128–1024: blocked/SIMD kernel vs. the naive reference triple loop
+//!   ([`Matrix::matmul_naive`]);
+//! * `embed_all` over 4k records: the batched, tape-free, rayon-chunked inference path
+//!   vs. the seed's per-row tape graphs (reconstructed via `encode_text` + `stack_rows`
+//!   per 64-item chunk, which is exactly what the seed's `embed_all` executed);
+//! * `knn_join`: the GEMM-tiled join vs. a per-query scalar scan without kernels.
+//!
+//! Writes `target/experiments/perf_speedup.json` so benchmark logs track the trajectory.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use sudowoodo_augment::CutoffPlan;
+use sudowoodo_bench::harness::print_table;
+use sudowoodo_bench::ResultWriter;
+use sudowoodo_core::config::{EncoderConfig, EncoderKind};
+use sudowoodo_core::encoder::Encoder;
+use sudowoodo_index::CosineIndex;
+use sudowoodo_nn::matrix::Matrix;
+use sudowoodo_nn::tape::Tape;
+
+#[derive(Clone, Debug, Serialize)]
+struct SpeedupRow {
+    case: String,
+    naive_secs: f64,
+    fast_secs: f64,
+    speedup: f64,
+}
+
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    // One warmup rep, then the best of `reps` (stable against scheduler noise).
+    let _ = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn matmul_rows(rows: &mut Vec<SpeedupRow>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for size in [128usize, 256, 512, 1024] {
+        let a = Matrix::random_normal(size, size, 1.0, &mut rng);
+        let b = Matrix::random_normal(size, size, 1.0, &mut rng);
+        let reps = if size >= 512 { 3 } else { 5 };
+        let naive = time(reps, || a.matmul_naive(&b));
+        let fast = time(reps, || a.matmul(&b));
+        rows.push(SpeedupRow {
+            case: format!("matmul {size}x{size}"),
+            naive_secs: naive,
+            fast_secs: fast,
+            speedup: naive / fast,
+        });
+    }
+}
+
+/// The seed's `embed_all`: chunks of 64, one tape per chunk, one *per-row* graph per text
+/// (`encode_text`), stacked. Reconstructed here as the baseline.
+fn embed_all_seed_style(encoder: &Encoder, texts: &[String]) -> Vec<Vec<f32>> {
+    let mut out = Vec::with_capacity(texts.len());
+    for chunk in texts.chunks(64) {
+        let mut tape = Tape::new();
+        let noop = CutoffPlan::noop();
+        let rows: Vec<_> = chunk
+            .iter()
+            .map(|t| encoder.encode_text(&mut tape, t, &noop))
+            .collect();
+        let batch = tape.stack_rows(&rows);
+        let values = tape.value(batch);
+        for r in 0..values.rows() {
+            out.push(values.row(r).to_vec());
+        }
+    }
+    out
+}
+
+fn embed_rows(rows: &mut Vec<SpeedupRow>) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let words = [
+        "canon",
+        "ink",
+        "printer",
+        "paper",
+        "query",
+        "deluxe",
+        "cyan",
+        "tank",
+        "survey",
+        "transformer",
+        "optimizer",
+        "cartridge",
+        "model",
+        "price",
+        "venue",
+    ];
+    let corpus: Vec<String> = (0..4_000)
+        .map(|i| {
+            let picks: Vec<&str> = (0..10)
+                .map(|_| words[rng.gen_range(0..words.len())])
+                .collect();
+            format!(
+                "[COL] title [VAL] {} sku{i} [COL] price [VAL] {}",
+                picks.join(" "),
+                i % 97
+            )
+        })
+        .collect();
+    let config = EncoderConfig {
+        kind: EncoderKind::MeanPool,
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ff_hidden: 64,
+        max_len: 32,
+    };
+    let encoder = Encoder::from_corpus(config, &corpus, 7);
+
+    let naive = time(2, || embed_all_seed_style(&encoder, &corpus));
+    let fast = time(2, || encoder.embed_all(&corpus));
+    rows.push(SpeedupRow {
+        case: "embed_all 4k records (MeanPool d=32)".into(),
+        naive_secs: naive,
+        fast_secs: fast,
+        speedup: naive / fast,
+    });
+
+    // Sanity: both paths agree numerically (cosine of matched rows ~ 1).
+    let a = embed_all_seed_style(&encoder, &corpus[..64]);
+    let b = encoder.embed_all(&corpus[..64]);
+    for (x, y) in a.iter().zip(b.iter()) {
+        let cos = Matrix::cosine(x, y);
+        assert!(cos > 1.0 - 1e-4, "embedding paths diverged: cosine {cos}");
+    }
+}
+
+/// Per-query scalar scan with no SIMD kernels — the seed's `knn_join`.
+fn knn_scalar(corpus: &[Vec<f32>], queries: &[Vec<f32>], k: usize) -> Vec<(usize, usize, f32)> {
+    let normalized: Vec<Vec<f32>> = corpus
+        .iter()
+        .map(|v| {
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if n > 1e-12 {
+                v.iter().map(|x| x / n).collect()
+            } else {
+                v.clone()
+            }
+        })
+        .collect();
+    let mut pairs = Vec::with_capacity(queries.len() * k);
+    for (qi, q) in queries.iter().enumerate() {
+        let qnorm: f32 = q.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let inv = if qnorm > 1e-12 { 1.0 / qnorm } else { 0.0 };
+        let mut scored: Vec<(usize, f32)> = normalized
+            .iter()
+            .enumerate()
+            .map(|(id, v)| {
+                (
+                    id,
+                    v.iter().zip(q.iter()).map(|(a, b)| a * b).sum::<f32>() * inv,
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        pairs.extend(scored.into_iter().map(|(id, s)| (qi, id, s)));
+    }
+    pairs
+}
+
+fn knn_rows(rows: &mut Vec<SpeedupRow>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dim = 32;
+    let corpus: Vec<Vec<f32>> = (0..10_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..2_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let k = 20;
+    let index = CosineIndex::build(corpus.clone());
+    let naive = time(2, || knn_scalar(&corpus, &queries, k));
+    let fast = time(2, || index.knn_join(&queries, k));
+    rows.push(SpeedupRow {
+        case: format!("knn_join 2k queries x 10k corpus (d={dim}, k={k})"),
+        naive_secs: naive,
+        fast_secs: fast,
+        speedup: naive / fast,
+    });
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    matmul_rows(&mut rows);
+    embed_rows(&mut rows);
+    knn_rows(&mut rows);
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.clone(),
+                format!("{:.4}", r.naive_secs),
+                format!("{:.4}", r.fast_secs),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Hot-path speedups vs naive seed kernels",
+        &["case", "naive (s)", "kernels (s)", "speedup"],
+        &printable,
+    );
+    ResultWriter::new().write("perf_speedup", &rows);
+}

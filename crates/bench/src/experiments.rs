@@ -83,8 +83,10 @@ pub fn table02_em_datasets(config: &HarnessConfig) -> TableResult {
 pub fn table05_semi_supervised(config: &HarnessConfig) -> TableResult {
     let base = config.sudowoodo_config();
     let budget = config.label_budget;
-    let datasets: Vec<EmDataset> =
-        em_profiles(config).iter().map(|p| generate(p, config)).collect();
+    let datasets: Vec<EmDataset> = em_profiles(config)
+        .iter()
+        .map(|p| generate(p, config))
+        .collect();
 
     // (name, runner) pairs; each runner returns the test F1 for one dataset.
     type Runner<'a> = Box<dyn Fn(&EmDataset) -> f32 + 'a>;
@@ -120,7 +122,11 @@ pub fn table05_semi_supervised(config: &HarnessConfig) -> TableResult {
     }
 
     let variants: Vec<SudowoodoConfig> = if config.quick {
-        vec![base.clone().simclr(), base.clone().without("PL"), base.clone()]
+        vec![
+            base.clone().simclr(),
+            base.clone().without("PL"),
+            base.clone(),
+        ]
     } else {
         vec![
             base.clone().simclr(),
@@ -137,7 +143,12 @@ pub fn table05_semi_supervised(config: &HarnessConfig) -> TableResult {
         let name = variant.variant_name();
         methods.push((
             name,
-            Box::new(move |d| EmPipeline::new(variant.clone()).run(d, Some(budget)).matching.f1),
+            Box::new(move |d| {
+                EmPipeline::new(variant.clone())
+                    .run(d, Some(budget))
+                    .matching
+                    .f1
+            }),
         ));
     }
 
@@ -163,8 +174,10 @@ pub fn table05_semi_supervised(config: &HarnessConfig) -> TableResult {
 /// Table VI — F1 for unsupervised matching.
 pub fn table06_unsupervised(config: &HarnessConfig) -> TableResult {
     let base = config.sudowoodo_config();
-    let datasets: Vec<EmDataset> =
-        em_profiles(config).iter().map(|p| generate(p, config)).collect();
+    let datasets: Vec<EmDataset> = em_profiles(config)
+        .iter()
+        .map(|p| generate(p, config))
+        .collect();
     let mut header: Vec<String> = vec!["Method".to_string()];
     header.extend(datasets.iter().map(|d| d.name.clone()));
     header.push("average".to_string());
@@ -174,18 +187,31 @@ pub fn table06_unsupervised(config: &HarnessConfig) -> TableResult {
     let simple_variant = base.clone().without("cut").without("RR").without("cls");
     let full_variant = base.clone();
     let methods: Vec<(String, Runner)> = vec![
-        ("ZeroER".to_string(), Box::new(move |d| run_zeroer(d, seed).matching.f1)),
+        (
+            "ZeroER".to_string(),
+            Box::new(move |d| run_zeroer(d, seed).matching.f1),
+        ),
         (
             "Auto-FuzzyJoin".to_string(),
             Box::new(|d| run_auto_fuzzy_join(d).matching.f1),
         ),
         (
             "Sudowoodo (-cut,-RR,-cls)".to_string(),
-            Box::new(move |d| EmPipeline::new(simple_variant.clone()).run(d, Some(0)).matching.f1),
+            Box::new(move |d| {
+                EmPipeline::new(simple_variant.clone())
+                    .run(d, Some(0))
+                    .matching
+                    .f1
+            }),
         ),
         (
             "Sudowoodo".to_string(),
-            Box::new(move |d| EmPipeline::new(full_variant.clone()).run(d, Some(0)).matching.f1),
+            Box::new(move |d| {
+                EmPipeline::new(full_variant.clone())
+                    .run(d, Some(0))
+                    .matching
+                    .f1
+            }),
         ),
     ];
 
@@ -208,7 +234,11 @@ pub fn table06_unsupervised(config: &HarnessConfig) -> TableResult {
 /// Table VII + Figure 7 — blocking quality (recall / candidate counts / CSSR curves).
 pub fn table07_fig07_blocking(config: &HarnessConfig) -> TableResult {
     let base = config.sudowoodo_config();
-    let ks: Vec<usize> = if config.quick { vec![1, 5, 10, 20] } else { vec![1, 2, 5, 10, 15, 20] };
+    let ks: Vec<usize> = if config.quick {
+        vec![1, 5, 10, 20]
+    } else {
+        vec![1, 2, 5, 10, 15, 20]
+    };
     let mut rows = Vec::new();
     for profile in em_profiles(config) {
         let dataset = generate(&profile, config);
@@ -230,8 +260,14 @@ pub fn table07_fig07_blocking(config: &HarnessConfig) -> TableResult {
     TableResult::new(
         "table07_fig07",
         &[
-            "Dataset", "k", "DL-Block R", "DL-Block #cand", "DL-Block CSSR", "Sudowoodo R",
-            "Sudowoodo #cand", "Sudowoodo CSSR",
+            "Dataset",
+            "k",
+            "DL-Block R",
+            "DL-Block #cand",
+            "DL-Block CSSR",
+            "Sudowoodo R",
+            "Sudowoodo #cand",
+            "Sudowoodo CSSR",
         ],
         rows,
     )
@@ -260,10 +296,33 @@ pub fn table08_cleaning(config: &HarnessConfig) -> TableResult {
     ];
     for profile in &profiles {
         let dataset = profile.generate(config.scale, config.seed);
-        table[0].1.push(run_baran(&dataset, ErrorDetection::RahaLike, labeled_rows, config.seed).correction.f1);
-        table[1].1.push(run_baran(&dataset, ErrorDetection::Perfect, labeled_rows, config.seed).correction.f1);
-        table[2].1.push(CleaningPipeline::new(no_pretrain.clone()).run(&dataset, labeled_rows).correction.f1);
-        table[3].1.push(CleaningPipeline::new(base.clone()).run(&dataset, labeled_rows).correction.f1);
+        table[0].1.push(
+            run_baran(
+                &dataset,
+                ErrorDetection::RahaLike,
+                labeled_rows,
+                config.seed,
+            )
+            .correction
+            .f1,
+        );
+        table[1].1.push(
+            run_baran(&dataset, ErrorDetection::Perfect, labeled_rows, config.seed)
+                .correction
+                .f1,
+        );
+        table[2].1.push(
+            CleaningPipeline::new(no_pretrain.clone())
+                .run(&dataset, labeled_rows)
+                .correction
+                .f1,
+        );
+        table[3].1.push(
+            CleaningPipeline::new(base.clone())
+                .run(&dataset, labeled_rows)
+                .correction
+                .f1,
+        );
     }
     let rows = table
         .into_iter()
@@ -286,7 +345,8 @@ fn column_setup(
     Vec<sudowoodo_datasets::ColumnPair>,
     Vec<sudowoodo_datasets::ColumnPair>,
 ) {
-    let corpus = ColumnProfile::default().generate(if config.quick { 0.4 } else { 1.0 }, config.seed);
+    let corpus =
+        ColumnProfile::default().generate(if config.quick { 0.4 } else { 1.0 }, config.seed);
     // Candidate pairs enriched in same-type pairs, mirroring kNN blocking output.
     let mut candidates = Vec::new();
     for i in 0..corpus.len() {
@@ -331,7 +391,9 @@ pub fn table10_12_column_matching(config: &HarnessConfig) -> TableResult {
     ]);
     TableResult::new(
         "table10_12",
-        &["Method", "Valid P", "Valid R", "Valid F1", "Test P", "Test R", "Test F1"],
+        &[
+            "Method", "Valid P", "Valid R", "Valid F1", "Test P", "Test R", "Test F1",
+        ],
         rows,
     )
 }
@@ -343,12 +405,30 @@ pub fn table09_13_column_clusters(config: &HarnessConfig) -> TableResult {
     let result = pipeline.run(&corpus, &train, &valid, &test);
     let mut rows = vec![
         vec!["#columns".to_string(), corpus.len().to_string()],
-        vec!["#labeled pairs (train)".to_string(), result.labeled_pairs.to_string()],
-        vec!["#clusters discovered".to_string(), result.num_clusters.to_string()],
-        vec!["#multi-column clusters".to_string(), result.num_multi_clusters.to_string()],
-        vec!["cluster purity".to_string(), format!("{:.1}%", result.purity * 100.0)],
-        vec!["blocking time (s)".to_string(), format!("{:.2}", result.blocking_secs)],
-        vec!["matching time (s)".to_string(), format!("{:.2}", result.matching_secs)],
+        vec![
+            "#labeled pairs (train)".to_string(),
+            result.labeled_pairs.to_string(),
+        ],
+        vec![
+            "#clusters discovered".to_string(),
+            result.num_clusters.to_string(),
+        ],
+        vec![
+            "#multi-column clusters".to_string(),
+            result.num_multi_clusters.to_string(),
+        ],
+        vec![
+            "cluster purity".to_string(),
+            format!("{:.1}%", result.purity * 100.0),
+        ],
+        vec![
+            "blocking time (s)".to_string(),
+            format!("{:.2}", result.blocking_secs),
+        ],
+        vec![
+            "matching time (s)".to_string(),
+            format!("{:.2}", result.matching_secs),
+        ],
     ];
     // Example fine-grained subtypes present in the corpus (Table IX flavour).
     for fine in ["central eu city", "baseball in-game event", "company name"] {
@@ -361,7 +441,10 @@ pub fn table09_13_column_clusters(config: &HarnessConfig) -> TableResult {
                 .take(1)
                 .flat_map(|(c, _)| c.values.iter().take(3).cloned())
                 .collect();
-            rows.push(vec![format!("example subtype: {fine}"), examples.join(" | ")]);
+            rows.push(vec![
+                format!("example subtype: {fine}"),
+                examples.join(" | "),
+            ]);
         }
     }
     TableResult::new("table09_13", &["Quantity", "Value"], rows)
@@ -374,12 +457,16 @@ pub fn table11_pseudo_quality(config: &HarnessConfig) -> TableResult {
     for profile in em_profiles(config) {
         let dataset = generate(&profile, config);
         for (name, variant, budget) in [
-            ("SimCLR", {
-                // SimCLR with pseudo labels re-enabled to measure raw label quality.
-                let mut v = base.clone().simclr();
-                v.use_pseudo_labels = true;
-                v
-            }, Some(config.label_budget)),
+            (
+                "SimCLR",
+                {
+                    // SimCLR with pseudo labels re-enabled to measure raw label quality.
+                    let mut v = base.clone().simclr();
+                    v.use_pseudo_labels = true;
+                    v
+                },
+                Some(config.label_budget),
+            ),
             ("Sudowoodo", base.clone(), Some(config.label_budget)),
             ("Sudowoodo (no label)", base.clone(), Some(0)),
         ] {
@@ -410,28 +497,44 @@ pub fn fig08_sensitivity(config: &HarnessConfig) -> TableResult {
     let budget = Some(config.label_budget);
     let mut rows = Vec::new();
 
-    let cutoff_ratios: Vec<f32> = if config.quick { vec![0.01, 0.05] } else { vec![0.01, 0.03, 0.05, 0.08] };
+    let cutoff_ratios: Vec<f32> = if config.quick {
+        vec![0.01, 0.05]
+    } else {
+        vec![0.01, 0.03, 0.05, 0.08]
+    };
     for r in cutoff_ratios {
         let mut v = base.clone();
         v.cutoff_ratio = r;
         let f1 = EmPipeline::new(v).run(&dataset, budget).matching.f1;
         rows.push(vec!["cutoff_ratio".into(), format!("{r}"), pct(f1)]);
     }
-    let cluster_counts: Vec<usize> = if config.quick { vec![4, 16] } else { vec![4, 8, 16, 32] };
+    let cluster_counts: Vec<usize> = if config.quick {
+        vec![4, 16]
+    } else {
+        vec![4, 8, 16, 32]
+    };
     for k in cluster_counts {
         let mut v = base.clone();
         v.num_clusters = k;
         let f1 = EmPipeline::new(v).run(&dataset, budget).matching.f1;
         rows.push(vec!["num_clusters".into(), k.to_string(), pct(f1)]);
     }
-    let alphas: Vec<f32> = if config.quick { vec![1e-3, 1e-1] } else { vec![1e-4, 1e-3, 1e-2, 1e-1] };
+    let alphas: Vec<f32> = if config.quick {
+        vec![1e-3, 1e-1]
+    } else {
+        vec![1e-4, 1e-3, 1e-2, 1e-1]
+    };
     for a in alphas {
         let mut v = base.clone();
         v.bt_alpha = a;
         let f1 = EmPipeline::new(v).run(&dataset, budget).matching.f1;
         rows.push(vec!["alpha_bt".into(), format!("{a}"), pct(f1)]);
     }
-    let multipliers: Vec<usize> = if config.quick { vec![2, 8] } else { vec![2, 4, 6, 8, 10] };
+    let multipliers: Vec<usize> = if config.quick {
+        vec![2, 8]
+    } else {
+        vec![2, 4, 6, 8, 10]
+    };
     for m in multipliers {
         let mut v = base.clone();
         v.pseudo_multiplier = m;
@@ -491,7 +594,14 @@ pub fn fig09_11_runtime(config: &HarnessConfig) -> TableResult {
     }
     TableResult::new(
         "fig09_11",
-        &["Figure", "Dataset", "SimCLR/RoBERTa (s)", "Ditto (s)", "Sudowoodo (s)", "DeepMatcher full (s)"],
+        &[
+            "Figure",
+            "Dataset",
+            "SimCLR/RoBERTa (s)",
+            "Ditto (s)",
+            "Sudowoodo (s)",
+            "DeepMatcher full (s)",
+        ],
         rows,
     )
 }
@@ -547,7 +657,11 @@ pub fn table16_difficulty(config: &HarnessConfig) -> TableResult {
     let profiles = if config.quick {
         vec![EmProfile::abt_buy()]
     } else {
-        vec![EmProfile::abt_buy(), EmProfile::walmart_amazon(), EmProfile::dblp_acm()]
+        vec![
+            EmProfile::abt_buy(),
+            EmProfile::walmart_amazon(),
+            EmProfile::dblp_acm(),
+        ]
     };
     for profile in profiles {
         let dataset = generate(&profile, config);
@@ -564,11 +678,21 @@ pub fn table16_difficulty(config: &HarnessConfig) -> TableResult {
             labeled.len() * base.pseudo_multiplier.saturating_sub(1),
         );
         let _ = &gold;
-        let texts_a: Vec<String> = dataset.table_a.iter().map(sudowoodo_text::serialize_record).collect();
-        let texts_b: Vec<String> = dataset.table_b.iter().map(sudowoodo_text::serialize_record).collect();
+        let texts_a: Vec<String> = dataset
+            .table_a
+            .iter()
+            .map(sudowoodo_text::serialize_record)
+            .collect();
+        let texts_b: Vec<String> = dataset
+            .table_b
+            .iter()
+            .map(sudowoodo_text::serialize_record)
+            .collect();
         let mut train_pairs: Vec<sudowoodo_core::TrainPair> = labeled
             .iter()
-            .map(|p| sudowoodo_core::TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label))
+            .map(|p| {
+                sudowoodo_core::TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label)
+            })
             .collect();
         train_pairs.extend(pseudo.labels.iter().map(|p| {
             sudowoodo_core::TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label)
@@ -585,11 +709,14 @@ pub fn table16_difficulty(config: &HarnessConfig) -> TableResult {
             },
         );
         // Ditto-like: random-init encoder, labeled pairs only, concat head.
-        let ditto_encoder = sudowoodo_core::Encoder::from_corpus(base.encoder, &dataset.corpus(), base.seed);
+        let ditto_encoder =
+            sudowoodo_core::Encoder::from_corpus(base.encoder, &dataset.corpus(), base.seed);
         let mut ditto_matcher = sudowoodo_core::PairMatcher::new(ditto_encoder, false, base.seed);
         let labeled_pairs: Vec<sudowoodo_core::TrainPair> = labeled
             .iter()
-            .map(|p| sudowoodo_core::TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label))
+            .map(|p| {
+                sudowoodo_core::TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label)
+            })
             .collect();
         ditto_matcher.fine_tune(
             &labeled_pairs,
@@ -603,10 +730,16 @@ pub fn table16_difficulty(config: &HarnessConfig) -> TableResult {
 
         for level in difficulty_levels(&dataset, &dataset.test, 5) {
             let sw = sudowoodo_core::pipeline::em::evaluate_matcher(
-                &sudowoodo_matcher, &dataset, &level.pairs, 0.5,
+                &sudowoodo_matcher,
+                &dataset,
+                &level.pairs,
+                0.5,
             );
             let ditto = sudowoodo_core::pipeline::em::evaluate_matcher(
-                &ditto_matcher, &dataset, &level.pairs, 0.5,
+                &ditto_matcher,
+                &dataset,
+                &level.pairs,
+                0.5,
             );
             rows.push(vec![
                 dataset.name.clone(),
@@ -626,7 +759,14 @@ pub fn table16_difficulty(config: &HarnessConfig) -> TableResult {
     }
     TableResult::new(
         "table16",
-        &["Dataset", "Difficulty", "Ditto F1", "Sudowoodo F1", "pos Jaccard", "neg Jaccard"],
+        &[
+            "Dataset",
+            "Difficulty",
+            "Ditto F1",
+            "Sudowoodo F1",
+            "pos Jaccard",
+            "neg Jaccard",
+        ],
         rows,
     )
 }
@@ -646,7 +786,10 @@ pub fn table18_full_supervised(config: &HarnessConfig) -> TableResult {
         let ditto = run_ditto(&dataset, None, &base).matching.f1;
         let mut no_pl = base.clone().without("PL"); // full supervision: no pseudo labels
         no_pl.use_pseudo_labels = false;
-        let without_rr = EmPipeline::new(no_pl.clone().without("RR")).run(&dataset, None).matching.f1;
+        let without_rr = EmPipeline::new(no_pl.clone().without("RR"))
+            .run(&dataset, None)
+            .matching
+            .f1;
         let full = EmPipeline::new(no_pl).run(&dataset, None).matching.f1;
         rows.push(vec![
             dataset.name.clone(),
@@ -658,7 +801,13 @@ pub fn table18_full_supervised(config: &HarnessConfig) -> TableResult {
     }
     TableResult::new(
         "table18",
-        &["Dataset", "DeepMatcher", "Ditto", "Sudowoodo (w/o RR)", "Sudowoodo"],
+        &[
+            "Dataset",
+            "DeepMatcher",
+            "Ditto",
+            "Sudowoodo (w/o RR)",
+            "Sudowoodo",
+        ],
         rows,
     )
 }
@@ -668,7 +817,12 @@ mod tests {
     use super::*;
 
     fn tiny_harness() -> HarnessConfig {
-        HarnessConfig { scale: 0.06, quick: true, seed: 3, label_budget: 30 }
+        HarnessConfig {
+            scale: 0.06,
+            quick: true,
+            seed: 3,
+            label_budget: 30,
+        }
     }
 
     #[test]

@@ -21,7 +21,12 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        HarnessConfig { scale: 0.2, quick: false, seed: 42, label_budget: 100 }
+        HarnessConfig {
+            scale: 0.2,
+            quick: false,
+            seed: 42,
+            label_budget: 100,
+        }
     }
 }
 
@@ -77,6 +82,61 @@ impl HarnessConfig {
     }
 }
 
+/// Wall-clock throughput of one pipeline stage, persisted alongside experiment tables so
+/// successive `BENCH_*.json` files track the performance trajectory of the hot path.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Throughput {
+    /// Wall-clock seconds of the stage.
+    pub seconds: f64,
+    /// Records processed (0 when not applicable).
+    pub records: usize,
+    /// Candidate/similarity pairs processed (0 when not applicable).
+    pub pairs: usize,
+    /// `records / seconds` (0 when no records).
+    pub records_per_sec: f64,
+    /// `pairs / seconds` (0 when no pairs).
+    pub pairs_per_sec: f64,
+}
+
+impl Throughput {
+    /// Builds a throughput record from raw counts; rates are 0 when `seconds` is 0.
+    pub fn from_counts(seconds: f64, records: usize, pairs: usize) -> Self {
+        let rate = |count: usize| {
+            if seconds > 0.0 {
+                count as f64 / seconds
+            } else {
+                0.0
+            }
+        };
+        Throughput {
+            seconds,
+            records,
+            pairs,
+            records_per_sec: rate(records),
+            pairs_per_sec: rate(pairs),
+        }
+    }
+
+    /// Times `f` over `records` records / `pairs` pairs and builds the record.
+    pub fn measure<T>(records: usize, pairs: usize, f: impl FnOnce() -> T) -> (T, Self) {
+        let start = std::time::Instant::now();
+        let out = f();
+        let t = Self::from_counts(start.elapsed().as_secs_f64(), records, pairs);
+        (out, t)
+    }
+}
+
+/// A labeled throughput measurement (`stage` names the pipeline step).
+#[derive(Clone, Debug, Serialize)]
+pub struct StageThroughput {
+    /// Pipeline step, e.g. `embed_all` or `knn_join`.
+    pub stage: String,
+    /// Dataset or workload label.
+    pub workload: String,
+    /// The measurement.
+    pub throughput: Throughput,
+}
+
 /// Prints an aligned text table (header + rows) to stdout.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -96,8 +156,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -160,6 +230,19 @@ mod tests {
     fn pct_formats_like_the_paper() {
         assert_eq!(pct(0.783), "78.3");
         assert_eq!(pct(1.0), "100.0");
+    }
+
+    #[test]
+    fn throughput_rates_follow_counts() {
+        let t = Throughput::from_counts(2.0, 4_000, 40_000);
+        assert_eq!(t.records_per_sec, 2_000.0);
+        assert_eq!(t.pairs_per_sec, 20_000.0);
+        let zero = Throughput::from_counts(0.0, 10, 10);
+        assert_eq!(zero.records_per_sec, 0.0);
+        let (value, m) = Throughput::measure(8, 0, || 42);
+        assert_eq!(value, 42);
+        assert_eq!(m.records, 8);
+        assert!(m.seconds >= 0.0);
     }
 
     #[test]

@@ -62,7 +62,12 @@ impl BatchSampler {
                 Some(result.clusters())
             }
         };
-        BatchSampler { strategy, clusters, num_items: texts.len(), batch_size }
+        BatchSampler {
+            strategy,
+            clusters,
+            num_items: texts.len(),
+            batch_size,
+        }
     }
 
     /// The strategy this sampler was built with.
@@ -176,9 +181,7 @@ mod tests {
             batches
                 .iter()
                 .filter(|b| b.len() == 10)
-                .filter(|b| {
-                    b.iter().all(|&i| i < 30) || b.iter().all(|&i| i >= 30)
-                })
+                .filter(|b| b.iter().all(|&i| i < 30) || b.iter().all(|&i| i >= 30))
                 .count() as f32
                 / batches.iter().filter(|b| b.len() == 10).count().max(1) as f32
         };

@@ -4,11 +4,31 @@
 //! so that mini-batches can be drawn from within a cluster (lexically similar items become
 //! in-batch negatives). Because all vectors are L2-normalized, maximizing the dot product
 //! against a centroid is equivalent to cosine assignment (spherical k-means).
+//!
+//! Two performance/robustness properties of this implementation:
+//!
+//! * **Kernel-routed assignment** — when the corpus fits a dense `n x F` matrix
+//!   ([`DENSE_ASSIGN_LIMIT`]), every Lloyd assignment step is one fused
+//!   `points * centroids^T` GEMM tile ([`Matrix::matmul_transpose_b`]) followed by a
+//!   per-row argmax; otherwise a rayon-parallel sparse scoring path is used. Both paths
+//!   share the argmax tie-break (smallest cluster index), so results are deterministic.
+//! * **Robust seeding** — true k-means++ (D² weighting) with a handful of restarts; the
+//!   run with the highest total assignment similarity wins. This removes the collapse
+//!   mode where two same-topic seeds converge to a degenerate `[n-1, 1]` split.
 
-use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
 
-use crate::tfidf::{add_into_dense, dense_sparse_dot, SparseVector};
+use sudowoodo_nn::matrix::Matrix;
+
+use crate::tfidf::{add_into_dense, dense_sparse_dot, sparse_dot, to_dense_matrix, SparseVector};
+
+/// Maximum `n * num_features` element count for the densified assignment path
+/// (4M f32 = 16 MB — comfortably cache/RAM friendly on any dev machine).
+const DENSE_ASSIGN_LIMIT: usize = 4_000_000;
+
+/// Number of k-means++ restarts; the highest-similarity run is kept.
+const RESTARTS: usize = 3;
 
 /// Result of a k-means run.
 #[derive(Clone, Debug)]
@@ -17,7 +37,7 @@ pub struct KMeansResult {
     pub assignments: Vec<usize>,
     /// Number of clusters actually produced (≤ requested `k`).
     pub k: usize,
-    /// Number of Lloyd iterations executed.
+    /// Number of Lloyd iterations executed (of the winning restart).
     pub iterations: usize,
 }
 
@@ -55,35 +75,71 @@ pub struct KMeansConfig {
 pub fn kmeans(points: &[SparseVector], config: &KMeansConfig, rng: &mut impl Rng) -> KMeansResult {
     let n = points.len();
     if n == 0 {
-        return KMeansResult { assignments: Vec::new(), k: 0, iterations: 0 };
+        return KMeansResult {
+            assignments: Vec::new(),
+            k: 0,
+            iterations: 0,
+        };
     }
     let k = config.k.clamp(1, n);
-    let order: Vec<usize> = {
-        let mut o: Vec<usize> = (0..n).collect();
-        o.shuffle(rng);
-        o
-    };
-    // k-means++ style seeding with cosine distance (1 - similarity): each new centroid is
-    // sampled proportionally to its distance from the closest existing centroid. This avoids
-    // the classic failure mode where two seeds land in the same lexical cluster.
-    let mut centroid_ids: Vec<usize> = vec![order[0]];
-    let mut min_dist: Vec<f32> = points
+    // Densify once and reuse across restarts when the corpus is small enough for the GEMM
+    // assignment path.
+    let dense =
+        if n.saturating_mul(config.num_features) <= DENSE_ASSIGN_LIMIT && config.num_features > 0 {
+            Some(to_dense_matrix(points, config.num_features))
+        } else {
+            None
+        };
+
+    let mut best: Option<(f32, Vec<usize>, usize)> = None;
+    for _ in 0..RESTARTS {
+        let (assignments, iterations, score) = lloyd_once(points, dense.as_ref(), k, config, rng);
+        if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+            best = Some((score, assignments, iterations));
+        }
+        if k == 1 || k == n {
+            break; // further restarts cannot change the outcome
+        }
+    }
+    let (_, assignments, iterations) = best.expect("at least one restart ran");
+    KMeansResult {
+        assignments,
+        k,
+        iterations,
+    }
+}
+
+/// One seeded k-means++ run; returns `(assignments, iterations, total_similarity)`.
+fn lloyd_once(
+    points: &[SparseVector],
+    dense: Option<&Matrix>,
+    k: usize,
+    config: &KMeansConfig,
+    rng: &mut impl Rng,
+) -> (Vec<usize>, usize, f32) {
+    let n = points.len();
+
+    // k-means++ seeding with squared cosine distance: each new centroid is sampled
+    // proportionally to D^2 from the closest existing centroid, strongly preferring
+    // points in not-yet-covered lexical regions.
+    let first = rng.gen_range(0..n);
+    let mut centroid_ids: Vec<usize> = vec![first];
+    let mut min_d2: Vec<f32> = points
         .iter()
-        .map(|p| (1.0 - crate::tfidf::sparse_dot(p, &points[order[0]])).max(0.0))
+        .map(|p| {
+            let d = (1.0 - sparse_dot(p, &points[first])).max(0.0);
+            d * d
+        })
         .collect();
     while centroid_ids.len() < k {
-        let total: f32 = min_dist.iter().sum();
+        let total: f32 = min_d2.iter().sum();
         let next = if total <= 1e-9 {
             // All remaining points coincide with existing centroids; fall back to any unused.
-            order
-                .iter()
-                .copied()
-                .find(|i| !centroid_ids.contains(i))
-                .unwrap_or(order[0])
+            (0..n).find(|i| !centroid_ids.contains(i)).unwrap_or(first)
         } else {
             let mut target = rng.gen_range(0.0..total);
-            let mut chosen = 0usize;
-            for (i, &d) in min_dist.iter().enumerate() {
+            let mut chosen = n - 1;
+            for (i, &d) in min_d2.iter().enumerate() {
                 if target <= d {
                     chosen = i;
                     break;
@@ -94,60 +150,49 @@ pub fn kmeans(points: &[SparseVector], config: &KMeansConfig, rng: &mut impl Rng
         };
         centroid_ids.push(next);
         for (i, p) in points.iter().enumerate() {
-            let d = (1.0 - crate::tfidf::sparse_dot(p, &points[next])).max(0.0);
-            if d < min_dist[i] {
-                min_dist[i] = d;
+            let d = (1.0 - sparse_dot(p, &points[next])).max(0.0);
+            let d2 = d * d;
+            if d2 < min_d2[i] {
+                min_d2[i] = d2;
             }
         }
     }
-    let mut centroids: Vec<Vec<f32>> = centroid_ids
-        .iter()
-        .map(|&i| {
-            let mut c = vec![0.0f32; config.num_features];
-            add_into_dense(&mut c, &points[i]);
-            c
-        })
-        .collect();
+
+    // Centroids live in one dense `k x F` matrix — the right-hand side of the assignment
+    // GEMM and the accumulator of the update step.
+    let mut centroids = Matrix::zeros(k, config.num_features);
+    for (c, &i) in centroid_ids.iter().enumerate() {
+        add_into_dense(centroids.row_mut(c), &points[i]);
+    }
 
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
     for _ in 0..config.max_iterations {
         iterations += 1;
-        // Assignment step.
-        let mut changed = false;
-        for (i, point) in points.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_score = f32::NEG_INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let score = dense_sparse_dot(centroid, point);
-                if score > best_score {
-                    best_score = score;
-                    best = c;
-                }
-            }
-            if assignments[i] != best {
-                assignments[i] = best;
-                changed = true;
-            }
-        }
+        // Assignment step: points x centroids^T, argmax per row (ties -> smaller index).
+        let new_assignments = assign(points, dense, &centroids);
+        let changed = new_assignments != assignments;
+        assignments = new_assignments;
+
         // Update step: mean of assigned points, re-normalized (spherical k-means).
-        let mut new_centroids = vec![vec![0.0f32; config.num_features]; k];
+        let mut new_centroids = Matrix::zeros(k, config.num_features);
         let mut counts = vec![0usize; k];
         for (i, point) in points.iter().enumerate() {
-            add_into_dense(&mut new_centroids[assignments[i]], point);
+            add_into_dense(new_centroids.row_mut(assignments[i]), point);
             counts[assignments[i]] += 1;
         }
-        for (c, centroid) in new_centroids.iter_mut().enumerate() {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            let row = new_centroids.row_mut(c);
+            if count == 0 {
                 // Re-seed empty cluster from a random point.
-                let &seed = order.choose(rng).expect("non-empty");
-                centroid.iter_mut().for_each(|v| *v = 0.0);
-                add_into_dense(centroid, &points[seed]);
+                let seed = rng.gen_range(0..n);
+                row.iter_mut().for_each(|v| *v = 0.0);
+                add_into_dense(row, &points[seed]);
                 continue;
             }
-            let norm: f32 = centroid.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
             if norm > 1e-12 {
-                for v in centroid.iter_mut() {
+                for v in row.iter_mut() {
                     *v /= norm;
                 }
             }
@@ -157,7 +202,53 @@ pub fn kmeans(points: &[SparseVector], config: &KMeansConfig, rng: &mut impl Rng
             break;
         }
     }
-    KMeansResult { assignments, k, iterations }
+
+    // Quality of this restart: total similarity of points to their assigned centroids.
+    let score: f32 = points
+        .iter()
+        .zip(assignments.iter())
+        .map(|(p, &c)| dense_sparse_dot(centroids.row(c), p))
+        .sum();
+    (assignments, iterations, score)
+}
+
+/// The assignment step. Dense corpus: one fused GEMM tile + per-row argmax. Sparse corpus:
+/// rayon-parallel per-point scoring. Identical tie-break (smallest cluster index).
+fn assign(points: &[SparseVector], dense: Option<&Matrix>, centroids: &Matrix) -> Vec<usize> {
+    match dense {
+        Some(d) => {
+            let scores = d.matmul_transpose_b(centroids); // n x k
+            (0..scores.rows())
+                .map(|r| {
+                    let row = scores.row(r);
+                    let mut best = 0usize;
+                    let mut best_score = f32::NEG_INFINITY;
+                    for (c, &s) in row.iter().enumerate() {
+                        if s > best_score {
+                            best_score = s;
+                            best = c;
+                        }
+                    }
+                    best
+                })
+                .collect()
+        }
+        None => points
+            .par_iter()
+            .map(|point| {
+                let mut best = 0usize;
+                let mut best_score = f32::NEG_INFINITY;
+                for c in 0..centroids.rows() {
+                    let score = dense_sparse_dot(centroids.row(c), point);
+                    if score > best_score {
+                        best_score = score;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +275,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let result = kmeans(
             &points,
-            &KMeansConfig { k: 2, max_iterations: 20, num_features: v.num_features() },
+            &KMeansConfig {
+                k: 2,
+                max_iterations: 20,
+                num_features: v.num_features(),
+            },
             &mut rng,
         );
         assert_eq!(result.k, 2);
@@ -193,8 +288,39 @@ mod tests {
         let paper_cluster = result.assignments[1];
         assert_ne!(printer_cluster, paper_cluster);
         for i in 0..corpus.len() {
-            let expected = if i % 2 == 0 { printer_cluster } else { paper_cluster };
+            let expected = if i % 2 == 0 {
+                printer_cluster
+            } else {
+                paper_cluster
+            };
             assert_eq!(result.assignments[i], expected, "doc {i} misassigned");
+        }
+    }
+
+    #[test]
+    fn separation_is_robust_across_seeds() {
+        // The restartable D^2 seeding must not collapse into a degenerate [n-1, 1] split
+        // for *any* of these seeds (the single-shot seeding used to, for about half).
+        let corpus = two_topic_corpus();
+        let v = TfIdfVectorizer::fit(corpus.iter().map(|s| s.as_str()));
+        let points = v.transform_all(corpus.iter().map(|s| s.as_str()));
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = kmeans(
+                &points,
+                &KMeansConfig {
+                    k: 2,
+                    max_iterations: 20,
+                    num_features: v.num_features(),
+                },
+                &mut rng,
+            );
+            let sizes = result.cluster_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), corpus.len());
+            assert!(
+                sizes.iter().all(|&s| s >= 15),
+                "seed {seed}: degenerate split {sizes:?}"
+            );
         }
     }
 
@@ -205,7 +331,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let result = kmeans(
             &points,
-            &KMeansConfig { k: 10, max_iterations: 5, num_features: v.num_features() },
+            &KMeansConfig {
+                k: 10,
+                max_iterations: 5,
+                num_features: v.num_features(),
+            },
             &mut rng,
         );
         assert_eq!(result.k, 2);
@@ -215,9 +345,32 @@ mod tests {
     #[test]
     fn empty_input_produces_empty_result() {
         let mut rng = StdRng::seed_from_u64(2);
-        let result = kmeans(&[], &KMeansConfig { k: 3, max_iterations: 5, num_features: 10 }, &mut rng);
+        let result = kmeans(
+            &[],
+            &KMeansConfig {
+                k: 3,
+                max_iterations: 5,
+                num_features: 10,
+            },
+            &mut rng,
+        );
         assert_eq!(result.k, 0);
         assert!(result.assignments.is_empty());
+    }
+
+    #[test]
+    fn dense_and_sparse_assignment_paths_agree() {
+        let corpus = two_topic_corpus();
+        let v = TfIdfVectorizer::fit(corpus.iter().map(|s| s.as_str()));
+        let points = v.transform_all(corpus.iter().map(|s| s.as_str()));
+        let dense = to_dense_matrix(&points, v.num_features());
+        // Arbitrary centroids: two real points.
+        let mut centroids = Matrix::zeros(2, v.num_features());
+        add_into_dense(centroids.row_mut(0), &points[0]);
+        add_into_dense(centroids.row_mut(1), &points[1]);
+        let via_gemm = assign(&points, Some(&dense), &centroids);
+        let via_sparse = assign(&points, None, &centroids);
+        assert_eq!(via_gemm, via_sparse);
     }
 
     #[test]
@@ -228,7 +381,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let result = kmeans(
             &points,
-            &KMeansConfig { k: 4, max_iterations: 10, num_features: v.num_features() },
+            &KMeansConfig {
+                k: 4,
+                max_iterations: 10,
+                num_features: v.num_features(),
+            },
             &mut rng,
         );
         let sizes = result.cluster_sizes();

@@ -3,9 +3,14 @@
 //! Used by the clustering-based negative sampler (Algorithm 2) and by the DL-Block-style
 //! blocking baseline. Vectors are sparse `(feature, weight)` lists, L2-normalized so that
 //! dot products are cosine similarities.
+//!
+//! When the feature space is small enough to densify ([`to_dense_matrix`]), pairwise
+//! scoring and k-means assignment route through the blocked GEMM kernels of
+//! [`sudowoodo_nn::matrix::Matrix`] ([`pairwise_cosine`]) instead of per-pair sparse dots.
 
 use std::collections::HashMap;
 
+use sudowoodo_nn::matrix::Matrix;
 use sudowoodo_text::tokenize;
 
 /// A sparse vector: sorted `(feature index, weight)` pairs.
@@ -124,6 +129,34 @@ pub fn dense_sparse_dot(dense: &[f32], sparse: &SparseVector) -> f32 {
     sparse.iter().map(|&(id, w)| dense[id] * w).sum()
 }
 
+/// Scatter-expands sparse vectors into one dense row-major `n x num_features` matrix, the
+/// input shape of the GEMM kernels.
+///
+/// # Panics
+/// Panics when a feature index is out of range.
+pub fn to_dense_matrix(points: &[SparseVector], num_features: usize) -> Matrix {
+    let mut out = Matrix::zeros(points.len(), num_features);
+    for (i, point) in points.iter().enumerate() {
+        let row = out.row_mut(i);
+        for &(id, w) in point {
+            assert!(
+                id < num_features,
+                "to_dense_matrix: feature {id} out of range"
+            );
+            row[id] = w;
+        }
+    }
+    out
+}
+
+/// All-pairs cosine similarity (`n x n`) of L2-normalized sparse vectors, computed as one
+/// fused `X * X^T` GEMM over the densified matrix. Prefer this over `n^2` calls to
+/// [`sparse_dot`] whenever `points.len() * num_features` fits in memory comfortably.
+pub fn pairwise_cosine(points: &[SparseVector], num_features: usize) -> Matrix {
+    let dense = to_dense_matrix(points, num_features);
+    dense.matmul_transpose_b(&dense)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +208,30 @@ mod tests {
     fn unknown_tokens_are_ignored() {
         let v = TfIdfVectorizer::fit(["alpha beta"]);
         assert!(v.transform("gamma delta").is_empty());
+    }
+
+    #[test]
+    fn pairwise_cosine_matches_sparse_dots() {
+        let corpus = [
+            "canon ink cartridge cyan",
+            "canon ink cartridge magenta",
+            "florida state university",
+            "canon camera lens",
+        ];
+        let v = TfIdfVectorizer::fit(corpus.iter().copied());
+        let points = v.transform_all(corpus.iter().copied());
+        let gram = pairwise_cosine(&points, v.num_features());
+        assert_eq!(gram.shape(), (4, 4));
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = sparse_dot(&points[i], &points[j]);
+                assert!(
+                    (gram.get(i, j) - expected).abs() < 1e-5,
+                    "pairwise_cosine[{i}][{j}] = {} but sparse_dot = {expected}",
+                    gram.get(i, j)
+                );
+            }
+        }
     }
 
     #[test]

@@ -252,7 +252,10 @@ mod tests {
             "Sudowoodo (-cut)"
         );
         assert_eq!(
-            SudowoodoConfig::default().without("cut").without("RR").variant_name(),
+            SudowoodoConfig::default()
+                .without("cut")
+                .without("RR")
+                .variant_name(),
             "Sudowoodo (-cut,-RR)"
         );
     }
@@ -262,5 +265,4 @@ mod tests {
     fn unknown_ablation_name_panics() {
         let _ = SudowoodoConfig::default().without("bogus");
     }
-
 }

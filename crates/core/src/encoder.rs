@@ -16,8 +16,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
-use sudowoodo_augment::CutoffPlan;
+use sudowoodo_augment::{CutoffKind, CutoffPlan};
 use sudowoodo_nn::layers::{
     Embedding, FeedForward, Layer, LayerNorm, PositionalEmbedding, TransformerBlock,
 };
@@ -46,7 +47,11 @@ impl Encoder {
     pub fn from_corpus(config: EncoderConfig, corpus: &[String], seed: u64) -> Self {
         let vocab = Vocab::build_from_texts(
             corpus.iter().map(|s| s.as_str()),
-            &VocabConfig { max_size: 20_000, min_count: 1, hash_buckets: 256 },
+            &VocabConfig {
+                max_size: 20_000,
+                min_count: 1,
+                hash_buckets: 256,
+            },
         );
         Self::with_vocab(config, vocab, seed)
     }
@@ -69,7 +74,15 @@ impl Encoder {
             .collect();
         let pool_mlp = FeedForward::new("encoder.pool_mlp", config.dim, config.ff_hidden, &mut rng);
         let output_norm = LayerNorm::new("encoder.output_norm", config.dim);
-        Encoder { config, vocab, embedding, positional, blocks, pool_mlp, output_norm }
+        Encoder {
+            config,
+            vocab,
+            embedding,
+            positional,
+            blocks,
+            pool_mlp,
+            output_norm,
+        }
     }
 
     /// The vocabulary used by this encoder.
@@ -107,7 +120,11 @@ impl Encoder {
 
     /// Encodes one tokenized item on the tape, returning a `1 x dim` L2-normalized vector.
     pub fn encode_ids(&self, tape: &mut Tape, token_ids: &[usize], cutoff: &CutoffPlan) -> VarId {
-        let ids: Vec<usize> = token_ids.iter().take(self.config.max_len).copied().collect();
+        let ids: Vec<usize> = token_ids
+            .iter()
+            .take(self.config.max_len)
+            .copied()
+            .collect();
         let embedded = self.embedding.forward(tape, &ids);
         // Cutoff acts on the token-embedding matrix: multiply by a constant 0/1 mask so that
         // gradients still flow to the surviving entries.
@@ -141,30 +158,136 @@ impl Encoder {
 
     /// Encodes a batch of serialized texts on the tape, returning an `n x dim` matrix of
     /// L2-normalized rows.
+    ///
+    /// For the `MeanPool` architecture the whole batch is **one** graph of batched ops —
+    /// a single embedding gather over the concatenated token ids, one constant cutoff
+    /// mask, and a segment-mean pooling matmul — instead of `n` independent single-row
+    /// sub-graphs. The Transformer architecture still runs its attention blocks per
+    /// sequence (attention must not mix items) and stacks the pooled rows.
     pub fn encode_batch(&self, tape: &mut Tape, texts: &[&str], cutoff: &CutoffPlan) -> VarId {
         assert!(!texts.is_empty(), "encode_batch: empty batch");
-        let rows: Vec<VarId> = texts
-            .iter()
-            .map(|t| self.encode_text(tape, t, cutoff))
-            .collect();
-        tape.stack_rows(&rows)
+        match self.config.kind {
+            EncoderKind::MeanPool => self.encode_batch_meanpool(tape, texts, cutoff),
+            EncoderKind::Transformer => {
+                let rows: Vec<VarId> = texts
+                    .iter()
+                    .map(|t| self.encode_text(tape, t, cutoff))
+                    .collect();
+                tape.stack_rows(&rows)
+            }
+        }
     }
 
-    /// Inference-only embedding of many texts (no augmentation, gradients discarded).
-    ///
-    /// Items are processed in chunks so the tape for each chunk stays small.
+    /// Batched `MeanPool` forward: gather → mask → segment-mean pool → MLP → norm, all as
+    /// `n`-row batched ops on one tape graph.
+    fn encode_batch_meanpool(&self, tape: &mut Tape, texts: &[&str], cutoff: &CutoffPlan) -> VarId {
+        let dim = self.config.dim;
+        let ids_per_text: Vec<Vec<usize>> = texts
+            .iter()
+            .map(|t| self.vocab.encode(t, self.config.max_len))
+            .collect();
+        let all_ids: Vec<usize> = ids_per_text.iter().flatten().copied().collect();
+
+        // ONE gather over the whole batch: `total x dim`.
+        let embedded = self.embedding.forward(tape, &all_ids);
+
+        // The batch-wise cutoff plan applies per item, exactly as in the per-row path;
+        // the per-segment 0/1 masks are stacked into one constant. A noop plan (every
+        // original view, and both views with cutoff ablated) skips the mask entirely —
+        // multiplying by all-ones in the hot path would be pure overhead.
+        let masked = if cutoff.kind() == CutoffKind::None {
+            embedded
+        } else {
+            let segment_masks: Vec<Matrix> = ids_per_text
+                .iter()
+                .map(|ids| cutoff.apply(&Matrix::full(ids.len(), dim, 1.0)))
+                .collect();
+            let mask_refs: Vec<&Matrix> = segment_masks.iter().collect();
+            let mask_node = tape.constant(Matrix::vstack(&mask_refs));
+            tape.mul(embedded, mask_node)
+        };
+
+        // Segment-mean pooling: one fused op at O(total x dim) (empty items pool to the
+        // zero vector, matching `mean_rows` on an empty matrix).
+        let lens: Vec<usize> = ids_per_text.iter().map(|ids| ids.len()).collect();
+        let mean = tape.segment_mean_rows(masked, &lens); // n x dim
+
+        let lifted = self.pool_mlp.forward(tape, mean);
+        let summed = tape.add(mean, lifted);
+        let normed = self.output_norm.forward(tape, summed);
+        tape.l2_normalize_rows(normed)
+    }
+
+    /// Inference-only embedding of many texts (no augmentation, no tape, no gradient
+    /// bookkeeping), parallel over 64-item chunks with rayon. Each chunk runs the batched
+    /// matrix-level forward of [`Encoder::infer_chunk`]; model weights are shared across
+    /// workers behind read locks.
     pub fn embed_all(&self, texts: &[String]) -> Vec<Vec<f32>> {
+        if texts.is_empty() {
+            return Vec::new();
+        }
+        let chunk_outputs: Vec<Matrix> = texts
+            .par_chunks(64)
+            .map(|chunk| self.infer_chunk(chunk))
+            .collect();
         let mut out = Vec::with_capacity(texts.len());
-        for chunk in texts.chunks(64) {
-            let mut tape = Tape::new();
-            let refs: Vec<&str> = chunk.iter().map(|s| s.as_str()).collect();
-            let batch = self.encode_batch(&mut tape, &refs, &CutoffPlan::noop());
-            let values = tape.value(batch);
+        for values in &chunk_outputs {
             for r in 0..values.rows() {
                 out.push(values.row(r).to_vec());
             }
         }
         out
+    }
+
+    /// Batched inference forward for one chunk, returning `n x dim` L2-normalized rows.
+    pub fn infer_chunk(&self, texts: &[String]) -> Matrix {
+        let n = texts.len();
+        let dim = self.config.dim;
+        let ids_per_text: Vec<Vec<usize>> = texts
+            .iter()
+            .map(|t| self.vocab.encode(t, self.config.max_len))
+            .collect();
+
+        let pooled = match self.config.kind {
+            EncoderKind::MeanPool => {
+                // One gather for the chunk, then segment means accumulated in place.
+                let all_ids: Vec<usize> = ids_per_text.iter().flatten().copied().collect();
+                let embedded = self.embedding.lookup(&all_ids);
+                let mut means = Matrix::zeros(n, dim);
+                let mut offset = 0;
+                for (i, ids) in ids_per_text.iter().enumerate() {
+                    if !ids.is_empty() {
+                        for t in offset..offset + ids.len() {
+                            let token_row = embedded.row(t);
+                            for (m, &e) in means.row_mut(i).iter_mut().zip(token_row.iter()) {
+                                *m += e;
+                            }
+                        }
+                        let inv = 1.0 / ids.len() as f32;
+                        for m in means.row_mut(i) {
+                            *m *= inv;
+                        }
+                    }
+                    offset += ids.len();
+                }
+                let lifted = self.pool_mlp.infer(&means);
+                means.add(&lifted)
+            }
+            EncoderKind::Transformer => {
+                let mut pooled = Matrix::zeros(n, dim);
+                for (i, ids) in ids_per_text.iter().enumerate() {
+                    let mut x = self.embedding.lookup(ids);
+                    x = self.positional.infer(&x, ids.len());
+                    for block in &self.blocks {
+                        x = block.infer(&x);
+                    }
+                    pooled.row_mut(i).copy_from_slice(x.mean_rows().row(0));
+                }
+                pooled
+            }
+        };
+        let normed = self.output_norm.infer(&pooled);
+        normed.l2_normalize_rows()
     }
 
     /// Convenience: embedding of a single text.
@@ -195,14 +318,24 @@ mod tests {
     #[test]
     fn meanpool_and_transformer_produce_unit_vectors() {
         for kind in [EncoderKind::MeanPool, EncoderKind::Transformer] {
-            let config = EncoderConfig { kind, dim: 16, layers: 1, heads: 2, ff_hidden: 32, max_len: 24 };
+            let config = EncoderConfig {
+                kind,
+                dim: 16,
+                layers: 1,
+                heads: 2,
+                ff_hidden: 32,
+                max_len: 24,
+            };
             let encoder = Encoder::from_corpus(config, &small_corpus(), 1);
             let embeddings = encoder.embed_all(&small_corpus());
             assert_eq!(embeddings.len(), 4);
             for e in &embeddings {
                 assert_eq!(e.len(), 16);
                 let norm: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
-                assert!((norm - 1.0).abs() < 1e-4, "embedding not normalized: {norm}");
+                assert!(
+                    (norm - 1.0).abs() < 1e-4,
+                    "embedding not normalized: {norm}"
+                );
             }
             assert!(encoder.num_parameters() > 0);
         }
@@ -226,9 +359,58 @@ mod tests {
     }
 
     #[test]
+    fn tape_and_inference_paths_agree_for_both_architectures() {
+        // Three forwards exist (per-row tape, batched tape, tape-free infer); a change to
+        // one must not silently diverge from the others. Pin all three together.
+        let corpus = small_corpus();
+        for kind in [EncoderKind::MeanPool, EncoderKind::Transformer] {
+            let config = EncoderConfig {
+                kind,
+                dim: 16,
+                layers: 1,
+                heads: 2,
+                ff_hidden: 32,
+                max_len: 24,
+            };
+            let encoder = Encoder::from_corpus(config, &corpus, 9);
+            let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+
+            let mut tape = Tape::new();
+            let batched = encoder.encode_batch(&mut tape, &refs, &CutoffPlan::noop());
+            let batched = tape.value(batched).clone();
+
+            let mut row_tape = Tape::new();
+            let rows: Vec<_> = refs
+                .iter()
+                .map(|t| encoder.encode_text(&mut row_tape, t, &CutoffPlan::noop()))
+                .collect();
+            let per_row = row_tape.stack_rows(&rows);
+            let per_row = row_tape.value(per_row).clone();
+
+            let inferred = encoder.infer_chunk(&corpus);
+
+            assert!(
+                batched.approx_eq(&per_row, 1e-4),
+                "{kind:?}: batched tape path diverged from per-row tape path"
+            );
+            assert!(
+                batched.approx_eq(&inferred, 1e-4),
+                "{kind:?}: tape path diverged from inference path"
+            );
+        }
+    }
+
+    #[test]
     fn encoder_is_differentiable_end_to_end() {
         let corpus = small_corpus();
-        let config = EncoderConfig { kind: EncoderKind::Transformer, dim: 8, layers: 1, heads: 2, ff_hidden: 16, max_len: 16 };
+        let config = EncoderConfig {
+            kind: EncoderKind::Transformer,
+            dim: 8,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 16,
+            max_len: 16,
+        };
         let encoder = Encoder::from_corpus(config, &corpus, 4);
         let mut tape = Tape::new();
         let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
@@ -247,7 +429,10 @@ mod tests {
 
     #[test]
     fn long_inputs_are_truncated_to_max_len() {
-        let config = EncoderConfig { max_len: 6, ..EncoderConfig::tiny() };
+        let config = EncoderConfig {
+            max_len: 6,
+            ..EncoderConfig::tiny()
+        };
         let encoder = Encoder::from_corpus(config, &small_corpus(), 5);
         let long_text = "[COL] title [VAL] ".to_string() + &"token ".repeat(100);
         let e = encoder.embed_one(&long_text);

@@ -18,12 +18,14 @@ pub fn nt_xent_loss(tape: &mut Tape, z_ori: VarId, z_aug: VarId, temperature: f3
         "nt_xent_loss: the two views must have the same batch size"
     );
     assert!(n >= 2, "nt_xent_loss: need at least 2 items per batch");
-    assert!(temperature > 0.0, "nt_xent_loss: temperature must be positive");
+    assert!(
+        temperature > 0.0,
+        "nt_xent_loss: temperature must be positive"
+    );
 
     let z = tape.concat_rows(z_ori, z_aug); // 2n x d
     let z = tape.l2_normalize_rows(z);
-    let zt = tape.transpose(z);
-    let sim = tape.matmul(z, zt); // 2n x 2n cosine similarities
+    let sim = tape.matmul_transpose_b(z, z); // 2n x 2n cosine similarities, fused Z*Z^T
     let sim = tape.scale(sim, 1.0 / temperature);
     // Mask the diagonal (self-similarity) with a large negative constant so it never
     // contributes to the softmax denominator (the `k != i` condition of Equation 1).
@@ -31,7 +33,9 @@ pub fn nt_xent_loss(tape: &mut Tape, z_ori: VarId, z_aug: VarId, temperature: f3
     let mask_node = tape.constant(mask);
     let masked = tape.add(sim, mask_node);
     // Row i's positive is row i+n (and vice versa).
-    let targets: Vec<usize> = (0..2 * n).map(|i| if i < n { i + n } else { i - n }).collect();
+    let targets: Vec<usize> = (0..2 * n)
+        .map(|i| if i < n { i + n } else { i - n })
+        .collect();
     tape.softmax_cross_entropy(masked, &targets)
 }
 
@@ -53,8 +57,7 @@ pub fn barlow_twins_loss(tape: &mut Tape, z_ori: VarId, z_aug: VarId, lambda: f3
     let a = tape.l2_normalize_rows(a);
     let b = tape.transpose(z_aug);
     let b = tape.l2_normalize_rows(b);
-    let bt = tape.transpose(b);
-    let c = tape.matmul(a, bt); // d x d cross-correlation
+    let c = tape.matmul_transpose_b(a, b); // d x d cross-correlation, fused A*B^T
     let identity = tape.constant(Matrix::identity(d));
     let diff = tape.sub(c, identity);
     let sq = tape.pow2(diff);
@@ -133,7 +136,9 @@ mod tests {
         let bv = tape.constant(b.clone());
         let loss = nt_xent_loss(&mut tape, av, bv, 0.1);
         let grads = tape.backward(loss);
-        let g = grads.get(bv).expect("augmented view must receive a gradient");
+        let g = grads
+            .get(bv)
+            .expect("augmented view must receive a gradient");
         // Take a small step against the gradient and verify the loss decreases.
         let stepped = b.sub(&g.scale(0.5));
         let mut tape2 = Tape::new();

@@ -32,7 +32,11 @@ pub struct TrainPair {
 impl TrainPair {
     /// Convenience constructor.
     pub fn new(left: impl Into<String>, right: impl Into<String>, label: bool) -> Self {
-        TrainPair { left: left.into(), right: right.into(), label }
+        TrainPair {
+            left: left.into(),
+            right: right.into(),
+            label,
+        }
     }
 }
 
@@ -51,7 +55,12 @@ pub struct FineTuneConfig {
 
 impl Default for FineTuneConfig {
     fn default() -> Self {
-        FineTuneConfig { epochs: 10, batch_size: 16, learning_rate: 5e-4, seed: 7 }
+        FineTuneConfig {
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 5e-4,
+            seed: 7,
+        }
     }
 }
 
@@ -68,9 +77,17 @@ impl PairMatcher {
     /// Wraps a (typically pre-trained) encoder into a matcher.
     pub fn new(encoder: Encoder, use_diff_head: bool, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(101));
-        let input_dim = if use_diff_head { 2 * encoder.dim() } else { encoder.dim() };
+        let input_dim = if use_diff_head {
+            2 * encoder.dim()
+        } else {
+            encoder.dim()
+        };
         let head = Linear::new("matcher.head", input_dim, 2, &mut rng);
-        PairMatcher { encoder, head, use_diff_head }
+        PairMatcher {
+            encoder,
+            head,
+            use_diff_head,
+        }
     }
 
     /// Whether the similarity-aware head is active.
@@ -146,8 +163,10 @@ impl PairMatcher {
     pub fn predict_scores(&self, pairs: &[(String, String)]) -> Vec<f32> {
         let mut out = Vec::with_capacity(pairs.len());
         for chunk in pairs.chunks(32) {
-            let refs: Vec<(&str, &str)> =
-                chunk.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+            let refs: Vec<(&str, &str)> = chunk
+                .iter()
+                .map(|(l, r)| (l.as_str(), r.as_str()))
+                .collect();
             let mut tape = Tape::new();
             let logits = self.batch_logits(&mut tape, &refs);
             let values = tape.value(logits);
@@ -165,12 +184,21 @@ impl PairMatcher {
 
     /// Hard predictions at a given probability threshold.
     pub fn predict_labels(&self, pairs: &[(String, String)], threshold: f32) -> Vec<bool> {
-        self.predict_scores(pairs).into_iter().map(|p| p >= threshold).collect()
+        self.predict_scores(pairs)
+            .into_iter()
+            .map(|p| p >= threshold)
+            .collect()
     }
 
     /// Number of trainable parameters (encoder + head).
     pub fn num_parameters(&self) -> usize {
-        self.encoder.num_parameters() + self.head.params().iter().map(|p| p.num_elements()).sum::<usize>()
+        self.encoder.num_parameters()
+            + self
+                .head
+                .params()
+                .iter()
+                .map(|p| p.num_elements())
+                .sum::<usize>()
     }
 }
 
@@ -211,7 +239,12 @@ mod tests {
         let mut matcher = tiny_matcher(&corpus, true);
         let losses = matcher.fine_tune(
             &pairs,
-            &FineTuneConfig { epochs: 8, batch_size: 8, learning_rate: 2e-3, seed: 1 },
+            &FineTuneConfig {
+                epochs: 8,
+                batch_size: 8,
+                learning_rate: 2e-3,
+                seed: 1,
+            },
         );
         assert_eq!(losses.len(), 8);
         assert!(
@@ -220,8 +253,10 @@ mod tests {
             losses
         );
         // Training accuracy should beat chance comfortably.
-        let eval_pairs: Vec<(String, String)> =
-            pairs.iter().map(|p| (p.left.clone(), p.right.clone())).collect();
+        let eval_pairs: Vec<(String, String)> = pairs
+            .iter()
+            .map(|p| (p.left.clone(), p.right.clone()))
+            .collect();
         let predictions = matcher.predict_labels(&eval_pairs, 0.5);
         let correct = predictions
             .iter()

@@ -78,7 +78,9 @@ impl CleaningPipeline {
         let mut pairs = Vec::new();
         let record = &dataset.dirty.rows[row];
         for col in 0..dataset.dirty.num_columns() {
-            let Some(candidates) = dataset.candidates.get(&(row, col)) else { continue };
+            let Some(candidates) = dataset.candidates.get(&(row, col)) else {
+                continue;
+            };
             let current = serialize_record(record);
             let clean_value = dataset.clean.cell(row, col).unwrap_or_default();
             for candidate in candidates {
@@ -142,11 +144,18 @@ impl CleaningPipeline {
             let record = &dataset.dirty.rows[row];
             let current_text = serialize_record(record);
             for col in 0..dataset.dirty.num_columns() {
-                let Some(candidates) = dataset.candidates.get(&(row, col)) else { continue };
+                let Some(candidates) = dataset.candidates.get(&(row, col)) else {
+                    continue;
+                };
                 let current_value = dataset.dirty.cell(row, col).unwrap_or_default();
                 let pairs: Vec<(String, String)> = candidates
                     .iter()
-                    .map(|c| (current_text.clone(), serialize_cell_in_context(record, col, c)))
+                    .map(|c| {
+                        (
+                            current_text.clone(),
+                            serialize_cell_in_context(record, col, c),
+                        )
+                    })
                     .collect();
                 let scores = matcher.predict_scores(&pairs);
                 let best = scores
@@ -177,14 +186,30 @@ impl CleaningPipeline {
                 correct += 1;
             }
         }
-        let precision = if corrections.is_empty() { 0.0 } else { correct as f32 / corrections.len() as f32 };
-        let recall = if errors_in_scope == 0 { 0.0 } else { correct as f32 / errors_in_scope as f32 };
-        let f1 = if precision + recall <= 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+        let precision = if corrections.is_empty() {
+            0.0
+        } else {
+            correct as f32 / corrections.len() as f32
+        };
+        let recall = if errors_in_scope == 0 {
+            0.0
+        } else {
+            correct as f32 / errors_in_scope as f32
+        };
+        let f1 = if precision + recall <= 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
 
         CleaningResult {
             dataset: dataset.name.clone(),
             variant: self.config.variant_name(),
-            correction: PrF1 { precision, recall, f1 },
+            correction: PrF1 {
+                precision,
+                recall,
+                f1,
+            },
             corrections_made: corrections.len(),
             errors_in_scope,
             labeled_rows: labeled.len(),

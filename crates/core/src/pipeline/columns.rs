@@ -94,9 +94,8 @@ impl ColumnPipeline {
         let blocking_secs = blocking_start.elapsed().as_secs_f64();
 
         let matching_start = Instant::now();
-        let to_train_pair = |p: &ColumnPair| {
-            TrainPair::new(texts[p.left].clone(), texts[p.right].clone(), p.label)
-        };
+        let to_train_pair =
+            |p: &ColumnPair| TrainPair::new(texts[p.left].clone(), texts[p.right].clone(), p.label);
         let train_pairs: Vec<TrainPair> = train.iter().map(to_train_pair).collect();
         let mut matcher = PairMatcher::new(encoder, self.config.use_diff_head, self.config.seed);
         matcher.fine_tune(
@@ -115,7 +114,10 @@ impl ColumnPipeline {
                 .iter()
                 .map(|p| (texts[p.left].clone(), texts[p.right].clone()))
                 .collect();
-            (matcher.predict_scores(&inputs), pairs.iter().map(|p| p.label).collect())
+            (
+                matcher.predict_scores(&inputs),
+                pairs.iter().map(|p| p.label).collect(),
+            )
         };
         let (valid_scores, valid_gold) = score_split(valid);
         let (threshold, _) = if valid.is_empty() {
@@ -178,7 +180,12 @@ mod tests {
 
     #[test]
     fn column_pipeline_runs_end_to_end() {
-        let corpus = ColumnProfile { num_columns: 60, min_values: 4, max_values: 8 }.generate(1.0, 3);
+        let corpus = ColumnProfile {
+            num_columns: 60,
+            min_values: 4,
+            max_values: 8,
+        }
+        .generate(1.0, 3);
         let pipeline = ColumnPipeline::new(tiny_config());
         // Candidate pairs for labeling: adjacent columns (cheap, mixes types).
         let candidates: Vec<(usize, usize)> = (0..corpus.len() - 1).map(|i| (i, i + 1)).collect();
@@ -194,7 +201,12 @@ mod tests {
 
     #[test]
     fn blocking_produces_deduplicated_ordered_pairs() {
-        let corpus = ColumnProfile { num_columns: 30, min_values: 4, max_values: 6 }.generate(1.0, 7);
+        let corpus = ColumnProfile {
+            num_columns: 30,
+            min_values: 4,
+            max_values: 6,
+        }
+        .generate(1.0, 7);
         let pipeline = ColumnPipeline::new(tiny_config());
         let texts = corpus.corpus(MAX_COLUMN_VALUES);
         let (encoder, _) = pretrain(&texts, &pipeline.config);
@@ -202,7 +214,10 @@ mod tests {
         let pairs = pipeline.block(&corpus, &embeddings);
         assert!(!pairs.is_empty());
         for w in pairs.windows(2) {
-            assert!(w[0] < w[1], "pairs must be strictly increasing (sorted + deduped)");
+            assert!(
+                w[0] < w[1],
+                "pairs must be strictly increasing (sorted + deduped)"
+            );
         }
         for &(i, j) in &pairs {
             assert!(i < j);

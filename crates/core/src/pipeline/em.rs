@@ -172,8 +172,7 @@ impl EmPipeline {
         // 3. Labels + pseudo labels.
         let finetune_start = Instant::now();
         let labeled = self.sample_labels(dataset, label_budget);
-        let labeled_keys: HashSet<(usize, usize)> =
-            labeled.iter().map(|p| (p.a, p.b)).collect();
+        let labeled_keys: HashSet<(usize, usize)> = labeled.iter().map(|p| (p.a, p.b)).collect();
         let gold: HashSet<(usize, usize)> = dataset.gold_matches.iter().copied().collect();
 
         let (pseudo, pseudo_quality) = if self.config.use_pseudo_labels {
@@ -182,18 +181,22 @@ impl EmPipeline {
                 .copied()
                 .filter(|(a, b, _)| !labeled_keys.contains(&(*a, *b)))
                 .collect();
-            let base = if labeled.is_empty() { 200 } else { labeled.len() };
+            let base = if labeled.is_empty() {
+                200
+            } else {
+                labeled.len()
+            };
             let target = base.saturating_mul(self.config.pseudo_multiplier.saturating_sub(1));
-            let set = generate_pseudo_labels(
-                &unlabeled,
-                self.config.pseudo_positive_ratio,
-                target,
-            );
+            let set = generate_pseudo_labels(&unlabeled, self.config.pseudo_positive_ratio, target);
             let quality = set.quality(|a, b| gold.contains(&(a, b)));
             (set, Some(quality))
         } else {
             (
-                PseudoLabelSet { labels: Vec::new(), theta_plus: 1.0, theta_minus: -1.0 },
+                PseudoLabelSet {
+                    labels: Vec::new(),
+                    theta_plus: 1.0,
+                    theta_minus: -1.0,
+                },
                 None,
             )
         };
@@ -204,9 +207,12 @@ impl EmPipeline {
             .iter()
             .map(|p| TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label))
             .collect();
-        train_pairs.extend(pseudo.labels.iter().map(|p| {
-            TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label)
-        }));
+        train_pairs.extend(
+            pseudo
+                .labels
+                .iter()
+                .map(|p| TrainPair::new(texts_a[p.a].clone(), texts_b[p.b].clone(), p.label)),
+        );
         let num_pseudo_labels = pseudo.labels.len();
 
         let mut matcher = PairMatcher::new(encoder, self.config.use_diff_head, self.config.seed);
@@ -320,7 +326,10 @@ mod tests {
         assert!(result.matching.f1 >= 0.0 && result.matching.f1 <= 1.0);
         assert!(result.blocking.recall >= 0.0 && result.blocking.recall <= 1.0);
         assert!(result.blocking.num_candidates > 0);
-        assert!(result.num_pseudo_labels > 0, "pseudo labels should be generated");
+        assert!(
+            result.num_pseudo_labels > 0,
+            "pseudo labels should be generated"
+        );
         assert!(result.pseudo_quality.is_some());
         assert!(result.timings.total_secs > 0.0);
         assert!(result.timings.pretrain_secs > 0.0);

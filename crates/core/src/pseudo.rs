@@ -68,8 +68,16 @@ impl PseudoLabelSet {
             }
         }
         (
-            if pos == 0 { 0.0 } else { tp as f32 / pos as f32 },
-            if neg == 0 { 0.0 } else { tn as f32 / neg as f32 },
+            if pos == 0 {
+                0.0
+            } else {
+                tp as f32 / pos as f32
+            },
+            if neg == 0 {
+                0.0
+            } else {
+                tn as f32 / neg as f32
+            },
         )
     }
 }
@@ -86,7 +94,11 @@ pub fn generate_pseudo_labels(
 ) -> PseudoLabelSet {
     assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
     if scored.is_empty() || target_count == 0 {
-        return PseudoLabelSet { labels: Vec::new(), theta_plus: 1.0, theta_minus: -1.0 };
+        return PseudoLabelSet {
+            labels: Vec::new(),
+            theta_plus: 1.0,
+            theta_minus: -1.0,
+        };
     }
     let mut sorted: Vec<ScoredPair> = scored.to_vec();
     sorted.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
@@ -96,14 +108,36 @@ pub fn generate_pseudo_labels(
 
     let mut labels = Vec::with_capacity(target);
     for &(a, b, score) in sorted.iter().take(num_pos) {
-        labels.push(PseudoLabel { a, b, label: true, score });
+        labels.push(PseudoLabel {
+            a,
+            b,
+            label: true,
+            score,
+        });
     }
     for &(a, b, score) in sorted.iter().rev().take(num_neg) {
-        labels.push(PseudoLabel { a, b, label: false, score });
+        labels.push(PseudoLabel {
+            a,
+            b,
+            label: false,
+            score,
+        });
     }
-    let theta_plus = if num_pos > 0 { sorted[num_pos - 1].2 } else { 1.0 };
-    let theta_minus = if num_neg > 0 { sorted[sorted.len() - num_neg].2 } else { -1.0 };
-    PseudoLabelSet { labels, theta_plus, theta_minus }
+    let theta_plus = if num_pos > 0 {
+        sorted[num_pos - 1].2
+    } else {
+        1.0
+    };
+    let theta_minus = if num_neg > 0 {
+        sorted[sorted.len() - num_neg].2
+    } else {
+        -1.0
+    };
+    PseudoLabelSet {
+        labels,
+        theta_plus,
+        theta_minus,
+    }
 }
 
 /// Hill-climbing refinement of the positive threshold (§III-C).

@@ -131,9 +131,17 @@ impl CleaningDataset {
             name: self.name.clone(),
             rows: self.dirty.num_rows(),
             cols: self.dirty.num_columns(),
-            error_rate: if total_cells == 0 { 0.0 } else { self.errors.len() as f32 / total_cells as f32 },
+            error_rate: if total_cells == 0 {
+                0.0
+            } else {
+                self.errors.len() as f32 / total_cells as f32
+            },
             error_types: types,
-            coverage: if self.errors.is_empty() { 1.0 } else { covered as f32 / self.errors.len() as f32 },
+            coverage: if self.errors.is_empty() {
+                1.0
+            } else {
+                covered as f32 / self.errors.len() as f32
+            },
             avg_candidates: if candidate_sizes.is_empty() {
                 0.0
             } else {
@@ -276,14 +284,25 @@ impl CleaningProfile {
             if correct.is_empty() {
                 continue;
             }
-            let error_type = *self.error_types.choose(&mut rng).expect("non-empty error types");
+            let error_type = *self
+                .error_types
+                .choose(&mut rng)
+                .expect("non-empty error types");
             let dirty_value = match error_type {
                 ErrorType::MissingValue => {
-                    if rng.gen_bool(0.5) { String::new() } else { "n/a".to_string() }
+                    if rng.gen_bool(0.5) {
+                        String::new()
+                    } else {
+                        "n/a".to_string()
+                    }
                 }
                 ErrorType::Typo => {
                     let t = typo(&correct, &mut rng);
-                    if t == correct { format!("{correct}x") } else { t }
+                    if t == correct {
+                        format!("{correct}x")
+                    } else {
+                        t
+                    }
                 }
                 ErrorType::FormattingIssue => reformat(&correct, &mut rng),
                 ErrorType::ViolatedDependency => {
@@ -302,7 +321,13 @@ impl CleaningProfile {
                 continue;
             }
             dirty.set_cell(row, col, dirty_value.clone());
-            errors.push(CellError { row, col, error_type, correct_value: correct, dirty_value });
+            errors.push(CellError {
+                row,
+                col,
+                error_type,
+                correct_value: correct,
+                dirty_value,
+            });
         }
 
         // Candidate corrections: for erroneous cells, include the truth with prob `coverage`
@@ -342,7 +367,13 @@ impl CleaningProfile {
             }
         }
 
-        CleaningDataset { name: self.name.to_string(), dirty, clean, errors, candidates }
+        CleaningDataset {
+            name: self.name.to_string(),
+            dirty,
+            clean,
+            errors,
+            candidates,
+        }
     }
 }
 
@@ -411,7 +442,11 @@ fn generate_clean_table(schema: CleaningSchema, rows: usize, rng: &mut impl Rng)
                 let measure_idx = rng.gen_range(0..vocab::MEASURES.len());
                 t.push_row(vec![
                     format!("{} memorial hospital", vocab::pick(vocab::LAST_NAMES, rng)),
-                    format!("{} {}", rng.gen_range(1..999), vocab::pick(vocab::STREETS, rng)),
+                    format!(
+                        "{} {}",
+                        rng.gen_range(1..999),
+                        vocab::pick(vocab::STREETS, rng)
+                    ),
                     vocab::US_CITIES[city_idx].to_string(),
                     state.to_string(),
                     vocab::zip(rng),
@@ -504,7 +539,11 @@ mod tests {
             let ds = profile.generate(0.3, 17);
             let stats = ds.stats();
             assert!(stats.rows >= 10);
-            assert!(!ds.errors.is_empty(), "{}: no errors injected", profile.name);
+            assert!(
+                !ds.errors.is_empty(),
+                "{}: no errors injected",
+                profile.name
+            );
             // Error rate close to the profile target (scaled tables are small so allow slack).
             assert!(
                 (stats.error_rate - profile.error_rate).abs() < profile.error_rate * 0.6 + 0.01,
@@ -549,7 +588,10 @@ mod tests {
         for e in &ds.errors {
             assert_eq!(ds.clean.cell(e.row, e.col).unwrap(), e.correct_value);
             assert_eq!(ds.dirty.cell(e.row, e.col).unwrap(), e.dirty_value);
-            assert_eq!(ds.correction_for(e.row, e.col), Some(e.correct_value.as_str()));
+            assert_eq!(
+                ds.correction_for(e.row, e.col),
+                Some(e.correct_value.as_str())
+            );
         }
         assert_eq!(ds.correction_for(usize::MAX, 0), None);
     }
@@ -571,7 +613,10 @@ mod tests {
         let ds = CleaningProfile::hospital().generate(0.3, 9);
         for e in &ds.errors {
             assert!(
-                matches!(e.error_type, ErrorType::Typo | ErrorType::ViolatedDependency),
+                matches!(
+                    e.error_type,
+                    ErrorType::Typo | ErrorType::ViolatedDependency
+                ),
                 "hospital should only contain T and VAD errors"
             );
         }

@@ -44,7 +44,10 @@ impl ColumnCorpus {
 
     /// Serializations of every column (bare-bone `[VAL] ...` scheme, capped at `max_values`).
     pub fn corpus(&self, max_values: usize) -> Vec<String> {
-        self.columns.iter().map(|c| serialize_column(c, max_values)).collect()
+        self.columns
+            .iter()
+            .map(|c| serialize_column(c, max_values))
+            .collect()
     }
 
     /// `true` when two columns share the coarse semantic type (the matching criterion).
@@ -66,7 +69,11 @@ pub struct ColumnProfile {
 
 impl Default for ColumnProfile {
     fn default() -> Self {
-        ColumnProfile { num_columns: 600, min_values: 8, max_values: 20 }
+        ColumnProfile {
+            num_columns: 600,
+            min_values: 8,
+            max_values: 20,
+        }
     }
 }
 
@@ -122,7 +129,11 @@ fn generate_value(subtype: &str, rng: &mut impl Rng) -> String {
         "venue" => vocab::pick(vocab::VENUES, rng).to_string(),
         "beer style" => vocab::pick(vocab::BEER_STYLES, rng).to_string(),
         "street address" => {
-            format!("{} {}", rng.gen_range(1..999), vocab::pick(vocab::STREETS, rng))
+            format!(
+                "{} {}",
+                rng.gen_range(1..999),
+                vocab::pick(vocab::STREETS, rng)
+            )
         }
         "artist" => vocab::pick(vocab::ARTISTS, rng).to_string(),
         "medical measure" => vocab::pick(vocab::MEASURES, rng).to_string(),
@@ -133,7 +144,7 @@ fn generate_value(subtype: &str, rng: &mut impl Rng) -> String {
 impl ColumnProfile {
     /// Generates the corpus at the given scale and seed.
     pub fn generate(&self, scale: f32, seed: u64) -> ColumnCorpus {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c01); // distinct stream per task
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x05ee_dc01); // distinct stream per task
         let num_columns = ((self.num_columns as f32 * scale).round() as usize).max(20);
         let catalog = type_catalog();
         let type_names: Vec<String> = catalog.iter().map(|(t, _)| t.to_string()).collect();
@@ -166,11 +177,20 @@ impl ColumnProfile {
                 let slot = rng.gen_range(0..values.len());
                 values[slot] = generate_value(&fine_names[other], &mut rng);
             }
-            columns.push(Column { name: Some(type_names[coarse].clone()), values });
+            columns.push(Column {
+                name: Some(type_names[coarse].clone()),
+                values,
+            });
             type_labels.push(coarse);
             fine_labels.push(fine);
         }
-        ColumnCorpus { columns, type_labels, type_names, fine_labels, fine_names }
+        ColumnCorpus {
+            columns,
+            type_labels,
+            type_names,
+            fine_labels,
+            fine_names,
+        }
     }
 }
 
@@ -200,7 +220,11 @@ pub fn sample_labeled_pairs(
     chosen.truncate(n);
     let pairs: Vec<ColumnPair> = chosen
         .into_iter()
-        .map(|(l, r)| ColumnPair { left: l, right: r, label: corpus.same_type(l, r) })
+        .map(|(l, r)| ColumnPair {
+            left: l,
+            right: r,
+            label: corpus.same_type(l, r),
+        })
         .collect();
     let n = pairs.len();
     let train_end = n / 2;
@@ -261,13 +285,29 @@ mod tests {
 
     #[test]
     fn subtypes_share_coarse_type_but_differ_in_values() {
-        let corpus = ColumnProfile { num_columns: 400, min_values: 10, max_values: 12 }.generate(1.0, 11);
+        let corpus = ColumnProfile {
+            num_columns: 400,
+            min_values: 10,
+            max_values: 12,
+        }
+        .generate(1.0, 11);
         // Find a "us city" column and a "central eu city" column: same coarse type.
-        let us = corpus.fine_names.iter().position(|n| n == "us city").unwrap();
-        let eu = corpus.fine_names.iter().position(|n| n == "central eu city").unwrap();
+        let us = corpus
+            .fine_names
+            .iter()
+            .position(|n| n == "us city")
+            .unwrap();
+        let eu = corpus
+            .fine_names
+            .iter()
+            .position(|n| n == "central eu city")
+            .unwrap();
         let us_col = corpus.fine_labels.iter().position(|&f| f == us);
         let eu_col = corpus.fine_labels.iter().position(|&f| f == eu);
-        let (us_col, eu_col) = (us_col.expect("us city column"), eu_col.expect("eu city column"));
+        let (us_col, eu_col) = (
+            us_col.expect("us city column"),
+            eu_col.expect("eu city column"),
+        );
         assert!(corpus.same_type(us_col, eu_col));
         assert_ne!(corpus.fine_labels[us_col], corpus.fine_labels[eu_col]);
         // Their value sets should be (almost) disjoint.

@@ -30,9 +30,8 @@ pub fn difficulty_levels(
     num_levels: usize,
 ) -> Vec<DifficultyLevel> {
     assert!(num_levels >= 1, "need at least one level");
-    let jaccard_of = |p: &LabeledPair| {
-        jaccard_text(&dataset.table_a[p.a].text(), &dataset.table_b[p.b].text())
-    };
+    let jaccard_of =
+        |p: &LabeledPair| jaccard_text(&dataset.table_a[p.a].text(), &dataset.table_b[p.b].text());
 
     // Positives: ascending Jaccard = hardest first. Negatives: descending Jaccard = hardest
     // first. Level `num_levels` takes the head of both lists.

@@ -100,7 +100,11 @@ impl EmDataset {
             size_b: self.table_b.len(),
             train_valid: self.train.len() + self.valid.len(),
             test: self.test.len(),
-            positive_rate: if all.is_empty() { 0.0 } else { pos as f32 / all.len() as f32 },
+            positive_rate: if all.is_empty() {
+                0.0
+            } else {
+                pos as f32 / all.len() as f32
+            },
         }
     }
 }
@@ -309,7 +313,12 @@ impl EmProfile {
                 if entities.len() == num_entities {
                     break;
                 }
-                entities.push(Entity::generate(self.domain, family, &family_seed, &mut rng));
+                entities.push(Entity::generate(
+                    self.domain,
+                    family,
+                    &family_seed,
+                    &mut rng,
+                ));
             }
         }
 
@@ -326,7 +335,12 @@ impl EmProfile {
             table_b.push(entity.render_b(self.match_noise, &mut rng));
             b_entity_ids.push(id);
         }
-        for (id, entity) in entities.iter().enumerate().skip(size_a).take(size_b - matched) {
+        for (id, entity) in entities
+            .iter()
+            .enumerate()
+            .skip(size_a)
+            .take(size_b - matched)
+        {
             table_b.push(entity.render_b(self.match_noise, &mut rng));
             b_entity_ids.push(id);
         }
@@ -356,7 +370,10 @@ impl EmProfile {
         // Group table-B rows by family for hard-negative sampling.
         let mut family_to_b: HashMap<usize, Vec<usize>> = HashMap::new();
         for (b_idx, &entity) in b_entity_ids.iter().enumerate() {
-            family_to_b.entry(entities[entity].family).or_default().push(b_idx);
+            family_to_b
+                .entry(entities[entity].family)
+                .or_default()
+                .push(b_idx);
         }
         let mut pairs: Vec<LabeledPair> = Vec::with_capacity(num_pairs);
         for _ in 0..num_pos {
@@ -468,7 +485,10 @@ impl Entity {
                     ),
                     ("brand".to_string(), seed.brand.clone()),
                     ("modelno".to_string(), model),
-                    ("description".to_string(), format!("{} {} {}", seed.noun, color, modifier)),
+                    (
+                        "description".to_string(),
+                        format!("{} {} {}", seed.noun, color, modifier),
+                    ),
                     ("price".to_string(), price),
                 ]
             }
@@ -495,7 +515,10 @@ impl Entity {
                     ("name".to_string(), name.to_string()),
                     ("address".to_string(), format!("{number} {street}")),
                     ("city".to_string(), seed.city.clone()),
-                    ("state".to_string(), vocab::US_STATES[seed.state_idx].to_string()),
+                    (
+                        "state".to_string(),
+                        vocab::US_STATES[seed.state_idx].to_string(),
+                    ),
                     ("phone".to_string(), vocab::phone(rng)),
                 ]
             }
@@ -525,7 +548,11 @@ impl Entity {
                 ]
             }
         };
-        Entity { family, attributes, domain }
+        Entity {
+            family,
+            attributes,
+            domain,
+        }
     }
 
     /// Renders the entity as a table-A record (canonical, clean values; A-side schema).
@@ -618,10 +645,7 @@ mod tests {
         assert_eq!(d1.table_a, d2.table_a);
         assert_eq!(d1.train, d2.train);
         assert_ne!(
-            d1.table_a
-                .iter()
-                .map(|r| r.text())
-                .collect::<Vec<_>>(),
+            d1.table_a.iter().map(|r| r.text()).collect::<Vec<_>>(),
             d3.table_a.iter().map(|r| r.text()).collect::<Vec<_>>()
         );
     }
@@ -635,7 +659,11 @@ mod tests {
             assert!(a < ds.table_a.len() && b < ds.table_b.len());
         }
         for p in ds.all_pairs() {
-            assert_eq!(p.label, gold.contains(&(p.a, p.b)), "label/gold inconsistency");
+            assert_eq!(
+                p.label,
+                gold.contains(&(p.a, p.b)),
+                "label/gold inconsistency"
+            );
         }
     }
 

@@ -168,7 +168,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed >= 18, "high noise should almost always change the text");
+        assert!(
+            changed >= 18,
+            "high noise should almost always change the text"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
                 unchanged += 1;
             }
         }
-        assert!(unchanged > 25, "low noise should keep most strings intact: {unchanged}/50");
+        assert!(
+            unchanged > 25,
+            "low noise should keep most strings intact: {unchanged}/50"
+        );
     }
 
     #[test]

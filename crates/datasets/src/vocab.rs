@@ -7,28 +7,102 @@
 
 /// Product brands (product-domain EM datasets: Abt-Buy, Amazon-Google, Walmart-Amazon).
 pub const BRANDS: &[&str] = &[
-    "canon", "epson", "sony", "panasonic", "samsung", "toshiba", "logitech", "netgear",
-    "linksys", "belkin", "kodak", "nikon", "olympus", "garmin", "sandisk", "kingston",
-    "microsoft", "apple", "hewlett packard", "dell", "lenovo", "asus", "acer", "brother",
-    "encore", "topics entertainment", "adobe", "intuit", "symantec", "mcafee", "corel",
-    "roxio", "nuance", "swann", "dlink", "tp link",
+    "canon",
+    "epson",
+    "sony",
+    "panasonic",
+    "samsung",
+    "toshiba",
+    "logitech",
+    "netgear",
+    "linksys",
+    "belkin",
+    "kodak",
+    "nikon",
+    "olympus",
+    "garmin",
+    "sandisk",
+    "kingston",
+    "microsoft",
+    "apple",
+    "hewlett packard",
+    "dell",
+    "lenovo",
+    "asus",
+    "acer",
+    "brother",
+    "encore",
+    "topics entertainment",
+    "adobe",
+    "intuit",
+    "symantec",
+    "mcafee",
+    "corel",
+    "roxio",
+    "nuance",
+    "swann",
+    "dlink",
+    "tp link",
 ];
 
 /// Product category nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "ink cartridge", "laser printer", "digital camera", "camcorder", "wireless router",
-    "memory card", "flash drive", "hard drive", "keyboard", "optical mouse", "lcd monitor",
-    "security camera", "dvr system", "headphones", "speaker system", "office suite",
-    "photo software", "tax software", "antivirus", "language course", "adventure workshop",
-    "typing tutor", "notebook battery", "usb hub", "docking station", "graphics tablet",
-    "media player", "game controller", "projector", "scanner",
+    "ink cartridge",
+    "laser printer",
+    "digital camera",
+    "camcorder",
+    "wireless router",
+    "memory card",
+    "flash drive",
+    "hard drive",
+    "keyboard",
+    "optical mouse",
+    "lcd monitor",
+    "security camera",
+    "dvr system",
+    "headphones",
+    "speaker system",
+    "office suite",
+    "photo software",
+    "tax software",
+    "antivirus",
+    "language course",
+    "adventure workshop",
+    "typing tutor",
+    "notebook battery",
+    "usb hub",
+    "docking station",
+    "graphics tablet",
+    "media player",
+    "game controller",
+    "projector",
+    "scanner",
 ];
 
 /// Product adjectives / edition markers.
 pub const PRODUCT_MODIFIERS: &[&str] = &[
-    "deluxe", "premium", "professional", "standard", "home", "portable", "compact",
-    "wireless", "bluetooth", "digital", "hd", "ultra", "mini", "pro", "plus", "elite",
-    "classic", "advanced", "special edition", "2nd edition", "3rd edition", "7th edition",
+    "deluxe",
+    "premium",
+    "professional",
+    "standard",
+    "home",
+    "portable",
+    "compact",
+    "wireless",
+    "bluetooth",
+    "digital",
+    "hd",
+    "ultra",
+    "mini",
+    "pro",
+    "plus",
+    "elite",
+    "classic",
+    "advanced",
+    "special edition",
+    "2nd edition",
+    "3rd edition",
+    "7th edition",
 ];
 
 /// Colors used in product variants.
@@ -38,133 +112,415 @@ pub const COLORS: &[&str] = &[
 
 /// Publication title topic words (publication-domain EM datasets: DBLP-ACM, DBLP-Scholar).
 pub const PAPER_TOPICS: &[&str] = &[
-    "query optimization", "data integration", "entity resolution", "schema matching",
-    "transaction processing", "concurrency control", "stream processing", "data cleaning",
-    "information extraction", "knowledge bases", "semantic web", "graph databases",
-    "approximate query answering", "index structures", "column stores", "mapreduce",
-    "distributed systems", "sensor networks", "data mining", "machine learning",
-    "deep learning", "representation learning", "crowdsourcing", "data provenance",
-    "privacy preservation", "spatial databases", "temporal databases", "text analytics",
-    "recommendation systems", "similarity joins",
+    "query optimization",
+    "data integration",
+    "entity resolution",
+    "schema matching",
+    "transaction processing",
+    "concurrency control",
+    "stream processing",
+    "data cleaning",
+    "information extraction",
+    "knowledge bases",
+    "semantic web",
+    "graph databases",
+    "approximate query answering",
+    "index structures",
+    "column stores",
+    "mapreduce",
+    "distributed systems",
+    "sensor networks",
+    "data mining",
+    "machine learning",
+    "deep learning",
+    "representation learning",
+    "crowdsourcing",
+    "data provenance",
+    "privacy preservation",
+    "spatial databases",
+    "temporal databases",
+    "text analytics",
+    "recommendation systems",
+    "similarity joins",
 ];
 
 /// Publication title patterns / framing words.
 pub const PAPER_FRAMES: &[&str] = &[
-    "towards", "a survey of", "on the complexity of", "efficient", "scalable", "adaptive",
-    "a framework for", "revisiting", "benchmarking", "learning based", "principles of",
-    "an empirical study of", "optimizing", "incremental",
+    "towards",
+    "a survey of",
+    "on the complexity of",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "a framework for",
+    "revisiting",
+    "benchmarking",
+    "learning based",
+    "principles of",
+    "an empirical study of",
+    "optimizing",
+    "incremental",
 ];
 
 /// Publication venues.
 pub const VENUES: &[&str] = &[
-    "sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www", "acl", "emnlp", "neurips",
-    "icml", "aaai", "pods", "sigir", "wsdm",
+    "sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www", "acl", "emnlp", "neurips", "icml",
+    "aaai", "pods", "sigir", "wsdm",
 ];
 
 /// Author first names.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda",
-    "william", "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica",
-    "thomas", "sarah", "wei", "yuliang", "jin", "runhui", "xin", "lei", "ana", "carlos",
-    "maria", "pierre", "hans", "yuki", "chen", "raj", "priya", "omar", "fatima",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "wei",
+    "yuliang",
+    "jin",
+    "runhui",
+    "xin",
+    "lei",
+    "ana",
+    "carlos",
+    "maria",
+    "pierre",
+    "hans",
+    "yuki",
+    "chen",
+    "raj",
+    "priya",
+    "omar",
+    "fatima",
 ];
 
 /// Author last names.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
-    "rodriguez", "martinez", "wang", "li", "zhang", "chen", "liu", "yang", "kumar",
-    "patel", "kim", "park", "nguyen", "tran", "mueller", "schmidt", "rossi", "silva",
-    "tanaka", "sato", "ivanov", "novak",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "wang",
+    "li",
+    "zhang",
+    "chen",
+    "liu",
+    "yang",
+    "kumar",
+    "patel",
+    "kim",
+    "park",
+    "nguyen",
+    "tran",
+    "mueller",
+    "schmidt",
+    "rossi",
+    "silva",
+    "tanaka",
+    "sato",
+    "ivanov",
+    "novak",
 ];
 
 /// US cities (restaurant/business domain, cleaning tables, column corpus).
 pub const US_CITIES: &[&str] = &[
-    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia",
-    "san antonio", "san diego", "dallas", "san jose", "austin", "jacksonville",
-    "columbus", "charlotte", "indianapolis", "seattle", "denver", "boston", "nashville",
-    "portland", "madison", "redmond", "mountain view", "new brunswick", "princeton",
+    "new york",
+    "los angeles",
+    "chicago",
+    "houston",
+    "phoenix",
+    "philadelphia",
+    "san antonio",
+    "san diego",
+    "dallas",
+    "san jose",
+    "austin",
+    "jacksonville",
+    "columbus",
+    "charlotte",
+    "indianapolis",
+    "seattle",
+    "denver",
+    "boston",
+    "nashville",
+    "portland",
+    "madison",
+    "redmond",
+    "mountain view",
+    "new brunswick",
+    "princeton",
 ];
 
 /// European cities (used for the fine-grained "central EU city" column cluster, Table IX).
 pub const EU_CITIES: &[&str] = &[
-    "berlin", "munich", "marburg", "stollberg", "pratteln", "osnabruck", "vienna", "graz",
-    "zurich", "basel", "prague", "brno", "krakow", "wroclaw", "budapest", "leipzig",
-    "dresden", "stuttgart", "salzburg", "linz",
+    "berlin",
+    "munich",
+    "marburg",
+    "stollberg",
+    "pratteln",
+    "osnabruck",
+    "vienna",
+    "graz",
+    "zurich",
+    "basel",
+    "prague",
+    "brno",
+    "krakow",
+    "wroclaw",
+    "budapest",
+    "leipzig",
+    "dresden",
+    "stuttgart",
+    "salzburg",
+    "linz",
 ];
 
 /// US state abbreviations.
 pub const US_STATES: &[&str] = &[
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN",
-    "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV",
-    "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
-    "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
 ];
 
 /// US state full names (same order as [`US_STATES`]).
 pub const US_STATE_NAMES: &[&str] = &[
-    "alabama", "alaska", "arizona", "arkansas", "california", "colorado", "connecticut",
-    "delaware", "florida", "georgia", "hawaii", "idaho", "illinois", "indiana", "iowa",
-    "kansas", "kentucky", "louisiana", "maine", "maryland", "massachusetts", "michigan",
-    "minnesota", "mississippi", "missouri", "montana", "nebraska", "nevada",
-    "new hampshire", "new jersey", "new mexico", "new york", "north carolina",
-    "north dakota", "ohio", "oklahoma", "oregon", "pennsylvania", "rhode island",
-    "south carolina", "south dakota", "tennessee", "texas", "utah", "vermont", "virginia",
-    "washington", "west virginia", "wisconsin", "wyoming",
+    "alabama",
+    "alaska",
+    "arizona",
+    "arkansas",
+    "california",
+    "colorado",
+    "connecticut",
+    "delaware",
+    "florida",
+    "georgia",
+    "hawaii",
+    "idaho",
+    "illinois",
+    "indiana",
+    "iowa",
+    "kansas",
+    "kentucky",
+    "louisiana",
+    "maine",
+    "maryland",
+    "massachusetts",
+    "michigan",
+    "minnesota",
+    "mississippi",
+    "missouri",
+    "montana",
+    "nebraska",
+    "nevada",
+    "new hampshire",
+    "new jersey",
+    "new mexico",
+    "new york",
+    "north carolina",
+    "north dakota",
+    "ohio",
+    "oklahoma",
+    "oregon",
+    "pennsylvania",
+    "rhode island",
+    "south carolina",
+    "south dakota",
+    "tennessee",
+    "texas",
+    "utah",
+    "vermont",
+    "virginia",
+    "washington",
+    "west virginia",
+    "wisconsin",
+    "wyoming",
 ];
 
 /// Street name stems (address attributes).
 pub const STREETS: &[&str] = &[
-    "main st", "oak ave", "maple dr", "cedar ln", "park blvd", "washington st", "lake rd",
-    "hill st", "river rd", "church st", "elm st", "pine ave", "sunset blvd", "broadway",
-    "2nd ave", "5th ave", "market st", "mission st", "university ave", "campus dr",
+    "main st",
+    "oak ave",
+    "maple dr",
+    "cedar ln",
+    "park blvd",
+    "washington st",
+    "lake rd",
+    "hill st",
+    "river rd",
+    "church st",
+    "elm st",
+    "pine ave",
+    "sunset blvd",
+    "broadway",
+    "2nd ave",
+    "5th ave",
+    "market st",
+    "mission st",
+    "university ave",
+    "campus dr",
 ];
 
 /// Beer style names (the `beers` cleaning table and the Beer EM dataset).
 pub const BEER_STYLES: &[&str] = &[
-    "american ipa", "imperial stout", "pale ale", "porter", "pilsner", "hefeweizen",
-    "saison", "amber ale", "brown ale", "blonde ale", "double ipa", "lager", "wheat ale",
-    "barleywine", "kolsch", "mead", "cider", "sour ale", "gose", "dunkel",
+    "american ipa",
+    "imperial stout",
+    "pale ale",
+    "porter",
+    "pilsner",
+    "hefeweizen",
+    "saison",
+    "amber ale",
+    "brown ale",
+    "blonde ale",
+    "double ipa",
+    "lager",
+    "wheat ale",
+    "barleywine",
+    "kolsch",
+    "mead",
+    "cider",
+    "sour ale",
+    "gose",
+    "dunkel",
 ];
 
 /// Brewery name stems.
 pub const BREWERIES: &[&str] = &[
-    "redstone meadery", "lone pine brewing", "stone brewing", "sierra nevada",
-    "dogfish head", "founders brewing", "bells brewery", "lagunitas", "deschutes",
-    "new belgium", "oskar blues", "half acre", "three floyds", "russian river",
-    "cigar city", "trillium", "tree house", "maine beer company", "alchemist", "firestone",
+    "redstone meadery",
+    "lone pine brewing",
+    "stone brewing",
+    "sierra nevada",
+    "dogfish head",
+    "founders brewing",
+    "bells brewery",
+    "lagunitas",
+    "deschutes",
+    "new belgium",
+    "oskar blues",
+    "half acre",
+    "three floyds",
+    "russian river",
+    "cigar city",
+    "trillium",
+    "tree house",
+    "maine beer company",
+    "alchemist",
+    "firestone",
 ];
 
 /// Restaurant name stems (Fodors-Zagats profile).
 pub const RESTAURANTS: &[&str] = &[
-    "la bella cucina", "golden dragon", "el toro loco", "the rusty spoon", "blue plate",
-    "harvest table", "sakura garden", "taverna athena", "le petit bistro", "smokehouse 52",
-    "noodle republic", "the corner grill", "casa verde", "pho saigon", "curry leaf",
-    "bombay palace", "old mill diner", "sea breeze cafe", "the black olive", "trattoria roma",
+    "la bella cucina",
+    "golden dragon",
+    "el toro loco",
+    "the rusty spoon",
+    "blue plate",
+    "harvest table",
+    "sakura garden",
+    "taverna athena",
+    "le petit bistro",
+    "smokehouse 52",
+    "noodle republic",
+    "the corner grill",
+    "casa verde",
+    "pho saigon",
+    "curry leaf",
+    "bombay palace",
+    "old mill diner",
+    "sea breeze cafe",
+    "the black olive",
+    "trattoria roma",
 ];
 
 /// Music artist stems (iTunes-Amazon profile).
 pub const ARTISTS: &[&str] = &[
-    "the midnight owls", "silver canyon", "dj nebula", "aurora skies", "velvet thunder",
-    "los hermanos", "miss scarlett", "the paper kites", "neon harbor", "stone lotus",
-    "golden era trio", "the wandering", "electric meadow", "crimson tide band", "north avenue",
+    "the midnight owls",
+    "silver canyon",
+    "dj nebula",
+    "aurora skies",
+    "velvet thunder",
+    "los hermanos",
+    "miss scarlett",
+    "the paper kites",
+    "neon harbor",
+    "stone lotus",
+    "golden era trio",
+    "the wandering",
+    "electric meadow",
+    "crimson tide band",
+    "north avenue",
 ];
 
 /// Song title words.
 pub const SONG_WORDS: &[&str] = &[
-    "midnight", "summer", "river", "heart", "fire", "dancing", "shadow", "golden", "dream",
-    "thunder", "broken", "paradise", "echoes", "horizon", "gravity", "wildflower",
+    "midnight",
+    "summer",
+    "river",
+    "heart",
+    "fire",
+    "dancing",
+    "shadow",
+    "golden",
+    "dream",
+    "thunder",
+    "broken",
+    "paradise",
+    "echoes",
+    "horizon",
+    "gravity",
+    "wildflower",
 ];
 
 /// Hospital / medical measure descriptions (the `hospital` cleaning table).
 pub const MEASURES: &[&str] = &[
-    "heart failure", "heart attack", "pneumonia", "surgical infection prevention",
-    "children asthma care", "stroke care", "blood clot prevention", "emergency department",
+    "heart failure",
+    "heart attack",
+    "pneumonia",
+    "surgical infection prevention",
+    "children asthma care",
+    "stroke care",
+    "blood clot prevention",
+    "emergency department",
 ];
 
 /// Generic languages (column corpus).
 pub const LANGUAGES: &[&str] = &[
-    "english", "spanish", "french", "german", "polski", "turkish", "afrikaans", "japanese",
-    "mandarin", "hindi", "portuguese", "italian", "korean", "arabic", "russian", "dutch",
+    "english",
+    "spanish",
+    "french",
+    "german",
+    "polski",
+    "turkish",
+    "afrikaans",
+    "japanese",
+    "mandarin",
+    "hindi",
+    "portuguese",
+    "italian",
+    "korean",
+    "arabic",
+    "russian",
+    "dutch",
 ];
 
 /// Sports club abbreviations (column corpus).
@@ -174,10 +530,20 @@ pub const CLUBS: &[&str] = &[
 
 /// Company names (column corpus "company name" type).
 pub const COMPANIES: &[&str] = &[
-    "lone pine capital llc", "t rowe price associates inc", "trigran investments inc",
-    "icahn associates corp", "apple inc", "alphabet inc", "berkshire hathaway",
-    "vanguard group", "blackrock inc", "fidelity investments", "bridgewater associates",
-    "citadel llc", "renaissance technologies", "two sigma investments",
+    "lone pine capital llc",
+    "t rowe price associates inc",
+    "trigran investments inc",
+    "icahn associates corp",
+    "apple inc",
+    "alphabet inc",
+    "berkshire hathaway",
+    "vanguard group",
+    "blackrock inc",
+    "fidelity investments",
+    "bridgewater associates",
+    "citadel llc",
+    "renaissance technologies",
+    "two sigma investments",
 ];
 
 /// Ball-game result strings (column corpus "result" type, coarse).
@@ -187,15 +553,30 @@ pub const GAME_RESULTS: &[&str] = &[
 
 /// Baseball in-game events (fine-grained subtype of "result", Table IX).
 pub const BASEBALL_EVENTS: &[&str] = &[
-    "single, left field", "pop fly out, center field", "strikeout", "pitcher to first base",
-    "walk", "double, right field", "home run", "ground out to shortstop", "sacrifice bunt",
+    "single, left field",
+    "pop fly out, center field",
+    "strikeout",
+    "pitcher to first base",
+    "walk",
+    "double, right field",
+    "home run",
+    "ground out to shortstop",
+    "sacrifice bunt",
     "stolen base",
 ];
 
 /// Weight strings (column corpus "weight" type).
 pub const WEIGHTS: &[&str] = &[
-    "50 lbs or less", "38kg", "40 lbs", "up to 25 lbs", "5 lbs", "12 kg", "100 lbs",
-    "65kg", "under 10 lbs", "heavyweight",
+    "50 lbs or less",
+    "38kg",
+    "40 lbs",
+    "up to 25 lbs",
+    "5 lbs",
+    "12 kg",
+    "100 lbs",
+    "65kg",
+    "under 10 lbs",
+    "heavyweight",
 ];
 
 /// Genders (column corpus).
@@ -211,7 +592,10 @@ pub fn pick<'a, T: ?Sized>(items: &[&'a T], rng: &mut impl rand::Rng) -> &'a T {
 
 /// Picks `n` not-necessarily-distinct elements and joins them with spaces.
 pub fn pick_join(items: &[&str], n: usize, rng: &mut impl rand::Rng) -> String {
-    (0..n).map(|_| pick(items, rng).to_string()).collect::<Vec<_>>().join(" ")
+    (0..n)
+        .map(|_| pick(items, rng).to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Generates a pseudo model number such as `swa49-d5` or `cli8c`.

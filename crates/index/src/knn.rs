@@ -2,17 +2,39 @@
 //!
 //! Sudowoodo's blocking stage vectorizes every data item with the learned embedding model
 //! and retrieves, for each left-table item, the `k` nearest right-table items as the
-//! candidate set (§II-C step 2). The corpora in this reproduction are small enough that an
-//! exact brute-force scan is both simpler and faster than an approximate index.
+//! candidate set (§II-C step 2). The search is exact: the corpus is stored as **one
+//! row-major matrix** of L2-normalized rows, and [`CosineIndex::knn_join`] computes
+//! query-block × corpusᵀ similarity tiles through the fused
+//! [`Matrix::matmul_transpose_b`] GEMM kernel — parallel over query blocks — followed by
+//! per-row top-k heap selection. Single-query [`CosineIndex::top_k`] uses the same dot
+//! kernel without the tiling.
+//!
+//! Neighbor selection is **deterministic**: ties on score break toward the smaller id, so
+//! blocking candidate sets are bit-for-bit reproducible regardless of thread count.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use rayon::prelude::*;
+use sudowoodo_nn::matrix::Matrix;
+
+/// Number of query rows per GEMM tile in [`CosineIndex::knn_join`]. Each tile produces a
+/// `TILE x n` similarity block that stays cache-resident during selection.
+const QUERY_TILE: usize = 256;
+
 /// A searchable collection of L2-normalized dense vectors.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CosineIndex {
-    vectors: Vec<Vec<f32>>,
-    dim: usize,
+    /// Corpus as one row-major `n x dim` matrix with L2-normalized rows.
+    matrix: Matrix,
+}
+
+impl Default for CosineIndex {
+    fn default() -> Self {
+        CosineIndex {
+            matrix: Matrix::zeros(0, 0),
+        }
+    }
 }
 
 /// A single search hit.
@@ -24,8 +46,9 @@ pub struct Neighbor {
     pub score: f32,
 }
 
-/// Internal heap entry ordered by ascending score so the heap keeps the current worst hit on
-/// top (min-heap over a max-heap container via reversed ordering).
+/// Internal heap entry ordered so that the heap's top is the entry that should be evicted
+/// first: the *lowest* score, ties broken toward the *largest* id (so the surviving set on
+/// a tie is always the smallest ids — the deterministic selection contract).
 #[derive(PartialEq)]
 struct HeapEntry {
     score: f32,
@@ -42,87 +65,163 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: smallest score has highest priority.
+        // Max-heap: "greater" means "evict sooner" = lower score, then larger id.
         other
             .score
             .partial_cmp(&self.score)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| other.id.cmp(&self.id))
+            .then_with(|| self.id.cmp(&other.id))
     }
+}
+
+/// Top-k selection over one row of similarity scores, deterministic on ties.
+fn select_top_k(scores: impl Iterator<Item = f32>, k: usize) -> Vec<Neighbor> {
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for (id, score) in scores.enumerate() {
+        if heap.len() < k {
+            heap.push(HeapEntry { score, id });
+        } else if let Some(worst) = heap.peek() {
+            // Strict improvement only: on a score tie the incumbent (smaller id, since ids
+            // arrive in ascending order) wins.
+            if score > worst.score {
+                heap.pop();
+                heap.push(HeapEntry { score, id });
+            }
+        }
+    }
+    let mut hits: Vec<Neighbor> = heap
+        .into_iter()
+        .map(|e| Neighbor {
+            id: e.id,
+            score: e.score,
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    hits
 }
 
 impl CosineIndex {
     /// Builds an index from vectors, L2-normalizing each one.
+    ///
+    /// An empty input produces an empty (searchable) index.
+    ///
+    /// # Panics
+    /// Panics with a clear message when the vectors have inconsistent dimensions.
     pub fn build(vectors: Vec<Vec<f32>>) -> Self {
-        let dim = vectors.first().map(|v| v.len()).unwrap_or(0);
-        let normalized = vectors
-            .into_iter()
-            .map(|mut v| {
-                assert_eq!(v.len(), dim, "CosineIndex::build: inconsistent dimensions");
-                let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
-                if norm > 1e-12 {
-                    for x in v.iter_mut() {
-                        *x /= norm;
-                    }
-                }
-                v
-            })
-            .collect();
-        CosineIndex { vectors: normalized, dim }
+        let Some(first) = vectors.first() else {
+            return CosineIndex::default();
+        };
+        let dim = first.len();
+        let mut data = Vec::with_capacity(vectors.len() * dim);
+        for (i, v) in vectors.iter().enumerate() {
+            assert_eq!(
+                v.len(),
+                dim,
+                "CosineIndex::build: vector {i} has dimension {} but the index dimension \
+                 (from vector 0) is {dim}",
+                v.len()
+            );
+            data.extend_from_slice(v);
+        }
+        Self::from_matrix(Matrix::from_vec(vectors.len(), dim, data))
+    }
+
+    /// Builds an index directly from an `n x dim` matrix of row vectors (one copy saved
+    /// versus [`CosineIndex::build`] when embeddings already live in a matrix).
+    pub fn from_matrix(mut matrix: Matrix) -> Self {
+        matrix.l2_normalize_rows_mut(); // in place: no second full-corpus allocation
+        CosineIndex { matrix }
     }
 
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.matrix.rows()
     }
 
     /// `true` when nothing is indexed.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.matrix.rows() == 0
     }
 
     /// Vector dimensionality.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.matrix.cols()
     }
 
-    /// Returns the `k` most similar indexed vectors to `query`, sorted by decreasing score.
+    /// The normalized corpus matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Returns the `k` most similar indexed vectors to `query`, sorted by decreasing
+    /// score (ties broken by ascending id).
     pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        if k == 0 || self.vectors.is_empty() {
+        if k == 0 || self.is_empty() {
             return Vec::new();
         }
+        assert_eq!(
+            query.len(),
+            self.dim(),
+            "top_k: query dimension {} does not match index dimension {}",
+            query.len(),
+            self.dim()
+        );
         let qnorm: f32 = query.iter().map(|x| x * x).sum::<f32>().sqrt();
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-        for (id, v) in self.vectors.iter().enumerate() {
-            let dot: f32 = v.iter().zip(query.iter()).map(|(a, b)| a * b).sum();
-            let score = if qnorm > 1e-12 { dot / qnorm } else { 0.0 };
-            if heap.len() < k {
-                heap.push(HeapEntry { score, id });
-            } else if let Some(worst) = heap.peek() {
-                if score > worst.score {
-                    heap.pop();
-                    heap.push(HeapEntry { score, id });
-                }
-            }
-        }
-        let mut hits: Vec<Neighbor> = heap
-            .into_iter()
-            .map(|e| Neighbor { id: e.id, score: e.score })
-            .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
-        hits
+        let inv = if qnorm > 1e-12 { 1.0 / qnorm } else { 0.0 };
+        // Score through the same fused GEMM kernel as `knn_join` (a 1-row tile), so both
+        // APIs accumulate in the same order and return identical neighbors on near-ties.
+        let q = Matrix::from_vec(1, self.dim(), query.to_vec());
+        let sims = q.matmul_transpose_b(&self.matrix);
+        select_top_k(sims.row(0).iter().map(|&s| s * inv), k)
     }
 
     /// Retrieves, for every query vector, its `k` nearest indexed vectors, returning the
     /// candidate pair list `(query_index, indexed_index, score)`.
+    ///
+    /// Queries are processed as [`QUERY_TILE`]-row blocks: each block is one fused
+    /// `Q_block * corpusᵀ` GEMM tile followed by per-row heap selection, and blocks fan
+    /// out across threads. Results are ordered by query index, then descending score
+    /// (ascending id on ties) — identical to running [`CosineIndex::top_k`] per query.
     pub fn knn_join(&self, queries: &[Vec<f32>], k: usize) -> Vec<(usize, usize, f32)> {
-        let mut pairs = Vec::with_capacity(queries.len() * k);
-        for (qi, q) in queries.iter().enumerate() {
-            for hit in self.top_k(q, k) {
-                pairs.push((qi, hit.id, hit.score));
-            }
+        if k == 0 || self.is_empty() || queries.is_empty() {
+            return Vec::new();
         }
-        pairs
+        let dim = self.dim();
+        let per_block: Vec<Vec<(usize, usize, f32)>> = queries
+            .par_chunks(QUERY_TILE)
+            .enumerate()
+            .map(|(block_idx, block)| {
+                let base = block_idx * QUERY_TILE;
+                let mut data = Vec::with_capacity(block.len() * dim);
+                let mut inv_norms = Vec::with_capacity(block.len());
+                for (qi, q) in block.iter().enumerate() {
+                    assert_eq!(
+                        q.len(),
+                        dim,
+                        "knn_join: query {} has dimension {} but the index dimension is {dim}",
+                        base + qi,
+                        q.len()
+                    );
+                    data.extend_from_slice(q);
+                    let norm: f32 = q.iter().map(|x| x * x).sum::<f32>().sqrt();
+                    inv_norms.push(if norm > 1e-12 { 1.0 / norm } else { 0.0 });
+                }
+                let q_block = Matrix::from_vec(block.len(), dim, data);
+                let sims = q_block.matmul_transpose_b(&self.matrix); // block x n tile
+                let mut pairs = Vec::with_capacity(block.len() * k);
+                for (r, &inv) in inv_norms.iter().enumerate() {
+                    let hits = select_top_k(sims.row(r).iter().map(|&s| s * inv), k);
+                    pairs.extend(hits.into_iter().map(|h| (base + r, h.id, h.score)));
+                }
+                pairs
+            })
+            .collect();
+        per_block.into_iter().flatten().collect()
     }
 }
 
@@ -203,6 +302,13 @@ mod tests {
         let index = CosineIndex::build(Vec::new());
         assert!(index.is_empty());
         assert!(index.top_k(&[1.0], 3).is_empty());
+        assert!(index.knn_join(&[vec![1.0]], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "vector 2 has dimension 3")]
+    fn ragged_input_panics_with_offending_index() {
+        let _ = CosineIndex::build(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 2.0, 3.0]]);
     }
 
     #[test]
@@ -220,6 +326,27 @@ mod tests {
         assert_eq!(pairs.len(), 2);
         assert_eq!((pairs[0].0, pairs[0].1), (0, 0));
         assert_eq!((pairs[1].0, pairs[1].1), (1, 1));
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_ids_deterministically() {
+        // Four identical vectors: any top-2 has score 1.0 for all of them; the contract is
+        // that the *smallest ids* survive, in ascending order.
+        let v = unit(&[0.6, 0.8]);
+        let index = CosineIndex::build(vec![v.clone(), v.clone(), v.clone(), v.clone()]);
+        let hits = index.top_k(&v, 2);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1]);
+        let pairs = index.knn_join(&[v], 2);
+        assert_eq!(pairs.iter().map(|p| p.1).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn from_matrix_matches_build() {
+        let rows = vec![unit(&[3.0, 4.0]), unit(&[1.0, 0.0])];
+        let a = CosineIndex::build(rows.clone());
+        let m = Matrix::from_rows(&[rows[0].clone(), rows[1].clone()]);
+        let b = CosineIndex::from_matrix(m);
+        assert_eq!(a.top_k(&[1.0, 1.0], 2), b.top_k(&[1.0, 1.0], 2));
     }
 
     #[test]

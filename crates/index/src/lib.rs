@@ -4,8 +4,10 @@
 //!
 //! The paper applies kNN search over the learned entity representations to produce a
 //! candidate set for matching, and reports blocking quality as recall versus candidate set
-//! size ratio (CSSR). This crate provides an exact [`knn::CosineIndex`] (brute-force top-k,
-//! appropriate for the corpus sizes used here) and [`knn::evaluate_blocking`].
+//! size ratio (CSSR). This crate provides an exact [`knn::CosineIndex`] whose batch join
+//! computes query-tile × corpusᵀ similarity blocks through the fused GEMM kernels of
+//! `sudowoodo-nn` (parallel over tiles, deterministic top-k selection), plus
+//! [`knn::evaluate_blocking`].
 
 #![warn(missing_docs)]
 

@@ -22,7 +22,11 @@ impl RandomForest {
     /// Creates an unfitted forest. `max_features` defaults to sqrt(d) at fit time when the
     /// provided config leaves it as `None`.
     pub fn new(num_trees: usize, tree_config: TreeConfig) -> Self {
-        RandomForest { trees: Vec::new(), num_trees, tree_config }
+        RandomForest {
+            trees: Vec::new(),
+            num_trees,
+            tree_config,
+        }
     }
 
     /// Fits the forest with bootstrap sampling and per-split feature subsampling.
@@ -57,7 +61,11 @@ impl RandomForest {
         if self.trees.is_empty() {
             return 0.5;
         }
-        self.trees.iter().map(|t| t.predict_proba(features)).sum::<f32>() / self.trees.len() as f32
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(features))
+            .sum::<f32>()
+            / self.trees.len() as f32
     }
 
     /// Hard prediction at threshold 0.5.
@@ -92,7 +100,13 @@ pub struct GradientBoosting {
 impl GradientBoosting {
     /// Creates an unfitted booster.
     pub fn new(num_rounds: usize, learning_rate: f32, tree_config: TreeConfig) -> Self {
-        GradientBoosting { trees: Vec::new(), base_score: 0.0, num_rounds, learning_rate, tree_config }
+        GradientBoosting {
+            trees: Vec::new(),
+            base_score: 0.0,
+            num_rounds,
+            learning_rate,
+            tree_config,
+        }
     }
 
     /// Fits the booster on binary labels using gradient descent in function space:
@@ -186,7 +200,14 @@ mod tests {
     fn random_forest_beats_chance_on_ring() {
         let mut rng = StdRng::seed_from_u64(1);
         let (x, y) = ring_data(400, &mut rng);
-        let mut rf = RandomForest::new(15, TreeConfig { max_depth: 6, min_samples_split: 4, max_features: None });
+        let mut rf = RandomForest::new(
+            15,
+            TreeConfig {
+                max_depth: 6,
+                min_samples_split: 4,
+                max_features: None,
+            },
+        );
         rf.fit(&x, &y, &mut rng);
         assert_eq!(rf.len(), 15);
         assert!(!rf.is_empty());
@@ -203,7 +224,11 @@ mod tests {
         let mut gbt = GradientBoosting::new(
             30,
             0.3,
-            TreeConfig { max_depth: 3, min_samples_split: 4, max_features: None },
+            TreeConfig {
+                max_depth: 3,
+                min_samples_split: 4,
+                max_features: None,
+            },
         );
         gbt.fit(&x, &y, &mut rng);
         assert_eq!(gbt.len(), 30);

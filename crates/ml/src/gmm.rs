@@ -25,7 +25,8 @@ impl Component {
         let mut log_p = 0.0f32;
         for ((&xi, &mu), &var) in x.iter().zip(&self.mean).zip(&self.variance) {
             let var = var.max(1e-6);
-            log_p += -0.5 * ((xi - mu) * (xi - mu) / var + var.ln() + (2.0 * std::f32::consts::PI).ln());
+            log_p +=
+                -0.5 * ((xi - mu) * (xi - mu) / var + var.ln() + (2.0 * std::f32::consts::PI).ln());
         }
         log_p
     }
@@ -53,7 +54,11 @@ pub struct GmmConfig {
 
 impl Default for GmmConfig {
     fn default() -> Self {
-        GmmConfig { num_components: 2, max_iterations: 100, tolerance: 1e-4 }
+        GmmConfig {
+            num_components: 2,
+            max_iterations: 100,
+            tolerance: 1e-4,
+        }
     }
 }
 
@@ -143,10 +148,17 @@ impl GaussianMixture {
                 for s in variance.iter_mut() {
                     *s = (*s / resp_sum).max(1e-6);
                 }
-                components[j] = Component { weight: resp_sum / n as f32, mean, variance };
+                components[j] = Component {
+                    weight: resp_sum / n as f32,
+                    mean,
+                    variance,
+                };
             }
         }
-        GaussianMixture { components, log_likelihood_trace: trace }
+        GaussianMixture {
+            components,
+            log_likelihood_trace: trace,
+        }
     }
 
     /// Posterior responsibility of each component for a point.
@@ -202,7 +214,10 @@ mod tests {
             labels.push(0);
         }
         for _ in 0..100 {
-            data.push(vec![3.0 + rng.gen_range(-0.2..0.2), 3.0 + rng.gen_range(-0.2..0.2)]);
+            data.push(vec![
+                3.0 + rng.gen_range(-0.2..0.2),
+                3.0 + rng.gen_range(-0.2..0.2),
+            ]);
             labels.push(1);
         }
         (data, labels)
@@ -230,7 +245,15 @@ mod tests {
     fn log_likelihood_is_nondecreasing() {
         let mut rng = StdRng::seed_from_u64(2);
         let (data, _) = two_blob_data(&mut rng);
-        let gmm = GaussianMixture::fit(&data, &GmmConfig { num_components: 2, max_iterations: 30, tolerance: 0.0 }, &mut rng);
+        let gmm = GaussianMixture::fit(
+            &data,
+            &GmmConfig {
+                num_components: 2,
+                max_iterations: 30,
+                tolerance: 0.0,
+            },
+            &mut rng,
+        );
         let trace = &gmm.log_likelihood_trace;
         assert!(trace.len() >= 2);
         for w in trace.windows(2) {
@@ -253,7 +276,11 @@ mod tests {
         let data: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
         let gmm = GaussianMixture::fit(
             &data,
-            &GmmConfig { num_components: 1, max_iterations: 10, tolerance: 1e-4 },
+            &GmmConfig {
+                num_components: 1,
+                max_iterations: 10,
+                tolerance: 1e-4,
+            },
             &mut rng,
         );
         assert_eq!(gmm.components.len(), 1);

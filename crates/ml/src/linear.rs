@@ -100,7 +100,12 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// Creates an untrained model.
     pub fn new(dim: usize) -> Self {
-        LinearSvm { weights: vec![0.0; dim], bias: 0.0, lambda: 1e-3, epochs: 100 }
+        LinearSvm {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            lambda: 1e-3,
+            epochs: 100,
+        }
     }
 
     /// Sets training hyper-parameters.
@@ -191,7 +196,10 @@ mod tests {
             .zip(&y)
             .filter(|(xi, &yi)| model.predict(xi) == yi)
             .count();
-        assert!(correct as f32 / x.len() as f32 > 0.93, "accuracy too low: {correct}/300");
+        assert!(
+            correct as f32 / x.len() as f32 > 0.93,
+            "accuracy too low: {correct}/300"
+        );
         // Both weights should be positive (both features push towards the positive class).
         assert!(model.weights()[0] > 0.0 && model.weights()[1] > 0.0);
     }
@@ -216,7 +224,10 @@ mod tests {
             .zip(&y)
             .filter(|(xi, &yi)| model.predict(xi) == yi)
             .count();
-        assert!(correct as f32 / x.len() as f32 > 0.9, "accuracy too low: {correct}/300");
+        assert!(
+            correct as f32 / x.len() as f32 > 0.9,
+            "accuracy too low: {correct}/300"
+        );
         assert!(model.predict_proba(&[1.0, 1.0]) > 0.5);
     }
 

@@ -22,7 +22,11 @@ impl Confusion {
     /// # Panics
     /// Panics when the slices have different lengths.
     pub fn from_predictions(predicted: &[bool], gold: &[bool]) -> Self {
-        assert_eq!(predicted.len(), gold.len(), "prediction/label length mismatch");
+        assert_eq!(
+            predicted.len(),
+            gold.len(),
+            "prediction/label length mismatch"
+        );
         let mut c = Confusion::default();
         for (&p, &g) in predicted.iter().zip(gold.iter()) {
             match (p, g) {
@@ -96,7 +100,11 @@ impl PrF1 {
     /// Computes precision/recall/F1 from predictions.
     pub fn from_predictions(predicted: &[bool], gold: &[bool]) -> Self {
         let c = Confusion::from_predictions(predicted, gold);
-        PrF1 { precision: c.precision(), recall: c.recall(), f1: c.f1() }
+        PrF1 {
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+        }
     }
 }
 

@@ -25,7 +25,12 @@ impl Node {
     fn predict(&self, features: &[f32]) -> f32 {
         match self {
             Node::Leaf { value } => *value,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if features[*feature] <= *threshold {
                     left.predict(features)
                 } else {
@@ -56,7 +61,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 6, min_samples_split: 4, max_features: None }
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 4,
+            max_features: None,
+        }
     }
 }
 
@@ -102,7 +111,9 @@ fn best_split(
         // Sort indices by this feature and scan midpoints between distinct values.
         let mut sorted: Vec<usize> = indices.to_vec();
         sorted.sort_by(|&a, &b| {
-            x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for w in 1..sorted.len() {
             let lo = x[sorted[w - 1]][f];
@@ -119,7 +130,13 @@ fn best_split(
                 + right_t.len() as f32 * impurity(&right_t))
                 / indices.len() as f32;
             if best.as_ref().map(|b| score < b.score).unwrap_or(true) {
-                best = Some(BestSplit { feature: f, threshold, score, left, right });
+                best = Some(BestSplit {
+                    feature: f,
+                    threshold,
+                    score,
+                    left,
+                    right,
+                });
             }
         }
     }
@@ -129,6 +146,7 @@ fn best_split(
     best.filter(|b| b.score <= parent_impurity + 1e-9)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_node(
     x: &[Vec<f32>],
     targets: &[f32],
@@ -141,15 +159,37 @@ fn build_node(
 ) -> Node {
     let node_targets: Vec<f32> = indices.iter().map(|&i| targets[i]).collect();
     if depth >= config.max_depth || indices.len() < config.min_samples_split {
-        return Node::Leaf { value: leaf_value(&node_targets) };
+        return Node::Leaf {
+            value: leaf_value(&node_targets),
+        };
     }
     match best_split(x, targets, indices, config, impurity, rng) {
-        None => Node::Leaf { value: leaf_value(&node_targets) },
+        None => Node::Leaf {
+            value: leaf_value(&node_targets),
+        },
         Some(split) => Node::Split {
             feature: split.feature,
             threshold: split.threshold,
-            left: Box::new(build_node(x, targets, &split.left, depth + 1, config, impurity, leaf_value, rng)),
-            right: Box::new(build_node(x, targets, &split.right, depth + 1, config, impurity, leaf_value, rng)),
+            left: Box::new(build_node(
+                x,
+                targets,
+                &split.left,
+                depth + 1,
+                config,
+                impurity,
+                leaf_value,
+                rng,
+            )),
+            right: Box::new(build_node(
+                x,
+                targets,
+                &split.right,
+                depth + 1,
+                config,
+                impurity,
+                leaf_value,
+                rng,
+            )),
         },
     }
 }
@@ -203,12 +243,24 @@ impl DecisionTree {
         }
         let targets: Vec<f32> = y.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         let indices: Vec<usize> = (0..x.len()).collect();
-        self.root = Some(build_node(x, &targets, &indices, 0, &self.config, &gini, &mean, rng));
+        self.root = Some(build_node(
+            x,
+            &targets,
+            &indices,
+            0,
+            &self.config,
+            &gini,
+            &mean,
+            rng,
+        ));
     }
 
     /// Probability of the positive class (leaf positive fraction).
     pub fn predict_proba(&self, features: &[f32]) -> f32 {
-        self.root.as_ref().map(|r| r.predict(features)).unwrap_or(0.5)
+        self.root
+            .as_ref()
+            .map(|r| r.predict(features))
+            .unwrap_or(0.5)
     }
 
     /// Hard prediction at threshold 0.5.
@@ -244,12 +296,24 @@ impl RegressionTree {
             return;
         }
         let indices: Vec<usize> = (0..x.len()).collect();
-        self.root = Some(build_node(x, y, &indices, 0, &self.config, &variance, &mean, rng));
+        self.root = Some(build_node(
+            x,
+            y,
+            &indices,
+            0,
+            &self.config,
+            &variance,
+            &mean,
+            rng,
+        ));
     }
 
     /// Predicted value.
     pub fn predict(&self, features: &[f32]) -> f32 {
-        self.root.as_ref().map(|r| r.predict(features)).unwrap_or(0.0)
+        self.root
+            .as_ref()
+            .map(|r| r.predict(features))
+            .unwrap_or(0.0)
     }
 }
 
@@ -283,8 +347,15 @@ mod tests {
         let mut tree = DecisionTree::new(TreeConfig::default());
         tree.fit(&x, &y, &mut rng);
         assert!(tree.depth() >= 2);
-        let correct = x.iter().zip(&y).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
-        assert!(correct >= 98, "tree should nail an axis-aligned rule, got {correct}/100");
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| tree.predict(xi) == yi)
+            .count();
+        assert!(
+            correct >= 98,
+            "tree should nail an axis-aligned rule, got {correct}/100"
+        );
         assert!(tree.predict_proba(&[0.9, 0.2]) > 0.9);
         assert!(tree.predict_proba(&[0.1, 0.9]) < 0.1);
     }
@@ -300,9 +371,17 @@ mod tests {
             x.push(vec![a, b]);
             y.push((a > 0.5) != (b > 0.5));
         }
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 4, min_samples_split: 2, max_features: None });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 4,
+            min_samples_split: 2,
+            max_features: None,
+        });
         tree.fit(&x, &y, &mut rng);
-        let correct = x.iter().zip(&y).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| tree.predict(xi) == yi)
+            .count();
         assert!(correct as f32 / 200.0 > 0.95, "XOR accuracy {correct}/200");
     }
 
@@ -310,7 +389,10 @@ mod tests {
     fn regression_tree_fits_step_function() {
         let mut rng = StdRng::seed_from_u64(3);
         let x: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 / 50.0]).collect();
-        let y: Vec<f32> = x.iter().map(|v| if v[0] < 0.4 { 1.0 } else { 5.0 }).collect();
+        let y: Vec<f32> = x
+            .iter()
+            .map(|v| if v[0] < 0.4 { 1.0 } else { 5.0 })
+            .collect();
         let mut tree = RegressionTree::new(TreeConfig::default());
         tree.fit(&x, &y, &mut rng);
         assert!((tree.predict(&[0.1]) - 1.0).abs() < 0.2);
@@ -333,7 +415,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
         let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 1, min_samples_split: 2, max_features: None });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            min_samples_split: 2,
+            max_features: None,
+        });
         tree.fit(&x, &y, &mut rng);
         assert!(tree.depth() <= 2);
     }

@@ -117,7 +117,7 @@ mod tests {
     fn detects_correct_gradient_of_quadratic() {
         let p = Param::new("w", Matrix::from_rows(&[vec![0.3, -0.7]]));
         assert_gradients_close(
-            &[p.clone()],
+            std::slice::from_ref(&p),
             |tape| {
                 let w = tape.param(&p);
                 let sq = tape.pow2(w);
@@ -137,12 +137,13 @@ mod tests {
         // build returns sum(2*w) analytically (grad 2), but we check against sum(w^2) numerically
         // by changing behaviour across calls.
         let p = Param::new("w", Matrix::from_rows(&[vec![1.5]]));
+        let p_handle = p.clone(); // same storage; the move closure keeps its own handle
         let mut call = 0usize;
         assert_gradients_close(
-            &[p.clone()],
+            std::slice::from_ref(&p),
             move |tape| {
                 call += 1;
-                let w = tape.param(&p);
+                let w = tape.param(&p_handle);
                 if call == 1 {
                     let s = tape.scale(w, 2.0);
                     tape.sum_all(s)

@@ -34,7 +34,10 @@ impl Linear {
     /// Creates a linear layer with Xavier-initialized weights and zero bias.
     pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
         Linear {
-            weight: Param::new(format!("{name}.weight"), init::xavier_uniform(in_dim, out_dim, rng)),
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::xavier_uniform(in_dim, out_dim, rng),
+            ),
             bias: Some(Param::new(format!("{name}.bias"), init::zeros(1, out_dim))),
         }
     }
@@ -42,7 +45,10 @@ impl Linear {
     /// Creates a linear layer without a bias term.
     pub fn new_no_bias(name: &str, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
         Linear {
-            weight: Param::new(format!("{name}.weight"), init::xavier_uniform(in_dim, out_dim, rng)),
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::xavier_uniform(in_dim, out_dim, rng),
+            ),
             bias: None,
         }
     }
@@ -67,6 +73,17 @@ impl Linear {
         }
         y
     }
+
+    /// Inference-only forward: one batched GEMM straight on matrices, no tape, no
+    /// gradient bookkeeping, and no parameter cloning (weights are read under a shared
+    /// lock). Safe to call from many threads at once.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let y = self.weight.with_value(|w| x.matmul(w));
+        match &self.bias {
+            Some(bias) => bias.with_value(|b| y.add_row_broadcast(b)),
+            None => y,
+        }
+    }
 }
 
 impl Layer for Linear {
@@ -90,7 +107,10 @@ impl Embedding {
     /// Creates an embedding table with BERT-style `N(0, 0.02^2)` initialization.
     pub fn new(name: &str, vocab_size: usize, dim: usize, rng: &mut impl Rng) -> Self {
         Embedding {
-            table: Param::new(format!("{name}.table"), init::embedding_normal(vocab_size, dim, rng)),
+            table: Param::new(
+                format!("{name}.table"),
+                init::embedding_normal(vocab_size, dim, rng),
+            ),
         }
     }
 
@@ -111,8 +131,9 @@ impl Embedding {
     }
 
     /// Embedding lookup without recording gradients for the table (used at inference time).
+    /// Only the requested rows are copied; the table itself is read under a shared lock.
     pub fn lookup(&self, token_ids: &[usize]) -> Matrix {
-        self.table.value().gather_rows(token_ids)
+        self.table.with_value(|t| t.gather_rows(token_ids))
     }
 }
 
@@ -151,6 +172,13 @@ impl LayerNorm {
         let b = tape.param(&self.bias);
         tape.add_row_broadcast(scaled, b)
     }
+
+    /// Inference-only forward (no tape).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let standardized = crate::tape::standardize_rows(x, self.eps);
+        let scaled = self.gain.with_value(|g| standardized.mul_row_broadcast(g));
+        self.bias.with_value(|b| scaled.add_row_broadcast(b))
+    }
 }
 
 impl Layer for LayerNorm {
@@ -183,6 +211,12 @@ impl FeedForward {
         let h = tape.gelu(h);
         self.project.forward(tape, h)
     }
+
+    /// Inference-only forward (no tape): two batched GEMMs and a GELU map.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let h = self.lift.infer(x).map(crate::tape::gelu);
+        self.project.infer(&h)
+    }
 }
 
 impl Layer for FeedForward {
@@ -214,7 +248,10 @@ impl MultiHeadSelfAttention {
     /// # Panics
     /// Panics when `dim` is not divisible by `num_heads`.
     pub fn new(name: &str, dim: usize, num_heads: usize, rng: &mut impl Rng) -> Self {
-        assert!(num_heads > 0 && dim % num_heads == 0, "dim must be divisible by num_heads");
+        assert!(
+            num_heads > 0 && dim.is_multiple_of(num_heads),
+            "dim must be divisible by num_heads"
+        );
         MultiHeadSelfAttention {
             wq: Linear::new(&format!("{name}.wq"), dim, dim, rng),
             wk: Linear::new(&format!("{name}.wk"), dim, dim, rng),
@@ -241,8 +278,7 @@ impl MultiHeadSelfAttention {
             let qh = tape.slice_cols(q, start, end);
             let kh = tape.slice_cols(k, start, end);
             let vh = tape.slice_cols(v, start, end);
-            let kt = tape.transpose(kh);
-            let scores = tape.matmul(qh, kt);
+            let scores = tape.matmul_transpose_b(qh, kh); // fused Q*K^T
             let scores = tape.scale(scores, scale);
             let attn = tape.row_softmax(scores);
             head_outputs.push(tape.matmul(attn, vh));
@@ -252,6 +288,32 @@ impl MultiHeadSelfAttention {
             concat = tape.concat_cols(concat, h);
         }
         self.wo.forward(tape, concat)
+    }
+
+    /// Inference-only forward (no tape); scores go through the fused `Q*K^T` kernel.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let dim = self.wq.out_dim();
+        let head_dim = dim / self.num_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+
+        let mut head_outputs = Vec::with_capacity(self.num_heads);
+        for h in 0..self.num_heads {
+            let start = h * head_dim;
+            let end = start + head_dim;
+            let qh = q.slice_cols(start, end);
+            let kh = k.slice_cols(start, end);
+            let vh = v.slice_cols(start, end);
+            let mut scores = qh.matmul_transpose_b(&kh);
+            scores.scale_mut(scale);
+            let attn = crate::tape::row_softmax(&scores);
+            head_outputs.push(attn.matmul(&vh));
+        }
+        let refs: Vec<&Matrix> = head_outputs.iter().collect();
+        self.wo.infer(&Matrix::hstack(&refs))
     }
 }
 
@@ -280,7 +342,13 @@ pub struct TransformerBlock {
 
 impl TransformerBlock {
     /// Creates a Transformer block.
-    pub fn new(name: &str, dim: usize, num_heads: usize, ff_hidden: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        name: &str,
+        dim: usize,
+        num_heads: usize,
+        ff_hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         TransformerBlock {
             norm1: LayerNorm::new(&format!("{name}.norm1"), dim),
             attention: MultiHeadSelfAttention::new(&format!("{name}.attn"), dim, num_heads, rng),
@@ -297,6 +365,14 @@ impl TransformerBlock {
         let normed = self.norm2.forward(tape, x);
         let ff = self.feed_forward.forward(tape, normed);
         tape.add(x, ff)
+    }
+
+    /// Inference-only forward (no tape).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut x = x.add(&self.attention.infer(&self.norm1.infer(x)));
+        let ff = self.feed_forward.infer(&self.norm2.infer(&x));
+        x.add_assign(&ff);
+        x
     }
 }
 
@@ -321,7 +397,10 @@ impl PositionalEmbedding {
     /// Creates a positional-embedding table.
     pub fn new(name: &str, max_len: usize, dim: usize, rng: &mut impl Rng) -> Self {
         PositionalEmbedding {
-            table: Param::new(format!("{name}.pos"), init::embedding_normal(max_len, dim, rng)),
+            table: Param::new(
+                format!("{name}.pos"),
+                init::embedding_normal(max_len, dim, rng),
+            ),
         }
     }
 
@@ -339,6 +418,14 @@ impl PositionalEmbedding {
         let table = tape.param(&self.table);
         let pos = tape.gather_rows(table, &indices);
         tape.add(x, pos)
+    }
+
+    /// Inference-only forward (no tape).
+    pub fn infer(&self, x: &Matrix, len: usize) -> Matrix {
+        let max = self.max_len();
+        let indices: Vec<usize> = (0..len).map(|i| i.min(max - 1)).collect();
+        let pos = self.table.with_value(|t| t.gather_rows(&indices));
+        x.add(&pos)
     }
 }
 

@@ -5,17 +5,23 @@
 //! The paper fine-tunes pre-trained language models (RoBERTa/DistilBERT) with PyTorch;
 //! this crate provides the equivalent building blocks implemented from scratch in Rust:
 //!
-//! * [`matrix::Matrix`] — a dense row-major `f32` matrix, the only tensor type.
+//! * [`matrix::Matrix`] — a dense row-major `f32` matrix, the only tensor type, backed
+//!   by register-tiled GEMM microkernels (AVX-512F / AVX2+FMA, detected at runtime, with
+//!   a scalar fallback), fused `A·Bᵀ` / `Aᵀ·B` products, and rayon row-band parallelism
+//!   above a FLOP threshold. `matmul_naive` is kept as the reference implementation for
+//!   the kernel-equivalence property tests.
 //! * [`tape::Tape`] — reverse-mode automatic differentiation with a compact op set
-//!   (dense algebra, softmax, layer norm, L2 normalization, softmax cross-entropy).
+//!   (dense algebra, fused transpose matmul, softmax, layer norm, L2 normalization,
+//!   softmax cross-entropy); gradient accumulation is in-place.
 //! * [`layers`] — `Linear`, `Embedding`, `LayerNorm`, multi-head self-attention,
-//!   Transformer blocks, positional embeddings.
+//!   Transformer blocks, positional embeddings — each with a tape-free, thread-safe
+//!   `infer()` fast path for batched inference.
 //! * [`optim`] — AdamW (as used in the paper) and SGD.
 //! * [`gradcheck`] — finite-difference validation used extensively in tests.
 //!
-//! The crate is deliberately CPU-only and single-threaded per tape; the models trained in
-//! this reproduction are tiny (hidden sizes of 32–128, sequence lengths below 64), so the
-//! priority is correctness, determinism, and testability rather than throughput.
+//! The crate is CPU-only. A tape is single-threaded, but parameters are `Arc<RwLock<..>>`
+//! so a trained model can serve many inference threads concurrently, and the GEMM kernels
+//! fan out across cores on their own above a size threshold.
 //!
 //! ## Example
 //!

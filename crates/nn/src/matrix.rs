@@ -1,12 +1,634 @@
 //! Dense row-major `f32` matrix used as the single tensor type of the autodiff engine.
 //!
 //! Every value flowing through [`crate::tape::Tape`] is a 2-D matrix. Vectors are
-//! represented as `1 x d` (row vectors) or `n x 1` (column vectors). The implementation
-//! favours clarity and predictable allocation behaviour over raw throughput: the models
-//! trained in this reproduction are small (hidden sizes of 32-128), so naive `O(n^3)`
-//! matrix multiplication with a transposed right-hand side is more than fast enough.
+//! represented as `1 x d` (row vectors) or `n x 1` (column vectors).
+//!
+//! ## Kernel layer
+//!
+//! Encoder forward/backward, blocking, matching, and clustering all bottom out in a
+//! handful of GEMM-shaped products, so those are implemented as real kernels rather than
+//! textbook loops:
+//!
+//! * [`Matrix::matmul`] — register-tiled `A * B`: B is packed into streaming column
+//!   panels and multiplied in 8×32 (AVX-512F) or 4×16 (AVX2+FMA) accumulator tiles held
+//!   in registers across the contraction, detected at runtime, with a 4-way k-unrolled
+//!   AXPY fallback for small/odd shapes and rayon row-band parallelism above a FLOP
+//!   threshold;
+//! * [`Matrix::matmul_transpose_b`] — fused `A * B^T` (dot-product microkernel over pairs
+//!   of contiguous rows, 4 output columns per pass) — exactly the shape of the SimCLR /
+//!   Barlow Twins similarity matrices and of batched cosine scoring, without ever
+//!   materializing the transpose;
+//! * [`Matrix::matmul_transpose_a`] — fused `A^T * B` for the backward pass of `matmul`;
+//! * [`Matrix::scale_mut`] / [`Matrix::add_scaled`] / [`Matrix::add_hadamard`] — in-place
+//!   accumulation primitives used by the tape's gradient accumulation so the backward
+//!   pass does not allocate one matrix per op;
+//! * [`Matrix::matmul_naive`] — the original triple loop, kept as the reference
+//!   implementation for the kernel-equivalence property tests and the speedup benches.
 
 use rand::Rng;
+use rayon::prelude::*;
+
+/// FLOP threshold (`m * k * n`) above which GEMM kernels fan out across threads.
+/// Below it the sequential microkernel wins because task distribution costs more than
+/// the multiply itself (the models here are small, most products are tiny).
+const PAR_FLOPS: usize = 1 << 20;
+
+/// FLOP threshold above which `matmul` takes the pack-and-tile path. Packing copies all
+/// of B once; below this the plain AXPY row kernel wins because the training graphs are
+/// full of tiny products where a per-op pack allocation would dominate.
+const TILE_FLOPS: usize = 1 << 14;
+
+mod kernels {
+    //! SIMD microkernels with runtime feature detection.
+    //!
+    //! Every kernel has a scalar fallback with the same accumulation order; the AVX2+FMA
+    //! variants differ only by fused multiply-adds (which are *more* accurate, not less).
+    //! Callers must slice arguments consistently; the kernels themselves are safe wrappers
+    //! around `target_feature` internals.
+
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// `true` when AVX2+FMA microkernels are usable on this CPU (checked once).
+    #[inline]
+    pub fn use_avx2_fma() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::OnceLock;
+            static AVAILABLE: OnceLock<bool> = OnceLock::new();
+            *AVAILABLE.get_or_init(|| {
+                std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// `out[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]` — the 4-way k-unrolled AXPY
+    /// at the heart of `matmul`: four B rows are consumed per pass over the output row,
+    /// quartering the load/store traffic on `out`.
+    #[inline]
+    pub fn axpy4(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+        debug_assert!(
+            b0.len() >= out.len()
+                && b1.len() >= out.len()
+                && b2.len() >= out.len()
+                && b3.len() >= out.len()
+        );
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2_fma() {
+            // SAFETY: feature presence checked above; slice lengths checked above.
+            unsafe { axpy4_avx2(out, a, b0, b1, b2, b3) };
+            return;
+        }
+        for (j, o) in out.iter_mut().enumerate() {
+            *o += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+        }
+    }
+
+    /// `true` when AVX-512F single-precision kernels are usable (checked once).
+    #[inline]
+    pub fn use_avx512() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::OnceLock;
+            static AVAILABLE: OnceLock<bool> = OnceLock::new();
+            *AVAILABLE.get_or_init(|| std::is_x86_feature_detected!("avx512f"))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// `true` when the register-tiled GEMM band kernel is available.
+    #[inline]
+    pub fn has_gemm_tile() -> bool {
+        use_avx2_fma()
+    }
+
+    /// Column-panel width of the packed-B layout: 32 with AVX-512 (two zmm per row of
+    /// the accumulator tile), 16 with AVX2 (two ymm).
+    #[inline]
+    pub fn panel_width() -> usize {
+        if use_avx512() {
+            32
+        } else {
+            16
+        }
+    }
+
+    /// Packs row-major `b` (`k x n`) into contiguous column panels of [`panel_width`]:
+    /// panel `p` holds columns `[p*w, p*w+w)` as `k` consecutive groups of `w` floats.
+    /// One extra pass over B that turns the band kernel's column walk (stride `4n` bytes,
+    /// catastrophic for power-of-two `n` due to cache-set aliasing) into pure streaming.
+    pub fn pack_b_panels(b: &[f32], k: usize, n: usize, width: usize) -> Vec<f32> {
+        debug_assert_eq!(b.len(), k * n);
+        let mut packed = Vec::with_capacity(k * n);
+        let mut j = 0;
+        while j < n {
+            let w = width.min(n - j);
+            for kk in 0..k {
+                packed.extend_from_slice(&b[kk * n + j..kk * n + j + w]);
+            }
+            j += w;
+        }
+        packed
+    }
+
+    /// Register-tiled GEMM band over packed B: computes 4 output rows at once, holding
+    /// the accumulator tile (4 x panel) in registers through the whole k-loop — zero
+    /// loads/stores on the output inside the contraction, so the kernel runs at FMA
+    /// throughput instead of saturating the load ports like AXPY does.
+    ///
+    /// `a0..a3` are the four A rows (length `k`), `packed` is [`pack_b_panels`] output
+    /// for the full `k x n` B, and `out0..out3` are the four output rows (overwritten).
+    #[allow(clippy::too_many_arguments)] // a GEMM microkernel signature is wide by nature
+    pub fn gemm_band4_packed(
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        packed: &[f32],
+        n: usize,
+        width: usize,
+        out0: &mut [f32],
+        out1: &mut [f32],
+        out2: &mut [f32],
+        out3: &mut [f32],
+    ) {
+        let k = a0.len();
+        debug_assert_eq!(packed.len(), k * n);
+        debug_assert!(out0.len() == n && out1.len() == n && out2.len() == n && out3.len() == n);
+        let mut j = 0;
+        let mut panel_base = 0;
+        while j < n {
+            let w = width.min(n - j);
+            let panel = &packed[panel_base..panel_base + k * w];
+            #[cfg(target_arch = "x86_64")]
+            {
+                if w == 32 && use_avx512() {
+                    // SAFETY: feature checked; panel/out slice bounds checked above.
+                    unsafe {
+                        gemm_tile4x32_avx512(
+                            a0,
+                            a1,
+                            a2,
+                            a3,
+                            panel,
+                            &mut out0[j..j + 32],
+                            &mut out1[j..j + 32],
+                            &mut out2[j..j + 32],
+                            &mut out3[j..j + 32],
+                        )
+                    };
+                    j += w;
+                    panel_base += k * w;
+                    continue;
+                }
+            }
+            // AVX2 16-wide tile, or the scalar accumulator tile for partial panels.
+            gemm_band4_panel(
+                a0,
+                a1,
+                a2,
+                a3,
+                panel,
+                w,
+                &mut out0[j..j + w],
+                &mut out1[j..j + w],
+                &mut out2[j..j + w],
+                &mut out3[j..j + w],
+            );
+            j += w;
+            panel_base += k * w;
+        }
+    }
+
+    /// Preferred number of output rows per GEMM band: 8 with AVX-512 (a full 8x32 tile is
+    /// 16 zmm accumulators, halving packed-B re-streaming vs 4-row bands), else 4.
+    #[inline]
+    pub fn band_rows() -> usize {
+        if use_avx512() {
+            8
+        } else {
+            4
+        }
+    }
+
+    /// 8-row variant of [`gemm_band4_packed`] (AVX-512 only): `rows` holds the eight A
+    /// rows and `outs` the eight output rows. Falls back to two 4-row bands when the
+    /// panel width is not the full 32 columns.
+    pub fn gemm_band8_packed(
+        rows: [&[f32]; 8],
+        packed: &[f32],
+        n: usize,
+        width: usize,
+        outs: &mut [&mut [f32]; 8],
+    ) {
+        let k = rows[0].len();
+        debug_assert_eq!(packed.len(), k * n);
+        let mut j = 0;
+        let mut panel_base = 0;
+        while j < n {
+            let w = width.min(n - j);
+            let panel = &packed[panel_base..panel_base + k * w];
+            #[cfg(target_arch = "x86_64")]
+            if w == 32 && use_avx512() {
+                // SAFETY: feature checked; slice bounds established above.
+                unsafe { gemm_tile8x32_avx512(rows, panel, outs, j) };
+                j += w;
+                panel_base += k * w;
+                continue;
+            }
+            // Partial panel: two 4-row scalar/AVX2 tiles via the 4-row band on this panel
+            // slice alone (width w, sub-packed layout is identical).
+            let (top, bottom) = outs.split_at_mut(4);
+            let [o0, o1, o2, o3] = top else {
+                unreachable!()
+            };
+            let [o4, o5, o6, o7] = bottom else {
+                unreachable!()
+            };
+            gemm_band4_panel(
+                rows[0],
+                rows[1],
+                rows[2],
+                rows[3],
+                panel,
+                w,
+                &mut o0[j..j + w],
+                &mut o1[j..j + w],
+                &mut o2[j..j + w],
+                &mut o3[j..j + w],
+            );
+            gemm_band4_panel(
+                rows[4],
+                rows[5],
+                rows[6],
+                rows[7],
+                panel,
+                w,
+                &mut o4[j..j + w],
+                &mut o5[j..j + w],
+                &mut o6[j..j + w],
+                &mut o7[j..j + w],
+            );
+            j += w;
+            panel_base += k * w;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gemm_tile8x32_avx512(
+        rows: [&[f32]; 8],
+        panel: &[f32], // k x 32, contiguous
+        outs: &mut [&mut [f32]; 8],
+        j: usize,
+    ) {
+        let k = rows[0].len();
+        let p = panel.as_ptr();
+        let mut lo = [_mm512_setzero_ps(); 8];
+        let mut hi = [_mm512_setzero_ps(); 8];
+        for kk in 0..k {
+            let brow = p.add(kk * 32);
+            let bl = _mm512_loadu_ps(brow);
+            let bh = _mm512_loadu_ps(brow.add(16));
+            for (i, row) in rows.iter().enumerate() {
+                let v = _mm512_set1_ps(*row.get_unchecked(kk));
+                lo[i] = _mm512_fmadd_ps(v, bl, lo[i]);
+                hi[i] = _mm512_fmadd_ps(v, bh, hi[i]);
+            }
+        }
+        for (i, out) in outs.iter_mut().enumerate() {
+            _mm512_storeu_ps(out.as_mut_ptr().add(j), lo[i]);
+            _mm512_storeu_ps(out.as_mut_ptr().add(j + 16), hi[i]);
+        }
+    }
+
+    /// One panel of the 4-row band: the AVX2 16-wide tile when it fits, otherwise a
+    /// scalar accumulator tile. Shared by [`gemm_band4_packed`] (its non-AVX-512 panel
+    /// body) and the partial-panel fallback of [`gemm_band8_packed`].
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_band4_panel(
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        panel: &[f32],
+        w: usize,
+        out0: &mut [f32],
+        out1: &mut [f32],
+        out2: &mut [f32],
+        out3: &mut [f32],
+    ) {
+        let k = a0.len();
+        #[cfg(target_arch = "x86_64")]
+        if w == 16 && use_avx2_fma() {
+            // SAFETY: feature checked; slices are w wide by construction.
+            unsafe { gemm_tile4x16_avx2(a0, a1, a2, a3, panel, out0, out1, out2, out3) };
+            return;
+        }
+        let mut acc = [[0.0f32; 32]; 4];
+        for kk in 0..k {
+            let brow = &panel[kk * w..(kk + 1) * w];
+            let a = [a0[kk], a1[kk], a2[kk], a3[kk]];
+            for (ai, acc_row) in a.iter().zip(acc.iter_mut()) {
+                for (c, &bv) in brow.iter().enumerate() {
+                    acc_row[c] += ai * bv;
+                }
+            }
+        }
+        out0.copy_from_slice(&acc[0][..w]);
+        out1.copy_from_slice(&acc[1][..w]);
+        out2.copy_from_slice(&acc[2][..w]);
+        out3.copy_from_slice(&acc[3][..w]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_tile4x16_avx2(
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        panel: &[f32], // k x 16, contiguous
+        out0: &mut [f32],
+        out1: &mut [f32],
+        out2: &mut [f32],
+        out3: &mut [f32],
+    ) {
+        let k = a0.len();
+        let p = panel.as_ptr();
+        let mut c00 = _mm256_setzero_ps();
+        let mut c01 = _mm256_setzero_ps();
+        let mut c10 = _mm256_setzero_ps();
+        let mut c11 = _mm256_setzero_ps();
+        let mut c20 = _mm256_setzero_ps();
+        let mut c21 = _mm256_setzero_ps();
+        let mut c30 = _mm256_setzero_ps();
+        let mut c31 = _mm256_setzero_ps();
+        for kk in 0..k {
+            let brow = p.add(kk * 16);
+            let bl = _mm256_loadu_ps(brow);
+            let bh = _mm256_loadu_ps(brow.add(8));
+            let v0 = _mm256_set1_ps(*a0.get_unchecked(kk));
+            c00 = _mm256_fmadd_ps(v0, bl, c00);
+            c01 = _mm256_fmadd_ps(v0, bh, c01);
+            let v1 = _mm256_set1_ps(*a1.get_unchecked(kk));
+            c10 = _mm256_fmadd_ps(v1, bl, c10);
+            c11 = _mm256_fmadd_ps(v1, bh, c11);
+            let v2 = _mm256_set1_ps(*a2.get_unchecked(kk));
+            c20 = _mm256_fmadd_ps(v2, bl, c20);
+            c21 = _mm256_fmadd_ps(v2, bh, c21);
+            let v3 = _mm256_set1_ps(*a3.get_unchecked(kk));
+            c30 = _mm256_fmadd_ps(v3, bl, c30);
+            c31 = _mm256_fmadd_ps(v3, bh, c31);
+        }
+        _mm256_storeu_ps(out0.as_mut_ptr(), c00);
+        _mm256_storeu_ps(out0.as_mut_ptr().add(8), c01);
+        _mm256_storeu_ps(out1.as_mut_ptr(), c10);
+        _mm256_storeu_ps(out1.as_mut_ptr().add(8), c11);
+        _mm256_storeu_ps(out2.as_mut_ptr(), c20);
+        _mm256_storeu_ps(out2.as_mut_ptr().add(8), c21);
+        _mm256_storeu_ps(out3.as_mut_ptr(), c30);
+        _mm256_storeu_ps(out3.as_mut_ptr().add(8), c31);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_tile4x32_avx512(
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        panel: &[f32], // k x 32, contiguous
+        out0: &mut [f32],
+        out1: &mut [f32],
+        out2: &mut [f32],
+        out3: &mut [f32],
+    ) {
+        let k = a0.len();
+        let p = panel.as_ptr();
+        let mut c00 = _mm512_setzero_ps();
+        let mut c01 = _mm512_setzero_ps();
+        let mut c10 = _mm512_setzero_ps();
+        let mut c11 = _mm512_setzero_ps();
+        let mut c20 = _mm512_setzero_ps();
+        let mut c21 = _mm512_setzero_ps();
+        let mut c30 = _mm512_setzero_ps();
+        let mut c31 = _mm512_setzero_ps();
+        for kk in 0..k {
+            let brow = p.add(kk * 32);
+            let bl = _mm512_loadu_ps(brow);
+            let bh = _mm512_loadu_ps(brow.add(16));
+            let v0 = _mm512_set1_ps(*a0.get_unchecked(kk));
+            c00 = _mm512_fmadd_ps(v0, bl, c00);
+            c01 = _mm512_fmadd_ps(v0, bh, c01);
+            let v1 = _mm512_set1_ps(*a1.get_unchecked(kk));
+            c10 = _mm512_fmadd_ps(v1, bl, c10);
+            c11 = _mm512_fmadd_ps(v1, bh, c11);
+            let v2 = _mm512_set1_ps(*a2.get_unchecked(kk));
+            c20 = _mm512_fmadd_ps(v2, bl, c20);
+            c21 = _mm512_fmadd_ps(v2, bh, c21);
+            let v3 = _mm512_set1_ps(*a3.get_unchecked(kk));
+            c30 = _mm512_fmadd_ps(v3, bl, c30);
+            c31 = _mm512_fmadd_ps(v3, bh, c31);
+        }
+        _mm512_storeu_ps(out0.as_mut_ptr(), c00);
+        _mm512_storeu_ps(out0.as_mut_ptr().add(16), c01);
+        _mm512_storeu_ps(out1.as_mut_ptr(), c10);
+        _mm512_storeu_ps(out1.as_mut_ptr().add(16), c11);
+        _mm512_storeu_ps(out2.as_mut_ptr(), c20);
+        _mm512_storeu_ps(out2.as_mut_ptr().add(16), c21);
+        _mm512_storeu_ps(out3.as_mut_ptr(), c30);
+        _mm512_storeu_ps(out3.as_mut_ptr().add(16), c31);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn axpy4_avx2(
+        out: &mut [f32],
+        a: [f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) {
+        let n = out.len();
+        let va0 = _mm256_set1_ps(a[0]);
+        let va1 = _mm256_set1_ps(a[1]);
+        let va2 = _mm256_set1_ps(a[2]);
+        let va3 = _mm256_set1_ps(a[3]);
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = _mm256_loadu_ps(out.as_ptr().add(j));
+            acc = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b0.as_ptr().add(j)), acc);
+            acc = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b1.as_ptr().add(j)), acc);
+            acc = _mm256_fmadd_ps(va2, _mm256_loadu_ps(b2.as_ptr().add(j)), acc);
+            acc = _mm256_fmadd_ps(va3, _mm256_loadu_ps(b3.as_ptr().add(j)), acc);
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            out[j] += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+            j += 1;
+        }
+    }
+
+    /// `out[j] += a * b[j]` — the remainder AXPY for k % 4 tail rows.
+    #[inline]
+    pub fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
+        debug_assert!(b.len() >= out.len());
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2_fma() {
+            // SAFETY: feature presence checked above; slice length checked above.
+            unsafe { axpy1_avx2(out, a, b) };
+            return;
+        }
+        for (o, &bj) in out.iter_mut().zip(b.iter()) {
+            *o += a * bj;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn axpy1_avx2(out: &mut [f32], a: f32, b: &[f32]) {
+        let n = out.len();
+        let va = _mm256_set1_ps(a);
+        let mut j = 0;
+        while j + 8 <= n {
+            let acc = _mm256_fmadd_ps(
+                va,
+                _mm256_loadu_ps(b.as_ptr().add(j)),
+                _mm256_loadu_ps(out.as_ptr().add(j)),
+            );
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            out[j] += a * b[j];
+            j += 1;
+        }
+    }
+
+    /// Four simultaneous dot products of `a` against `b0..b3` — the `A * B^T` microkernel:
+    /// one pass over `a` feeds four output columns, quartering the `a` load traffic.
+    #[inline]
+    pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        debug_assert!(
+            b0.len() >= a.len()
+                && b1.len() >= a.len()
+                && b2.len() >= a.len()
+                && b3.len() >= a.len()
+        );
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2_fma() {
+            // SAFETY: feature presence checked above; slice lengths checked above.
+            return unsafe { dot4_avx2(a, b0, b1, b2, b3) };
+        }
+        let mut acc = [0.0f32; 4];
+        for (j, &aj) in a.iter().enumerate() {
+            acc[0] += aj * b0[j];
+            acc[1] += aj * b1[j];
+            acc[2] += aj * b2[j];
+            acc[3] += aj * b3[j];
+        }
+        acc
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot4_avx2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        let n = a.len();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 8 <= n {
+            let va = _mm256_loadu_ps(a.as_ptr().add(j));
+            acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0.as_ptr().add(j)), acc0);
+            acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1.as_ptr().add(j)), acc1);
+            acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2.as_ptr().add(j)), acc2);
+            acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3.as_ptr().add(j)), acc3);
+            j += 8;
+        }
+        let mut out = [hsum256(acc0), hsum256(acc1), hsum256(acc2), hsum256(acc3)];
+        while j < n {
+            out[0] += a[j] * b0[j];
+            out[1] += a[j] * b1[j];
+            out[2] += a[j] * b2[j];
+            out[3] += a[j] * b3[j];
+            j += 1;
+        }
+        out
+    }
+
+    /// Single dot product (tail columns of the `A * B^T` kernel).
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert!(b.len() >= a.len());
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2_fma() {
+            // SAFETY: feature presence checked above; slice length checked above.
+            return unsafe { dot_avx2(a, b) };
+        }
+        a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 16 <= n {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(j)),
+                _mm256_loadu_ps(b.as_ptr().add(j)),
+                acc0,
+            );
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(j + 8)),
+                _mm256_loadu_ps(b.as_ptr().add(j + 8)),
+                acc1,
+            );
+            j += 16;
+        }
+        while j + 8 <= n {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(j)),
+                _mm256_loadu_ps(b.as_ptr().add(j)),
+                acc0,
+            );
+            j += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while j < n {
+            sum += a[j] * b[j];
+            j += 1;
+        }
+        sum
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let sum4 = _mm_add_ps(lo, hi);
+        let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+        let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0b01));
+        _mm_cvtss_f32(sum1)
+    }
+}
 
 /// A dense, row-major matrix of `f32` values.
 #[derive(Clone, Debug, PartialEq)]
@@ -232,11 +854,158 @@ impl Matrix {
         self.map(|x| x * s)
     }
 
-    /// Matrix product `self * other`.
+    /// In-place scaling: `self *= s` (no allocation).
+    pub fn scale_mut(&mut self, s: f32) {
+        for v in self.data.iter_mut() {
+            *v *= s;
+        }
+    }
+
+    /// In-place scaled accumulation: `self += s * other` (no allocation).
+    ///
+    /// This is the gradient-accumulation primitive of the tape's backward pass.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, s: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
+        kernels::axpy1(&mut self.data, s, &other.data);
+    }
+
+    /// In-place fused element-wise accumulation: `self += a ⊙ b` (no temporary).
+    ///
+    /// Used by the backward pass of element-wise products (e.g. cutoff masks), where the
+    /// straightforward `hadamard` + `add_assign` would allocate a full matrix per op.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_hadamard(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(self.shape(), a.shape(), "add_hadamard: shape mismatch (a)");
+        assert_eq!(self.shape(), b.shape(), "add_hadamard: shape mismatch (b)");
+        for ((o, &x), &y) in self.data.iter_mut().zip(a.data.iter()).zip(b.data.iter()) {
+            *o += x * y;
+        }
+    }
+
+    /// Matrix product `self * other`, via the register-blocked microkernel
+    /// (see the module docs), parallel over output rows above [`PAR_FLOPS`].
     ///
     /// # Panics
     /// Panics when inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimension mismatch ({}x{} * {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.rows, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 || self.cols == 0 {
+            return out;
+        }
+        let flops = m * self.cols * n;
+        let parallel = flops >= PAR_FLOPS && rayon::current_num_threads() > 1;
+        if kernels::has_gemm_tile() && m >= 4 && flops >= TILE_FLOPS {
+            // Register-tiled path: B is packed into streaming column panels once, then
+            // row bands (8 with AVX-512, else 4) run with the accumulator tile held in
+            // registers across the whole contraction.
+            let width = kernels::panel_width();
+            let band = kernels::band_rows();
+            let packed = kernels::pack_b_panels(&other.data, self.cols, n, width);
+            let run_band = |band_idx: usize, band_out: &mut [f32]| {
+                let i0 = band_idx * band;
+                let rows_here = band_out.len() / n;
+                let mut r = 0;
+                while band == 8 && rows_here - r >= 8 {
+                    let a_rows: [&[f32]; 8] = std::array::from_fn(|t| self.row(i0 + r + t));
+                    let sub = &mut band_out[r * n..(r + 8) * n];
+                    let mut chunks = sub.chunks_mut(n);
+                    let mut outs: [&mut [f32]; 8] =
+                        std::array::from_fn(|_| chunks.next().expect("8 rows"));
+                    kernels::gemm_band8_packed(a_rows, &packed, n, width, &mut outs);
+                    r += 8;
+                }
+                while rows_here - r >= 4 {
+                    let sub = &mut band_out[r * n..(r + 4) * n];
+                    let (o0, rest) = sub.split_at_mut(n);
+                    let (o1, rest) = rest.split_at_mut(n);
+                    let (o2, o3) = rest.split_at_mut(n);
+                    kernels::gemm_band4_packed(
+                        self.row(i0 + r),
+                        self.row(i0 + r + 1),
+                        self.row(i0 + r + 2),
+                        self.row(i0 + r + 3),
+                        &packed,
+                        n,
+                        width,
+                        o0,
+                        o1,
+                        o2,
+                        o3,
+                    );
+                    r += 4;
+                }
+                while r < rows_here {
+                    Self::matmul_row(self.row(i0 + r), other, &mut band_out[r * n..(r + 1) * n]);
+                    r += 1;
+                }
+            };
+            if parallel {
+                out.data
+                    .par_chunks_mut(band * n)
+                    .enumerate()
+                    .for_each(|(bi, band_out)| run_band(bi, band_out));
+            } else {
+                for (bi, band_out) in out.data.chunks_mut(band * n).enumerate() {
+                    run_band(bi, band_out);
+                }
+            }
+        } else if parallel && m > 1 {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| Self::matmul_row(self.row(i), other, out_row));
+        } else {
+            for i in 0..m {
+                let a_row = self.row(i);
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                Self::matmul_row(a_row, other, out_row);
+            }
+        }
+        out
+    }
+
+    /// One output row of `matmul`: `out_row += a_row * other`, k-unrolled by 4.
+    #[inline]
+    fn matmul_row(a_row: &[f32], other: &Matrix, out_row: &mut [f32]) {
+        let k = a_row.len();
+        let mut kk = 0;
+        while kk + 4 <= k {
+            kernels::axpy4(
+                out_row,
+                [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
+                other.row(kk),
+                other.row(kk + 1),
+                other.row(kk + 2),
+                other.row(kk + 3),
+            );
+            kk += 4;
+        }
+        while kk < k {
+            if a_row[kk] != 0.0 {
+                kernels::axpy1(out_row, a_row[kk], other.row(kk));
+            }
+            kk += 1;
+        }
+    }
+
+    /// Reference matrix product: the original cache-aware triple loop, single-threaded and
+    /// SIMD-free. Kept as the ground truth for the kernel-equivalence property tests and
+    /// as the baseline of the speedup benches.
+    ///
+    /// # Panics
+    /// Panics when inner dimensions disagree.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimension mismatch ({}x{} * {}x{})",
@@ -255,6 +1024,90 @@ impl Matrix {
                 let b_row = other.row(k);
                 for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a_ik * b_kj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fused product `self * other^T` without materializing the transpose.
+    ///
+    /// Both operands are row-major with the contraction over their *columns*, so every
+    /// output entry is a dot product of two contiguous rows — the natural layout for
+    /// similarity matrices (`Z * Z^T`), cosine scoring against an embedding corpus, and
+    /// the `A`-gradient of `matmul`. Parallel over output rows above [`PAR_FLOPS`].
+    ///
+    /// # Panics
+    /// Panics when the column counts disagree.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b: contraction mismatch ({}x{} * ({}x{})^T)",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let flops = self.rows * self.cols * other.rows;
+        if flops >= PAR_FLOPS && self.rows > 1 && rayon::current_num_threads() > 1 {
+            out.data
+                .par_chunks_mut(other.rows.max(1))
+                .enumerate()
+                .for_each(|(i, out_row)| Self::dot_row(self.row(i), other, out_row));
+        } else {
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+                Self::dot_row(a_row, other, out_row);
+            }
+        }
+        out
+    }
+
+    /// One output row of `matmul_transpose_b`: dots of `a_row` against all rows of `other`,
+    /// four at a time.
+    #[inline]
+    fn dot_row(a_row: &[f32], other: &Matrix, out_row: &mut [f32]) {
+        let n = other.rows;
+        let mut j = 0;
+        while j + 4 <= n {
+            let d = kernels::dot4(
+                a_row,
+                other.row(j),
+                other.row(j + 1),
+                other.row(j + 2),
+                other.row(j + 3),
+            );
+            out_row[j..j + 4].copy_from_slice(&d);
+            j += 4;
+        }
+        while j < n {
+            out_row[j] = kernels::dot(a_row, other.row(j));
+            j += 1;
+        }
+    }
+
+    /// Fused product `self^T * other` without materializing the transpose.
+    ///
+    /// The contraction runs over the *rows* of both operands (`self: k x m`,
+    /// `other: k x n`, result `m x n`), which is the shape of the `B`-gradient of
+    /// `matmul` (`A^T * dC`). The k-outer loop streams both operands row-by-row.
+    ///
+    /// # Panics
+    /// Panics when the row counts disagree.
+    pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_a: contraction mismatch (({}x{})^T * {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        // k-outer: out[i] += self[kk][i] * other[kk] — both operands stream row-major.
+        for kk in 0..self.rows {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki != 0.0 {
+                    let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                    kernels::axpy1(out_row, a_ki, b_row);
                 }
             }
         }
@@ -381,18 +1234,66 @@ impl Matrix {
         out
     }
 
-    /// L2-normalizes every row in place; rows with near-zero norm are left unchanged.
-    pub fn l2_normalize_rows(&self) -> Matrix {
+    /// Adds a `1 x d` row vector to every row, producing a new matrix.
+    ///
+    /// # Panics
+    /// Panics when `bias` is not `1 x cols`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "add_row_broadcast: bias must be 1 x d");
+        assert_eq!(self.cols, bias.cols, "add_row_broadcast: width mismatch");
         let mut out = self.clone();
         for r in 0..out.rows {
-            let norm: f32 = out.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            for (v, &b) in out.row_mut(r).iter_mut().zip(bias.data.iter()) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies every row element-wise by a `1 x d` row vector, producing a new matrix.
+    ///
+    /// # Panics
+    /// Panics when `gain` is not `1 x cols`.
+    pub fn mul_row_broadcast(&self, gain: &Matrix) -> Matrix {
+        assert_eq!(gain.rows, 1, "mul_row_broadcast: gain must be 1 x d");
+        assert_eq!(self.cols, gain.cols, "mul_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (v, &g) in out.row_mut(r).iter_mut().zip(gain.data.iter()) {
+                *v *= g;
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with every row L2-normalized; rows with near-zero norm are left
+    /// unchanged.
+    pub fn l2_normalize_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        out.l2_normalize_rows_mut();
+        out
+    }
+
+    /// L2-normalizes every row in place (no allocation); rows with near-zero norm are
+    /// left unchanged.
+    pub fn l2_normalize_rows_mut(&mut self) {
+        for r in 0..self.rows {
+            let norm: f32 = self.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
             if norm > 1e-12 {
-                for v in out.row_mut(r) {
+                for v in self.row_mut(r) {
                     *v /= norm;
                 }
             }
         }
-        out
+    }
+
+    /// Dot product of two equal-length slices through the SIMD kernel.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+        kernels::dot(a, b)
     }
 
     /// Cosine similarity between two rows of (possibly different) matrices.
@@ -457,6 +1358,49 @@ mod tests {
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn fused_transpose_kernels_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::random_normal(7, 13, 1.0, &mut rng);
+        let b = Matrix::random_normal(5, 13, 1.0, &mut rng);
+        let fused = a.matmul_transpose_b(&b);
+        let explicit = a.matmul_naive(&b.transpose());
+        assert!(fused.approx_eq(&explicit, 1e-4), "A*B^T mismatch");
+
+        let c = Matrix::random_normal(13, 7, 1.0, &mut rng);
+        let d = Matrix::random_normal(13, 5, 1.0, &mut rng);
+        let fused = c.matmul_transpose_a(&d);
+        let explicit = c.transpose().matmul_naive(&d);
+        assert!(fused.approx_eq(&explicit, 1e-4), "A^T*B mismatch");
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::random_normal(4, 6, 1.0, &mut rng);
+        let b = Matrix::random_normal(4, 6, 1.0, &mut rng);
+
+        let mut scaled = a.clone();
+        scaled.scale_mut(-2.5);
+        assert!(scaled.approx_eq(&a.scale(-2.5), 1e-6));
+
+        let mut acc = a.clone();
+        acc.add_scaled(&b, 0.75);
+        assert!(acc.approx_eq(&a.add(&b.scale(0.75)), 1e-6));
+
+        let mut had = a.clone();
+        had.add_hadamard(&a, &b);
+        assert!(had.approx_eq(&a.add(&a.hadamard(&b)), 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transpose_b: contraction mismatch")]
+    fn matmul_transpose_b_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let _ = a.matmul_transpose_b(&b);
     }
 
     #[test]

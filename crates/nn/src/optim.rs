@@ -23,11 +23,13 @@ fn collect_param_grads(tape: &Tape, grads: &Gradients) -> Vec<(Param, Matrix)> {
         by_id
             .entry(param.id())
             .and_modify(|(_, acc)| acc.add_assign(&g))
-            .or_insert_with(|| (param.clone(), {
-                let mut zero = Matrix::zeros(rows, cols);
-                zero.add_assign(&g);
-                zero
-            }));
+            .or_insert_with(|| {
+                (param.clone(), {
+                    let mut zero = Matrix::zeros(rows, cols);
+                    zero.add_assign(&g);
+                    zero
+                })
+            });
     }
     by_id.into_values().collect()
 }
@@ -124,7 +126,8 @@ impl AdamW {
                     let m_hat = m / bias1;
                     let v_hat = v / bias2;
                     let w = inner.value.data()[i];
-                    let update = self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * w);
+                    let update =
+                        self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * w);
                     inner.value.data_mut()[i] = w - update;
                 }
             });
@@ -164,7 +167,12 @@ mod tests {
     use crate::tape::Tape;
 
     /// Minimizes `sum((w - target)^2)` and checks that the optimizer converges.
-    fn optimize(mut step: impl FnMut(&Tape, &Gradients), param: &Param, target: &Matrix, iters: usize) -> f32 {
+    fn optimize(
+        mut step: impl FnMut(&Tape, &Gradients),
+        param: &Param,
+        target: &Matrix,
+        iters: usize,
+    ) -> f32 {
         let mut last = f32::MAX;
         for _ in 0..iters {
             let mut tape = Tape::new();
@@ -234,7 +242,9 @@ mod tests {
     #[test]
     fn gradient_clipping_limits_update_magnitude() {
         let param = Param::new("w", Matrix::full(1, 1, 0.0));
-        let mut opt = AdamW::new(1.0).with_weight_decay(0.0).with_max_grad_norm(Some(0.001));
+        let mut opt = AdamW::new(1.0)
+            .with_weight_decay(0.0)
+            .with_max_grad_norm(Some(0.001));
         let mut tape = Tape::new();
         let w = tape.param(&param);
         let huge = tape.scale(w, 1e6);

@@ -4,9 +4,12 @@
 //! estimates for AdamW). Layers own `Param`s; every forward pass binds the current value
 //! into the [`crate::tape::Tape`] as a leaf node, and the optimizer later reads the
 //! gradient of that leaf and updates the parameter in place.
+//!
+//! Storage is `Arc<RwLock<..>>` (not `Rc<RefCell<..>>`) so a model can be *shared across
+//! threads* for batch-parallel inference: many rayon workers take concurrent read locks
+//! during `embed_all`, while training remains single-writer through the optimizer.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use crate::matrix::Matrix;
 
@@ -29,13 +32,13 @@ pub struct ParamInner {
 /// same storage, so a model can be borrowed immutably during the forward pass while the
 /// optimizer later mutates parameters through the same handles.
 #[derive(Clone, Debug)]
-pub struct Param(Rc<RefCell<ParamInner>>);
+pub struct Param(Arc<RwLock<ParamInner>>);
 
 impl Param {
     /// Creates a named parameter from an initial value.
     pub fn new(name: impl Into<String>, value: Matrix) -> Self {
         let (r, c) = value.shape();
-        Param(Rc::new(RefCell::new(ParamInner {
+        Param(Arc::new(RwLock::new(ParamInner {
             value,
             m: Matrix::zeros(r, c),
             v: Matrix::zeros(r, c),
@@ -45,27 +48,33 @@ impl Param {
 
     /// Returns a clone of the current value.
     pub fn value(&self) -> Matrix {
-        self.0.borrow().value.clone()
+        self.read().value.clone()
+    }
+
+    /// Applies a closure to the current value *without cloning it* — the inference fast
+    /// path uses this to read large tables (e.g. token embeddings) under a shared lock.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.read().value)
     }
 
     /// Returns the parameter shape.
     pub fn shape(&self) -> (usize, usize) {
-        self.0.borrow().value.shape()
+        self.read().value.shape()
     }
 
     /// Returns the parameter name.
     pub fn name(&self) -> String {
-        self.0.borrow().name.clone()
+        self.read().name.clone()
     }
 
     /// Number of scalar elements.
     pub fn num_elements(&self) -> usize {
-        self.0.borrow().value.len()
+        self.read().value.len()
     }
 
     /// Overwrites the value (shape must match).
     pub fn set_value(&self, value: Matrix) {
-        let mut inner = self.0.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(
             inner.value.shape(),
             value.shape(),
@@ -77,30 +86,38 @@ impl Param {
 
     /// Applies a closure to the mutable inner state (used by optimizers).
     pub fn with_inner_mut<R>(&self, f: impl FnOnce(&mut ParamInner) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.write())
     }
 
     /// Applies a closure to the inner state.
     pub fn with_inner<R>(&self, f: impl FnOnce(&ParamInner) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.read())
     }
 
     /// Stable identity of the underlying storage, used to de-duplicate parameters that are
     /// bound several times in one tape (e.g. a shared embedding table).
     pub fn id(&self) -> usize {
-        Rc::as_ptr(&self.0) as usize
+        Arc::as_ptr(&self.0) as usize
     }
 
     /// Returns `true` if two handles refer to the same storage.
     pub fn same_storage(&self, other: &Param) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 
     /// Perturbs a single element by `delta` (used by the finite-difference gradient checker).
     pub fn nudge(&self, r: usize, c: usize, delta: f32) {
-        let mut inner = self.0.borrow_mut();
+        let mut inner = self.write();
         let v = inner.value.get(r, c);
         inner.value.set(r, c, v + delta);
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, ParamInner> {
+        self.0.read().expect("Param lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, ParamInner> {
+        self.0.write().expect("Param lock poisoned")
     }
 }
 

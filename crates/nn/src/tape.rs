@@ -26,6 +26,9 @@ enum Op {
     Sub(VarId, VarId),
     Mul(VarId, VarId),
     MatMul(VarId, VarId),
+    /// Fused `A * B^T` (similarity-matrix shape) — no transpose is materialized in either
+    /// the forward or the backward pass.
+    MatMulTransposeB(VarId, VarId),
     Scale(VarId, f32),
     AddScalar(VarId),
     Transpose(VarId),
@@ -53,6 +56,10 @@ enum Op {
     SliceCols(VarId, usize, usize),
     /// Mean over rows: `n x d -> 1 x d`.
     MeanRows(VarId),
+    /// Per-segment mean over consecutive row blocks: rows are split into segments of the
+    /// given lengths and each segment pools to one output row (batched mean pooling).
+    /// Empty segments pool to the zero row.
+    SegmentMeanRows(VarId, Vec<usize>),
     /// Per-row standardization `(x - mean) / sqrt(var + eps)` (LayerNorm core).
     StandardizeRows(VarId, f32),
     /// Per-row L2 normalization.
@@ -60,7 +67,6 @@ enum Op {
     /// Mean negative log-likelihood of a row-wise softmax against integer targets.
     SoftmaxCrossEntropy(VarId, Vec<usize>),
 }
-
 
 struct Node {
     value: Matrix,
@@ -80,7 +86,9 @@ impl Gradients {
 
     /// Gradient of `id`, or a zero matrix of the given shape when unreachable.
     pub fn get_or_zeros(&self, id: VarId, rows: usize, cols: usize) -> Matrix {
-        self.get(id).cloned().unwrap_or_else(|| Matrix::zeros(rows, cols))
+        self.get(id)
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(rows, cols))
     }
 }
 
@@ -95,7 +103,10 @@ pub struct Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new(), bindings: Vec::new() }
+        Tape {
+            nodes: Vec::new(),
+            bindings: Vec::new(),
+        }
     }
 
     /// Number of recorded nodes.
@@ -168,6 +179,14 @@ impl Tape {
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.value(a).matmul(self.value(b));
         self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Fused product `a * b^T` without materializing the transpose — the shape of the
+    /// SimCLR / Barlow Twins similarity matrices and of attention scores. `a` and `b` may
+    /// be the same node (e.g. `Z * Z^T`); gradients accumulate through both roles.
+    pub fn matmul_transpose_b(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul_transpose_b(self.value(b));
+        self.push(v, Op::MatMulTransposeB(a, b))
     }
 
     /// Multiplication by a scalar constant.
@@ -258,6 +277,38 @@ impl Tape {
         self.push(v, Op::MeanRows(a))
     }
 
+    /// Per-segment mean pooling: the rows of `a` are split into consecutive segments of
+    /// `lens[i]` rows and each segment averages into output row `i` (`sum(lens) x d ->
+    /// lens.len() x d`). Empty segments produce the zero row. This is the batched
+    /// equivalent of one [`Tape::mean_rows`] per item at `O(total * d)` cost — no dense
+    /// pooling matrix, no gradient computed for one.
+    ///
+    /// # Panics
+    /// Panics when `lens` does not sum to the row count of `a`.
+    pub fn segment_mean_rows(&mut self, a: VarId, lens: &[usize]) -> VarId {
+        let av = self.value(a);
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            av.rows(),
+            "segment_mean_rows: segment lengths must sum to the row count"
+        );
+        let mut out = Matrix::zeros(lens.len(), av.cols());
+        let mut offset = 0;
+        for (i, &len) in lens.iter().enumerate() {
+            if len > 0 {
+                let inv = 1.0 / len as f32;
+                for t in offset..offset + len {
+                    let src = av.row(t);
+                    for (o, &v) in out.row_mut(i).iter_mut().zip(src.iter()) {
+                        *o += v * inv;
+                    }
+                }
+            }
+            offset += len;
+        }
+        self.push(out, Op::SegmentMeanRows(a, lens.to_vec()))
+    }
+
     // ---- structured / fused ops --------------------------------------------------------------
 
     /// Row-wise softmax.
@@ -268,33 +319,13 @@ impl Tape {
 
     /// Adds a `1 x d` row vector to every row of an `n x d` matrix.
     pub fn add_row_broadcast(&mut self, x: VarId, bias: VarId) -> VarId {
-        let xm = self.value(x);
-        let bm = self.value(bias);
-        assert_eq!(bm.rows(), 1, "add_row_broadcast: bias must be 1 x d");
-        assert_eq!(xm.cols(), bm.cols(), "add_row_broadcast: width mismatch");
-        let mut out = xm.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = out.get(r, c) + bm.get(0, c);
-                out.set(r, c, v);
-            }
-        }
+        let out = self.value(x).add_row_broadcast(self.value(bias));
         self.push(out, Op::AddRowBroadcast(x, bias))
     }
 
     /// Multiplies every row of an `n x d` matrix element-wise by a `1 x d` row vector.
     pub fn mul_row_broadcast(&mut self, x: VarId, gain: VarId) -> VarId {
-        let xm = self.value(x);
-        let gm = self.value(gain);
-        assert_eq!(gm.rows(), 1, "mul_row_broadcast: gain must be 1 x d");
-        assert_eq!(xm.cols(), gm.cols(), "mul_row_broadcast: width mismatch");
-        let mut out = xm.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = out.get(r, c) * gm.get(0, c);
-                out.set(r, c, v);
-            }
-        }
+        let out = self.value(x).mul_row_broadcast(self.value(gain));
         self.push(out, Op::MulRowBroadcast(x, gain))
     }
 
@@ -351,11 +382,19 @@ impl Tape {
     /// Panics when `targets.len() != logits.rows()` or a target is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: VarId, targets: &[usize]) -> VarId {
         let lm = self.value(logits);
-        assert_eq!(lm.rows(), targets.len(), "softmax_cross_entropy: target count mismatch");
+        assert_eq!(
+            lm.rows(),
+            targets.len(),
+            "softmax_cross_entropy: target count mismatch"
+        );
         let probs = row_softmax(lm);
         let mut loss = 0.0f32;
         for (r, &t) in targets.iter().enumerate() {
-            assert!(t < lm.cols(), "softmax_cross_entropy: target {} out of range", t);
+            assert!(
+                t < lm.cols(),
+                "softmax_cross_entropy: target {} out of range",
+                t
+            );
             loss -= probs.get(r, t).max(1e-12).ln();
         }
         loss /= targets.len() as f32;
@@ -391,40 +430,67 @@ impl Tape {
 
     fn accumulate_parents(&self, id: VarId, grad: &Matrix, grads: &mut [Option<Matrix>]) {
         let node = &self.nodes[id];
-        let add_to = |grads: &mut [Option<Matrix>], pid: VarId, delta: Matrix| {
+        let add_to = |grads: &mut [Option<Matrix>], pid: VarId, delta: Matrix| match &mut grads[pid]
+        {
+            Some(existing) => existing.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        };
+        // In-place accumulation `grads[pid] += s * src`: the common ops (Add, Sub, Scale,
+        // broadcasts) reuse the existing gradient buffer instead of allocating per op.
+        let add_scaled_to = |grads: &mut [Option<Matrix>], pid: VarId, src: &Matrix, s: f32| {
             match &mut grads[pid] {
-                Some(existing) => existing.add_assign(&delta),
-                slot @ None => *slot = Some(delta),
+                Some(existing) => existing.add_scaled(src, s),
+                slot @ None => *slot = Some(if s == 1.0 { src.clone() } else { src.scale(s) }),
+            }
+        };
+        // In-place fused accumulation `grads[pid] += g ⊙ v` (element-wise products).
+        let add_hadamard_to = |grads: &mut [Option<Matrix>], pid: VarId, g: &Matrix, v: &Matrix| {
+            match &mut grads[pid] {
+                Some(existing) => existing.add_hadamard(g, v),
+                slot @ None => *slot = Some(g.hadamard(v)),
             }
         };
         match &node.op {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                add_to(grads, *a, grad.clone());
-                add_to(grads, *b, grad.clone());
+                add_scaled_to(grads, *a, grad, 1.0);
+                add_scaled_to(grads, *b, grad, 1.0);
             }
             Op::Sub(a, b) => {
-                add_to(grads, *a, grad.clone());
-                add_to(grads, *b, grad.scale(-1.0));
+                add_scaled_to(grads, *a, grad, 1.0);
+                add_scaled_to(grads, *b, grad, -1.0);
             }
             Op::Mul(a, b) => {
                 let av = &self.nodes[*a].value;
                 let bv = &self.nodes[*b].value;
-                add_to(grads, *a, grad.hadamard(bv));
-                add_to(grads, *b, grad.hadamard(av));
+                add_hadamard_to(grads, *a, grad, bv);
+                add_hadamard_to(grads, *b, grad, av);
             }
             Op::MatMul(a, b) => {
                 let av = &self.nodes[*a].value;
                 let bv = &self.nodes[*b].value;
-                add_to(grads, *a, grad.matmul(&bv.transpose()));
-                add_to(grads, *b, av.transpose().matmul(grad));
+                // dA = dC * B^T and dB = A^T * dC through the fused kernels — no transpose
+                // is materialized.
+                add_to(grads, *a, grad.matmul_transpose_b(bv));
+                add_to(grads, *b, av.matmul_transpose_a(grad));
             }
-            Op::Scale(a, s) => add_to(grads, *a, grad.scale(*s)),
-            Op::AddScalar(a) => add_to(grads, *a, grad.clone()),
+            Op::MatMulTransposeB(a, b) => {
+                // C = A * B^T: dA = dC * B, dB = dC^T * A.
+                let av = &self.nodes[*a].value;
+                let bv = &self.nodes[*b].value;
+                add_to(grads, *a, grad.matmul(bv));
+                add_to(grads, *b, grad.matmul_transpose_a(av));
+            }
+            Op::Scale(a, s) => add_scaled_to(grads, *a, grad, *s),
+            Op::AddScalar(a) => add_scaled_to(grads, *a, grad, 1.0),
             Op::Transpose(a) => add_to(grads, *a, grad.transpose()),
             Op::Relu(a) => {
                 let av = &self.nodes[*a].value;
-                add_to(grads, *a, grad.zip_map(av, |g, x| if x > 0.0 { g } else { 0.0 }));
+                add_to(
+                    grads,
+                    *a,
+                    grad.zip_map(av, |g, x| if x > 0.0 { g } else { 0.0 }),
+                );
             }
             Op::Gelu(a) => {
                 let av = &self.nodes[*a].value;
@@ -440,7 +506,7 @@ impl Tape {
             }
             Op::Exp(a) => {
                 let yv = &node.value;
-                add_to(grads, *a, grad.hadamard(yv));
+                add_hadamard_to(grads, *a, grad, yv);
             }
             Op::Ln(a) => {
                 let av = &self.nodes[*a].value;
@@ -479,6 +545,24 @@ impl Tape {
                 }
                 add_to(grads, *a, out);
             }
+            Op::SegmentMeanRows(a, lens) => {
+                // Each input row t in segment i receives grad_row(i) / len_i.
+                let av = &self.nodes[*a].value;
+                let mut out = Matrix::zeros(av.rows(), av.cols());
+                let mut offset = 0;
+                for (i, &len) in lens.iter().enumerate() {
+                    if len > 0 {
+                        let inv = 1.0 / len as f32;
+                        for t in offset..offset + len {
+                            for (o, &g) in out.row_mut(t).iter_mut().zip(grad.row(i).iter()) {
+                                *o = g * inv;
+                            }
+                        }
+                    }
+                    offset += len;
+                }
+                add_to(grads, *a, out);
+            }
             Op::RowSoftmax(a) => {
                 // dx = y * (dy - sum_j dy_j y_j) per row
                 let y = &node.value;
@@ -497,7 +581,7 @@ impl Tape {
                 add_to(grads, *a, out);
             }
             Op::AddRowBroadcast(x, bias) => {
-                add_to(grads, *x, grad.clone());
+                add_scaled_to(grads, *x, grad, 1.0);
                 let mut bias_grad = Matrix::zeros(1, grad.cols());
                 for r in 0..grad.rows() {
                     for c in 0..grad.cols() {
@@ -567,8 +651,12 @@ impl Tape {
                 let mut out = Matrix::zeros(av.rows(), av.cols());
                 for r in 0..av.rows() {
                     let mean: f32 = av.row(r).iter().sum::<f32>() / d;
-                    let var: f32 =
-                        av.row(r).iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d;
+                    let var: f32 = av
+                        .row(r)
+                        .iter()
+                        .map(|x| (x - mean) * (x - mean))
+                        .sum::<f32>()
+                        / d;
                     let sigma = (var + eps).sqrt();
                     let mean_dy: f32 = grad.row(r).iter().sum::<f32>() / d;
                     let mean_dyy: f32 = grad
@@ -671,7 +759,12 @@ pub fn standardize_rows(x: &Matrix, eps: f32) -> Matrix {
     let mut out = x.clone();
     for r in 0..out.rows() {
         let mean: f32 = out.row(r).iter().sum::<f32>() / d;
-        let var: f32 = out.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+        let var: f32 = out
+            .row(r)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / d;
         let sigma = (var + eps).sqrt();
         for v in out.row_mut(r) {
             *v = (*v - mean) / sigma;
@@ -688,7 +781,11 @@ mod tests {
         let mut tape = Tape::new();
         let input = tape.constant(x.clone());
         let out = f(&mut tape, input);
-        let loss = if tape.value(out).shape() == (1, 1) { out } else { tape.sum_all(out) };
+        let loss = if tape.value(out).shape() == (1, 1) {
+            out
+        } else {
+            tape.sum_all(out)
+        };
         let grads = tape.backward(loss);
         (
             tape.scalar(loss),
@@ -716,8 +813,62 @@ mod tests {
         let grads = tape.backward(loss);
         // dL/dA = ones * B^T ; dL/dB = A^T * ones
         let ones = Matrix::full(2, 2, 1.0);
-        assert!(grads.get(av).unwrap().approx_eq(&ones.matmul(&b.transpose()), 1e-5));
-        assert!(grads.get(bv).unwrap().approx_eq(&a.transpose().matmul(&ones), 1e-5));
+        assert!(grads
+            .get(av)
+            .unwrap()
+            .approx_eq(&ones.matmul(&b.transpose()), 1e-5));
+        assert!(grads
+            .get(bv)
+            .unwrap()
+            .approx_eq(&a.transpose().matmul(&ones), 1e-5));
+    }
+
+    #[test]
+    fn fused_transpose_matmul_gradients_match_explicit_graph() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![0.5, -1.0]]);
+        let b = Matrix::from_rows(&[vec![0.5, -1.0], vec![2.0, 1.5]]);
+
+        // Fused: C = A * B^T.
+        let mut tape = Tape::new();
+        let av = tape.constant(a.clone());
+        let bv = tape.constant(b.clone());
+        let c = tape.matmul_transpose_b(av, bv);
+        let loss = tape.sum_all(c);
+        let grads = tape.backward(loss);
+
+        // Explicit: C = A * transpose(B).
+        let mut ref_tape = Tape::new();
+        let ar = ref_tape.constant(a);
+        let br = ref_tape.constant(b);
+        let bt = ref_tape.transpose(br);
+        let cr = ref_tape.matmul(ar, bt);
+        let ref_loss = ref_tape.sum_all(cr);
+        let ref_grads = ref_tape.backward(ref_loss);
+
+        assert!(tape.value(c).approx_eq(ref_tape.value(cr), 1e-5));
+        assert!(grads
+            .get(av)
+            .unwrap()
+            .approx_eq(ref_grads.get(ar).unwrap(), 1e-5));
+        assert!(grads
+            .get(bv)
+            .unwrap()
+            .approx_eq(ref_grads.get(br).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn fused_transpose_matmul_accumulates_self_similarity_gradient() {
+        // C = Z * Z^T with the same node in both roles: gradient must combine both paths.
+        let z = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]);
+        let mut tape = Tape::new();
+        let zv = tape.constant(z.clone());
+        let c = tape.matmul_transpose_b(zv, zv);
+        let loss = tape.sum_all(c);
+        let grads = tape.backward(loss);
+        // d sum(Z Z^T) / dZ = (J + J^T) Z where J is all-ones -> 2 * colsum broadcast.
+        let ones = Matrix::full(2, 2, 1.0);
+        let expected = ones.matmul(&z).scale(2.0);
+        assert!(grads.get(zv).unwrap().approx_eq(&expected, 1e-5));
     }
 
     #[test]
@@ -775,6 +926,42 @@ mod tests {
     }
 
     #[test]
+    fn segment_mean_rows_matches_per_segment_mean_rows() {
+        // Forward and gradient must agree with slicing + mean_rows per segment (the
+        // per-row pooling the batched op replaces), including an empty segment.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![-1.0, 0.5],
+        ]);
+        let lens = [2usize, 0, 1, 1];
+
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let pooled = tape.segment_mean_rows(xv, &lens);
+        assert_eq!(tape.value(pooled).shape(), (4, 2));
+        assert_eq!(tape.value(pooled).row(0), &[2.0, 3.0]);
+        assert_eq!(tape.value(pooled).row(1), &[0.0, 0.0]); // empty segment
+        assert_eq!(tape.value(pooled).row(2), &[5.0, 6.0]);
+        let sq = tape.pow2(pooled);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        let g = grads.get(xv).unwrap();
+        // d/dx sum((mean)^2): row t in segment i gets 2 * mean_i / len_i.
+        assert!((g.row(0)[0] - 2.0).abs() < 1e-6 && (g.row(0)[1] - 3.0).abs() < 1e-6);
+        assert_eq!(g.row(2), &[10.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment lengths must sum")]
+    fn segment_mean_rows_rejects_bad_lengths() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(3, 2));
+        let _ = tape.segment_mean_rows(x, &[2, 2]);
+    }
+
+    #[test]
     fn gather_rows_scatter_adds_gradient() {
         let table = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let mut tape = Tape::new();
@@ -795,8 +982,14 @@ mod tests {
         let scaled = tape.scale(stacked, 2.0);
         let loss = tape.sum_all(scaled);
         let grads = tape.backward(loss);
-        assert!(grads.get(a).unwrap().approx_eq(&Matrix::row_vector(&[2.0, 2.0]), 1e-6));
-        assert!(grads.get(b).unwrap().approx_eq(&Matrix::row_vector(&[2.0, 2.0]), 1e-6));
+        assert!(grads
+            .get(a)
+            .unwrap()
+            .approx_eq(&Matrix::row_vector(&[2.0, 2.0]), 1e-6));
+        assert!(grads
+            .get(b)
+            .unwrap()
+            .approx_eq(&Matrix::row_vector(&[2.0, 2.0]), 1e-6));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Kernel-equivalence property tests.
+//!
+//! The blocked / SIMD / parallel GEMM kernels must be numerically interchangeable with
+//! the naive reference triple loop (`Matrix::matmul_naive`). These randomized sweeps
+//! check that across a grid of shapes — including the degenerate `1 x d` and `d x 1`
+//! cases and shapes large enough to cross the parallel threshold — every entry agrees
+//! within a tolerance of `1e-5` scaled by the contraction magnitude (the FMA kernels
+//! round less than the reference, so exact bit equality is not the contract).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sudowoodo_nn::matrix::Matrix;
+
+/// Absolute tolerance for one output entry of a `k`-term contraction of values bounded
+/// by `amax * bmax`: `1e-5` relative to the worst-case accumulated magnitude.
+fn contraction_tol(k: usize, amax: f32, bmax: f32) -> f32 {
+    1e-5 * (k.max(1) as f32).sqrt() * amax.max(1e-3) * bmax.max(1e-3)
+}
+
+fn assert_matrices_match(result: &Matrix, reference: &Matrix, tol: f32, what: &str) {
+    assert_eq!(result.shape(), reference.shape(), "{what}: shape mismatch");
+    for r in 0..result.rows() {
+        for c in 0..result.cols() {
+            let x = result.get(r, c);
+            let y = reference.get(r, c);
+            assert!(
+                (x - y).abs() <= tol,
+                "{what}: entry ({r},{c}) differs: kernel {x} vs reference {y} (tol {tol})"
+            );
+        }
+    }
+}
+
+/// Shape grid: degenerate vectors, odd sizes around the 4/8-wide kernel boundaries, and
+/// one shape past the parallel FLOP threshold (1M).
+fn shape_grid() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (1, 7, 1),   // 1 x d times d x 1
+        (7, 1, 5),   // outer product
+        (1, 64, 33), // row vector times matrix
+        (33, 64, 1), // matrix times column vector
+        (3, 4, 5),
+        (8, 8, 8),
+        (13, 29, 17), // all odd, exercises every remainder path
+        (32, 33, 34),
+        (64, 64, 64),
+        (128, 96, 112),
+        (112, 128, 96),
+        (160, 144, 150), // > 1M flops: crosses the rayon threshold on multicore hosts
+    ]
+}
+
+#[test]
+fn blocked_matmul_matches_naive_reference_across_shapes() {
+    for (case, &(m, k, n)) in shape_grid().iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1000 + case as u64);
+        let a = Matrix::random_normal(m, k, 1.0, &mut rng);
+        let b = Matrix::random_normal(k, n, 1.0, &mut rng);
+        let tol = contraction_tol(k, a.max_abs(), b.max_abs());
+        assert_matrices_match(
+            &a.matmul(&b),
+            &a.matmul_naive(&b),
+            tol,
+            &format!("matmul {m}x{k}*{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn fused_transpose_b_matches_naive_reference_across_shapes() {
+    for (case, &(m, k, n)) in shape_grid().iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(2000 + case as u64);
+        let a = Matrix::random_normal(m, k, 1.0, &mut rng);
+        let b = Matrix::random_normal(n, k, 1.0, &mut rng); // transposed layout
+        let tol = contraction_tol(k, a.max_abs(), b.max_abs());
+        assert_matrices_match(
+            &a.matmul_transpose_b(&b),
+            &a.matmul_naive(&b.transpose()),
+            tol,
+            &format!("matmul_transpose_b {m}x{k}*({n}x{k})^T"),
+        );
+    }
+}
+
+#[test]
+fn fused_transpose_a_matches_naive_reference_across_shapes() {
+    for (case, &(m, k, n)) in shape_grid().iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(3000 + case as u64);
+        let a = Matrix::random_normal(k, m, 1.0, &mut rng); // transposed layout
+        let b = Matrix::random_normal(k, n, 1.0, &mut rng);
+        let tol = contraction_tol(k, a.max_abs(), b.max_abs());
+        assert_matrices_match(
+            &a.matmul_transpose_a(&b),
+            &a.transpose().matmul_naive(&b),
+            tol,
+            &format!("matmul_transpose_a ({k}x{m})^T*{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn kernels_handle_adversarial_values() {
+    // Zeros, exact negatives, denormal-adjacent magnitudes: the skip-zero optimization of
+    // the reference and the non-skipping SIMD kernels must still agree.
+    let a = Matrix::from_rows(&[
+        vec![0.0, -1.0, 1.0, 0.0, 1e-20],
+        vec![0.0, 0.0, 0.0, 0.0, 0.0],
+        vec![1e4, -1e4, 1e-4, -1e-4, 0.5],
+    ]);
+    let b = Matrix::from_rows(&[
+        vec![1.0, 2.0],
+        vec![-1.0, 0.0],
+        vec![0.0, 1e-20],
+        vec![3.0, -3.0],
+        vec![0.5, 0.25],
+    ]);
+    let tol = contraction_tol(5, a.max_abs(), b.max_abs());
+    assert_matrices_match(
+        &a.matmul(&b),
+        &a.matmul_naive(&b),
+        tol,
+        "adversarial matmul",
+    );
+    let bt = b.transpose(); // 2 x 5
+    assert_matrices_match(
+        &a.matmul_transpose_b(&bt),
+        &a.matmul_naive(&b),
+        tol,
+        "adversarial matmul_transpose_b",
+    );
+}
+
+#[test]
+fn matmul_associativity_sanity_against_double_precision() {
+    // One direct f64 cross-check so the reference itself is anchored to ground truth.
+    let mut rng = StdRng::seed_from_u64(77);
+    let a = Matrix::random_normal(9, 23, 1.0, &mut rng);
+    let b = Matrix::random_normal(23, 11, 1.0, &mut rng);
+    let fast = a.matmul(&b);
+    for r in 0..9 {
+        for c in 0..11 {
+            let exact: f64 = (0..23)
+                .map(|k| a.get(r, k) as f64 * b.get(k, c) as f64)
+                .sum();
+            assert!(
+                (fast.get(r, c) as f64 - exact).abs() < 1e-4,
+                "entry ({r},{c}) drifted from f64 ground truth"
+            );
+        }
+    }
+}

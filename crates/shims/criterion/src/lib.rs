@@ -1,0 +1,178 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro/API surface the workspace's benches use — [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], `bench_function`, `Bencher::iter`,
+//! [`black_box`] — and measures wall-clock time with a warmup phase, automatic
+//! per-sample iteration calibration, and a median/min/max report per benchmark.
+//! It is intentionally far simpler than real criterion (no statistics engine, no
+//! HTML reports) but emits stable one-line results that the repo's benchmark logs
+//! can track over time.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects per-sample timings and prints a summary line.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(300),
+            target_sample_time: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the warmup duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the wall-clock target per timed sample.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_sample_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints `name  time: [min median max]`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            target_sample_time: self.target_sample_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut per_iter: Vec<f64> = bencher.samples_ns;
+        if per_iter.is_empty() {
+            println!("{name:<48} time: [no samples]");
+            return self;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{name:<48} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+        self
+    }
+}
+
+/// Per-benchmark measurement state handed to the closure of `bench_function`.
+pub struct Bencher {
+    warmup: Duration,
+    target_sample_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times the routine: warmup, calibrate iterations per sample, record samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup, also yielding a per-iteration estimate for calibration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let iters_per_sample =
+            ((self.target_sample_time.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 40 + 2)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

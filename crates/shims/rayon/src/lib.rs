@@ -1,0 +1,278 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate re-implements the small
+//! parallel-iterator subset the workspace uses — `par_iter`, `par_chunks`,
+//! `par_chunks_mut`, `into_par_iter` on ranges, with `enumerate` / `map` / `for_each` /
+//! `collect` — on top of `std::thread::scope`.
+//!
+//! Work distribution is a shared atomic cursor over an eagerly materialized item list;
+//! results are written into pre-allocated slots so `collect` preserves input order exactly
+//! like real rayon. Thread count follows `RAYON_NUM_THREADS` when set, otherwise
+//! `std::thread::available_parallelism()`; everything degrades to a plain sequential loop
+//! on a single hardware thread (or for single-item workloads).
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the pool-less scheduler will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One write-once result slot per input item; indices are disjoint across workers.
+struct Slots<R>(Vec<UnsafeCell<Option<R>>>);
+
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+thread_local! {
+    /// `true` inside a worker thread of an outer `drive` call. Nested parallel iterators
+    /// (e.g. a parallel GEMM inside a parallel query-block loop) run sequentially instead
+    /// of spawning threads-inside-threads — the outer loop already saturates the cores.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` over `items`, preserving order in the returned vector.
+fn drive<I: Send, R: Send, F: Fn(I) -> R + Sync>(items: Vec<I>, f: F) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 || IN_WORKER.get() {
+        return items.into_iter().map(f).collect();
+    }
+
+    let mut slots = Slots((0..n).map(|_| UnsafeCell::new(None)).collect());
+    {
+        // Hand items out through per-index cells so any worker can claim any index.
+        let work: Vec<UnsafeCell<Option<I>>> = items
+            .into_iter()
+            .map(|i| UnsafeCell::new(Some(i)))
+            .collect();
+        let work = Slots(work);
+        let cursor = AtomicUsize::new(0);
+        let slots_ref = &slots;
+        let work_ref = &work;
+        let f_ref = &f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IN_WORKER.set(true);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // SAFETY: the atomic cursor hands each index to exactly one
+                        // worker, so every cell is taken/written by a single thread.
+                        let item =
+                            unsafe { (*work_ref.0[i].get()).take() }.expect("item claimed once");
+                        let result = f_ref(item);
+                        unsafe { *slots_ref.0[i].get() = Some(result) };
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .0
+        .iter_mut()
+        .map(|c| c.get_mut().take().expect("every slot filled"))
+        .collect()
+}
+
+/// An eager parallel iterator: the item list is materialized, execution happens at the
+/// terminal operation (`for_each` / `collect`).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A mapped parallel iterator awaiting its terminal operation.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily maps items; run with `.collect()` or `.for_each()`.
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` over all items in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        drive(self.items, f);
+    }
+
+    /// Collects the items (order preserved).
+    pub fn collect<C: From<Vec<I>>>(self) -> C {
+        C::from(self.items)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> ParMap<I, F> {
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(drive(self.items, self.f))
+    }
+
+    /// Executes the map in parallel, discarding results.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        drive(self.items, move |i| g(f(i)));
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over item references.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over contiguous chunks of (at most) `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "par_chunks: chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable contiguous chunks of (at most) `size` items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator (ranges and vectors).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Everything call sites need, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_touch_every_element_once() {
+        let mut xs = vec![0u32; 997];
+        xs.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (i, &v) in xs.iter().enumerate() {
+            assert_eq!(v, 1 + (i / 64) as u32);
+        }
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        let count = AtomicUsize::new(0);
+        (0..257).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn nested_parallel_iterators_run_inline_and_stay_correct() {
+        // On multicore hosts the inner iterator must detect it is inside an outer worker
+        // and run inline (no threads-inside-threads); results are identical either way.
+        let xs: Vec<usize> = (0..64).collect();
+        let nested: Vec<usize> = xs
+            .par_iter()
+            .map(|&x| {
+                let inner: Vec<usize> = (0..8).into_par_iter().map(|y| x * 8 + y).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expected: Vec<usize> = (0..64).map(|x| (0..8).map(|y| x * 8 + y).sum()).collect();
+        assert_eq!(nested, expected);
+    }
+
+    #[test]
+    fn par_chunks_shapes() {
+        let xs: Vec<u8> = (0..10).collect();
+        let sizes: Vec<usize> = xs.par_chunks(4).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the minimal
+//! contract the workspace needs: a [`Serialize`] trait that lowers a value into an owned
+//! JSON [`Value`] tree, implementations for the primitive / container types used by the
+//! benchmark harness, and a `#[derive(Serialize)]` macro (re-exported from
+//! `serde_derive`) for plain structs and fieldless enums.
+//!
+//! `serde_json` (the sibling shim) pretty-prints the [`Value`] tree.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An owned JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like browsers do).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Lowers `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_serialize_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for stable output (HashMap iteration order is unspecified).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_nodes() {
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(3usize.to_value(), Value::Number(3.0));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+    }
+
+    #[test]
+    fn tuples_and_maps() {
+        assert_eq!(
+            (1u8, "x").to_value(),
+            Value::Array(vec![Value::Number(1.0), Value::String("x".into())])
+        );
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(
+            m.to_value(),
+            Value::Object(vec![
+                ("a".into(), Value::Number(1.0)),
+                ("b".into(), Value::Number(2.0)),
+            ])
+        );
+    }
+}

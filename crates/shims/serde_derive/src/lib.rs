@@ -1,0 +1,251 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace actually uses —
+//! non-generic structs with named fields, tuple structs, unit structs, and fieldless
+//! enums — by walking the raw [`proc_macro::TokenStream`] (no `syn`/`quote`, which are
+//! unavailable offline). Deriving on generic items is a compile error with a clear
+//! message rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim trait: `fn to_value(&self) -> serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code
+            .parse()
+            .expect("serde_derive: generated code must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "derive(Serialize): expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "derive(Serialize): expected type name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) shim does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                let entries = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), serde::Serialize::to_value(&self.{f}))",
+                            f
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Ok(impl_block(
+                    &name,
+                    &format!("serde::Value::Object(vec![{entries}])"),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                let items = (0..arity)
+                    .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Ok(impl_block(
+                    &name,
+                    &format!("serde::Value::Array(vec![{items}])"),
+                ))
+            }
+            _ => Ok(impl_block(&name, "serde::Value::Null")), // unit struct
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = enum_variants(g.stream())?;
+                let arms = variants
+                    .iter()
+                    .map(|v| format!("{name}::{v} => serde::Value::String({v:?}.to_string()),"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                Ok(impl_block(&name, &format!("match self {{ {arms} }}")))
+            }
+            other => Err(format!("derive(Serialize): malformed enum body {other:?}")),
+        },
+        other => Err(format!(
+            "derive(Serialize): unsupported item kind `{other}`"
+        )),
+    }
+}
+
+fn impl_block(name: &str, body: &str) -> String {
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Field names of a `{ ... }` struct body: idents directly followed by `:` at depth 0,
+/// with attributes and visibility skipped.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility in front of the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        fields.push(id.to_string());
+                        i += 2;
+                        // Skip the type: everything until a comma outside `<...>` nesting
+                        // (angle brackets arrive as plain puncts in the token tree).
+                        let mut depth = 0i32;
+                        while i < tokens.len() {
+                            if let TokenTree::Punct(p) = &tokens[i] {
+                                match p.as_char() {
+                                    '<' => depth += 1,
+                                    '>' => depth -= 1,
+                                    ',' if depth == 0 => {
+                                        i += 1;
+                                        break;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "derive(Serialize): expected `:` after field `{id}`, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            other => return Err(format!("derive(Serialize): unexpected token {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of comma-separated entries in a tuple-struct body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add an entry.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        arity -= 1;
+    }
+    arity
+}
+
+/// Variant names of a fieldless enum; variants with payloads are rejected.
+fn enum_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    None => variants.push(name),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        variants.push(name);
+                        i += 1;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Discriminant: `Name = expr,`
+                        variants.push(name);
+                        while i < tokens.len() {
+                            if matches!(&tokens[i], TokenTree::Punct(q) if q.as_char() == ',') {
+                                i += 1;
+                                break;
+                            }
+                            i += 1;
+                        }
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "derive(Serialize) shim only supports fieldless enum variants; \
+                             `{name}` is followed by {other:?}"
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "derive(Serialize): unexpected enum token {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -51,14 +51,20 @@ pub fn char_ngram_dice(a: &str, b: &str, n: usize) -> f32 {
 }
 
 fn char_ngrams(s: &str, n: usize) -> Vec<String> {
-    let chars: Vec<char> = s.to_lowercase().chars().filter(|c| !c.is_whitespace()).collect();
+    let chars: Vec<char> = s
+        .to_lowercase()
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
     if chars.len() < n {
         if chars.is_empty() {
             return Vec::new();
         }
         return vec![chars.iter().collect()];
     }
-    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
 }
 
 /// Levenshtein edit distance (used by the Baran-like corrector to rank typo fixes).

@@ -15,7 +15,9 @@ pub struct Record {
 impl Record {
     /// Creates an empty record.
     pub fn new() -> Self {
-        Record { attributes: Vec::new() }
+        Record {
+            attributes: Vec::new(),
+        }
     }
 
     /// Creates a record from `(attribute, value)` pairs.
@@ -26,7 +28,10 @@ impl Record {
         V: Into<String>,
     {
         Record {
-            attributes: pairs.into_iter().map(|(a, v)| (a.into(), v.into())).collect(),
+            attributes: pairs
+                .into_iter()
+                .map(|(a, v)| (a.into(), v.into()))
+                .collect(),
         }
     }
 
@@ -47,7 +52,9 @@ impl Record {
 
     /// Iterates over `(attribute, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.attributes.iter().map(|(a, v)| (a.as_str(), v.as_str()))
+        self.attributes
+            .iter()
+            .map(|(a, v)| (a.as_str(), v.as_str()))
     }
 
     /// All attribute names in order.
@@ -131,7 +138,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
-        Table { name: name.into(), columns, rows: Vec::new() }
+        Table {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row built from values aligned with the schema.
@@ -201,7 +212,10 @@ impl Column {
         I: IntoIterator<Item = V>,
         V: Into<String>,
     {
-        Column { name: None, values: values.into_iter().map(Into::into).collect() }
+        Column {
+            name: None,
+            values: values.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Creates a named column.
@@ -241,7 +255,8 @@ mod tests {
 
     #[test]
     fn record_roundtrip() {
-        let mut r = Record::from_pairs([("title", "instant immersion spanish"), ("price", "36.11")]);
+        let mut r =
+            Record::from_pairs([("title", "instant immersion spanish"), ("price", "36.11")]);
         assert_eq!(r.len(), 2);
         assert_eq!(r.get("price"), Some("36.11"));
         assert_eq!(r.value_at(0), Some("instant immersion spanish"));

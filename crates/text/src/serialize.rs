@@ -122,7 +122,10 @@ mod tests {
     use super::*;
 
     fn sample_record() -> Record {
-        Record::from_pairs([("title", "instant immers spanish dlux 2"), ("price", "36.11")])
+        Record::from_pairs([
+            ("title", "instant immers spanish dlux 2"),
+            ("price", "36.11"),
+        ])
     }
 
     #[test]
@@ -154,10 +157,7 @@ mod tests {
     #[test]
     fn column_serialization_caps_length() {
         let c = Column::named("state", ["New York", "California", "Florida"]);
-        assert_eq!(
-            serialize_column(&c, 2),
-            "[VAL] New York [VAL] California"
-        );
+        assert_eq!(serialize_column(&c, 2), "[VAL] New York [VAL] California");
         assert!(serialize_column_with_name(&c, 1).starts_with("[COL] state [VAL]"));
         let anon = Column::from_values(["a"]);
         assert_eq!(serialize_column_with_name(&anon, 5), "[VAL] a");

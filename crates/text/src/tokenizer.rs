@@ -84,7 +84,11 @@ pub struct VocabConfig {
 
 impl Default for VocabConfig {
     fn default() -> Self {
-        VocabConfig { max_size: 20_000, min_count: 1, hash_buckets: 512 }
+        VocabConfig {
+            max_size: 20_000,
+            min_count: 1,
+            hash_buckets: 512,
+        }
     }
 }
 
@@ -128,11 +132,18 @@ impl Vocab {
             token_to_id.insert(token.clone(), id);
             id_to_token.push(token);
         }
-        Vocab { token_to_id, id_to_token, hash_buckets: config.hash_buckets }
+        Vocab {
+            token_to_id,
+            id_to_token,
+            hash_buckets: config.hash_buckets,
+        }
     }
 
     /// Builds a vocabulary directly from raw (unserialized) strings.
-    pub fn build_from_texts<'a>(texts: impl IntoIterator<Item = &'a str>, config: &VocabConfig) -> Self {
+    pub fn build_from_texts<'a>(
+        texts: impl IntoIterator<Item = &'a str>,
+        config: &VocabConfig,
+    ) -> Self {
         let tokenized: Vec<Vec<String>> = texts.into_iter().map(tokenize).collect();
         Vocab::build(tokenized.iter().map(|t| t.as_slice()), config)
     }
@@ -219,15 +230,18 @@ mod tests {
 
     #[test]
     fn vocab_assigns_stable_ids_and_hashes_oov() {
-        let docs = vec![
+        let docs = [
             tokenize("canon ink cartridge cyan"),
             tokenize("canon printer ink"),
         ];
-        let vocab = Vocab::build(docs.iter().map(|d| d.as_slice()), &VocabConfig {
-            max_size: 100,
-            min_count: 1,
-            hash_buckets: 16,
-        });
+        let vocab = Vocab::build(
+            docs.iter().map(|d| d.as_slice()),
+            &VocabConfig {
+                max_size: 100,
+                min_count: 1,
+                hash_buckets: 16,
+            },
+        );
         // Most frequent tokens get the smallest post-special ids.
         let canon = vocab.id_of("canon");
         let ink = vocab.id_of("ink");
@@ -246,7 +260,11 @@ mod tests {
     fn vocab_without_buckets_maps_oov_to_unk() {
         let vocab = Vocab::build_from_texts(
             ["alpha beta"],
-            &VocabConfig { max_size: 10, min_count: 1, hash_buckets: 0 },
+            &VocabConfig {
+                max_size: 10,
+                min_count: 1,
+                hash_buckets: 0,
+            },
         );
         assert_eq!(vocab.id_of("gamma"), special::UNK);
     }
@@ -255,7 +273,11 @@ mod tests {
     fn min_count_filters_rare_tokens() {
         let vocab = Vocab::build_from_texts(
             ["common common rare"],
-            &VocabConfig { max_size: 10, min_count: 2, hash_buckets: 0 },
+            &VocabConfig {
+                max_size: 10,
+                min_count: 2,
+                hash_buckets: 0,
+            },
         );
         assert!(vocab.id_of("common") >= special::COUNT);
         assert_eq!(vocab.id_of("rare"), special::UNK);

@@ -30,30 +30,48 @@ fn main() {
         }
     }
     let (train, valid, test) = sample_labeled_pairs(&corpus, &candidates, 400, 5);
-    println!("labeled pairs: {} train / {} valid / {} test", train.len(), valid.len(), test.len());
+    println!(
+        "labeled pairs: {} train / {} valid / {} test",
+        train.len(),
+        valid.len(),
+        test.len()
+    );
 
     // Feature-based baselines (the paper's Table XII grid; GBT is their best classifier).
-    for (featurizer, name) in [(ColumnFeaturizer::Sherlock, "Sherlock-GBT"), (ColumnFeaturizer::Sato, "Sato-GBT")] {
-        let result = run_column_baseline(&corpus, featurizer, PairClassifier::GBT, &train, &valid, &test, 5);
+    for (featurizer, name) in [
+        (ColumnFeaturizer::Sherlock, "Sherlock-GBT"),
+        (ColumnFeaturizer::Sato, "Sato-GBT"),
+    ] {
+        let result = run_column_baseline(
+            &corpus,
+            featurizer,
+            PairClassifier::GBT,
+            &train,
+            &valid,
+            &test,
+            5,
+        );
         println!("{name:<14} test F1 = {:.3}", result.test.f1);
     }
 
     // Sudowoodo column matching + cluster discovery.
-    let mut config = SudowoodoConfig::default();
-    config.encoder = EncoderConfig {
-        kind: EncoderKind::MeanPool,
-        dim: 32,
-        layers: 1,
-        heads: 2,
-        ff_hidden: 64,
-        max_len: 32,
+    let config = SudowoodoConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
+        projector_dim: 32,
+        pretrain_epochs: 2,
+        batch_size: 16,
+        max_corpus_size: 800,
+        finetune_epochs: 4,
+        blocking_k: 10,
+        ..SudowoodoConfig::default()
     };
-    config.projector_dim = 32;
-    config.pretrain_epochs = 2;
-    config.batch_size = 16;
-    config.max_corpus_size = 800;
-    config.finetune_epochs = 4;
-    config.blocking_k = 10;
     let result = ColumnPipeline::new(config).run(&corpus, &train, &valid, &test);
     println!("Sudowoodo      test F1 = {:.3}", result.test.f1);
     println!(

@@ -29,20 +29,22 @@ fn main() {
         println!("Raha + Baran        F1 = {:.3}", raha.correction.f1);
         println!("Perfect ED + Baran  F1 = {:.3}", perfect.correction.f1);
 
-        let mut config = SudowoodoConfig::default();
-        config.encoder = EncoderConfig {
-            kind: EncoderKind::MeanPool,
-            dim: 32,
-            layers: 1,
-            heads: 2,
-            ff_hidden: 64,
-            max_len: 40,
+        let config = SudowoodoConfig {
+            encoder: EncoderConfig {
+                kind: EncoderKind::MeanPool,
+                dim: 32,
+                layers: 1,
+                heads: 2,
+                ff_hidden: 64,
+                max_len: 40,
+            },
+            projector_dim: 32,
+            pretrain_epochs: 1,
+            batch_size: 16,
+            max_corpus_size: 800,
+            finetune_epochs: 3,
+            ..SudowoodoConfig::default()
         };
-        config.projector_dim = 32;
-        config.pretrain_epochs = 1;
-        config.batch_size = 16;
-        config.max_corpus_size = 800;
-        config.finetune_epochs = 3;
         let result = CleaningPipeline::new(config).run(&dataset, labeled_rows);
         println!(
             "Sudowoodo           F1 = {:.3} ({} corrections proposed for {} errors)",

@@ -8,21 +8,22 @@ use sudowoodo::baselines::{run_auto_fuzzy_join, run_zeroer};
 use sudowoodo::prelude::*;
 
 fn harness_config() -> SudowoodoConfig {
-    let mut config = SudowoodoConfig::default();
-    config.encoder = EncoderConfig {
-        kind: EncoderKind::MeanPool,
-        dim: 32,
-        layers: 1,
-        heads: 2,
-        ff_hidden: 64,
-        max_len: 32,
-    };
-    config.projector_dim = 32;
-    config.pretrain_epochs = 2;
-    config.batch_size = 16;
-    config.max_corpus_size = 1_000;
-    config.finetune_epochs = 4;
-    config
+    SudowoodoConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
+        projector_dim: 32,
+        pretrain_epochs: 2,
+        batch_size: 16,
+        max_corpus_size: 1_000,
+        finetune_epochs: 4,
+        ..SudowoodoConfig::default()
+    }
 }
 
 fn main() {
@@ -40,14 +41,24 @@ fn main() {
         // SimCLR (all optimizations off) vs full Sudowoodo, same label budget.
         let simclr = EmPipeline::new(harness_config().simclr()).run(&dataset, Some(label_budget));
         let sudowoodo = EmPipeline::new(harness_config()).run(&dataset, Some(label_budget));
-        println!("SimCLR    ({label_budget} labels) F1 = {:.3}", simclr.matching.f1);
-        println!("Sudowoodo ({label_budget} labels) F1 = {:.3}", sudowoodo.matching.f1);
+        println!(
+            "SimCLR    ({label_budget} labels) F1 = {:.3}",
+            simclr.matching.f1
+        );
+        println!(
+            "Sudowoodo ({label_budget} labels) F1 = {:.3}",
+            sudowoodo.matching.f1
+        );
 
         // Blocking curve (Figure 7 flavour).
         let curve = EmPipeline::new(harness_config()).blocking_curve(&dataset, &[1, 5, 10, 20]);
         println!("blocking curve (k, recall, CSSR%):");
         for (k, quality) in curve {
-            println!("  k={k:<3} recall={:.3} cssr={:.2}%", quality.recall, quality.cssr * 100.0);
+            println!(
+                "  k={k:<3} recall={:.3} cssr={:.2}%",
+                quality.recall,
+                quality.cssr * 100.0
+            );
         }
     }
 }

@@ -20,34 +20,47 @@ fn main() {
     // 2. Configure Sudowoodo. The default configuration enables all three pre-training
     //    optimizations (cutoff DA, clustering-based negatives, redundancy regularization)
     //    plus pseudo labeling; here we shrink the encoder so the example runs in seconds.
-    let mut config = SudowoodoConfig::default();
-    config.encoder = EncoderConfig {
-        kind: EncoderKind::MeanPool,
-        dim: 32,
-        layers: 1,
-        heads: 2,
-        ff_hidden: 64,
-        max_len: 32,
+    let config = SudowoodoConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
+        projector_dim: 32,
+        pretrain_epochs: 2,
+        batch_size: 16,
+        max_corpus_size: 1_000,
+        finetune_epochs: 4,
+        blocking_k: 10,
+        ..SudowoodoConfig::default()
     };
-    config.projector_dim = 32;
-    config.pretrain_epochs = 2;
-    config.batch_size = 16;
-    config.max_corpus_size = 1_000;
-    config.finetune_epochs = 4;
-    config.blocking_k = 10;
 
     // 3. Run the full pipeline with a 100-label budget (the paper's headline setting uses
     //    500 labels on larger datasets): pre-train -> block -> pseudo-label -> fine-tune.
     let result = EmPipeline::new(config).run(&dataset, Some(100));
 
     println!("\n=== Sudowoodo on {} (100 labels) ===", result.dataset);
-    println!("blocking:  recall {:.3} with {} candidates (CSSR {:.2}%)",
-        result.blocking.recall, result.blocking.num_candidates, result.blocking.cssr * 100.0);
+    println!(
+        "blocking:  recall {:.3} with {} candidates (CSSR {:.2}%)",
+        result.blocking.recall,
+        result.blocking.num_candidates,
+        result.blocking.cssr * 100.0
+    );
     if let Some((tpr, tnr)) = result.pseudo_quality {
-        println!("pseudo labels: {} generated, TPR {:.2}, TNR {:.2}", result.num_pseudo_labels, tpr, tnr);
+        println!(
+            "pseudo labels: {} generated, TPR {:.2}, TNR {:.2}",
+            result.num_pseudo_labels, tpr, tnr
+        );
     }
-    println!("matching:  precision {:.3}, recall {:.3}, F1 {:.3}",
-        result.matching.precision, result.matching.recall, result.matching.f1);
-    println!("timings:   pre-train {:.1}s, blocking {:.1}s, fine-tune {:.1}s",
-        result.timings.pretrain_secs, result.timings.blocking_secs, result.timings.finetune_secs);
+    println!(
+        "matching:  precision {:.3}, recall {:.3}, F1 {:.3}",
+        result.matching.precision, result.matching.recall, result.matching.f1
+    );
+    println!(
+        "timings:   pre-train {:.1}s, blocking {:.1}s, fine-tune {:.1}s",
+        result.timings.pretrain_secs, result.timings.blocking_secs, result.timings.finetune_secs
+    );
 }

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the data-cleaning and column-matching pipelines plus
 //! their baselines.
 
-use sudowoodo::baselines::{run_baran, run_column_baseline, ColumnFeaturizer, ErrorDetection, PairClassifier};
+use sudowoodo::baselines::{
+    run_baran, run_column_baseline, ColumnFeaturizer, ErrorDetection, PairClassifier,
+};
 use sudowoodo::datasets::columns::sample_labeled_pairs;
 use sudowoodo::prelude::*;
 
@@ -38,7 +40,12 @@ fn cleaning_pipeline_never_counts_labeled_rows_in_the_evaluation() {
 
 #[test]
 fn column_pipeline_discovers_clusters_with_reasonable_purity() {
-    let corpus = ColumnProfile { num_columns: 80, min_values: 5, max_values: 8 }.generate(1.0, 45);
+    let corpus = ColumnProfile {
+        num_columns: 80,
+        min_values: 5,
+        max_values: 8,
+    }
+    .generate(1.0, 45);
     let mut candidates = Vec::new();
     for i in 0..corpus.len() {
         if let Some(j) = (i + 1..corpus.len()).find(|&j| corpus.same_type(i, j)) {
@@ -58,7 +65,12 @@ fn column_pipeline_discovers_clusters_with_reasonable_purity() {
 
 #[test]
 fn sherlock_and_sato_baselines_run_on_the_same_splits_as_sudowoodo() {
-    let corpus = ColumnProfile { num_columns: 80, min_values: 5, max_values: 8 }.generate(1.0, 47);
+    let corpus = ColumnProfile {
+        num_columns: 80,
+        min_values: 5,
+        max_values: 8,
+    }
+    .generate(1.0, 47);
     let candidates: Vec<(usize, usize)> = (0..corpus.len() - 1).map(|i| (i, i + 1)).collect();
     let (train, valid, test) = sample_labeled_pairs(&corpus, &candidates, 60, 47);
     for featurizer in [ColumnFeaturizer::Sherlock, ColumnFeaturizer::Sato] {
@@ -71,6 +83,10 @@ fn sherlock_and_sato_baselines_run_on_the_same_splits_as_sudowoodo() {
             &test,
             47,
         );
-        assert!((0.0..=1.0).contains(&result.test.f1), "{}: invalid F1", result.method);
+        assert!(
+            (0.0..=1.0).contains(&result.test.f1),
+            "{}: invalid F1",
+            result.method
+        );
     }
 }

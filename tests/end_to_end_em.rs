@@ -31,7 +31,11 @@ fn sudowoodo_pipeline_beats_the_unsupervised_baselines_on_clean_data() {
         zeroer.matching.f1,
         autofj.matching.f1
     );
-    assert!(sudowoodo.matching.f1 > 0.3, "F1 too low: {:?}", sudowoodo.matching);
+    assert!(
+        sudowoodo.matching.f1 > 0.3,
+        "F1 too low: {:?}",
+        sudowoodo.matching
+    );
 }
 
 #[test]
@@ -52,7 +56,9 @@ fn blocking_with_learned_embeddings_reaches_high_recall_at_moderate_k() {
 fn pseudo_labels_are_mostly_correct_on_easy_data() {
     let dataset = EmProfile::dblp_acm().generate(0.1, 25);
     let result = EmPipeline::new(tiny_config()).run(&dataset, Some(40));
-    let (tpr, tnr) = result.pseudo_quality.expect("pseudo labels enabled by default");
+    let (tpr, tnr) = result
+        .pseudo_quality
+        .expect("pseudo labels enabled by default");
     // Negative pseudo labels should be almost always right (they dominate the candidate
     // space); positive ones should be clearly better than random given the 18% positive rate.
     assert!(tnr > 0.8, "TNR too low: {tnr}");
@@ -63,7 +69,11 @@ fn pseudo_labels_are_mostly_correct_on_easy_data() {
 fn ablation_variants_and_ditto_all_run_on_the_same_dataset() {
     let dataset = EmProfile::abt_buy().generate(0.08, 27);
     let config = tiny_config();
-    for variant in [config.clone().simclr(), config.clone().without("PL"), config.clone()] {
+    for variant in [
+        config.clone().simclr(),
+        config.clone().without("PL"),
+        config.clone(),
+    ] {
         let name = variant.variant_name();
         let result = EmPipeline::new(variant).run(&dataset, Some(30));
         assert!(
