@@ -6,15 +6,32 @@
 //! kNN-join retrieval, which preserves the comparison the paper makes: Sudowoodo's
 //! contrastively learned embeddings retrieve the same recall with a smaller candidate set
 //! than a blocker whose representation is not trained for entity similarity.
+//!
+//! Retrieval goes through [`ShardedCosineIndex`]: the right table is ingested into
+//! fixed-capacity shards and each query tile is scored shard-by-shard, so the baseline
+//! scales past the point where the old `|A| x |B|` score matrix would have blown memory.
 
-use sudowoodo_cluster::tfidf::{to_dense_matrix, TfIdfVectorizer};
+use sudowoodo_cluster::tfidf::{add_into_dense, SparseVector, TfIdfVectorizer};
 use sudowoodo_datasets::em::EmDataset;
-use sudowoodo_index::{evaluate_blocking, BlockingQuality};
+use sudowoodo_index::{evaluate_blocking, BlockingQuality, ShardedCosineIndex};
 use sudowoodo_text::serialize::serialize_record;
 
-/// Above this `rows * features` element count the dense GEMM scoring path would allocate
-/// too much; fall back to per-pair sparse dots.
+/// Above this `rows * features` element count, densifying the TF-IDF vectors would
+/// allocate too much; fall back to per-pair sparse dots. (The pairwise *score* matrix no
+/// longer constrains the dense path: the sharded index scores `query-tile x shard` GEMM
+/// blocks, never the full `|A| x |B|` product.)
 const DENSE_SCORE_LIMIT: usize = 8_000_000;
+
+/// Rows per shard of the TF-IDF blocking index. The shard is the unit of parallel GEMM
+/// scoring and of ingestion, so it should comfortably exceed the 256-row query tile.
+const SHARD_CAPACITY: usize = 2048;
+
+/// Densifies one sparse TF-IDF vector into a `features`-length row.
+fn densify(v: &SparseVector, features: usize) -> Vec<f32> {
+    let mut row = vec![0.0f32; features];
+    add_into_dense(&mut row, v);
+    row
+}
 
 /// A blocking run for one `k`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -33,24 +50,23 @@ pub fn run_dlblock_curve(dataset: &EmDataset, ks: &[usize]) -> Vec<BlockingRun> 
     let vec_a = vectorizer.transform_all(texts_a.iter().map(|s| s.as_str()));
     let vec_b = vectorizer.transform_all(texts_b.iter().map(|s| s.as_str()));
 
-    // Score all pairs once, then take prefixes per k. When the feature space densifies
-    // comfortably, the whole A x B score matrix is one fused `A * B^T` GEMM over the
-    // blocked kernels; otherwise fall back to per-pair sparse dots.
+    // Retrieve the top-max_k neighbours once, then take prefixes per k. When the feature
+    // space densifies comfortably, retrieval is a sharded kNN join — rayon-parallel
+    // `query-tile x shard^T` GEMM blocks with deterministic bounded-heap top-k selection,
+    // so the full |A| x |B| score matrix is never materialized; otherwise fall back to
+    // per-pair sparse dots.
     let max_k = *ks.iter().max().unwrap_or(&1);
     let features = vectorizer.num_features();
-    // Both the densified inputs AND the |A| x |B| score matrix must stay bounded.
-    let dense_ok = (vec_a.len().max(vec_b.len())).saturating_mul(features) <= DENSE_SCORE_LIMIT
-        && vec_a.len().saturating_mul(vec_b.len()) <= DENSE_SCORE_LIMIT;
+    let dense_ok = (vec_a.len().max(vec_b.len())).saturating_mul(features) <= DENSE_SCORE_LIMIT;
     let mut neighbours: Vec<Vec<(usize, f32)>> = Vec::with_capacity(vec_a.len());
     if dense_ok && features > 0 {
-        let dense_a = to_dense_matrix(&vec_a, features);
-        let dense_b = to_dense_matrix(&vec_b, features);
-        let scores = dense_a.matmul_transpose_b(&dense_b); // |A| x |B| cosine tile
-        for i in 0..vec_a.len() {
-            let mut scored: Vec<(usize, f32)> = scores.row(i).iter().copied().enumerate().collect();
-            scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
-            scored.truncate(max_k);
-            neighbours.push(scored);
+        let corpus_b: Vec<Vec<f32>> = vec_b.iter().map(|v| densify(v, features)).collect();
+        let queries_a: Vec<Vec<f32>> = vec_a.iter().map(|v| densify(v, features)).collect();
+        let index = ShardedCosineIndex::from_vectors(&corpus_b, SHARD_CAPACITY);
+        neighbours.resize(vec_a.len(), Vec::new());
+        // The join is ordered by query index, then descending score (ascending id ties).
+        for (query, id, score) in index.knn_join(&queries_a, max_k) {
+            neighbours[query].push((id, score));
         }
     } else {
         for a in &vec_a {

@@ -17,7 +17,7 @@ use sudowoodo_core::config::{EncoderConfig, EncoderKind, SudowoodoConfig};
 use sudowoodo_core::encoder::Encoder;
 use sudowoodo_core::loss::{barlow_twins_loss, combined_loss, nt_xent_loss};
 use sudowoodo_datasets::em::EmProfile;
-use sudowoodo_index::CosineIndex;
+use sudowoodo_index::{CosineIndex, ShardedCosineIndex};
 use sudowoodo_nn::matrix::Matrix;
 use sudowoodo_nn::tape::Tape;
 use sudowoodo_text::serialize::serialize_record;
@@ -55,9 +55,27 @@ fn bench_knn_join(c: &mut Criterion) {
     let queries: Vec<Vec<f32>> = (0..10_000)
         .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
         .collect();
-    let index = CosineIndex::build(corpus);
+    let index = CosineIndex::build(corpus.clone());
     c.bench_function("knn_join_10kx10k_k20", |bench| {
         bench.iter(|| black_box(index.knn_join(black_box(&queries), 20)))
+    });
+    // Sharded variants: same join through fixed-capacity shards (the streaming layout).
+    for capacity in [1024usize, 4096] {
+        let sharded = ShardedCosineIndex::from_vectors(&corpus, capacity);
+        c.bench_function(
+            &format!("knn_join_sharded_cap{capacity}_10kx10k_k20"),
+            |bench| bench.iter(|| black_box(sharded.knn_join(black_box(&queries), 20))),
+        );
+    }
+    // Streaming ingestion: building the sharded index batch-by-batch.
+    c.bench_function("sharded_add_batch_10k_cap1024", |bench| {
+        bench.iter(|| {
+            let mut sharded = ShardedCosineIndex::new(1024);
+            for chunk in corpus.chunks(500) {
+                sharded.add_batch(black_box(chunk));
+            }
+            black_box(sharded.len())
+        })
     });
 }
 

@@ -3,19 +3,23 @@
 //! Run with `cargo run --release -p sudowoodo-bench --bin fig09_11_runtime`.
 //! Environment: `SUDOWOODO_SCALE`, `SUDOWOODO_QUICK`, `SUDOWOODO_SEED`, `SUDOWOODO_LABELS`.
 //!
-//! Besides the paper's runtime table, this binary measures the two primitives that
-//! dominate end-to-end time — batched encoding (`embed_all`, records/sec) and the
-//! GEMM-tiled blocking join (`knn_join`, pairs/sec) — and writes them to
-//! `target/experiments/fig09_11_throughput.json` so successive benchmark logs track the
-//! performance trajectory.
+//! Besides the paper's runtime table, this binary measures the primitives that dominate
+//! end-to-end time — batched encoding (`embed_all`, records/sec) and the GEMM-tiled
+//! blocking join (`knn_join`, pairs/sec) in both the dense and the streaming sharded
+//! layout — and writes them to `target/experiments/fig09_11_throughput.json` so
+//! successive benchmark logs track the performance trajectory.
 
 use sudowoodo_bench::experiments::fig09_11_runtime;
 use sudowoodo_bench::harness::{StageThroughput, Throughput};
 use sudowoodo_bench::{HarnessConfig, ResultWriter};
 use sudowoodo_core::encoder::Encoder;
 use sudowoodo_datasets::em::EmProfile;
-use sudowoodo_index::CosineIndex;
+use sudowoodo_index::{CosineIndex, ShardedCosineIndex};
 use sudowoodo_text::serialize::serialize_record;
+
+/// Shard capacity of the streaming-join throughput stage (comfortably above the 256-row
+/// query tile so each shard is still one big GEMM block).
+const SHARD_CAPACITY: usize = 1024;
 
 fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
     let dataset = EmProfile::abt_buy().generate(config.scale.max(0.2), config.seed);
@@ -31,9 +35,16 @@ fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
     let (emb_b, _) = Throughput::measure(texts_b.len(), 0, || encoder.embed_all(&texts_b));
 
     let k = 10;
-    let index = CosineIndex::build(emb_b);
+    let index = CosineIndex::build(emb_b.clone());
     let scored_pairs = emb_a.len() * index.len();
     let (_, join_t) = Throughput::measure(emb_a.len(), scored_pairs, || index.knn_join(&emb_a, k));
+
+    // The same join through the streaming sharded layout (ingestion included, since that
+    // is what a streaming deployment pays per refresh).
+    let (_, sharded_t) = Throughput::measure(emb_a.len(), scored_pairs, || {
+        let sharded = ShardedCosineIndex::from_vectors(&emb_b, SHARD_CAPACITY);
+        sharded.knn_join(&emb_a, k)
+    });
 
     vec![
         StageThroughput {
@@ -45,6 +56,11 @@ fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
             stage: "knn_join".into(),
             workload: format!("{} k={k}", dataset.name),
             throughput: join_t,
+        },
+        StageThroughput {
+            stage: "knn_join_sharded".into(),
+            workload: format!("{} k={k} cap={SHARD_CAPACITY}", dataset.name),
+            throughput: sharded_t,
         },
     ]
 }

@@ -24,7 +24,7 @@ use sudowoodo_bench::harness::print_table;
 use sudowoodo_bench::ResultWriter;
 use sudowoodo_core::config::{EncoderConfig, EncoderKind};
 use sudowoodo_core::encoder::Encoder;
-use sudowoodo_index::CosineIndex;
+use sudowoodo_index::{CosineIndex, ShardedCosineIndex};
 use sudowoodo_nn::matrix::Matrix;
 use sudowoodo_nn::tape::Tape;
 
@@ -200,6 +200,17 @@ fn knn_rows(rows: &mut Vec<SpeedupRow>) {
         naive_secs: naive,
         fast_secs: fast,
         speedup: naive / fast,
+    });
+
+    // The streaming sharded layout over the same workload: shard-by-shard GEMM tiles with
+    // the bounded-heap merge, versus the same scalar scan.
+    let sharded = ShardedCosineIndex::from_vectors(&corpus, 1024);
+    let fast_sharded = time(2, || sharded.knn_join(&queries, k));
+    rows.push(SpeedupRow {
+        case: format!("knn_join sharded cap=1024 (d={dim}, k={k})"),
+        naive_secs: naive,
+        fast_secs: fast_sharded,
+        speedup: naive / fast_sharded,
     });
 }
 

@@ -8,7 +8,7 @@
 //! Two performance/robustness properties of this implementation:
 //!
 //! * **Kernel-routed assignment** — when the corpus fits a dense `n x F` matrix
-//!   ([`DENSE_ASSIGN_LIMIT`]), every Lloyd assignment step is one fused
+//!   (`DENSE_ASSIGN_LIMIT`), every Lloyd assignment step is one fused
 //!   `points * centroids^T` GEMM tile ([`Matrix::matmul_transpose_b`]) followed by a
 //!   per-row argmax; otherwise a rayon-parallel sparse scoring path is used. Both paths
 //!   share the argmax tie-break (smallest cluster index), so results are deterministic.

@@ -3,7 +3,7 @@
 //! Clustering utilities for the Sudowoodo reproduction:
 //!
 //! * [`tfidf`] — sparse TF-IDF featurization of serialized data items;
-//! * [`kmeans`] — spherical k-means over the sparse vectors;
+//! * [`mod@kmeans`] — spherical k-means over the sparse vectors;
 //! * [`batching`] — the clustering-based negative sampler of Algorithm 2 (mini-batches drawn
 //!   within lexical clusters so that in-batch negatives are "hard"), plus uniform batching
 //!   for the SimCLR baseline;

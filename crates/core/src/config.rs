@@ -124,6 +124,12 @@ pub struct SudowoodoConfig {
     // ---- blocking ------------------------------------------------------------------------
     /// Number of nearest neighbours retrieved per item during blocking.
     pub blocking_k: usize,
+    /// Shard capacity of the blocking index. `None` keeps the whole corpus in one dense
+    /// matrix (fastest for static in-memory corpora); `Some(c)` routes blocking through
+    /// the streaming `ShardedCosineIndex` with `c` rows per shard — same results, but the
+    /// corpus is scored shard-by-shard so it can grow incrementally and never needs one
+    /// monolithic allocation.
+    pub blocking_shard_capacity: Option<usize>,
 
     /// Random seed controlling every stochastic choice.
     pub seed: u64,
@@ -156,6 +162,7 @@ impl Default for SudowoodoConfig {
             finetune_lr: 5e-4,
             use_diff_head: true,
             blocking_k: 10,
+            blocking_shard_capacity: None,
             seed: 42,
         }
     }

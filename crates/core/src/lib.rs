@@ -11,7 +11,7 @@
 //!   standing in for the paper's RoBERTa/DistilBERT);
 //! * [`loss`] — the SimCLR contrastive loss, the Barlow Twins redundancy-regularization
 //!   loss, and their combination (Equations 1–6);
-//! * [`pretrain`] — Algorithm 1 with the three optimizations of §IV (cutoff augmentation,
+//! * [`mod@pretrain`] — Algorithm 1 with the three optimizations of §IV (cutoff augmentation,
 //!   clustering-based negative sampling, redundancy regularization);
 //! * [`pseudo`] — pseudo labeling from the learned similarity space (§III-C);
 //! * [`matcher`] — the pairwise matching model `M_pm` with the similarity-aware fine-tuning

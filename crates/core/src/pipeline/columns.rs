@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use sudowoodo_cluster::{cluster_purity, connected_components};
 use sudowoodo_datasets::columns::{ColumnCorpus, ColumnPair};
-use sudowoodo_index::CosineIndex;
+use sudowoodo_index::BlockingIndex;
 use sudowoodo_ml::metrics::{best_f1_threshold, PrF1};
 
 use crate::config::SudowoodoConfig;
@@ -57,9 +57,10 @@ impl ColumnPipeline {
     }
 
     /// Blocking over the column corpus: kNN self-join (excluding self-pairs), returning
-    /// candidate `(i, j)` pairs with `i < j`.
+    /// candidate `(i, j)` pairs with `i < j`. The index layout (dense or streaming
+    /// sharded) follows `config.blocking_shard_capacity`; results are identical.
     pub fn block(&self, corpus: &ColumnCorpus, embeddings: &[Vec<f32>]) -> Vec<(usize, usize)> {
-        let index = CosineIndex::build(embeddings.to_vec());
+        let index = BlockingIndex::build(embeddings.to_vec(), self.config.blocking_shard_capacity);
         let mut pairs = Vec::new();
         for (i, e) in embeddings.iter().enumerate() {
             for hit in index.top_k(e, self.config.blocking_k + 1) {
@@ -197,6 +198,27 @@ mod tests {
         assert!(result.num_clusters <= corpus.len());
         assert!(result.purity >= 0.0 && result.purity <= 1.0);
         assert!(result.blocking_secs >= 0.0 && result.matching_secs > 0.0);
+    }
+
+    #[test]
+    fn sharded_column_blocking_matches_dense() {
+        let corpus = ColumnProfile {
+            num_columns: 24,
+            min_values: 4,
+            max_values: 6,
+        }
+        .generate(1.0, 11);
+        let dense_pipeline = ColumnPipeline::new(tiny_config());
+        let mut sharded_config = tiny_config();
+        sharded_config.blocking_shard_capacity = Some(5);
+        let sharded_pipeline = ColumnPipeline::new(sharded_config);
+        let texts = corpus.corpus(MAX_COLUMN_VALUES);
+        let (encoder, _) = pretrain(&texts, &dense_pipeline.config);
+        let embeddings = encoder.embed_all(&texts);
+        assert_eq!(
+            dense_pipeline.block(&corpus, &embeddings),
+            sharded_pipeline.block(&corpus, &embeddings)
+        );
     }
 
     #[test]

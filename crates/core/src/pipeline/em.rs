@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use sudowoodo_datasets::em::{EmDataset, LabeledPair};
-use sudowoodo_index::{evaluate_blocking, BlockingQuality, CosineIndex};
+use sudowoodo_index::{evaluate_blocking, BlockingIndex, BlockingQuality};
 use sudowoodo_ml::metrics::{best_f1_threshold, PrF1};
 use sudowoodo_text::serialize::serialize_record;
 
@@ -84,6 +84,10 @@ impl EmPipeline {
 
     /// Runs kNN blocking with a given encoder, returning scored candidate pairs
     /// `(a_index, b_index, cosine)` and the blocking quality at `k`.
+    ///
+    /// The right-table index layout follows `config.blocking_shard_capacity`: dense
+    /// (one corpus matrix) by default, or the streaming sharded index — results are
+    /// identical either way, only the memory/ingestion profile changes.
     pub fn block(
         &self,
         encoder: &Encoder,
@@ -93,7 +97,7 @@ impl EmPipeline {
         let (texts_a, texts_b) = Self::serialize_tables(dataset);
         let emb_a = encoder.embed_all(&texts_a);
         let emb_b = encoder.embed_all(&texts_b);
-        let index = CosineIndex::build(emb_b);
+        let index = BlockingIndex::build(emb_b, self.config.blocking_shard_capacity);
         let candidates = index.knn_join(&emb_a, k);
         let pairs: Vec<(usize, usize)> = candidates.iter().map(|&(a, b, _)| (a, b)).collect();
         let quality = evaluate_blocking(
@@ -116,7 +120,7 @@ impl EmPipeline {
         let (texts_a, texts_b) = Self::serialize_tables(dataset);
         let emb_a = encoder.embed_all(&texts_a);
         let emb_b = encoder.embed_all(&texts_b);
-        let index = CosineIndex::build(emb_b);
+        let index = BlockingIndex::build(emb_b, self.config.blocking_shard_capacity);
         ks.iter()
             .map(|&k| {
                 let candidates = index.knn_join(&emb_a, k);
@@ -365,6 +369,21 @@ mod tests {
         assert!(curve[0].1.recall <= curve[1].1.recall + 1e-6);
         assert!(curve[1].1.recall <= curve[2].1.recall + 1e-6);
         assert!(curve[0].1.num_candidates < curve[2].1.num_candidates);
+    }
+
+    #[test]
+    fn sharded_blocking_produces_identical_candidates() {
+        let dataset = tiny_dataset();
+        let dense_pipeline = EmPipeline::new(tiny_config());
+        let (encoder, _) = dense_pipeline.pretrain_encoder(&dataset);
+        let mut sharded_config = tiny_config();
+        sharded_config.blocking_shard_capacity = Some(17);
+        let sharded_pipeline = EmPipeline::new(sharded_config);
+        // Same encoder through both layouts: candidate sets and quality must coincide.
+        let (dense_candidates, dense_quality) = dense_pipeline.block(&encoder, &dataset, 4);
+        let (sharded_candidates, sharded_quality) = sharded_pipeline.block(&encoder, &dataset, 4);
+        assert_eq!(dense_candidates, sharded_candidates);
+        assert_eq!(dense_quality, sharded_quality);
     }
 
     #[test]

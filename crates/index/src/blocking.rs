@@ -1,0 +1,103 @@
+//! One search API over both blocking-index layouts.
+//!
+//! Pipelines choose the corpus layout with a single configuration value (dense for
+//! static in-memory corpora, sharded for streaming/very large ones) and call the same
+//! `knn_join` / `top_k` either way. Both layouts share normalization, kernels, and the
+//! deterministic top-k selection contract, so switching layouts never changes results —
+//! only the memory/ingestion profile.
+
+use crate::knn::{CosineIndex, Neighbor};
+use crate::sharded::ShardedCosineIndex;
+
+/// An exact cosine kNN index in either layout, behind the common search API.
+///
+/// # Examples
+/// ```
+/// use sudowoodo_index::BlockingIndex;
+///
+/// let corpus = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8]];
+/// let queries = vec![vec![1.0, 0.2]];
+/// let dense = BlockingIndex::build(corpus.clone(), None);
+/// let sharded = BlockingIndex::build(corpus, Some(2));
+/// assert_eq!(dense.knn_join(&queries, 2), sharded.knn_join(&queries, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub enum BlockingIndex {
+    /// The whole corpus as one row-major matrix ([`CosineIndex`]).
+    Dense(CosineIndex),
+    /// Fixed-capacity shards with streaming ingestion ([`ShardedCosineIndex`]).
+    Sharded(ShardedCosineIndex),
+}
+
+impl BlockingIndex {
+    /// Builds an index over `vectors`: dense when `shard_capacity` is `None`, sharded
+    /// with the given per-shard row capacity otherwise.
+    ///
+    /// Ids are interchangeable between the two layouts for a from-scratch build: the
+    /// sharded index assigns stable insertion ids `0..n`, which coincide with dense row
+    /// positions.
+    pub fn build(vectors: Vec<Vec<f32>>, shard_capacity: Option<usize>) -> Self {
+        match shard_capacity {
+            None => BlockingIndex::Dense(CosineIndex::build(vectors)),
+            Some(capacity) => {
+                BlockingIndex::Sharded(ShardedCosineIndex::from_vectors(&vectors, capacity))
+            }
+        }
+    }
+
+    /// Number of searchable vectors.
+    pub fn len(&self) -> usize {
+        match self {
+            BlockingIndex::Dense(index) => index.len(),
+            BlockingIndex::Sharded(index) => index.len(),
+        }
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the `k` most similar indexed vectors to `query` (descending score,
+    /// ascending id on ties).
+    pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            BlockingIndex::Dense(index) => index.top_k(query, k),
+            BlockingIndex::Sharded(index) => index.top_k(query, k),
+        }
+    }
+
+    /// Retrieves, for every query, its `k` nearest indexed vectors as
+    /// `(query_index, id, score)` candidate pairs.
+    pub fn knn_join(&self, queries: &[Vec<f32>], k: usize) -> Vec<(usize, usize, f32)> {
+        match self {
+            BlockingIndex::Dense(index) => index.knn_join(queries, k),
+            BlockingIndex::Sharded(index) => index.knn_join(queries, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_layouts_answer_identically() {
+        let corpus: Vec<Vec<f32>> = (0..37)
+            .map(|i| {
+                let a = (i as f32 * 0.37).sin();
+                let b = (i as f32 * 0.61).cos();
+                vec![a, b, a * b, a - b]
+            })
+            .collect();
+        let queries: Vec<Vec<f32>> = corpus.iter().take(9).cloned().collect();
+        let dense = BlockingIndex::build(corpus.clone(), None);
+        let sharded = BlockingIndex::build(corpus, Some(4));
+        assert_eq!(dense.len(), sharded.len());
+        assert!(!dense.is_empty());
+        assert_eq!(dense.knn_join(&queries, 5), sharded.knn_join(&queries, 5));
+        for q in &queries {
+            assert_eq!(dense.top_k(q, 3), sharded.top_k(q, 3));
+        }
+    }
+}

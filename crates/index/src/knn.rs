@@ -11,6 +11,11 @@
 //!
 //! Neighbor selection is **deterministic**: ties on score break toward the smaller id, so
 //! blocking candidate sets are bit-for-bit reproducible regardless of thread count.
+//!
+//! The corpus matrix is zero-padded to a multiple of the SIMD row-quad width so that
+//! every real row is scored by the same microkernel whatever the corpus size; this keeps
+//! per-row scores bit-identical to [`crate::ShardedCosineIndex`] (which pads its shards
+//! the same way), so the two layouts return identical neighbors even on exact ties.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -22,17 +27,27 @@ use sudowoodo_nn::matrix::Matrix;
 /// `TILE x n` similarity block that stays cache-resident during selection.
 const QUERY_TILE: usize = 256;
 
+/// Row-group width of the `A * B^T` microkernel (`dot4`). The corpus matrix is padded
+/// with zero rows to a multiple of this so every real row is scored by the same SIMD
+/// kernel regardless of corpus size — which keeps scores bit-identical to the sharded
+/// index (whose shards are padded the same way) and independent of where a row sits.
+pub(crate) const ROW_GROUP: usize = 4;
+
 /// A searchable collection of L2-normalized dense vectors.
 #[derive(Clone, Debug)]
 pub struct CosineIndex {
-    /// Corpus as one row-major `n x dim` matrix with L2-normalized rows.
+    /// Corpus as one row-major matrix with L2-normalized rows, zero-padded to a multiple
+    /// of [`ROW_GROUP`] rows; only the first `len` rows are real.
     matrix: Matrix,
+    /// Number of real (searchable) corpus rows.
+    len: usize,
 }
 
 impl Default for CosineIndex {
     fn default() -> Self {
         CosineIndex {
             matrix: Matrix::zeros(0, 0),
+            len: 0,
         }
     }
 }
@@ -74,35 +89,112 @@ impl Ord for HeapEntry {
     }
 }
 
-/// Top-k selection over one row of similarity scores, deterministic on ties.
-fn select_top_k(scores: impl Iterator<Item = f32>, k: usize) -> Vec<Neighbor> {
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-    for (id, score) in scores.enumerate() {
-        if heap.len() < k {
-            heap.push(HeapEntry { score, id });
-        } else if let Some(worst) = heap.peek() {
-            // Strict improvement only: on a score tie the incumbent (smaller id, since ids
-            // arrive in ascending order) wins.
-            if score > worst.score {
-                heap.pop();
-                heap.push(HeapEntry { score, id });
+/// A bounded top-k accumulator implementing the crate's deterministic selection contract:
+/// the surviving set is the top `k` under the total order (score descending, id ascending).
+///
+/// Both the dense [`CosineIndex`] row selection and the sharded per-shard/merge selection
+/// go through this type, so selection semantics cannot drift between the two paths. The
+/// order in which candidates are offered does not affect the result.
+pub(crate) struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TopK {
+    /// Creates a selector retaining the best `k` candidates.
+    pub(crate) fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one candidate. Kept iff it beats the current worst under the total order
+    /// (score descending, id ascending); NaN scores never displace an incumbent.
+    pub(crate) fn offer(&mut self, id: usize, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry { score, id });
+        } else if let Some(worst) = self.heap.peek() {
+            if score > worst.score || (score == worst.score && id < worst.id) {
+                self.heap.pop();
+                self.heap.push(HeapEntry { score, id });
             }
         }
     }
-    let mut hits: Vec<Neighbor> = heap
-        .into_iter()
-        .map(|e| Neighbor {
-            id: e.id,
-            score: e.score,
-        })
-        .collect();
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.id.cmp(&b.id))
-    });
-    hits
+
+    /// Consumes the selector, returning the survivors sorted by descending score
+    /// (ascending id on ties).
+    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
+        let mut hits: Vec<Neighbor> = self
+            .heap
+            .into_iter()
+            .map(|e| Neighbor {
+                id: e.id,
+                score: e.score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+/// Top-k selection over one row of similarity scores, deterministic on ties.
+fn select_top_k(scores: impl Iterator<Item = f32>, k: usize) -> Vec<Neighbor> {
+    let mut selector = TopK::new(k);
+    for (id, score) in scores.enumerate() {
+        selector.offer(id, score);
+    }
+    selector.into_sorted()
+}
+
+/// Validates that row `index` of a vector collection has the expected dimension, panicking
+/// with the offending row index and the expected dimension otherwise.
+///
+/// Shared by [`CosineIndex::build`], [`CosineIndex::knn_join`], and the streaming
+/// [`crate::ShardedCosineIndex`] ingestion path so every ragged-input error reads the same.
+pub(crate) fn check_row_dim(context: &str, index: usize, actual: usize, expected: usize) {
+    if actual != expected {
+        panic!(
+            "{context}: vector {index} has dimension {actual}, expected {expected} \
+             (the dimension of the first indexed vector)"
+        );
+    }
+}
+
+/// Pads a row count up to the kernel row-group width — the one expression behind the
+/// dense/sharded score-equivalence invariant, so it lives in exactly one place.
+pub(crate) fn padded_rows(rows: usize) -> usize {
+    rows.div_ceil(ROW_GROUP) * ROW_GROUP
+}
+
+/// Flattens one query block into a `block x dim` matrix plus per-query inverse norms
+/// (with the `1e-12` zero-norm guard), validating every query's dimension.
+///
+/// Shared by [`CosineIndex::knn_join`] and [`crate::ShardedCosineIndex::knn_join`] so
+/// tile packing and query normalization cannot drift between the two layouts.
+pub(crate) fn pack_query_block(
+    context: &str,
+    base: usize,
+    block: &[Vec<f32>],
+    dim: usize,
+) -> (Matrix, Vec<f32>) {
+    let mut data = Vec::with_capacity(block.len() * dim);
+    let mut inv_norms = Vec::with_capacity(block.len());
+    for (qi, q) in block.iter().enumerate() {
+        check_row_dim(context, base + qi, q.len(), dim);
+        data.extend_from_slice(q);
+        let norm: f32 = q.iter().map(|x| x * x).sum::<f32>().sqrt();
+        inv_norms.push(if norm > 1e-12 { 1.0 / norm } else { 0.0 });
+    }
+    (Matrix::from_vec(block.len(), dim, data), inv_norms)
 }
 
 impl CosineIndex {
@@ -111,41 +203,68 @@ impl CosineIndex {
     /// An empty input produces an empty (searchable) index.
     ///
     /// # Panics
-    /// Panics with a clear message when the vectors have inconsistent dimensions.
+    /// Panics when the vectors have inconsistent dimensions, naming the offending row
+    /// index and the expected dimension.
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_index::CosineIndex;
+    ///
+    /// let index = CosineIndex::build(vec![
+    ///     vec![1.0, 0.0],
+    ///     vec![0.0, 1.0],
+    ///     vec![0.8, 0.6],
+    /// ]);
+    /// assert_eq!(index.len(), 3);
+    ///
+    /// let hits = index.top_k(&[1.0, 0.1], 2);
+    /// assert_eq!(hits[0].id, 0); // closest direction wins
+    /// ```
     pub fn build(vectors: Vec<Vec<f32>>) -> Self {
         let Some(first) = vectors.first() else {
             return CosineIndex::default();
         };
         let dim = first.len();
-        let mut data = Vec::with_capacity(vectors.len() * dim);
+        let len = vectors.len();
+        // Pad the flat buffer directly while flattening — unlike `from_matrix`, no
+        // second full-corpus copy is needed to reach the row-quad kernel width.
+        let padded = padded_rows(len);
+        let mut data = Vec::with_capacity(padded * dim);
         for (i, v) in vectors.iter().enumerate() {
-            assert_eq!(
-                v.len(),
-                dim,
-                "CosineIndex::build: vector {i} has dimension {} but the index dimension \
-                 (from vector 0) is {dim}",
-                v.len()
-            );
+            check_row_dim("CosineIndex::build", i, v.len(), dim);
             data.extend_from_slice(v);
         }
-        Self::from_matrix(Matrix::from_vec(vectors.len(), dim, data))
+        data.resize(padded * dim, 0.0);
+        let mut matrix = Matrix::from_vec(padded, dim, data);
+        matrix.l2_normalize_rows_mut(); // pad rows are zero and stay zero
+        CosineIndex { matrix, len }
     }
 
     /// Builds an index directly from an `n x dim` matrix of row vectors (one copy saved
-    /// versus [`CosineIndex::build`] when embeddings already live in a matrix).
+    /// versus [`CosineIndex::build`] when embeddings already live in a matrix, unless
+    /// `n` needs padding to the kernel row-group width).
     pub fn from_matrix(mut matrix: Matrix) -> Self {
         matrix.l2_normalize_rows_mut(); // in place: no second full-corpus allocation
-        CosineIndex { matrix }
+        let len = matrix.rows();
+        if !len.is_multiple_of(ROW_GROUP) {
+            // Zero-pad so every real row is scored by the row-quad SIMD kernel (pad rows
+            // never surface: selection only reads the first `len` similarity columns).
+            let padded = padded_rows(len);
+            let mut data = matrix.data().to_vec();
+            data.resize(padded * matrix.cols(), 0.0);
+            matrix = Matrix::from_vec(padded, matrix.cols(), data);
+        }
+        CosineIndex { matrix, len }
     }
 
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
-        self.matrix.rows()
+        self.len
     }
 
     /// `true` when nothing is indexed.
     pub fn is_empty(&self) -> bool {
-        self.matrix.rows() == 0
+        self.len == 0
     }
 
     /// Vector dimensionality.
@@ -153,7 +272,8 @@ impl CosineIndex {
         self.matrix.cols()
     }
 
-    /// The normalized corpus matrix.
+    /// The normalized corpus matrix. Rows `len()..` (fewer than the kernel row-group
+    /// width) are zero padding, not corpus rows.
     pub fn matrix(&self) -> &Matrix {
         &self.matrix
     }
@@ -164,29 +284,35 @@ impl CosineIndex {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
-        assert_eq!(
-            query.len(),
-            self.dim(),
-            "top_k: query dimension {} does not match index dimension {}",
-            query.len(),
-            self.dim()
-        );
+        check_row_dim("CosineIndex::top_k (query)", 0, query.len(), self.dim());
         let qnorm: f32 = query.iter().map(|x| x * x).sum::<f32>().sqrt();
         let inv = if qnorm > 1e-12 { 1.0 / qnorm } else { 0.0 };
         // Score through the same fused GEMM kernel as `knn_join` (a 1-row tile), so both
         // APIs accumulate in the same order and return identical neighbors on near-ties.
         let q = Matrix::from_vec(1, self.dim(), query.to_vec());
         let sims = q.matmul_transpose_b(&self.matrix);
-        select_top_k(sims.row(0).iter().map(|&s| s * inv), k)
+        select_top_k(sims.row(0)[..self.len].iter().map(|&s| s * inv), k)
     }
 
     /// Retrieves, for every query vector, its `k` nearest indexed vectors, returning the
     /// candidate pair list `(query_index, indexed_index, score)`.
     ///
-    /// Queries are processed as [`QUERY_TILE`]-row blocks: each block is one fused
+    /// Queries are processed as `QUERY_TILE` (256)-row blocks: each block is one fused
     /// `Q_block * corpusᵀ` GEMM tile followed by per-row heap selection, and blocks fan
     /// out across threads. Results are ordered by query index, then descending score
     /// (ascending id on ties) — identical to running [`CosineIndex::top_k`] per query.
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_index::CosineIndex;
+    ///
+    /// let index = CosineIndex::build(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+    /// let pairs = index.knn_join(&[vec![2.0, 0.1], vec![0.1, 3.0]], 1);
+    /// // (query index, corpus id, cosine similarity), one hit per query at k = 1.
+    /// assert_eq!(pairs.len(), 2);
+    /// assert_eq!((pairs[0].0, pairs[0].1), (0, 0));
+    /// assert_eq!((pairs[1].0, pairs[1].1), (1, 1));
+    /// ```
     pub fn knn_join(&self, queries: &[Vec<f32>], k: usize) -> Vec<(usize, usize, f32)> {
         if k == 0 || self.is_empty() || queries.is_empty() {
             return Vec::new();
@@ -197,25 +323,12 @@ impl CosineIndex {
             .enumerate()
             .map(|(block_idx, block)| {
                 let base = block_idx * QUERY_TILE;
-                let mut data = Vec::with_capacity(block.len() * dim);
-                let mut inv_norms = Vec::with_capacity(block.len());
-                for (qi, q) in block.iter().enumerate() {
-                    assert_eq!(
-                        q.len(),
-                        dim,
-                        "knn_join: query {} has dimension {} but the index dimension is {dim}",
-                        base + qi,
-                        q.len()
-                    );
-                    data.extend_from_slice(q);
-                    let norm: f32 = q.iter().map(|x| x * x).sum::<f32>().sqrt();
-                    inv_norms.push(if norm > 1e-12 { 1.0 / norm } else { 0.0 });
-                }
-                let q_block = Matrix::from_vec(block.len(), dim, data);
+                let (q_block, inv_norms) =
+                    pack_query_block("CosineIndex::knn_join (query)", base, block, dim);
                 let sims = q_block.matmul_transpose_b(&self.matrix); // block x n tile
                 let mut pairs = Vec::with_capacity(block.len() * k);
                 for (r, &inv) in inv_norms.iter().enumerate() {
-                    let hits = select_top_k(sims.row(r).iter().map(|&s| s * inv), k);
+                    let hits = select_top_k(sims.row(r)[..self.len].iter().map(|&s| s * inv), k);
                     pairs.extend(hits.into_iter().map(|h| (base + r, h.id, h.score)));
                 }
                 pairs
@@ -306,9 +419,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "vector 2 has dimension 3")]
-    fn ragged_input_panics_with_offending_index() {
-        let _ = CosineIndex::build(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 2.0, 3.0]]);
+    fn ragged_input_panics_with_offending_index_and_expected_dim() {
+        let err = std::panic::catch_unwind(|| {
+            CosineIndex::build(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 2.0, 3.0]])
+        })
+        .expect_err("ragged input must panic");
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted message");
+        assert!(
+            message.contains("CosineIndex::build: vector 2 has dimension 3, expected 2"),
+            "unexpected ragged-input message: {message}"
+        );
+    }
+
+    #[test]
+    fn ragged_query_panics_with_offending_index_and_expected_dim() {
+        let index = CosineIndex::build(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let err =
+            std::panic::catch_unwind(|| index.knn_join(&[vec![1.0, 0.0], vec![1.0, 0.0, 3.0]], 1))
+                .expect_err("ragged query must panic");
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted message");
+        assert!(
+            message.contains("CosineIndex::knn_join (query): vector 1 has dimension 3, expected 2"),
+            "unexpected ragged-query message: {message}"
+        );
     }
 
     #[test]

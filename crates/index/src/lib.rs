@@ -4,13 +4,29 @@
 //!
 //! The paper applies kNN search over the learned entity representations to produce a
 //! candidate set for matching, and reports blocking quality as recall versus candidate set
-//! size ratio (CSSR). This crate provides an exact [`knn::CosineIndex`] whose batch join
-//! computes query-tile × corpusᵀ similarity blocks through the fused GEMM kernels of
-//! `sudowoodo-nn` (parallel over tiles, deterministic top-k selection), plus
-//! [`knn::evaluate_blocking`].
+//! size ratio (CSSR). This crate provides two exact indexes with identical search
+//! semantics plus the blocking-quality evaluator:
+//!
+//! * [`knn::CosineIndex`] — the whole corpus as **one** row-major matrix; batch joins run
+//!   query-tile × corpusᵀ similarity blocks through the fused GEMM kernels of
+//!   `sudowoodo-nn` (parallel over tiles, deterministic top-k selection). Fastest when
+//!   the corpus is static and fits one allocation.
+//! * [`sharded::ShardedCosineIndex`] — the corpus partitioned into fixed-capacity shards
+//!   scored in parallel and merged through the same bounded-heap selector, with streaming
+//!   ingestion (`add_batch` / `remove` / `compact`) and stable row ids. Same results as
+//!   the dense index over the same rows; built for corpora that grow, shrink, or exceed
+//!   one matrix.
+//! * [`blocking::BlockingIndex`] — both layouts behind one search API, so pipelines pick
+//!   the corpus layout with a single configuration value.
+//! * [`knn::evaluate_blocking`] — recall / candidate-set-size-ratio scoring of a
+//!   candidate pair set against gold matches.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod blocking;
 pub mod knn;
+pub mod sharded;
 
+pub use blocking::BlockingIndex;
 pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor};
+pub use sharded::ShardedCosineIndex;

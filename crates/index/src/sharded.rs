@@ -1,0 +1,635 @@
+//! Sharded, streaming variant of the cosine blocking index.
+//!
+//! [`crate::CosineIndex`] stores the whole corpus as **one** row-major matrix, which is
+//! the fastest layout as long as the corpus fits one allocation and never changes. Two
+//! pressures break that assumption at scale (ROADMAP: "streaming / sharded `CosineIndex`
+//! for corpora that exceed one machine"):
+//!
+//! * **Size** — a single `n x d` matrix must be reallocated and re-normalized wholesale
+//!   to grow, and cannot be distributed.
+//! * **Streaming** — entity-matching corpora arrive in batches; rebuilding a dense index
+//!   per batch is quadratic work over the ingest lifetime.
+//!
+//! [`ShardedCosineIndex`] answers both: the corpus is partitioned into fixed-capacity
+//! **shards**, each a small row-major matrix that reuses the exact GEMM tile path of the
+//! dense index. `knn_join` computes per-shard `query-tile x shardᵀ` products (rayon
+//! parallel) and merges per-shard candidates through the same bounded-heap top-k selector
+//! as the dense path, so results are **deterministic and identical** to a dense index over
+//! the same rows. Ingestion is incremental: [`ShardedCosineIndex::add_batch`] appends
+//! (normalizing only the new rows), [`ShardedCosineIndex::remove`] tombstones, and
+//! [`ShardedCosineIndex::compact`] repacks shards to drop tombstones.
+//!
+//! ## Equivalence with the dense index
+//!
+//! Three invariants make sharded results match a fresh dense build bit-for-bit — same
+//! ids *and* same scores, even on exact ties (duplicate rows are normal in EM data):
+//!
+//! 1. every row is L2-normalized exactly once, with the same per-row op the dense index
+//!    uses ([`Matrix::l2_normalize_rows_mut`]);
+//! 2. both layouts pad their matrices with zero rows to a multiple of the `dot4` row
+//!    group width, so every live row is scored by the same SIMD microkernel regardless
+//!    of corpus size or where a shard boundary falls (the `dot4` accumulators are
+//!    per-row independent, so grouping does not affect the value — only which kernel
+//!    runs does);
+//! 3. all candidates — per-shard, per-group, and the cross-group merge — flow through
+//!    the crate's single top-k selector, whose (score descending, id ascending) total
+//!    order is insertion-order independent.
+//!
+//! Rows keep **stable ids** (their insertion sequence number) across `remove`/`compact`,
+//! so downstream candidate pairs remain valid while the index mutates underneath.
+
+use rayon::prelude::*;
+
+use sudowoodo_nn::matrix::Matrix;
+
+use crate::knn::{check_row_dim, pack_query_block, padded_rows, Neighbor, TopK};
+
+/// Number of query rows per GEMM tile in [`ShardedCosineIndex::knn_join`] — the same tile
+/// height as the dense index so both paths have identical cache behavior per shard.
+const QUERY_TILE: usize = 256;
+
+/// Maximum number of shard groups a single query tile fans out over. Bounds the
+/// merge-buffer memory at `MERGE_GROUPS x tile_rows x k` candidates while still keeping
+/// every core busy when the query set fits one tile.
+const MERGE_GROUPS: usize = 8;
+
+/// One fixed-capacity partition of the corpus.
+#[derive(Clone, Debug)]
+struct Shard {
+    /// Row-major buffer; rows `0..ids.len()` are real (already normalized), trailing
+    /// rows — row-quad padding plus geometric growth slack — are zero and never surface
+    /// in results.
+    matrix: Matrix,
+    /// Stable id of each real row, ascending (insertion order is preserved shard-to-shard).
+    ids: Vec<usize>,
+    /// Tombstone flag per real row.
+    deleted: Vec<bool>,
+    /// Number of rows with `deleted == false`.
+    live: usize,
+}
+
+impl Shard {
+    /// Lowest id held by this shard (its rows are id-sorted).
+    fn min_id(&self) -> usize {
+        self.ids.first().copied().unwrap_or(usize::MAX)
+    }
+
+    /// Scores `q_block x shardᵀ` and offers every live row to the per-query selectors.
+    ///
+    /// `inv_norms[r]` is the query-row inverse norm; the scale is applied at offer time
+    /// exactly like the dense path (`s * inv`).
+    fn offer_into(&self, q_block: &Matrix, inv_norms: &[f32], selectors: &mut [TopK]) {
+        if self.live == 0 {
+            return;
+        }
+        let sims = q_block.matmul_transpose_b(&self.matrix);
+        for (r, selector) in selectors.iter_mut().enumerate() {
+            let inv = inv_norms[r];
+            let row = sims.row(r);
+            for (row_idx, &id) in self.ids.iter().enumerate() {
+                if !self.deleted[row_idx] {
+                    selector.offer(id, row[row_idx] * inv);
+                }
+            }
+        }
+    }
+}
+
+/// A streaming, sharded collection of L2-normalized dense vectors.
+///
+/// Functionally a [`crate::CosineIndex`] that can grow in batches, delete rows, and score
+/// shards in parallel. Ids returned by searches are **stable insertion ids**: the `i`-th
+/// vector ever added has id `i`, forever, regardless of later [`ShardedCosineIndex::remove`]
+/// or [`ShardedCosineIndex::compact`] calls.
+///
+/// # Examples
+/// ```
+/// use sudowoodo_index::ShardedCosineIndex;
+///
+/// // Build incrementally: 3 vectors across shards of capacity 2.
+/// let mut index = ShardedCosineIndex::new(2);
+/// index.add_batch(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+/// index.add_batch(&[vec![0.8, 0.6]]);
+/// assert_eq!((index.len(), index.num_shards()), (3, 2));
+///
+/// // Search exactly like the dense index.
+/// let pairs = index.knn_join(&[vec![1.0, 0.1]], 2);
+/// assert_eq!(pairs[0].1, 0);
+///
+/// // Stream: remove a row and repack; ids stay stable.
+/// index.remove(0);
+/// index.compact();
+/// let pairs = index.knn_join(&[vec![1.0, 0.1]], 2);
+/// assert_eq!(pairs[0].1, 2); // the [0.8, 0.6] row keeps id 2 after compaction
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedCosineIndex {
+    /// Maximum number of real rows per shard.
+    shard_capacity: usize,
+    /// Vector dimensionality; `0` until the first non-empty batch fixes it.
+    dim: usize,
+    /// Next stable id to assign.
+    next_id: usize,
+    /// Number of live (non-tombstoned) rows across all shards.
+    live: usize,
+    /// The partitions, in insertion order; `ids` are ascending across and within shards.
+    shards: Vec<Shard>,
+}
+
+impl ShardedCosineIndex {
+    /// Creates an empty index whose shards hold at most `shard_capacity` vectors each.
+    ///
+    /// # Panics
+    /// Panics when `shard_capacity` is zero.
+    pub fn new(shard_capacity: usize) -> Self {
+        assert!(
+            shard_capacity > 0,
+            "ShardedCosineIndex::new: shard_capacity must be positive"
+        );
+        ShardedCosineIndex {
+            shard_capacity,
+            dim: 0,
+            next_id: 0,
+            live: 0,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Builds an index from an initial corpus in one call (`new` + [`Self::add_batch`]).
+    pub fn from_vectors(vectors: &[Vec<f32>], shard_capacity: usize) -> Self {
+        let mut index = Self::new(shard_capacity);
+        index.add_batch(vectors);
+        index
+    }
+
+    /// Number of live (searchable) vectors.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live vector is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Vector dimensionality (`0` until the first non-empty batch is added).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards currently allocated (including ones that are all tombstones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum number of vectors per shard.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Number of tombstoned rows still occupying shard slots (reclaimed by
+    /// [`Self::compact`]).
+    pub fn num_tombstones(&self) -> usize {
+        self.shards.iter().map(|s| s.ids.len() - s.live).sum()
+    }
+
+    /// `true` when `id` is currently live in the index.
+    pub fn contains(&self, id: usize) -> bool {
+        self.locate(id).is_some()
+    }
+
+    /// Appends a batch of vectors, returning the stable id range assigned to them.
+    ///
+    /// The first non-empty batch fixes the index dimensionality. New rows are
+    /// L2-normalized on ingestion (once — exactly like a dense build); existing rows are
+    /// never touched, and the tail shard's buffer grows geometrically (copied at most
+    /// `log(shard_capacity)` times over a shard's lifetime), so repeated `add_batch`
+    /// calls cost amortized time proportional to the batch, not the corpus.
+    ///
+    /// # Panics
+    /// Panics when a vector's dimension disagrees with the index dimension, naming the
+    /// offending row and the expected dimension.
+    pub fn add_batch(&mut self, vectors: &[Vec<f32>]) -> std::ops::Range<usize> {
+        let start = self.next_id;
+        if vectors.is_empty() {
+            return start..start;
+        }
+        if self.next_id == 0 {
+            // First batch ever fixes the dimensionality — even a degenerate 0, so that a
+            // later batch of different width gets the ragged-input error, not a crash.
+            self.dim = vectors[0].len();
+        }
+        let dim = self.dim;
+        let mut data = Vec::with_capacity(vectors.len() * dim);
+        for (i, v) in vectors.iter().enumerate() {
+            check_row_dim("ShardedCosineIndex::add_batch", i, v.len(), dim);
+            data.extend_from_slice(v);
+        }
+        // Normalize the new rows once, with the same per-row op the dense index applies.
+        let mut batch = Matrix::from_vec(vectors.len(), dim, data);
+        batch.l2_normalize_rows_mut();
+
+        let mut offset = 0;
+        while offset < vectors.len() {
+            let shard_room = match self.shards.last() {
+                Some(s) if s.ids.len() < self.shard_capacity => self.shard_capacity - s.ids.len(),
+                _ => {
+                    self.shards.push(Shard {
+                        matrix: Matrix::zeros(0, dim),
+                        ids: Vec::new(),
+                        deleted: Vec::new(),
+                        live: 0,
+                    });
+                    self.shard_capacity
+                }
+            };
+            let take = shard_room.min(vectors.len() - offset);
+            let shard = self.shards.last_mut().expect("shard ensured above");
+            let old_filled = shard.ids.len();
+            let new_filled = old_filled + take;
+            let needed = padded_rows(new_filled);
+            if needed > shard.matrix.rows() {
+                // Grow geometrically (capped at the shard capacity) so per-row appends
+                // amortize; the slack rows are zero, which the scoring kernel treats as
+                // more padding (skipped in selection, and `dot4` scores each row
+                // independently, so real-row scores are unaffected).
+                let grown = padded_rows(
+                    (shard.matrix.rows() * 2)
+                        .clamp(needed, padded_rows(self.shard_capacity).max(needed)),
+                );
+                let mut rows = Vec::with_capacity(grown * dim);
+                rows.extend_from_slice(&shard.matrix.data()[..old_filled * dim]);
+                rows.resize(grown * dim, 0.0);
+                shard.matrix = Matrix::from_vec(grown, dim, rows);
+            }
+            if dim > 0 {
+                shard.matrix.data_mut()[old_filled * dim..new_filled * dim]
+                    .copy_from_slice(&batch.data()[offset * dim..(offset + take) * dim]);
+            }
+            for i in 0..take {
+                shard.ids.push(start + offset + i);
+                shard.deleted.push(false);
+            }
+            shard.live += take;
+            offset += take;
+        }
+        self.next_id = start + vectors.len();
+        self.live += vectors.len();
+        start..self.next_id
+    }
+
+    /// Finds the shard and row holding live id `id` (ids are sorted across and within
+    /// shards, so both lookups are binary searches).
+    fn locate(&self, id: usize) -> Option<(usize, usize)> {
+        let shard_idx = match self.shards.partition_point(|s| s.min_id() <= id) {
+            0 => return None,
+            p => p - 1,
+        };
+        let shard = &self.shards[shard_idx];
+        let row = shard.ids.binary_search(&id).ok()?;
+        (!shard.deleted[row]).then_some((shard_idx, row))
+    }
+
+    /// Tombstones the row with stable id `id`. Returns `false` when the id was never
+    /// assigned or is already removed. The slot is reclaimed by [`Self::compact`].
+    pub fn remove(&mut self, id: usize) -> bool {
+        let Some((shard_idx, row)) = self.locate(id) else {
+            return false;
+        };
+        let shard = &mut self.shards[shard_idx];
+        shard.deleted[row] = true;
+        shard.live -= 1;
+        self.live -= 1;
+        true
+    }
+
+    /// Repacks all surviving rows into full shards, dropping tombstones. Stable ids and
+    /// search results are unchanged; returns the number of tombstones reclaimed.
+    pub fn compact(&mut self) -> usize {
+        let reclaimed = self.num_tombstones();
+        if reclaimed == 0 {
+            return 0;
+        }
+        let dim = self.dim;
+        let old_shards = std::mem::take(&mut self.shards);
+        // One pass in id order: rows are already normalized, so compaction is pure copying.
+        let mut survivors: Vec<(usize, &[f32])> = Vec::with_capacity(self.live);
+        for shard in &old_shards {
+            for (row, &id) in shard.ids.iter().enumerate() {
+                if !shard.deleted[row] {
+                    survivors.push((id, shard.matrix.row(row)));
+                }
+            }
+        }
+        for chunk in survivors.chunks(self.shard_capacity) {
+            let mut rows = Vec::with_capacity(padded_rows(chunk.len()) * dim);
+            for (_, row) in chunk {
+                rows.extend_from_slice(row);
+            }
+            rows.resize(padded_rows(chunk.len()) * dim, 0.0);
+            self.shards.push(Shard {
+                matrix: Matrix::from_vec(padded_rows(chunk.len()), dim, rows),
+                ids: chunk.iter().map(|&(id, _)| id).collect(),
+                deleted: vec![false; chunk.len()],
+                live: chunk.len(),
+            });
+        }
+        reclaimed
+    }
+
+    /// Returns the `k` most similar live vectors to `query`, sorted by descending score
+    /// (ties broken by ascending stable id) — the dense [`crate::CosineIndex::top_k`]
+    /// contract.
+    ///
+    /// Delegates to [`Self::knn_join`] with a single query (one shard-scoring/merge
+    /// implementation to keep correct), so the shards still fan out across threads.
+    pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        check_row_dim(
+            "ShardedCosineIndex::top_k (query)",
+            0,
+            query.len(),
+            self.dim,
+        );
+        let queries = [query.to_vec()];
+        self.knn_join(&queries, k)
+            .into_iter()
+            .map(|(_, id, score)| Neighbor { id, score })
+            .collect()
+    }
+
+    /// Retrieves, for every query vector, its `k` nearest live vectors, returning the
+    /// candidate pair list `(query_index, stable_id, score)`.
+    ///
+    /// Parallelism is two-level: queries fan out across threads in `QUERY_TILE` (256)-row
+    /// blocks, and within a block the shards fan out in up to `MERGE_GROUPS` contiguous
+    /// groups, each computing fused `Q_block x shardᵀ` GEMM tiles whose candidates stream
+    /// through per-query bounded heaps (capacity `k`); the group-local top-k lists then
+    /// merge through the same selector. (Under the offline rayon shim, whichever level
+    /// saturates the cores first runs threaded and the other runs inline, so small query
+    /// sets over many shards still parallelize.) Output ordering matches the dense
+    /// [`crate::CosineIndex::knn_join`]: query index, then descending score (ascending id
+    /// on ties) — the merge comparator is a total order, so the grouping is invisible in
+    /// results.
+    ///
+    /// # Panics
+    /// Panics when a query's dimension disagrees with the index dimension.
+    pub fn knn_join(&self, queries: &[Vec<f32>], k: usize) -> Vec<(usize, usize, f32)> {
+        if k == 0 || self.is_empty() || queries.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.dim;
+        let group_size = self.shards.len().div_ceil(MERGE_GROUPS).max(1);
+        let per_block: Vec<Vec<(usize, usize, f32)>> = queries
+            .par_chunks(QUERY_TILE)
+            .enumerate()
+            .map(|(block_idx, block)| {
+                let base = block_idx * QUERY_TILE;
+                let (q_block, inv_norms) =
+                    pack_query_block("ShardedCosineIndex::knn_join (query)", base, block, dim);
+                // Rayon-parallel per-shard-group products, each with its own bounded
+                // heaps (memory: groups x block rows x k candidates).
+                let per_group: Vec<Vec<Vec<Neighbor>>> = self
+                    .shards
+                    .par_chunks(group_size)
+                    .map(|group| {
+                        let mut selectors: Vec<TopK> =
+                            (0..block.len()).map(|_| TopK::new(k)).collect();
+                        for shard in group {
+                            shard.offer_into(&q_block, &inv_norms, &mut selectors);
+                        }
+                        selectors.into_iter().map(TopK::into_sorted).collect()
+                    })
+                    .collect();
+                // Deterministic merge of the group-local top-k lists.
+                let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
+                for group_hits in per_group {
+                    for (r, hits) in group_hits.into_iter().enumerate() {
+                        for hit in hits {
+                            selectors[r].offer(hit.id, hit.score);
+                        }
+                    }
+                }
+                let mut pairs = Vec::with_capacity(block.len() * k);
+                for (r, selector) in selectors.into_iter().enumerate() {
+                    pairs.extend(
+                        selector
+                            .into_sorted()
+                            .into_iter()
+                            .map(|h| (base + r, h.id, h.score)),
+                    );
+                }
+                pairs
+            })
+            .collect();
+        per_block.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CosineIndex;
+
+    fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        // Cheap deterministic pseudo-random values without pulling a dev-dependency in.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_behaves_like_dense_empty() {
+        let index = ShardedCosineIndex::new(4);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert_eq!(index.dim(), 0);
+        assert!(index.top_k(&[1.0], 3).is_empty());
+        assert!(index.knn_join(&[vec![1.0]], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = ShardedCosineIndex::new(0);
+    }
+
+    #[test]
+    fn add_batch_assigns_sequential_id_ranges() {
+        let mut index = ShardedCosineIndex::new(3);
+        assert_eq!(index.add_batch(&vectors(4, 8, 1)), 0..4);
+        assert_eq!(index.add_batch(&[]), 4..4);
+        assert_eq!(index.add_batch(&vectors(5, 8, 2)), 4..9);
+        assert_eq!(index.len(), 9);
+        assert_eq!(index.num_shards(), 3);
+        assert_eq!(index.dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "ShardedCosineIndex::add_batch: vector 1 has dimension 3, expected 2"
+    )]
+    fn ragged_batch_names_offending_row() {
+        let mut index = ShardedCosineIndex::new(4);
+        index.add_batch(&[vec![1.0, 0.0], vec![1.0, 2.0, 3.0]]);
+    }
+
+    #[test]
+    fn matches_dense_index_on_identical_input() {
+        let corpus = vectors(57, 16, 3);
+        let queries = vectors(23, 16, 4);
+        let dense = CosineIndex::build(corpus.clone());
+        for capacity in [1, 5, 8, 57, 100] {
+            let sharded = ShardedCosineIndex::from_vectors(&corpus, capacity);
+            assert_eq!(
+                sharded.knn_join(&queries, 6),
+                dense.knn_join(&queries, 6),
+                "capacity {capacity} diverged from dense"
+            );
+            for q in &queries {
+                assert_eq!(sharded.top_k(q, 6), dense.top_k(q, 6));
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_and_knn_join_agree() {
+        let corpus = vectors(40, 12, 5);
+        let queries = vectors(10, 12, 6);
+        let index = ShardedCosineIndex::from_vectors(&corpus, 7);
+        let joined = index.knn_join(&queries, 4);
+        for (qi, q) in queries.iter().enumerate() {
+            let from_join: Vec<(usize, f32)> = joined
+                .iter()
+                .filter(|(i, _, _)| *i == qi)
+                .map(|&(_, id, s)| (id, s))
+                .collect();
+            let from_single: Vec<(usize, f32)> = index
+                .top_k(q, 4)
+                .into_iter()
+                .map(|h| (h.id, h.score))
+                .collect();
+            assert_eq!(from_join, from_single, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_in_odd_sized_corpus_match_dense_exactly() {
+        // 5 identical rows (n % 4 != 0): without the shared row-quad padding, the dense
+        // index would score row 4 through a different kernel than rows 0..4 and a 1-ulp
+        // difference could beat the id tie-break. Both layouts must agree bit-for-bit.
+        let v = vec![0.6f32, 0.8, 0.1, -0.3, 0.2];
+        let corpus = vec![v.clone(); 5];
+        let dense = CosineIndex::build(corpus.clone());
+        let queries = std::slice::from_ref(&v);
+        for capacity in [1usize, 2, 3, 5] {
+            let sharded = ShardedCosineIndex::from_vectors(&corpus, capacity);
+            assert_eq!(
+                sharded.knn_join(queries, 3),
+                dense.knn_join(queries, 3),
+                "capacity {capacity}"
+            );
+            assert_eq!(
+                sharded.top_k(&v, 3),
+                dense.top_k(&v, 3),
+                "capacity {capacity}"
+            );
+        }
+        // The tie-break contract itself: smallest ids survive, in order, with no pad rows.
+        let ids: Vec<usize> = dense.top_k(&v, 3).iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(dense.top_k(&v, 10).len(), 5, "pad rows must never surface");
+    }
+
+    #[test]
+    fn zero_width_first_batch_then_wider_batch_is_a_ragged_error() {
+        let mut index = ShardedCosineIndex::new(4);
+        index.add_batch(&[vec![], vec![]]);
+        assert_eq!((index.len(), index.dim()), (2, 0));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            index.add_batch(&[vec![1.0, 2.0]])
+        }))
+        .expect_err("widening the dimension must be a ragged-input error");
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted message");
+        assert!(
+            message.contains("ShardedCosineIndex::add_batch: vector 0 has dimension 2, expected 0"),
+            "unexpected message: {message}"
+        );
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_ids_across_shards() {
+        let v = vec![0.6f32, 0.8];
+        let mut index = ShardedCosineIndex::new(2);
+        index.add_batch(&[v.clone(), v.clone(), v.clone(), v.clone(), v.clone()]);
+        let hits = index.top_k(&v, 3);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let pairs = index.knn_join(&[v], 3);
+        assert_eq!(pairs.iter().map(|p| p.1).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remove_hides_rows_and_compact_reclaims_slots() {
+        let corpus = vectors(10, 8, 7);
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 4);
+        assert!(index.remove(3));
+        assert!(!index.remove(3), "double remove must be a no-op");
+        assert!(index.remove(8));
+        assert!(!index.remove(42), "unknown id must be a no-op");
+        assert_eq!(index.len(), 8);
+        assert_eq!(index.num_tombstones(), 2);
+        assert!(!index.contains(3) && index.contains(2));
+
+        let before = index.knn_join(&vectors(6, 8, 8), 5);
+        assert!(before.iter().all(|&(_, id, _)| id != 3 && id != 8));
+
+        assert_eq!(index.compact(), 2);
+        assert_eq!(index.num_tombstones(), 0);
+        assert_eq!(
+            index.num_shards(),
+            2,
+            "8 survivors repack into 2 shards of 4"
+        );
+        let after = index.knn_join(&vectors(6, 8, 8), 5);
+        assert_eq!(before, after, "compaction must not change search results");
+        assert_eq!(index.compact(), 0, "second compaction is a no-op");
+    }
+
+    #[test]
+    fn add_after_compact_continues_stable_ids() {
+        let mut index = ShardedCosineIndex::from_vectors(&vectors(6, 4, 9), 4);
+        index.remove(0);
+        index.remove(5);
+        index.compact();
+        assert_eq!(index.add_batch(&vectors(2, 4, 10)), 6..8);
+        assert_eq!(index.len(), 6);
+        assert!(index.contains(6) && index.contains(7) && !index.contains(0));
+    }
+
+    #[test]
+    fn all_rows_removed_returns_nothing_until_new_batch() {
+        let mut index = ShardedCosineIndex::from_vectors(&vectors(3, 4, 11), 2);
+        for id in 0..3 {
+            assert!(index.remove(id));
+        }
+        assert!(index.is_empty());
+        assert!(index.knn_join(&vectors(2, 4, 12), 2).is_empty());
+        index.compact();
+        index.add_batch(&vectors(2, 4, 13));
+        assert_eq!(index.knn_join(&vectors(1, 4, 14), 5).len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Acceptance test: sharded top-k equals dense top-k on identical input.
+//!
+//! `ShardedCosineIndex::knn_join` must return **identical neighbor id lists** (and scores
+//! within 1e-6) to `CosineIndex::knn_join` across shard capacities `{1, 7, 64, n}` on a
+//! 2k-query × 10k-corpus fixture — i.e. shard layout is invisible in results. The
+//! equivalence is exact by construction (rows normalized once with the same op, shard
+//! matrices padded so every row is scored by the same SIMD microkernel, one shared
+//! selection order); this test is the proof on a realistically-sized workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sudowoodo_index::{CosineIndex, ShardedCosineIndex};
+
+fn random_vectors(n: usize, d: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+#[test]
+fn sharded_knn_join_matches_dense_across_capacities_2k_x_10k() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dim = 16;
+    let k = 10;
+    let corpus = random_vectors(10_000, dim, &mut rng);
+    let queries = random_vectors(2_000, dim, &mut rng);
+
+    let dense = CosineIndex::build(corpus.clone());
+    let expected = dense.knn_join(&queries, k);
+    assert_eq!(expected.len(), queries.len() * k);
+
+    for capacity in [1usize, 7, 64, corpus.len()] {
+        let sharded = ShardedCosineIndex::from_vectors(&corpus, capacity);
+        assert_eq!(sharded.num_shards(), corpus.len().div_ceil(capacity));
+        let got = sharded.knn_join(&queries, k);
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "capacity {capacity}: result size"
+        );
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert_eq!(
+                (g.0, g.1),
+                (e.0, e.1),
+                "capacity {capacity}: (query, id) diverged (scores {} vs {})",
+                g.2,
+                e.2
+            );
+            assert!(
+                (g.2 - e.2).abs() <= 1e-6,
+                "capacity {capacity}: score diverged for query {} id {}: {} vs {}",
+                g.0,
+                g.1,
+                g.2,
+                e.2
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_top_k_matches_dense_single_queries() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let corpus = random_vectors(500, 24, &mut rng);
+    let queries = random_vectors(40, 24, &mut rng);
+    let dense = CosineIndex::build(corpus.clone());
+    for capacity in [1usize, 7, 64, corpus.len()] {
+        let sharded = ShardedCosineIndex::from_vectors(&corpus, capacity);
+        for (qi, q) in queries.iter().enumerate() {
+            let d: Vec<(usize, f32)> = dense
+                .top_k(q, 9)
+                .into_iter()
+                .map(|h| (h.id, h.score))
+                .collect();
+            let s: Vec<(usize, f32)> = sharded
+                .top_k(q, 9)
+                .into_iter()
+                .map(|h| (h.id, h.score))
+                .collect();
+            assert_eq!(
+                d.iter().map(|p| p.0).collect::<Vec<_>>(),
+                s.iter().map(|p| p.0).collect::<Vec<_>>(),
+                "capacity {capacity}, query {qi}: ids diverged"
+            );
+            for (a, b) in d.iter().zip(s.iter()) {
+                assert!((a.1 - b.1).abs() <= 1e-6, "capacity {capacity}, query {qi}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_join_is_deterministic_across_runs() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let corpus = random_vectors(600, 16, &mut rng);
+    let queries = random_vectors(200, 16, &mut rng);
+    let index = ShardedCosineIndex::from_vectors(&corpus, 37);
+    let first = index.knn_join(&queries, 5);
+    for _ in 0..3 {
+        assert_eq!(index.knn_join(&queries, 5), first);
+    }
+}

@@ -1,0 +1,133 @@
+//! Streaming-path coverage: interleaved `add_batch` / `remove` / `compact` sequences must
+//! leave `knn_join` indistinguishable from a fresh build of the surviving rows.
+//!
+//! The sharded index reports **stable insertion ids** while a fresh build of the
+//! survivors numbers rows positionally, so each check maps the surviving insertion ids
+//! (ascending = insertion order = fresh-build row order) to fresh positions before
+//! comparing. Both layouts pad to the SIMD row-quad width and normalize rows with the
+//! same op, so ids *and* scores must match bit-for-bit — no float tolerance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sudowoodo_index::{CosineIndex, ShardedCosineIndex};
+
+fn random_vectors(n: usize, d: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Checks that `index` answers exactly like fresh dense + fresh sharded builds of
+/// `survivors` (pairs of `(insertion_id, vector)`).
+fn assert_matches_fresh_build(
+    index: &ShardedCosineIndex,
+    survivors: &[(usize, Vec<f32>)],
+    queries: &[Vec<f32>],
+    k: usize,
+) {
+    assert_eq!(index.len(), survivors.len());
+    let rows: Vec<Vec<f32>> = survivors.iter().map(|(_, v)| v.clone()).collect();
+
+    // A fresh *sharded* build of the survivors must agree exactly (identical kernels),
+    // modulo the id renumbering: fresh ids are 0..n in survivor order.
+    let fresh_sharded = ShardedCosineIndex::from_vectors(&rows, index.shard_capacity());
+    let got = index.knn_join(queries, k);
+    let fresh = fresh_sharded.knn_join(queries, k);
+    assert_eq!(got.len(), fresh.len());
+    for (g, f) in got.iter().zip(fresh.iter()) {
+        assert_eq!(g.0, f.0, "query index diverged");
+        assert_eq!(
+            g.1, survivors[f.1].0,
+            "query {}: streamed index returned id {}, fresh build rank {} maps to id {}",
+            g.0, g.1, f.1, survivors[f.1].0
+        );
+        assert_eq!(g.2, f.2, "query {}: streamed vs fresh sharded score", g.0);
+    }
+
+    // A fresh *dense* build must agree exactly as well (see module doc).
+    let dense = CosineIndex::build(rows);
+    let dense_pairs = dense.knn_join(queries, k);
+    assert_eq!(got.len(), dense_pairs.len());
+    for (g, d) in got.iter().zip(dense_pairs.iter()) {
+        assert_eq!((g.0, g.1), (d.0, survivors[d.1].0), "dense comparison: ids");
+        assert_eq!(g.2, d.2, "dense comparison: scores");
+    }
+}
+
+#[test]
+fn interleaved_add_remove_compact_matches_fresh_builds() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let dim = 12;
+    let k = 6;
+    let queries = random_vectors(60, dim, &mut rng);
+
+    // `survivors` mirrors what the index should contain: (insertion id, vector), ordered.
+    let mut survivors: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut index = ShardedCosineIndex::new(5);
+
+    // Batch 1, then spot removals.
+    let batch = random_vectors(23, dim, &mut rng);
+    let ids = index.add_batch(&batch);
+    survivors.extend(ids.clone().zip(batch.iter().cloned()));
+    for id in [0, 7, 22] {
+        assert!(index.remove(id));
+        survivors.retain(|(sid, _)| *sid != id);
+    }
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+
+    // Batch 2 lands while tombstones are still in place (no compact yet).
+    let batch = random_vectors(9, dim, &mut rng);
+    let ids = index.add_batch(&batch);
+    survivors.extend(ids.clone().zip(batch.iter().cloned()));
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+
+    // Compact, then remove more — including rows that moved shards during compaction.
+    index.compact();
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+    for id in [1, 2, 3, 25, 30] {
+        assert!(index.remove(id));
+        survivors.retain(|(sid, _)| *sid != id);
+    }
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+
+    // Batch 3 after a second compact; ids keep counting from 32.
+    index.compact();
+    let batch = random_vectors(14, dim, &mut rng);
+    let ids = index.add_batch(&batch);
+    assert_eq!(ids.start, 32);
+    survivors.extend(ids.clone().zip(batch.iter().cloned()));
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+}
+
+#[test]
+fn randomized_streaming_soak_matches_fresh_builds() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let dim = 8;
+    let queries = random_vectors(25, dim, &mut rng);
+    let mut survivors: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut index = ShardedCosineIndex::new(6);
+
+    for step in 0..40 {
+        match rng.gen_range(0..10) {
+            // Mostly adds, so the corpus trends upward.
+            0..=5 => {
+                let batch = random_vectors(rng.gen_range(1..8), dim, &mut rng);
+                let ids = index.add_batch(&batch);
+                survivors.extend(ids.zip(batch.iter().cloned()));
+            }
+            6..=8 if !survivors.is_empty() => {
+                let victim = survivors[rng.gen_range(0..survivors.len())].0;
+                assert!(index.remove(victim), "step {step}: remove({victim})");
+                survivors.retain(|(sid, _)| *sid != victim);
+            }
+            _ => {
+                index.compact();
+                assert_eq!(index.num_tombstones(), 0);
+            }
+        }
+        if !survivors.is_empty() {
+            assert_matches_fresh_build(&index, &survivors, &queries, 4);
+        }
+    }
+}

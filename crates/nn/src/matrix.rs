@@ -888,10 +888,20 @@ impl Matrix {
     }
 
     /// Matrix product `self * other`, via the register-blocked microkernel
-    /// (see the module docs), parallel over output rows above [`PAR_FLOPS`].
+    /// (see the module docs), parallel over output rows above `PAR_FLOPS`.
     ///
     /// # Panics
     /// Panics when inner dimensions disagree.
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_nn::matrix::Matrix;
+    ///
+    /// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+    /// let identity = Matrix::identity(2);
+    /// assert_eq!(a.matmul(&identity), a);
+    /// assert!(a.matmul(&a).approx_eq(&a.matmul_naive(&a), 1e-6));
+    /// ```
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -1035,10 +1045,21 @@ impl Matrix {
     /// Both operands are row-major with the contraction over their *columns*, so every
     /// output entry is a dot product of two contiguous rows — the natural layout for
     /// similarity matrices (`Z * Z^T`), cosine scoring against an embedding corpus, and
-    /// the `A`-gradient of `matmul`. Parallel over output rows above [`PAR_FLOPS`].
+    /// the `A`-gradient of `matmul`. Parallel over output rows above `PAR_FLOPS`.
     ///
     /// # Panics
     /// Panics when the column counts disagree.
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_nn::matrix::Matrix;
+    ///
+    /// // Rows of `q` scored against rows of `corpus`: out[i][j] = q[i] · corpus[j].
+    /// let q = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+    /// let corpus = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+    /// let sims = q.matmul_transpose_b(&corpus);
+    /// assert_eq!(sims.row(0), &[1.0, 0.0]);
+    /// ```
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -1268,6 +1289,15 @@ impl Matrix {
 
     /// Returns a copy with every row L2-normalized; rows with near-zero norm are left
     /// unchanged.
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_nn::matrix::Matrix;
+    ///
+    /// let m = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]).l2_normalize_rows();
+    /// assert_eq!(m.row(0), &[0.6, 0.8]);
+    /// assert_eq!(m.row(1), &[0.0, 0.0]); // zero rows stay zero
+    /// ```
     pub fn l2_normalize_rows(&self) -> Matrix {
         let mut out = self.clone();
         out.l2_normalize_rows_mut();

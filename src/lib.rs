@@ -13,14 +13,14 @@
 //! | [`text`] | `sudowoodo-text` | records/tables/columns, serialization, tokenizer |
 //! | [`augment`] | `sudowoodo-augment` | DA operators and cutoff augmentation |
 //! | [`cluster`] | `sudowoodo-cluster` | TF-IDF, k-means, clustered batching, components |
-//! | [`index`] | `sudowoodo-index` | exact cosine kNN blocking |
+//! | [`index`] | `sudowoodo-index` | exact cosine kNN blocking (dense + sharded/streaming) |
 //! | [`ml`] | `sudowoodo-ml` | classical learners and metrics |
 //! | [`datasets`] | `sudowoodo-datasets` | synthetic EM / cleaning / column workloads |
 //! | [`core`] | `sudowoodo-core` | pre-training, pseudo labels, matcher, pipelines |
 //! | [`baselines`] | `sudowoodo-baselines` | Ditto/Rotom/ZeroER/Auto-FuzzyJoin/DL-Block/Baran/Sherlock/Sato analogs |
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the mapping from
-//! the paper's evaluation to the benchmark harness.
+//! See `README.md` for a quickstart and `ARCHITECTURE.md` for crate responsibilities,
+//! data flow, and the design of the dense/sharded blocking indexes.
 
 #![warn(missing_docs)]
 
@@ -44,4 +44,5 @@ pub mod prelude {
     pub use sudowoodo_datasets::cleaning::CleaningProfile;
     pub use sudowoodo_datasets::columns::ColumnProfile;
     pub use sudowoodo_datasets::em::EmProfile;
+    pub use sudowoodo_index::{BlockingIndex, CosineIndex, ShardedCosineIndex};
 }
