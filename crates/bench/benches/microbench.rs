@@ -138,6 +138,20 @@ fn bench_encoder(c: &mut Criterion) {
     c.bench_function("infer_chunk_meanpool_batch64", |b| {
         b.iter(|| black_box(meanpool.infer_chunk(black_box(&chunk64))))
     });
+    // The PR 3 batched masked-attention paths: one padded tape graph / one tape-free
+    // batched forward per 64-item chunk, vs. the retained per-sequence oracle.
+    c.bench_function("encode_batch_transformer_batch64", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            black_box(transformer.encode_batch(&mut tape, black_box(&batch64), &CutoffPlan::noop()))
+        })
+    });
+    c.bench_function("infer_chunk_transformer_batch64", |b| {
+        b.iter(|| black_box(transformer.infer_chunk(black_box(&chunk64))))
+    });
+    c.bench_function("infer_chunk_reference_transformer_batch64", |b| {
+        b.iter(|| black_box(transformer.infer_chunk_reference(black_box(&chunk64))))
+    });
 }
 
 fn bench_losses(c: &mut Criterion) {

@@ -34,6 +34,14 @@ fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
     let (emb_a, embed_a_t) = Throughput::measure(texts_a.len(), 0, || encoder.embed_all(&texts_a));
     let (emb_b, _) = Throughput::measure(texts_b.len(), 0, || encoder.embed_all(&texts_b));
 
+    // The same corpus through the Transformer arm: since PR 3 this runs the batched
+    // masked-attention path (padded row-blocks, fused score tiles), so its throughput is
+    // tracked next to the MeanPool encoder instead of being an untimed fallback.
+    let mut transformer_config = config.sudowoodo_config().encoder;
+    transformer_config.kind = sudowoodo_core::EncoderKind::Transformer;
+    let transformer = Encoder::from_corpus(transformer_config, &dataset.corpus(), config.seed);
+    let (_, embed_tr_t) = Throughput::measure(texts_a.len(), 0, || transformer.embed_all(&texts_a));
+
     let k = 10;
     let index = CosineIndex::build(emb_b.clone());
     let scored_pairs = emb_a.len() * index.len();
@@ -51,6 +59,11 @@ fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
             stage: "embed_all".into(),
             workload: dataset.name.clone(),
             throughput: embed_a_t,
+        },
+        StageThroughput {
+            stage: "embed_all_transformer".into(),
+            workload: dataset.name.clone(),
+            throughput: embed_tr_t,
         },
         StageThroughput {
             stage: "knn_join".into(),

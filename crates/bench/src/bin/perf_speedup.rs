@@ -6,9 +6,13 @@
 //!
 //! * square `matmul` 128–1024: blocked/SIMD kernel vs. the naive reference triple loop
 //!   ([`Matrix::matmul_naive`]);
-//! * `embed_all` over 4k records: the batched, tape-free, rayon-chunked inference path
-//!   vs. the seed's per-row tape graphs (reconstructed via `encode_text` + `stack_rows`
-//!   per 64-item chunk, which is exactly what the seed's `embed_all` executed);
+//! * `embed_all` over 4k records, for **both** encoder architectures: the batched,
+//!   tape-free, rayon-chunked inference path vs. the seed's per-row tape graphs
+//!   (reconstructed via `encode_text` + `stack_rows` per 64-item chunk, which is exactly
+//!   what the seed's `embed_all` executed);
+//! * the Transformer batched-masked-attention tentpole in isolation: `infer_chunk` vs.
+//!   the frozen per-sequence inference oracle (`infer_chunk_reference`) and the batched
+//!   `encode_batch` tape graph vs. one per-row graph per text;
 //! * `knn_join`: the GEMM-tiled join vs. a per-query scalar scan without kernels.
 //!
 //! Writes `target/experiments/perf_speedup.json` so benchmark logs track the trajectory.
@@ -85,7 +89,7 @@ fn embed_all_seed_style(encoder: &Encoder, texts: &[String]) -> Vec<Vec<f32>> {
     out
 }
 
-fn embed_rows(rows: &mut Vec<SpeedupRow>) {
+fn perf_corpus() -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(2);
     let words = [
         "canon",
@@ -104,20 +108,65 @@ fn embed_rows(rows: &mut Vec<SpeedupRow>) {
         "price",
         "venue",
     ];
-    let corpus: Vec<String> = (0..4_000)
+    // Each record carries a few unique alphanumeric codes (sku / model / reference)
+    // besides the shared title words — product corpora are identifier-heavy, and the
+    // resulting ~12k-token vocabulary is what the embedding table actually looks like at
+    // this corpus size (the paper's EM corpora are capped at 10k records).
+    (0..4_000)
         .map(|i| {
             let picks: Vec<&str> = (0..10)
                 .map(|_| words[rng.gen_range(0..words.len())])
                 .collect();
             format!(
-                "[COL] title [VAL] {} sku{i} [COL] price [VAL] {}",
+                "[COL] title [VAL] {} sku{i} mdl{} [COL] price [VAL] {} ref{}",
                 picks.join(" "),
-                i % 97
+                (i * 7) % 50_000,
+                i % 97,
+                (i * 13) % 60_000,
             )
         })
-        .collect();
+        .collect()
+}
+
+fn embed_rows(rows: &mut Vec<SpeedupRow>) {
+    let corpus = perf_corpus();
+    for kind in [EncoderKind::MeanPool, EncoderKind::Transformer] {
+        let config = EncoderConfig {
+            kind,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        };
+        let encoder = Encoder::from_corpus(config, &corpus, 7);
+
+        let naive = time(2, || embed_all_seed_style(&encoder, &corpus));
+        let fast = time(2, || encoder.embed_all(&corpus));
+        rows.push(SpeedupRow {
+            case: format!("embed_all 4k records ({kind:?} d=32) vs seed per-row tape"),
+            naive_secs: naive,
+            fast_secs: fast,
+            speedup: naive / fast,
+        });
+
+        // Sanity: both paths agree numerically (cosine of matched rows ~ 1).
+        let a = embed_all_seed_style(&encoder, &corpus[..64]);
+        let b = encoder.embed_all(&corpus[..64]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            let cos = Matrix::cosine(x, y);
+            assert!(cos > 1.0 - 1e-4, "embedding paths diverged: cosine {cos}");
+        }
+    }
+}
+
+/// Batched masked attention vs. the retained per-sequence oracle, both tape-free and on
+/// the tape (the PR-3 tentpole). The oracle (`infer_chunk_reference`, per-row
+/// `encode_text` graphs) is frozen, exactly like `matmul_naive` for the kernels.
+fn transformer_batching_rows(rows: &mut Vec<SpeedupRow>) {
+    let corpus = perf_corpus();
     let config = EncoderConfig {
-        kind: EncoderKind::MeanPool,
+        kind: EncoderKind::Transformer,
         dim: 32,
         layers: 1,
         heads: 2,
@@ -126,22 +175,99 @@ fn embed_rows(rows: &mut Vec<SpeedupRow>) {
     };
     let encoder = Encoder::from_corpus(config, &corpus, 7);
 
-    let naive = time(2, || embed_all_seed_style(&encoder, &corpus));
-    let fast = time(2, || encoder.embed_all(&corpus));
+    // Tape-free inference: padded batched masked attention vs the per-sequence loop.
+    let naive = time(2, || {
+        corpus
+            .chunks(64)
+            .map(|chunk| encoder.infer_chunk_reference(chunk).rows())
+            .sum::<usize>()
+    });
+    let fast = time(2, || {
+        corpus
+            .chunks(64)
+            .map(|chunk| encoder.infer_chunk(chunk).rows())
+            .sum::<usize>()
+    });
     rows.push(SpeedupRow {
-        case: "embed_all 4k records (MeanPool d=32)".into(),
+        case: "infer_chunk 4k records (Transformer) vs per-sequence oracle".into(),
         naive_secs: naive,
         fast_secs: fast,
         speedup: naive / fast,
     });
 
-    // Sanity: both paths agree numerically (cosine of matched rows ~ 1).
-    let a = embed_all_seed_style(&encoder, &corpus[..64]);
-    let b = encoder.embed_all(&corpus[..64]);
-    for (x, y) in a.iter().zip(b.iter()) {
-        let cos = Matrix::cosine(x, y);
-        assert!(cos > 1.0 - 1e-4, "embedding paths diverged: cosine {cos}");
-    }
+    // Training path: one batched tape graph per chunk vs one per-row graph per text.
+    let noop = CutoffPlan::noop();
+    let naive_tape = time(2, || {
+        let mut nodes = 0usize;
+        for chunk in corpus.chunks(64) {
+            let mut tape = Tape::new();
+            let tape_rows: Vec<_> = chunk
+                .iter()
+                .map(|t| encoder.encode_text(&mut tape, t, &noop))
+                .collect();
+            let batch = tape.stack_rows(&tape_rows);
+            nodes += tape.value(batch).rows();
+        }
+        nodes
+    });
+    let fast_tape = time(2, || {
+        let mut nodes = 0usize;
+        for chunk in corpus.chunks(64) {
+            let mut tape = Tape::new();
+            let refs: Vec<&str> = chunk.iter().map(|s| s.as_str()).collect();
+            let batch = encoder.encode_batch(&mut tape, &refs, &noop);
+            nodes += tape.value(batch).rows();
+        }
+        nodes
+    });
+    rows.push(SpeedupRow {
+        case: "encode_batch tape graphs 4k records (Transformer) vs per-row graphs".into(),
+        naive_secs: naive_tape,
+        fast_secs: fast_tape,
+        speedup: naive_tape / fast_tape,
+    });
+
+    // What pre-training actually executes per step: forward AND backward. The per-row
+    // graphs pay their per-sequence toll twice over here — every row's embedding gather
+    // scatter-adds into its own full-vocabulary gradient buffer, while the batched graph
+    // allocates one per chunk.
+    let naive_step = time(2, || {
+        let mut total = 0.0f32;
+        for chunk in corpus.chunks(64) {
+            let mut tape = Tape::new();
+            let tape_rows: Vec<_> = chunk
+                .iter()
+                .map(|t| encoder.encode_text(&mut tape, t, &noop))
+                .collect();
+            let batch = tape.stack_rows(&tape_rows);
+            let sq = tape.pow2(batch);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            total += tape.scalar(loss);
+            std::hint::black_box(&grads);
+        }
+        total
+    });
+    let fast_step = time(2, || {
+        let mut total = 0.0f32;
+        for chunk in corpus.chunks(64) {
+            let mut tape = Tape::new();
+            let refs: Vec<&str> = chunk.iter().map(|s| s.as_str()).collect();
+            let batch = encoder.encode_batch(&mut tape, &refs, &noop);
+            let sq = tape.pow2(batch);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            total += tape.scalar(loss);
+            std::hint::black_box(&grads);
+        }
+        total
+    });
+    rows.push(SpeedupRow {
+        case: "encode_batch fwd+bwd 4k records (Transformer) vs per-row graphs".into(),
+        naive_secs: naive_step,
+        fast_secs: fast_step,
+        speedup: naive_step / fast_step,
+    });
 }
 
 /// Per-query scalar scan with no SIMD kernels — the seed's `knn_join`.
@@ -218,6 +344,7 @@ fn main() {
     let mut rows = Vec::new();
     matmul_rows(&mut rows);
     embed_rows(&mut rows);
+    transformer_batching_rows(&mut rows);
     knn_rows(&mut rows);
 
     let printable: Vec<Vec<String>> = rows

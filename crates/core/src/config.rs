@@ -170,9 +170,24 @@ impl Default for SudowoodoConfig {
 
 impl SudowoodoConfig {
     /// A small configuration for unit/integration tests (tiny encoder, one epoch).
+    ///
+    /// The encoder architecture honours the `SUDOWOODO_TEST_ENCODER` environment variable
+    /// (`meanpool` | `transformer`, case-insensitive): CI runs the workspace test suite
+    /// once per encoder kind so the batched Transformer path cannot silently rot while
+    /// the default (`MeanPool`) tier stays fast.
     pub fn test_config() -> Self {
+        let mut encoder = EncoderConfig::tiny();
+        match std::env::var("SUDOWOODO_TEST_ENCODER")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "transformer" => encoder.kind = EncoderKind::Transformer,
+            "meanpool" | "" => {}
+            other => panic!("SUDOWOODO_TEST_ENCODER: unknown encoder kind {other:?}"),
+        }
         SudowoodoConfig {
-            encoder: EncoderConfig::tiny(),
+            encoder,
             projector_dim: 16,
             pretrain_epochs: 1,
             batch_size: 8,

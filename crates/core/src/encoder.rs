@@ -119,31 +119,51 @@ impl Encoder {
     }
 
     /// Encodes one tokenized item on the tape, returning a `1 x dim` L2-normalized vector.
+    ///
+    /// This is the **per-sequence reference path**: [`Encoder::encode_batch`] must stay
+    /// numerically equivalent to stacking `encode_ids` outputs (it is the frozen oracle of
+    /// `crates/nn/tests/attention_equivalence.rs` and the `perf_speedup` baseline, the same
+    /// role [`Matrix::matmul_naive`] plays for the GEMM kernels). An item that tokenizes to
+    /// nothing pools to the zero row instead of panicking.
     pub fn encode_ids(&self, tape: &mut Tape, token_ids: &[usize], cutoff: &CutoffPlan) -> VarId {
         let ids: Vec<usize> = token_ids
             .iter()
             .take(self.config.max_len)
             .copied()
             .collect();
-        let embedded = self.embedding.forward(tape, &ids);
-        // Cutoff acts on the token-embedding matrix: multiply by a constant 0/1 mask so that
-        // gradients still flow to the surviving entries.
-        let mask = cutoff.apply(&Matrix::full(ids.len(), self.config.dim, 1.0));
-        let mask_node = tape.constant(mask);
-        let masked = tape.mul(embedded, mask_node);
-
-        let pooled = match self.config.kind {
-            EncoderKind::MeanPool => {
-                let mean = tape.mean_rows(masked);
-                let lifted = self.pool_mlp.forward(tape, mean);
-                tape.add(mean, lifted)
-            }
-            EncoderKind::Transformer => {
-                let mut x = self.positional.forward(tape, masked, ids.len());
-                for block in &self.blocks {
-                    x = block.forward(tape, x);
+        let pooled = if ids.is_empty() {
+            // Zero tokens: nothing to embed or attend over. The token mean is the zero row
+            // (the value `mean_rows`/`segment_mean_rows` assign an empty segment), and the
+            // MeanPool MLP still applies to it so the batched path stays equivalent.
+            let mean = tape.constant(Matrix::zeros(1, self.config.dim));
+            match self.config.kind {
+                EncoderKind::MeanPool => {
+                    let lifted = self.pool_mlp.forward(tape, mean);
+                    tape.add(mean, lifted)
                 }
-                tape.mean_rows(x)
+                EncoderKind::Transformer => mean,
+            }
+        } else {
+            let embedded = self.embedding.forward(tape, &ids);
+            // Cutoff acts on the token-embedding matrix: multiply by a constant 0/1 mask so
+            // that gradients still flow to the surviving entries.
+            let mask = cutoff.apply(&Matrix::full(ids.len(), self.config.dim, 1.0));
+            let mask_node = tape.constant(mask);
+            let masked = tape.mul(embedded, mask_node);
+
+            match self.config.kind {
+                EncoderKind::MeanPool => {
+                    let mean = tape.mean_rows(masked);
+                    let lifted = self.pool_mlp.forward(tape, mean);
+                    tape.add(mean, lifted)
+                }
+                EncoderKind::Transformer => {
+                    let mut x = self.positional.forward(tape, masked, ids.len());
+                    for block in &self.blocks {
+                        x = block.forward(tape, x);
+                    }
+                    tape.mean_rows(x)
+                }
             }
         };
         let normed = self.output_norm.forward(tape, pooled);
@@ -157,24 +177,24 @@ impl Encoder {
     }
 
     /// Encodes a batch of serialized texts on the tape, returning an `n x dim` matrix of
-    /// L2-normalized rows.
+    /// L2-normalized rows. An empty batch yields an empty `0 x dim` node instead of
+    /// panicking.
     ///
-    /// For the `MeanPool` architecture the whole batch is **one** graph of batched ops —
-    /// a single embedding gather over the concatenated token ids, one constant cutoff
-    /// mask, and a segment-mean pooling matmul — instead of `n` independent single-row
-    /// sub-graphs. The Transformer architecture still runs its attention blocks per
-    /// sequence (attention must not mix items) and stacks the pooled rows.
+    /// For **both** architectures the whole batch is **one** graph of batched ops. The
+    /// `MeanPool` arm runs a single embedding gather over the concatenated token ids, one
+    /// constant cutoff mask, and a segment-mean pooling matmul. The `Transformer` arm
+    /// packs the sequences into a padded `[n*max_len, dim]` row-block and runs batched
+    /// masked attention — padding keys are masked out of every softmax and pooling skips
+    /// padding rows, so no item ever mixes with another (numerically equivalent to the
+    /// per-sequence [`Encoder::encode_ids`] oracle, see
+    /// `crates/nn/tests/attention_equivalence.rs`).
     pub fn encode_batch(&self, tape: &mut Tape, texts: &[&str], cutoff: &CutoffPlan) -> VarId {
-        assert!(!texts.is_empty(), "encode_batch: empty batch");
+        if texts.is_empty() {
+            return tape.constant(Matrix::zeros(0, self.config.dim));
+        }
         match self.config.kind {
             EncoderKind::MeanPool => self.encode_batch_meanpool(tape, texts, cutoff),
-            EncoderKind::Transformer => {
-                let rows: Vec<VarId> = texts
-                    .iter()
-                    .map(|t| self.encode_text(tape, t, cutoff))
-                    .collect();
-                tape.stack_rows(&rows)
-            }
+            EncoderKind::Transformer => self.encode_batch_transformer(tape, texts, cutoff),
         }
     }
 
@@ -218,6 +238,69 @@ impl Encoder {
         tape.l2_normalize_rows(normed)
     }
 
+    /// Batched `Transformer` forward: the sequences of the batch are packed into one
+    /// padded `[n*max_len, dim]` row-block (`max_len` = longest sequence of this batch)
+    /// and every op runs once for the whole batch — a single embedding gather, one fused
+    /// cutoff+padding mask, batched positional add, `layers` batched masked Transformer
+    /// blocks, and one padding-aware segment-mean pooling. Padding rows carry the padding
+    /// token's embedding but are masked out of every attention softmax and excluded from
+    /// pooling, so they influence neither values nor gradients.
+    fn encode_batch_transformer(
+        &self,
+        tape: &mut Tape,
+        texts: &[&str],
+        cutoff: &CutoffPlan,
+    ) -> VarId {
+        let dim = self.config.dim;
+        let ids_per_text: Vec<Vec<usize>> = texts
+            .iter()
+            .map(|t| self.vocab.encode(t, self.config.max_len))
+            .collect();
+        let lens: Vec<usize> = ids_per_text.iter().map(|ids| ids.len()).collect();
+        let max_len = lens.iter().copied().max().unwrap_or(0).max(1);
+
+        // ONE gather over the padded batch: `n*max_len x dim`. Padding slots gather the
+        // PAD token row; their gradient is exactly zero (masked keys, skipped pooling), so
+        // the scatter-add of the backward pass never touches the PAD embedding for them.
+        let mut padded_ids = Vec::with_capacity(lens.len() * max_len);
+        for ids in &ids_per_text {
+            padded_ids.extend(ids.iter().copied());
+            padded_ids.resize(padded_ids.len() + (max_len - ids.len()), 0);
+        }
+        let embedded = self.embedding.forward(tape, &padded_ids);
+
+        // Fused cutoff + padding mask: each item's batch-wise cutoff mask lands in its
+        // block's leading rows and padding rows are zeroed. When there is no cutoff and no
+        // ragged padding the multiply would be the identity, so it is skipped.
+        let needs_mask = cutoff.kind() != CutoffKind::None || lens.iter().any(|&len| len < max_len);
+        let masked = if needs_mask {
+            let mut mask = Matrix::zeros(lens.len() * max_len, dim);
+            for (b, ids) in ids_per_text.iter().enumerate() {
+                if ids.is_empty() {
+                    continue;
+                }
+                let item = cutoff.apply(&Matrix::full(ids.len(), dim, 1.0));
+                for t in 0..ids.len() {
+                    mask.row_mut(b * max_len + t).copy_from_slice(item.row(t));
+                }
+            }
+            let mask_node = tape.constant(mask);
+            tape.mul(embedded, mask_node)
+        } else {
+            embedded
+        };
+
+        let mut x = self
+            .positional
+            .forward_batch(tape, masked, lens.len(), max_len);
+        for block in &self.blocks {
+            x = block.forward_batch(tape, x, &lens, max_len);
+        }
+        let pooled = tape.padded_segment_mean_rows(x, &lens, max_len);
+        let normed = self.output_norm.forward(tape, pooled);
+        tape.l2_normalize_rows(normed)
+    }
+
     /// Inference-only embedding of many texts (no augmentation, no tape, no gradient
     /// bookkeeping), parallel over 64-item chunks with rayon. Each chunk runs the batched
     /// matrix-level forward of [`Encoder::infer_chunk`]; model weights are shared across
@@ -239,10 +322,21 @@ impl Encoder {
         out
     }
 
-    /// Batched inference forward for one chunk, returning `n x dim` L2-normalized rows.
+    /// Batched inference forward for one chunk, returning `n x dim` L2-normalized rows
+    /// (`0 x dim` for an empty chunk).
+    ///
+    /// Both architectures run whole-chunk batched ops: `MeanPool` gathers and segment-mean
+    /// pools in place; `Transformer` packs the chunk into a padded `[n*max_len, dim]`
+    /// row-block and runs the batched masked attention path (projections and feed-forward
+    /// as chunk-wide GEMMs, scores as fused per-`(sequence, head)` `A * B^T` tiles with
+    /// padding keys masked). [`Encoder::infer_chunk_reference`] keeps the retired
+    /// per-sequence loop as the frozen equivalence oracle.
     pub fn infer_chunk(&self, texts: &[String]) -> Matrix {
         let n = texts.len();
         let dim = self.config.dim;
+        if n == 0 {
+            return Matrix::zeros(0, dim);
+        }
         let ids_per_text: Vec<Vec<usize>> = texts
             .iter()
             .map(|t| self.vocab.encode(t, self.config.max_len))
@@ -274,8 +368,56 @@ impl Encoder {
                 means.add(&lifted)
             }
             EncoderKind::Transformer => {
+                let lens: Vec<usize> = ids_per_text.iter().map(|ids| ids.len()).collect();
+                let max_len = lens.iter().copied().max().unwrap_or(0).max(1);
+                let mut padded_ids = Vec::with_capacity(n * max_len);
+                for ids in &ids_per_text {
+                    padded_ids.extend(ids.iter().copied());
+                    padded_ids.resize(padded_ids.len() + (max_len - ids.len()), 0);
+                }
+                let embedded = self.embedding.lookup(&padded_ids);
+                let mut x = self.positional.infer_batch(&embedded, n, max_len);
+                for block in &self.blocks {
+                    x = block.infer_batch(&x, &lens, max_len);
+                }
+                sudowoodo_nn::tape::padded_segment_mean_rows(&x, &lens, max_len)
+            }
+        };
+        let normed = self.output_norm.infer(&pooled);
+        normed.l2_normalize_rows()
+    }
+
+    /// The retired per-sequence inference loop, kept verbatim as the frozen oracle for the
+    /// batched-attention equivalence tests and the `perf_speedup` baseline (the role
+    /// [`Matrix::matmul_naive`] plays for the GEMM kernels). Do not optimize this.
+    pub fn infer_chunk_reference(&self, texts: &[String]) -> Matrix {
+        let n = texts.len();
+        let dim = self.config.dim;
+        let ids_per_text: Vec<Vec<usize>> = texts
+            .iter()
+            .map(|t| self.vocab.encode(t, self.config.max_len))
+            .collect();
+
+        let pooled = match self.config.kind {
+            EncoderKind::MeanPool => {
+                let mut means = Matrix::zeros(n, dim);
+                for (i, ids) in ids_per_text.iter().enumerate() {
+                    if !ids.is_empty() {
+                        let embedded = self.embedding.lookup(ids);
+                        means
+                            .row_mut(i)
+                            .copy_from_slice(embedded.mean_rows().row(0));
+                    }
+                }
+                let lifted = self.pool_mlp.infer(&means);
+                means.add(&lifted)
+            }
+            EncoderKind::Transformer => {
                 let mut pooled = Matrix::zeros(n, dim);
                 for (i, ids) in ids_per_text.iter().enumerate() {
+                    if ids.is_empty() {
+                        continue;
+                    }
                     let mut x = self.embedding.lookup(ids);
                     x = self.positional.infer(&x, ids.len());
                     for block in &self.blocks {
@@ -425,6 +567,102 @@ mod tests {
             }
         }
         assert!(with_grad > 0, "no parameter received a gradient");
+    }
+
+    #[test]
+    fn encode_batch_of_zero_texts_yields_empty_matrix() {
+        // Regression: this used to panic with "encode_batch: empty batch".
+        for kind in [EncoderKind::MeanPool, EncoderKind::Transformer] {
+            let config = EncoderConfig {
+                kind,
+                ..EncoderConfig::tiny()
+            };
+            let encoder = Encoder::from_corpus(config, &small_corpus(), 11);
+            let mut tape = Tape::new();
+            let out = encoder.encode_batch(&mut tape, &[], &CutoffPlan::noop());
+            assert_eq!(tape.value(out).shape(), (0, config.dim));
+            assert_eq!(encoder.infer_chunk(&[]).shape(), (0, config.dim));
+            assert!(encoder.embed_all(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_length_token_sequences_pool_to_defined_rows() {
+        // Regression: a sequence that tokenizes to nothing must produce a defined,
+        // finite, unit-norm embedding (the zero pooled row pushed through the output
+        // norm) on the per-sequence oracle — the same convention the batched padded
+        // pooling assigns an all-padding block.
+        for kind in [EncoderKind::MeanPool, EncoderKind::Transformer] {
+            let config = EncoderConfig {
+                kind,
+                ..EncoderConfig::tiny()
+            };
+            let encoder = Encoder::from_corpus(config, &small_corpus(), 12);
+            let mut tape = Tape::new();
+            let out = encoder.encode_ids(&mut tape, &[], &CutoffPlan::noop());
+            let v = tape.value(out);
+            assert_eq!(v.shape(), (1, config.dim));
+            assert!(
+                v.data().iter().all(|x| x.is_finite()),
+                "{kind:?}: non-finite embedding for an empty token sequence"
+            );
+            // A fresh encoder has zero biases, so the zero pooled row stays the zero
+            // vector (which `l2_normalize_rows` deliberately leaves unchanged) — what
+            // matters is that the row is defined, not that it has unit norm.
+        }
+    }
+
+    #[test]
+    fn ragged_batches_with_empty_texts_agree_across_paths() {
+        // "" tokenizes to the single PAD token, giving maximal raggedness next to a long
+        // text; batched tape, per-row oracle, and batched inference must still agree.
+        let corpus = small_corpus();
+        let config = EncoderConfig {
+            kind: EncoderKind::Transformer,
+            ..EncoderConfig::tiny()
+        };
+        let encoder = Encoder::from_corpus(config, &corpus, 13);
+        let texts = vec!["".to_string(), corpus[0].clone(), "canon".to_string()];
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+
+        let mut tape = Tape::new();
+        let batched = encoder.encode_batch(&mut tape, &refs, &CutoffPlan::noop());
+        let batched = tape.value(batched).clone();
+
+        let mut row_tape = Tape::new();
+        let rows: Vec<_> = refs
+            .iter()
+            .map(|t| encoder.encode_text(&mut row_tape, t, &CutoffPlan::noop()))
+            .collect();
+        let per_row = row_tape.stack_rows(&rows);
+        let per_row = row_tape.value(per_row).clone();
+
+        assert!(batched.approx_eq(&per_row, 1e-4));
+        assert!(batched.approx_eq(&encoder.infer_chunk(&texts), 1e-4));
+        assert!(batched.approx_eq(&encoder.infer_chunk_reference(&texts), 1e-4));
+    }
+
+    #[test]
+    fn batched_inference_matches_per_sequence_reference() {
+        // The frozen per-sequence loop (`infer_chunk_reference`) is the oracle for the
+        // batched masked-attention inference path.
+        for kind in [EncoderKind::MeanPool, EncoderKind::Transformer] {
+            let config = EncoderConfig {
+                kind,
+                dim: 16,
+                layers: 2,
+                heads: 4,
+                ff_hidden: 32,
+                max_len: 24,
+            };
+            let encoder = Encoder::from_corpus(config, &small_corpus(), 14);
+            let batched = encoder.infer_chunk(&small_corpus());
+            let reference = encoder.infer_chunk_reference(&small_corpus());
+            assert!(
+                batched.approx_eq(&reference, 1e-4),
+                "{kind:?}: batched inference diverged from the per-sequence oracle"
+            );
+        }
     }
 
     #[test]

@@ -129,6 +129,136 @@ mod tests {
     }
 
     #[test]
+    fn masked_row_softmax_gradients_match_finite_differences() {
+        // Valid prefixes of mixed widths, including a fully masked row whose entries must
+        // keep zero gradient (nudging them cannot change the loss).
+        let valid = [3usize, 1, 0, 4];
+        let p = Param::new(
+            "scores",
+            Matrix::from_rows(&[
+                vec![0.4, -1.2, 0.7, 0.1],
+                vec![1.5, 0.3, -0.8, 2.0],
+                vec![9.0, -9.0, 5.0, -5.0],
+                vec![-0.6, 0.9, 0.2, -1.1],
+            ]),
+        );
+        let p_handle = p.clone();
+        assert_gradients_close(
+            std::slice::from_ref(&p),
+            move |tape| {
+                let w = tape.param(&p_handle);
+                let soft = tape.masked_row_softmax(w, &valid);
+                // A non-uniform readout so the softmax Jacobian is exercised off-diagonal.
+                let weights = tape.constant(Matrix::from_rows(&[
+                    vec![1.0, -2.0, 3.0, 0.5],
+                    vec![0.2, 1.3, -0.7, 2.1],
+                    vec![1.0, 1.0, 1.0, 1.0],
+                    vec![-1.5, 0.4, 2.2, -0.3],
+                ]));
+                let weighted = tape.mul(soft, weights);
+                tape.sum_all(weighted)
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn padded_segment_mean_rows_gradients_match_finite_differences() {
+        // Three blocks of stride 3 with lengths {2, 0, 3}: padding rows and the empty
+        // block must stay gradient-free, pooled rows scale by 1/len.
+        let lens = [2usize, 0, 3];
+        let p = Param::new(
+            "packed",
+            Matrix::from_fn(9, 2, |r, c| 0.3 * r as f32 - 0.2 * c as f32),
+        );
+        let p_handle = p.clone();
+        assert_gradients_close(
+            std::slice::from_ref(&p),
+            move |tape| {
+                let w = tape.param(&p_handle);
+                let pooled = tape.padded_segment_mean_rows(w, &lens, 3);
+                let sq = tape.pow2(pooled);
+                tape.sum_all(sq)
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn masked_standardize_rows_gradients_match_finite_differences() {
+        let valid = [true, false, true];
+        let p = Param::new(
+            "x",
+            Matrix::from_rows(&[
+                vec![0.9, -0.4, 1.3, 0.2],
+                vec![5.0, -5.0, 5.0, -5.0],
+                vec![-1.1, 0.6, 0.3, -0.8],
+            ]),
+        );
+        let p_handle = p.clone();
+        assert_gradients_close(
+            std::slice::from_ref(&p),
+            move |tape| {
+                let w = tape.param(&p_handle);
+                let y = tape.masked_standardize_rows(w, 1e-5, &valid);
+                let weights = tape.constant(Matrix::from_fn(3, 4, |r, c| {
+                    0.5 + 0.3 * r as f32 - 0.4 * c as f32
+                }));
+                let weighted = tape.mul(y, weights);
+                tape.sum_all(weighted)
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn attention_score_and_context_gradients_match_finite_differences() {
+        // Two packed sequences, two heads, ragged valid-key counts: checks the fused
+        // scores -> masked softmax -> context chain end to end against finite differences.
+        let lens = [2usize, 3];
+        let seq = 3;
+        let heads = 2;
+        let q = Param::new(
+            "q",
+            Matrix::from_fn(6, 4, |r, c| 0.1 * r as f32 - 0.15 * c as f32),
+        );
+        let k = Param::new(
+            "k",
+            Matrix::from_fn(6, 4, |r, c| 0.07 * (r + c) as f32 - 0.2),
+        );
+        let v = Param::new(
+            "v",
+            Matrix::from_fn(6, 4, |r, c| 0.11 * r as f32 + 0.05 * c as f32),
+        );
+        let params = [q.clone(), k.clone(), v.clone()];
+        let valid: Vec<usize> = lens
+            .iter()
+            .flat_map(|&len| std::iter::repeat_n(len, heads * seq))
+            .collect();
+        assert_gradients_close(
+            &params,
+            move |tape| {
+                let qv = tape.param(&q);
+                let kv = tape.param(&k);
+                let vv = tape.param(&v);
+                let scores = tape.attention_scores(qv, kv, heads, seq, 0.5);
+                let attn = tape.masked_row_softmax(scores, &valid);
+                let ctx = tape.attention_context(attn, vv, heads, seq);
+                let pooled = tape.padded_segment_mean_rows(ctx, &lens, seq);
+                let sq = tape.pow2(pooled);
+                tape.sum_all(sq)
+            },
+            1e-3,
+            // f32 central differences bottom out around 1e-4 absolute error; with the
+            // relative denominator floored at 1e-3 that shows up as a few percent.
+            5e-2,
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "gradient check failed")]
     fn detects_wrong_gradient() {
         // exp(x) has gradient exp(x); a loss computed with `ln` after clamping behaves

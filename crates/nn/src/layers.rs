@@ -10,6 +10,31 @@ use crate::matrix::Matrix;
 use crate::param::Param;
 use crate::tape::{Tape, VarId};
 
+/// Per-row validity flags of a packed `[batch*max_len, d]` row-block: row `b*max_len + t`
+/// is valid when `t < lens[b]`. Shared by the batched layers and their tests.
+pub fn padded_row_validity(lens: &[usize], max_len: usize) -> Vec<bool> {
+    let mut valid = Vec::with_capacity(lens.len() * max_len);
+    for &len in lens {
+        for t in 0..max_len {
+            valid.push(t < len);
+        }
+    }
+    valid
+}
+
+/// Per-row valid-key counts of the `[batch*heads*max_len, max_len]` attention-score tile
+/// stack: every query row of tile `(b, h)` may attend to the `lens[b]` real keys of its
+/// own sequence, so its softmax is masked after `lens[b]` columns.
+pub fn attention_valid_counts(lens: &[usize], heads: usize, max_len: usize) -> Vec<usize> {
+    let mut valid = Vec::with_capacity(lens.len() * heads * max_len);
+    for &len in lens {
+        for _ in 0..heads * max_len {
+            valid.push(len.min(max_len));
+        }
+    }
+    valid
+}
+
 /// Common interface for parameterized layers.
 pub trait Layer {
     /// All trainable parameters of the layer (and its sub-layers).
@@ -76,13 +101,14 @@ impl Linear {
 
     /// Inference-only forward: one batched GEMM straight on matrices, no tape, no
     /// gradient bookkeeping, and no parameter cloning (weights are read under a shared
-    /// lock). Safe to call from many threads at once.
+    /// lock; the bias adds in place on the GEMM output). Safe to call from many threads
+    /// at once.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let y = self.weight.with_value(|w| x.matmul(w));
-        match &self.bias {
-            Some(bias) => bias.with_value(|b| y.add_row_broadcast(b)),
-            None => y,
+        let mut y = self.weight.with_value(|w| x.matmul(w));
+        if let Some(bias) = &self.bias {
+            bias.with_value(|b| y.add_row_broadcast_mut(b));
         }
+        y
     }
 }
 
@@ -179,6 +205,29 @@ impl LayerNorm {
         let scaled = self.gain.with_value(|g| standardized.mul_row_broadcast(g));
         self.bias.with_value(|b| scaled.add_row_broadcast(b))
     }
+
+    /// Padding-aware forward over a packed `[batch*max_len, d]` row-block: rows flagged
+    /// `false` in `valid` skip standardization (they are forced to zero, so padding rows
+    /// cost nothing and contribute no gradient), valid rows match [`LayerNorm::forward`]
+    /// exactly.
+    pub fn forward_batch(&self, tape: &mut Tape, x: VarId, valid: &[bool]) -> VarId {
+        let standardized = tape.masked_standardize_rows(x, self.eps, valid);
+        let g = tape.param(&self.gain);
+        let scaled = tape.mul_row_broadcast(standardized, g);
+        let b = tape.param(&self.bias);
+        tape.add_row_broadcast(scaled, b)
+    }
+
+    /// Inference-only padding-aware forward (no tape). Gain and bias apply in place on
+    /// the standardized buffer — no extra allocation per sub-layer call.
+    pub fn infer_batch(&self, x: &Matrix, valid: &[bool]) -> Matrix {
+        let mut standardized = crate::tape::masked_standardize_rows(x, self.eps, valid);
+        self.gain
+            .with_value(|g| standardized.mul_row_broadcast_mut(g));
+        self.bias
+            .with_value(|b| standardized.add_row_broadcast_mut(b));
+        standardized
+    }
 }
 
 impl Layer for LayerNorm {
@@ -212,9 +261,10 @@ impl FeedForward {
         self.project.forward(tape, h)
     }
 
-    /// Inference-only forward (no tape): two batched GEMMs and a GELU map.
+    /// Inference-only forward (no tape): two batched GEMMs and an in-place GELU map.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let h = self.lift.infer(x).map(crate::tape::gelu);
+        let mut h = self.lift.infer(x);
+        crate::tape::gelu_slice(h.data_mut());
         self.project.infer(&h)
     }
 }
@@ -315,6 +365,52 @@ impl MultiHeadSelfAttention {
         let refs: Vec<&Matrix> = head_outputs.iter().collect();
         self.wo.infer(&Matrix::hstack(&refs))
     }
+
+    /// Batched masked forward over a packed `[batch*max_len, dim]` row-block holding
+    /// `lens.len()` sequences padded to `max_len` rows each. The Q/K/V/O projections run
+    /// as single whole-batch GEMMs; the scores of all heads of all sequences are fused
+    /// `A * B^T` GEMM tiles ([`Tape::attention_scores`]); padding keys are masked out of
+    /// the softmax ([`Tape::masked_row_softmax`]), so the rows of every sequence attend
+    /// exactly as in the per-sequence [`MultiHeadSelfAttention::forward`] oracle.
+    pub fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        x: VarId,
+        lens: &[usize],
+        max_len: usize,
+    ) -> VarId {
+        let dim = self.wq.out_dim();
+        let head_dim = dim / self.num_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+
+        let q = self.wq.forward(tape, x);
+        let k = self.wk.forward(tape, x);
+        let v = self.wv.forward(tape, x);
+
+        let scores = tape.attention_scores(q, k, self.num_heads, max_len, scale);
+        let valid = attention_valid_counts(lens, self.num_heads, max_len);
+        let attn = tape.masked_row_softmax(scores, &valid);
+        let ctx = tape.attention_context(attn, v, self.num_heads, max_len);
+        self.wo.forward(tape, ctx)
+    }
+
+    /// Inference-only batched masked forward (no tape); same packing as
+    /// [`MultiHeadSelfAttention::forward_batch`], but the scores → masked softmax →
+    /// context chain runs as the fused allocation-free kernel
+    /// [`crate::tape::masked_attention_infer`] (numerically identical to the composed
+    /// tape ops — the equivalence tests pin both against the per-sequence oracle).
+    pub fn infer_batch(&self, x: &Matrix, lens: &[usize], max_len: usize) -> Matrix {
+        let dim = self.wq.out_dim();
+        let head_dim = dim / self.num_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let ctx =
+            crate::tape::masked_attention_infer(&q, &k, &v, self.num_heads, max_len, scale, lens);
+        self.wo.infer(&ctx)
+    }
 }
 
 impl Layer for MultiHeadSelfAttention {
@@ -374,6 +470,40 @@ impl TransformerBlock {
         x.add_assign(&ff);
         x
     }
+
+    /// Batched masked forward over a packed `[batch*max_len, dim]` row-block: layer norms
+    /// skip padding rows, attention masks padding keys, and the feed-forward runs as one
+    /// whole-batch GEMM pair. Valid rows match [`TransformerBlock::forward`] exactly.
+    pub fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        x: VarId,
+        lens: &[usize],
+        max_len: usize,
+    ) -> VarId {
+        let valid = padded_row_validity(lens, max_len);
+        let normed = self.norm1.forward_batch(tape, x, &valid);
+        let attended = self.attention.forward_batch(tape, normed, lens, max_len);
+        let x = tape.add(x, attended);
+        let normed = self.norm2.forward_batch(tape, x, &valid);
+        let ff = self.feed_forward.forward(tape, normed);
+        tape.add(x, ff)
+    }
+
+    /// Inference-only batched masked forward (no tape). Residuals accumulate in place on
+    /// the owned sub-layer outputs (element-wise addition commutes, so the values match
+    /// the tape path exactly).
+    pub fn infer_batch(&self, x: &Matrix, lens: &[usize], max_len: usize) -> Matrix {
+        let valid = padded_row_validity(lens, max_len);
+        let normed = self.norm1.infer_batch(x, &valid);
+        let mut x1 = self.attention.infer_batch(&normed, lens, max_len);
+        x1.add_assign(x);
+        let mut out = self
+            .feed_forward
+            .infer(&self.norm2.infer_batch(&x1, &valid));
+        out.add_assign(&x1);
+        out
+    }
 }
 
 impl Layer for TransformerBlock {
@@ -426,6 +556,36 @@ impl PositionalEmbedding {
         let indices: Vec<usize> = (0..len).map(|i| i.min(max - 1)).collect();
         let pos = self.table.with_value(|t| t.gather_rows(&indices));
         x.add(&pos)
+    }
+
+    /// Positional indices of a packed `[batch*max_len, d]` row-block: every block repeats
+    /// positions `0..max_len` (clamped to the table size). Padding rows receive a position
+    /// embedding too, but it never leaks — attention masks them and pooling skips them.
+    fn padded_indices(&self, batch: usize, max_len: usize) -> Vec<usize> {
+        let max = self.max_len();
+        let mut indices = Vec::with_capacity(batch * max_len);
+        for _ in 0..batch {
+            indices.extend((0..max_len).map(|i| i.min(max - 1)));
+        }
+        indices
+    }
+
+    /// Adds positional embeddings to every sequence of a packed `[batch*max_len, d]`
+    /// row-block.
+    pub fn forward_batch(&self, tape: &mut Tape, x: VarId, batch: usize, max_len: usize) -> VarId {
+        let indices = self.padded_indices(batch, max_len);
+        let table = tape.param(&self.table);
+        let pos = tape.gather_rows(table, &indices);
+        tape.add(x, pos)
+    }
+
+    /// Inference-only batched forward (no tape); the sum accumulates in place on the
+    /// gathered position rows.
+    pub fn infer_batch(&self, x: &Matrix, batch: usize, max_len: usize) -> Matrix {
+        let indices = self.padded_indices(batch, max_len);
+        let mut pos = self.table.with_value(|t| t.gather_rows(&indices));
+        pos.add_assign(x);
+        pos
     }
 }
 

@@ -38,7 +38,7 @@ const PAR_FLOPS: usize = 1 << 20;
 /// full of tiny products where a per-op pack allocation would dominate.
 const TILE_FLOPS: usize = 1 << 14;
 
-mod kernels {
+pub(crate) mod kernels {
     //! SIMD microkernels with runtime feature detection.
     //!
     //! Every kernel has a scalar fallback with the same accumulation order; the AVX2+FMA
@@ -1253,6 +1253,40 @@ impl Matrix {
             *v /= n;
         }
         out
+    }
+
+    /// Adds a `1 x d` row vector to every row in place.
+    ///
+    /// # Panics
+    /// Panics when `bias` is not `1 x cols`.
+    pub fn add_row_broadcast_mut(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "add_row_broadcast_mut: bias must be 1 x d");
+        assert_eq!(
+            self.cols, bias.cols,
+            "add_row_broadcast_mut: width mismatch"
+        );
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias.data.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Multiplies every row element-wise by a `1 x d` row vector in place.
+    ///
+    /// # Panics
+    /// Panics when `gain` is not `1 x cols`.
+    pub fn mul_row_broadcast_mut(&mut self, gain: &Matrix) {
+        assert_eq!(gain.rows, 1, "mul_row_broadcast_mut: gain must be 1 x d");
+        assert_eq!(
+            self.cols, gain.cols,
+            "mul_row_broadcast_mut: width mismatch"
+        );
+        for r in 0..self.rows {
+            for (v, &g) in self.row_mut(r).iter_mut().zip(gain.data.iter()) {
+                *v *= g;
+            }
+        }
     }
 
     /// Adds a `1 x d` row vector to every row, producing a new matrix.

@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sudowoodo_nn::gradcheck::check_gradients;
-use sudowoodo_nn::layers::{FeedForward, Layer, LayerNorm, Linear, MultiHeadSelfAttention};
+use sudowoodo_nn::layers::{
+    FeedForward, Layer, LayerNorm, Linear, MultiHeadSelfAttention, TransformerBlock,
+};
 use sudowoodo_nn::matrix::Matrix;
 use sudowoodo_nn::param::Param;
 
@@ -124,6 +126,66 @@ fn attention_block_gradients_match() {
                 let input = tape.constant(x.clone());
                 let y = attn.forward(tape, input);
                 let sq = tape.pow2(y);
+                tape.mean_all(sq)
+            },
+            1e-2,
+        );
+        assert!(max_rel(&reports) < 0.08, "seed {seed}: {reports:?}");
+    }
+}
+
+#[test]
+fn batched_masked_attention_gradients_match() {
+    // The batched padded path (fused score tiles + masked softmax + padding-aware
+    // pooling) must itself pass finite differences, not only agree with the per-sequence
+    // oracle (tests/attention_equivalence.rs covers the latter).
+    let max_len = 4;
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lens = [rng.gen_range(1..=max_len), rng.gen_range(0..max_len)];
+        let x = small_matrix(2 * max_len, 8, &mut rng);
+        let mut attn_rng = StdRng::seed_from_u64(31);
+        let attn = MultiHeadSelfAttention::new("a", 8, 2, &mut attn_rng);
+        let params = attn.params();
+        let subset = vec![params[0].clone(), params[2].clone(), params[6].clone()];
+        let reports = check_gradients(
+            &subset,
+            |tape| {
+                let input = tape.constant(x.clone());
+                let y = attn.forward_batch(tape, input, &lens, max_len);
+                let pooled = tape.padded_segment_mean_rows(y, &lens, max_len);
+                let sq = tape.pow2(pooled);
+                tape.mean_all(sq)
+            },
+            1e-2,
+        );
+        // Slightly looser than the per-sequence attention check: the masked softmax uses
+        // the fast exponential (~1e-6 relative error), which shows up as ~5e-5 absolute
+        // noise in central differences with this epsilon — visible only on the tiniest
+        // gradient entries.
+        assert!(max_rel(&reports) < 0.15, "seed {seed}: {reports:?}");
+    }
+}
+
+#[test]
+fn batched_transformer_block_gradients_match() {
+    let max_len = 3;
+    for seed in 0..CASES / 4 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let lens = [max_len, rng.gen_range(0..max_len)];
+        let x = small_matrix(2 * max_len, 8, &mut rng);
+        let mut block_rng = StdRng::seed_from_u64(37);
+        let block = TransformerBlock::new("b", 8, 2, 16, &mut block_rng);
+        let params = block.params();
+        // Check a spread of sub-layer parameters (norm gain, attention weight, ff weight).
+        let subset = vec![params[0].clone(), params[2].clone(), params[11].clone()];
+        let reports = check_gradients(
+            &subset,
+            |tape| {
+                let input = tape.constant(x.clone());
+                let y = block.forward_batch(tape, input, &lens, max_len);
+                let pooled = tape.padded_segment_mean_rows(y, &lens, max_len);
+                let sq = tape.pow2(pooled);
                 tape.mean_all(sq)
             },
             1e-2,

@@ -15,33 +15,53 @@ use std::collections::HashMap;
 /// digit runs kept together.
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut tokens = Vec::new();
+    tokenize_each(text, |t| {
+        tokens.push(t.to_string());
+        true
+    });
+    tokens
+}
+
+/// Streaming flavour of [`tokenize`]: calls `f` once per token, reusing a single buffer
+/// instead of allocating one `String` per token. `f` returns `false` to stop early (used
+/// by [`Vocab::encode`] to bail out at `max_len` — encoding is on the hot path of every
+/// embedding batch, so it should neither allocate per token nor scan past the cutoff).
+pub fn tokenize_each(text: &str, mut f: impl FnMut(&str) -> bool) {
+    let mut current = String::new();
     for raw in text.split_whitespace() {
         if raw.starts_with('[') && raw.ends_with(']') {
-            tokens.push(raw.to_string());
+            if !f(raw) {
+                return;
+            }
             continue;
         }
-        let mut current = String::new();
+        current.clear();
         let mut current_is_alnum = false;
         for ch in raw.chars() {
             let is_alnum = ch.is_alphanumeric();
             if is_alnum {
                 if !current.is_empty() && !current_is_alnum {
-                    tokens.push(std::mem::take(&mut current));
+                    if !f(&current) {
+                        return;
+                    }
+                    current.clear();
                 }
                 current.push(ch.to_ascii_lowercase());
             } else {
                 if !current.is_empty() && current_is_alnum {
-                    tokens.push(std::mem::take(&mut current));
+                    if !f(&current) {
+                        return;
+                    }
+                    current.clear();
                 }
                 // punctuation characters are dropped (they carry no signal in these corpora)
             }
             current_is_alnum = is_alnum;
         }
-        if !current.is_empty() {
-            tokens.push(current);
+        if !current.is_empty() && !f(&current) {
+            return;
         }
     }
-    tokens
 }
 
 /// Reserved token ids.
@@ -175,10 +195,18 @@ impl Vocab {
         self.id_to_token.get(id).map(|s| s.as_str())
     }
 
-    /// Encodes text into token ids, truncated to `max_len`.
+    /// Encodes text into token ids, truncated to `max_len`. Streams through
+    /// [`tokenize_each`], so no per-token strings are allocated and tokenization stops
+    /// as soon as `max_len` ids exist.
     pub fn encode(&self, text: &str, max_len: usize) -> Vec<usize> {
-        let mut ids: Vec<usize> = tokenize(text).iter().map(|t| self.id_of(t)).collect();
-        ids.truncate(max_len);
+        let mut ids: Vec<usize> = Vec::with_capacity(max_len.min(64));
+        tokenize_each(text, |t| {
+            if ids.len() >= max_len {
+                return false;
+            }
+            ids.push(self.id_of(t));
+            ids.len() < max_len
+        });
         if ids.is_empty() {
             ids.push(special::PAD);
         }
