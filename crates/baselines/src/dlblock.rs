@@ -10,6 +10,11 @@
 //! Retrieval goes through [`ShardedCosineIndex`]: the right table is ingested into
 //! fixed-capacity shards and each query tile is scored shard-by-shard, so the baseline
 //! scales past the point where the old `|A| x |B|` score matrix would have blown memory.
+//! The index runs under a resident-memory budget ([`SHARD_MEMORY_BUDGET`]) — on corpora
+//! whose densified TF-IDF matrix exceeds it, cold shards spill to a compact on-disk
+//! format — and with routing-statistics shard skipping (on by default), which prunes
+//! shards whose cosine upper bound cannot reach the top-k without faulting them back
+//! from disk. Neither layer changes retrieval results.
 
 use sudowoodo_cluster::tfidf::{add_into_dense, SparseVector, TfIdfVectorizer};
 use sudowoodo_datasets::em::EmDataset;
@@ -25,6 +30,14 @@ const DENSE_SCORE_LIMIT: usize = 8_000_000;
 /// Rows per shard of the TF-IDF blocking index. The shard is the unit of parallel GEMM
 /// scoring and of ingestion, so it should comfortably exceed the 256-row query tile.
 const SHARD_CAPACITY: usize = 2048;
+
+/// Resident-memory budget (bytes) of the TF-IDF blocking index. Densified TF-IDF
+/// corpora are the largest matrices the baseline builds; past this budget the
+/// least-recently-used shards live on disk and only shards whose routing bound can
+/// still reach the top-k are ever read back. Small enough to bound the baseline's
+/// footprint on feature-heavy corpora, large enough that the paper-scale fixtures never
+/// spill (so tests and benches stay IO-free).
+pub const SHARD_MEMORY_BUDGET: usize = 16 * 1024 * 1024;
 
 /// Densifies one sparse TF-IDF vector into a `features`-length row.
 fn densify(v: &SparseVector, features: usize) -> Vec<f32> {
@@ -62,7 +75,11 @@ pub fn run_dlblock_curve(dataset: &EmDataset, ks: &[usize]) -> Vec<BlockingRun> 
     if dense_ok && features > 0 {
         let corpus_b: Vec<Vec<f32>> = vec_b.iter().map(|v| densify(v, features)).collect();
         let queries_a: Vec<Vec<f32>> = vec_a.iter().map(|v| densify(v, features)).collect();
-        let index = ShardedCosineIndex::from_vectors(&corpus_b, SHARD_CAPACITY);
+        let index = ShardedCosineIndex::from_vectors_with_budget(
+            &corpus_b,
+            SHARD_CAPACITY,
+            Some(SHARD_MEMORY_BUDGET),
+        );
         neighbours.resize(vec_a.len(), Vec::new());
         // The join is ordered by query index, then descending score (ascending id ties).
         for (query, id, score) in index.knn_join(&queries_a, max_k) {

@@ -5,9 +5,10 @@
 //!
 //! Besides the paper's runtime table, this binary measures the primitives that dominate
 //! end-to-end time — batched encoding (`embed_all`, records/sec) and the GEMM-tiled
-//! blocking join (`knn_join`, pairs/sec) in both the dense and the streaming sharded
-//! layout — and writes them to `target/experiments/fig09_11_throughput.json` so
-//! successive benchmark logs track the performance trajectory.
+//! blocking join (`knn_join`, pairs/sec) in the dense layout, the streaming sharded
+//! layout, and the sharded layout with every shard spilled to disk under a zero
+//! residency budget — and writes them to `target/experiments/fig09_11_throughput.json`
+//! so successive benchmark logs track the performance trajectory.
 
 use sudowoodo_bench::experiments::fig09_11_runtime;
 use sudowoodo_bench::harness::{StageThroughput, Throughput};
@@ -54,6 +55,14 @@ fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
         sharded.knn_join(&emb_a, k)
     });
 
+    // And with the storage layer engaged: a zero residency budget spills every shard to
+    // disk, so the join pays spill + fault I/O for each shard the routing statistics
+    // cannot prune — the cost profile of a corpus that outgrows RAM.
+    let (_, spilled_t) = Throughput::measure(emb_a.len(), scored_pairs, || {
+        let spilled = ShardedCosineIndex::from_vectors_with_budget(&emb_b, SHARD_CAPACITY, Some(0));
+        spilled.knn_join(&emb_a, k)
+    });
+
     vec![
         StageThroughput {
             stage: "embed_all".into(),
@@ -74,6 +83,14 @@ fn hot_path_throughput(config: &HarnessConfig) -> Vec<StageThroughput> {
             stage: "knn_join_sharded".into(),
             workload: format!("{} k={k} cap={SHARD_CAPACITY}", dataset.name),
             throughput: sharded_t,
+        },
+        StageThroughput {
+            stage: "knn_join_sharded_spilled".into(),
+            workload: format!(
+                "{} k={k} cap={SHARD_CAPACITY} budget=0 (routed)",
+                dataset.name
+            ),
+            throughput: spilled_t,
         },
     ]
 }

@@ -130,6 +130,14 @@ pub struct SudowoodoConfig {
     /// corpus is scored shard-by-shard so it can grow incrementally and never needs one
     /// monolithic allocation.
     pub blocking_shard_capacity: Option<usize>,
+    /// Resident-memory budget of the sharded blocking index, in bytes of shard-matrix
+    /// payload. `Some(b)` spills the least-recently-used shards beyond `b` bytes to a
+    /// compact on-disk format (they are read back only when a query needs them, and
+    /// routing statistics skip — and never fault in — shards that provably cannot enter
+    /// the top-k). `None` keeps every shard resident. Ignored by the dense layout
+    /// (`blocking_shard_capacity: None`), which cannot partially spill. Results are
+    /// identical in every configuration; only the memory/IO profile changes.
+    pub shard_memory_budget: Option<usize>,
 
     /// Random seed controlling every stochastic choice.
     pub seed: u64,
@@ -163,6 +171,7 @@ impl Default for SudowoodoConfig {
             use_diff_head: true,
             blocking_k: 10,
             blocking_shard_capacity: None,
+            shard_memory_budget: None,
             seed: 42,
         }
     }

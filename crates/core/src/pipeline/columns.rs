@@ -58,18 +58,24 @@ impl ColumnPipeline {
 
     /// Blocking over the column corpus: kNN self-join (excluding self-pairs), returning
     /// candidate `(i, j)` pairs with `i < j`. The index layout (dense or streaming
-    /// sharded) follows `config.blocking_shard_capacity`; results are identical.
+    /// sharded) follows `config.blocking_shard_capacity`, and the sharded layout honours
+    /// `config.shard_memory_budget` (cold shards spill to disk); results are identical.
     pub fn block(&self, corpus: &ColumnCorpus, embeddings: &[Vec<f32>]) -> Vec<(usize, usize)> {
-        let index = BlockingIndex::build(embeddings.to_vec(), self.config.blocking_shard_capacity);
+        let index = BlockingIndex::build_with_budget(
+            embeddings.to_vec(),
+            self.config.blocking_shard_capacity,
+            self.config.shard_memory_budget,
+        );
+        // One batched self-join (identical per-query results to `top_k`, proven by the
+        // index tests): the query tiles are the parallel axis, where a per-embedding
+        // `top_k` loop would run every single-query scan serially.
         let mut pairs = Vec::new();
-        for (i, e) in embeddings.iter().enumerate() {
-            for hit in index.top_k(e, self.config.blocking_k + 1) {
-                if hit.id == i {
-                    continue;
-                }
-                let (lo, hi) = if i < hit.id { (i, hit.id) } else { (hit.id, i) };
-                pairs.push((lo, hi));
+        for (i, hit_id, _) in index.knn_join(embeddings, self.config.blocking_k + 1) {
+            if hit_id == i {
+                continue;
             }
+            let (lo, hi) = if i < hit_id { (i, hit_id) } else { (hit_id, i) };
+            pairs.push((lo, hi));
         }
         pairs.sort_unstable();
         pairs.dedup();
@@ -211,14 +217,16 @@ mod tests {
         let dense_pipeline = ColumnPipeline::new(tiny_config());
         let mut sharded_config = tiny_config();
         sharded_config.blocking_shard_capacity = Some(5);
-        let sharded_pipeline = ColumnPipeline::new(sharded_config);
+        let sharded_pipeline = ColumnPipeline::new(sharded_config.clone());
+        let mut spilled_config = sharded_config;
+        spilled_config.shard_memory_budget = Some(0); // every shard on disk
+        let spilled_pipeline = ColumnPipeline::new(spilled_config);
         let texts = corpus.corpus(MAX_COLUMN_VALUES);
         let (encoder, _) = pretrain(&texts, &dense_pipeline.config);
         let embeddings = encoder.embed_all(&texts);
-        assert_eq!(
-            dense_pipeline.block(&corpus, &embeddings),
-            sharded_pipeline.block(&corpus, &embeddings)
-        );
+        let dense_pairs = dense_pipeline.block(&corpus, &embeddings);
+        assert_eq!(dense_pairs, sharded_pipeline.block(&corpus, &embeddings));
+        assert_eq!(dense_pairs, spilled_pipeline.block(&corpus, &embeddings));
     }
 
     #[test]

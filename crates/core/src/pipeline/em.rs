@@ -86,8 +86,10 @@ impl EmPipeline {
     /// `(a_index, b_index, cosine)` and the blocking quality at `k`.
     ///
     /// The right-table index layout follows `config.blocking_shard_capacity`: dense
-    /// (one corpus matrix) by default, or the streaming sharded index — results are
-    /// identical either way, only the memory/ingestion profile changes.
+    /// (one corpus matrix) by default, or the streaming sharded index, optionally under
+    /// `config.shard_memory_budget` (cold shards spill to disk and routing statistics
+    /// skip unpromising ones) — results are identical in every configuration, only the
+    /// memory/ingestion profile changes.
     pub fn block(
         &self,
         encoder: &Encoder,
@@ -97,7 +99,11 @@ impl EmPipeline {
         let (texts_a, texts_b) = Self::serialize_tables(dataset);
         let emb_a = encoder.embed_all(&texts_a);
         let emb_b = encoder.embed_all(&texts_b);
-        let index = BlockingIndex::build(emb_b, self.config.blocking_shard_capacity);
+        let index = BlockingIndex::build_with_budget(
+            emb_b,
+            self.config.blocking_shard_capacity,
+            self.config.shard_memory_budget,
+        );
         let candidates = index.knn_join(&emb_a, k);
         let pairs: Vec<(usize, usize)> = candidates.iter().map(|&(a, b, _)| (a, b)).collect();
         let quality = evaluate_blocking(
@@ -120,7 +126,11 @@ impl EmPipeline {
         let (texts_a, texts_b) = Self::serialize_tables(dataset);
         let emb_a = encoder.embed_all(&texts_a);
         let emb_b = encoder.embed_all(&texts_b);
-        let index = BlockingIndex::build(emb_b, self.config.blocking_shard_capacity);
+        let index = BlockingIndex::build_with_budget(
+            emb_b,
+            self.config.blocking_shard_capacity,
+            self.config.shard_memory_budget,
+        );
         ks.iter()
             .map(|&k| {
                 let candidates = index.knn_join(&emb_a, k);
@@ -378,12 +388,19 @@ mod tests {
         let (encoder, _) = dense_pipeline.pretrain_encoder(&dataset);
         let mut sharded_config = tiny_config();
         sharded_config.blocking_shard_capacity = Some(17);
-        let sharded_pipeline = EmPipeline::new(sharded_config);
+        let sharded_pipeline = EmPipeline::new(sharded_config.clone());
         // Same encoder through both layouts: candidate sets and quality must coincide.
         let (dense_candidates, dense_quality) = dense_pipeline.block(&encoder, &dataset, 4);
         let (sharded_candidates, sharded_quality) = sharded_pipeline.block(&encoder, &dataset, 4);
         assert_eq!(dense_candidates, sharded_candidates);
         assert_eq!(dense_quality, sharded_quality);
+        // Forcing every shard to spill to disk must also be invisible in results.
+        let mut spilled_config = sharded_config;
+        spilled_config.shard_memory_budget = Some(0);
+        let spilled_pipeline = EmPipeline::new(spilled_config);
+        let (spilled_candidates, spilled_quality) = spilled_pipeline.block(&encoder, &dataset, 4);
+        assert_eq!(dense_candidates, spilled_candidates);
+        assert_eq!(dense_quality, spilled_quality);
     }
 
     #[test]

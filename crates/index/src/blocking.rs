@@ -7,7 +7,7 @@
 //! only the memory/ingestion profile.
 
 use crate::knn::{CosineIndex, Neighbor};
-use crate::sharded::ShardedCosineIndex;
+use crate::sharded::{RemoveError, ShardedCosineIndex};
 
 /// An exact cosine kNN index in either layout, behind the common search API.
 ///
@@ -37,11 +37,43 @@ impl BlockingIndex {
     /// sharded index assigns stable insertion ids `0..n`, which coincide with dense row
     /// positions.
     pub fn build(vectors: Vec<Vec<f32>>, shard_capacity: Option<usize>) -> Self {
+        Self::build_with_budget(vectors, shard_capacity, None)
+    }
+
+    /// Like [`BlockingIndex::build`], but additionally applies a resident-memory budget
+    /// (bytes of shard matrix payload) to the sharded layout: cold shards beyond the
+    /// budget are spilled to disk before this returns, and routing statistics keep
+    /// pruned shards from ever being read back during searches. The budget is ignored
+    /// by the dense layout (one monolithic matrix cannot partially spill).
+    pub fn build_with_budget(
+        vectors: Vec<Vec<f32>>,
+        shard_capacity: Option<usize>,
+        memory_budget: Option<usize>,
+    ) -> Self {
         match shard_capacity {
             None => BlockingIndex::Dense(CosineIndex::build(vectors)),
-            Some(capacity) => {
-                BlockingIndex::Sharded(ShardedCosineIndex::from_vectors(&vectors, capacity))
-            }
+            Some(capacity) => BlockingIndex::Sharded(ShardedCosineIndex::from_vectors_with_budget(
+                &vectors,
+                capacity,
+                memory_budget,
+            )),
+        }
+    }
+
+    /// Removes the vector with stable id `id` (sharded layout only).
+    ///
+    /// Both layouts answer through one error type so callers handle removal failures
+    /// uniformly:
+    ///
+    /// # Errors
+    /// * [`RemoveError::DenseImmutable`] — the dense layout cannot mutate;
+    /// * [`RemoveError::NeverAssigned`] / [`RemoveError::AlreadyRemoved`] — the sharded
+    ///   layout rejects ids it never handed out or already removed, leaving the index
+    ///   unchanged either way.
+    pub fn remove(&mut self, id: usize) -> Result<(), RemoveError> {
+        match self {
+            BlockingIndex::Dense(_) => Err(RemoveError::DenseImmutable),
+            BlockingIndex::Sharded(index) => index.remove(id),
         }
     }
 
@@ -99,5 +131,49 @@ mod tests {
         for q in &queries {
             assert_eq!(dense.top_k(q, 3), sharded.top_k(q, 3));
         }
+    }
+
+    #[test]
+    fn remove_error_paths_are_unified_across_layouts() {
+        let corpus = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8]];
+        let mut dense = BlockingIndex::build(corpus.clone(), None);
+        let mut sharded = BlockingIndex::build(corpus, Some(2));
+
+        // The dense layout is immutable and says so — it never silently diverges.
+        assert_eq!(dense.remove(0), Err(RemoveError::DenseImmutable));
+        assert_eq!(dense.len(), 3, "a failed remove must not change the index");
+
+        // The sharded layout distinguishes the two failure modes, also non-destructively.
+        assert_eq!(sharded.remove(1), Ok(()));
+        assert_eq!(
+            sharded.remove(1),
+            Err(RemoveError::AlreadyRemoved { id: 1 })
+        );
+        assert_eq!(
+            sharded.remove(7),
+            Err(RemoveError::NeverAssigned { id: 7, next_id: 3 })
+        );
+        assert_eq!(sharded.len(), 2);
+        assert!(!sharded.is_empty());
+    }
+
+    #[test]
+    fn budgeted_build_spills_and_still_matches_dense() {
+        let corpus: Vec<Vec<f32>> = (0..41)
+            .map(|i| {
+                let a = (i as f32 * 0.23).sin();
+                let b = (i as f32 * 0.47).cos();
+                vec![a, b, a + b, a * b]
+            })
+            .collect();
+        let queries: Vec<Vec<f32>> = corpus.iter().take(7).cloned().collect();
+        let dense = BlockingIndex::build(corpus.clone(), None);
+        let spilled = BlockingIndex::build_with_budget(corpus, Some(4), Some(0));
+        if let BlockingIndex::Sharded(index) = &spilled {
+            assert_eq!(index.num_spilled_shards(), index.num_shards());
+        } else {
+            panic!("expected the sharded layout");
+        }
+        assert_eq!(dense.knn_join(&queries, 5), spilled.knn_join(&queries, 5));
     }
 }

@@ -125,6 +125,18 @@ impl TopK {
         }
     }
 
+    /// The `k`-th best score currently retained, or `None` while fewer than `k`
+    /// candidates are held. This is the pruning threshold of the sharded index's
+    /// routing layer: a shard whose score upper bound is strictly below this value for
+    /// every query cannot change the selection.
+    pub(crate) fn worst_score_when_full(&self) -> Option<f32> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
     /// Consumes the selector, returning the survivors sorted by descending score
     /// (ascending id on ties).
     pub(crate) fn into_sorted(self) -> Vec<Neighbor> {

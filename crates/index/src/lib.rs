@@ -16,8 +16,14 @@
 //!   ingestion (`add_batch` / `remove` / `compact`) and stable row ids. Same results as
 //!   the dense index over the same rows; built for corpora that grow, shrink, or exceed
 //!   one matrix.
+//! * [`storage::ShardStorage`] — where a shard's matrix lives: resident in memory, or
+//!   spilled to a compact on-disk format under the index's least-recently-used residency
+//!   budget, faulted back only when a query actually needs the shard.
+//! * [`routing::RoutingStats`] — per-shard centroid/radius statistics giving an
+//!   admissible upper bound on any row's cosine score, used to skip (and never fault in)
+//!   shards that provably cannot enter the current top-k.
 //! * [`blocking::BlockingIndex`] — both layouts behind one search API, so pipelines pick
-//!   the corpus layout with a single configuration value.
+//!   the corpus layout (and memory budget) with configuration values.
 //! * [`knn::evaluate_blocking`] — recall / candidate-set-size-ratio scoring of a
 //!   candidate pair set against gold matches.
 
@@ -25,8 +31,12 @@
 
 pub mod blocking;
 pub mod knn;
+pub mod routing;
 pub mod sharded;
+pub mod storage;
 
 pub use blocking::BlockingIndex;
 pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor};
-pub use sharded::ShardedCosineIndex;
+pub use routing::RoutingStats;
+pub use sharded::{RemoveError, RoutingReport, ShardedCosineIndex};
+pub use storage::{ShardStorage, SpillDir, SpilledShard};

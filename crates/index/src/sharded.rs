@@ -19,6 +19,17 @@
 //! (normalizing only the new rows), [`ShardedCosineIndex::remove`] tombstones, and
 //! [`ShardedCosineIndex::compact`] repacks shards to drop tombstones.
 //!
+//! Two scale layers sit underneath the shards (both invisible in results):
+//!
+//! * **Disk spill** ([`crate::storage`]) — under a resident-memory budget
+//!   ([`ShardedCosineIndex::set_memory_budget`]), the least-recently-used shard matrices
+//!   are serialized to a compact on-disk format after [`ShardedCosineIndex::compact`]
+//!   and read back only when a query actually needs them.
+//! * **Routing statistics** ([`crate::routing`]) — every shard carries a centroid+radius
+//!   summary giving an admissible upper bound on any row's cosine score; shards whose
+//!   bound cannot enter the current top-k are skipped, and a skipped spilled shard is
+//!   never read from disk.
+//!
 //! ## Equivalence with the dense index
 //!
 //! Three invariants make sharded results match a fresh dense build bit-for-bit — same
@@ -30,19 +41,29 @@
 //!    group width, so every live row is scored by the same SIMD microkernel regardless
 //!    of corpus size or where a shard boundary falls (the `dot4` accumulators are
 //!    per-row independent, so grouping does not affect the value — only which kernel
-//!    runs does);
+//!    runs does); spilling preserves the matrix bit-for-bit, so a faulted shard scores
+//!    identically to a resident one;
 //! 3. all candidates — per-shard, per-group, and the cross-group merge — flow through
 //!    the crate's single top-k selector, whose (score descending, id ascending) total
-//!    order is insertion-order independent.
+//!    order is insertion-order independent; routing skips only shards whose best
+//!    possible score is *strictly* below every query's currently retained `k`-th best
+//!    (see [`crate::routing`] for the admissibility argument), so pruning never changes
+//!    the selected set.
 //!
 //! Rows keep **stable ids** (their insertion sequence number) across `remove`/`compact`,
 //! so downstream candidate pairs remain valid while the index mutates underneath.
+
+use std::cmp::Reverse;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
 use sudowoodo_nn::matrix::Matrix;
 
 use crate::knn::{check_row_dim, pack_query_block, padded_rows, Neighbor, TopK};
+use crate::routing::RoutingStats;
+use crate::storage::{ShardStorage, SpillDir};
 
 /// Number of query rows per GEMM tile in [`ShardedCosineIndex::knn_join`] — the same tile
 /// height as the dense index so both paths have identical cache behavior per shard.
@@ -53,19 +74,104 @@ const QUERY_TILE: usize = 256;
 /// every core busy when the query set fits one tile.
 const MERGE_GROUPS: usize = 8;
 
+/// Why a [`ShardedCosineIndex::remove`] (or [`crate::BlockingIndex::remove`]) failed.
+///
+/// Both blocking-index layouts report removal failures through this one type, so error
+/// handling cannot drift between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoveError {
+    /// The id was never assigned by any `add_batch` call (it is at or beyond the next
+    /// id the index would hand out).
+    NeverAssigned {
+        /// The offending id.
+        id: usize,
+        /// The next id the index will assign; valid ids are strictly below it.
+        next_id: usize,
+    },
+    /// The id was assigned but its row is already removed.
+    AlreadyRemoved {
+        /// The offending id.
+        id: usize,
+    },
+    /// The dense layout is immutable; removal requires the sharded layout.
+    DenseImmutable,
+}
+
+impl fmt::Display for RemoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoveError::NeverAssigned { id, next_id } => write!(
+                f,
+                "id {id} was never assigned (ids 0..{next_id} have been handed out)"
+            ),
+            RemoveError::AlreadyRemoved { id } => write!(f, "id {id} is already removed"),
+            RemoveError::DenseImmutable => write!(
+                f,
+                "the dense blocking layout is immutable; configure a shard capacity to \
+                 stream removals"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RemoveError {}
+
+/// Shard-skipping and disk-fault tallies of searches since the last reset — the
+/// observable effect of the routing/spill layers (results are unchanged by design, so
+/// the counters are how tests and benches see the pruning work).
+///
+/// Counts are per *visit opportunity*: one shard scored (or skipped) for one query
+/// tile (with routing disabled, for one query tile in one merge group).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoutingReport {
+    /// Shards actually scored against a query tile.
+    pub shards_visited: u64,
+    /// Shards skipped because their routing bound provably could not enter the top-k.
+    pub shards_pruned: u64,
+    /// Spilled shards read back from disk (pruned shards never count here).
+    pub spill_faults: u64,
+}
+
+#[derive(Debug, Default)]
+struct RoutingCounters {
+    visited: AtomicU64,
+    pruned: AtomicU64,
+    faults: AtomicU64,
+}
+
 /// One fixed-capacity partition of the corpus.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct Shard {
-    /// Row-major buffer; rows `0..ids.len()` are real (already normalized), trailing
-    /// rows — row-quad padding plus geometric growth slack — are zero and never surface
-    /// in results.
-    matrix: Matrix,
+    /// Row-major buffer (resident or spilled); rows `0..ids.len()` are real (already
+    /// normalized), trailing rows — row-quad padding plus geometric growth slack — are
+    /// zero and never surface in results.
+    storage: ShardStorage,
     /// Stable id of each real row, ascending (insertion order is preserved shard-to-shard).
     ids: Vec<usize>,
     /// Tombstone flag per real row.
     deleted: Vec<bool>,
     /// Number of rows with `deleted == false`.
     live: usize,
+    /// Centroid/radius routing summary of the live rows (admissible superset when rows
+    /// were removed since the last recomputation — see [`crate::routing`]).
+    stats: RoutingStats,
+    /// Logical timestamp of the last search that scored this shard (or the ingestion
+    /// that filled it); drives the LRU residency decision. Relaxed atomics: searches
+    /// take `&self`, and an approximate recency order is all the budget needs.
+    last_used: AtomicU64,
+}
+
+impl Clone for Shard {
+    fn clone(&self) -> Self {
+        Shard {
+            storage: self.storage.clone(), // spilled storage faults into a resident copy
+            ids: self.ids.clone(),
+            deleted: self.deleted.clone(),
+            live: self.live,
+            stats: self.stats.clone(),
+            last_used: AtomicU64::new(self.last_used.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Shard {
@@ -77,12 +183,14 @@ impl Shard {
     /// Scores `q_block x shardᵀ` and offers every live row to the per-query selectors.
     ///
     /// `inv_norms[r]` is the query-row inverse norm; the scale is applied at offer time
-    /// exactly like the dense path (`s * inv`).
+    /// exactly like the dense path (`s * inv`). A spilled shard matrix is read back
+    /// transiently for the duration of the product.
     fn offer_into(&self, q_block: &Matrix, inv_norms: &[f32], selectors: &mut [TopK]) {
         if self.live == 0 {
             return;
         }
-        let sims = q_block.matmul_transpose_b(&self.matrix);
+        let matrix = self.storage.matrix();
+        let sims = q_block.matmul_transpose_b(&matrix);
         for (r, selector) in selectors.iter_mut().enumerate() {
             let inv = inv_norms[r];
             let row = sims.row(r);
@@ -97,10 +205,11 @@ impl Shard {
 
 /// A streaming, sharded collection of L2-normalized dense vectors.
 ///
-/// Functionally a [`crate::CosineIndex`] that can grow in batches, delete rows, and score
-/// shards in parallel. Ids returned by searches are **stable insertion ids**: the `i`-th
-/// vector ever added has id `i`, forever, regardless of later [`ShardedCosineIndex::remove`]
-/// or [`ShardedCosineIndex::compact`] calls.
+/// Functionally a [`crate::CosineIndex`] that can grow in batches, delete rows, score
+/// shards in parallel, spill cold shards to disk under a memory budget, and skip shards
+/// whose routing bound cannot reach the top-k. Ids returned by searches are **stable
+/// insertion ids**: the `i`-th vector ever added has id `i`, forever, regardless of later
+/// [`ShardedCosineIndex::remove`] or [`ShardedCosineIndex::compact`] calls.
 ///
 /// # Examples
 /// ```
@@ -117,12 +226,25 @@ impl Shard {
 /// assert_eq!(pairs[0].1, 0);
 ///
 /// // Stream: remove a row and repack; ids stay stable.
-/// index.remove(0);
+/// index.remove(0).unwrap();
 /// index.compact();
 /// let pairs = index.knn_join(&[vec![1.0, 0.1]], 2);
 /// assert_eq!(pairs[0].1, 2); // the [0.8, 0.6] row keeps id 2 after compaction
 /// ```
-#[derive(Clone, Debug)]
+///
+/// Constrain resident memory and the cold shards spill to disk (results unchanged):
+/// ```
+/// use sudowoodo_index::ShardedCosineIndex;
+///
+/// let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32, 1.0]).collect();
+/// let mut index = ShardedCosineIndex::from_vectors(&rows, 8);
+/// let before = index.knn_join(&[vec![3.0, 1.0]], 4);
+/// index.set_memory_budget(Some(0)); // everything is cold
+/// index.compact();                  // the budget is applied here
+/// assert_eq!(index.num_spilled_shards(), index.num_shards());
+/// assert_eq!(index.knn_join(&[vec![3.0, 1.0]], 4), before);
+/// ```
+#[derive(Debug)]
 pub struct ShardedCosineIndex {
     /// Maximum number of real rows per shard.
     shard_capacity: usize,
@@ -134,10 +256,46 @@ pub struct ShardedCosineIndex {
     live: usize,
     /// The partitions, in insertion order; `ids` are ascending across and within shards.
     shards: Vec<Shard>,
+    /// Resident-memory budget (bytes of shard matrix payload) applied after `compact`;
+    /// `None` keeps everything resident.
+    memory_budget: Option<usize>,
+    /// Whether routing-statistics shard skipping is active.
+    routing: bool,
+    /// Spill-file directory, created lazily the first time a shard spills.
+    spill_dir: Option<SpillDir>,
+    /// Logical clock stamping shard use (searches and ingestion).
+    clock: AtomicU64,
+    /// Pruning/fault observability (results are unaffected by routing, so the counters
+    /// are the visible effect).
+    counters: RoutingCounters,
+}
+
+impl Clone for ShardedCosineIndex {
+    /// Cloning faults every spilled shard into the clone as resident memory (spill
+    /// files are single-owner); the clone re-applies its budget at its next
+    /// [`ShardedCosineIndex::compact`]. Counters start at zero.
+    fn clone(&self) -> Self {
+        ShardedCosineIndex {
+            shard_capacity: self.shard_capacity,
+            dim: self.dim,
+            next_id: self.next_id,
+            live: self.live,
+            shards: self.shards.clone(),
+            memory_budget: self.memory_budget,
+            routing: self.routing,
+            spill_dir: None,
+            clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            counters: RoutingCounters::default(),
+        }
+    }
 }
 
 impl ShardedCosineIndex {
     /// Creates an empty index whose shards hold at most `shard_capacity` vectors each.
+    ///
+    /// Routing-statistics shard skipping is enabled by default (it never changes
+    /// results); no memory budget is set, so nothing spills until
+    /// [`ShardedCosineIndex::set_memory_budget`] is called.
     ///
     /// # Panics
     /// Panics when `shard_capacity` is zero.
@@ -152,6 +310,11 @@ impl ShardedCosineIndex {
             next_id: 0,
             live: 0,
             shards: Vec::new(),
+            memory_budget: None,
+            routing: true,
+            spill_dir: None,
+            clock: AtomicU64::new(0),
+            counters: RoutingCounters::default(),
         }
     }
 
@@ -159,6 +322,21 @@ impl ShardedCosineIndex {
     pub fn from_vectors(vectors: &[Vec<f32>], shard_capacity: usize) -> Self {
         let mut index = Self::new(shard_capacity);
         index.add_batch(vectors);
+        index
+    }
+
+    /// Builds an index and immediately applies a resident-memory budget: cold shards
+    /// beyond `memory_budget` bytes are spilled to disk before this returns.
+    ///
+    /// `memory_budget: None` is identical to [`Self::from_vectors`].
+    pub fn from_vectors_with_budget(
+        vectors: &[Vec<f32>],
+        shard_capacity: usize,
+        memory_budget: Option<usize>,
+    ) -> Self {
+        let mut index = Self::from_vectors(vectors, shard_capacity);
+        index.set_memory_budget(memory_budget);
+        index.compact();
         index
     }
 
@@ -187,6 +365,64 @@ impl ShardedCosineIndex {
         self.shard_capacity
     }
 
+    /// Number of shards whose matrix currently lives on disk.
+    pub fn num_spilled_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| !s.storage.is_resident())
+            .count()
+    }
+
+    /// Bytes of shard-matrix payload currently held in memory — the quantity the
+    /// residency budget constrains.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.storage.resident_bytes()).sum()
+    }
+
+    /// The resident-memory budget, if any (bytes of shard matrix payload).
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// Sets the resident-memory budget. The budget is **applied by the next
+    /// [`Self::compact`]** (mirroring how tombstone space is also reclaimed there), in
+    /// both directions: least-recently-used shards spill to disk until the resident
+    /// payload fits, and when the budget leaves room — because it was raised or set to
+    /// `None` — previously spilled shards are faulted back, most recently used first.
+    pub fn set_memory_budget(&mut self, memory_budget: Option<usize>) {
+        self.memory_budget = memory_budget;
+    }
+
+    /// Enables or disables routing-statistics shard skipping (enabled by default).
+    ///
+    /// Skipping never changes results (see [`crate::routing`]); disabling it exists for
+    /// A/B measurement and for the equivalence test suite.
+    pub fn set_routing_enabled(&mut self, enabled: bool) {
+        self.routing = enabled;
+    }
+
+    /// `true` when routing-statistics shard skipping is active.
+    pub fn routing_enabled(&self) -> bool {
+        self.routing
+    }
+
+    /// Pruning/fault counters accumulated since construction or the last
+    /// [`Self::reset_routing_report`].
+    pub fn routing_report(&self) -> RoutingReport {
+        RoutingReport {
+            shards_visited: self.counters.visited.load(Ordering::Relaxed),
+            shards_pruned: self.counters.pruned.load(Ordering::Relaxed),
+            spill_faults: self.counters.faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the [`Self::routing_report`] counters to zero.
+    pub fn reset_routing_report(&self) {
+        self.counters.visited.store(0, Ordering::Relaxed);
+        self.counters.pruned.store(0, Ordering::Relaxed);
+        self.counters.faults.store(0, Ordering::Relaxed);
+    }
+
     /// Number of tombstoned rows still occupying shard slots (reclaimed by
     /// [`Self::compact`]).
     pub fn num_tombstones(&self) -> usize {
@@ -204,7 +440,11 @@ impl ShardedCosineIndex {
     /// L2-normalized on ingestion (once — exactly like a dense build); existing rows are
     /// never touched, and the tail shard's buffer grows geometrically (copied at most
     /// `log(shard_capacity)` times over a shard's lifetime), so repeated `add_batch`
-    /// calls cost amortized time proportional to the batch, not the corpus.
+    /// calls cost amortized time proportional to the batch, not the corpus. A spilled
+    /// tail shard with room left is faulted back to memory to take the new rows; the
+    /// routing statistics of every shard that received rows are updated incrementally
+    /// (O(new rows), see [`RoutingStats::append`] — the bound may loosen slightly
+    /// until the next [`Self::compact`] recomputes it exactly).
     ///
     /// # Panics
     /// Panics when a vector's dimension disagrees with the index dimension, naming the
@@ -229,16 +469,19 @@ impl ShardedCosineIndex {
         let mut batch = Matrix::from_vec(vectors.len(), dim, data);
         batch.l2_normalize_rows_mut();
 
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut offset = 0;
         while offset < vectors.len() {
             let shard_room = match self.shards.last() {
                 Some(s) if s.ids.len() < self.shard_capacity => self.shard_capacity - s.ids.len(),
                 _ => {
                     self.shards.push(Shard {
-                        matrix: Matrix::zeros(0, dim),
+                        storage: ShardStorage::Resident(Matrix::zeros(0, dim)),
                         ids: Vec::new(),
                         deleted: Vec::new(),
                         live: 0,
+                        stats: RoutingStats::default(),
+                        last_used: AtomicU64::new(stamp),
                     });
                     self.shard_capacity
                 }
@@ -248,22 +491,23 @@ impl ShardedCosineIndex {
             let old_filled = shard.ids.len();
             let new_filled = old_filled + take;
             let needed = padded_rows(new_filled);
-            if needed > shard.matrix.rows() {
+            // Ingestion mutates the buffer, so a spilled tail shard returns to memory.
+            let matrix = shard.storage.make_resident();
+            if needed > matrix.rows() {
                 // Grow geometrically (capped at the shard capacity) so per-row appends
                 // amortize; the slack rows are zero, which the scoring kernel treats as
                 // more padding (skipped in selection, and `dot4` scores each row
                 // independently, so real-row scores are unaffected).
                 let grown = padded_rows(
-                    (shard.matrix.rows() * 2)
-                        .clamp(needed, padded_rows(self.shard_capacity).max(needed)),
+                    (matrix.rows() * 2).clamp(needed, padded_rows(self.shard_capacity).max(needed)),
                 );
                 let mut rows = Vec::with_capacity(grown * dim);
-                rows.extend_from_slice(&shard.matrix.data()[..old_filled * dim]);
+                rows.extend_from_slice(&matrix.data()[..old_filled * dim]);
                 rows.resize(grown * dim, 0.0);
-                shard.matrix = Matrix::from_vec(grown, dim, rows);
+                *matrix = Matrix::from_vec(grown, dim, rows);
             }
             if dim > 0 {
-                shard.matrix.data_mut()[old_filled * dim..new_filled * dim]
+                matrix.data_mut()[old_filled * dim..new_filled * dim]
                     .copy_from_slice(&batch.data()[offset * dim..(offset + take) * dim]);
             }
             for i in 0..take {
@@ -271,6 +515,14 @@ impl ShardedCosineIndex {
                 shard.deleted.push(false);
             }
             shard.live += take;
+            // New rows move the centroid, so the old radius alone is no longer a
+            // bound; the incremental update folds just the new rows in (the resident
+            // matrix is at hand — `make_resident` above — and re-borrowing it here is
+            // free).
+            shard
+                .stats
+                .append(shard.storage.make_resident(), old_filled..new_filled);
+            shard.last_used.store(stamp, Ordering::Relaxed);
             offset += take;
         }
         self.next_id = start + vectors.len();
@@ -290,51 +542,146 @@ impl ShardedCosineIndex {
         (!shard.deleted[row]).then_some((shard_idx, row))
     }
 
-    /// Tombstones the row with stable id `id`. Returns `false` when the id was never
-    /// assigned or is already removed. The slot is reclaimed by [`Self::compact`].
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// Tombstones the row with stable id `id`. The slot is reclaimed by
+    /// [`Self::compact`].
+    ///
+    /// # Errors
+    /// [`RemoveError::NeverAssigned`] when `id` was never handed out by
+    /// [`Self::add_batch`]; [`RemoveError::AlreadyRemoved`] when it was assigned but its
+    /// row is already removed. Both leave the index unchanged.
+    pub fn remove(&mut self, id: usize) -> Result<(), RemoveError> {
+        if id >= self.next_id {
+            return Err(RemoveError::NeverAssigned {
+                id,
+                next_id: self.next_id,
+            });
+        }
         let Some((shard_idx, row)) = self.locate(id) else {
-            return false;
+            return Err(RemoveError::AlreadyRemoved { id });
         };
         let shard = &mut self.shards[shard_idx];
         shard.deleted[row] = true;
         shard.live -= 1;
         self.live -= 1;
-        true
+        // Removal is O(1): the routing statistics are left covering a superset of the
+        // live rows, which keeps their bound admissible (see `crate::routing`); the
+        // next `compact` recomputes them exactly.
+        Ok(())
     }
 
-    /// Repacks all surviving rows into full shards, dropping tombstones. Stable ids and
+    /// Repacks all surviving rows into full shards, dropping tombstones, then
+    /// reconciles shard residency with the memory budget in LRU order — cold shards
+    /// spill, and hot spilled shards fault back when the budget (raised, or removed
+    /// with `None`) leaves them room; see [`Self::set_memory_budget`]. Stable ids and
     /// search results are unchanged; returns the number of tombstones reclaimed.
     pub fn compact(&mut self) -> usize {
         let reclaimed = self.num_tombstones();
-        if reclaimed == 0 {
-            return 0;
+        if reclaimed > 0 {
+            self.repack();
         }
+        self.apply_memory_budget();
+        reclaimed
+    }
+
+    /// Rebuilds full shards from the surviving rows (faulting spilled sources in),
+    /// recomputing routing statistics and carrying each row's source recency stamp so
+    /// the LRU budget still sees which data was hot.
+    fn repack(&mut self) {
         let dim = self.dim;
         let old_shards = std::mem::take(&mut self.shards);
-        // One pass in id order: rows are already normalized, so compaction is pure copying.
-        let mut survivors: Vec<(usize, &[f32])> = Vec::with_capacity(self.live);
+        // One pass in id order: rows are already normalized, so compaction is pure
+        // copying. `(id, row, recency of the source shard)` per survivor.
+        let mut survivors: Vec<(usize, Vec<f32>, u64)> = Vec::with_capacity(self.live);
         for shard in &old_shards {
+            if shard.live == 0 {
+                continue;
+            }
+            let recency = shard.last_used.load(Ordering::Relaxed);
+            let matrix = shard.storage.matrix(); // faults a spilled source transiently
             for (row, &id) in shard.ids.iter().enumerate() {
                 if !shard.deleted[row] {
-                    survivors.push((id, shard.matrix.row(row)));
+                    survivors.push((id, matrix.row(row).to_vec(), recency));
                 }
             }
         }
+        drop(old_shards); // spill files of the old shards are deleted here
         for chunk in survivors.chunks(self.shard_capacity) {
             let mut rows = Vec::with_capacity(padded_rows(chunk.len()) * dim);
-            for (_, row) in chunk {
+            for (_, row, _) in chunk {
                 rows.extend_from_slice(row);
             }
             rows.resize(padded_rows(chunk.len()) * dim, 0.0);
+            let matrix = Matrix::from_vec(padded_rows(chunk.len()), dim, rows);
+            let deleted = vec![false; chunk.len()];
+            let stats = RoutingStats::compute(&matrix, &deleted);
+            let recency = chunk.iter().map(|&(_, _, r)| r).max().unwrap_or(0);
             self.shards.push(Shard {
-                matrix: Matrix::from_vec(padded_rows(chunk.len()), dim, rows),
-                ids: chunk.iter().map(|&(id, _)| id).collect(),
-                deleted: vec![false; chunk.len()],
+                storage: ShardStorage::Resident(matrix),
+                ids: chunk.iter().map(|(id, _, _)| *id).collect(),
+                deleted,
                 live: chunk.len(),
+                stats,
+                last_used: AtomicU64::new(recency),
             });
         }
-        reclaimed
+    }
+
+    /// Reconciles shard residency with the budget, in LRU order and in both
+    /// directions: most-recently-used shards are kept (or faulted back) resident while
+    /// they fit, and the cold remainder spills. Without a budget, every spilled shard
+    /// is faulted back. Spill I/O errors degrade gracefully: the shard stays resident
+    /// and a warning is printed (spilling is an optimization, never a correctness
+    /// requirement).
+    fn apply_memory_budget(&mut self) {
+        let Some(budget) = self.memory_budget else {
+            // No budget: everything belongs in memory again.
+            for shard in &mut self.shards {
+                if !shard.storage.is_resident() {
+                    self.counters.faults.fetch_add(1, Ordering::Relaxed);
+                    shard.storage.make_resident();
+                }
+            }
+            return;
+        };
+        // Most-recently-used first; newer shards win ties so the tail shard (the one
+        // ingestion appends to) tends to stay resident.
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                Reverse(self.shards[i].last_used.load(Ordering::Relaxed)),
+                Reverse(i),
+            )
+        });
+        let mut dir = self.spill_dir.clone();
+        let mut resident = 0usize;
+        for i in order {
+            let shard = &mut self.shards[i];
+            let bytes = shard.storage.payload_bytes();
+            if resident + bytes <= budget {
+                resident += bytes;
+                if !shard.storage.is_resident() {
+                    // The budget leaves room for this hot shard: fault it back.
+                    self.counters.faults.fetch_add(1, Ordering::Relaxed);
+                    shard.storage.make_resident();
+                }
+            } else if shard.storage.is_resident() {
+                if dir.is_none() {
+                    match SpillDir::create() {
+                        Ok(created) => dir = Some(created),
+                        Err(e) => {
+                            eprintln!("warning: ShardedCosineIndex: cannot create spill dir: {e}");
+                            return;
+                        }
+                    }
+                }
+                let dir = dir.as_ref().expect("ensured above");
+                if let Err(e) = shard.storage.spill(dir) {
+                    eprintln!("warning: ShardedCosineIndex: spill failed, keeping resident: {e}");
+                    resident += bytes;
+                }
+            }
+        }
+        self.spill_dir = dir;
     }
 
     /// Returns the `k` most similar live vectors to `query`, sorted by descending score
@@ -342,7 +689,8 @@ impl ShardedCosineIndex {
     /// contract.
     ///
     /// Delegates to [`Self::knn_join`] with a single query (one shard-scoring/merge
-    /// implementation to keep correct), so the shards still fan out across threads.
+    /// implementation to keep correct), so the shards still fan out across threads and
+    /// routing-based skipping applies.
     pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         if k == 0 || self.is_empty() {
             return Vec::new();
@@ -363,16 +711,26 @@ impl ShardedCosineIndex {
     /// Retrieves, for every query vector, its `k` nearest live vectors, returning the
     /// candidate pair list `(query_index, stable_id, score)`.
     ///
-    /// Parallelism is two-level: queries fan out across threads in `QUERY_TILE` (256)-row
-    /// blocks, and within a block the shards fan out in up to `MERGE_GROUPS` contiguous
-    /// groups, each computing fused `Q_block x shardᵀ` GEMM tiles whose candidates stream
-    /// through per-query bounded heaps (capacity `k`); the group-local top-k lists then
-    /// merge through the same selector. (Under the offline rayon shim, whichever level
-    /// saturates the cores first runs threaded and the other runs inline, so small query
-    /// sets over many shards still parallelize.) Output ordering matches the dense
-    /// [`crate::CosineIndex::knn_join`]: query index, then descending score (ascending id
-    /// on ties) — the merge comparator is a total order, so the grouping is invisible in
-    /// results.
+    /// Queries fan out across threads in `QUERY_TILE` (256)-row blocks. Within a block,
+    /// the shard scan depends on the routing switch:
+    ///
+    /// * **Routing enabled** (the default) — the block visits all shards *sequentially*
+    ///   in decreasing order of their cosine upper bound, sharing one set of per-query
+    ///   bounded heaps, and skips every shard that provably cannot place a row in any
+    ///   query's top-k. A skipped shard's matrix is never touched — a spilled one is
+    ///   never read from disk. Sequential scanning is what makes the bound effective:
+    ///   the heaps tighten after the most promising shard, so cold shards prune. Query
+    ///   tiles (the dominant axis of join workloads) still run in parallel.
+    /// * **Routing disabled** — shards fan out in up to `MERGE_GROUPS` contiguous
+    ///   groups scored in parallel, each with its own heaps (memory: groups x block
+    ///   rows x k candidates); the group-local top-k lists then merge through the same
+    ///   selector. This is the layout-throughput mode for workloads where nothing can
+    ///   prune (and the A/B baseline for the routing tests).
+    ///
+    /// Output ordering matches the dense [`crate::CosineIndex::knn_join`] either way:
+    /// query index, then descending score (ascending id on ties) — selection is a total
+    /// order, so neither the grouping nor the pruning is visible in results (see
+    /// [`crate::routing`] for the admissibility argument).
     ///
     /// # Panics
     /// Panics when a query's dimension disagrees with the index dimension.
@@ -381,6 +739,7 @@ impl ShardedCosineIndex {
             return Vec::new();
         }
         let dim = self.dim;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let group_size = self.shards.len().div_ceil(MERGE_GROUPS).max(1);
         let per_block: Vec<Vec<(usize, usize, f32)>> = queries
             .par_chunks(QUERY_TILE)
@@ -389,29 +748,43 @@ impl ShardedCosineIndex {
                 let base = block_idx * QUERY_TILE;
                 let (q_block, inv_norms) =
                     pack_query_block("ShardedCosineIndex::knn_join (query)", base, block, dim);
-                // Rayon-parallel per-shard-group products, each with its own bounded
-                // heaps (memory: groups x block rows x k candidates).
-                let per_group: Vec<Vec<Vec<Neighbor>>> = self
-                    .shards
-                    .par_chunks(group_size)
-                    .map(|group| {
-                        let mut selectors: Vec<TopK> =
-                            (0..block.len()).map(|_| TopK::new(k)).collect();
-                        for shard in group {
-                            shard.offer_into(&q_block, &inv_norms, &mut selectors);
-                        }
-                        selectors.into_iter().map(TopK::into_sorted).collect()
-                    })
-                    .collect();
-                // Deterministic merge of the group-local top-k lists.
-                let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
-                for group_hits in per_group {
-                    for (r, hits) in group_hits.into_iter().enumerate() {
-                        for hit in hits {
-                            selectors[r].offer(hit.id, hit.score);
+                let selectors = if self.routing {
+                    // One shared selector set, best-bound-first scan with pruning.
+                    let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
+                    self.offer_shards_routed(block, &q_block, &inv_norms, &mut selectors, stamp);
+                    selectors
+                } else {
+                    // Rayon-parallel per-shard-group products, each with its own bounded
+                    // heaps, merged deterministically.
+                    let per_group: Vec<Vec<Vec<Neighbor>>> = self
+                        .shards
+                        .par_chunks(group_size)
+                        .map(|group| {
+                            let mut selectors: Vec<TopK> =
+                                (0..block.len()).map(|_| TopK::new(k)).collect();
+                            for shard in group {
+                                if shard.live > 0 {
+                                    self.counters.visited.fetch_add(1, Ordering::Relaxed);
+                                    if !shard.storage.is_resident() {
+                                        self.counters.faults.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                shard.offer_into(&q_block, &inv_norms, &mut selectors);
+                                shard.last_used.store(stamp, Ordering::Relaxed);
+                            }
+                            selectors.into_iter().map(TopK::into_sorted).collect()
+                        })
+                        .collect();
+                    let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
+                    for group_hits in per_group {
+                        for (r, hits) in group_hits.into_iter().enumerate() {
+                            for hit in hits {
+                                selectors[r].offer(hit.id, hit.score);
+                            }
                         }
                     }
-                }
+                    selectors
+                };
                 let mut pairs = Vec::with_capacity(block.len() * k);
                 for (r, selector) in selectors.into_iter().enumerate() {
                     pairs.extend(
@@ -425,6 +798,66 @@ impl ShardedCosineIndex {
             })
             .collect();
         per_block.into_iter().flatten().collect()
+    }
+
+    /// Scores every shard against one query tile with routing-statistics skipping:
+    /// shards are visited best-bound-first, and once every selector holds `k`
+    /// candidates, a shard whose bound is strictly below every query's retained `k`-th
+    /// best score (minus the float slack) is skipped without touching its matrix.
+    fn offer_shards_routed(
+        &self,
+        block: &[Vec<f32>],
+        q_block: &Matrix,
+        inv_norms: &[f32],
+        selectors: &mut [TopK],
+        stamp: u64,
+    ) {
+        // Upper bound per (shard, query): one small dot against the shard centroid —
+        // negligible next to the `rows x dim` GEMM it can save.
+        let mut order: Vec<(usize, f32, Vec<f32>)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, shard)| shard.live > 0)
+            .map(|(i, shard)| {
+                let bounds: Vec<f32> = block
+                    .iter()
+                    .zip(inv_norms.iter())
+                    .map(|(q, &inv)| shard.stats.upper_bound(q, inv))
+                    .collect();
+                let best = bounds.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                (i, best, bounds)
+            })
+            .collect();
+        // Best shard first so the selectors tighten as early as possible; ties break on
+        // the shard position so the visit order (and the counters) are deterministic.
+        order.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let slack = RoutingStats::prune_slack(self.dim);
+        for (i, _, bounds) in order {
+            let prunable = selectors.iter().zip(bounds.iter()).all(|(selector, &b)| {
+                match selector.worst_score_when_full() {
+                    // Strict `<`: a bound *tying* the worst retained score could still
+                    // displace it through the smaller-id tie-break.
+                    Some(worst) => b + slack < worst,
+                    None => false,
+                }
+            });
+            if prunable {
+                self.counters.pruned.fetch_add(1, Ordering::Relaxed);
+                continue; // never faulted in: a spilled shard skips the disk read too
+            }
+            let shard = &self.shards[i];
+            self.counters.visited.fetch_add(1, Ordering::Relaxed);
+            if !shard.storage.is_resident() {
+                self.counters.faults.fetch_add(1, Ordering::Relaxed);
+            }
+            shard.offer_into(q_block, inv_norms, selectors);
+            shard.last_used.store(stamp, Ordering::Relaxed);
+        }
     }
 }
 
@@ -530,6 +963,9 @@ mod tests {
         // 5 identical rows (n % 4 != 0): without the shared row-quad padding, the dense
         // index would score row 4 through a different kernel than rows 0..4 and a 1-ulp
         // difference could beat the id tie-break. Both layouts must agree bit-for-bit.
+        // Duplicate rows are also the adversarial case for routing: the shard radius is
+        // ~0 and every bound ties the true score, so only the strict `<` keeps pruning
+        // admissible.
         let v = vec![0.6f32, 0.8, 0.1, -0.3, 0.2];
         let corpus = vec![v.clone(); 5];
         let dense = CosineIndex::build(corpus.clone());
@@ -586,10 +1022,21 @@ mod tests {
     fn remove_hides_rows_and_compact_reclaims_slots() {
         let corpus = vectors(10, 8, 7);
         let mut index = ShardedCosineIndex::from_vectors(&corpus, 4);
-        assert!(index.remove(3));
-        assert!(!index.remove(3), "double remove must be a no-op");
-        assert!(index.remove(8));
-        assert!(!index.remove(42), "unknown id must be a no-op");
+        assert_eq!(index.remove(3), Ok(()));
+        assert_eq!(
+            index.remove(3),
+            Err(RemoveError::AlreadyRemoved { id: 3 }),
+            "double remove must say so"
+        );
+        assert_eq!(index.remove(8), Ok(()));
+        assert_eq!(
+            index.remove(42),
+            Err(RemoveError::NeverAssigned {
+                id: 42,
+                next_id: 10
+            }),
+            "unknown id must say so"
+        );
         assert_eq!(index.len(), 8);
         assert_eq!(index.num_tombstones(), 2);
         assert!(!index.contains(3) && index.contains(2));
@@ -610,10 +1057,26 @@ mod tests {
     }
 
     #[test]
+    fn remove_error_messages_name_the_id() {
+        let mut index = ShardedCosineIndex::from_vectors(&vectors(3, 4, 17), 2);
+        index.remove(1).unwrap();
+        let already = index.remove(1).unwrap_err();
+        assert_eq!(already.to_string(), "id 1 is already removed");
+        let never = index.remove(9).unwrap_err();
+        assert_eq!(
+            never.to_string(),
+            "id 9 was never assigned (ids 0..3 have been handed out)"
+        );
+        // A compacted-away id still reports AlreadyRemoved, not NeverAssigned.
+        index.compact();
+        assert_eq!(index.remove(1), Err(RemoveError::AlreadyRemoved { id: 1 }));
+    }
+
+    #[test]
     fn add_after_compact_continues_stable_ids() {
         let mut index = ShardedCosineIndex::from_vectors(&vectors(6, 4, 9), 4);
-        index.remove(0);
-        index.remove(5);
+        index.remove(0).unwrap();
+        index.remove(5).unwrap();
         index.compact();
         assert_eq!(index.add_batch(&vectors(2, 4, 10)), 6..8);
         assert_eq!(index.len(), 6);
@@ -624,12 +1087,144 @@ mod tests {
     fn all_rows_removed_returns_nothing_until_new_batch() {
         let mut index = ShardedCosineIndex::from_vectors(&vectors(3, 4, 11), 2);
         for id in 0..3 {
-            assert!(index.remove(id));
+            assert!(index.remove(id).is_ok());
         }
         assert!(index.is_empty());
         assert!(index.knn_join(&vectors(2, 4, 12), 2).is_empty());
         index.compact();
         index.add_batch(&vectors(2, 4, 13));
         assert_eq!(index.knn_join(&vectors(1, 4, 14), 5).len(), 2);
+    }
+
+    #[test]
+    fn memory_budget_spills_cold_shards_without_changing_results() {
+        let corpus = vectors(60, 8, 15);
+        let queries = vectors(12, 8, 16);
+        let resident = ShardedCosineIndex::from_vectors(&corpus, 8);
+        let expected = resident.knn_join(&queries, 5);
+
+        let mut budgeted = ShardedCosineIndex::from_vectors(&corpus, 8);
+        budgeted.set_memory_budget(Some(0));
+        budgeted.compact();
+        assert_eq!(budgeted.num_spilled_shards(), budgeted.num_shards());
+        assert_eq!(budgeted.resident_bytes(), 0);
+        assert_eq!(budgeted.knn_join(&queries, 5), expected);
+
+        // A partial budget keeps some shards resident and still answers identically.
+        let mut partial = ShardedCosineIndex::from_vectors(&corpus, 8);
+        let one_shard = 8 * 8 * 4; // capacity x dim x f32
+        partial.set_memory_budget(Some(3 * one_shard));
+        partial.compact();
+        assert!(partial.num_spilled_shards() > 0);
+        assert!(partial.num_spilled_shards() < partial.num_shards());
+        assert!(partial.resident_bytes() <= 3 * one_shard);
+        assert_eq!(partial.knn_join(&queries, 5), expected);
+    }
+
+    #[test]
+    fn raising_or_removing_the_budget_restores_residency_on_compact() {
+        let corpus = vectors(40, 8, 27);
+        let queries = vectors(6, 8, 28);
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 8);
+        let expected = index.knn_join(&queries, 5);
+        index.set_memory_budget(Some(0));
+        index.compact();
+        assert_eq!(index.num_spilled_shards(), index.num_shards());
+
+        // Raising the budget faults hot shards back in on the next compact.
+        let one_shard = 8 * 8 * 4;
+        index.set_memory_budget(Some(2 * one_shard));
+        index.compact();
+        assert_eq!(index.num_spilled_shards(), index.num_shards() - 2);
+        assert_eq!(index.knn_join(&queries, 5), expected);
+
+        // Removing the budget restores everything.
+        index.set_memory_budget(None);
+        index.compact();
+        assert_eq!(index.num_spilled_shards(), 0);
+        assert_eq!(index.resident_bytes(), index.num_shards() * one_shard);
+        assert_eq!(index.knn_join(&queries, 5), expected);
+    }
+
+    #[test]
+    fn spilled_tail_shard_faults_back_for_ingestion() {
+        let mut index = ShardedCosineIndex::from_vectors(&vectors(5, 4, 18), 4);
+        index.set_memory_budget(Some(0));
+        index.compact();
+        assert_eq!(index.num_spilled_shards(), 2);
+        // The tail shard has room for 3 more rows; appending must fault it back.
+        let ids = index.add_batch(&vectors(2, 4, 19));
+        assert_eq!(ids, 5..7);
+        assert_eq!(index.len(), 7);
+        let fresh = ShardedCosineIndex::from_vectors(
+            &{
+                let mut all = vectors(5, 4, 18);
+                all.extend(vectors(2, 4, 19));
+                all
+            },
+            4,
+        );
+        assert_eq!(
+            index.knn_join(&vectors(3, 4, 20), 4),
+            fresh.knn_join(&vectors(3, 4, 20), 4)
+        );
+    }
+
+    #[test]
+    fn routing_prunes_far_shards_and_spares_their_disk_reads() {
+        // Shard 0 carries rows aligned with the query; later shards are orthogonal.
+        let mut corpus: Vec<Vec<f32>> = (0..8)
+            .map(|i| vec![1.0, 0.001 * i as f32, 0.0, 0.0])
+            .collect();
+        for i in 0..24 {
+            corpus.push(vec![0.0, 0.0, 1.0, 0.001 * i as f32]);
+        }
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 8);
+        index.set_memory_budget(Some(0));
+        index.compact();
+        assert_eq!(index.num_spilled_shards(), 4);
+
+        index.reset_routing_report();
+        let query = vec![vec![1.0, 0.0, 0.0, 0.0]];
+        let hits = index.knn_join(&query, 4);
+        assert_eq!(
+            hits.iter().map(|h| h.1).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "the aligned shard's rows must win"
+        );
+        let report = index.routing_report();
+        assert!(
+            report.shards_pruned >= 3,
+            "orthogonal shards should be pruned: {report:?}"
+        );
+        assert_eq!(
+            report.spill_faults, report.shards_visited,
+            "every visit faults (all spilled), and pruned shards never fault"
+        );
+        assert!(report.spill_faults < 4, "pruning must save disk reads");
+
+        // Same query with routing disabled: identical results, zero pruning.
+        index.set_routing_enabled(false);
+        index.reset_routing_report();
+        assert_eq!(index.knn_join(&query, 4), hits);
+        let unrouted = index.routing_report();
+        assert_eq!(unrouted.shards_pruned, 0);
+        assert_eq!(
+            unrouted.spill_faults, 4,
+            "without routing every shard faults"
+        );
+    }
+
+    #[test]
+    fn clone_of_a_spilled_index_is_resident_and_identical() {
+        let corpus = vectors(30, 6, 23);
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 4);
+        index.set_memory_budget(Some(0));
+        index.compact();
+        assert!(index.num_spilled_shards() > 0);
+        let clone = index.clone();
+        assert_eq!(clone.num_spilled_shards(), 0, "clones start fully resident");
+        let queries = vectors(5, 6, 24);
+        assert_eq!(clone.knn_join(&queries, 3), index.knn_join(&queries, 3));
     }
 }

@@ -1,0 +1,403 @@
+//! Disk-spill storage for shards of the blocking index.
+//!
+//! ROADMAP names "spill cold shards to disk / mmap" as the next scale step after the
+//! in-memory sharded layout: a streaming corpus eventually exceeds RAM, but most shards
+//! are *cold* — they hold old rows that rarely win a top-k slot. This module gives every
+//! shard matrix a [`ShardStorage`] home with two states:
+//!
+//! * [`ShardStorage::Resident`] — the row-major [`Matrix`] in memory (the only state
+//!   that existed before this layer);
+//! * [`ShardStorage::Spilled`] — the same matrix serialized to a compact on-disk file
+//!   ([`SpilledShard`]), read back on demand when a query actually needs the shard.
+//!
+//! Which shards spill is decided by [`crate::ShardedCosineIndex`]'s residency budget
+//! after `compact()` (least-recently-used shards go first); which spilled shards are
+//! ever *read back* is decided by the routing statistics of [`crate::routing`] — a shard
+//! whose cosine upper bound cannot enter the current top-k is skipped without touching
+//! disk, which is what makes spilling and routing multiplicative.
+//!
+//! ## On-disk format
+//!
+//! A spill file is the shard matrix and nothing else, laid out for a single sequential
+//! read:
+//!
+//! ```text
+//! offset  size           field
+//! 0       8              magic  b"SWSHARD1" (version baked into the magic)
+//! 8       8              rows   (u64, little endian)
+//! 16      8              cols   (u64, little endian)
+//! 24      rows*cols*4    row-major f32 data, little endian
+//! ```
+//!
+//! The payload is the matrix buffer bit-for-bit (including the zero padding rows up to
+//! the SIMD row-quad width), so a spilled-then-faulted shard scores queries **bit
+//! identically** to its resident twin — the dense/sharded equivalence contract survives
+//! spilling. Files live in a per-index temporary directory ([`SpillDir`]) that is
+//! removed when the index is dropped; individual files are removed as soon as their
+//! shard is repacked or faulted back to residency.
+
+use std::borrow::Cow;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sudowoodo_nn::matrix::Matrix;
+
+/// Magic prefix of a spill file; the trailing `1` is the format version.
+const MAGIC: &[u8; 8] = b"SWSHARD1";
+
+/// Byte length of the spill-file header (magic + rows + cols).
+const HEADER_LEN: usize = 8 + 8 + 8;
+
+/// A per-index temporary directory holding spill files.
+///
+/// Cloning shares the directory (spilled shards keep it alive through their own
+/// handles); the directory and anything left in it are removed when the last handle
+/// drops. Creation is lazy in [`crate::ShardedCosineIndex`] — an index that never
+/// spills never touches the filesystem.
+#[derive(Clone, Debug)]
+pub struct SpillDir {
+    inner: Arc<SpillDirInner>,
+}
+
+#[derive(Debug)]
+struct SpillDirInner {
+    path: PathBuf,
+    next_file: AtomicU64,
+}
+
+impl Drop for SpillDirInner {
+    fn drop(&mut self) {
+        // Best-effort cleanup; a leaked temp dir must never take the process down.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+impl SpillDir {
+    /// Creates a fresh, uniquely named spill directory under the system temp dir.
+    pub fn create() -> io::Result<SpillDir> {
+        static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("sudowoodo-spill-{}-{n}", std::process::id()));
+        fs::create_dir_all(&path)?;
+        Ok(SpillDir {
+            inner: Arc::new(SpillDirInner {
+                path,
+                next_file: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The directory path (for diagnostics; contents are managed by the index).
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Reserves a fresh file path inside the directory (paths are never reused, so a
+    /// shard spilled after a repack can never collide with a stale file).
+    fn next_path(&self) -> PathBuf {
+        let n = self.inner.next_file.fetch_add(1, Ordering::Relaxed);
+        self.inner.path.join(format!("shard-{n}.bin"))
+    }
+}
+
+/// One shard matrix serialized to disk (see the module docs for the format).
+///
+/// Owns its file: the file is deleted when the `SpilledShard` drops (shard repacked,
+/// faulted back to residency, or index dropped).
+#[derive(Debug)]
+pub struct SpilledShard {
+    /// Keeps the spill directory alive as long as any file in it exists (never read —
+    /// the handle's `Drop` ordering is its whole job).
+    _dir: SpillDir,
+    path: PathBuf,
+    rows: usize,
+    cols: usize,
+}
+
+impl Drop for SpilledShard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+impl SpilledShard {
+    /// Serializes `matrix` into a fresh file under `dir`.
+    pub fn write(dir: &SpillDir, matrix: &Matrix) -> io::Result<SpilledShard> {
+        let path = dir.next_path();
+        let mut file = io::BufWriter::new(fs::File::create(&path)?);
+        file.write_all(MAGIC)?;
+        file.write_all(&(matrix.rows() as u64).to_le_bytes())?;
+        file.write_all(&(matrix.cols() as u64).to_le_bytes())?;
+        // Stream the payload in bounded chunks so spilling a large shard never doubles
+        // its memory footprint.
+        let mut buf = Vec::with_capacity(16 * 1024);
+        for chunk in matrix.data().chunks(4 * 1024) {
+            buf.clear();
+            for &x in chunk {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            file.write_all(&buf)?;
+        }
+        file.flush()?;
+        Ok(SpilledShard {
+            _dir: dir.clone(),
+            path,
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        })
+    }
+
+    /// Reads the shard matrix back, verifying the header against the recorded shape.
+    ///
+    /// The returned matrix is bit-for-bit the one passed to [`SpilledShard::write`].
+    pub fn load(&self) -> io::Result<Matrix> {
+        let mut file = io::BufReader::new(fs::File::open(&self.path)?);
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)?;
+        let corrupt = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spill file {}: {what}", self.path.display()),
+            )
+        };
+        if &header[..8] != MAGIC {
+            return Err(corrupt("bad magic (not a Sudowoodo shard spill file)"));
+        }
+        let rows = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let cols = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        if (rows, cols) != (self.rows, self.cols) {
+            return Err(corrupt("header shape disagrees with the index metadata"));
+        }
+        let mut bytes = vec![0u8; rows * cols * 4];
+        file.read_exact(&mut bytes)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Rows of the serialized matrix (including zero padding rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the serialized matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Where a shard's row matrix currently lives.
+///
+/// The surrounding shard metadata (stable ids, tombstones, routing statistics) always
+/// stays resident — only the `rows x dim` float payload spills, because that is where
+/// virtually all of a shard's memory goes.
+#[derive(Debug)]
+pub enum ShardStorage {
+    /// The matrix is in memory (the hot state; also the only state the pre-spill index
+    /// ever had).
+    Resident(Matrix),
+    /// The matrix is on disk and is read back per use.
+    Spilled(SpilledShard),
+}
+
+impl Clone for ShardStorage {
+    /// Cloning faults spilled storage back into memory: spill files are single-owner
+    /// (deleted on drop), so the clone gets an independent resident copy.
+    fn clone(&self) -> Self {
+        match self {
+            ShardStorage::Resident(m) => ShardStorage::Resident(m.clone()),
+            ShardStorage::Spilled(s) => ShardStorage::Resident(
+                s.load()
+                    .unwrap_or_else(|e| panic!("ShardStorage::clone: faulting spill failed: {e}")),
+            ),
+        }
+    }
+}
+
+impl ShardStorage {
+    /// Rows of the stored matrix (including zero padding rows).
+    pub fn rows(&self) -> usize {
+        match self {
+            ShardStorage::Resident(m) => m.rows(),
+            ShardStorage::Spilled(s) => s.rows(),
+        }
+    }
+
+    /// Columns of the stored matrix.
+    pub fn cols(&self) -> usize {
+        match self {
+            ShardStorage::Resident(m) => m.cols(),
+            ShardStorage::Spilled(s) => s.cols(),
+        }
+    }
+
+    /// Bytes the matrix payload occupies (or would occupy) in memory, regardless of
+    /// where it currently lives — the per-shard quantity the residency budget weighs
+    /// when deciding what to keep resident and what to fault back.
+    pub fn payload_bytes(&self) -> usize {
+        self.rows() * self.cols() * std::mem::size_of::<f32>()
+    }
+
+    /// `true` when the matrix is in memory.
+    pub fn is_resident(&self) -> bool {
+        matches!(self, ShardStorage::Resident(_))
+    }
+
+    /// Bytes of matrix payload currently held in memory (0 when spilled) — the quantity
+    /// the residency budget is accounted in.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            ShardStorage::Resident(m) => std::mem::size_of_val(m.data()),
+            ShardStorage::Spilled(_) => 0,
+        }
+    }
+
+    /// The matrix, borrowed when resident and transiently loaded when spilled.
+    ///
+    /// # Panics
+    /// Panics when a spilled shard cannot be read back (deleted/corrupted spill file) —
+    /// at that point index state is unrecoverable and silently dropping a shard would
+    /// corrupt search results.
+    pub fn matrix(&self) -> Cow<'_, Matrix> {
+        match self {
+            ShardStorage::Resident(m) => Cow::Borrowed(m),
+            ShardStorage::Spilled(s) => Cow::Owned(s.load().unwrap_or_else(|e| {
+                panic!("ShardStorage::matrix: faulting spilled shard failed: {e}")
+            })),
+        }
+    }
+
+    /// Spills the matrix to a fresh file under `dir`. No-op when already spilled. On
+    /// I/O failure the matrix simply stays resident (spilling is an optimization; the
+    /// error is returned for reporting).
+    pub fn spill(&mut self, dir: &SpillDir) -> io::Result<()> {
+        if let ShardStorage::Resident(matrix) = self {
+            let spilled = SpilledShard::write(dir, matrix)?;
+            *self = ShardStorage::Spilled(spilled);
+        }
+        Ok(())
+    }
+
+    /// Faults the matrix back into memory for mutation (ingestion into a partially
+    /// filled tail shard). The spill file is deleted. No-op when already resident.
+    ///
+    /// # Panics
+    /// Panics when the spill file cannot be read back, like [`ShardStorage::matrix`].
+    pub fn make_resident(&mut self) -> &mut Matrix {
+        if let ShardStorage::Spilled(s) = self {
+            let matrix = s.load().unwrap_or_else(|e| {
+                panic!("ShardStorage::make_resident: faulting spilled shard failed: {e}")
+            });
+            *self = ShardStorage::Resident(matrix);
+        }
+        match self {
+            ShardStorage::Resident(m) => m,
+            ShardStorage::Spilled(_) => unreachable!("made resident above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_matrix() -> Matrix {
+        // Values chosen to catch any lossy serialization: negatives, -0.0, subnormals,
+        // and values whose decimal round-trip would differ from a bit round-trip.
+        let mut data = vec![
+            0.1f32,
+            -0.0,
+            1.0e-40,
+            std::f32::consts::PI,
+            -2.5e7,
+            f32::MIN_POSITIVE,
+        ];
+        let mut state = 0x1234_5678_u64;
+        while data.len() < 12 * 5 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.push(((state >> 33) as f32 / (1u64 << 30) as f32) - 2.0);
+        }
+        Matrix::from_vec(12, 5, data)
+    }
+
+    #[test]
+    fn spill_round_trip_is_byte_identical() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let matrix = fixture_matrix();
+        let spilled = SpilledShard::write(&dir, &matrix).expect("spill");
+        let loaded = spilled.load().expect("fault");
+        assert_eq!(
+            (loaded.rows(), loaded.cols()),
+            (matrix.rows(), matrix.cols())
+        );
+        for (i, (a, b)) in matrix.data().iter().zip(loaded.data().iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "element {i} changed bits across the spill round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_transitions_preserve_the_matrix_and_account_bytes() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let matrix = fixture_matrix();
+        let bytes = matrix.data().len() * 4;
+        let mut storage = ShardStorage::Resident(matrix.clone());
+        assert!(storage.is_resident());
+        assert_eq!(storage.resident_bytes(), bytes);
+
+        storage.spill(&dir).expect("spill");
+        assert!(!storage.is_resident());
+        assert_eq!(storage.resident_bytes(), 0);
+        assert_eq!(storage.rows(), matrix.rows());
+        assert_eq!(*storage.matrix(), matrix, "transient fault must match");
+
+        // Cloning a spilled storage produces an independent resident copy.
+        let cloned = storage.clone();
+        assert!(cloned.is_resident());
+        assert_eq!(*cloned.matrix(), matrix);
+
+        let faulted = storage.make_resident();
+        assert_eq!(*faulted, matrix);
+        assert!(storage.is_resident());
+        assert_eq!(storage.resident_bytes(), bytes);
+    }
+
+    #[test]
+    fn files_and_directory_are_cleaned_up_on_drop() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let dir_path = dir.path().to_path_buf();
+        let spilled = SpilledShard::write(&dir, &fixture_matrix()).expect("spill");
+        let file_path = spilled.path.clone();
+        assert!(file_path.exists());
+        drop(spilled);
+        assert!(
+            !file_path.exists(),
+            "spill file must be removed with its shard"
+        );
+        assert!(dir_path.exists(), "dir survives while a handle exists");
+        drop(dir);
+        assert!(
+            !dir_path.exists(),
+            "dir must be removed with the last handle"
+        );
+    }
+
+    #[test]
+    fn corrupted_magic_is_rejected() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let spilled = SpilledShard::write(&dir, &fixture_matrix()).expect("spill");
+        let mut bytes = fs::read(&spilled.path).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&spilled.path, &bytes).unwrap();
+        let err = spilled.load().expect_err("corrupted magic must fail");
+        assert!(err.to_string().contains("bad magic"), "got: {err}");
+    }
+}

@@ -6,6 +6,10 @@
 //! equivalence is exact by construction (rows normalized once with the same op, shard
 //! matrices padded so every row is scored by the same SIMD microkernel, one shared
 //! selection order); this test is the proof on a realistically-sized workload.
+//!
+//! The storage/routing layers must be equally invisible: the same fixture also runs
+//! with a tiny residency budget (every shard spilled to disk and faulted through the
+//! routing filter) and must stay **id- and score-identical** to the dense layout.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,6 +60,41 @@ fn sharded_knn_join_matches_dense_across_capacities_2k_x_10k() {
                 e.2
             );
         }
+    }
+}
+
+#[test]
+fn spilled_and_routed_knn_join_matches_dense_2k_x_10k() {
+    // The acceptance case for the storage/routing layers: spill forced by a tiny
+    // residency budget (0 bytes — every shard on disk), routing pruning enabled
+    // (default). Results must be id- AND score-identical to the dense layout.
+    let mut rng = StdRng::seed_from_u64(11);
+    let dim = 16;
+    let k = 10;
+    let corpus = random_vectors(10_000, dim, &mut rng);
+    let queries = random_vectors(2_000, dim, &mut rng);
+
+    let dense = CosineIndex::build(corpus.clone());
+    let expected = dense.knn_join(&queries, k);
+
+    for capacity in [64usize, 1024] {
+        let sharded = ShardedCosineIndex::from_vectors_with_budget(&corpus, capacity, Some(0));
+        assert_eq!(
+            sharded.num_spilled_shards(),
+            sharded.num_shards(),
+            "capacity {capacity}: the zero budget must spill every shard"
+        );
+        assert!(sharded.routing_enabled());
+        let got = sharded.knn_join(&queries, k);
+        assert_eq!(
+            got, expected,
+            "capacity {capacity}: spilled+routed join must be bit-identical to dense"
+        );
+        let report = sharded.routing_report();
+        assert!(
+            report.spill_faults <= report.shards_visited,
+            "capacity {capacity}: faults cannot exceed visits ({report:?})"
+        );
     }
 }
 

@@ -71,7 +71,7 @@ fn interleaved_add_remove_compact_matches_fresh_builds() {
     let ids = index.add_batch(&batch);
     survivors.extend(ids.clone().zip(batch.iter().cloned()));
     for id in [0, 7, 22] {
-        assert!(index.remove(id));
+        assert!(index.remove(id).is_ok());
         survivors.retain(|(sid, _)| *sid != id);
     }
     assert_matches_fresh_build(&index, &survivors, &queries, k);
@@ -86,7 +86,7 @@ fn interleaved_add_remove_compact_matches_fresh_builds() {
     index.compact();
     assert_matches_fresh_build(&index, &survivors, &queries, k);
     for id in [1, 2, 3, 25, 30] {
-        assert!(index.remove(id));
+        assert!(index.remove(id).is_ok());
         survivors.retain(|(sid, _)| *sid != id);
     }
     assert_matches_fresh_build(&index, &survivors, &queries, k);
@@ -97,6 +97,41 @@ fn interleaved_add_remove_compact_matches_fresh_builds() {
     let ids = index.add_batch(&batch);
     assert_eq!(ids.start, 32);
     survivors.extend(ids.clone().zip(batch.iter().cloned()));
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+}
+
+#[test]
+fn interleaved_mutations_under_a_tiny_residency_budget_match_fresh_builds() {
+    // Same contract as above with the storage layer engaged: a one-shard budget keeps
+    // at most one shard resident, so every compact() spills the cold remainder and
+    // queries fault shards back transiently. Results must stay bit-identical.
+    let mut rng = StdRng::seed_from_u64(23);
+    let dim = 12;
+    let k = 6;
+    let queries = random_vectors(40, dim, &mut rng);
+    let mut survivors: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut index = ShardedCosineIndex::new(5);
+    index.set_memory_budget(Some(5 * dim * 4)); // exactly one unpadded shard
+
+    let batch = random_vectors(31, dim, &mut rng);
+    survivors.extend(index.add_batch(&batch).zip(batch.iter().cloned()));
+    index.compact();
+    assert!(
+        index.num_spilled_shards() >= index.num_shards() - 2,
+        "the one-shard budget must spill the cold shards (padding may round one out)"
+    );
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+
+    for id in [2, 11, 29] {
+        assert!(index.remove(id).is_ok());
+        survivors.retain(|(sid, _)| *sid != id);
+    }
+    assert_matches_fresh_build(&index, &survivors, &queries, k);
+
+    // Ingest into the spilled tail shard, then compact again (respill).
+    let batch = random_vectors(7, dim, &mut rng);
+    survivors.extend(index.add_batch(&batch).zip(batch.iter().cloned()));
+    index.compact();
     assert_matches_fresh_build(&index, &survivors, &queries, k);
 }
 
@@ -118,7 +153,10 @@ fn randomized_streaming_soak_matches_fresh_builds() {
             }
             6..=8 if !survivors.is_empty() => {
                 let victim = survivors[rng.gen_range(0..survivors.len())].0;
-                assert!(index.remove(victim), "step {step}: remove({victim})");
+                assert!(
+                    index.remove(victim).is_ok(),
+                    "step {step}: remove({victim})"
+                );
                 survivors.retain(|(sid, _)| *sid != victim);
             }
             _ => {
