@@ -15,7 +15,11 @@
 //!   `encode_batch` tape graph vs. one per-row graph per text;
 //! * `knn_join`: the GEMM-tiled join vs. a per-query scalar scan without kernels — in
 //!   the dense layout, the sharded layout (routing on and off), and the sharded layout
-//!   with every shard spilled to disk under a zero residency budget (routed + spilled).
+//!   with every shard spilled to disk under a zero residency budget (routed + spilled);
+//! * the persistence/serving subsystem: cold `ShardedCosineIndex::load_snapshot` (reads
+//!   only the manifest) vs. rebuilding the same index from raw vectors, and a warm
+//!   query-cache `knn_join` served over localhost TCP (`sudowoodo-serve`) vs. computing
+//!   the same batch directly on the cold snapshot-loaded index.
 //!
 //! Writes `target/experiments/perf_speedup.json` (the raw rows, as always) and
 //! `target/experiments/BENCH_perf.json` — the machine-readable report CI uploads as a
@@ -106,6 +110,13 @@ const SPEEDUP_FLOORS: &[(&str, f64)] = &[
     // far above the scalar scan, and the floor guards the fault path from quietly
     // degrading.
     ("knn_join sharded spilled+routed", 2.0),
+    // Cold snapshot loads read only the manifest (O(shards)), so they beat rebuilding
+    // the index from raw vectors (normalize + copy + routing stats over the whole
+    // corpus) by a wide margin; the conservative floor guards O(manifest)-ness.
+    ("snapshot load 10k corpus", 3.0),
+    // A warm-cache served batch is one fingerprint lookup plus one localhost round
+    // trip; the baseline recomputes the batch on the cold snapshot-loaded index.
+    ("served knn_join warm cache", 2.0),
 ];
 
 /// One tracked kernel's gate outcome inside `BENCH_perf.json`.
@@ -507,12 +518,82 @@ fn knn_rows(rows: &mut Vec<SpeedupRow>) {
     }
 }
 
+/// Snapshot persistence + network serving (the PR-5 subsystem): cold manifest-only
+/// loads vs. full rebuilds, and warm-cache served batches vs. direct cold joins.
+fn snapshot_and_serve_rows(rows: &mut Vec<SpeedupRow>) {
+    use std::sync::Arc;
+    use sudowoodo_index::BlockingIndex;
+    use sudowoodo_serve::{ServeClient, Server};
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let dim = 32;
+    let k = 20;
+    let corpus: Vec<Vec<f32>> = (0..10_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..2_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+
+    // The snapshot source: spill forced (zero budget) so saving exercises the
+    // file-copy path and the snapshot equals what a memory-pressured builder writes.
+    let built = ShardedCosineIndex::from_vectors_with_budget(&corpus, 1024, Some(0));
+    let dir = std::env::temp_dir().join(format!("sudowoodo-perf-snap-{}", std::process::id()));
+    built.save_snapshot(&dir).expect("save snapshot");
+
+    // Cold load (manifest only) vs. rebuilding the index from the raw vectors.
+    let naive = time(3, || ShardedCosineIndex::from_vectors(&corpus, 1024));
+    let fast = time(3, || {
+        ShardedCosineIndex::load_snapshot(&dir).expect("load snapshot")
+    });
+    rows.push(SpeedupRow::new(
+        format!("snapshot load 10k corpus (d={dim}, cap=1024) vs rebuild from vectors"),
+        naive,
+        fast,
+        corpus.len(),
+        0,
+    ));
+    let loaded = ShardedCosineIndex::load_snapshot(&dir).expect("load snapshot");
+    assert_eq!(
+        loaded.knn_join(&queries[..64], k),
+        built.knn_join(&queries[..64], k),
+        "snapshot-loaded index diverged from its source"
+    );
+
+    // Served warm-cache batch (localhost TCP round trip, zero shards touched) vs.
+    // computing the same batch directly on the cold snapshot-loaded index.
+    let cold = ShardedCosineIndex::load_snapshot(&dir).expect("load snapshot");
+    let naive_direct = time(2, || cold.knn_join(&queries, k));
+    let mut serving = ShardedCosineIndex::load_snapshot(&dir).expect("load snapshot");
+    serving.set_query_cache_capacity(4);
+    let server = Server::spawn(Arc::new(BlockingIndex::Sharded(serving)), "127.0.0.1:0")
+        .expect("spawn server");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    let served = client.knn_join(&queries, k).expect("warm the cache");
+    assert_eq!(served, cold.knn_join(&queries, k), "served join diverged");
+    let fast_served = time(3, || client.knn_join(&queries, k).expect("served join"));
+    let scored_pairs = queries.len() * corpus.len();
+    rows.push(SpeedupRow::new(
+        format!(
+            "served knn_join warm cache 2k queries x 10k corpus (d={dim}, k={k}) \
+             vs direct cold join"
+        ),
+        naive_direct,
+        fast_served,
+        queries.len(),
+        scored_pairs,
+    ));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let mut rows = Vec::new();
     matmul_rows(&mut rows);
     embed_rows(&mut rows);
     transformer_batching_rows(&mut rows);
     knn_rows(&mut rows);
+    snapshot_and_serve_rows(&mut rows);
 
     let printable: Vec<Vec<String>> = rows
         .iter()

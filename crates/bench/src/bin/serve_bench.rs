@@ -1,0 +1,210 @@
+//! End-to-end serving benchmark: snapshot → cold load → TCP serve → sustained QPS.
+//!
+//! Run with `cargo run --release -p sudowoodo-bench --bin serve_bench`.
+//!
+//! Walks the whole persistence + serving path on the 2k-query × 10k-corpus blocking
+//! fixture (the same one `perf_speedup` gates `knn_join` on):
+//!
+//! 1. build a sharded index with spill forced (zero residency budget) and
+//!    **save a snapshot**;
+//! 2. **load it cold** in the server role — O(manifest), shards stay on disk;
+//! 3. serve over localhost TCP (`sudowoodo-serve`) with the query-batch cache enabled;
+//! 4. measure the first (uncached — faults shards from disk) served batch, then
+//!    **sustained warm-cache throughput** in queries/second over repeated batches, and
+//!    the same with several concurrent client connections.
+//!
+//! The headline number is warm-cache queries/sec; the run prints a pass/fail line
+//! against the 5k queries/sec serving target. Results are written to
+//! `target/experiments/serve_bench.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use sudowoodo_bench::harness::print_table;
+use sudowoodo_bench::ResultWriter;
+use sudowoodo_index::{BlockingIndex, ShardedCosineIndex};
+use sudowoodo_serve::{ServeClient, Server};
+
+/// Warm-cache serving target (queries/second) this benchmark reports against.
+const TARGET_QPS: f64 = 5_000.0;
+
+#[derive(Clone, Debug, Serialize)]
+struct ServeRow {
+    stage: String,
+    seconds: f64,
+    queries: usize,
+    queries_per_sec: f64,
+}
+
+impl ServeRow {
+    fn new(stage: impl Into<String>, seconds: f64, queries: usize) -> Self {
+        ServeRow {
+            stage: stage.into(),
+            seconds,
+            queries,
+            queries_per_sec: if seconds > 0.0 {
+                queries as f64 / seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct ServeReport {
+    rows: Vec<ServeRow>,
+    warm_cache_qps: f64,
+    target_qps: f64,
+    target_met: bool,
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dim = 32;
+    let k = 20;
+    let corpus: Vec<Vec<f32>> = (0..10_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..2_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut rows = Vec::new();
+
+    // 1. Build (spill forced) and snapshot.
+    let build_start = Instant::now();
+    let built = ShardedCosineIndex::from_vectors_with_budget(&corpus, 1024, Some(0));
+    rows.push(ServeRow::new(
+        "build sharded index (10k x 32, cap=1024, budget=0)",
+        build_start.elapsed().as_secs_f64(),
+        0,
+    ));
+    let dir = std::env::temp_dir().join(format!("sudowoodo-serve-bench-{}", std::process::id()));
+    let save_start = Instant::now();
+    built.save_snapshot(&dir).expect("save snapshot");
+    rows.push(ServeRow::new(
+        "save snapshot",
+        save_start.elapsed().as_secs_f64(),
+        0,
+    ));
+
+    // 2. Cold load in the server role: manifest only.
+    let load_start = Instant::now();
+    let mut serving = ShardedCosineIndex::load_snapshot(&dir).expect("load snapshot");
+    rows.push(ServeRow::new(
+        "cold snapshot load (manifest only)",
+        load_start.elapsed().as_secs_f64(),
+        0,
+    ));
+    serving.set_query_cache_capacity(8);
+
+    // 3. Serve over localhost.
+    let server = Server::spawn(Arc::new(BlockingIndex::Sharded(serving)), "127.0.0.1:0")
+        .expect("spawn server");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    // 4a. First batch: uncached, faults every non-pruned shard from the snapshot.
+    let first_start = Instant::now();
+    let first = client.knn_join(&queries, k).expect("first served batch");
+    rows.push(ServeRow::new(
+        "first served batch (cache cold, shards on disk)",
+        first_start.elapsed().as_secs_f64(),
+        queries.len(),
+    ));
+    assert_eq!(
+        first,
+        built.knn_join(&queries, k),
+        "served results diverged from the built index"
+    );
+
+    // 4b. Sustained warm-cache throughput, single connection.
+    let reps = 50;
+    let warm_start = Instant::now();
+    for _ in 0..reps {
+        let pairs = client.knn_join(&queries, k).expect("warm served batch");
+        std::hint::black_box(&pairs);
+    }
+    let warm_secs = warm_start.elapsed().as_secs_f64();
+    let warm = ServeRow::new(
+        format!("warm-cache served batches x{reps} (single connection)"),
+        warm_secs,
+        reps * queries.len(),
+    );
+    let warm_cache_qps = warm.queries_per_sec;
+    rows.push(warm);
+
+    // 4c. Concurrent clients: 4 connections streaming the same warm batch.
+    let clients = 4;
+    let conc_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let queries = &queries;
+            let addr = server.addr();
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for _ in 0..reps / clients {
+                    let pairs = client.knn_join(queries, k).expect("concurrent batch");
+                    std::hint::black_box(&pairs);
+                }
+            });
+        }
+    });
+    rows.push(ServeRow::new(
+        format!("warm-cache served batches x{reps} ({clients} concurrent connections)"),
+        conc_start.elapsed().as_secs_f64(),
+        (reps / clients) * clients * queries.len(),
+    ));
+
+    let stats = client.stats().expect("stats");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stage.clone(),
+                format!("{:.4}", r.seconds),
+                if r.queries > 0 {
+                    format!("{}", r.queries)
+                } else {
+                    "-".into()
+                },
+                if r.queries > 0 {
+                    format!("{:.0}", r.queries_per_sec)
+                } else {
+                    "-".into()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "Snapshot + serving benchmark (2k queries x 10k corpus)",
+        &["stage", "seconds", "queries", "queries/s"],
+        &printable,
+    );
+    println!(
+        "server stats: {} requests served, {} coalesced joins, cache {}/{} hits/misses",
+        stats.served_requests, stats.batched_joins, stats.cache_hits, stats.cache_misses
+    );
+
+    let target_met = warm_cache_qps >= TARGET_QPS;
+    println!(
+        "warm-cache throughput: {warm_cache_qps:.0} queries/sec — target {TARGET_QPS:.0}: {}",
+        if target_met { "MET" } else { "NOT MET" }
+    );
+
+    ResultWriter::new().write(
+        "serve_bench",
+        &ServeReport {
+            rows,
+            warm_cache_qps,
+            target_qps: TARGET_QPS,
+            target_met,
+        },
+    );
+}

@@ -10,7 +10,7 @@
 //! * [`components`] — union-find connected components and cluster purity, used to turn
 //!   pairwise column-matching predictions into discovered semantic-type clusters (§V-B).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batching;
 pub mod components;

@@ -138,6 +138,21 @@ pub struct SudowoodoConfig {
     /// (`blocking_shard_capacity: None`), which cannot partially spill. Results are
     /// identical in every configuration; only the memory/IO profile changes.
     pub shard_memory_budget: Option<usize>,
+    /// Query-batch cache capacity of the sharded blocking index, in cached batches
+    /// (`0` disables). A repeated `knn_join` batch (the serving workload: dashboard
+    /// refreshes, retried RPCs) answers from the cache without touching a single shard
+    /// — no GEMM, no disk fault; entries are invalidated by the index's mutation epoch,
+    /// so a hit is always result-identical to recomputing. Ignored by the dense layout,
+    /// which has no mutation epoch to invalidate by.
+    pub blocking_query_cache: usize,
+    /// Directory the pipelines persist the built blocking index into (see
+    /// `sudowoodo_index::snapshot`): after blocking, the index is saved as a versioned
+    /// manifest plus per-shard payloads, so a separate serving process (the
+    /// `sudowoodo-serve` crate) can load it cold — O(manifest), not O(corpus) — and
+    /// answer `knn_join` traffic without rebuilding or re-embedding anything. `None`
+    /// (the default) persists nothing. Snapshot I/O failures are reported as warnings,
+    /// never pipeline failures.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 
     /// Random seed controlling every stochastic choice.
     pub seed: u64,
@@ -172,6 +187,8 @@ impl Default for SudowoodoConfig {
             blocking_k: 10,
             blocking_shard_capacity: None,
             shard_memory_budget: None,
+            blocking_query_cache: 8,
+            snapshot_dir: None,
             seed: 42,
         }
     }

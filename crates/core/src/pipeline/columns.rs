@@ -10,7 +10,6 @@ use std::time::Instant;
 
 use sudowoodo_cluster::{cluster_purity, connected_components};
 use sudowoodo_datasets::columns::{ColumnCorpus, ColumnPair};
-use sudowoodo_index::BlockingIndex;
 use sudowoodo_ml::metrics::{best_f1_threshold, PrF1};
 
 use crate::config::SudowoodoConfig;
@@ -59,13 +58,11 @@ impl ColumnPipeline {
     /// Blocking over the column corpus: kNN self-join (excluding self-pairs), returning
     /// candidate `(i, j)` pairs with `i < j`. The index layout (dense or streaming
     /// sharded) follows `config.blocking_shard_capacity`, and the sharded layout honours
-    /// `config.shard_memory_budget` (cold shards spill to disk); results are identical.
+    /// `config.shard_memory_budget` (cold shards spill to disk), the
+    /// `config.blocking_query_cache` batch cache, and `config.snapshot_dir` persistence
+    /// (see `pipeline::build_blocking_index`); results are identical.
     pub fn block(&self, corpus: &ColumnCorpus, embeddings: &[Vec<f32>]) -> Vec<(usize, usize)> {
-        let index = BlockingIndex::build_with_budget(
-            embeddings.to_vec(),
-            self.config.blocking_shard_capacity,
-            self.config.shard_memory_budget,
-        );
+        let index = crate::pipeline::build_blocking_index(&self.config, embeddings.to_vec());
         // One batched self-join (identical per-query results to `top_k`, proven by the
         // index tests): the query tiles are the parallel axis, where a per-embedding
         // `top_k` loop would run every single-query scan serially.

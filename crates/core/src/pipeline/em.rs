@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use sudowoodo_datasets::em::{EmDataset, LabeledPair};
-use sudowoodo_index::{evaluate_blocking, BlockingIndex, BlockingQuality};
+use sudowoodo_index::{evaluate_blocking, BlockingQuality};
 use sudowoodo_ml::metrics::{best_f1_threshold, PrF1};
 use sudowoodo_text::serialize::serialize_record;
 
@@ -89,7 +89,9 @@ impl EmPipeline {
     /// (one corpus matrix) by default, or the streaming sharded index, optionally under
     /// `config.shard_memory_budget` (cold shards spill to disk and routing statistics
     /// skip unpromising ones) — results are identical in every configuration, only the
-    /// memory/ingestion profile changes.
+    /// memory/ingestion profile changes. `config.blocking_query_cache` caches repeated
+    /// query batches, and `config.snapshot_dir` persists the built index for external
+    /// serving (see `pipeline::build_blocking_index`).
     pub fn block(
         &self,
         encoder: &Encoder,
@@ -99,11 +101,7 @@ impl EmPipeline {
         let (texts_a, texts_b) = Self::serialize_tables(dataset);
         let emb_a = encoder.embed_all(&texts_a);
         let emb_b = encoder.embed_all(&texts_b);
-        let index = BlockingIndex::build_with_budget(
-            emb_b,
-            self.config.blocking_shard_capacity,
-            self.config.shard_memory_budget,
-        );
+        let index = crate::pipeline::build_blocking_index(&self.config, emb_b);
         let candidates = index.knn_join(&emb_a, k);
         let pairs: Vec<(usize, usize)> = candidates.iter().map(|&(a, b, _)| (a, b)).collect();
         let quality = evaluate_blocking(
@@ -126,11 +124,7 @@ impl EmPipeline {
         let (texts_a, texts_b) = Self::serialize_tables(dataset);
         let emb_a = encoder.embed_all(&texts_a);
         let emb_b = encoder.embed_all(&texts_b);
-        let index = BlockingIndex::build_with_budget(
-            emb_b,
-            self.config.blocking_shard_capacity,
-            self.config.shard_memory_budget,
-        );
+        let index = crate::pipeline::build_blocking_index(&self.config, emb_b);
         ks.iter()
             .map(|&k| {
                 let candidates = index.knn_join(&emb_a, k);

@@ -9,3 +9,40 @@ pub mod em;
 pub use cleaning::{CleaningPipeline, CleaningResult};
 pub use columns::{ColumnMatchResult, ColumnPipeline};
 pub use em::{EmPipeline, EmResult, EmTimings};
+
+use sudowoodo_index::BlockingIndex;
+
+use crate::config::SudowoodoConfig;
+
+/// Builds the blocking index every pipeline retrieves through, applying the full
+/// blocking configuration in one place so the pipelines cannot drift:
+///
+/// * layout and spill — `blocking_shard_capacity` / `shard_memory_budget`
+///   ([`BlockingIndex::build_with_budget`]);
+/// * the query-batch cache — `blocking_query_cache`
+///   ([`BlockingIndex::set_query_cache_capacity`]);
+/// * persistence — when `snapshot_dir` is set, the built index is saved there
+///   ([`BlockingIndex::save_snapshot`]) so a serving process (`sudowoodo-serve`) can
+///   load it cold and answer queries without rebuilding. A snapshot I/O failure is a
+///   warning, never a pipeline failure — persistence is an optimization.
+pub(crate) fn build_blocking_index(
+    config: &SudowoodoConfig,
+    vectors: Vec<Vec<f32>>,
+) -> BlockingIndex {
+    let mut index = BlockingIndex::build_with_budget(
+        vectors,
+        config.blocking_shard_capacity,
+        config.shard_memory_budget,
+    );
+    index.set_query_cache_capacity(config.blocking_query_cache);
+    if let Some(dir) = &config.snapshot_dir {
+        if let Err(e) = index.save_snapshot(dir) {
+            eprintln!(
+                "warning: blocking-index snapshot into {} failed (serving will need a \
+                 rebuild): {e}",
+                dir.display()
+            );
+        }
+    }
+    index
+}

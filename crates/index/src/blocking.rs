@@ -6,8 +6,12 @@
 //! deterministic top-k selection contract, so switching layouts never changes results —
 //! only the memory/ingestion profile.
 
+use std::io;
+use std::path::Path;
+
 use crate::knn::{CosineIndex, Neighbor};
 use crate::sharded::{RemoveError, ShardedCosineIndex};
+use crate::snapshot;
 
 /// An exact cosine kNN index in either layout, behind the common search API.
 ///
@@ -85,6 +89,53 @@ impl BlockingIndex {
         }
     }
 
+    /// Vector dimensionality (`0` while the index is empty and none was ever fixed).
+    pub fn dim(&self) -> usize {
+        match self {
+            BlockingIndex::Dense(index) => index.dim(),
+            BlockingIndex::Sharded(index) => index.dim(),
+        }
+    }
+
+    /// Sets the query-batch cache capacity (cached batches; 0 disables) on the sharded
+    /// layout — see [`ShardedCosineIndex::set_query_cache_capacity`]. The dense layout
+    /// has no cache (it also has no mutation epoch to invalidate by) and ignores this.
+    pub fn set_query_cache_capacity(&mut self, capacity: usize) {
+        if let BlockingIndex::Sharded(index) = self {
+            index.set_query_cache_capacity(capacity);
+        }
+    }
+
+    /// Persists the index into `dir` in either layout — see
+    /// [`ShardedCosineIndex::save_snapshot`] and [`crate::snapshot`]. The manifest
+    /// records which layout was saved, so [`BlockingIndex::load_snapshot`] restores it
+    /// without the caller knowing.
+    pub fn save_snapshot(&self, dir: &Path) -> io::Result<()> {
+        snapshot::save_blocking(self, dir)
+    }
+
+    /// Loads a snapshot written by [`BlockingIndex::save_snapshot`] in whichever layout
+    /// it was saved: a sharded snapshot loads **cold** (shards stay on disk until
+    /// queries or a [`ShardedCosineIndex::compact`] fault them in); a dense snapshot is
+    /// one monolithic matrix and is read here.
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_index::BlockingIndex;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("swblk-doc-{}", std::process::id()));
+    /// let corpus = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8]];
+    /// let index = BlockingIndex::build(corpus, Some(2));
+    /// index.save_snapshot(&dir).unwrap();
+    /// let loaded = BlockingIndex::load_snapshot(&dir).unwrap();
+    /// let queries = vec![vec![1.0, 0.2]];
+    /// assert_eq!(loaded.knn_join(&queries, 2), index.knn_join(&queries, 2));
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn load_snapshot(dir: &Path) -> io::Result<BlockingIndex> {
+        snapshot::load_blocking(dir)
+    }
+
     /// `true` when nothing is indexed.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -105,6 +156,32 @@ impl BlockingIndex {
         match self {
             BlockingIndex::Dense(index) => index.knn_join(queries, k),
             BlockingIndex::Sharded(index) => index.knn_join(queries, k),
+        }
+    }
+
+    /// Pure query-cache peek — see [`ShardedCosineIndex::cached_knn_join`]. Always
+    /// `None` on the dense layout (no cache).
+    pub fn cached_knn_join(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Option<Vec<(usize, usize, f32)>> {
+        match self {
+            BlockingIndex::Dense(_) => None,
+            BlockingIndex::Sharded(index) => index.cached_knn_join(queries, k),
+        }
+    }
+
+    /// Records a batch's `knn_join` result in the query cache — see
+    /// [`ShardedCosineIndex::cache_join_result`]. No-op on the dense layout.
+    pub fn cache_join_result(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        results: Vec<(usize, usize, f32)>,
+    ) {
+        if let BlockingIndex::Sharded(index) = self {
+            index.cache_join_result(queries, k, results);
         }
     }
 }

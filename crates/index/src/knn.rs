@@ -269,6 +269,14 @@ impl CosineIndex {
         CosineIndex { matrix, len }
     }
 
+    /// Rebuilds an index from a snapshot-loaded matrix whose rows are **already**
+    /// normalized and padded ([`crate::snapshot`]). Skipping the second normalization
+    /// is what keeps a snapshot round trip bit-identical (renormalizing an
+    /// already-unit row divides by a norm within 1 ulp of 1.0 — and can move bits).
+    pub(crate) fn from_normalized_parts(matrix: Matrix, len: usize) -> Self {
+        CosineIndex { matrix, len }
+    }
+
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
         self.len

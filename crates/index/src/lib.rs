@@ -22,6 +22,13 @@
 //! * [`routing::RoutingStats`] — per-shard centroid/radius statistics giving an
 //!   admissible upper bound on any row's cosine score, used to skip (and never fault in)
 //!   shards that provably cannot enter the current top-k.
+//! * [`snapshot`] — persistent whole-index snapshots: a versioned manifest plus
+//!   per-shard payloads in the spill format, saved by one process and loaded **cold**
+//!   (O(manifest)) by any number of others — the durable half of the serving story
+//!   (the network half is the `sudowoodo-serve` crate).
+//! * [`cache`] — the query-batch result cache consulted by the sharded `knn_join`
+//!   ahead of routing: normalized-query fingerprints, LRU capacity, invalidated by the
+//!   index's mutation epoch.
 //! * [`blocking::BlockingIndex`] — both layouts behind one search API, so pipelines pick
 //!   the corpus layout (and memory budget) with configuration values.
 //! * [`knn::evaluate_blocking`] — recall / candidate-set-size-ratio scoring of a
@@ -30,13 +37,17 @@
 #![deny(missing_docs)]
 
 pub mod blocking;
+pub mod cache;
 pub mod knn;
 pub mod routing;
 pub mod sharded;
+pub mod snapshot;
 pub mod storage;
 
 pub use blocking::BlockingIndex;
+pub use cache::{fingerprint, QueryFingerprint};
 pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor};
 pub use routing::RoutingStats;
 pub use sharded::{RemoveError, RoutingReport, ShardedCosineIndex};
+pub use snapshot::MANIFEST_FILE;
 pub use storage::{ShardStorage, SpillDir, SpilledShard};

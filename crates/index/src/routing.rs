@@ -156,6 +156,31 @@ impl RoutingStats {
         self.radius = (radius as f32).next_up();
     }
 
+    /// Decomposes the statistics into `(centroid, radius, sum, counted)` for the
+    /// snapshot manifest ([`crate::snapshot`]). Persisting the `f64` running sum keeps
+    /// post-load [`RoutingStats::append`] updates exactly as tight as they would have
+    /// been without the save/load round trip.
+    pub(crate) fn snapshot_parts(&self) -> (&[f32], f32, &[f64], usize) {
+        (&self.centroid, self.radius, &self.sum, self.counted)
+    }
+
+    /// Rebuilds statistics from manifest-recorded parts (inverse of
+    /// [`RoutingStats::snapshot_parts`]). The caller (the snapshot loader) is trusted:
+    /// these are the exact fields a save wrote, so the bound stays admissible.
+    pub(crate) fn from_snapshot_parts(
+        centroid: Vec<f32>,
+        radius: f32,
+        sum: Vec<f64>,
+        counted: usize,
+    ) -> RoutingStats {
+        RoutingStats {
+            centroid,
+            radius,
+            sum,
+            counted,
+        }
+    }
+
     /// The distance bound from a covered row to the centroid.
     pub fn radius(&self) -> f32 {
         self.radius

@@ -55,14 +55,18 @@
 
 use std::cmp::Reverse;
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
 use sudowoodo_nn::matrix::Matrix;
 
+use crate::cache::{fingerprint, QueryCache};
 use crate::knn::{check_row_dim, pack_query_block, padded_rows, Neighbor, TopK};
 use crate::routing::RoutingStats;
+use crate::snapshot;
 use crate::storage::{ShardStorage, SpillDir};
 
 /// Number of query rows per GEMM tile in [`ShardedCosineIndex::knn_join`] — the same tile
@@ -116,12 +120,13 @@ impl fmt::Display for RemoveError {
 
 impl std::error::Error for RemoveError {}
 
-/// Shard-skipping and disk-fault tallies of searches since the last reset — the
-/// observable effect of the routing/spill layers (results are unchanged by design, so
-/// the counters are how tests and benches see the pruning work).
+/// Shard-skipping, disk-fault, and query-cache tallies of searches since the last
+/// reset — the observable effect of the routing/spill/cache layers (results are
+/// unchanged by design, so the counters are how tests and benches see them work).
 ///
-/// Counts are per *visit opportunity*: one shard scored (or skipped) for one query
-/// tile (with routing disabled, for one query tile in one merge group).
+/// Shard counts are per *visit opportunity*: one shard scored (or skipped) for one
+/// query tile (with routing disabled, for one query tile in one merge group). Cache
+/// counts are per `knn_join` call while the cache is enabled.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoutingReport {
     /// Shards actually scored against a query tile.
@@ -130,35 +135,43 @@ pub struct RoutingReport {
     pub shards_pruned: u64,
     /// Spilled shards read back from disk (pruned shards never count here).
     pub spill_faults: u64,
+    /// `knn_join` calls answered from the query-batch cache (no shard was touched).
+    pub cache_hits: u64,
+    /// `knn_join` calls that missed the enabled query-batch cache and were computed.
+    pub cache_misses: u64,
 }
 
 #[derive(Debug, Default)]
-struct RoutingCounters {
+pub(crate) struct RoutingCounters {
     visited: AtomicU64,
     pruned: AtomicU64,
     faults: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
-/// One fixed-capacity partition of the corpus.
+/// One fixed-capacity partition of the corpus. Fields are crate-visible so the
+/// [`crate::snapshot`] serializer can persist and rebuild shards without an
+/// accessor-per-field indirection layer.
 #[derive(Debug)]
-struct Shard {
+pub(crate) struct Shard {
     /// Row-major buffer (resident or spilled); rows `0..ids.len()` are real (already
     /// normalized), trailing rows — row-quad padding plus geometric growth slack — are
     /// zero and never surface in results.
-    storage: ShardStorage,
+    pub(crate) storage: ShardStorage,
     /// Stable id of each real row, ascending (insertion order is preserved shard-to-shard).
-    ids: Vec<usize>,
+    pub(crate) ids: Vec<usize>,
     /// Tombstone flag per real row.
-    deleted: Vec<bool>,
+    pub(crate) deleted: Vec<bool>,
     /// Number of rows with `deleted == false`.
-    live: usize,
+    pub(crate) live: usize,
     /// Centroid/radius routing summary of the live rows (admissible superset when rows
     /// were removed since the last recomputation — see [`crate::routing`]).
-    stats: RoutingStats,
+    pub(crate) stats: RoutingStats,
     /// Logical timestamp of the last search that scored this shard (or the ingestion
     /// that filled it); drives the LRU residency decision. Relaxed atomics: searches
     /// take `&self`, and an approximate recency order is all the budget needs.
-    last_used: AtomicU64,
+    pub(crate) last_used: AtomicU64,
 }
 
 impl Clone for Shard {
@@ -247,33 +260,40 @@ impl Shard {
 #[derive(Debug)]
 pub struct ShardedCosineIndex {
     /// Maximum number of real rows per shard.
-    shard_capacity: usize,
+    pub(crate) shard_capacity: usize,
     /// Vector dimensionality; `0` until the first non-empty batch fixes it.
-    dim: usize,
+    pub(crate) dim: usize,
     /// Next stable id to assign.
-    next_id: usize,
+    pub(crate) next_id: usize,
     /// Number of live (non-tombstoned) rows across all shards.
-    live: usize,
+    pub(crate) live: usize,
     /// The partitions, in insertion order; `ids` are ascending across and within shards.
-    shards: Vec<Shard>,
+    pub(crate) shards: Vec<Shard>,
     /// Resident-memory budget (bytes of shard matrix payload) applied after `compact`;
     /// `None` keeps everything resident.
-    memory_budget: Option<usize>,
+    pub(crate) memory_budget: Option<usize>,
     /// Whether routing-statistics shard skipping is active.
-    routing: bool,
+    pub(crate) routing: bool,
     /// Spill-file directory, created lazily the first time a shard spills.
-    spill_dir: Option<SpillDir>,
+    pub(crate) spill_dir: Option<SpillDir>,
     /// Logical clock stamping shard use (searches and ingestion).
-    clock: AtomicU64,
+    pub(crate) clock: AtomicU64,
     /// Pruning/fault observability (results are unaffected by routing, so the counters
     /// are the visible effect).
-    counters: RoutingCounters,
+    pub(crate) counters: RoutingCounters,
+    /// Mutation epoch: bumped by every successful `add_batch`/`remove`/`compact`;
+    /// stamps (and invalidates) query-cache entries.
+    pub(crate) epoch: AtomicU64,
+    /// Query-batch result cache consulted by `knn_join` ahead of routing (disabled at
+    /// capacity 0, the default — see [`crate::cache`]).
+    pub(crate) cache: QueryCache,
 }
 
 impl Clone for ShardedCosineIndex {
     /// Cloning faults every spilled shard into the clone as resident memory (spill
     /// files are single-owner); the clone re-applies its budget at its next
-    /// [`ShardedCosineIndex::compact`]. Counters start at zero.
+    /// [`ShardedCosineIndex::compact`]. Counters start at zero, and the clone gets a
+    /// fresh, empty query cache with the same capacity.
     fn clone(&self) -> Self {
         ShardedCosineIndex {
             shard_capacity: self.shard_capacity,
@@ -286,6 +306,8 @@ impl Clone for ShardedCosineIndex {
             spill_dir: None,
             clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
             counters: RoutingCounters::default(),
+            epoch: AtomicU64::new(self.epoch.load(Ordering::Relaxed)),
+            cache: QueryCache::new(self.cache.capacity()),
         }
     }
 }
@@ -315,6 +337,8 @@ impl ShardedCosineIndex {
             spill_dir: None,
             clock: AtomicU64::new(0),
             counters: RoutingCounters::default(),
+            epoch: AtomicU64::new(0),
+            cache: QueryCache::new(0),
         }
     }
 
@@ -413,6 +437,8 @@ impl ShardedCosineIndex {
             shards_visited: self.counters.visited.load(Ordering::Relaxed),
             shards_pruned: self.counters.pruned.load(Ordering::Relaxed),
             spill_faults: self.counters.faults.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -421,6 +447,146 @@ impl ShardedCosineIndex {
         self.counters.visited.store(0, Ordering::Relaxed);
         self.counters.pruned.store(0, Ordering::Relaxed);
         self.counters.faults.store(0, Ordering::Relaxed);
+        self.counters.cache_hits.store(0, Ordering::Relaxed);
+        self.counters.cache_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Sets the query-batch cache capacity, in cached batches (0, the default,
+    /// disables the cache). Changing the capacity drops all cached batches.
+    ///
+    /// With a capacity set, [`Self::knn_join`] first consults the cache under the
+    /// batch's normalized-query fingerprint (see [`crate::cache`]): a hit returns the
+    /// cached pairs without touching any shard (no GEMM, no disk fault); entries are
+    /// invalidated by the mutation epoch, so a repeated batch's hit is bit-identical
+    /// to recomputing (see the [`crate::cache`] precision note for the rescaled-batch
+    /// nuance). Repeated query batches are the serving workload this exists for.
+    pub fn set_query_cache_capacity(&mut self, capacity: usize) {
+        self.cache = QueryCache::new(capacity);
+    }
+
+    /// The query-batch cache capacity in batches (0 = disabled).
+    pub fn query_cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Number of query batches currently cached.
+    pub fn query_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The mutation epoch: bumped by every successful [`Self::add_batch`] (of a
+    /// non-empty batch), [`Self::remove`], and [`Self::compact`]. Query-cache entries
+    /// from earlier epochs never serve.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Pure cache peek: the cached [`Self::knn_join`] result for exactly this batch,
+    /// if one was computed under the current epoch. **Never computes anything** and
+    /// never touches a shard. Request coalescers (the `sudowoodo-serve` join worker)
+    /// use this to answer cache-hitting requests individually and merge only the
+    /// misses — merging a hit into a bigger batch would change the fingerprint and
+    /// waste the cached work.
+    pub fn cached_knn_join(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Option<Vec<(usize, usize, f32)>> {
+        if !self.cache.is_enabled() || k == 0 || self.is_empty() || queries.is_empty() {
+            return None;
+        }
+        let hit = self
+            .cache
+            .lookup(fingerprint(queries, k, self.dim), self.epoch());
+        if hit.is_some() {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Records `results` as the cached [`Self::knn_join`] answer for `(queries, k)`
+    /// under the current epoch — the insert half of [`Self::cached_knn_join`], for
+    /// request coalescers that computed a batch *inside a merged join* and want the
+    /// individual batch to hit next time (caching only the merged fingerprint would
+    /// miss every per-client repeat).
+    ///
+    /// `results` must be exactly what `knn_join(queries, k)` returns right now; per-
+    /// query scoring is batch-composition-independent (each query row is scored and
+    /// selected on its own), so a faithfully split merged result satisfies that.
+    /// No-op when the cache is disabled or the request is degenerate.
+    pub fn cache_join_result(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        results: Vec<(usize, usize, f32)>,
+    ) {
+        if !self.cache.is_enabled() || k == 0 || self.is_empty() || queries.is_empty() {
+            return;
+        }
+        self.cache
+            .insert(fingerprint(queries, k, self.dim), self.epoch(), results);
+    }
+
+    /// Persists the whole index into `dir` (created if missing): a versioned manifest
+    /// (dims, shard capacity, id maps, tombstones, routing statistics) plus one payload
+    /// file per shard in the [`crate::storage`] spill format — see [`crate::snapshot`]
+    /// for the layout. A shard that is already spilled is snapshotted with a plain file
+    /// copy; resident data is serialized by the same streaming writer the spill path
+    /// uses, so saving never doubles a shard's memory footprint.
+    ///
+    /// The snapshot is self-contained and process-independent: any number of processes
+    /// can [`ShardedCosineIndex::load_snapshot`] it concurrently, and loaded indexes
+    /// never modify or delete it. Treat a published snapshot as immutable — do not
+    /// save over a directory while **another live process** is serving from it (cold
+    /// loaders re-read payloads lazily by path and could pair an old manifest with
+    /// new bytes); republish into a fresh directory and switch readers over instead
+    /// (see [`crate::snapshot`]).
+    ///
+    /// # Errors
+    /// Any I/O failure; also [`std::io::ErrorKind::InvalidInput`] when saving a
+    /// *mutated* snapshot-loaded index back into the directory currently backing it
+    /// (its shards moved position, and overwriting the files under the index's own
+    /// cold handles would corrupt it — save into a fresh directory instead; saving an
+    /// **unmutated** loaded index back into its own directory is fine and cheap).
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_index::ShardedCosineIndex;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("swidx-doc-{}", std::process::id()));
+    /// let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8]];
+    /// let index = ShardedCosineIndex::from_vectors(&rows, 2);
+    /// index.save_snapshot(&dir).unwrap();
+    ///
+    /// // Another process would do exactly this; the load reads only the manifest.
+    /// let loaded = ShardedCosineIndex::load_snapshot(&dir).unwrap();
+    /// assert_eq!(loaded.num_spilled_shards(), loaded.num_shards()); // cold start
+    /// let queries = vec![vec![0.9, 0.1]];
+    /// assert_eq!(loaded.knn_join(&queries, 2), index.knn_join(&queries, 2));
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn save_snapshot(&self, dir: &Path) -> io::Result<()> {
+        snapshot::save_sharded(self, dir)
+    }
+
+    /// Loads a snapshot written by [`ShardedCosineIndex::save_snapshot`] — **cold**:
+    /// only the manifest is read (O(shards), not O(corpus)), every shard starts in the
+    /// spilled state backed by the snapshot payload, and queries fault shards in
+    /// transiently exactly like disk-spilled shards (routing statistics, restored from
+    /// the manifest, keep pruned shards from ever touching the payload files).
+    ///
+    /// To warm up, set a residency budget (or none) and [`ShardedCosineIndex::compact`]
+    /// — the regular LRU policy then faults the hot shards resident. The loaded index
+    /// starts with routing enabled, no memory budget, a disabled query cache, and fresh
+    /// counters/epoch; search results are id- and score-identical to the saved index in
+    /// every configuration.
+    ///
+    /// # Errors
+    /// I/O failures, a missing/foreign/corrupt manifest, payload files whose size
+    /// disagrees with the manifest, or a snapshot holding the dense layout (load that
+    /// through [`crate::BlockingIndex::load_snapshot`]).
+    pub fn load_snapshot(dir: &Path) -> io::Result<ShardedCosineIndex> {
+        snapshot::load_sharded(dir)
     }
 
     /// Number of tombstoned rows still occupying shard slots (reclaimed by
@@ -527,6 +693,7 @@ impl ShardedCosineIndex {
         }
         self.next_id = start + vectors.len();
         self.live += vectors.len();
+        self.epoch.fetch_add(1, Ordering::Relaxed); // invalidates cached query batches
         start..self.next_id
     }
 
@@ -565,7 +732,9 @@ impl ShardedCosineIndex {
         self.live -= 1;
         // Removal is O(1): the routing statistics are left covering a superset of the
         // live rows, which keeps their bound admissible (see `crate::routing`); the
-        // next `compact` recomputes them exactly.
+        // next `compact` recomputes them exactly. Cache invalidation is O(1) too —
+        // the epoch bump orphans every cached batch.
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -580,6 +749,10 @@ impl ShardedCosineIndex {
             self.repack();
         }
         self.apply_memory_budget();
+        // Compaction never changes results, but the epoch bump is deliberately
+        // conservative: cached batches are cheap to recompute once, reasoning about a
+        // cache serving across arbitrary structural changes is not.
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         reclaimed
     }
 
@@ -738,6 +911,20 @@ impl ShardedCosineIndex {
         if k == 0 || self.is_empty() || queries.is_empty() {
             return Vec::new();
         }
+        // Query-batch cache, consulted ahead of routing: a repeated batch answers
+        // without touching a single shard (see `crate::cache` for keying and the
+        // epoch-invalidation argument). Disabled (capacity 0) by default.
+        let cache_key = if self.cache.is_enabled() {
+            let key = fingerprint(queries, k, self.dim);
+            if let Some(hit) = self.cache.lookup(key, self.epoch()) {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            Some(key)
+        } else {
+            None
+        };
         let dim = self.dim;
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let group_size = self.shards.len().div_ceil(MERGE_GROUPS).max(1);
@@ -797,7 +984,11 @@ impl ShardedCosineIndex {
                 pairs
             })
             .collect();
-        per_block.into_iter().flatten().collect()
+        let pairs: Vec<(usize, usize, f32)> = per_block.into_iter().flatten().collect();
+        if let Some(key) = cache_key {
+            self.cache.insert(key, self.epoch(), pairs.clone());
+        }
+        pairs
     }
 
     /// Scores every shard against one query tile with routing-statistics skipping:

@@ -35,6 +35,12 @@
 //! spilling. Files live in a per-index temporary directory ([`SpillDir`]) that is
 //! removed when the index is dropped; individual files are removed as soon as their
 //! shard is repacked or faulted back to residency.
+//!
+//! The same format doubles as the per-shard **payload format of persistent snapshots**
+//! ([`crate::snapshot`]): a snapshot shard file is byte-identical to a spill file, so a
+//! spilled shard is snapshotted with a plain file copy (no deserialization), and a
+//! snapshot-loaded shard is served through the exact same fault path — just via a
+//! non-owning handle ([`SpilledShard::open`]) that never deletes the snapshot.
 
 use std::borrow::Cow;
 use std::fs;
@@ -105,49 +111,106 @@ impl SpillDir {
 
 /// One shard matrix serialized to disk (see the module docs for the format).
 ///
-/// Owns its file: the file is deleted when the `SpilledShard` drops (shard repacked,
-/// faulted back to residency, or index dropped).
+/// Comes in two ownership flavours:
+///
+/// * **Owning** ([`SpilledShard::write`]) — a spill file under a [`SpillDir`]; the file
+///   is deleted when the `SpilledShard` drops (shard repacked, faulted back to
+///   residency, or index dropped).
+/// * **Non-owning** ([`SpilledShard::open`]) — a payload file of a persistent snapshot
+///   ([`crate::snapshot`]); the handle reads it on demand but never deletes it, so one
+///   snapshot directory can back any number of loaded indexes (across processes).
 #[derive(Debug)]
 pub struct SpilledShard {
-    /// Keeps the spill directory alive as long as any file in it exists (never read —
-    /// the handle's `Drop` ordering is its whole job).
-    _dir: SpillDir,
+    /// Keeps the spill directory alive as long as any owned file in it exists (never
+    /// read — the handle's `Drop` ordering is its whole job). `None` for non-owning
+    /// snapshot-backed handles.
+    _dir: Option<SpillDir>,
     path: PathBuf,
+    /// Whether the file is deleted when this handle drops.
+    owns_file: bool,
     rows: usize,
     cols: usize,
 }
 
 impl Drop for SpilledShard {
     fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
+        if self.owns_file {
+            let _ = fs::remove_file(&self.path);
+        }
     }
 }
 
+/// Serializes `matrix` into the spill-file format at `path` (see the module docs),
+/// streaming in bounded chunks so writing a large shard never doubles its memory
+/// footprint. Shared by the transient spill path and the snapshot writer.
+pub(crate) fn write_matrix_file(path: &Path, matrix: &Matrix) -> io::Result<()> {
+    let mut file = io::BufWriter::new(fs::File::create(path)?);
+    file.write_all(MAGIC)?;
+    file.write_all(&(matrix.rows() as u64).to_le_bytes())?;
+    file.write_all(&(matrix.cols() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(16 * 1024);
+    for chunk in matrix.data().chunks(4 * 1024) {
+        buf.clear();
+        for &x in chunk {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        file.write_all(&buf)?;
+    }
+    file.flush()
+}
+
 impl SpilledShard {
-    /// Serializes `matrix` into a fresh file under `dir`.
+    /// Serializes `matrix` into a fresh file under `dir`. The returned handle owns the
+    /// file and deletes it on drop.
     pub fn write(dir: &SpillDir, matrix: &Matrix) -> io::Result<SpilledShard> {
         let path = dir.next_path();
-        let mut file = io::BufWriter::new(fs::File::create(&path)?);
-        file.write_all(MAGIC)?;
-        file.write_all(&(matrix.rows() as u64).to_le_bytes())?;
-        file.write_all(&(matrix.cols() as u64).to_le_bytes())?;
-        // Stream the payload in bounded chunks so spilling a large shard never doubles
-        // its memory footprint.
-        let mut buf = Vec::with_capacity(16 * 1024);
-        for chunk in matrix.data().chunks(4 * 1024) {
-            buf.clear();
-            for &x in chunk {
-                buf.extend_from_slice(&x.to_le_bytes());
-            }
-            file.write_all(&buf)?;
-        }
-        file.flush()?;
+        write_matrix_file(&path, matrix)?;
         Ok(SpilledShard {
-            _dir: dir.clone(),
+            _dir: Some(dir.clone()),
             path,
+            owns_file: true,
             rows: matrix.rows(),
             cols: matrix.cols(),
         })
+    }
+
+    /// Opens an existing payload file (a snapshot shard) **without taking ownership**:
+    /// the file is read back on demand exactly like a spill file, but never deleted by
+    /// this handle.
+    ///
+    /// `rows`/`cols` are the shape recorded in the snapshot manifest; the file's own
+    /// header is verified against them on every [`SpilledShard::load`]. The file length
+    /// is checked here so a truncated snapshot fails at load time, not mid-query.
+    pub fn open(path: PathBuf, rows: usize, cols: usize) -> io::Result<SpilledShard> {
+        let expected = (HEADER_LEN + rows * cols * 4) as u64;
+        let actual = fs::metadata(&path)?.len();
+        if actual != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot payload {}: {actual} bytes on disk, expected {expected} \
+                     for a {rows}x{cols} shard",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(SpilledShard {
+            _dir: None,
+            path,
+            owns_file: false,
+            rows,
+            cols,
+        })
+    }
+
+    /// Copies the serialized payload to `dest` without deserializing it — how a spilled
+    /// shard snapshots without faulting into memory. Copying a file onto itself (saving
+    /// a snapshot-loaded index back into its own directory) is a no-op.
+    pub(crate) fn copy_to(&self, dest: &Path) -> io::Result<()> {
+        if same_file(&self.path, dest) {
+            return Ok(());
+        }
+        fs::copy(&self.path, dest).map(|_| ())
     }
 
     /// Reads the shard matrix back, verifying the header against the recorded shape.
@@ -188,6 +251,22 @@ impl SpilledShard {
     /// Columns of the serialized matrix.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// The on-disk location of the payload (diagnostics; the file is managed by this
+    /// handle when owned, by the snapshot directory otherwise).
+    pub fn file_path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// `true` when the two paths resolve to the same existing file or directory (a path
+/// that does not exist yet is never "the same"). Shared with [`crate::snapshot`] so
+/// the canonicalize-and-compare logic cannot drift between the spill and save paths.
+pub(crate) fn same_file(a: &Path, b: &Path) -> bool {
+    match (fs::canonicalize(a), fs::canonicalize(b)) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => false,
     }
 }
 
@@ -284,7 +363,9 @@ impl ShardStorage {
     }
 
     /// Faults the matrix back into memory for mutation (ingestion into a partially
-    /// filled tail shard). The spill file is deleted. No-op when already resident.
+    /// filled tail shard). An owned spill file is deleted; a non-owning snapshot
+    /// payload is left on disk for other loads of the same snapshot. No-op when
+    /// already resident.
     ///
     /// # Panics
     /// Panics when the spill file cannot be read back, like [`ShardStorage::matrix`].
@@ -388,6 +469,40 @@ mod tests {
             !dir_path.exists(),
             "dir must be removed with the last handle"
         );
+    }
+
+    #[test]
+    fn open_is_non_owning_and_validates_length() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let matrix = fixture_matrix();
+        let owned = SpilledShard::write(&dir, &matrix).expect("spill");
+        let path = owned.path.clone();
+        // Detach the file from the owning handle by copying it aside.
+        let snapshot_path = dir.path().join("snapshot-copy.bin");
+        owned.copy_to(&snapshot_path).expect("copy payload");
+
+        let opened = SpilledShard::open(snapshot_path.clone(), matrix.rows(), matrix.cols())
+            .expect("open snapshot payload");
+        assert_eq!(opened.load().expect("load"), matrix);
+        assert_eq!(opened.file_path(), snapshot_path.as_path());
+        drop(opened);
+        assert!(
+            snapshot_path.exists(),
+            "a non-owning handle must leave the file on disk"
+        );
+
+        // Copying a file onto itself (snapshot re-saved into its own dir) is a no-op.
+        let reopened =
+            SpilledShard::open(snapshot_path.clone(), matrix.rows(), matrix.cols()).unwrap();
+        reopened.copy_to(&snapshot_path).expect("self-copy");
+        assert_eq!(reopened.load().expect("load after self-copy"), matrix);
+
+        // A wrong manifest shape is caught at open time, before any query faults.
+        let err = SpilledShard::open(snapshot_path, matrix.rows() + 4, matrix.cols())
+            .expect_err("bad shape must fail fast");
+        assert!(err.to_string().contains("bytes on disk"), "got: {err}");
+        drop(dir);
+        let _ = path;
     }
 
     #[test]

@@ -50,7 +50,7 @@
 //! assert!(layer.params().len() == 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod gradcheck;
 pub mod init;

@@ -1,0 +1,106 @@
+//! The client half of the wire protocol: a thin, synchronous connection handle.
+//!
+//! One [`ServeClient`] wraps one TCP connection. Calls are blocking request/response;
+//! for concurrency, open one client per thread (the server handles each connection on
+//! its own thread and coalesces concurrent joins server-side, so N clients cost one
+//! GEMM pass when their requests land together).
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_knn_response, decode_stats_response, encode_knn_request, read_frame, split_response,
+    write_frame, ServerStats, OP_PING, OP_STATS,
+};
+
+/// A synchronous client connection to a [`crate::Server`].
+///
+/// See the crate docs for an end-to-end example (snapshot → serve → query).
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a server (e.g. the address returned by [`crate::Server::addr`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient { stream })
+    }
+
+    /// Sends one request frame and reads one response frame.
+    fn round_trip(&mut self, request: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, request)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Turns a server-reported error message into an `io::Error`.
+    fn server_error(message: String) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("server: {message}"))
+    }
+
+    /// Retrieves, for every query, its `k` nearest indexed vectors as
+    /// `(query_index, stable_id, score)` pairs — the remote form of
+    /// [`sudowoodo_index::BlockingIndex::knn_join`], with identical results and
+    /// ordering (query index, then descending score, ascending id on ties).
+    ///
+    /// Send the natural batch in one call: the batch is the unit of network
+    /// amortization *and* of the server's query cache, so a repeated batch answers
+    /// without the server touching a single shard.
+    ///
+    /// # Errors
+    /// Transport failures, or a server-side rejection (e.g. a query dimension that
+    /// does not match the served index) surfaced as
+    /// [`std::io::ErrorKind::InvalidInput`]. Ragged query batches are rejected
+    /// client-side before anything is sent.
+    pub fn knn_join(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> io::Result<Vec<(usize, usize, f32)>> {
+        let dim = queries.first().map_or(0, Vec::len);
+        if let Some(bad) = queries.iter().position(|q| q.len() != dim) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "query {bad} has dimension {}, expected {dim} (the batch must be \
+                     rectangular)",
+                    queries[bad].len()
+                ),
+            ));
+        }
+        let response = self.round_trip(&encode_knn_request(queries, k, dim))?;
+        match split_response(&response)? {
+            Ok(body) => {
+                decode_knn_response(body).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+            }
+            Err(message) => Err(Self::server_error(message)),
+        }
+    }
+
+    /// Liveness check: one round trip, no payload.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let response = self.round_trip(&[OP_PING])?;
+        match split_response(&response)? {
+            Ok(_) => Ok(()),
+            Err(message) => Err(Self::server_error(message)),
+        }
+    }
+
+    /// Fetches server/index statistics (corpus size, shard residency, cache and
+    /// batching counters).
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        let response = self.round_trip(&[OP_STATS])?;
+        match split_response(&response)? {
+            Ok(body) => decode_stats_response(body)
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m)),
+            Err(message) => Err(Self::server_error(message)),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # sudowoodo-serve
+//!
+//! Concurrent network serving of the Sudowoodo blocking index: build (or train) once,
+//! [`sudowoodo_index::BlockingIndex::save_snapshot`] the index, and any number of
+//! server processes [`sudowoodo_index::BlockingIndex::load_snapshot`] it **cold** and
+//! answer `knn_join` traffic over TCP — the ROADMAP's "multi-process shard server"
+//! step, built on the PR 4 spill layer and the snapshot/cache layers of
+//! `sudowoodo-index`.
+//!
+//! Everything is `std` — `TcpListener`/`TcpStream`, threads, a condvar — no new
+//! dependencies (the workspace builds offline). Three pieces:
+//!
+//! * [`protocol`] — a small length-prefixed binary protocol (opcode frames, fixed
+//!   little-endian layouts, a 64 MiB frame bound). Documented field-by-field in the
+//!   module; a client in another language is an afternoon's work.
+//! * [`Server`] — one thread per connection plus a join worker that **coalesces
+//!   concurrent requests into one `knn_join`** (server-side request batching: N
+//!   clients landing together cost one GEMM pass per visited shard, not N). `PING`
+//!   and `STATS` answer inline.
+//! * [`ServeClient`] — a synchronous client handle; results are identical (ids,
+//!   scores, and ordering) to calling `knn_join` in-process.
+//!
+//! Repeated query batches are the expected production shape, and the served index's
+//! query-batch cache (see `sudowoodo_index::cache`) answers them without touching a
+//! single shard — enable it with
+//! [`sudowoodo_index::BlockingIndex::set_query_cache_capacity`] before spawning the
+//! server.
+//!
+//! ## Example: snapshot → serve → query
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sudowoodo_index::BlockingIndex;
+//! use sudowoodo_serve::{ServeClient, Server};
+//!
+//! // Process A: build once, snapshot to disk.
+//! let dir = std::env::temp_dir().join(format!("swserve-doc-{}", std::process::id()));
+//! let corpus = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8]];
+//! BlockingIndex::build(corpus, Some(2)).save_snapshot(&dir).unwrap();
+//!
+//! // Process B: load cold (O(manifest)), enable the query cache, serve.
+//! let mut index = BlockingIndex::load_snapshot(&dir).unwrap();
+//! index.set_query_cache_capacity(64);
+//! let server = Server::spawn(Arc::new(index), "127.0.0.1:0").unwrap();
+//!
+//! // Any process: connect and join.
+//! let mut client = ServeClient::connect(server.addr()).unwrap();
+//! let pairs = client.knn_join(&[vec![1.0, 0.1]], 2).unwrap();
+//! assert_eq!(pairs[0].1, 0); // nearest neighbor id, same as in-process knn_join
+//! client.ping().unwrap();
+//!
+//! server.shutdown();
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::ServeClient;
+pub use protocol::ServerStats;
+pub use server::Server;

@@ -1,0 +1,344 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! The protocol is deliberately small — a handful of opcodes, fixed-width
+//! little-endian integers, IEEE-754 `f32` scores — so a client in any language is an
+//! afternoon's work and the server never parses anything variable-length except query
+//! payloads whose size it has already bounds-checked.
+//!
+//! ## Framing
+//!
+//! Every message (either direction) is one **frame**:
+//!
+//! ```text
+//! length  u32 LE     byte length of the payload that follows (<= MAX_FRAME_LEN)
+//! payload length bytes
+//! ```
+//!
+//! A request payload starts with an opcode byte; a response payload starts with a
+//! status byte ([`STATUS_OK`] / [`STATUS_ERR`]). Connections are persistent: a client
+//! sends any number of frames and reads one response per request, in order (the
+//! protocol is pipelinable — responses never reorder).
+//!
+//! ## Requests
+//!
+//! ```text
+//! KNN  (0x01): k u32 · num_queries u32 · dim u32 · queries f32×(num·dim), row-major
+//! PING (0x02): empty
+//! STATS(0x03): empty
+//! ```
+//!
+//! A `KNN` request carries a whole **query batch** — batching is the unit of both
+//! network amortization and the server-side query cache key, so clients should send
+//! their natural batch, not one query per frame.
+//!
+//! ## Responses
+//!
+//! ```text
+//! ok KNN:   0x00 · num_pairs u32 · (query u32 · id u64 · score f32)×num_pairs
+//! ok PING:  0x00
+//! ok STATS: 0x00 · len u64 · dim u64 · num_shards u64 · spilled u64
+//!                · served_requests u64 · batched_joins u64
+//!                · cache_hits u64 · cache_misses u64
+//! error:    0x01 · message_len u32 · UTF-8 message
+//! ```
+//!
+//! An error response answers exactly the request that caused it (a dimension
+//! mismatch, an oversized frame, an unknown opcode); the connection stays usable.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload (64 MiB) — bounds server memory against garbage or
+/// hostile length prefixes while allowing ~500k 32-dimensional queries per batch.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Request opcode: k-nearest-neighbor join over a query batch.
+pub const OP_KNN: u8 = 0x01;
+/// Request opcode: liveness check.
+pub const OP_PING: u8 = 0x02;
+/// Request opcode: server/index statistics.
+pub const OP_STATS: u8 = 0x03;
+
+/// Response status: success; the opcode-specific body follows.
+pub const STATUS_OK: u8 = 0x00;
+/// Response status: failure; a UTF-8 message follows.
+pub const STATUS_ERR: u8 = 0x01;
+
+/// Server and index statistics returned by a `STATS` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Live vectors in the served index.
+    pub len: u64,
+    /// Vector dimensionality of the served index.
+    pub dim: u64,
+    /// Shards of the served index (1 for the dense layout).
+    pub num_shards: u64,
+    /// Shards currently on disk (snapshot-cold or budget-spilled; 0 for dense).
+    pub spilled_shards: u64,
+    /// Total requests answered since the server started (all opcodes).
+    pub served_requests: u64,
+    /// `knn_join` executions that served more than one client request at once —
+    /// the request batcher's coalescing at work.
+    pub batched_joins: u64,
+    /// Query-cache hits observed by the served index (sharded layout; 0 otherwise).
+    pub cache_hits: u64,
+    /// Query-cache misses observed by the served index (sharded layout; 0 otherwise).
+    pub cache_misses: u64,
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed an idle connection); errors on a torn frame or an oversized
+/// length prefix.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte protocol limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serializes a `KNN` request payload.
+pub fn encode_knn_request(queries: &[Vec<f32>], k: usize, dim: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 12 + queries.len() * dim * 4);
+    out.push(OP_KNN);
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    for q in queries {
+        for &x in q {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a `KNN` request payload (after the opcode byte) into
+/// `(queries, k)`. Validates the advertised counts against the actual byte length.
+pub fn decode_knn_request(body: &[u8]) -> Result<(Vec<Vec<f32>>, usize), String> {
+    if body.len() < 12 {
+        return Err("truncated KNN header".into());
+    }
+    let k = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    let num = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
+    let dim = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+    let expected = num
+        .checked_mul(dim)
+        .and_then(|f| f.checked_mul(4))
+        .and_then(|b| b.checked_add(12));
+    if expected != Some(body.len()) {
+        return Err(format!(
+            "KNN payload is {} bytes, expected {num} x {dim} queries ({:?} bytes)",
+            body.len(),
+            expected
+        ));
+    }
+    let mut queries = Vec::with_capacity(num);
+    let mut offset = 12;
+    for _ in 0..num {
+        let mut q = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            q.push(f32::from_le_bytes(
+                body[offset..offset + 4].try_into().unwrap(),
+            ));
+            offset += 4;
+        }
+        queries.push(q);
+    }
+    Ok((queries, k))
+}
+
+/// Serializes a successful `KNN` response payload.
+pub fn encode_knn_response(pairs: &[(usize, usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + pairs.len() * 16);
+    out.push(STATUS_OK);
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(query, id, score) in pairs {
+        out.extend_from_slice(&(query as u32).to_le_bytes());
+        out.extend_from_slice(&(id as u64).to_le_bytes());
+        out.extend_from_slice(&score.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a `KNN` response body (after the status byte).
+pub fn decode_knn_response(body: &[u8]) -> Result<Vec<(usize, usize, f32)>, String> {
+    if body.len() < 4 {
+        return Err("truncated KNN response".into());
+    }
+    let count = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    if body.len() != 4 + count * 16 {
+        return Err(format!(
+            "KNN response is {} bytes, expected {count} pairs",
+            body.len()
+        ));
+    }
+    let mut pairs = Vec::with_capacity(count);
+    let mut offset = 4;
+    for _ in 0..count {
+        let query = u32::from_le_bytes(body[offset..offset + 4].try_into().unwrap()) as usize;
+        let id = u64::from_le_bytes(body[offset + 4..offset + 12].try_into().unwrap()) as usize;
+        let score = f32::from_le_bytes(body[offset + 12..offset + 16].try_into().unwrap());
+        pairs.push((query, id, score));
+        offset += 16;
+    }
+    Ok(pairs)
+}
+
+/// Serializes a successful `STATS` response payload.
+pub fn encode_stats_response(stats: &ServerStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 8 * 8);
+    out.push(STATUS_OK);
+    for v in [
+        stats.len,
+        stats.dim,
+        stats.num_shards,
+        stats.spilled_shards,
+        stats.served_requests,
+        stats.batched_joins,
+        stats.cache_hits,
+        stats.cache_misses,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a `STATS` response body (after the status byte).
+pub fn decode_stats_response(body: &[u8]) -> Result<ServerStats, String> {
+    if body.len() != 8 * 8 {
+        return Err(format!(
+            "STATS response is {} bytes, expected 64",
+            body.len()
+        ));
+    }
+    let field = |i: usize| u64::from_le_bytes(body[i * 8..(i + 1) * 8].try_into().unwrap());
+    Ok(ServerStats {
+        len: field(0),
+        dim: field(1),
+        num_shards: field(2),
+        spilled_shards: field(3),
+        served_requests: field(4),
+        batched_joins: field(5),
+        cache_hits: field(6),
+        cache_misses: field(7),
+    })
+}
+
+/// Serializes an error response payload.
+pub fn encode_error_response(message: &str) -> Vec<u8> {
+    let bytes = message.as_bytes();
+    let mut out = Vec::with_capacity(1 + 4 + bytes.len());
+    out.push(STATUS_ERR);
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Splits a response payload into `Ok(body)` / `Err(server message)`.
+pub fn split_response(payload: &[u8]) -> io::Result<Result<&[u8], String>> {
+    let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    match payload.first() {
+        Some(&STATUS_OK) => Ok(Ok(&payload[1..])),
+        Some(&STATUS_ERR) => {
+            if payload.len() < 5 {
+                return Err(invalid("truncated error response"));
+            }
+            let len = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+            let bytes = payload
+                .get(5..5 + len)
+                .ok_or_else(|| invalid("error response length disagrees with its payload"))?;
+            Ok(Err(String::from_utf8_lossy(bytes).into_owned()))
+        }
+        Some(&other) => Err(invalid(&format!("unknown response status {other}"))),
+        None => Err(invalid("empty response payload")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_request_round_trips() {
+        let queries = vec![vec![1.0f32, -2.5], vec![0.0, 3.25]];
+        let payload = encode_knn_request(&queries, 7, 2);
+        assert_eq!(payload[0], OP_KNN);
+        let (decoded, k) = decode_knn_request(&payload[1..]).unwrap();
+        assert_eq!((decoded, k), (queries, 7));
+    }
+
+    #[test]
+    fn knn_response_round_trips() {
+        let pairs = vec![(0usize, 42usize, 0.75f32), (1, 7, -0.25)];
+        let payload = encode_knn_response(&pairs);
+        let body = split_response(&payload).unwrap().unwrap();
+        assert_eq!(decode_knn_response(body).unwrap(), pairs);
+    }
+
+    #[test]
+    fn stats_round_trips() {
+        let stats = ServerStats {
+            len: 1,
+            dim: 2,
+            num_shards: 3,
+            spilled_shards: 4,
+            served_requests: 5,
+            batched_joins: 6,
+            cache_hits: 7,
+            cache_misses: 8,
+        };
+        let payload = encode_stats_response(&stats);
+        let body = split_response(&payload).unwrap().unwrap();
+        assert_eq!(decode_stats_response(body).unwrap(), stats);
+    }
+
+    #[test]
+    fn errors_carry_their_message() {
+        let payload = encode_error_response("dimension mismatch");
+        assert_eq!(
+            split_response(&payload).unwrap().unwrap_err(),
+            "dimension mismatch"
+        );
+    }
+
+    #[test]
+    fn corrupt_knn_payload_is_rejected_not_panicked() {
+        assert!(decode_knn_request(&[1, 2, 3]).is_err());
+        // Counts that disagree with the byte length (including overflow-bait).
+        let mut bad = encode_knn_request(&[vec![1.0, 2.0]], 1, 2);
+        bad[5] = 0xFF; // inflate num_queries
+        assert!(decode_knn_request(&bad[1..]).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(oversized)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "got: {err}");
+    }
+}

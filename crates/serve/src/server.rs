@@ -1,0 +1,497 @@
+//! The concurrent query server: one thread per connection, one batching worker.
+//!
+//! ## Threading model
+//!
+//! * An **accept thread** owns the `TcpListener` and spawns one handler thread per
+//!   connection (connections are long-lived; entity-matching clients keep a socket
+//!   open and stream query batches through it).
+//! * Handler threads do the byte work — framing, decoding, encoding — and hand every
+//!   decoded `KNN` request to the shared **batcher** instead of calling the index
+//!   directly.
+//! * One **join worker** drains the batcher: requests that arrived while the previous
+//!   join was running are coalesced — their query batches are concatenated and
+//!   answered by a *single* `knn_join` (one GEMM pass over each visited shard instead
+//!   of one per request), then split back per request. Under light load the queue
+//!   holds a single request and the worker degenerates to a plain call, which keeps
+//!   the query-cache fingerprint of a lone repeated batch stable — exactly the case
+//!   the cache exists for.
+//!
+//! `PING` and `STATS` answer inline on the handler thread; only `KNN` pays the
+//! batcher hop.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] flips a stop flag, wakes the accept thread with a loopback
+//! connection, wakes the worker through its condvar, and joins everything. Handler
+//! threads poll the flag between reads (sockets carry a short read timeout), so
+//! shutdown completes promptly even with idle clients attached.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sudowoodo_index::BlockingIndex;
+
+use crate::protocol::{
+    decode_knn_request, encode_error_response, encode_knn_response, encode_stats_response,
+    ServerStats, MAX_FRAME_LEN, OP_KNN, OP_PING, OP_STATS, STATUS_OK,
+};
+
+/// How long a handler thread blocks in a read before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// One decoded `KNN` request waiting for the join worker.
+struct Pending {
+    queries: Vec<Vec<f32>>,
+    k: usize,
+    reply: mpsc::Sender<Vec<(usize, usize, f32)>>,
+}
+
+/// The queue state behind the batcher's mutex. `stopped` lives under the same lock as
+/// the queue so a push can never race the worker's exit: the worker marks `stopped`
+/// while holding the lock, so every later push observes it and is rejected — a
+/// request can never be enqueued with nobody left to answer it (which would leave its
+/// handler blocked in `rx.recv()` forever and hang shutdown).
+#[derive(Default)]
+struct BatchQueue {
+    queue: VecDeque<Pending>,
+    stopped: bool,
+}
+
+/// The shared request queue between handler threads and the join worker.
+#[derive(Default)]
+struct Batcher {
+    state: Mutex<BatchQueue>,
+    ready: Condvar,
+}
+
+impl Batcher {
+    /// Enqueues a request for the join worker. Returns `false` when the worker has
+    /// already exited (server shutting down) — the caller must answer the request
+    /// itself instead of waiting for a reply that will never come.
+    fn push(&self, pending: Pending) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if state.stopped {
+            return false;
+        }
+        state.queue.push_back(pending);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until at least one request is queued (or `stop` is set), then drains
+    /// every queued request sharing the front request's `k` (requests with another
+    /// `k` keep their order for the next round). Already-queued requests are always
+    /// served before the stop flag is honoured; the empty return marks the queue
+    /// `stopped` under the lock (see [`BatchQueue`]).
+    fn next_group(&self, stop: &AtomicBool) -> Vec<Pending> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(front) = state.queue.front() {
+                let k = front.k;
+                let mut group = Vec::new();
+                let mut rest = VecDeque::new();
+                for pending in state.queue.drain(..) {
+                    if pending.k == k {
+                        group.push(pending);
+                    } else {
+                        rest.push_back(pending);
+                    }
+                }
+                state.queue = rest;
+                if !state.queue.is_empty() {
+                    // More work behind a different k: keep the worker awake.
+                    self.ready.notify_one();
+                }
+                return group;
+            }
+            if stop.load(Ordering::Relaxed) {
+                state.stopped = true;
+                return Vec::new();
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+}
+
+/// Request counters shared across threads (surfaced through `STATS`).
+#[derive(Default)]
+struct Counters {
+    served_requests: AtomicU64,
+    batched_joins: AtomicU64,
+}
+
+/// A running query server. Dropping the handle shuts the server down.
+///
+/// Spawn with [`Server::spawn`]; see the crate docs for a full example.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    index: Arc<BlockingIndex>,
+    counters: Arc<Counters>,
+    batcher: Arc<Batcher>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 to let the OS pick one — tests and benches do) and
+    /// starts serving `index` in background threads. The index is shared immutably;
+    /// build it (or [`BlockingIndex::load_snapshot`] it) first, then serve.
+    pub fn spawn(index: Arc<BlockingIndex>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let batcher = Arc::new(Batcher::default());
+
+        let worker_thread = {
+            let (index, stop, counters, batcher) = (
+                Arc::clone(&index),
+                Arc::clone(&stop),
+                Arc::clone(&counters),
+                Arc::clone(&batcher),
+            );
+            std::thread::spawn(move || join_worker(&index, &stop, &counters, &batcher))
+        };
+
+        let accept_thread = {
+            let (index, stop, counters, batcher) = (
+                Arc::clone(&index),
+                Arc::clone(&stop),
+                Arc::clone(&counters),
+                Arc::clone(&batcher),
+            );
+            std::thread::spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Reap finished handler threads as connections come and go, so a
+                    // long-lived server under short-lived clients (health checks,
+                    // one-shot connections) does not accumulate dead handles.
+                    handlers.retain(|h| !h.is_finished());
+                    let Ok(stream) = conn else { continue };
+                    let (index, stop, counters, batcher) = (
+                        Arc::clone(&index),
+                        Arc::clone(&stop),
+                        Arc::clone(&counters),
+                        Arc::clone(&batcher),
+                    );
+                    handlers.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &index, &stop, &counters, &batcher);
+                    }));
+                }
+                for handler in handlers {
+                    let _ = handler.join();
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            index,
+            counters,
+            batcher,
+            accept_thread: Some(accept_thread),
+            worker_thread: Some(worker_thread),
+        })
+    }
+
+    /// The address the server is listening on (the resolved port when bound to 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served index (shared; useful for warming or inspecting counters).
+    pub fn index(&self) -> &Arc<BlockingIndex> {
+        &self.index
+    }
+
+    /// A point-in-time statistics snapshot — the same numbers a `STATS` request
+    /// returns over the wire.
+    pub fn stats(&self) -> ServerStats {
+        build_stats(&self.index, &self.counters)
+    }
+
+    /// Stops accepting, wakes every thread, and joins them. Called by `Drop` too;
+    /// calling it explicitly just makes the join point visible in the caller.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        // Wake the worker's condvar wait.
+        self.batcher.ready.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.worker_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn build_stats(index: &BlockingIndex, counters: &Counters) -> ServerStats {
+    let (num_shards, spilled, cache_hits, cache_misses) = match index {
+        BlockingIndex::Dense(_) => (1, 0, 0, 0),
+        BlockingIndex::Sharded(sharded) => {
+            let report = sharded.routing_report();
+            (
+                sharded.num_shards() as u64,
+                sharded.num_spilled_shards() as u64,
+                report.cache_hits,
+                report.cache_misses,
+            )
+        }
+    };
+    ServerStats {
+        len: index.len() as u64,
+        dim: index.dim() as u64,
+        num_shards,
+        spilled_shards: spilled,
+        served_requests: counters.served_requests.load(Ordering::Relaxed),
+        batched_joins: counters.batched_joins.load(Ordering::Relaxed),
+        cache_hits,
+        cache_misses,
+    }
+}
+
+/// The join worker: coalesce queued requests, run one `knn_join`, split the results.
+fn join_worker(index: &BlockingIndex, stop: &AtomicBool, counters: &Counters, batcher: &Batcher) {
+    loop {
+        let group = batcher.next_group(stop);
+        if group.is_empty() {
+            return; // stop requested and the queue is drained
+        }
+        // Answer cache-hitting requests individually first: merging a hit into a
+        // bigger batch would change the cache fingerprint and recompute work the
+        // cache already holds. Only the misses are coalesced. A lone request skips
+        // the peek — `knn_join` runs its own cache lookup, so peeking here would
+        // just fingerprint the batch twice.
+        let mut group: Vec<Pending> = if group.len() == 1 {
+            group
+        } else {
+            group
+                .into_iter()
+                .filter_map(
+                    |pending| match index.cached_knn_join(&pending.queries, pending.k) {
+                        Some(hit) => {
+                            let _ = pending.reply.send(hit);
+                            None
+                        }
+                        None => Some(pending),
+                    },
+                )
+                .collect()
+        };
+        match group.len() {
+            0 => {} // every request hit the cache
+            1 => {
+                let pending = group.pop().expect("length checked");
+                let pairs = index.knn_join(&pending.queries, pending.k);
+                let _ = pending.reply.send(pairs);
+            }
+            _ => {
+                counters.batched_joins.fetch_add(1, Ordering::Relaxed);
+                // Concatenate the batches, remembering each request's query range.
+                let mut merged = Vec::new();
+                let mut offsets = Vec::with_capacity(group.len() + 1);
+                for pending in &group {
+                    offsets.push(merged.len());
+                    merged.extend(pending.queries.iter().cloned());
+                }
+                offsets.push(merged.len());
+                let k = group[0].k;
+                let pairs = index.knn_join(&merged, k);
+                // `knn_join` output is ordered by query index, so one forward walk
+                // splits it; subtracting the offset restores request-local indices.
+                let mut cursor = 0;
+                for (i, pending) in group.into_iter().enumerate() {
+                    let (lo, hi) = (offsets[i], offsets[i + 1]);
+                    let mut own = Vec::new();
+                    while cursor < pairs.len() && pairs[cursor].0 < hi {
+                        let (q, id, score) = pairs[cursor];
+                        own.push((q - lo, id, score));
+                        cursor += 1;
+                    }
+                    // Cache the split under ITS OWN fingerprint: clients repeat their
+                    // individual batches, not whatever combination this merge was, so
+                    // the merged-batch entry alone would never serve them.
+                    index.cache_join_result(&pending.queries, k, own.clone());
+                    let _ = pending.reply.send(own);
+                }
+            }
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, retrying across read-timeout polls so a frame is
+/// never torn by the stop-flag poll. Returns `false` on a clean EOF **before any byte
+/// of this read** (client closed between frames); mid-buffer EOF is an error.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return Err(io::ErrorKind::Interrupted.into());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes all of `buf`, retrying across write-timeout polls (mirroring [`read_full`])
+/// so a stalled client — one that stops reading until the TCP send buffer fills —
+/// cannot block the handler past shutdown. Progress is tracked byte-exactly, so a
+/// timeout mid-frame resumes where it left off instead of tearing the stream.
+fn write_full(stream: &mut TcpStream, buf: &[u8], stop: &AtomicBool) -> io::Result<()> {
+    let mut sent = 0;
+    while sent < buf.len() {
+        match stream.write(&buf[sent..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => sent += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return Err(io::ErrorKind::Interrupted.into());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one response frame (length prefix + payload) through [`write_full`].
+fn write_response(stream: &mut TcpStream, payload: &[u8], stop: &AtomicBool) -> io::Result<()> {
+    write_full(stream, &(payload.len() as u32).to_le_bytes(), stop)?;
+    write_full(stream, payload, stop)
+}
+
+/// One connection's request loop.
+fn handle_connection(
+    mut stream: TcpStream,
+    index: &BlockingIndex,
+    stop: &AtomicBool,
+    counters: &Counters,
+    batcher: &Batcher,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true).ok(); // latency over throughput for small frames
+    let mut writer = stream.try_clone()?;
+    loop {
+        let mut len_bytes = [0u8; 4];
+        if !read_full(&mut stream, &mut len_bytes, stop)? {
+            return Ok(()); // clean disconnect
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            // The stream is unrecoverable (we cannot skip what we will not buffer):
+            // answer and drop the connection.
+            let msg = format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit");
+            let _ = write_response(&mut writer, &encode_error_response(&msg), stop);
+            return Err(io::ErrorKind::InvalidData.into());
+        }
+        let mut payload = vec![0u8; len as usize];
+        if !read_full(&mut stream, &mut payload, stop)? {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        counters.served_requests.fetch_add(1, Ordering::Relaxed);
+        let response = dispatch(&payload, index, counters, batcher);
+        write_response(&mut writer, &response, stop)?;
+    }
+}
+
+/// Decodes and answers one request payload; all failures become error responses.
+fn dispatch(
+    payload: &[u8],
+    index: &BlockingIndex,
+    counters: &Counters,
+    batcher: &Batcher,
+) -> Vec<u8> {
+    match payload.first() {
+        Some(&OP_KNN) => match decode_knn_request(&payload[1..]) {
+            Ok((queries, k)) => {
+                let dim = queries.first().map_or(0, Vec::len);
+                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
+                    return encode_error_response(&format!(
+                        "query dimension {dim} does not match the index dimension {}",
+                        index.dim()
+                    ));
+                }
+                // A protocol-legal request can still imply a response frame over the
+                // protocol limit (pairs = queries x min(k, corpus)); bound it here so
+                // the response encoder never produces an unsendable frame.
+                let response_bytes = queries
+                    .len()
+                    .saturating_mul(k.min(index.len()))
+                    .saturating_mul(16)
+                    .saturating_add(5);
+                if response_bytes > MAX_FRAME_LEN as usize {
+                    return encode_error_response(&format!(
+                        "response would be {response_bytes} bytes, over the \
+                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
+                         batch or a smaller k"
+                    ));
+                }
+                let (tx, rx) = mpsc::channel();
+                if !batcher.push(Pending {
+                    queries,
+                    k,
+                    reply: tx,
+                }) {
+                    return encode_error_response("server shutting down");
+                }
+                match rx.recv() {
+                    Ok(pairs) => encode_knn_response(&pairs),
+                    Err(_) => encode_error_response("server shutting down"),
+                }
+            }
+            Err(message) => encode_error_response(&message),
+        },
+        Some(&OP_PING) => vec![STATUS_OK],
+        Some(&OP_STATS) => encode_stats_response(&build_stats(index, counters)),
+        Some(&other) => encode_error_response(&format!("unknown opcode {other:#04x}")),
+        None => encode_error_response("empty request payload"),
+    }
+}

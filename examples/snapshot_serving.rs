@@ -1,0 +1,88 @@
+//! Snapshot + serving quickstart: pre-train and embed once, persist the blocking
+//! index, then serve `knn_join` traffic over TCP from a cold snapshot load — the
+//! "build in one process, serve in many" deployment shape.
+//!
+//! Run with: `cargo run --release --example snapshot_serving`
+
+use std::sync::Arc;
+
+use sudowoodo::index::BlockingIndex;
+use sudowoodo::prelude::*;
+use sudowoodo::serve::{ServeClient, Server};
+use sudowoodo::text::serialize::serialize_record;
+
+fn main() {
+    // 1. Builder role: pre-train on a synthetic product corpus and embed both tables.
+    let dataset = EmProfile::abt_buy().generate(0.15, 42);
+    let config = SudowoodoConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
+        projector_dim: 32,
+        pretrain_epochs: 1,
+        max_corpus_size: 1_000,
+        // A sharded index (64 rows per shard) is the streaming/serving layout.
+        blocking_shard_capacity: Some(64),
+        ..SudowoodoConfig::default()
+    };
+    let corpus: Vec<String> = dataset.corpus();
+    let (encoder, _) = pretrain(&corpus, &config);
+    let texts_b: Vec<String> = dataset.table_b.iter().map(serialize_record).collect();
+    let emb_b = encoder.embed_all(&texts_b);
+    println!("embedded {} right-table records", emb_b.len());
+
+    // 2. Persist: build the blocking index and snapshot it to disk. (Pipelines do this
+    //    automatically when `SudowoodoConfig::snapshot_dir` is set.)
+    let dir = std::env::temp_dir().join(format!("sudowoodo-example-snap-{}", std::process::id()));
+    let built = BlockingIndex::build(emb_b, config.blocking_shard_capacity);
+    built.save_snapshot(&dir).expect("save snapshot");
+    println!("snapshot saved to {}", dir.display());
+
+    // 3. Server role (normally a different process): load the snapshot COLD — only the
+    //    manifest is read; shard payloads stay on disk until queries need them — enable
+    //    the query-batch cache, and serve.
+    let mut serving = BlockingIndex::load_snapshot(&dir).expect("load snapshot");
+    serving.set_query_cache_capacity(16);
+    let server = Server::spawn(Arc::new(serving), "127.0.0.1:0").expect("spawn server");
+    println!("serving on {}", server.addr());
+
+    // 4. Client role: embed the left table and block over the wire. Results are
+    //    bit-identical to calling `knn_join` in-process on the built index.
+    let texts_a: Vec<String> = dataset.table_a.iter().map(serialize_record).collect();
+    let emb_a = encoder.embed_all(&texts_a);
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    let served = client
+        .knn_join(&emb_a, config.blocking_k)
+        .expect("served join");
+    assert_eq!(served, built.knn_join(&emb_a, config.blocking_k));
+    println!(
+        "served {} candidate pairs for {} queries",
+        served.len(),
+        emb_a.len()
+    );
+
+    // A repeated batch (a retried RPC, a dashboard refresh) hits the query cache —
+    // zero shards touched, zero disk reads.
+    let again = client
+        .knn_join(&emb_a, config.blocking_k)
+        .expect("cached join");
+    assert_eq!(again, served);
+    let stats = client.stats().expect("stats");
+    println!(
+        "server stats: {} vectors, {}/{} shards on disk, {} requests, cache {} hits / {} misses",
+        stats.len,
+        stats.spilled_shards,
+        stats.num_shards,
+        stats.served_requests,
+        stats.cache_hits,
+        stats.cache_misses
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).expect("clean up snapshot dir");
+}

@@ -18,6 +18,7 @@
 //! | [`datasets`] | `sudowoodo-datasets` | synthetic EM / cleaning / column workloads |
 //! | [`core`] | `sudowoodo-core` | pre-training, pseudo labels, matcher, pipelines |
 //! | [`baselines`] | `sudowoodo-baselines` | Ditto/Rotom/ZeroER/Auto-FuzzyJoin/DL-Block/Baran/Sherlock/Sato analogs |
+//! | [`serve`] | `sudowoodo-serve` | snapshot-backed concurrent TCP query serving |
 //!
 //! See `README.md` for a quickstart and `ARCHITECTURE.md` for crate responsibilities,
 //! data flow, and the design of the dense/sharded blocking indexes.
@@ -32,6 +33,7 @@ pub use sudowoodo_datasets as datasets;
 pub use sudowoodo_index as index;
 pub use sudowoodo_ml as ml;
 pub use sudowoodo_nn as nn;
+pub use sudowoodo_serve as serve;
 pub use sudowoodo_text as text;
 
 /// The most commonly used types, re-exported for convenience.

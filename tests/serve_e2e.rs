@@ -1,0 +1,221 @@
+//! End-to-end serving over localhost: snapshot a blocking index, load it cold in the
+//! server role, and verify that remote `knn_join` results are identical to in-process
+//! ones — including under concurrent clients, error inputs, and server statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sudowoodo::index::{BlockingIndex, ShardedCosineIndex};
+use sudowoodo::serve::{ServeClient, Server};
+
+fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            (0..d)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn snapshot_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "sudowoodo-serve-e2e-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn served_results_match_in_process_results_over_a_cold_snapshot() {
+    let corpus = vectors(300, 16, 1);
+    let queries = vectors(40, 16, 2);
+    let built = ShardedCosineIndex::from_vectors(&corpus, 32);
+    let expected = built.knn_join(&queries, 7);
+
+    // Snapshot, then serve from a cold load (the "other process" role).
+    let dir = snapshot_dir("match");
+    built.save_snapshot(&dir).unwrap();
+    let mut serving = ShardedCosineIndex::load_snapshot(&dir).unwrap();
+    serving.set_query_cache_capacity(8);
+    let server = Server::spawn(Arc::new(BlockingIndex::Sharded(serving)), "127.0.0.1:0").unwrap();
+
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+    let served = client.knn_join(&queries, 7).unwrap();
+    assert_eq!(served.len(), expected.len());
+    for (a, b) in served.iter().zip(expected.iter()) {
+        assert_eq!((a.0, a.1), (b.0, b.1), "served ids match in-process ids");
+        assert_eq!(
+            a.2.to_bits(),
+            b.2.to_bits(),
+            "served scores are bit-identical"
+        );
+    }
+    // The second identical batch is a cache hit server-side; results are unchanged.
+    assert_eq!(client.knn_join(&queries, 7).unwrap(), served);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.len, 300);
+    assert_eq!(stats.dim, 16);
+    assert!(stats.cache_hits >= 1, "stats: {stats:?}");
+    assert!(stats.served_requests >= 4);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_answers() {
+    let corpus = vectors(200, 8, 3);
+    let index = BlockingIndex::build(corpus, Some(16));
+    let server = Server::spawn(Arc::new(index), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // Each thread opens its own connection and sends a thread-specific batch several
+    // times; every response must match the in-process answer for *that* batch (the
+    // server may coalesce arbitrary combinations across connections).
+    let reference = BlockingIndex::build(vectors(200, 8, 3), Some(16));
+    std::thread::scope(|scope| {
+        for t in 0..6u64 {
+            let reference = &reference;
+            scope.spawn(move || {
+                let queries = vectors(10, 8, 100 + t);
+                let expected = reference.knn_join(&queries, 5);
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for _ in 0..20 {
+                    assert_eq!(
+                        client.knn_join(&queries, 5).expect("served join"),
+                        expected,
+                        "thread {t}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.served_requests, 120);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_reported_and_do_not_kill_the_connection() {
+    let index = BlockingIndex::build(vectors(50, 4, 5), Some(8));
+    let server = Server::spawn(Arc::new(index), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Ragged batch: rejected client-side before any bytes are sent.
+    let err = client
+        .knn_join(&[vec![1.0, 0.0, 0.0, 0.0], vec![1.0]], 3)
+        .unwrap_err();
+    assert!(err.to_string().contains("rectangular"), "got: {err}");
+
+    // Wrong dimension: rejected server-side with a named mismatch.
+    let err = client.knn_join(&[vec![1.0, 2.0]], 3).unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("does not match the index dimension"),
+        "got: {err}"
+    );
+
+    // The connection survives both and keeps serving.
+    let queries = vectors(3, 4, 6);
+    assert!(!client.knn_join(&queries, 3).unwrap().is_empty());
+
+    // Degenerate requests behave like the in-process API.
+    assert!(client.knn_join(&queries, 0).unwrap().is_empty());
+    assert!(client.knn_join(&[], 3).unwrap().is_empty());
+
+    // A protocol-legal request whose *response* would exceed the frame limit is
+    // rejected up front instead of producing an unsendable frame.
+    let huge: Vec<Vec<f32>> = vec![vec![1.0, 0.0, 0.0, 0.0]; 450_000];
+    let err = client.knn_join(&huge, 10).unwrap_err();
+    assert!(err.to_string().contains("frame limit"), "got: {err}");
+
+    // And the connection still serves after that rejection too.
+    assert!(!client.knn_join(&queries, 3).unwrap().is_empty());
+
+    server.shutdown();
+}
+
+#[test]
+fn dense_snapshots_serve_too() {
+    let corpus = vectors(100, 8, 7);
+    let queries = vectors(10, 8, 8);
+    let built = BlockingIndex::build(corpus, None);
+    let expected = built.knn_join(&queries, 4);
+    let dir = snapshot_dir("dense");
+    built.save_snapshot(&dir).unwrap();
+
+    let loaded = BlockingIndex::load_snapshot(&dir).unwrap();
+    let server = Server::spawn(Arc::new(loaded), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.knn_join(&queries, 4).unwrap(), expected);
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.num_shards, stats.spilled_shards), (1, 0));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pipeline_snapshot_dir_feeds_a_serving_process() {
+    use sudowoodo::datasets::em::EmProfile;
+    use sudowoodo::prelude::{EmPipeline, SudowoodoConfig};
+
+    // Builder role: a tiny EM pipeline with `snapshot_dir` set persists its blocking
+    // index as a side effect of blocking.
+    let dir = snapshot_dir("pipeline");
+    let mut config = SudowoodoConfig::test_config();
+    config.blocking_shard_capacity = Some(16);
+    config.blocking_query_cache = 4;
+    config.snapshot_dir = Some(dir.clone());
+    let dataset = EmProfile::abt_buy().generate(0.3, 7);
+    let pipeline = EmPipeline::new(config);
+    let (encoder, _) = pipeline.pretrain_encoder(&dataset);
+    let (candidates, _) = pipeline.block(&encoder, &dataset, 5);
+    assert!(!candidates.is_empty());
+    assert!(
+        dir.join("MANIFEST.swidx").exists(),
+        "pipeline must snapshot"
+    );
+
+    // Server role: load the pipeline's snapshot cold and answer the same queries the
+    // pipeline asked, identically.
+    let loaded = BlockingIndex::load_snapshot(&dir).unwrap();
+    let server = Server::spawn(Arc::new(loaded), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let texts_a: Vec<String> = dataset
+        .table_a
+        .iter()
+        .map(sudowoodo::text::serialize::serialize_record)
+        .collect();
+    let emb_a = encoder.embed_all(&texts_a);
+    let served = client.knn_join(&emb_a, 5).unwrap();
+    assert_eq!(
+        served, candidates,
+        "served pairs == the pipeline's candidates"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shutdown_is_prompt_with_idle_clients_attached() {
+    let index = BlockingIndex::build(vectors(20, 4, 9), Some(4));
+    let server = Server::spawn(Arc::new(index), "127.0.0.1:0").unwrap();
+    let _idle = ServeClient::connect(server.addr()).unwrap();
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown must not hang on idle connections"
+    );
+}
