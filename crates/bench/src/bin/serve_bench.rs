@@ -27,7 +27,7 @@ use serde::Serialize;
 use sudowoodo_bench::harness::print_table;
 use sudowoodo_bench::ResultWriter;
 use sudowoodo_index::{BlockingIndex, ShardedCosineIndex};
-use sudowoodo_serve::{ServeClient, Server};
+use sudowoodo_serve::{ClientConfig, RetryPolicy, ServeClient, Server, ServerConfig};
 
 /// Warm-cache serving target (queries/second) this benchmark reports against.
 const TARGET_QPS: f64 = 5_000.0;
@@ -61,6 +61,11 @@ struct ServeReport {
     warm_cache_qps: f64,
     target_qps: f64,
     target_met: bool,
+    /// Batches shed with `BUSY` during the 2x-admission-capacity overload stage
+    /// (recorded alongside the stage's QPS row; never gated — shed rate is timing-
+    /// dependent by construction).
+    load_shed_batches: usize,
+    load_shed_attempts: usize,
 }
 
 fn main() {
@@ -161,6 +166,75 @@ fn main() {
 
     let stats = client.stats().expect("stats");
     server.shutdown();
+
+    // 5. Load shed at 2x admission capacity: a second server with a deliberately
+    // tiny admission queue, hammered by twice as many clients as it admits, each
+    // sending unique (cache-defeating) batches with retries off so every shed is
+    // observed rather than hidden behind backoff.
+    let depth = 2;
+    let shed_clients = 2 * (depth + 1);
+    let shed_reps = 8;
+    let shed_batch = 200;
+    let mut overloaded = ShardedCosineIndex::load_snapshot(&dir).expect("load snapshot");
+    overloaded.set_query_cache_capacity(0);
+    let shed_server = Server::spawn_with_config(
+        Arc::new(BlockingIndex::Sharded(overloaded)),
+        "127.0.0.1:0",
+        ServerConfig {
+            admission_queue_depth: depth,
+            request_deadline: None,
+        },
+    )
+    .expect("spawn overload server");
+    let answered = std::sync::atomic::AtomicUsize::new(0);
+    let shed = std::sync::atomic::AtomicUsize::new(0);
+    let shed_start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..shed_clients {
+            let (answered, shed) = (&answered, &shed);
+            let addr = shed_server.addr();
+            scope.spawn(move || {
+                let config = ClientConfig {
+                    retry: RetryPolicy {
+                        max_retries: 0,
+                        ..RetryPolicy::default()
+                    },
+                    ..ClientConfig::default()
+                };
+                let mut client = ServeClient::connect_with_config(addr, config).expect("connect");
+                let mut rng = StdRng::seed_from_u64(900 + c as u64);
+                for _ in 0..shed_reps {
+                    let batch: Vec<Vec<f32>> = (0..shed_batch)
+                        .map(|_| (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                        .collect();
+                    match client.knn_join(&batch, 20) {
+                        Ok(pairs) => {
+                            std::hint::black_box(&pairs);
+                            answered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("overload client hit a non-BUSY error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let shed_secs = shed_start.elapsed().as_secs_f64();
+    shed_server.shutdown();
+    let answered = answered.load(std::sync::atomic::Ordering::Relaxed);
+    let load_shed_batches = shed.load(std::sync::atomic::Ordering::Relaxed);
+    let load_shed_attempts = shed_clients * shed_reps;
+    rows.push(ServeRow::new(
+        format!(
+            "load shed: {shed_clients} clients vs admission depth {depth} \
+             ({load_shed_batches}/{load_shed_attempts} batches shed)"
+        ),
+        shed_secs,
+        answered * shed_batch,
+    ));
+
     let _ = std::fs::remove_dir_all(&dir);
 
     let printable: Vec<Vec<String>> = rows
@@ -205,6 +279,8 @@ fn main() {
             warm_cache_qps,
             target_qps: TARGET_QPS,
             target_met,
+            load_shed_batches,
+            load_shed_attempts,
         },
     );
 }

@@ -154,6 +154,25 @@ pub struct SudowoodoConfig {
     /// never pipeline failures.
     pub snapshot_dir: Option<std::path::PathBuf>,
 
+    // ---- serving robustness ---------------------------------------------------------------
+    /// Admission-queue depth of a query server spawned over the blocking index (maps to
+    /// `sudowoodo_serve::ServerConfig::admission_queue_depth`): `KNN` requests beyond
+    /// this many waiting are answered with a `BUSY` frame instead of queueing without
+    /// bound — the server sheds load rather than building unbounded latency.
+    pub serve_queue_depth: usize,
+    /// Per-request deadline, in milliseconds, of a query server spawned over the
+    /// blocking index (maps to `sudowoodo_serve::ServerConfig::request_deadline`): a
+    /// request that waited longer than this in the admission queue is answered `BUSY`
+    /// without running. `None` (the default) disables deadlines.
+    pub serve_deadline_ms: Option<u64>,
+    /// Client-side retries for idempotent `KNN` requests (maps to
+    /// `sudowoodo_serve::RetryPolicy::max_retries`): transport failures and `BUSY`
+    /// load-shed responses are retried this many times with exponential backoff and
+    /// deterministic jitter; server error responses are never retried. Note that a
+    /// *degraded* response (quarantined shards skipped server-side) is a success with
+    /// an explicit flag, not a retry trigger.
+    pub serve_retry_max: u32,
+
     /// Random seed controlling every stochastic choice.
     pub seed: u64,
 }
@@ -189,6 +208,9 @@ impl Default for SudowoodoConfig {
             shard_memory_budget: None,
             blocking_query_cache: 8,
             snapshot_dir: None,
+            serve_queue_depth: 256,
+            serve_deadline_ms: None,
+            serve_retry_max: 3,
             seed: 42,
         }
     }

@@ -1,0 +1,50 @@
+//! The `SUDOWOODO_FAILPOINTS` env path, exercised the way a chaos CI process hits
+//! it: the variable is set before the process touches the faults API at all, and the
+//! very first call pays the one-time parse.
+//!
+//! This is an integration test (own process) because env arming is once-per-process;
+//! and the first call runs on a watchdog thread because the historical failure mode
+//! here was a *deadlock* — the env initializer re-entering the arming entry points
+//! inside the `OnceLock` closure wedged every thread in the process — which must
+//! surface as a test failure, not a hung CI job.
+
+use std::time::Duration;
+
+#[test]
+fn env_spec_arms_on_the_first_call_without_deadlocking() {
+    // Before any faults call in this process. Integration tests run single-threaded
+    // per binary unless they spawn threads, so no reader can race this write.
+    std::env::set_var(
+        "SUDOWOODO_FAILPOINTS",
+        "env.test.point=always; env.test.oneshot=once; bogus-entry; other=nonsense",
+    );
+
+    let first_call = std::thread::spawn(|| {
+        // `fires` on an unarmed-by-API name: forces the slow path that parses the
+        // env spec. The two well-formed entries arm; the malformed ones are skipped.
+        assert!(sudowoodo_faults::fires("env.test.point"));
+        assert!(sudowoodo_faults::fires("env.test.point"));
+        assert!(sudowoodo_faults::fires("env.test.oneshot"));
+        assert!(!sudowoodo_faults::fires("env.test.oneshot"));
+        assert_eq!(
+            sudowoodo_faults::armed(),
+            vec!["env.test.oneshot".to_string(), "env.test.point".to_string()]
+        );
+        sudowoodo_faults::disarm_all();
+        assert!(!sudowoodo_faults::fires("env.test.point"));
+    });
+
+    // Watchdog: the join must complete promptly. A regression in the env-arming
+    // once-path deadlocks the spawned thread (and would deadlock every thread that
+    // follows), which `is_finished` polling turns into a clean panic.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !first_call.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "env arming deadlocked: the first faults call never returned \
+             (SUDOWOODO_FAILPOINTS initializer re-entered the arming API?)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    first_call.join().expect("first-call thread panicked");
+}

@@ -10,7 +10,7 @@ use std::io;
 use std::path::Path;
 
 use crate::knn::{CosineIndex, Neighbor};
-use crate::sharded::{RemoveError, ShardedCosineIndex};
+use crate::sharded::{JoinOutcome, RemoveError, ShardedCosineIndex};
 use crate::snapshot;
 
 /// An exact cosine kNN index in either layout, behind the common search API.
@@ -156,6 +156,21 @@ impl BlockingIndex {
         match self {
             BlockingIndex::Dense(index) => index.knn_join(queries, k),
             BlockingIndex::Sharded(index) => index.knn_join(queries, k),
+        }
+    }
+
+    /// [`BlockingIndex::knn_join`] with the failure-model envelope — see
+    /// [`ShardedCosineIndex::knn_join_report`]. The dense layout holds its whole
+    /// corpus in memory and has no storage faults to degrade around, so its outcome
+    /// is always complete (`degraded == false`).
+    pub fn knn_join_report(&self, queries: &[Vec<f32>], k: usize) -> JoinOutcome {
+        match self {
+            BlockingIndex::Dense(index) => JoinOutcome {
+                pairs: index.knn_join(queries, k),
+                degraded: false,
+                quarantined_shards: Vec::new(),
+            },
+            BlockingIndex::Sharded(index) => index.knn_join_report(queries, k),
         }
     }
 

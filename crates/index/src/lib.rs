@@ -48,6 +48,6 @@ pub use blocking::BlockingIndex;
 pub use cache::{fingerprint, QueryFingerprint};
 pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor};
 pub use routing::RoutingStats;
-pub use sharded::{RemoveError, RoutingReport, ShardedCosineIndex};
+pub use sharded::{JoinOutcome, RemoveError, RoutingReport, ShardedCosineIndex};
 pub use snapshot::MANIFEST_FILE;
-pub use storage::{ShardStorage, SpillDir, SpilledShard};
+pub use storage::{ShardStorage, SpillDir, SpilledShard, StorageError, StorageErrorKind};

@@ -57,7 +57,7 @@ use std::cmp::Reverse;
 use std::fmt;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
@@ -126,8 +126,10 @@ impl std::error::Error for RemoveError {}
 ///
 /// Shard counts are per *visit opportunity*: one shard scored (or skipped) for one
 /// query tile (with routing disabled, for one query tile in one merge group). Cache
-/// counts are per `knn_join` call while the cache is enabled.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// counts are per `knn_join` call while the cache is enabled. Quarantine fields are
+/// the failure-model half of the report: which shards have been taken out of service
+/// because their storage could not be read (see [`JoinOutcome`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoutingReport {
     /// Shards actually scored against a query tile.
     pub shards_visited: u64,
@@ -139,6 +141,13 @@ pub struct RoutingReport {
     pub cache_hits: u64,
     /// `knn_join` calls that missed the enabled query-batch cache and were computed.
     pub cache_misses: u64,
+    /// Shard-quarantine events since the last reset (a shard whose storage stayed
+    /// unreadable through the retry backoff and was taken out of service).
+    pub shards_quarantined: u64,
+    /// Positions of the shards **currently** quarantined — live state, not a counter:
+    /// populated while the index is serving degraded results and emptied when
+    /// [`ShardedCosineIndex::compact`] recovers or drops the shards.
+    pub quarantined_shards: Vec<usize>,
 }
 
 #[derive(Debug, Default)]
@@ -148,6 +157,28 @@ pub(crate) struct RoutingCounters {
     faults: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    quarantines: AtomicU64,
+}
+
+/// The full result of a fault-aware join: the candidate pairs plus whether any
+/// quarantined shard forced a **degraded** (possibly incomplete) answer.
+///
+/// The exact-results invariant is explicit here: when `degraded` is `false`, `pairs`
+/// is bit-identical to a dense join over the same rows — quarantine never silently
+/// weakens results. When `degraded` is `true`, every pair is still a true similarity
+/// (quarantine only *removes* candidate rows), but rows held by the shards listed in
+/// `quarantined_shards` were not scored.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JoinOutcome {
+    /// Candidate pairs `(query_index, stable_id, score)` — the [`ShardedCosineIndex::knn_join`]
+    /// contract.
+    pub pairs: Vec<(usize, usize, f32)>,
+    /// `true` when at least one live shard could not be scored (its storage was
+    /// unreadable after retries) and the answer may be missing its rows.
+    pub degraded: bool,
+    /// Positions of the shards that were skipped as quarantined during this join
+    /// (sorted, deduplicated). Empty exactly when `degraded` is `false`.
+    pub quarantined_shards: Vec<usize>,
 }
 
 /// One fixed-capacity partition of the corpus. Fields are crate-visible so the
@@ -172,6 +203,12 @@ pub(crate) struct Shard {
     /// that filled it); drives the LRU residency decision. Relaxed atomics: searches
     /// take `&self`, and an approximate recency order is all the budget needs.
     pub(crate) last_used: AtomicU64,
+    /// Set when the shard's storage stayed unreadable through the retry backoff (or a
+    /// snapshot payload failed validation at load): the shard is skipped by every
+    /// query — degrading results instead of failing them — until the next
+    /// [`ShardedCosineIndex::compact`] retries the read and either recovers the rows
+    /// or drops the shard. Relaxed atomic: queries take `&self`.
+    pub(crate) quarantined: AtomicBool,
 }
 
 impl Clone for Shard {
@@ -183,6 +220,7 @@ impl Clone for Shard {
             live: self.live,
             stats: self.stats.clone(),
             last_used: AtomicU64::new(self.last_used.load(Ordering::Relaxed)),
+            quarantined: AtomicBool::new(self.quarantined.load(Ordering::Relaxed)),
         }
     }
 }
@@ -193,16 +231,32 @@ impl Shard {
         self.ids.first().copied().unwrap_or(usize::MAX)
     }
 
+    /// `true` when the shard is out of service because its storage could not be read.
+    fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// Scores `q_block x shardᵀ` and offers every live row to the per-query selectors.
     ///
     /// `inv_norms[r]` is the query-row inverse norm; the scale is applied at offer time
     /// exactly like the dense path (`s * inv`). A spilled shard matrix is read back
-    /// transiently for the duration of the product.
-    fn offer_into(&self, q_block: &Matrix, inv_norms: &[f32], selectors: &mut [TopK]) {
+    /// transiently for the duration of the product (with the storage layer's retry
+    /// backoff for transient I/O faults).
+    ///
+    /// # Errors
+    /// The shard's storage stayed unreadable through the retries; no candidate was
+    /// offered and the selectors are untouched — the caller quarantines the shard and
+    /// degrades the join instead of failing it.
+    fn offer_into(
+        &self,
+        q_block: &Matrix,
+        inv_norms: &[f32],
+        selectors: &mut [TopK],
+    ) -> Result<(), crate::storage::StorageError> {
         if self.live == 0 {
-            return;
+            return Ok(());
         }
-        let matrix = self.storage.matrix();
+        let matrix = self.storage.matrix()?;
         let sims = q_block.matmul_transpose_b(&matrix);
         for (r, selector) in selectors.iter_mut().enumerate() {
             let inv = inv_norms[r];
@@ -213,6 +267,7 @@ impl Shard {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -439,16 +494,32 @@ impl ShardedCosineIndex {
             spill_faults: self.counters.faults.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            shards_quarantined: self.counters.quarantines.load(Ordering::Relaxed),
+            quarantined_shards: self.quarantined_shards(),
         }
     }
 
-    /// Resets the [`Self::routing_report`] counters to zero.
+    /// Positions of the shards currently out of service with unreadable storage
+    /// (sorted; see [`RoutingReport::quarantined_shards`]).
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_quarantined())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Resets the [`Self::routing_report`] counters to zero. Quarantine *flags* are
+    /// state, not counters — they persist until [`Self::compact`] recovers or drops
+    /// the affected shards.
     pub fn reset_routing_report(&self) {
         self.counters.visited.store(0, Ordering::Relaxed);
         self.counters.pruned.store(0, Ordering::Relaxed);
         self.counters.faults.store(0, Ordering::Relaxed);
         self.counters.cache_hits.store(0, Ordering::Relaxed);
         self.counters.cache_misses.store(0, Ordering::Relaxed);
+        self.counters.quarantines.store(0, Ordering::Relaxed);
     }
 
     /// Sets the query-batch cache capacity, in cached batches (0, the default,
@@ -648,6 +719,7 @@ impl ShardedCosineIndex {
                         live: 0,
                         stats: RoutingStats::default(),
                         last_used: AtomicU64::new(stamp),
+                        quarantined: AtomicBool::new(false),
                     });
                     self.shard_capacity
                 }
@@ -658,7 +730,13 @@ impl ShardedCosineIndex {
             let new_filled = old_filled + take;
             let needed = padded_rows(new_filled);
             // Ingestion mutates the buffer, so a spilled tail shard returns to memory.
-            let matrix = shard.storage.make_resident();
+            // Mutation has no degraded mode (dropping ingested rows would be silent
+            // data loss), so an unreadable tail shard — after the storage layer's
+            // retries — still panics, with the typed error naming the file.
+            let matrix = shard
+                .storage
+                .make_resident()
+                .unwrap_or_else(|e| panic!("ShardedCosineIndex::add_batch: {e}"));
             if needed > matrix.rows() {
                 // Grow geometrically (capped at the shard capacity) so per-row appends
                 // amortize; the slack rows are zero, which the scoring kernel treats as
@@ -685,9 +763,11 @@ impl ShardedCosineIndex {
             // bound; the incremental update folds just the new rows in (the resident
             // matrix is at hand — `make_resident` above — and re-borrowing it here is
             // free).
-            shard
-                .stats
-                .append(shard.storage.make_resident(), old_filled..new_filled);
+            let resident = shard
+                .storage
+                .make_resident()
+                .expect("made resident above; a resident shard cannot fault");
+            shard.stats.append(resident, old_filled..new_filled);
             shard.last_used.store(stamp, Ordering::Relaxed);
             offset += take;
         }
@@ -743,9 +823,15 @@ impl ShardedCosineIndex {
     /// spill, and hot spilled shards fault back when the budget (raised, or removed
     /// with `None`) leaves them room; see [`Self::set_memory_budget`]. Stable ids and
     /// search results are unchanged; returns the number of tombstones reclaimed.
+    ///
+    /// Compaction is also the **quarantine recovery point**: a shard quarantined by a
+    /// degraded join (see [`Self::knn_join_report`]) gets its storage re-read here —
+    /// a transient fault that has passed restores the rows and clears the flag; a
+    /// still-unreadable shard is dropped (its rows are lost, a warning names the file)
+    /// so the index returns to non-degraded service either way.
     pub fn compact(&mut self) -> usize {
         let reclaimed = self.num_tombstones();
-        if reclaimed > 0 {
+        if reclaimed > 0 || self.shards.iter().any(|s| s.is_quarantined()) {
             self.repack();
         }
         self.apply_memory_budget();
@@ -759,18 +845,34 @@ impl ShardedCosineIndex {
     /// Rebuilds full shards from the surviving rows (faulting spilled sources in),
     /// recomputing routing statistics and carrying each row's source recency stamp so
     /// the LRU budget still sees which data was hot.
+    ///
+    /// This is where quarantined shards are resolved: their storage is re-read (with
+    /// the retry backoff); a recovered read carries the rows into the new shards, a
+    /// still-unreadable shard is dropped with a warning and the live count shrinks.
     fn repack(&mut self) {
         let dim = self.dim;
         let old_shards = std::mem::take(&mut self.shards);
         // One pass in id order: rows are already normalized, so compaction is pure
         // copying. `(id, row, recency of the source shard)` per survivor.
         let mut survivors: Vec<(usize, Vec<f32>, u64)> = Vec::with_capacity(self.live);
-        for shard in &old_shards {
+        for (i, shard) in old_shards.iter().enumerate() {
             if shard.live == 0 {
                 continue;
             }
             let recency = shard.last_used.load(Ordering::Relaxed);
-            let matrix = shard.storage.matrix(); // faults a spilled source transiently
+            // Faults a spilled source transiently; also the quarantine-recovery read.
+            let matrix = match shard.storage.matrix() {
+                Ok(matrix) => matrix,
+                Err(e) => {
+                    let e = e.with_shard(i);
+                    eprintln!(
+                        "warning: ShardedCosineIndex::compact: dropping {} unreadable \
+                         row(s) — {e}",
+                        shard.live
+                    );
+                    continue;
+                }
+            };
             for (row, &id) in shard.ids.iter().enumerate() {
                 if !shard.deleted[row] {
                     survivors.push((id, matrix.row(row).to_vec(), recency));
@@ -778,6 +880,7 @@ impl ShardedCosineIndex {
             }
         }
         drop(old_shards); // spill files of the old shards are deleted here
+        self.live = survivors.len(); // shrinks when an unreadable shard was dropped
         for chunk in survivors.chunks(self.shard_capacity) {
             let mut rows = Vec::with_capacity(padded_rows(chunk.len()) * dim);
             for (_, row, _) in chunk {
@@ -795,6 +898,7 @@ impl ShardedCosineIndex {
                 live: chunk.len(),
                 stats,
                 last_used: AtomicU64::new(recency),
+                quarantined: AtomicBool::new(false),
             });
         }
     }
@@ -807,11 +911,18 @@ impl ShardedCosineIndex {
     /// requirement).
     fn apply_memory_budget(&mut self) {
         let Some(budget) = self.memory_budget else {
-            // No budget: everything belongs in memory again.
-            for shard in &mut self.shards {
+            // No budget: everything belongs in memory again. An unreadable shard
+            // stays spilled with a warning — queries keep retrying it lazily.
+            for (i, shard) in self.shards.iter_mut().enumerate() {
                 if !shard.storage.is_resident() {
                     self.counters.faults.fetch_add(1, Ordering::Relaxed);
-                    shard.storage.make_resident();
+                    if let Err(e) = shard.storage.make_resident() {
+                        let e = e.with_shard(i);
+                        eprintln!(
+                            "warning: ShardedCosineIndex: cannot fault shard back, \
+                             keeping spilled: {e}"
+                        );
+                    }
                 }
             }
             return;
@@ -833,9 +944,17 @@ impl ShardedCosineIndex {
             if resident + bytes <= budget {
                 resident += bytes;
                 if !shard.storage.is_resident() {
-                    // The budget leaves room for this hot shard: fault it back.
+                    // The budget leaves room for this hot shard: fault it back. An
+                    // unreadable shard stays spilled (queries retry it lazily).
                     self.counters.faults.fetch_add(1, Ordering::Relaxed);
-                    shard.storage.make_resident();
+                    if let Err(e) = shard.storage.make_resident() {
+                        let e = e.with_shard(i);
+                        eprintln!(
+                            "warning: ShardedCosineIndex: cannot fault shard back, \
+                             keeping spilled: {e}"
+                        );
+                        resident -= bytes;
+                    }
                 }
             } else if shard.storage.is_resident() {
                 if dir.is_none() {
@@ -908,17 +1027,37 @@ impl ShardedCosineIndex {
     /// # Panics
     /// Panics when a query's dimension disagrees with the index dimension.
     pub fn knn_join(&self, queries: &[Vec<f32>], k: usize) -> Vec<(usize, usize, f32)> {
+        self.knn_join_report(queries, k).pairs
+    }
+
+    /// [`Self::knn_join`] with the failure-model envelope: the pairs plus whether any
+    /// quarantined shard made the answer **degraded** (see [`JoinOutcome`]).
+    ///
+    /// A shard whose storage cannot be read even after the retry backoff is
+    /// quarantined — flagged, skipped, counted in [`Self::routing_report`] — and the
+    /// join completes over the readable shards instead of panicking the query thread.
+    /// When no shard is quarantined (`degraded == false`), the result is bit-identical
+    /// to a dense join over the same rows; degraded results are never cached, so a
+    /// later non-degraded join repairs the answer. [`Self::compact`] retries and then
+    /// recovers or drops quarantined shards.
+    pub fn knn_join_report(&self, queries: &[Vec<f32>], k: usize) -> JoinOutcome {
         if k == 0 || self.is_empty() || queries.is_empty() {
-            return Vec::new();
+            return JoinOutcome::default();
         }
         // Query-batch cache, consulted ahead of routing: a repeated batch answers
         // without touching a single shard (see `crate::cache` for keying and the
-        // epoch-invalidation argument). Disabled (capacity 0) by default.
+        // epoch-invalidation argument). Disabled (capacity 0) by default. Only
+        // non-degraded results are ever inserted, so a hit is always a complete
+        // answer (computed while every shard it covered was readable).
         let cache_key = if self.cache.is_enabled() {
             let key = fingerprint(queries, k, self.dim);
             if let Some(hit) = self.cache.lookup(key, self.epoch()) {
                 self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return hit;
+                return JoinOutcome {
+                    pairs: hit,
+                    degraded: false,
+                    quarantined_shards: Vec::new(),
+                };
             }
             self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
             Some(key)
@@ -946,17 +1085,22 @@ impl ShardedCosineIndex {
                     let per_group: Vec<Vec<Vec<Neighbor>>> = self
                         .shards
                         .par_chunks(group_size)
-                        .map(|group| {
+                        .enumerate()
+                        .map(|(group_idx, group)| {
                             let mut selectors: Vec<TopK> =
                                 (0..block.len()).map(|_| TopK::new(k)).collect();
-                            for shard in group {
-                                if shard.live > 0 {
+                            for (j, shard) in group.iter().enumerate() {
+                                if shard.live > 0 && !shard.is_quarantined() {
                                     self.counters.visited.fetch_add(1, Ordering::Relaxed);
                                     if !shard.storage.is_resident() {
                                         self.counters.faults.fetch_add(1, Ordering::Relaxed);
                                     }
+                                    if let Err(e) =
+                                        shard.offer_into(&q_block, &inv_norms, &mut selectors)
+                                    {
+                                        self.quarantine(group_idx * group_size + j, e);
+                                    }
                                 }
-                                shard.offer_into(&q_block, &inv_norms, &mut selectors);
                                 shard.last_used.store(stamp, Ordering::Relaxed);
                             }
                             selectors.into_iter().map(TopK::into_sorted).collect()
@@ -985,10 +1129,41 @@ impl ShardedCosineIndex {
             })
             .collect();
         let pairs: Vec<(usize, usize, f32)> = per_block.into_iter().flatten().collect();
+        // Shards that were skipped as quarantined — whether they entered the join that
+        // way or failed during it — made this answer incomplete.
+        let quarantined_shards: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live > 0 && s.is_quarantined())
+            .map(|(i, _)| i)
+            .collect();
+        let degraded = !quarantined_shards.is_empty();
         if let Some(key) = cache_key {
-            self.cache.insert(key, self.epoch(), pairs.clone());
+            if !degraded {
+                self.cache.insert(key, self.epoch(), pairs.clone());
+            }
         }
-        pairs
+        JoinOutcome {
+            pairs,
+            degraded,
+            quarantined_shards,
+        }
+    }
+
+    /// Takes a shard out of service after its storage stayed unreadable through the
+    /// retry backoff. Idempotent (the counter and warning fire on the first
+    /// transition only); callable from parallel query workers (`&self`).
+    fn quarantine(&self, shard_idx: usize, err: crate::storage::StorageError) {
+        let shard = &self.shards[shard_idx];
+        if !shard.quarantined.swap(true, Ordering::Relaxed) {
+            self.counters.quarantines.fetch_add(1, Ordering::Relaxed);
+            let err = err.with_shard(shard_idx);
+            eprintln!(
+                "warning: ShardedCosineIndex: quarantining shard with unreadable \
+                 storage (degraded results until compact): {err}"
+            );
+        }
     }
 
     /// Scores every shard against one query tile with routing-statistics skipping:
@@ -1009,7 +1184,7 @@ impl ShardedCosineIndex {
             .shards
             .iter()
             .enumerate()
-            .filter(|(_, shard)| shard.live > 0)
+            .filter(|(_, shard)| shard.live > 0 && !shard.is_quarantined())
             .map(|(i, shard)| {
                 let bounds: Vec<f32> = block
                     .iter()
@@ -1046,7 +1221,9 @@ impl ShardedCosineIndex {
             if !shard.storage.is_resident() {
                 self.counters.faults.fetch_add(1, Ordering::Relaxed);
             }
-            shard.offer_into(q_block, inv_norms, selectors);
+            if let Err(e) = shard.offer_into(q_block, inv_norms, selectors) {
+                self.quarantine(i, e);
+            }
             shard.last_used.store(stamp, Ordering::Relaxed);
         }
     }
@@ -1417,5 +1594,128 @@ mod tests {
         assert_eq!(clone.num_spilled_shards(), 0, "clones start fully resident");
         let queries = vectors(5, 6, 24);
         assert_eq!(clone.knn_join(&queries, 3), index.knn_join(&queries, 3));
+    }
+
+    /// Deletes the spill file backing shard `i` out from under the index — the
+    /// durable-fault fixture (retries cannot help; the shard must quarantine).
+    fn destroy_spill_file(index: &ShardedCosineIndex, i: usize) {
+        match &index.shards[i].storage {
+            ShardStorage::Spilled(s) => std::fs::remove_file(s.file_path()).unwrap(),
+            ShardStorage::Resident(_) => panic!("shard {i} is not spilled"),
+        }
+    }
+
+    #[test]
+    fn unreadable_shard_quarantines_degrades_and_compact_drops_it() {
+        let corpus = vectors(24, 6, 31);
+        let queries = vectors(5, 6, 32);
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 8);
+        index.set_query_cache_capacity(4);
+        index.set_memory_budget(Some(0));
+        index.compact();
+        assert_eq!(index.num_spilled_shards(), 3);
+        destroy_spill_file(&index, 1);
+
+        // Routing must not hide the fault: force every shard to be visited.
+        index.set_routing_enabled(false);
+        let outcome = index.knn_join_report(&queries, 4);
+        assert!(outcome.degraded, "a lost shard must flag the join degraded");
+        assert_eq!(outcome.quarantined_shards, vec![1]);
+        assert!(
+            outcome
+                .pairs
+                .iter()
+                .all(|&(_, id, _)| !(8..16).contains(&id)),
+            "shard 1 rows (ids 8..16) cannot be scored"
+        );
+        assert!(
+            !outcome.pairs.is_empty(),
+            "the readable shards still answer"
+        );
+        assert_eq!(
+            index.query_cache_len(),
+            0,
+            "degraded results must never be cached"
+        );
+        let report = index.routing_report();
+        assert_eq!(report.shards_quarantined, 1);
+        assert_eq!(report.quarantined_shards, vec![1]);
+
+        // A repeated degraded join skips the quarantined shard without re-quarantining.
+        let again = index.knn_join_report(&queries, 4);
+        assert_eq!(again, outcome);
+        assert_eq!(index.routing_report().shards_quarantined, 1);
+
+        // Compact drops the still-unreadable shard; service returns to non-degraded
+        // over the surviving rows (== a fresh index without shard 1's rows).
+        index.compact();
+        assert_eq!(index.len(), 16);
+        assert!(index.quarantined_shards().is_empty());
+        let healed = index.knn_join_report(&queries, 4);
+        assert!(!healed.degraded);
+        let mut surviving = corpus[..8].to_vec();
+        surviving.extend_from_slice(&corpus[16..]);
+        let fresh = ShardedCosineIndex::from_vectors(&surviving, 8);
+        // Stable ids differ after the drop (the fresh index renumbers), so compare
+        // the score multisets per query.
+        let scores = |pairs: &[(usize, usize, f32)]| {
+            let mut s: Vec<(usize, u32)> =
+                pairs.iter().map(|&(q, _, sc)| (q, sc.to_bits())).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(
+            scores(&healed.pairs),
+            scores(&fresh.knn_join(&queries, 4)),
+            "post-drop answers must match an index that never held the lost rows"
+        );
+    }
+
+    #[test]
+    fn transient_read_faults_recover_without_degrading() {
+        let _s = crate::storage::tests::fault_lock();
+        let _g = crate::storage::tests::DisarmGuard;
+        let corpus = vectors(24, 6, 33);
+        let queries = vectors(5, 6, 34);
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 8);
+        let expected = index.knn_join(&queries, 4);
+        index.set_memory_budget(Some(0));
+        index.compact();
+
+        // A bounded burst of read faults: the storage retry loop rides it out, so the
+        // join is neither degraded nor different.
+        sudowoodo_faults::arm("spill.read.io_err", sudowoodo_faults::Policy::Times(2));
+        let outcome = index.knn_join_report(&queries, 4);
+        assert!(!outcome.degraded, "retried faults must not degrade");
+        assert_eq!(outcome.pairs, expected);
+        assert!(index.quarantined_shards().is_empty());
+    }
+
+    #[test]
+    fn durable_faults_quarantine_everything_and_compact_recovers() {
+        let _s = crate::storage::tests::fault_lock();
+        let _g = crate::storage::tests::DisarmGuard;
+        let corpus = vectors(24, 6, 35);
+        let queries = vectors(5, 6, 36);
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 8);
+        let expected = index.knn_join(&queries, 4);
+        index.set_memory_budget(Some(0));
+        index.compact();
+
+        sudowoodo_faults::arm("spill.read.io_err", sudowoodo_faults::Policy::Always);
+        let outcome = index.knn_join_report(&queries, 4);
+        assert!(outcome.degraded);
+        assert_eq!(outcome.quarantined_shards, vec![0, 1, 2]);
+        assert!(outcome.pairs.is_empty(), "no shard was readable");
+
+        // The fault clears (disarm); compact re-reads the quarantined shards and
+        // recovers every row — nothing was lost, results are bit-identical again.
+        sudowoodo_faults::disarm("spill.read.io_err");
+        index.compact();
+        assert_eq!(index.len(), 24, "all rows recovered");
+        assert!(index.quarantined_shards().is_empty());
+        let healed = index.knn_join_report(&queries, 4);
+        assert!(!healed.degraded);
+        assert_eq!(healed.pairs, expected);
     }
 }

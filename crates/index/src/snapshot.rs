@@ -60,19 +60,28 @@
 //!            stats: counted u64 · radius f32
 //!                   centroid_len u64 · centroid f32×len
 //!                   sum_len u64 · sum f64×len
+//!
+//! trailer  CRC-32 (ISO-HDLC) of every preceding byte, u32 little-endian
 //! ```
 //!
 //! The manifest is written to a temporary name and atomically renamed into place after
 //! every payload file has been written, so a crashed save never publishes a manifest
-//! pointing at missing payloads. Payload file lengths are validated against the
-//! manifest at load time ([`crate::storage::SpilledShard::open`]), and the `SWSHARD1`
-//! header is re-verified on every fault.
+//! pointing at missing payloads, and it carries a **CRC-32 trailer** over every
+//! preceding byte — a manifest torn by a crash mid-write (or bit-rotted on disk) is
+//! rejected with a typed error instead of being half-parsed. Payload file lengths are
+//! validated against the manifest at load time
+//! ([`crate::storage::SpilledShard::open`]), the `SWSHARD1` header and payload CRC are
+//! re-verified on every fault, and a shard whose payload fails validation is loaded
+//! **quarantined** (see [`crate::JoinOutcome`]) so one corrupt file degrades — not
+//! aborts — the snapshot: the readable shards serve while the quarantined ones wait
+//! for a `compact()` to recover or drop them.
 
 use std::fs;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64};
 
+use sudowoodo_faults as faults;
 use sudowoodo_nn::matrix::Matrix;
 
 use crate::blocking::BlockingIndex;
@@ -80,7 +89,7 @@ use crate::cache::QueryCache;
 use crate::knn::CosineIndex;
 use crate::routing::RoutingStats;
 use crate::sharded::{RoutingCounters, Shard, ShardedCosineIndex};
-use crate::storage::{same_file, write_matrix_file, ShardStorage, SpilledShard};
+use crate::storage::{crc32, same_file, write_matrix_file, ShardStorage, SpilledShard};
 
 /// File name of the snapshot manifest inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.swidx";
@@ -147,9 +156,19 @@ fn r_f64(r: &mut impl Read) -> io::Result<f64> {
 
 /// Writes `payload` bytes (or runs the writer) to `<dest>.tmp`, then atomically renames
 /// onto `dest` — readers of a concurrently overwritten snapshot never see half a file.
+///
+/// Failpoint `snapshot.rename.skip`: errors out after the temp file is fully written
+/// but before the rename — the on-disk shape of a crash between the two syscalls (the
+/// destination keeps its old content; the `.bin.tmp` leftover is swept by the next
+/// successful save's [`remove_stale_payloads`]).
 fn write_file_atomic(dest: &Path, write: impl FnOnce(&Path) -> io::Result<()>) -> io::Result<()> {
     let tmp = dest.with_extension("bin.tmp");
     write(&tmp)?;
+    if faults::fires("snapshot.rename.skip") {
+        return Err(io::Error::other(
+            "failpoint snapshot.rename.skip: simulated crash before rename",
+        ));
+    }
     fs::rename(&tmp, dest)
 }
 
@@ -195,45 +214,56 @@ pub(crate) fn save_sharded(index: &ShardedCosineIndex, dir: &Path) -> io::Result
             }
         }
     }
+    // The manifest body is built in memory (it is O(shards), small next to the
+    // payloads) so the CRC-32 trailer covers exactly the bytes written and a torn
+    // write can be simulated byte-precisely.
     let manifest = dir.join(MANIFEST_FILE);
-    write_file_atomic(&manifest, |tmp| {
-        let mut w = BufWriter::new(fs::File::create(tmp)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&[LAYOUT_SHARDED])?;
-        w_u64(&mut w, index.dim as u64)?;
-        w_u64(&mut w, index.shard_capacity as u64)?;
-        w_u64(&mut w, index.next_id as u64)?;
-        w_u64(&mut w, index.live as u64)?;
-        w_u64(&mut w, index.shards.len() as u64)?;
-        for shard in &index.shards {
-            w_u64(&mut w, shard.storage.rows() as u64)?;
-            w_u64(&mut w, shard.storage.cols() as u64)?;
-            w_u64(&mut w, shard.ids.len() as u64)?;
-            for &id in &shard.ids {
-                w_u64(&mut w, id as u64)?;
-            }
-            for byte_group in shard.deleted.chunks(8) {
-                let mut byte = 0u8;
-                for (bit, &dead) in byte_group.iter().enumerate() {
-                    byte |= (dead as u8) << bit;
-                }
-                w.write_all(&[byte])?;
-            }
-            w_u64(&mut w, shard.live as u64)?;
-            let (centroid, radius, sum, counted) = shard.stats.snapshot_parts();
-            w_u64(&mut w, counted as u64)?;
-            w_f32(&mut w, radius)?;
-            w_u64(&mut w, centroid.len() as u64)?;
-            for &c in centroid {
-                w_f32(&mut w, c)?;
-            }
-            w_u64(&mut w, sum.len() as u64)?;
-            for &s in sum {
-                w_f64(&mut w, s)?;
-            }
+    let mut w: Vec<u8> = Vec::new();
+    w.write_all(MAGIC)?;
+    w.write_all(&[LAYOUT_SHARDED])?;
+    w_u64(&mut w, index.dim as u64)?;
+    w_u64(&mut w, index.shard_capacity as u64)?;
+    w_u64(&mut w, index.next_id as u64)?;
+    w_u64(&mut w, index.live as u64)?;
+    w_u64(&mut w, index.shards.len() as u64)?;
+    for shard in &index.shards {
+        w_u64(&mut w, shard.storage.rows() as u64)?;
+        w_u64(&mut w, shard.storage.cols() as u64)?;
+        w_u64(&mut w, shard.ids.len() as u64)?;
+        for &id in &shard.ids {
+            w_u64(&mut w, id as u64)?;
         }
-        w.flush()
-    })?;
+        for byte_group in shard.deleted.chunks(8) {
+            let mut byte = 0u8;
+            for (bit, &dead) in byte_group.iter().enumerate() {
+                byte |= (dead as u8) << bit;
+            }
+            w.write_all(&[byte])?;
+        }
+        w_u64(&mut w, shard.live as u64)?;
+        let (centroid, radius, sum, counted) = shard.stats.snapshot_parts();
+        w_u64(&mut w, counted as u64)?;
+        w_f32(&mut w, radius)?;
+        w_u64(&mut w, centroid.len() as u64)?;
+        for &c in centroid {
+            w_f32(&mut w, c)?;
+        }
+        w_u64(&mut w, sum.len() as u64)?;
+        for &s in sum {
+            w_f64(&mut w, s)?;
+        }
+    }
+    w.extend_from_slice(&crc32(&w).to_le_bytes());
+    // Failpoint `snapshot.manifest.torn`: half the manifest reaches disk *at its final
+    // name* (the shape of a lost rename journal or torn sector) — the CRC trailer is
+    // what keeps a later load from trusting it.
+    if faults::fires("snapshot.manifest.torn") {
+        fs::write(&manifest, &w[..w.len() / 2])?;
+        return Err(io::Error::other(
+            "failpoint snapshot.manifest.torn: simulated torn manifest write",
+        ));
+    }
+    write_file_atomic(&manifest, |tmp| fs::write(tmp, &w))?;
     remove_stale_payloads(dir, Some(index.shards.len()))
 }
 
@@ -243,15 +273,14 @@ pub(crate) fn save_dense(index: &CosineIndex, dir: &Path) -> io::Result<()> {
     write_file_atomic(&dir.join(DENSE_PAYLOAD), |tmp| {
         write_matrix_file(tmp, index.matrix())
     })?;
-    write_file_atomic(&dir.join(MANIFEST_FILE), |tmp| {
-        let mut w = BufWriter::new(fs::File::create(tmp)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&[LAYOUT_DENSE])?;
-        w_u64(&mut w, index.dim() as u64)?;
-        w_u64(&mut w, index.len() as u64)?;
-        w_u64(&mut w, index.matrix().rows() as u64)?;
-        w.flush()
-    })?;
+    let mut w: Vec<u8> = Vec::new();
+    w.write_all(MAGIC)?;
+    w.write_all(&[LAYOUT_DENSE])?;
+    w_u64(&mut w, index.dim() as u64)?;
+    w_u64(&mut w, index.len() as u64)?;
+    w_u64(&mut w, index.matrix().rows() as u64)?;
+    w.extend_from_slice(&crc32(&w).to_le_bytes());
+    write_file_atomic(&dir.join(MANIFEST_FILE), |tmp| fs::write(tmp, &w))?;
     remove_stale_payloads(dir, None)
 }
 
@@ -293,18 +322,32 @@ fn remove_stale_payloads(dir: &Path, shards: Option<usize>) -> io::Result<()> {
 
 // ---- load ---------------------------------------------------------------------------
 
-/// Reads the manifest header, returning the layout byte and the open reader.
-fn open_manifest(dir: &Path) -> io::Result<(u8, BufReader<fs::File>)> {
+/// Reads and CRC-verifies the whole manifest, returning the layout byte and a reader
+/// positioned after the header. Verification up front means a manifest torn by a
+/// crashed save (or bit-rotted on disk) is rejected as a unit — the per-field parser
+/// below never sees half-written bytes.
+fn open_manifest(dir: &Path) -> io::Result<(u8, io::Cursor<Vec<u8>>)> {
     let path = dir.join(MANIFEST_FILE);
-    let mut r = BufReader::new(fs::File::open(&path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let mut bytes = fs::read(&path)?;
+    if bytes.len() < MAGIC.len() + 1 + 4 {
+        return Err(corrupt(dir, "manifest is truncated"));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
         return Err(corrupt(dir, "bad magic (not a Sudowoodo index snapshot)"));
     }
-    let mut layout = [0u8; 1];
-    r.read_exact(&mut layout)?;
-    Ok((layout[0], r))
+    let body_len = bytes.len() - 4;
+    let recorded = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
+    if crc32(&bytes[..body_len]) != recorded {
+        return Err(corrupt(
+            dir,
+            "manifest CRC-32 mismatch (torn by a crashed save, or corrupt on disk)",
+        ));
+    }
+    bytes.truncate(body_len);
+    let layout = bytes[MAGIC.len()];
+    let mut r = io::Cursor::new(bytes);
+    r.set_position((MAGIC.len() + 1) as u64);
+    Ok((layout, r))
 }
 
 /// Loads a sharded snapshot cold. See [`ShardedCosineIndex::load_snapshot`].
@@ -406,8 +449,24 @@ fn read_sharded_body(dir: &Path, r: &mut impl Read) -> io::Result<ShardedCosineI
             sum.push(r_f64(r)?);
         }
         let stats = RoutingStats::from_snapshot_parts(centroid, radius, sum, counted);
-        let storage =
-            ShardStorage::Spilled(SpilledShard::open(dir.join(shard_payload(i)), rows, cols)?);
+        // A payload that fails validation (missing, truncated, wrong size) does not
+        // abort the load: the shard comes up **quarantined** — skipped by queries,
+        // flagged degraded in every JoinOutcome — and the readable shards serve. The
+        // next compact() retries the payload and recovers or drops the shard.
+        let payload = dir.join(shard_payload(i));
+        let (storage, quarantined) = match SpilledShard::open(payload.clone(), rows, cols) {
+            Ok(opened) => (ShardStorage::Spilled(opened), false),
+            Err(e) => {
+                let e = e.with_shard(i);
+                eprintln!(
+                    "warning: snapshot load {}: quarantining shard with invalid \
+                     payload (degraded results until compact): {e}",
+                    dir.display()
+                );
+                let unchecked = SpilledShard::open_unchecked(payload, rows, cols);
+                (ShardStorage::Spilled(unchecked), true)
+            }
+        };
         shards.push(Shard {
             storage,
             ids,
@@ -415,6 +474,7 @@ fn read_sharded_body(dir: &Path, r: &mut impl Read) -> io::Result<ShardedCosineI
             live: shard_live,
             stats,
             last_used: AtomicU64::new(0),
+            quarantined: AtomicBool::new(quarantined),
         });
     }
     if live_seen != live {
@@ -451,9 +511,11 @@ pub(crate) fn load_blocking(dir: &Path) -> io::Result<BlockingIndex> {
             }
             // The dense layout is one monolithic matrix, so there is no cold state to
             // load into — the payload is read here (the sharded layout is the one that
-            // starts cold).
+            // starts cold). There is also nothing to degrade around: a single corrupt
+            // payload *is* the whole index, so it fails the load with a typed error
+            // (with the storage layer's retry backoff for transient faults).
             let payload: PathBuf = dir.join(DENSE_PAYLOAD);
-            let matrix: Matrix = SpilledShard::open(payload, rows, dim)?.load()?;
+            let matrix: Matrix = SpilledShard::open(payload, rows, dim)?.load_retrying()?;
             Ok(BlockingIndex::Dense(CosineIndex::from_normalized_parts(
                 matrix, len,
             )))

@@ -27,28 +27,45 @@
 //! 8       8              rows   (u64, little endian)
 //! 16      8              cols   (u64, little endian)
 //! 24      rows*cols*4    row-major f32 data, little endian
+//! end-4   4              CRC-32 (ISO-HDLC) of every preceding byte, little endian
 //! ```
 //!
 //! The payload is the matrix buffer bit-for-bit (including the zero padding rows up to
 //! the SIMD row-quad width), so a spilled-then-faulted shard scores queries **bit
 //! identically** to its resident twin — the dense/sharded equivalence contract survives
-//! spilling. Files live in a per-index temporary directory ([`SpillDir`]) that is
-//! removed when the index is dropped; individual files are removed as soon as their
-//! shard is repacked or faulted back to residency.
+//! spilling. The CRC trailer is verified on every fault, so silent on-disk corruption
+//! (a flipped bit, a truncated-then-padded file) surfaces as a typed [`StorageError`]
+//! instead of wrong similarity scores. Files live in a per-index temporary directory
+//! ([`SpillDir`]) that is removed when the index is dropped; individual files are
+//! removed as soon as their shard is repacked or faulted back to residency.
 //!
 //! The same format doubles as the per-shard **payload format of persistent snapshots**
 //! ([`crate::snapshot`]): a snapshot shard file is byte-identical to a spill file, so a
 //! spilled shard is snapshotted with a plain file copy (no deserialization), and a
 //! snapshot-loaded shard is served through the exact same fault path — just via a
 //! non-owning handle ([`SpilledShard::open`]) that never deletes the snapshot.
+//!
+//! ## Failure model
+//!
+//! Every fault path returns a typed [`StorageError`] naming the file (and, one layer
+//! up, the shard id) instead of panicking: a vanished spill file or a corrupt payload
+//! degrades the query that needed it, never the process. [`SpilledShard::load_retrying`]
+//! wraps the single-attempt read with a short exponential backoff for transient
+//! failures; callers that still fail after the retries quarantine the shard (see
+//! [`crate::ShardedCosineIndex`]). The fault-injection points of this module
+//! (`spill.read.io_err`, `spill.write.io_err`, `snapshot.payload.torn`) are armed
+//! through [`sudowoodo_faults`] and compile to one relaxed atomic load when disarmed.
 
 use std::borrow::Cow;
+use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use sudowoodo_faults as faults;
 use sudowoodo_nn::matrix::Matrix;
 
 /// Magic prefix of a spill file; the trailing `1` is the format version.
@@ -56,6 +73,189 @@ const MAGIC: &[u8; 8] = b"SWSHARD1";
 
 /// Byte length of the spill-file header (magic + rows + cols).
 const HEADER_LEN: usize = 8 + 8 + 8;
+
+/// Byte length of the CRC-32 trailer at the end of a spill file.
+const TRAILER_LEN: usize = 4;
+
+/// Read attempts a retrying fault makes in total (1 initial + 3 backoff retries).
+/// Strictly below [`faults::SUPPRESS_WINDOW`], so a probabilistically injected read
+/// fault always recovers within one retry loop.
+pub(crate) const FAULT_ATTEMPTS: u32 = 4;
+
+/// Sleeps the exponential fault-retry backoff for 0-based retry number `retry`
+/// (1ms, 2ms, 4ms, ...). Shared by every retry loop in the crate so the policy
+/// cannot drift between the storage and query layers.
+pub(crate) fn fault_backoff(retry: u32) {
+    std::thread::sleep(Duration::from_millis(1u64 << retry.min(6)));
+}
+
+// ---- CRC-32 (ISO-HDLC) ---------------------------------------------------------------
+
+/// The reflected CRC-32 lookup table (polynomial 0xEDB88320), built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32/ISO-HDLC (the zlib/PNG checksum) — std-only, table-driven.
+/// Shared by the spill-file payloads and the snapshot manifest.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    pub(crate) fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    pub(crate) fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice (see [`Crc32`]).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+// ---- typed errors --------------------------------------------------------------------
+
+/// What went wrong inside a [`StorageError`].
+#[derive(Debug)]
+pub enum StorageErrorKind {
+    /// The underlying I/O operation failed (file vanished, permission, injected fault).
+    Io(io::Error),
+    /// The bytes on disk are not a valid payload (bad magic, shape mismatch, CRC
+    /// mismatch, wrong length). Retrying cannot help; the file must be quarantined.
+    Corrupt(String),
+}
+
+/// A typed fault from the spill/snapshot storage layer: which file failed, which shard
+/// it backed (when known), and how. Replaces the panics these paths used to take —
+/// callers retry, quarantine, or surface the error, but the process survives.
+#[derive(Debug)]
+pub struct StorageError {
+    path: PathBuf,
+    shard: Option<usize>,
+    kind: StorageErrorKind,
+}
+
+impl StorageError {
+    pub(crate) fn io(path: &Path, err: io::Error) -> StorageError {
+        StorageError {
+            path: path.to_path_buf(),
+            shard: None,
+            kind: StorageErrorKind::Io(err),
+        }
+    }
+
+    pub(crate) fn corrupt(path: &Path, what: impl Into<String>) -> StorageError {
+        StorageError {
+            path: path.to_path_buf(),
+            shard: None,
+            kind: StorageErrorKind::Corrupt(what.into()),
+        }
+    }
+
+    /// Attaches the shard id the failing file was backing (for messages and reports).
+    pub fn with_shard(mut self, shard: usize) -> StorageError {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The file that failed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shard the file was backing, when the caller attached it.
+    pub fn shard(&self) -> Option<usize> {
+        self.shard
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &StorageErrorKind {
+        &self.kind
+    }
+
+    /// `true` when the bytes on disk are invalid (retrying cannot help).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self.kind, StorageErrorKind::Corrupt(_))
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.shard {
+            Some(i) => write!(f, "shard {i} payload {}: ", self.path.display())?,
+            None => write!(f, "payload {}: ", self.path.display())?,
+        }
+        match &self.kind {
+            StorageErrorKind::Io(e) => write!(f, "{e}"),
+            StorageErrorKind::Corrupt(what) => write!(f, "corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            StorageErrorKind::Io(e) => Some(e),
+            StorageErrorKind::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for io::Error {
+    /// Keeps `?` working in `io::Result` contexts (the snapshot loader): corruption
+    /// maps to [`io::ErrorKind::InvalidData`], I/O faults keep their kind.
+    fn from(err: StorageError) -> io::Error {
+        let kind = match &err.kind {
+            StorageErrorKind::Io(e) => e.kind(),
+            StorageErrorKind::Corrupt(_) => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, err.to_string())
+    }
+}
+
+/// Removes a path best-effort without ever panicking — Drop-path cleanup must not
+/// double-panic while the thread is already unwinding.
+fn remove_quietly(path: &Path, dir: bool) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if dir {
+            let _ = fs::remove_dir_all(path);
+        } else {
+            let _ = fs::remove_file(path);
+        }
+    }));
+    drop(result); // cleanup is best-effort; a leaked temp path never takes the process down
+}
 
 /// A per-index temporary directory holding spill files.
 ///
@@ -76,8 +276,9 @@ struct SpillDirInner {
 
 impl Drop for SpillDirInner {
     fn drop(&mut self) {
-        // Best-effort cleanup; a leaked temp dir must never take the process down.
-        let _ = fs::remove_dir_all(&self.path);
+        // Best-effort, panic-safe cleanup; `Drop` may run during an unwind and a
+        // second panic here would abort the process.
+        remove_quietly(&self.path, true);
     }
 }
 
@@ -135,34 +336,61 @@ pub struct SpilledShard {
 impl Drop for SpilledShard {
     fn drop(&mut self) {
         if self.owns_file {
-            let _ = fs::remove_file(&self.path);
+            remove_quietly(&self.path, false);
         }
     }
 }
 
 /// Serializes `matrix` into the spill-file format at `path` (see the module docs),
 /// streaming in bounded chunks so writing a large shard never doubles its memory
-/// footprint. Shared by the transient spill path and the snapshot writer.
+/// footprint, and appending the CRC-32 trailer. Shared by the transient spill path and
+/// the snapshot writer.
+///
+/// Failpoint `snapshot.payload.torn`: writes the header plus roughly half the payload
+/// and errors out without the trailer — the on-disk shape of a crash mid-write.
 pub(crate) fn write_matrix_file(path: &Path, matrix: &Matrix) -> io::Result<()> {
+    let torn = faults::fires("snapshot.payload.torn");
     let mut file = io::BufWriter::new(fs::File::create(path)?);
-    file.write_all(MAGIC)?;
-    file.write_all(&(matrix.rows() as u64).to_le_bytes())?;
-    file.write_all(&(matrix.cols() as u64).to_le_bytes())?;
+    let mut crc = Crc32::new();
+    let mut put = |file: &mut io::BufWriter<fs::File>, bytes: &[u8]| -> io::Result<()> {
+        crc.update(bytes);
+        file.write_all(bytes)
+    };
+    put(&mut file, MAGIC)?;
+    put(&mut file, &(matrix.rows() as u64).to_le_bytes())?;
+    put(&mut file, &(matrix.cols() as u64).to_le_bytes())?;
     let mut buf = Vec::with_capacity(16 * 1024);
-    for chunk in matrix.data().chunks(4 * 1024) {
+    let data = matrix.data();
+    let keep = if torn { data.len() / 2 } else { data.len() };
+    for chunk in data[..keep].chunks(4 * 1024) {
         buf.clear();
         for &x in chunk {
             buf.extend_from_slice(&x.to_le_bytes());
         }
-        file.write_all(&buf)?;
+        put(&mut file, &buf)?;
     }
+    if torn {
+        file.flush()?;
+        return Err(io::Error::other(
+            "failpoint snapshot.payload.torn: simulated crash mid-payload",
+        ));
+    }
+    file.write_all(&crc.finish().to_le_bytes())?;
     file.flush()
 }
 
 impl SpilledShard {
     /// Serializes `matrix` into a fresh file under `dir`. The returned handle owns the
     /// file and deletes it on drop.
+    ///
+    /// Failpoint `spill.write.io_err`: fails before touching the filesystem (the shard
+    /// simply stays resident — spilling is an optimization).
     pub fn write(dir: &SpillDir, matrix: &Matrix) -> io::Result<SpilledShard> {
+        if faults::fires("spill.write.io_err") {
+            return Err(io::Error::other(
+                "failpoint spill.write.io_err: injected spill-write failure",
+            ));
+        }
         let path = dir.next_path();
         write_matrix_file(&path, matrix)?;
         Ok(SpilledShard {
@@ -179,28 +407,34 @@ impl SpilledShard {
     /// this handle.
     ///
     /// `rows`/`cols` are the shape recorded in the snapshot manifest; the file's own
-    /// header is verified against them on every [`SpilledShard::load`]. The file length
-    /// is checked here so a truncated snapshot fails at load time, not mid-query.
-    pub fn open(path: PathBuf, rows: usize, cols: usize) -> io::Result<SpilledShard> {
-        let expected = (HEADER_LEN + rows * cols * 4) as u64;
-        let actual = fs::metadata(&path)?.len();
+    /// header and CRC are verified against them on every [`SpilledShard::load`]. The
+    /// file length is checked here so a truncated snapshot fails at load time, not
+    /// mid-query.
+    pub fn open(path: PathBuf, rows: usize, cols: usize) -> Result<SpilledShard, StorageError> {
+        let expected = (HEADER_LEN + rows * cols * 4 + TRAILER_LEN) as u64;
+        let actual = fs::metadata(&path)
+            .map_err(|e| StorageError::io(&path, e))?
+            .len();
         if actual != expected {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "snapshot payload {}: {actual} bytes on disk, expected {expected} \
-                     for a {rows}x{cols} shard",
-                    path.display()
-                ),
+            return Err(StorageError::corrupt(
+                &path,
+                format!("{actual} bytes on disk, expected {expected} for a {rows}x{cols} shard"),
             ));
         }
-        Ok(SpilledShard {
+        Ok(Self::open_unchecked(path, rows, cols))
+    }
+
+    /// Like [`SpilledShard::open`] but without touching the filesystem — for building
+    /// a **quarantined** shard over a payload that already failed validation, so the
+    /// rest of a snapshot can load and serve around it.
+    pub(crate) fn open_unchecked(path: PathBuf, rows: usize, cols: usize) -> SpilledShard {
+        SpilledShard {
             _dir: None,
             path,
             owns_file: false,
             rows,
             cols,
-        })
+        }
     }
 
     /// Copies the serialized payload to `dest` without deserializing it — how a spilled
@@ -213,19 +447,27 @@ impl SpilledShard {
         fs::copy(&self.path, dest).map(|_| ())
     }
 
-    /// Reads the shard matrix back, verifying the header against the recorded shape.
+    /// Reads the shard matrix back, verifying the header against the recorded shape and
+    /// the CRC-32 trailer against every preceding byte.
     ///
     /// The returned matrix is bit-for-bit the one passed to [`SpilledShard::write`].
-    pub fn load(&self) -> io::Result<Matrix> {
-        let mut file = io::BufReader::new(fs::File::open(&self.path)?);
+    ///
+    /// Failpoint `spill.read.io_err`: fails the attempt before opening the file (the
+    /// transient-fault shape: NFS hiccup, EINTR storm, evicted page).
+    pub fn load(&self) -> Result<Matrix, StorageError> {
+        if faults::fires("spill.read.io_err") {
+            return Err(StorageError::io(
+                &self.path,
+                io::Error::other("failpoint spill.read.io_err: injected spill-read failure"),
+            ));
+        }
+        let ioerr = |e| StorageError::io(&self.path, e);
+        let mut file = io::BufReader::new(fs::File::open(&self.path).map_err(ioerr)?);
+        let mut crc = Crc32::new();
         let mut header = [0u8; HEADER_LEN];
-        file.read_exact(&mut header)?;
-        let corrupt = |what: &str| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("spill file {}: {what}", self.path.display()),
-            )
-        };
+        file.read_exact(&mut header).map_err(ioerr)?;
+        crc.update(&header);
+        let corrupt = |what: &str| StorageError::corrupt(&self.path, what);
         if &header[..8] != MAGIC {
             return Err(corrupt("bad magic (not a Sudowoodo shard spill file)"));
         }
@@ -235,12 +477,38 @@ impl SpilledShard {
             return Err(corrupt("header shape disagrees with the index metadata"));
         }
         let mut bytes = vec![0u8; rows * cols * 4];
-        file.read_exact(&mut bytes)?;
+        file.read_exact(&mut bytes).map_err(ioerr)?;
+        crc.update(&bytes);
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.read_exact(&mut trailer).map_err(ioerr)?;
+        if u32::from_le_bytes(trailer) != crc.finish() {
+            return Err(corrupt(
+                "CRC-32 mismatch (the payload bytes changed since they were written)",
+            ));
+        }
         let data: Vec<f32> = bytes
             .chunks_exact(4)
             .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
             .collect();
         Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// [`SpilledShard::load`] with a short exponential backoff (1/2/4 ms) for transient
+    /// I/O faults. Corruption ([`StorageError::is_corrupt`]) is **not** retried — the
+    /// bytes will not improve; the caller should quarantine the shard.
+    pub fn load_retrying(&self) -> Result<Matrix, StorageError> {
+        let mut last = None;
+        for retry in 0..FAULT_ATTEMPTS {
+            if retry > 0 {
+                fault_backoff(retry - 1);
+            }
+            match self.load() {
+                Ok(matrix) => return Ok(matrix),
+                Err(e) if e.is_corrupt() => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// Rows of the serialized matrix (including zero padding rows).
@@ -287,12 +555,18 @@ pub enum ShardStorage {
 impl Clone for ShardStorage {
     /// Cloning faults spilled storage back into memory: spill files are single-owner
     /// (deleted on drop), so the clone gets an independent resident copy.
+    ///
+    /// # Panics
+    /// `Clone` has no error channel, so an unreadable spill file (after the retry
+    /// backoff) still panics here — with the typed [`StorageError`] message. Query
+    /// paths never clone storage; this is only reachable through an explicit
+    /// [`crate::ShardedCosineIndex`] clone.
     fn clone(&self) -> Self {
         match self {
             ShardStorage::Resident(m) => ShardStorage::Resident(m.clone()),
             ShardStorage::Spilled(s) => ShardStorage::Resident(
-                s.load()
-                    .unwrap_or_else(|e| panic!("ShardStorage::clone: faulting spill failed: {e}")),
+                s.load_retrying()
+                    .unwrap_or_else(|e| panic!("ShardStorage::clone: {e}")),
             ),
         }
     }
@@ -336,18 +610,17 @@ impl ShardStorage {
         }
     }
 
-    /// The matrix, borrowed when resident and transiently loaded when spilled.
+    /// The matrix, borrowed when resident and transiently loaded (with the retry
+    /// backoff) when spilled.
     ///
-    /// # Panics
-    /// Panics when a spilled shard cannot be read back (deleted/corrupted spill file) —
-    /// at that point index state is unrecoverable and silently dropping a shard would
-    /// corrupt search results.
-    pub fn matrix(&self) -> Cow<'_, Matrix> {
+    /// # Errors
+    /// A spilled shard whose file cannot be read back even after
+    /// [`SpilledShard::load_retrying`] — the caller decides whether that degrades one
+    /// query (quarantine) or the whole operation.
+    pub fn matrix(&self) -> Result<Cow<'_, Matrix>, StorageError> {
         match self {
-            ShardStorage::Resident(m) => Cow::Borrowed(m),
-            ShardStorage::Spilled(s) => Cow::Owned(s.load().unwrap_or_else(|e| {
-                panic!("ShardStorage::matrix: faulting spilled shard failed: {e}")
-            })),
+            ShardStorage::Resident(m) => Ok(Cow::Borrowed(m)),
+            ShardStorage::Spilled(s) => s.load_retrying().map(Cow::Owned),
         }
     }
 
@@ -367,25 +640,39 @@ impl ShardStorage {
     /// payload is left on disk for other loads of the same snapshot. No-op when
     /// already resident.
     ///
-    /// # Panics
-    /// Panics when the spill file cannot be read back, like [`ShardStorage::matrix`].
-    pub fn make_resident(&mut self) -> &mut Matrix {
+    /// # Errors
+    /// An unreadable spill file (after the retry backoff); the storage is left
+    /// spilled and untouched.
+    pub fn make_resident(&mut self) -> Result<&mut Matrix, StorageError> {
         if let ShardStorage::Spilled(s) = self {
-            let matrix = s.load().unwrap_or_else(|e| {
-                panic!("ShardStorage::make_resident: faulting spilled shard failed: {e}")
-            });
+            let matrix = s.load_retrying()?;
             *self = ShardStorage::Resident(matrix);
         }
         match self {
-            ShardStorage::Resident(m) => m,
+            ShardStorage::Resident(m) => Ok(m),
             ShardStorage::Spilled(_) => unreachable!("made resident above"),
         }
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Failpoints are process-global; tests arming them serialize here and disarm on
+    /// drop so parallel test threads never observe each other's faults.
+    pub(crate) fn fault_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) struct DisarmGuard;
+    impl Drop for DisarmGuard {
+        fn drop(&mut self) {
+            faults::disarm_all();
+        }
+    }
 
     fn fixture_matrix() -> Matrix {
         // Values chosen to catch any lossy serialization: negatives, -0.0, subnormals,
@@ -438,14 +725,18 @@ mod tests {
         assert!(!storage.is_resident());
         assert_eq!(storage.resident_bytes(), 0);
         assert_eq!(storage.rows(), matrix.rows());
-        assert_eq!(*storage.matrix(), matrix, "transient fault must match");
+        assert_eq!(
+            *storage.matrix().expect("transient fault"),
+            matrix,
+            "transient fault must match"
+        );
 
         // Cloning a spilled storage produces an independent resident copy.
         let cloned = storage.clone();
         assert!(cloned.is_resident());
-        assert_eq!(*cloned.matrix(), matrix);
+        assert_eq!(*cloned.matrix().expect("resident"), matrix);
 
-        let faulted = storage.make_resident();
+        let faulted = storage.make_resident().expect("fault back");
         assert_eq!(*faulted, matrix);
         assert!(storage.is_resident());
         assert_eq!(storage.resident_bytes(), bytes);
@@ -500,6 +791,7 @@ mod tests {
         // A wrong manifest shape is caught at open time, before any query faults.
         let err = SpilledShard::open(snapshot_path, matrix.rows() + 4, matrix.cols())
             .expect_err("bad shape must fail fast");
+        assert!(err.is_corrupt(), "length mismatch is corruption: {err}");
         assert!(err.to_string().contains("bytes on disk"), "got: {err}");
         drop(dir);
         let _ = path;
@@ -513,6 +805,75 @@ mod tests {
         bytes[0] ^= 0xFF;
         fs::write(&spilled.path, &bytes).unwrap();
         let err = spilled.load().expect_err("corrupted magic must fail");
+        assert!(err.is_corrupt());
         assert!(err.to_string().contains("bad magic"), "got: {err}");
+    }
+
+    #[test]
+    fn single_flipped_payload_bit_fails_the_crc() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let spilled = SpilledShard::write(&dir, &fixture_matrix()).expect("spill");
+        let mut bytes = fs::read(&spilled.path).unwrap();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN - TRAILER_LEN) / 2;
+        bytes[mid] ^= 0x01; // one bit, deep in the float payload
+        fs::write(&spilled.path, &bytes).unwrap();
+        let err = spilled.load().expect_err("bit rot must not load");
+        assert!(err.is_corrupt());
+        assert!(err.to_string().contains("CRC-32"), "got: {err}");
+        // Corruption is not retried — the retry wrapper fails identically and fast.
+        assert!(spilled.load_retrying().unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn crc32_matches_the_iso_hdlc_check_value() {
+        // The ISO-HDLC check value: crc32(b"123456789") == 0xCBF43926 (zlib, PNG, ...).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn vanished_spill_file_is_a_typed_io_error_with_the_path() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let spilled = SpilledShard::write(&dir, &fixture_matrix()).expect("spill");
+        fs::remove_file(&spilled.path).unwrap();
+        let err = spilled.load_retrying().expect_err("missing file must fail");
+        assert!(!err.is_corrupt(), "a vanished file is an I/O fault");
+        let msg = err.with_shard(3).to_string();
+        assert!(msg.contains("shard 3"), "got: {msg}");
+        assert!(msg.contains("shard-0.bin"), "got: {msg}");
+    }
+
+    #[test]
+    fn injected_read_faults_fail_then_recover_within_the_retry_budget() {
+        let _s = fault_lock();
+        let _g = DisarmGuard;
+        let dir = SpillDir::create().expect("create spill dir");
+        let matrix = fixture_matrix();
+        let spilled = SpilledShard::write(&dir, &matrix).expect("spill");
+
+        // A bounded transient fault: the single-attempt read fails, the retry loop
+        // rides it out.
+        faults::arm("spill.read.io_err", faults::Policy::Times(2));
+        assert!(spilled.load().is_err());
+        assert_eq!(spilled.load_retrying().expect("retries recover"), matrix);
+        faults::disarm("spill.read.io_err");
+
+        // A durable fault exhausts the retries and surfaces the injected error.
+        faults::arm("spill.read.io_err", faults::Policy::Always);
+        let err = spilled.load_retrying().expect_err("durable fault");
+        assert!(err.to_string().contains("spill.read.io_err"), "got: {err}");
+    }
+
+    #[test]
+    fn injected_write_faults_keep_the_shard_resident() {
+        let _s = fault_lock();
+        let _g = DisarmGuard;
+        let dir = SpillDir::create().expect("create spill dir");
+        let mut storage = ShardStorage::Resident(fixture_matrix());
+        faults::arm("spill.write.io_err", faults::Policy::Once);
+        assert!(storage.spill(&dir).is_err(), "injected write fault");
+        assert!(storage.is_resident(), "a failed spill must not lose data");
+        storage.spill(&dir).expect("next spill succeeds");
+        assert!(!storage.is_resident());
     }
 }

@@ -256,14 +256,26 @@ fn loading_garbage_fails_cleanly() {
     let err = ShardedCosineIndex::load_snapshot(&dir).unwrap_err();
     assert!(err.to_string().contains("bad magic"), "got: {err}");
 
-    // A truncated payload is caught at load time (fail fast), not mid-query.
+    // A truncated payload is caught at load time, quarantined, and reported as a
+    // degraded (never silently wrong) index rather than aborting the whole load.
     let built = ShardedCosineIndex::from_vectors(&vectors(12, 4, 61), 4);
     built.save_snapshot(&dir).expect("save");
     let payload = dir.join("shard-1.bin");
     let bytes = std::fs::read(&payload).unwrap();
     std::fs::write(&payload, &bytes[..bytes.len() - 3]).unwrap();
-    let err = ShardedCosineIndex::load_snapshot(&dir).unwrap_err();
-    assert!(err.to_string().contains("bytes on disk"), "got: {err}");
+    let degraded = ShardedCosineIndex::load_snapshot(&dir).expect("degraded load");
+    assert_eq!(degraded.quarantined_shards(), vec![1]);
+    let queries = vectors(3, 4, 61);
+    let outcome = degraded.knn_join_report(&queries, 3);
+    assert!(outcome.degraded, "quarantined shard must flag the join");
+    assert_eq!(outcome.quarantined_shards, vec![1]);
+    assert!(
+        outcome
+            .pairs
+            .iter()
+            .all(|&(_, id, _)| !(4..8).contains(&id)),
+        "quarantined rows must not be answered"
+    );
 
     // The dense/sharded loaders refuse each other's layouts with guidance.
     let dense_dir = snapshot_dir("layout-mismatch");

@@ -4,14 +4,103 @@
 //! for concurrency, open one client per thread (the server handles each connection on
 //! its own thread and coalesces concurrent joins server-side, so N clients cost one
 //! GEMM pass when their requests land together).
+//!
+//! ## Failure handling
+//!
+//! The client carries a [`ClientConfig`]:
+//!
+//! * **Read timeout** — a server that accepts the connection and then never answers
+//!   (wedged worker, partitioned network) surfaces as a timeout error instead of
+//!   blocking the caller forever. It mirrors the server's own write-timeout
+//!   discipline: neither side of the protocol will wait unboundedly on the other.
+//! * **Retry policy** ([`RetryPolicy`]) — `KNN` joins are idempotent (the server
+//!   mutates nothing), so transport failures and `BUSY` load-shed responses are
+//!   retried with exponential backoff plus deterministic jitter, reconnecting first
+//!   when the transport broke. Server *error* responses are never retried — the same
+//!   request would fail the same way — and non-idempotent semantics never arise
+//!   because the protocol has none.
+//!
+//! A degraded response (quarantined shards skipped server-side) is success with a
+//! flag: [`ServeClient::knn_join`] returns the pairs, and
+//! [`ServeClient::knn_join_detailed`] additionally reports `degraded = true` so
+//! callers that must not act on partial coverage can tell.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
     decode_knn_response, decode_stats_response, encode_knn_request, read_frame, split_response,
-    write_frame, ServerStats, OP_PING, OP_STATS,
+    write_frame, Response, ServerStats, OP_PING, OP_STATS,
 };
+
+/// What [`ServeClient::knn_join_detailed`] returns: the `(query_index, stable_id,
+/// score)` pairs plus the degraded flag (`true` when quarantined shards were
+/// skipped, making the otherwise exact pair set explicitly incomplete).
+pub type DetailedJoin = (Vec<(usize, usize, f32)>, bool);
+
+/// Retry policy for idempotent requests (`KNN` joins): exponential backoff with
+/// deterministic jitter, reconnecting when the transport broke.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling after doubling.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream (so tests and reproductions see the
+    /// same sleep pattern). Jitter adds 0–50% of the computed backoff.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based): `base << retry`, capped at
+    /// `max_backoff`, plus 0–50% deterministic jitter.
+    fn backoff(&self, retry: u32, rng: &mut u64) -> Duration {
+        let base = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_backoff);
+        // A multiplicative LCG (Knuth's constants) is plenty for decorrelating
+        // retry storms; cryptographic quality buys nothing here.
+        *rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let jitter_percent = (*rng >> 33) % 51; // 0..=50
+        base + base.mul_f64(jitter_percent as f64 / 100.0)
+    }
+}
+
+/// Client-side robustness knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// How long a response read may block before failing with a timeout error.
+    /// `None` waits forever (not recommended outside debugging).
+    pub read_timeout: Option<Duration>,
+    /// Retry policy for idempotent `KNN` requests.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
 
 /// A synchronous client connection to a [`crate::Server`].
 ///
@@ -19,14 +108,48 @@ use crate::protocol::{
 #[derive(Debug)]
 pub struct ServeClient {
     stream: TcpStream,
+    peer: SocketAddr,
+    config: ClientConfig,
+    jitter_rng: u64,
 }
 
 impl ServeClient {
-    /// Connects to a server (e.g. the address returned by [`crate::Server::addr`]).
+    /// Connects to a server (e.g. the address returned by [`crate::Server::addr`])
+    /// with the default [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        Self::connect_with_config(addr, ClientConfig::default())
+    }
+
+    /// [`ServeClient::connect`] with explicit robustness knobs.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> io::Result<ServeClient> {
         let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
+        Self::prepare(&stream, &config)?;
+        Ok(ServeClient {
+            stream,
+            peer,
+            config,
+            jitter_rng: config.retry.jitter_seed | 1,
+        })
+    }
+
+    fn prepare(stream: &TcpStream, config: &ClientConfig) -> io::Result<()> {
+        stream.set_read_timeout(config.read_timeout)?;
         stream.set_nodelay(true).ok();
-        Ok(ServeClient { stream })
+        Ok(())
+    }
+
+    /// Drops the current connection and dials the same peer again. Used by the
+    /// retry loop after a transport failure; callers can also invoke it to recover
+    /// a client whose server restarted.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        Self::prepare(&stream, &self.config)?;
+        self.stream = stream;
+        Ok(())
     }
 
     /// Sends one request frame and reads one response frame.
@@ -54,16 +177,32 @@ impl ServeClient {
     /// amortization *and* of the server's query cache, so a repeated batch answers
     /// without the server touching a single shard.
     ///
+    /// Transport failures and `BUSY` load-shed responses are retried per the
+    /// configured [`RetryPolicy`] (the request is idempotent). A *degraded* response
+    /// still returns its pairs — call [`ServeClient::knn_join_detailed`] to see the
+    /// flag.
+    ///
     /// # Errors
-    /// Transport failures, or a server-side rejection (e.g. a query dimension that
-    /// does not match the served index) surfaced as
-    /// [`std::io::ErrorKind::InvalidInput`]. Ragged query batches are rejected
-    /// client-side before anything is sent.
+    /// Exhausted retries over transport failures or `BUSY`, or a server-side
+    /// rejection (e.g. a query dimension that does not match the served index)
+    /// surfaced as [`std::io::ErrorKind::InvalidInput`] — never retried. Ragged
+    /// query batches are rejected client-side before anything is sent.
     pub fn knn_join(
         &mut self,
         queries: &[Vec<f32>],
         k: usize,
     ) -> io::Result<Vec<(usize, usize, f32)>> {
+        self.knn_join_detailed(queries, k).map(|(pairs, _)| pairs)
+    }
+
+    /// [`ServeClient::knn_join`] plus the degraded flag: `true` when the server
+    /// skipped quarantined shards, so the (otherwise exact) pair set is explicitly
+    /// incomplete.
+    pub fn knn_join_detailed(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> io::Result<DetailedJoin> {
         let dim = queries.first().map_or(0, Vec::len);
         if let Some(bad) = queries.iter().position(|q| q.len() != dim) {
             return Err(io::Error::new(
@@ -75,32 +214,143 @@ impl ServeClient {
                 ),
             ));
         }
-        let response = self.round_trip(&encode_knn_request(queries, k, dim))?;
-        match split_response(&response)? {
-            Ok(body) => {
-                decode_knn_response(body).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+        let request = encode_knn_request(queries, k, dim);
+        let mut retry = 0u32;
+        loop {
+            // Transport failures tear the stream (a response may be half-read), so
+            // every retry starts from a fresh connection. `BUSY` leaves the stream
+            // clean — the retry reuses it after the backoff.
+            let transport_error: Option<io::Error> = match self.round_trip(&request) {
+                Ok(response) => match split_response(&response)? {
+                    Response::Ok(body) => {
+                        return decode_knn_response(body)
+                            .map(|pairs| (pairs, false))
+                            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m));
+                    }
+                    Response::OkDegraded(body) => {
+                        return decode_knn_response(body)
+                            .map(|pairs| (pairs, true))
+                            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m));
+                    }
+                    Response::Err(message) => return Err(Self::server_error(message)),
+                    Response::Busy => None,
+                },
+                Err(e) => Some(e),
+            };
+            if retry >= self.config.retry.max_retries {
+                return Err(transport_error.unwrap_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "server busy (load shed) after {} attempts",
+                            self.config.retry.max_retries + 1
+                        ),
+                    )
+                }));
             }
-            Err(message) => Err(Self::server_error(message)),
+            let mut rng = self.jitter_rng;
+            std::thread::sleep(self.config.retry.backoff(retry, &mut rng));
+            self.jitter_rng = rng;
+            retry += 1;
+            if transport_error.is_some() {
+                self.reconnect()?;
+            }
         }
     }
 
-    /// Liveness check: one round trip, no payload.
+    /// Liveness check: one round trip, no payload. Not retried — callers probing
+    /// liveness want the first answer, not a flattering one.
     pub fn ping(&mut self) -> io::Result<()> {
         let response = self.round_trip(&[OP_PING])?;
         match split_response(&response)? {
-            Ok(_) => Ok(()),
-            Err(message) => Err(Self::server_error(message)),
+            Response::Ok(_) | Response::OkDegraded(_) => Ok(()),
+            Response::Busy => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "server busy (load shed)",
+            )),
+            Response::Err(message) => Err(Self::server_error(message)),
         }
     }
 
-    /// Fetches server/index statistics (corpus size, shard residency, cache and
-    /// batching counters).
+    /// Fetches server/index statistics (corpus size, shard residency, cache,
+    /// batching, and robustness counters). Not retried.
     pub fn stats(&mut self) -> io::Result<ServerStats> {
         let response = self.round_trip(&[OP_STATS])?;
         match split_response(&response)? {
-            Ok(body) => decode_stats_response(body)
+            Response::Ok(body) | Response::OkDegraded(body) => decode_stats_response(body)
                 .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m)),
-            Err(message) => Err(Self::server_error(message)),
+            Response::Busy => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "server busy (load shed)",
+            )),
+            Response::Err(message) => Err(Self::server_error(message)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn a_silent_server_times_out_instead_of_hanging_forever() {
+        // A listener that accepts and then says nothing — the pathological peer the
+        // read timeout exists for.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let keep_open = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+        let config = ClientConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+        };
+        let mut client = ServeClient::connect_with_config(addr, config).unwrap();
+        let _socket = keep_open.join().unwrap().unwrap(); // hold the accepted side open
+
+        let started = Instant::now();
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "got: {err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the timeout must fire promptly, not hang: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            jitter_seed: 7,
+        };
+        let mut a = policy.jitter_seed | 1;
+        let mut b = policy.jitter_seed | 1;
+        for retry in 0..5 {
+            let base = Duration::from_millis(10 * (1 << retry)).min(Duration::from_millis(40));
+            let sleep = policy.backoff(retry, &mut a);
+            assert!(sleep >= base, "retry {retry}: {sleep:?} < base {base:?}");
+            assert!(
+                sleep <= base + base.mul_f64(0.5),
+                "retry {retry}: {sleep:?} exceeds base + 50% jitter"
+            );
+            assert_eq!(
+                sleep,
+                policy.backoff(retry, &mut b),
+                "same seed must give the same jitter stream"
+            );
         }
     }
 }

@@ -20,6 +20,15 @@
 //! * [`ServeClient`] — a synchronous client handle; results are identical (ids,
 //!   scores, and ordering) to calling `knn_join` in-process.
 //!
+//! The serving layer is built to survive faults and overload (see the [`server`]
+//! module docs): bounded admission with `BUSY` load shedding, per-request deadlines,
+//! panic containment (handler failures answer error frames instead of dropping
+//! connections), degraded-result flagging when the index quarantines unreadable
+//! shards, and a client-side retry policy (exponential backoff + deterministic
+//! jitter, idempotent `KNN` requests only). Configure the server with
+//! [`ServerConfig`] / [`Server::spawn_with_config`] and the client with
+//! [`ClientConfig`] / [`ServeClient::connect_with_config`].
+//!
 //! Repeated query batches are the expected production shape, and the served index's
 //! query-batch cache (see `sudowoodo_index::cache`) answers them without touching a
 //! single shard — enable it with
@@ -59,6 +68,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::ServeClient;
+pub use client::{ClientConfig, RetryPolicy, ServeClient};
 pub use protocol::ServerStats;
-pub use server::Server;
+pub use server::{Server, ServerConfig};

@@ -15,9 +15,10 @@
 //! ```
 //!
 //! A request payload starts with an opcode byte; a response payload starts with a
-//! status byte ([`STATUS_OK`] / [`STATUS_ERR`]). Connections are persistent: a client
-//! sends any number of frames and reads one response per request, in order (the
-//! protocol is pipelinable — responses never reorder).
+//! status byte ([`STATUS_OK`] / [`STATUS_ERR`] / [`STATUS_BUSY`] /
+//! [`STATUS_OK_DEGRADED`]). Connections are persistent: a client sends any number of
+//! frames and reads one response per request, in order (the protocol is pipelinable —
+//! responses never reorder).
 //!
 //! ## Requests
 //!
@@ -39,11 +40,25 @@
 //! ok STATS: 0x00 · len u64 · dim u64 · num_shards u64 · spilled u64
 //!                · served_requests u64 · batched_joins u64
 //!                · cache_hits u64 · cache_misses u64
+//!                · busy_rejections u64 · deadline_expirations u64
+//!                · degraded_joins u64
+//! degraded: 0x03 · same body as ok KNN
+//! busy:     0x02 · empty
 //! error:    0x01 · message_len u32 · UTF-8 message
 //! ```
 //!
 //! An error response answers exactly the request that caused it (a dimension
 //! mismatch, an oversized frame, an unknown opcode); the connection stays usable.
+//! The three non-`0x00` statuses are the failure model on the wire:
+//!
+//! * **busy** — the admission queue is full (load shed) or the request's deadline
+//!   expired before the join ran. The request was *not* executed; it is always safe
+//!   to retry after a backoff.
+//! * **degraded** — the join ran, but one or more index shards were quarantined
+//!   (unreadable storage), so rows from those shards are missing. The pairs that are
+//!   present are exact; the set is explicitly incomplete, never silently wrong.
+//! * **error** — the request or the handler failed; the message says why. Errors are
+//!   not retried blindly (the same request would fail the same way).
 
 use std::io::{self, Read, Write};
 
@@ -62,6 +77,12 @@ pub const OP_STATS: u8 = 0x03;
 pub const STATUS_OK: u8 = 0x00;
 /// Response status: failure; a UTF-8 message follows.
 pub const STATUS_ERR: u8 = 0x01;
+/// Response status: load shed — the admission queue was full (or the request's
+/// deadline expired before it ran). The request was not executed; retry after backoff.
+pub const STATUS_BUSY: u8 = 0x02;
+/// Response status: success with degraded coverage — quarantined shards were skipped,
+/// so the (otherwise exact) `KNN` body is explicitly incomplete.
+pub const STATUS_OK_DEGRADED: u8 = 0x03;
 
 /// Server and index statistics returned by a `STATS` request.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -83,6 +104,14 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Query-cache misses observed by the served index (sharded layout; 0 otherwise).
     pub cache_misses: u64,
+    /// `KNN` requests answered with [`STATUS_BUSY`] because the admission queue was
+    /// full — the server shed load instead of queueing without bound.
+    pub busy_rejections: u64,
+    /// `KNN` requests whose per-request deadline expired while they waited in the
+    /// admission queue (also answered with [`STATUS_BUSY`]; the join never ran).
+    pub deadline_expirations: u64,
+    /// `knn_join` executions that returned degraded (quarantined shards skipped).
+    pub degraded_joins: u64,
 }
 
 /// Writes one frame (length prefix + payload).
@@ -165,10 +194,16 @@ pub fn decode_knn_request(body: &[u8]) -> Result<(Vec<Vec<f32>>, usize), String>
     Ok((queries, k))
 }
 
-/// Serializes a successful `KNN` response payload.
-pub fn encode_knn_response(pairs: &[(usize, usize, f32)]) -> Vec<u8> {
+/// Serializes a successful `KNN` response payload. `degraded` selects the
+/// [`STATUS_OK_DEGRADED`] status byte (same body layout) so the client learns the
+/// result is incomplete without a second channel.
+pub fn encode_knn_response(pairs: &[(usize, usize, f32)], degraded: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(1 + 4 + pairs.len() * 16);
-    out.push(STATUS_OK);
+    out.push(if degraded {
+        STATUS_OK_DEGRADED
+    } else {
+        STATUS_OK
+    });
     out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
     for &(query, id, score) in pairs {
         out.extend_from_slice(&(query as u32).to_le_bytes());
@@ -204,7 +239,7 @@ pub fn decode_knn_response(body: &[u8]) -> Result<Vec<(usize, usize, f32)>, Stri
 
 /// Serializes a successful `STATS` response payload.
 pub fn encode_stats_response(stats: &ServerStats) -> Vec<u8> {
-    let mut out = Vec::with_capacity(1 + 8 * 8);
+    let mut out = Vec::with_capacity(1 + 11 * 8);
     out.push(STATUS_OK);
     for v in [
         stats.len,
@@ -215,6 +250,9 @@ pub fn encode_stats_response(stats: &ServerStats) -> Vec<u8> {
         stats.batched_joins,
         stats.cache_hits,
         stats.cache_misses,
+        stats.busy_rejections,
+        stats.deadline_expirations,
+        stats.degraded_joins,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -223,9 +261,9 @@ pub fn encode_stats_response(stats: &ServerStats) -> Vec<u8> {
 
 /// Deserializes a `STATS` response body (after the status byte).
 pub fn decode_stats_response(body: &[u8]) -> Result<ServerStats, String> {
-    if body.len() != 8 * 8 {
+    if body.len() != 11 * 8 {
         return Err(format!(
-            "STATS response is {} bytes, expected 64",
+            "STATS response is {} bytes, expected 88",
             body.len()
         ));
     }
@@ -239,7 +277,15 @@ pub fn decode_stats_response(body: &[u8]) -> Result<ServerStats, String> {
         batched_joins: field(5),
         cache_hits: field(6),
         cache_misses: field(7),
+        busy_rejections: field(8),
+        deadline_expirations: field(9),
+        degraded_joins: field(10),
     })
+}
+
+/// Serializes a [`STATUS_BUSY`] response payload (load shed / deadline expired).
+pub fn encode_busy_response() -> Vec<u8> {
+    vec![STATUS_BUSY]
 }
 
 /// Serializes an error response payload.
@@ -252,11 +298,27 @@ pub fn encode_error_response(message: &str) -> Vec<u8> {
     out
 }
 
-/// Splits a response payload into `Ok(body)` / `Err(server message)`.
-pub fn split_response(payload: &[u8]) -> io::Result<Result<&[u8], String>> {
+/// A classified response payload — every status byte a server can legally send.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Response<'a> {
+    /// [`STATUS_OK`]: the opcode-specific body.
+    Ok(&'a [u8]),
+    /// [`STATUS_OK_DEGRADED`]: same body as `Ok`, but quarantined shards were
+    /// skipped — the result is explicitly incomplete.
+    OkDegraded(&'a [u8]),
+    /// [`STATUS_BUSY`]: the request was shed without running; retry after backoff.
+    Busy,
+    /// [`STATUS_ERR`]: the server rejected or failed the request with this message.
+    Err(String),
+}
+
+/// Splits a response payload into its [`Response`] classification.
+pub fn split_response(payload: &[u8]) -> io::Result<Response<'_>> {
     let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
     match payload.first() {
-        Some(&STATUS_OK) => Ok(Ok(&payload[1..])),
+        Some(&STATUS_OK) => Ok(Response::Ok(&payload[1..])),
+        Some(&STATUS_OK_DEGRADED) => Ok(Response::OkDegraded(&payload[1..])),
+        Some(&STATUS_BUSY) => Ok(Response::Busy),
         Some(&STATUS_ERR) => {
             if payload.len() < 5 {
                 return Err(invalid("truncated error response"));
@@ -265,7 +327,7 @@ pub fn split_response(payload: &[u8]) -> io::Result<Result<&[u8], String>> {
             let bytes = payload
                 .get(5..5 + len)
                 .ok_or_else(|| invalid("error response length disagrees with its payload"))?;
-            Ok(Err(String::from_utf8_lossy(bytes).into_owned()))
+            Ok(Response::Err(String::from_utf8_lossy(bytes).into_owned()))
         }
         Some(&other) => Err(invalid(&format!("unknown response status {other}"))),
         None => Err(invalid("empty response payload")),
@@ -288,9 +350,28 @@ mod tests {
     #[test]
     fn knn_response_round_trips() {
         let pairs = vec![(0usize, 42usize, 0.75f32), (1, 7, -0.25)];
-        let payload = encode_knn_response(&pairs);
-        let body = split_response(&payload).unwrap().unwrap();
+        let payload = encode_knn_response(&pairs, false);
+        let Response::Ok(body) = split_response(&payload).unwrap() else {
+            panic!("expected Ok");
+        };
         assert_eq!(decode_knn_response(body).unwrap(), pairs);
+    }
+
+    #[test]
+    fn degraded_knn_response_keeps_the_body_but_flags_the_status() {
+        let pairs = vec![(0usize, 3usize, 0.5f32)];
+        let payload = encode_knn_response(&pairs, true);
+        assert_eq!(payload[0], STATUS_OK_DEGRADED);
+        let Response::OkDegraded(body) = split_response(&payload).unwrap() else {
+            panic!("expected OkDegraded");
+        };
+        assert_eq!(decode_knn_response(body).unwrap(), pairs);
+    }
+
+    #[test]
+    fn busy_response_round_trips() {
+        let payload = encode_busy_response();
+        assert_eq!(split_response(&payload).unwrap(), Response::Busy);
     }
 
     #[test]
@@ -304,9 +385,14 @@ mod tests {
             batched_joins: 6,
             cache_hits: 7,
             cache_misses: 8,
+            busy_rejections: 9,
+            deadline_expirations: 10,
+            degraded_joins: 11,
         };
         let payload = encode_stats_response(&stats);
-        let body = split_response(&payload).unwrap().unwrap();
+        let Response::Ok(body) = split_response(&payload).unwrap() else {
+            panic!("expected Ok");
+        };
         assert_eq!(decode_stats_response(body).unwrap(), stats);
     }
 
@@ -314,8 +400,8 @@ mod tests {
     fn errors_carry_their_message() {
         let payload = encode_error_response("dimension mismatch");
         assert_eq!(
-            split_response(&payload).unwrap().unwrap_err(),
-            "dimension mismatch"
+            split_response(&payload).unwrap(),
+            Response::Err("dimension mismatch".into())
         );
     }
 

@@ -19,6 +19,26 @@
 //! `PING` and `STATS` answer inline on the handler thread; only `KNN` pays the
 //! batcher hop.
 //!
+//! ## Survival under faults and overload
+//!
+//! The server is built to keep answering when things go wrong, never to hang or
+//! silently drop a connection:
+//!
+//! * **Bounded admission** ([`ServerConfig::admission_queue_depth`]): when the
+//!   batcher's queue is full, new `KNN` requests are answered immediately with a
+//!   `BUSY` frame instead of queueing without bound (load shedding). The connection
+//!   stays usable; clients retry after backoff.
+//! * **Per-request deadlines** ([`ServerConfig::request_deadline`]): a request whose
+//!   deadline passes while it waits in the queue is answered `BUSY` without running —
+//!   under overload the server spends its joins on requests whose clients are still
+//!   listening.
+//! * **Degraded joins**: when the index quarantines unreadable shards, the response
+//!   carries the degraded status byte so clients know coverage is incomplete — exact
+//!   pairs, explicitly flagged, never silently wrong.
+//! * **Panic containment**: the join and the request dispatch run under
+//!   `catch_unwind`; a handler failure answers an error frame on the same
+//!   connection instead of killing the thread and dropping the socket.
+//!
 //! ## Shutdown
 //!
 //! [`Server::shutdown`] flips a stop flag, wakes the accept thread with a loopback
@@ -29,27 +49,75 @@
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use sudowoodo_faults as faults;
 use sudowoodo_index::BlockingIndex;
 
 use crate::protocol::{
-    decode_knn_request, encode_error_response, encode_knn_response, encode_stats_response,
-    ServerStats, MAX_FRAME_LEN, OP_KNN, OP_PING, OP_STATS, STATUS_OK,
+    decode_knn_request, encode_busy_response, encode_error_response, encode_knn_response,
+    encode_stats_response, ServerStats, MAX_FRAME_LEN, OP_KNN, OP_PING, OP_STATS, STATUS_OK,
 };
 
 /// How long a handler thread blocks in a read before re-checking the stop flag.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Server-side robustness knobs — see the module docs ("Survival under faults and
+/// overload") for the behavior each one buys.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Most `KNN` requests allowed to wait in the admission queue at once; requests
+    /// beyond it are answered `BUSY` immediately (load shedding). `0` sheds every
+    /// request — useful only for tests.
+    pub admission_queue_depth: usize,
+    /// A request older than this when the join worker reaches it is answered `BUSY`
+    /// without running. `None` (the default) disables deadlines.
+    pub request_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            admission_queue_depth: 256,
+            request_deadline: None,
+        }
+    }
+}
+
+/// What the join worker tells a handler about its request.
+enum JoinReply {
+    /// The join ran; `degraded` is `true` when quarantined shards were skipped.
+    Done {
+        pairs: Vec<(usize, usize, f32)>,
+        degraded: bool,
+    },
+    /// The deadline expired before the join ran; answer `BUSY` (safe to retry).
+    Expired,
+    /// The join panicked; answer an error frame with this message.
+    Failed(String),
+}
+
 /// One decoded `KNN` request waiting for the join worker.
 struct Pending {
     queries: Vec<Vec<f32>>,
     k: usize,
-    reply: mpsc::Sender<Vec<(usize, usize, f32)>>,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<JoinReply>,
+}
+
+/// The outcome of offering a request to the admission queue.
+enum Admission {
+    /// Queued; a [`JoinReply`] will arrive on the reply channel.
+    Queued,
+    /// The queue is full; the caller answers `BUSY` itself.
+    Busy,
+    /// The worker already exited (shutdown); the caller answers an error itself.
+    Stopped,
 }
 
 /// The queue state behind the batcher's mutex. `stopped` lives under the same lock as
@@ -64,24 +132,36 @@ struct BatchQueue {
 }
 
 /// The shared request queue between handler threads and the join worker.
-#[derive(Default)]
 struct Batcher {
     state: Mutex<BatchQueue>,
     ready: Condvar,
+    depth: usize,
 }
 
 impl Batcher {
-    /// Enqueues a request for the join worker. Returns `false` when the worker has
-    /// already exited (server shutting down) — the caller must answer the request
+    fn new(depth: usize) -> Batcher {
+        Batcher {
+            state: Mutex::default(),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Offers a request to the admission queue. [`Admission::Busy`] when the queue is
+    /// at depth (load shed); [`Admission::Stopped`] when the worker has already
+    /// exited (server shutting down) — either way the caller answers the request
     /// itself instead of waiting for a reply that will never come.
-    fn push(&self, pending: Pending) -> bool {
+    fn push(&self, pending: Pending) -> Admission {
         let mut state = self.state.lock().unwrap();
         if state.stopped {
-            return false;
+            return Admission::Stopped;
+        }
+        if state.queue.len() >= self.depth {
+            return Admission::Busy;
         }
         state.queue.push_back(pending);
         self.ready.notify_one();
-        true
+        Admission::Queued
     }
 
     /// Blocks until at least one request is queued (or `stop` is set), then drains
@@ -124,6 +204,9 @@ impl Batcher {
 struct Counters {
     served_requests: AtomicU64,
     batched_joins: AtomicU64,
+    busy_rejections: AtomicU64,
+    deadline_expirations: AtomicU64,
+    degraded_joins: AtomicU64,
 }
 
 /// A running query server. Dropping the handle shuts the server down.
@@ -141,14 +224,25 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 to let the OS pick one — tests and benches do) and
-    /// starts serving `index` in background threads. The index is shared immutably;
-    /// build it (or [`BlockingIndex::load_snapshot`] it) first, then serve.
+    /// starts serving `index` in background threads with the default
+    /// [`ServerConfig`]. The index is shared immutably; build it (or
+    /// [`BlockingIndex::load_snapshot`] it) first, then serve.
     pub fn spawn(index: Arc<BlockingIndex>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Self::spawn_with_config(index, addr, ServerConfig::default())
+    }
+
+    /// [`Server::spawn`] with explicit robustness knobs (admission queue depth,
+    /// per-request deadline).
+    pub fn spawn_with_config(
+        index: Arc<BlockingIndex>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
-        let batcher = Arc::new(Batcher::default());
+        let batcher = Arc::new(Batcher::new(config.admission_queue_depth));
 
         let worker_thread = {
             let (index, stop, counters, batcher) = (
@@ -157,7 +251,7 @@ impl Server {
                 Arc::clone(&counters),
                 Arc::clone(&batcher),
             );
-            std::thread::spawn(move || join_worker(&index, &stop, &counters, &batcher))
+            std::thread::spawn(move || join_worker(&index, &stop, &counters, &batcher, config))
         };
 
         let accept_thread = {
@@ -270,21 +364,71 @@ fn build_stats(index: &BlockingIndex, counters: &Counters) -> ServerStats {
         batched_joins: counters.batched_joins.load(Ordering::Relaxed),
         cache_hits,
         cache_misses,
+        busy_rejections: counters.busy_rejections.load(Ordering::Relaxed),
+        deadline_expirations: counters.deadline_expirations.load(Ordering::Relaxed),
+        degraded_joins: counters.degraded_joins.load(Ordering::Relaxed),
     }
 }
 
+/// Runs one `knn_join_report` with panic containment: a panicking join (a poisoned
+/// lock, an index bug, an injected fault escaping its retry budget) becomes an
+/// error message for the requester instead of killing the worker thread — which
+/// would strand every queued and future request.
+fn run_join(
+    index: &BlockingIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> Result<sudowoodo_index::JoinOutcome, String> {
+    catch_unwind(AssertUnwindSafe(|| index.knn_join_report(queries, k))).map_err(|payload| {
+        let reason = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("internal error: knn_join panicked: {reason}")
+    })
+}
+
 /// The join worker: coalesce queued requests, run one `knn_join`, split the results.
-fn join_worker(index: &BlockingIndex, stop: &AtomicBool, counters: &Counters, batcher: &Batcher) {
+fn join_worker(
+    index: &BlockingIndex,
+    stop: &AtomicBool,
+    counters: &Counters,
+    batcher: &Batcher,
+    config: ServerConfig,
+) {
     loop {
         let group = batcher.next_group(stop);
         if group.is_empty() {
             return; // stop requested and the queue is drained
         }
+        // Expire requests whose deadline passed while they waited: their client has
+        // given up (or will momentarily), so running the join for them spends the
+        // server's scarcest resource on nobody. They get `BUSY` — the request never
+        // ran, so a retry is always safe.
+        let group: Vec<Pending> = match config.request_deadline {
+            None => group,
+            Some(deadline) => group
+                .into_iter()
+                .filter_map(|pending| {
+                    if pending.enqueued_at.elapsed() >= deadline {
+                        counters
+                            .deadline_expirations
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = pending.reply.send(JoinReply::Expired);
+                        None
+                    } else {
+                        Some(pending)
+                    }
+                })
+                .collect(),
+        };
         // Answer cache-hitting requests individually first: merging a hit into a
         // bigger batch would change the cache fingerprint and recompute work the
         // cache already holds. Only the misses are coalesced. A lone request skips
         // the peek — `knn_join` runs its own cache lookup, so peeking here would
-        // just fingerprint the batch twice.
+        // just fingerprint the batch twice. Cache entries are only ever written by
+        // complete joins, so a hit is always non-degraded.
         let mut group: Vec<Pending> = if group.len() == 1 {
             group
         } else {
@@ -293,7 +437,10 @@ fn join_worker(index: &BlockingIndex, stop: &AtomicBool, counters: &Counters, ba
                 .filter_map(
                     |pending| match index.cached_knn_join(&pending.queries, pending.k) {
                         Some(hit) => {
-                            let _ = pending.reply.send(hit);
+                            let _ = pending.reply.send(JoinReply::Done {
+                                pairs: hit,
+                                degraded: false,
+                            });
                             None
                         }
                         None => Some(pending),
@@ -302,11 +449,23 @@ fn join_worker(index: &BlockingIndex, stop: &AtomicBool, counters: &Counters, ba
                 .collect()
         };
         match group.len() {
-            0 => {} // every request hit the cache
+            0 => {} // every request hit the cache (or expired)
             1 => {
                 let pending = group.pop().expect("length checked");
-                let pairs = index.knn_join(&pending.queries, pending.k);
-                let _ = pending.reply.send(pairs);
+                match run_join(index, &pending.queries, pending.k) {
+                    Ok(outcome) => {
+                        if outcome.degraded {
+                            counters.degraded_joins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = pending.reply.send(JoinReply::Done {
+                            pairs: outcome.pairs,
+                            degraded: outcome.degraded,
+                        });
+                    }
+                    Err(message) => {
+                        let _ = pending.reply.send(JoinReply::Failed(message));
+                    }
+                }
             }
             _ => {
                 counters.batched_joins.fetch_add(1, Ordering::Relaxed);
@@ -319,7 +478,19 @@ fn join_worker(index: &BlockingIndex, stop: &AtomicBool, counters: &Counters, ba
                 }
                 offsets.push(merged.len());
                 let k = group[0].k;
-                let pairs = index.knn_join(&merged, k);
+                let outcome = match run_join(index, &merged, k) {
+                    Ok(outcome) => outcome,
+                    Err(message) => {
+                        for pending in group {
+                            let _ = pending.reply.send(JoinReply::Failed(message.clone()));
+                        }
+                        continue;
+                    }
+                };
+                if outcome.degraded {
+                    counters.degraded_joins.fetch_add(1, Ordering::Relaxed);
+                }
+                let pairs = outcome.pairs;
                 // `knn_join` output is ordered by query index, so one forward walk
                 // splits it; subtracting the offset restores request-local indices.
                 let mut cursor = 0;
@@ -333,9 +504,15 @@ fn join_worker(index: &BlockingIndex, stop: &AtomicBool, counters: &Counters, ba
                     }
                     // Cache the split under ITS OWN fingerprint: clients repeat their
                     // individual batches, not whatever combination this merge was, so
-                    // the merged-batch entry alone would never serve them.
-                    index.cache_join_result(&pending.queries, k, own.clone());
-                    let _ = pending.reply.send(own);
+                    // the merged-batch entry alone would never serve them. Degraded
+                    // splits are never cached — a cache entry must stay exact.
+                    if !outcome.degraded {
+                        index.cache_join_result(&pending.queries, k, own.clone());
+                    }
+                    let _ = pending.reply.send(JoinReply::Done {
+                        pairs: own,
+                        degraded: outcome.degraded,
+                    });
                 }
             }
         }
@@ -379,6 +556,12 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::R
 /// cannot block the handler past shutdown. Progress is tracked byte-exactly, so a
 /// timeout mid-frame resumes where it left off instead of tearing the stream.
 fn write_full(stream: &mut TcpStream, buf: &[u8], stop: &AtomicBool) -> io::Result<()> {
+    // Chaos hook: `serve.write.stall` simulates a slow/stuck peer by delaying the
+    // write path. The stall (25 ms) is well under the write-timeout poll, so it
+    // exercises latency and interleaving without tearing any frame.
+    if faults::fires("serve.write.stall") {
+        std::thread::sleep(Duration::from_millis(25));
+    }
     let mut sent = 0;
     while sent < buf.len() {
         match stream.write(&buf[sent..]) {
@@ -437,7 +620,13 @@ fn handle_connection(
             return Err(io::ErrorKind::UnexpectedEof.into());
         }
         counters.served_requests.fetch_add(1, Ordering::Relaxed);
-        let response = dispatch(&payload, index, counters, batcher);
+        // A panic anywhere in decode/dispatch answers an error frame on the same
+        // connection instead of unwinding the handler thread (which would drop the
+        // socket with responses owed on it).
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            dispatch(&payload, index, counters, batcher)
+        }))
+        .unwrap_or_else(|_| encode_error_response("internal error: request handler panicked"));
         write_response(&mut writer, &response, stop)?;
     }
 }
@@ -475,15 +664,27 @@ fn dispatch(
                     ));
                 }
                 let (tx, rx) = mpsc::channel();
-                if !batcher.push(Pending {
+                match batcher.push(Pending {
                     queries,
                     k,
+                    enqueued_at: Instant::now(),
                     reply: tx,
                 }) {
-                    return encode_error_response("server shutting down");
+                    Admission::Queued => {}
+                    Admission::Busy => {
+                        counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        return encode_busy_response();
+                    }
+                    Admission::Stopped => {
+                        return encode_error_response("server shutting down");
+                    }
                 }
                 match rx.recv() {
-                    Ok(pairs) => encode_knn_response(&pairs),
+                    Ok(JoinReply::Done { pairs, degraded }) => {
+                        encode_knn_response(&pairs, degraded)
+                    }
+                    Ok(JoinReply::Expired) => encode_busy_response(),
+                    Ok(JoinReply::Failed(message)) => encode_error_response(&message),
                     Err(_) => encode_error_response("server shutting down"),
                 }
             }
