@@ -148,6 +148,24 @@ struct LoadShedRow {
     answered_queries_per_sec: f64,
 }
 
+/// The distributed scatter-gather measurement: a coordinator fanning one query batch
+/// out across a replicated serving cluster (`sudowoodo-coord`) and merging per-replica
+/// top-k, verified bit-identical to the single-server answer before timing. Recorded
+/// for trend-watching only — scatter-gather pays per-process round trips that depend
+/// on runner scheduling, so this row is intentionally NOT in [`SPEEDUP_FLOORS`] and
+/// never gates (it must not flip `any_regression` while the baseline is established).
+#[derive(Clone, Debug, Serialize)]
+struct ScatterGatherRow {
+    case: String,
+    processes: usize,
+    replication: usize,
+    virtual_nodes: usize,
+    shards: usize,
+    seconds: f64,
+    queries: usize,
+    queries_per_sec: f64,
+}
+
 /// The full machine-readable perf report (`target/experiments/BENCH_perf.json`).
 #[derive(Clone, Debug, Serialize)]
 struct PerfReport {
@@ -155,6 +173,7 @@ struct PerfReport {
     gate: Vec<GateRow>,
     any_regression: bool,
     serve_load_shed: LoadShedRow,
+    scatter_gather: ScatterGatherRow,
 }
 
 fn build_gate(rows: &[SpeedupRow]) -> (Vec<GateRow>, bool) {
@@ -706,6 +725,72 @@ fn serve_load_shed_row() -> LoadShedRow {
     }
 }
 
+/// Measures distributed scatter-gather throughput: a [`sudowoodo_coord::Coordinator`]
+/// over an in-process [`sudowoodo_coord::LocalCluster`], shaped by `SUDOWOODO_CLUSTER`
+/// (`processes[xreplication[xvirtual_nodes]]`, default `3x2x64`). The distributed
+/// answer is asserted bit-identical to the direct join before anything is timed.
+fn scatter_gather_row() -> ScatterGatherRow {
+    use std::sync::Arc;
+    use sudowoodo_coord::{Coordinator, CoordinatorConfig, LocalCluster};
+    use sudowoodo_core::ClusterSpec;
+    use sudowoodo_index::BlockingIndex;
+
+    let spec = match std::env::var("SUDOWOODO_CLUSTER") {
+        Ok(raw) => ClusterSpec::parse(&raw).expect("SUDOWOODO_CLUSTER"),
+        Err(_) => ClusterSpec::default(),
+    };
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let dim = 32;
+    let k = 10;
+    let corpus: Vec<Vec<f32>> = (0..10_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..2_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+
+    let index = Arc::new(BlockingIndex::build(corpus, Some(1024)));
+    let expected = index.knn_join(&queries, k);
+    let cluster = LocalCluster::spawn(Arc::clone(&index), spec.processes).expect("spawn cluster");
+    let mut coord = Coordinator::connect(
+        &cluster.endpoints(),
+        CoordinatorConfig {
+            replication: spec.replication,
+            virtual_nodes: spec.virtual_nodes,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("connect coordinator");
+    assert_eq!(
+        coord.knn_join(&queries, k).expect("scatter-gather join"),
+        expected,
+        "scatter-gather join diverged from the direct join"
+    );
+
+    let seconds = time(3, || {
+        coord.knn_join(&queries, k).expect("scatter-gather join")
+    });
+    ScatterGatherRow {
+        case: format!(
+            "scatter_gather knn_join 2k queries x 10k corpus (d={dim}, k={k}) over \
+             {} processes, R={}, vnodes={}",
+            spec.processes, spec.replication, spec.virtual_nodes
+        ),
+        processes: spec.processes,
+        replication: spec.replication,
+        virtual_nodes: spec.virtual_nodes,
+        shards: coord.num_shards(),
+        seconds,
+        queries: queries.len(),
+        queries_per_sec: if seconds > 0.0 {
+            queries.len() as f64 / seconds
+        } else {
+            0.0
+        },
+    }
+}
+
 fn main() {
     let mut rows = Vec::new();
     matmul_rows(&mut rows);
@@ -721,6 +806,15 @@ fn main() {
         serve_load_shed.attempts,
         serve_load_shed.shed_rate * 100.0,
         serve_load_shed.answered_queries_per_sec
+    );
+    let scatter_gather = scatter_gather_row();
+    println!(
+        "scatter-gather: {} shards over {} processes (R={}): {:.0} queries/sec \
+         (ungated; trend only)",
+        scatter_gather.shards,
+        scatter_gather.processes,
+        scatter_gather.replication,
+        scatter_gather.queries_per_sec
     );
 
     let printable: Vec<Vec<String>> = rows
@@ -784,6 +878,7 @@ fn main() {
             gate,
             any_regression,
             serve_load_shed,
+            scatter_gather,
         },
     );
     if any_regression {

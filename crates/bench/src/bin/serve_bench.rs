@@ -26,6 +26,8 @@ use serde::Serialize;
 
 use sudowoodo_bench::harness::print_table;
 use sudowoodo_bench::ResultWriter;
+use sudowoodo_coord::{Coordinator, CoordinatorConfig, LocalCluster};
+use sudowoodo_core::ClusterSpec;
 use sudowoodo_index::{BlockingIndex, ShardedCosineIndex};
 use sudowoodo_serve::{ClientConfig, RetryPolicy, ServeClient, Server, ServerConfig};
 
@@ -66,6 +68,17 @@ struct ServeReport {
     /// dependent by construction).
     load_shed_batches: usize,
     load_shed_attempts: usize,
+    /// Shape of the scatter-gather stage (`SUDOWOODO_CLUSTER` or the default
+    /// `3x2x64`): processes, replication, virtual nodes. Its QPS row rides in
+    /// `rows` and is never gated against `target_qps`.
+    cluster: ClusterShape,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct ClusterShape {
+    processes: usize,
+    replication: usize,
+    virtual_nodes: usize,
 }
 
 fn main() {
@@ -235,6 +248,47 @@ fn main() {
         answered * shed_batch,
     ));
 
+    // 6. Scatter-gather over a replicated cluster: every process cold-loads the
+    // same snapshot, a coordinator places shards on the consistent-hash ring and
+    // merges per-replica top-k. The distributed answer is checked bit-identical to
+    // the built index before timing; the QPS row is recorded ungated.
+    let spec = match std::env::var("SUDOWOODO_CLUSTER") {
+        Ok(raw) => ClusterSpec::parse(&raw).expect("SUDOWOODO_CLUSTER"),
+        Err(_) => ClusterSpec::default(),
+    };
+    let scattered = BlockingIndex::load_snapshot(&dir).expect("load snapshot");
+    let cluster = LocalCluster::spawn(Arc::new(scattered), spec.processes).expect("spawn cluster");
+    let mut coord = Coordinator::connect(
+        &cluster.endpoints(),
+        CoordinatorConfig {
+            replication: spec.replication,
+            virtual_nodes: spec.virtual_nodes,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("connect coordinator");
+    assert_eq!(
+        coord.knn_join(&queries, k).expect("scatter-gather batch"),
+        built.knn_join(&queries, k),
+        "scatter-gather results diverged from the built index"
+    );
+    let scatter_reps = 10;
+    let scatter_start = Instant::now();
+    for _ in 0..scatter_reps {
+        let pairs = coord.knn_join(&queries, k).expect("scatter-gather batch");
+        std::hint::black_box(&pairs);
+    }
+    rows.push(ServeRow::new(
+        format!(
+            "scatter-gather batches x{scatter_reps} ({} processes, R={}, vnodes={})",
+            spec.processes, spec.replication, spec.virtual_nodes
+        ),
+        scatter_start.elapsed().as_secs_f64(),
+        scatter_reps * queries.len(),
+    ));
+    drop(coord);
+    drop(cluster);
+
     let _ = std::fs::remove_dir_all(&dir);
 
     let printable: Vec<Vec<String>> = rows
@@ -281,6 +335,11 @@ fn main() {
             target_met,
             load_shed_batches,
             load_shed_attempts,
+            cluster: ClusterShape {
+                processes: spec.processes,
+                replication: spec.replication,
+                virtual_nodes: spec.virtual_nodes,
+            },
         },
     );
 }

@@ -1,0 +1,319 @@
+//! The scatter-gather coordinator: one logical `knn_join` over many serve processes.
+//!
+//! ## How a distributed join works
+//!
+//! The unit of placement is the **shard position** of the published snapshot —
+//! every serve process cold-loads the *same* immutable snapshot (shard order is
+//! part of the format), so "shard 7" means the same rows on every endpoint. The
+//! coordinator:
+//!
+//! 1. builds the [`crate::ring::HashRing`] over the cluster's endpoints and
+//!    derives each shard's ordered replica list (primary first),
+//! 2. **scatters** the whole query batch to each primary as one `KNN_SUBSET`
+//!    frame carrying that primary's owned shard positions,
+//! 3. **gathers** the per-subset top-k answers and merges them through
+//!    [`sudowoodo_index::TopK`] — the *same* bounded-heap selector (same total
+//!    order: score descending, id ascending) the in-process join uses.
+//!
+//! Because the subsets partition the shard set and top-k selection is
+//! order-independent, the merged answer is **bit-identical** (ids *and* scores)
+//! to a single-process [`sudowoodo_index::BlockingIndex::knn_join`] over the same
+//! snapshot — pinned end-to-end by `tests/distributed_equivalence.rs` at the
+//! workspace root.
+//!
+//! ## Failover, and what "degraded" means here
+//!
+//! Any endpoint can fail mid-batch: connection refused, a torn stream, a read
+//! timeout (wedged process), a `BUSY` load-shed, or a server-side quarantine of a
+//! shard's storage. The coordinator retries the affected **shards** — not the
+//! request — on their surviving replicas, in replica order. Only when a shard is
+//! exhausted (every replica failed or reported the shard uncoverable) does the
+//! join degrade: the outcome is still returned, with `degraded = true` and the
+//! missing shard positions listed in
+//! [`sudowoodo_index::JoinOutcome::quarantined_shards`] — explicitly flagged,
+//! never silently wrong. The coordinator holds **no cache**, so a degraded answer
+//! can never be replayed as if it were complete; a later call re-probes every
+//! failed endpoint from scratch.
+//!
+//! Server *rejections* (dimension mismatch, shard position out of range —
+//! surfaced as [`std::io::ErrorKind::InvalidInput`]) are configuration errors
+//! that would fail identically on every replica; they propagate immediately
+//! instead of burning the failover budget.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io;
+
+use sudowoodo_index::{JoinOutcome, TopK};
+use sudowoodo_serve::{ClientConfig, RetryPolicy, ServeClient};
+
+use crate::ring::HashRing;
+
+/// Placement and transport knobs for a [`Coordinator`].
+#[derive(Clone, Copy, Debug)]
+pub struct CoordinatorConfig {
+    /// Replicas per shard (primary + backups). Capped at the endpoint count.
+    pub replication: usize,
+    /// Virtual nodes per endpoint on the placement ring; more smooths the load
+    /// spread at O(endpoints × virtual_nodes) ring-build cost.
+    pub virtual_nodes: usize,
+    /// Per-connection transport knobs. The default zeroes `max_retries`: the
+    /// coordinator's failover (another replica, immediately) beats the client's
+    /// blind retry (same endpoint, after backoff) on every failure it handles.
+    pub client: ClientConfig,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            replication: 2,
+            virtual_nodes: 64,
+            client: ClientConfig {
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    ..RetryPolicy::default()
+                },
+                ..ClientConfig::default()
+            },
+        }
+    }
+}
+
+/// A connected scatter-gather front end over one snapshot-serving cluster.
+///
+/// See the [module docs](self) for the join and failover semantics, and the crate
+/// docs for an end-to-end example.
+pub struct Coordinator {
+    endpoints: Vec<String>,
+    /// `placement[shard]` = ordered replica endpoint indices, primary first.
+    placement: Vec<Vec<usize>>,
+    /// Lazily (re)dialed connections, index-aligned with `endpoints`. `None` after
+    /// a transport failure so the next use re-dials instead of reusing a torn
+    /// stream.
+    clients: Vec<Option<ServeClient>>,
+    config: CoordinatorConfig,
+    num_shards: usize,
+    len: usize,
+    dim: usize,
+}
+
+impl Coordinator {
+    /// Connects to every endpoint, verifies they all serve the **same snapshot
+    /// geometry** (corpus length, dimension, shard count — disagreement means the
+    /// cluster is mid-rollout and scatter-gather would merge answers from
+    /// different corpora), and computes the shard placement.
+    ///
+    /// # Errors
+    /// Any endpoint unreachable at connect time, or a geometry disagreement
+    /// (as [`std::io::ErrorKind::InvalidData`]). Connecting is strict so that
+    /// placement starts from a fully-agreeing cluster; individual endpoints are
+    /// allowed to die *later* — that is what failover is for.
+    pub fn connect(endpoints: &[String], config: CoordinatorConfig) -> io::Result<Coordinator> {
+        if endpoints.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a coordinator needs at least one endpoint",
+            ));
+        }
+        if config.replication == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication must be at least 1",
+            ));
+        }
+        let mut clients = Vec::with_capacity(endpoints.len());
+        let mut geometry: Option<(usize, usize, usize)> = None;
+        for endpoint in endpoints {
+            let mut client = ServeClient::connect_with_config(endpoint, config.client)?;
+            let stats = client.stats()?;
+            let this = (
+                stats.len as usize,
+                stats.dim as usize,
+                stats.num_shards as usize,
+            );
+            match geometry {
+                None => geometry = Some(this),
+                Some(reference) if reference != this => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "endpoint {endpoint} serves (len, dim, shards) = {this:?} but \
+                             {:?} serves {reference:?}; all endpoints must load the same \
+                             snapshot before a coordinator can place shards",
+                            endpoints[0]
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+            clients.push(Some(client));
+        }
+        let (len, dim, num_shards) = geometry.expect("endpoints is non-empty");
+        let ring = HashRing::new(endpoints, config.virtual_nodes.max(1));
+        let placement = (0..num_shards)
+            .map(|shard| ring.replicas(shard, config.replication))
+            .collect();
+        Ok(Coordinator {
+            endpoints: endpoints.to_vec(),
+            placement,
+            clients,
+            config,
+            num_shards,
+            len,
+            dim,
+        })
+    }
+
+    /// The cluster's endpoints, in the order given to [`Coordinator::connect`].
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// `placement()[shard]` is the shard's ordered replica list (endpoint indices,
+    /// primary first) — exposed for tests and operational introspection.
+    pub fn placement(&self) -> &[Vec<usize>] {
+        &self.placement
+    }
+
+    /// Shards in the served snapshot.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Rows in the served snapshot.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the served snapshot holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimension of the served snapshot's vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The distributed form of [`sudowoodo_index::BlockingIndex::knn_join`]:
+    /// scatter, gather, merge. Returns the `(query_index, stable_id, score)` pairs
+    /// in the same order as every other join in the workspace (query index, then
+    /// score descending, id ascending).
+    ///
+    /// # Errors
+    /// Only configuration-class failures (see the module docs); shard loss is not
+    /// an error — call [`Coordinator::knn_join_report`] to observe coverage.
+    pub fn knn_join(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> io::Result<Vec<(usize, usize, f32)>> {
+        self.knn_join_report(queries, k).map(|o| o.pairs)
+    }
+
+    /// [`Coordinator::knn_join`] plus explicit coverage: the returned
+    /// [`JoinOutcome`] flags `degraded` and lists the shard positions no replica
+    /// could serve. The coordinator never caches, so degraded answers are never
+    /// replayed.
+    pub fn knn_join_report(&mut self, queries: &[Vec<f32>], k: usize) -> io::Result<JoinOutcome> {
+        let dim = queries.first().map_or(0, Vec::len);
+        if let Some(bad) = queries.iter().position(|q| q.len() != dim) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "query {bad} has dimension {}, expected {dim} (the batch must be \
+                     rectangular)",
+                    queries[bad].len()
+                ),
+            ));
+        }
+        if queries.is_empty() || k == 0 || self.num_shards == 0 {
+            return Ok(JoinOutcome::default());
+        }
+
+        let mut selectors: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+        // Failover state: each shard walks its replica list; an endpoint that fails
+        // transport-wise is dead for the rest of THIS call (later calls re-probe).
+        let mut attempt = vec![0usize; self.num_shards];
+        let mut pending: Vec<usize> = (0..self.num_shards).collect();
+        let mut dead: HashSet<usize> = HashSet::new();
+        let mut lost: Vec<usize> = Vec::new();
+
+        while !pending.is_empty() {
+            // Group the pending shards by the next live replica each would try.
+            // BTreeMap keeps the endpoint order deterministic run to run.
+            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for shard in pending.drain(..) {
+                let replicas = &self.placement[shard];
+                while attempt[shard] < replicas.len() && dead.contains(&replicas[attempt[shard]]) {
+                    attempt[shard] += 1;
+                }
+                match replicas.get(attempt[shard]) {
+                    Some(&endpoint) => groups.entry(endpoint).or_default().push(shard),
+                    None => lost.push(shard), // every replica exhausted
+                }
+            }
+            for (endpoint, shards) in groups {
+                match self.subset_join_on(endpoint, queries, k, &shards) {
+                    Ok((pairs, uncovered)) => {
+                        for (q, id, score) in pairs {
+                            selectors[q].offer(id, score);
+                        }
+                        // Shards this replica quarantined may be healthy elsewhere
+                        // (quarantine is per-process): fail them over too.
+                        for shard in uncovered {
+                            attempt[shard] += 1;
+                            pending.push(shard);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+                    Err(_) => {
+                        // Transport failure, timeout, or BUSY: the endpoint is out
+                        // of this call; its shards retry on surviving replicas.
+                        dead.insert(endpoint);
+                        pending.extend(shards);
+                    }
+                }
+            }
+        }
+
+        let mut pairs = Vec::new();
+        for (q, selector) in selectors.into_iter().enumerate() {
+            for hit in selector.into_sorted() {
+                pairs.push((q, hit.id, hit.score));
+            }
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        Ok(JoinOutcome {
+            pairs,
+            degraded: !lost.is_empty(),
+            quarantined_shards: lost,
+        })
+    }
+
+    /// One subset join against one endpoint, lazily (re)dialing its connection.
+    /// Any transport error drops the connection so the next use starts clean (a
+    /// timed-out stream may still carry the stale response).
+    fn subset_join_on(
+        &mut self,
+        endpoint: usize,
+        queries: &[Vec<f32>],
+        k: usize,
+        shards: &[usize],
+    ) -> io::Result<sudowoodo_serve::protocol::SubsetAnswer> {
+        if self.clients[endpoint].is_none() {
+            self.clients[endpoint] = Some(ServeClient::connect_with_config(
+                self.endpoints[endpoint].as_str(),
+                self.config.client,
+            )?);
+        }
+        let client = self.clients[endpoint].as_mut().expect("dialed above");
+        let result = client.knn_join_subset(queries, k, shards);
+        if let Err(e) = &result {
+            if e.kind() != io::ErrorKind::InvalidInput {
+                self.clients[endpoint] = None;
+            }
+        }
+        result
+    }
+}

@@ -1,0 +1,53 @@
+//! # sudowoodo-coord
+//!
+//! Distributed scatter-gather serving for the Sudowoodo blocking index: a
+//! [`Coordinator`] that answers one logical `knn_join` by scattering the query
+//! batch across many serve processes and merging their per-shard-subset answers —
+//! **bit-identically** to a single-process join over the same snapshot.
+//!
+//! Three pieces, each documented in depth in its module:
+//!
+//! * [`ring`] — consistent-hash placement with virtual nodes: every shard position
+//!   of the published snapshot maps to `R` distinct endpoints (primary + backups),
+//!   balanced across the cluster, with ~1/N of the placement moving on a
+//!   membership change. Property-tested in `tests/ring_props.rs`.
+//! * [`coordinator`] — the scatter/gather/merge engine with **replica failover**:
+//!   a dead, wedged, or load-shedding endpoint costs nothing but a retry against
+//!   the shard's surviving replicas; only a shard with *no* live replica degrades
+//!   the answer, and degradation is always explicit
+//!   ([`sudowoodo_index::JoinOutcome`]) and never cached.
+//! * [`local`] — [`LocalCluster`], an in-process loopback cluster for tests and
+//!   benches.
+//!
+//! Everything is `std`-only, like the rest of the workspace.
+//!
+//! ## Example: two replicas, one logical join
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sudowoodo_coord::{Coordinator, CoordinatorConfig, LocalCluster};
+//! use sudowoodo_index::BlockingIndex;
+//!
+//! let corpus = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8], vec![0.8, 0.6]];
+//! let index = Arc::new(BlockingIndex::build(corpus.clone(), Some(2)));
+//!
+//! // Reference: the single-process join.
+//! let queries = vec![vec![0.9, 0.1], vec![0.1, 0.9]];
+//! let expected = index.knn_join(&queries, 2);
+//!
+//! // Two servers, one coordinator, same answer — ids AND scores.
+//! let cluster = LocalCluster::spawn(Arc::clone(&index), 2).unwrap();
+//! let mut coord = Coordinator::connect(&cluster.endpoints(), CoordinatorConfig::default())
+//!     .unwrap();
+//! assert_eq!(coord.knn_join(&queries, 2).unwrap(), expected);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod coordinator;
+pub mod local;
+pub mod ring;
+
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use local::LocalCluster;
+pub use ring::HashRing;

@@ -1,0 +1,75 @@
+//! An in-process cluster for tests and benches.
+//!
+//! [`LocalCluster`] spawns `n` [`sudowoodo_serve::Server`]s on loopback ports, all
+//! serving one shared index, and hands back their endpoints — the cheapest way to
+//! exercise the scatter/gather/failover machinery without managing child
+//! processes. It is **not** the production shape: the servers share one
+//! [`BlockingIndex`] (one quarantine state, one residency budget), whereas real
+//! replicas are separate processes that each cold-load the published snapshot.
+//! The distributed test tier (`tests/distributed_equivalence.rs`) covers the real
+//! shape with child processes; benches and unit tests use this.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use sudowoodo_index::BlockingIndex;
+use sudowoodo_serve::{Server, ServerConfig};
+
+/// A handful of loopback servers over one shared index. Dropping the cluster
+/// shuts every server down.
+pub struct LocalCluster {
+    servers: Vec<Server>,
+}
+
+impl LocalCluster {
+    /// Spawns `n` servers (OS-assigned ports) sharing `index`.
+    pub fn spawn(index: Arc<BlockingIndex>, n: usize) -> io::Result<LocalCluster> {
+        Self::spawn_with_config(index, n, ServerConfig::default())
+    }
+
+    /// [`LocalCluster::spawn`] with explicit per-server robustness knobs.
+    pub fn spawn_with_config(
+        index: Arc<BlockingIndex>,
+        n: usize,
+        config: ServerConfig,
+    ) -> io::Result<LocalCluster> {
+        assert!(n > 0, "a cluster needs at least one server");
+        let mut servers = Vec::with_capacity(n);
+        for _ in 0..n {
+            servers.push(Server::spawn_with_config(
+                Arc::clone(&index),
+                "127.0.0.1:0",
+                config,
+            )?);
+        }
+        Ok(LocalCluster { servers })
+    }
+
+    /// The servers' addresses in spawn order — feed to
+    /// [`crate::Coordinator::connect`] as `addr.to_string()`s.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(Server::addr).collect()
+    }
+
+    /// [`LocalCluster::addrs`] as the endpoint strings a coordinator takes.
+    pub fn endpoints(&self) -> Vec<String> {
+        self.servers.iter().map(|s| s.addr().to_string()).collect()
+    }
+
+    /// Shuts down and removes the `i`-th server (panics if out of range) —
+    /// chaos-test helper for "a replica died".
+    pub fn kill(&mut self, i: usize) {
+        self.servers.remove(i).shutdown();
+    }
+
+    /// Number of servers still running.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` when every server has been killed.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+}

@@ -1,0 +1,190 @@
+//! Consistent-hash placement of snapshot shards onto serve endpoints.
+//!
+//! A [`HashRing`] maps every shard position of a published snapshot to an ordered
+//! list of `R` **distinct** endpoints (the shard's replicas, primary first). The
+//! ring is the classic consistent-hashing construction with virtual nodes:
+//!
+//! * Each endpoint contributes `virtual_nodes` points on a `u64` circle, at
+//!   `hash("{endpoint}#{vnode}")`. More virtual nodes smooth the load spread
+//!   (each endpoint's arc becomes many small arcs scattered around the circle).
+//! * A shard hashes to one point; its replicas are the first `R` **distinct**
+//!   endpoints encountered walking clockwise from that point.
+//!
+//! Two properties carry the whole distributed-serving design and are pinned by
+//! `tests/ring_props.rs`:
+//!
+//! * **Balance** — with enough virtual nodes, primary ownership spreads across
+//!   endpoints within a small constant factor of perfect balance.
+//! * **Minimal movement** — removing an endpoint only re-places the shards it
+//!   served (every other shard's replica list is byte-identical), and adding an
+//!   endpoint only pulls shards *onto* the new endpoint (a changed primary is
+//!   always the new endpoint). Cluster membership changes therefore invalidate
+//!   the placement of `~1/N` of the shards, not all of them.
+//!
+//! The hash is FNV-1a finished through a splitmix64 mix — deterministic across
+//! processes and platforms (placement is computed independently by every
+//! coordinator; they must all agree), with no dependency on `std`'s randomized
+//! `Hasher`.
+
+/// FNV-1a over `bytes`: cheap, deterministic, endian-independent.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: breaks up FNV's weak avalanche on short keys so ring
+/// positions of `addr#0`, `addr#1`, … scatter instead of clustering.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Ring position of one named point (an endpoint's virtual node).
+fn point_position(endpoint: &str, vnode: usize) -> u64 {
+    mix(fnv1a(format!("{endpoint}#{vnode}").as_bytes()))
+}
+
+/// Ring position a shard hashes to.
+fn shard_position(shard: usize) -> u64 {
+    mix(fnv1a(&(shard as u64).to_le_bytes()))
+}
+
+/// A consistent-hash ring over serve endpoints. See the module docs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(position, endpoint index)` sorted by position (endpoint index breaks the
+    /// astronomically unlikely position tie, keeping construction deterministic).
+    points: Vec<(u64, usize)>,
+    endpoints: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring where each of `endpoints` owns `virtual_nodes` points.
+    ///
+    /// # Panics
+    /// On an empty endpoint list, `virtual_nodes == 0`, or duplicate endpoints
+    /// (two names hashing the same arcs would silently halve effective
+    /// replication — a misconfiguration, not a tolerable state).
+    pub fn new(endpoints: &[String], virtual_nodes: usize) -> HashRing {
+        assert!(
+            !endpoints.is_empty(),
+            "a hash ring needs at least one endpoint"
+        );
+        assert!(
+            virtual_nodes > 0,
+            "a hash ring needs at least one virtual node"
+        );
+        for (i, e) in endpoints.iter().enumerate() {
+            assert!(
+                !endpoints[..i].contains(e),
+                "duplicate endpoint {e:?} in ring membership"
+            );
+        }
+        let mut points = Vec::with_capacity(endpoints.len() * virtual_nodes);
+        for (idx, endpoint) in endpoints.iter().enumerate() {
+            for vnode in 0..virtual_nodes {
+                points.push((point_position(endpoint, vnode), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            endpoints: endpoints.to_vec(),
+        }
+    }
+
+    /// The endpoints this ring was built over, in construction order.
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// The ordered replica set for `shard`: the first `min(r, endpoints)` distinct
+    /// endpoints (as indices into [`HashRing::endpoints`]) walking clockwise from
+    /// the shard's ring position. Index 0 is the shard's **primary**.
+    pub fn replicas(&self, shard: usize, r: usize) -> Vec<usize> {
+        let want = r.min(self.endpoints.len());
+        let mut out = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        let target = shard_position(shard);
+        let start = self.points.partition_point(|&(pos, _)| pos < target);
+        for step in 0..self.points.len() {
+            let (_, idx) = self.points[(start + step) % self.points.len()];
+            if !out.contains(&idx) {
+                out.push(idx);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// [`HashRing::replicas`] resolved to endpoint names.
+    pub fn replica_endpoints(&self, shard: usize, r: usize) -> Vec<&str> {
+        self.replicas(shard, r)
+            .into_iter()
+            .map(|i| self.endpoints[i].as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_primary_first() {
+        let ring = HashRing::new(&names(4), 32);
+        for shard in 0..64 {
+            let reps = ring.replicas(shard, 3);
+            assert_eq!(reps.len(), 3);
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct: {reps:?}");
+            assert_eq!(
+                ring.replicas(shard, 1)[0],
+                reps[0],
+                "primary is prefix-stable"
+            );
+        }
+    }
+
+    #[test]
+    fn asking_for_more_replicas_than_endpoints_returns_them_all() {
+        let ring = HashRing::new(&names(2), 16);
+        for shard in 0..16 {
+            let reps = ring.replicas(shard, 5);
+            assert_eq!(reps.len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate endpoint")]
+    fn duplicate_endpoints_are_rejected() {
+        let mut eps = names(2);
+        eps.push(eps[0].clone());
+        HashRing::new(&eps, 8);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = HashRing::new(&names(5), 64);
+        let b = HashRing::new(&names(5), 64);
+        for shard in 0..256 {
+            assert_eq!(a.replicas(shard, 2), b.replicas(shard, 2));
+        }
+    }
+}

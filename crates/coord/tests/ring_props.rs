@@ -1,0 +1,173 @@
+//! Property tests for the consistent-hash placement ring.
+//!
+//! These pin the two ring properties the distributed design leans on — balance
+//! and minimal movement — plus the replica-set invariants failover assumes
+//! (distinctness, primary-first prefix stability). Inputs sweep endpoint counts,
+//! replication factors, and shard universes; everything is deterministic, so a
+//! failure here reproduces exactly.
+
+use sudowoodo_coord::HashRing;
+
+fn endpoints(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{}:7000", i + 1)).collect()
+}
+
+/// Every shard gets exactly `min(R, N)` replicas, all distinct, across a sweep of
+/// cluster sizes and replication factors.
+#[test]
+fn every_shard_gets_exactly_r_distinct_endpoints() {
+    for n in [1usize, 2, 3, 5, 8] {
+        let ring = HashRing::new(&endpoints(n), 64);
+        for r in [1usize, 2, 3, 6] {
+            let want = r.min(n);
+            for shard in 0..200 {
+                let reps = ring.replicas(shard, r);
+                assert_eq!(reps.len(), want, "n={n} r={r} shard={shard}: got {reps:?}");
+                let mut dedup = reps.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(
+                    dedup.len(),
+                    want,
+                    "n={n} r={r} shard={shard}: duplicates in {reps:?}"
+                );
+                assert!(
+                    reps.iter().all(|&e| e < n),
+                    "n={n} r={r} shard={shard}: endpoint index out of range in {reps:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The replica list is prefix-stable in `R`: asking for more replicas never
+/// changes who the earlier ones are (so a coordinator raising replication does
+/// not reshuffle primaries).
+#[test]
+fn replica_lists_are_prefix_stable_in_r() {
+    let ring = HashRing::new(&endpoints(6), 64);
+    for shard in 0..300 {
+        let four = ring.replicas(shard, 4);
+        for r in 1..4 {
+            assert_eq!(ring.replicas(shard, r), four[..r], "shard={shard} r={r}");
+        }
+    }
+}
+
+/// Primary ownership is balanced: over many shards, no endpoint owns more than a
+/// small constant multiple of its fair share, and none starves. Swept across
+/// several seeds-worth of shard universes (disjoint shard ranges behave like
+/// fresh draws because the shard hash is a bijective mix).
+#[test]
+fn primary_load_is_balanced_within_a_constant_factor() {
+    let n = 8;
+    let ring = HashRing::new(&endpoints(n), 128);
+    for universe in 0u32..4 {
+        let shards = 10_000usize;
+        let base = universe as usize * shards;
+        let mut owned = vec![0usize; n];
+        for shard in base..base + shards {
+            owned[ring.replicas(shard, 1)[0]] += 1;
+        }
+        let fair = shards / n;
+        let (min, max) = (*owned.iter().min().unwrap(), *owned.iter().max().unwrap());
+        assert!(
+            max <= fair * 2 && min >= fair / 2,
+            "universe {universe}: ownership {owned:?} outside [fair/2, 2*fair] around fair={fair}"
+        );
+    }
+}
+
+/// Removing one endpoint re-places ONLY the shards that listed it: every other
+/// shard's replica list is byte-identical, and an affected shard keeps its
+/// surviving replicas in order with exactly one new endpoint appended.
+#[test]
+fn removing_an_endpoint_moves_only_its_own_shards() {
+    let n = 6;
+    let r = 3;
+    let before = HashRing::new(&endpoints(n), 64);
+    let removed = 2usize; // kill "10.0.0.3:7000"
+    let survivors: Vec<String> = endpoints(n)
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| i != removed)
+        .map(|(_, e)| e)
+        .collect();
+    let after = HashRing::new(&survivors, 64);
+
+    let mut affected = 0usize;
+    let shards = 4_000usize;
+    for shard in 0..shards {
+        let old: Vec<&str> = before.replica_endpoints(shard, r);
+        let new: Vec<&str> = after.replica_endpoints(shard, r);
+        if old.iter().all(|&e| e != before.endpoints()[removed]) {
+            assert_eq!(old, new, "shard {shard} never listed the removed endpoint");
+        } else {
+            affected += 1;
+            let kept: Vec<&str> = old
+                .iter()
+                .copied()
+                .filter(|&e| e != before.endpoints()[removed])
+                .collect();
+            assert_eq!(
+                &new[..kept.len()],
+                &kept[..],
+                "shard {shard}: surviving replicas must keep their order ({old:?} -> {new:?})"
+            );
+            assert_eq!(new.len(), r, "shard {shard}: replication must be restored");
+            assert!(
+                !kept.contains(&new[r - 1]),
+                "shard {shard}: the appended replica must be new ({old:?} -> {new:?})"
+            );
+        }
+    }
+    // With R=3 of N=6, ~R/N of shards list any given endpoint; allow slack but
+    // insist the movement is a fraction, not the whole placement.
+    let expected = shards * r / n;
+    assert!(
+        affected >= expected / 2 && affected <= expected * 2,
+        "affected={affected}, expected around {expected}"
+    );
+}
+
+/// Adding an endpoint only pulls shards ONTO the new endpoint: any shard whose
+/// primary changed must now be owned by the newcomer, and the number of moved
+/// primaries is about `shards/N` — consistent hashing's reason to exist.
+#[test]
+fn adding_an_endpoint_only_steals_primaries_for_itself() {
+    let n = 7; // after addition
+    let before = HashRing::new(&endpoints(n - 1), 64);
+    let after = HashRing::new(&endpoints(n), 64);
+    let newcomer = &endpoints(n)[n - 1];
+
+    let shards = 7_000usize;
+    let mut moved = 0usize;
+    for shard in 0..shards {
+        let old = before.replica_endpoints(shard, 1)[0];
+        let new = after.replica_endpoints(shard, 1)[0];
+        if old != new {
+            moved += 1;
+            assert_eq!(
+                new, newcomer,
+                "shard {shard}: a changed primary must be the new endpoint ({old} -> {new})"
+            );
+        }
+    }
+    let fair = shards / n;
+    assert!(
+        moved >= fair / 2 && moved <= fair * 2,
+        "moved={moved}, expected around {fair} (1/N of the shards)"
+    );
+}
+
+/// Placement is a pure function of (membership, virtual nodes): two rings built
+/// from the same inputs agree on every shard, which is what lets independent
+/// coordinators place shards without talking to each other.
+#[test]
+fn independent_rings_agree_on_placement() {
+    let a = HashRing::new(&endpoints(5), 96);
+    let b = HashRing::new(&endpoints(5), 96);
+    for shard in 0..1_000 {
+        assert_eq!(a.replicas(shard, 2), b.replicas(shard, 2));
+    }
+}

@@ -61,6 +61,70 @@ impl EncoderConfig {
     }
 }
 
+/// Shape of a scatter-gather serving cluster over the published blocking-index
+/// snapshot (the `sudowoodo-coord` crate): how many serve processes to run and how
+/// shards are replicated onto them. Carried on [`SudowoodoConfig::cluster_spec`];
+/// `None` keeps serving single-process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Serve processes in the cluster (each cold-loads the full snapshot).
+    pub processes: usize,
+    /// Replicas per shard (primary + backups) on the placement ring. Capped at
+    /// `processes`; with `2`, any single process loss is invisible to queries.
+    pub replication: usize,
+    /// Virtual nodes per endpoint on the consistent-hash ring (more smooths the
+    /// load spread across processes).
+    pub virtual_nodes: usize,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            processes: 3,
+            replication: 2,
+            virtual_nodes: 64,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Parses a `processes[xreplication[xvirtual_nodes]]` spec, e.g. `"3"`,
+    /// `"3x2"`, `"5x2x128"` — the shape used by benches and CLI flags. Omitted
+    /// fields take the [`ClusterSpec::default`] values.
+    ///
+    /// # Errors
+    /// A descriptive message on malformed input or zero fields.
+    pub fn parse(spec: &str) -> Result<ClusterSpec, String> {
+        let mut out = ClusterSpec::default();
+        let mut parts = spec.split('x');
+        let fields: [&mut usize; 3] = [
+            &mut out.processes,
+            &mut out.replication,
+            &mut out.virtual_nodes,
+        ];
+        for (name, field) in ["processes", "replication", "virtual_nodes"]
+            .into_iter()
+            .zip(fields)
+        {
+            let Some(part) = parts.next() else { break };
+            *field = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("cluster spec {spec:?}: bad {name} field {part:?}"))?;
+            if *field == 0 {
+                return Err(format!("cluster spec {spec:?}: {name} must be at least 1"));
+            }
+        }
+        if parts.next().is_some() {
+            return Err(format!(
+                "cluster spec {spec:?}: expected at most processes x replication x \
+                 virtual_nodes"
+            ));
+        }
+        Ok(out)
+    }
+}
+
 /// The full Sudowoodo configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SudowoodoConfig {
@@ -172,6 +236,11 @@ pub struct SudowoodoConfig {
     /// *degraded* response (quarantined shards skipped server-side) is a success with
     /// an explicit flag, not a retry trigger.
     pub serve_retry_max: u32,
+    /// Shape of a distributed scatter-gather serving cluster (see [`ClusterSpec`] and
+    /// the `sudowoodo-coord` crate): how many serve processes load the published
+    /// snapshot and how many replicas each shard gets on the consistent-hash ring.
+    /// `None` (the default) keeps serving single-process.
+    pub cluster_spec: Option<ClusterSpec>,
 
     /// Random seed controlling every stochastic choice.
     pub seed: u64,
@@ -211,6 +280,7 @@ impl Default for SudowoodoConfig {
             serve_queue_depth: 256,
             serve_deadline_ms: None,
             serve_retry_max: 3,
+            cluster_spec: None,
             seed: 42,
         }
     }
@@ -334,5 +404,39 @@ mod tests {
     #[should_panic(expected = "unknown optimization")]
     fn unknown_ablation_name_panics() {
         let _ = SudowoodoConfig::default().without("bogus");
+    }
+
+    #[test]
+    fn cluster_spec_parses_partial_and_full_forms() {
+        assert_eq!(ClusterSpec::parse("3").unwrap(), ClusterSpec::default());
+        assert_eq!(
+            ClusterSpec::parse("5x1").unwrap(),
+            ClusterSpec {
+                processes: 5,
+                replication: 1,
+                ..ClusterSpec::default()
+            }
+        );
+        assert_eq!(
+            ClusterSpec::parse(" 4 x 2 x 128 ").unwrap(),
+            ClusterSpec {
+                processes: 4,
+                replication: 2,
+                virtual_nodes: 128,
+            }
+        );
+    }
+
+    #[test]
+    fn cluster_spec_rejects_malformed_input() {
+        for bad in ["", "three", "3x", "0x2", "3x0", "3x2x0", "3x2x64x9"] {
+            let err = ClusterSpec::parse(bad).unwrap_err();
+            assert!(err.contains("cluster spec"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn cluster_serving_is_off_by_default() {
+        assert_eq!(SudowoodoConfig::default().cluster_spec, None);
     }
 }

@@ -174,6 +174,51 @@ impl BlockingIndex {
         }
     }
 
+    /// Number of shard positions a scatter-gather coordinator can address: the shard
+    /// count of the sharded layout, `1` for the dense layout (which serves as one
+    /// indivisible "shard 0").
+    pub fn num_shards(&self) -> usize {
+        match self {
+            BlockingIndex::Dense(_) => 1,
+            BlockingIndex::Sharded(index) => index.num_shards(),
+        }
+    }
+
+    /// [`BlockingIndex::knn_join_report`] restricted to a subset of shard positions —
+    /// see [`ShardedCosineIndex::knn_join_subset_report`]. The dense layout is one
+    /// indivisible shard at position `0`: a subset containing `0` answers the full
+    /// join, any other subset answers empty.
+    ///
+    /// # Panics
+    /// Panics when a subset position is `>= num_shards()`.
+    pub fn knn_join_subset_report(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        shard_subset: &[usize],
+    ) -> JoinOutcome {
+        match self {
+            BlockingIndex::Dense(index) => {
+                if let Some(&bad) = shard_subset.iter().find(|&&s| s >= 1) {
+                    panic!(
+                        "BlockingIndex::knn_join_subset_report: shard position {bad} out \
+                         of range (dense layout has 1 shard)"
+                    );
+                }
+                JoinOutcome {
+                    pairs: if shard_subset.is_empty() {
+                        Vec::new()
+                    } else {
+                        index.knn_join(queries, k)
+                    },
+                    degraded: false,
+                    quarantined_shards: Vec::new(),
+                }
+            }
+            BlockingIndex::Sharded(index) => index.knn_join_subset_report(queries, k, shard_subset),
+        }
+    }
+
     /// Pure query-cache peek — see [`ShardedCosineIndex::cached_knn_join`]. Always
     /// `None` on the dense layout (no cache).
     pub fn cached_knn_join(

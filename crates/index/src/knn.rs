@@ -94,15 +94,17 @@ impl Ord for HeapEntry {
 ///
 /// Both the dense [`CosineIndex`] row selection and the sharded per-shard/merge selection
 /// go through this type, so selection semantics cannot drift between the two paths. The
-/// order in which candidates are offered does not affect the result.
-pub(crate) struct TopK {
+/// order in which candidates are offered does not affect the result — which is also why
+/// it is public: a scatter-gather coordinator merging per-replica top-k lists through
+/// this same selector produces results bit-identical to a single-process join.
+pub struct TopK {
     k: usize,
     heap: BinaryHeap<HeapEntry>,
 }
 
 impl TopK {
     /// Creates a selector retaining the best `k` candidates.
-    pub(crate) fn new(k: usize) -> Self {
+    pub fn new(k: usize) -> Self {
         TopK {
             k,
             heap: BinaryHeap::with_capacity(k + 1),
@@ -111,7 +113,7 @@ impl TopK {
 
     /// Offers one candidate. Kept iff it beats the current worst under the total order
     /// (score descending, id ascending); NaN scores never displace an incumbent.
-    pub(crate) fn offer(&mut self, id: usize, score: f32) {
+    pub fn offer(&mut self, id: usize, score: f32) {
         if self.k == 0 {
             return;
         }
@@ -129,7 +131,7 @@ impl TopK {
     /// candidates are held. This is the pruning threshold of the sharded index's
     /// routing layer: a shard whose score upper bound is strictly below this value for
     /// every query cannot change the selection.
-    pub(crate) fn worst_score_when_full(&self) -> Option<f32> {
+    pub fn worst_score_when_full(&self) -> Option<f32> {
         if self.heap.len() == self.k {
             self.heap.peek().map(|e| e.score)
         } else {
@@ -139,7 +141,7 @@ impl TopK {
 
     /// Consumes the selector, returning the survivors sorted by descending score
     /// (ascending id on ties).
-    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
+    pub fn into_sorted(self) -> Vec<Neighbor> {
         let mut hits: Vec<Neighbor> = self
             .heap
             .into_iter()

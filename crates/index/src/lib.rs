@@ -38,6 +38,7 @@
 
 pub mod blocking;
 pub mod cache;
+pub mod delta;
 pub mod knn;
 pub mod routing;
 pub mod sharded;
@@ -46,7 +47,8 @@ pub mod storage;
 
 pub use blocking::BlockingIndex;
 pub use cache::{fingerprint, QueryFingerprint};
-pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor};
+pub use delta::{DeltaSaveReport, DELTA_MANIFEST_FILE};
+pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor, TopK};
 pub use routing::RoutingStats;
 pub use sharded::{JoinOutcome, RemoveError, RoutingReport, ShardedCosineIndex};
 pub use snapshot::MANIFEST_FILE;

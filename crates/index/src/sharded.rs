@@ -640,6 +640,53 @@ impl ShardedCosineIndex {
         snapshot::save_sharded(self, dir)
     }
 
+    /// Publishes this index into `dir` as an **incremental delta** over the snapshot
+    /// in `base_dir` (full or itself a delta — chains compose): only shards whose
+    /// matrix changed since the base get a payload written; unchanged shards are
+    /// recorded as references into the base chain, and tombstone-only changes cost a
+    /// few manifest bytes. See [`crate::delta`] for the format, the epoch-fingerprint
+    /// chain validation, and the crash-consistency story (manifest last, atomic
+    /// rename — a crashed publish leaves the base untouched and loadable).
+    ///
+    /// The natural workflow is load-mutate-publish:
+    /// [`ShardedCosineIndex::load_snapshot`] the current epoch (every shard then
+    /// inherits for free), `add_batch`/`remove`, and publish the delta into a fresh
+    /// sibling directory. [`ShardedCosineIndex::load_snapshot`] on the delta directory
+    /// resolves the chain automatically and is bit-identical to a full snapshot of the
+    /// same index.
+    ///
+    /// # Errors
+    /// Any I/O failure; `InvalidInput` when the target equals the base, already holds
+    /// a full snapshot, or the index geometry (dimension / shard capacity) changed
+    /// against the base; `InvalidData` when the base chain fails validation.
+    ///
+    /// # Examples
+    /// ```
+    /// use sudowoodo_index::ShardedCosineIndex;
+    ///
+    /// let root = std::env::temp_dir().join(format!("swdelta-doc-{}", std::process::id()));
+    /// let base = root.join("epoch-0");
+    /// let delta = root.join("epoch-1");
+    /// let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.8]];
+    /// ShardedCosineIndex::from_vectors(&rows, 2).save_snapshot(&base).unwrap();
+    ///
+    /// let mut index = ShardedCosineIndex::load_snapshot(&base).unwrap();
+    /// index.add_batch(&[vec![0.0, -1.0]]);
+    /// let report = index.save_delta_snapshot(&base, &delta).unwrap();
+    /// assert!(report.inherited_shards >= 1); // the untouched shard was not rewritten
+    ///
+    /// let loaded = ShardedCosineIndex::load_snapshot(&delta).unwrap();
+    /// assert_eq!(loaded.len(), 4);
+    /// # std::fs::remove_dir_all(&root).unwrap();
+    /// ```
+    pub fn save_delta_snapshot(
+        &self,
+        base_dir: &Path,
+        dir: &Path,
+    ) -> io::Result<crate::delta::DeltaSaveReport> {
+        crate::delta::save_delta(self, base_dir, dir)
+    }
+
     /// Loads a snapshot written by [`ShardedCosineIndex::save_snapshot`] — **cold**:
     /// only the manifest is read (O(shards), not O(corpus)), every shard starts in the
     /// spilled state backed by the snapshot payload, and queries fault shards in
@@ -652,10 +699,15 @@ impl ShardedCosineIndex {
     /// counters/epoch; search results are id- and score-identical to the saved index in
     /// every configuration.
     ///
+    /// A directory published by [`ShardedCosineIndex::save_delta_snapshot`] loads
+    /// through its base chain automatically ([`crate::delta`]) — still cold, still
+    /// O(manifests).
+    ///
     /// # Errors
     /// I/O failures, a missing/foreign/corrupt manifest, payload files whose size
-    /// disagrees with the manifest, or a snapshot holding the dense layout (load that
-    /// through [`crate::BlockingIndex::load_snapshot`]).
+    /// disagrees with the manifest, a delta whose base chain fails validation, or a
+    /// snapshot holding the dense layout (load that through
+    /// [`crate::BlockingIndex::load_snapshot`]).
     pub fn load_snapshot(dir: &Path) -> io::Result<ShardedCosineIndex> {
         snapshot::load_sharded(dir)
     }
@@ -1067,6 +1119,7 @@ impl ShardedCosineIndex {
         let dim = self.dim;
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let group_size = self.shards.len().div_ceil(MERGE_GROUPS).max(1);
+        let all_shards: Vec<usize> = (0..self.shards.len()).collect();
         let per_block: Vec<Vec<(usize, usize, f32)>> = queries
             .par_chunks(QUERY_TILE)
             .enumerate()
@@ -1077,7 +1130,14 @@ impl ShardedCosineIndex {
                 let selectors = if self.routing {
                     // One shared selector set, best-bound-first scan with pruning.
                     let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
-                    self.offer_shards_routed(block, &q_block, &inv_norms, &mut selectors, stamp);
+                    self.offer_shards_routed(
+                        block,
+                        &q_block,
+                        &inv_norms,
+                        &mut selectors,
+                        stamp,
+                        &all_shards,
+                    );
                     selectors
                 } else {
                     // Rayon-parallel per-shard-group products, each with its own bounded
@@ -1151,6 +1211,106 @@ impl ShardedCosineIndex {
         }
     }
 
+    /// [`Self::knn_join_report`] restricted to a subset of **shard positions** — the
+    /// server-side half of distributed scatter-gather serving. A coordinator that
+    /// partitions `0..num_shards()` across serve processes and merges the per-subset
+    /// pairs through the same [`TopK`] selector reconstructs the whole-index join
+    /// bit-identically: selection is a total order, so splitting the corpus by shard
+    /// and merging per-subset top-k lists cannot change the surviving set.
+    ///
+    /// Shard positions refer to the current shard layout (stable for a cold-loaded
+    /// snapshot, which is the distributed deployment model). Duplicates in
+    /// `shard_subset` are ignored. The query-batch cache is **bypassed** in both
+    /// directions: its fingerprint does not include the subset, so a subset answer
+    /// must never be served from — or inserted as — a whole-index result.
+    ///
+    /// `degraded` / `quarantined_shards` report quarantined shards *within the
+    /// subset* only, so a coordinator can attribute the loss to the owning process.
+    ///
+    /// # Panics
+    /// Panics when a subset position is out of range or a query's dimension
+    /// disagrees with the index dimension.
+    pub fn knn_join_subset_report(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        shard_subset: &[usize],
+    ) -> JoinOutcome {
+        let mut subset: Vec<usize> = shard_subset.to_vec();
+        subset.sort_unstable();
+        subset.dedup();
+        if let Some(&bad) = subset.iter().find(|&&s| s >= self.shards.len()) {
+            panic!(
+                "ShardedCosineIndex::knn_join_subset_report: shard position {bad} out of \
+                 range (index has {} shards)",
+                self.shards.len()
+            );
+        }
+        if k == 0 || self.is_empty() || queries.is_empty() || subset.is_empty() {
+            return JoinOutcome::default();
+        }
+        let dim = self.dim;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let per_block: Vec<Vec<(usize, usize, f32)>> = queries
+            .par_chunks(QUERY_TILE)
+            .enumerate()
+            .map(|(block_idx, block)| {
+                let base = block_idx * QUERY_TILE;
+                let (q_block, inv_norms) =
+                    pack_query_block("ShardedCosineIndex::knn_join (query)", base, block, dim);
+                let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
+                if self.routing {
+                    // Same best-bound-first pruning scan as the whole-index join,
+                    // considering only the subset.
+                    self.offer_shards_routed(
+                        block,
+                        &q_block,
+                        &inv_norms,
+                        &mut selectors,
+                        stamp,
+                        &subset,
+                    );
+                } else {
+                    for &i in &subset {
+                        let shard = &self.shards[i];
+                        if shard.live > 0 && !shard.is_quarantined() {
+                            self.counters.visited.fetch_add(1, Ordering::Relaxed);
+                            if !shard.storage.is_resident() {
+                                self.counters.faults.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if let Err(e) = shard.offer_into(&q_block, &inv_norms, &mut selectors) {
+                                self.quarantine(i, e);
+                            }
+                        }
+                        shard.last_used.store(stamp, Ordering::Relaxed);
+                    }
+                }
+                let mut pairs = Vec::with_capacity(block.len() * k);
+                for (r, selector) in selectors.into_iter().enumerate() {
+                    pairs.extend(
+                        selector
+                            .into_sorted()
+                            .into_iter()
+                            .map(|h| (base + r, h.id, h.score)),
+                    );
+                }
+                pairs
+            })
+            .collect();
+        let pairs: Vec<(usize, usize, f32)> = per_block.into_iter().flatten().collect();
+        let quarantined_shards: Vec<usize> = subset
+            .iter()
+            .copied()
+            .filter(|&i| self.shards[i].live > 0 && self.shards[i].is_quarantined())
+            .collect();
+        let degraded = !quarantined_shards.is_empty();
+        JoinOutcome {
+            pairs,
+            degraded,
+            quarantined_shards,
+        }
+    }
+
     /// Takes a shard out of service after its storage stayed unreadable through the
     /// retry backoff. Idempotent (the counter and warning fire on the first
     /// transition only); callable from parallel query workers (`&self`).
@@ -1166,10 +1326,12 @@ impl ShardedCosineIndex {
         }
     }
 
-    /// Scores every shard against one query tile with routing-statistics skipping:
-    /// shards are visited best-bound-first, and once every selector holds `k`
-    /// candidates, a shard whose bound is strictly below every query's retained `k`-th
-    /// best score (minus the float slack) is skipped without touching its matrix.
+    /// Scores the `candidates` shard positions against one query tile with
+    /// routing-statistics skipping: shards are visited best-bound-first, and once every
+    /// selector holds `k` candidates, a shard whose bound is strictly below every
+    /// query's retained `k`-th best score (minus the float slack) is skipped without
+    /// touching its matrix. The whole-index join passes every position; the
+    /// scatter-gather subset join passes its subset.
     fn offer_shards_routed(
         &self,
         block: &[Vec<f32>],
@@ -1177,13 +1339,13 @@ impl ShardedCosineIndex {
         inv_norms: &[f32],
         selectors: &mut [TopK],
         stamp: u64,
+        candidates: &[usize],
     ) {
         // Upper bound per (shard, query): one small dot against the shard centroid —
         // negligible next to the `rows x dim` GEMM it can save.
-        let mut order: Vec<(usize, f32, Vec<f32>)> = self
-            .shards
+        let mut order: Vec<(usize, f32, Vec<f32>)> = candidates
             .iter()
-            .enumerate()
+            .map(|&i| (i, &self.shards[i]))
             .filter(|(_, shard)| shard.live > 0 && !shard.is_quarantined())
             .map(|(i, shard)| {
                 let bounds: Vec<f32> = block

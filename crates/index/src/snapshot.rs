@@ -95,7 +95,7 @@ use crate::storage::{crc32, same_file, write_matrix_file, ShardStorage, SpilledS
 pub const MANIFEST_FILE: &str = "MANIFEST.swidx";
 
 /// Magic prefix of a manifest; the trailing `1` is the format version.
-const MAGIC: &[u8; 8] = b"SWINDEX1";
+pub(crate) const MAGIC: &[u8; 8] = b"SWINDEX1";
 
 /// Layout tag of a dense snapshot.
 const LAYOUT_DENSE: u8 = 0;
@@ -105,50 +105,56 @@ const LAYOUT_SHARDED: u8 = 1;
 /// Payload file name of the dense layout.
 const DENSE_PAYLOAD: &str = "dense.bin";
 
-/// Payload file name of shard `i`.
-fn shard_payload(i: usize) -> String {
+/// Payload file name of shard `i` (shared with the [`crate::delta`] format, whose local
+/// payloads use the same naming).
+pub(crate) fn shard_payload(i: usize) -> String {
     format!("shard-{i}.bin")
+}
+
+/// `InvalidData` error prefixed with a manifest location (shared with [`crate::delta`]).
+pub(crate) fn corrupt_at(manifest: &Path, what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("snapshot {}: {what}", manifest.display()),
+    )
 }
 
 /// `InvalidData` error prefixed with the manifest location.
 fn corrupt(dir: &Path, what: impl std::fmt::Display) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("snapshot {}: {what}", dir.join(MANIFEST_FILE).display()),
-    )
+    corrupt_at(&dir.join(MANIFEST_FILE), what)
 }
 
-// ---- little-endian primitives -------------------------------------------------------
+// ---- little-endian primitives (shared with `crate::delta`) --------------------------
 
-fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+pub(crate) fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn w_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+pub(crate) fn w_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+pub(crate) fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+pub(crate) fn r_u64(r: &mut impl Read) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn r_usize(r: &mut impl Read) -> io::Result<usize> {
+pub(crate) fn r_usize(r: &mut impl Read) -> io::Result<usize> {
     r_u64(r).map(|v| v as usize)
 }
 
-fn r_f32(r: &mut impl Read) -> io::Result<f32> {
+pub(crate) fn r_f32(r: &mut impl Read) -> io::Result<f32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(f32::from_le_bytes(b))
 }
 
-fn r_f64(r: &mut impl Read) -> io::Result<f64> {
+pub(crate) fn r_f64(r: &mut impl Read) -> io::Result<f64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
@@ -161,7 +167,10 @@ fn r_f64(r: &mut impl Read) -> io::Result<f64> {
 /// but before the rename — the on-disk shape of a crash between the two syscalls (the
 /// destination keeps its old content; the `.bin.tmp` leftover is swept by the next
 /// successful save's [`remove_stale_payloads`]).
-fn write_file_atomic(dest: &Path, write: impl FnOnce(&Path) -> io::Result<()>) -> io::Result<()> {
+pub(crate) fn write_file_atomic(
+    dest: &Path,
+    write: impl FnOnce(&Path) -> io::Result<()>,
+) -> io::Result<()> {
     let tmp = dest.with_extension("bin.tmp");
     write(&tmp)?;
     if faults::fires("snapshot.rename.skip") {
@@ -170,6 +179,177 @@ fn write_file_atomic(dest: &Path, write: impl FnOnce(&Path) -> io::Result<()>) -
         ));
     }
     fs::rename(&tmp, dest)
+}
+
+// ---- per-shard record I/O (shared with `crate::delta`) ------------------------------
+
+/// Serializes one shard's manifest record (shape, ids, tombstones, live count, routing
+/// statistics) — the byte layout shared by `SWINDEX1` and `SWDELTA1` manifests.
+pub(crate) fn write_shard_record(w: &mut Vec<u8>, shard: &Shard) -> io::Result<()> {
+    w_u64(w, shard.storage.rows() as u64)?;
+    w_u64(w, shard.storage.cols() as u64)?;
+    w_u64(w, shard.ids.len() as u64)?;
+    for &id in &shard.ids {
+        w_u64(w, id as u64)?;
+    }
+    for byte_group in shard.deleted.chunks(8) {
+        let mut byte = 0u8;
+        for (bit, &dead) in byte_group.iter().enumerate() {
+            byte |= (dead as u8) << bit;
+        }
+        w.write_all(&[byte])?;
+    }
+    w_u64(w, shard.live as u64)?;
+    let (centroid, radius, sum, counted) = shard.stats.snapshot_parts();
+    w_u64(w, counted as u64)?;
+    w_f32(w, radius)?;
+    w_u64(w, centroid.len() as u64)?;
+    for &c in centroid {
+        w_f32(w, c)?;
+    }
+    w_u64(w, sum.len() as u64)?;
+    for &s in sum {
+        w_f64(w, s)?;
+    }
+    Ok(())
+}
+
+/// One shard's manifest record, parsed and validated but not yet bound to a payload.
+pub(crate) struct ShardRecord {
+    /// Payload matrix row count (including the row-quad zero padding).
+    pub rows: usize,
+    /// Payload matrix column count (== the index dimension).
+    pub cols: usize,
+    /// Stable ids of the shard's slots, ascending.
+    pub ids: Vec<usize>,
+    /// Tombstone per slot.
+    pub deleted: Vec<bool>,
+    /// Live (non-tombstoned) slots.
+    pub live: usize,
+    /// Routing statistics, restored exactly.
+    pub stats: RoutingStats,
+}
+
+/// Parses and validates one shard record — the inverse of [`write_shard_record`].
+/// `prev_id` threads the cross-shard ascending-id check; errors name `manifest`.
+pub(crate) fn read_shard_record(
+    manifest: &Path,
+    r: &mut impl Read,
+    i: usize,
+    dim: usize,
+    shard_capacity: usize,
+    next_id: usize,
+    prev_id: &mut Option<usize>,
+) -> io::Result<ShardRecord> {
+    let rows = r_usize(r)?;
+    let cols = r_usize(r)?;
+    if cols != dim {
+        return Err(corrupt_at(
+            manifest,
+            format!("shard {i} payload has {cols} columns, index dimension is {dim}"),
+        ));
+    }
+    let n = r_usize(r)?;
+    if n > rows || n > shard_capacity || n > next_id {
+        return Err(corrupt_at(
+            manifest,
+            format!(
+                "shard {i} claims {n} rows against a {rows}-row payload, \
+                 capacity {shard_capacity}, and next_id {next_id}"
+            ),
+        ));
+    }
+    // `n` is now bounded by next_id (ids are distinct and below it), so this
+    // preallocation cannot be driven huge by a corrupt count alone; the payload
+    // length check in `SpilledShard::open` catches inflated `rows`.
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r_usize(r)?;
+        if prev_id.is_some_and(|p| p >= id) || id >= next_id {
+            return Err(corrupt_at(
+                manifest,
+                format!("shard {i} ids are not ascending"),
+            ));
+        }
+        *prev_id = Some(id);
+        ids.push(id);
+    }
+    let mut deleted = Vec::with_capacity(n);
+    let mut mask = vec![0u8; n.div_ceil(8)];
+    r.read_exact(&mut mask)?;
+    for bit in 0..n {
+        deleted.push(mask[bit / 8] >> (bit % 8) & 1 == 1);
+    }
+    let live = r_usize(r)?;
+    if live != deleted.iter().filter(|d| !**d).count() {
+        return Err(corrupt_at(
+            manifest,
+            format!("shard {i} live count disagrees with its tombstones"),
+        ));
+    }
+    let counted = r_usize(r)?;
+    let radius = r_f32(r)?;
+    // Routing-stat vectors are either empty (no covered rows) or exactly `dim`
+    // wide; any other length is corruption — reject it *before* allocating, so a
+    // bit-flipped count turns into a clean error, not a huge allocation.
+    let centroid_len = r_usize(r)?;
+    if centroid_len != 0 && centroid_len != dim {
+        return Err(corrupt_at(
+            manifest,
+            format!("shard {i} centroid has {centroid_len} entries, expected 0 or {dim}"),
+        ));
+    }
+    let mut centroid = Vec::with_capacity(centroid_len);
+    for _ in 0..centroid_len {
+        centroid.push(r_f32(r)?);
+    }
+    let sum_len = r_usize(r)?;
+    if sum_len != 0 && sum_len != dim {
+        return Err(corrupt_at(
+            manifest,
+            format!("shard {i} stat sum has {sum_len} entries, expected 0 or {dim}"),
+        ));
+    }
+    let mut sum = Vec::with_capacity(sum_len);
+    for _ in 0..sum_len {
+        sum.push(r_f64(r)?);
+    }
+    let stats = RoutingStats::from_snapshot_parts(centroid, radius, sum, counted);
+    Ok(ShardRecord {
+        rows,
+        cols,
+        ids,
+        deleted,
+        live,
+        stats,
+    })
+}
+
+/// Opens a shard payload for a cold load. A payload that fails validation (missing,
+/// truncated, wrong size) does not abort the load: the shard comes up **quarantined** —
+/// skipped by queries, flagged degraded in every [`crate::JoinOutcome`] — and the
+/// readable shards serve. The next `compact()` retries the payload and recovers or
+/// drops the shard. Shared by the full-snapshot and delta-chain loaders.
+pub(crate) fn open_payload_quarantining(
+    dir: &Path,
+    i: usize,
+    payload: PathBuf,
+    rows: usize,
+    cols: usize,
+) -> (ShardStorage, bool) {
+    match SpilledShard::open(payload.clone(), rows, cols) {
+        Ok(opened) => (ShardStorage::Spilled(opened), false),
+        Err(e) => {
+            let e = e.with_shard(i);
+            eprintln!(
+                "warning: snapshot load {}: quarantining shard with invalid \
+                 payload (degraded results until compact): {e}",
+                dir.display()
+            );
+            let unchecked = SpilledShard::open_unchecked(payload, rows, cols);
+            (ShardStorage::Spilled(unchecked), true)
+        }
+    }
 }
 
 // ---- save ---------------------------------------------------------------------------
@@ -227,31 +407,7 @@ pub(crate) fn save_sharded(index: &ShardedCosineIndex, dir: &Path) -> io::Result
     w_u64(&mut w, index.live as u64)?;
     w_u64(&mut w, index.shards.len() as u64)?;
     for shard in &index.shards {
-        w_u64(&mut w, shard.storage.rows() as u64)?;
-        w_u64(&mut w, shard.storage.cols() as u64)?;
-        w_u64(&mut w, shard.ids.len() as u64)?;
-        for &id in &shard.ids {
-            w_u64(&mut w, id as u64)?;
-        }
-        for byte_group in shard.deleted.chunks(8) {
-            let mut byte = 0u8;
-            for (bit, &dead) in byte_group.iter().enumerate() {
-                byte |= (dead as u8) << bit;
-            }
-            w.write_all(&[byte])?;
-        }
-        w_u64(&mut w, shard.live as u64)?;
-        let (centroid, radius, sum, counted) = shard.stats.snapshot_parts();
-        w_u64(&mut w, counted as u64)?;
-        w_f32(&mut w, radius)?;
-        w_u64(&mut w, centroid.len() as u64)?;
-        for &c in centroid {
-            w_f32(&mut w, c)?;
-        }
-        w_u64(&mut w, sum.len() as u64)?;
-        for &s in sum {
-            w_f64(&mut w, s)?;
-        }
+        write_shard_record(&mut w, shard)?;
     }
     w.extend_from_slice(&crc32(&w).to_le_bytes());
     // Failpoint `snapshot.manifest.torn`: half the manifest reaches disk *at its final
@@ -295,8 +451,10 @@ fn remove_stale_payloads(dir: &Path, shards: Option<usize>) -> io::Result<()> {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        // Leftover atomic-write temporaries from a crashed save are always stale.
-        if name.ends_with(".bin.tmp") {
+        // Leftover atomic-write temporaries from a crashed save are always stale, and
+        // so is a delta manifest once a *full* snapshot is saved over the directory —
+        // leaving it would make a later load resolve the old chain instead.
+        if name.ends_with(".bin.tmp") || name == crate::delta::DELTA_MANIFEST_FILE {
             let _ = fs::remove_file(entry.path());
             continue;
         }
@@ -351,7 +509,14 @@ fn open_manifest(dir: &Path) -> io::Result<(u8, io::Cursor<Vec<u8>>)> {
 }
 
 /// Loads a sharded snapshot cold. See [`ShardedCosineIndex::load_snapshot`].
+///
+/// A directory published by [`ShardedCosineIndex::save_delta_snapshot`] (detected by
+/// its `DELTA.swdel` manifest) loads through the delta chain instead — see
+/// [`crate::delta`].
 pub(crate) fn load_sharded(dir: &Path) -> io::Result<ShardedCosineIndex> {
+    if dir.join(crate::delta::DELTA_MANIFEST_FILE).is_file() {
+        return crate::delta::load_delta(dir);
+    }
     let (layout, mut r) = open_manifest(dir)?;
     if layout != LAYOUT_SHARDED {
         return Err(corrupt(
@@ -376,103 +541,20 @@ fn read_sharded_body(dir: &Path, r: &mut impl Read) -> io::Result<ShardedCosineI
     let mut shards = Vec::with_capacity(num_shards.min(1024));
     let mut live_seen = 0usize;
     let mut prev_id: Option<usize> = None;
+    let manifest = dir.join(MANIFEST_FILE);
     for i in 0..num_shards {
-        let rows = r_usize(r)?;
-        let cols = r_usize(r)?;
-        if cols != dim {
-            return Err(corrupt(
-                dir,
-                format!("shard {i} payload has {cols} columns, index dimension is {dim}"),
-            ));
-        }
-        let n = r_usize(r)?;
-        if n > rows || n > shard_capacity || n > next_id {
-            return Err(corrupt(
-                dir,
-                format!(
-                    "shard {i} claims {n} rows against a {rows}-row payload, \
-                     capacity {shard_capacity}, and next_id {next_id}"
-                ),
-            ));
-        }
-        // `n` is now bounded by next_id (ids are distinct and below it), so this
-        // preallocation cannot be driven huge by a corrupt count alone; the payload
-        // length check in `SpilledShard::open` below catches inflated `rows`.
-        let mut ids = Vec::with_capacity(n);
-        for _ in 0..n {
-            let id = r_usize(r)?;
-            if prev_id.is_some_and(|p| p >= id) || id >= next_id {
-                return Err(corrupt(dir, format!("shard {i} ids are not ascending")));
-            }
-            prev_id = Some(id);
-            ids.push(id);
-        }
-        let mut deleted = Vec::with_capacity(n);
-        let mut mask = vec![0u8; n.div_ceil(8)];
-        r.read_exact(&mut mask)?;
-        for bit in 0..n {
-            deleted.push(mask[bit / 8] >> (bit % 8) & 1 == 1);
-        }
-        let shard_live = r_usize(r)?;
-        if shard_live != deleted.iter().filter(|d| !**d).count() {
-            return Err(corrupt(
-                dir,
-                format!("shard {i} live count disagrees with its tombstones"),
-            ));
-        }
-        live_seen += shard_live;
-        let counted = r_usize(r)?;
-        let radius = r_f32(r)?;
-        // Routing-stat vectors are either empty (no covered rows) or exactly `dim`
-        // wide; any other length is corruption — reject it *before* allocating, so a
-        // bit-flipped count turns into a clean error, not a huge allocation.
-        let centroid_len = r_usize(r)?;
-        if centroid_len != 0 && centroid_len != dim {
-            return Err(corrupt(
-                dir,
-                format!("shard {i} centroid has {centroid_len} entries, expected 0 or {dim}"),
-            ));
-        }
-        let mut centroid = Vec::with_capacity(centroid_len);
-        for _ in 0..centroid_len {
-            centroid.push(r_f32(r)?);
-        }
-        let sum_len = r_usize(r)?;
-        if sum_len != 0 && sum_len != dim {
-            return Err(corrupt(
-                dir,
-                format!("shard {i} stat sum has {sum_len} entries, expected 0 or {dim}"),
-            ));
-        }
-        let mut sum = Vec::with_capacity(sum_len);
-        for _ in 0..sum_len {
-            sum.push(r_f64(r)?);
-        }
-        let stats = RoutingStats::from_snapshot_parts(centroid, radius, sum, counted);
-        // A payload that fails validation (missing, truncated, wrong size) does not
-        // abort the load: the shard comes up **quarantined** — skipped by queries,
-        // flagged degraded in every JoinOutcome — and the readable shards serve. The
-        // next compact() retries the payload and recovers or drops the shard.
+        let record =
+            read_shard_record(&manifest, r, i, dim, shard_capacity, next_id, &mut prev_id)?;
+        live_seen += record.live;
         let payload = dir.join(shard_payload(i));
-        let (storage, quarantined) = match SpilledShard::open(payload.clone(), rows, cols) {
-            Ok(opened) => (ShardStorage::Spilled(opened), false),
-            Err(e) => {
-                let e = e.with_shard(i);
-                eprintln!(
-                    "warning: snapshot load {}: quarantining shard with invalid \
-                     payload (degraded results until compact): {e}",
-                    dir.display()
-                );
-                let unchecked = SpilledShard::open_unchecked(payload, rows, cols);
-                (ShardStorage::Spilled(unchecked), true)
-            }
-        };
+        let (storage, quarantined) =
+            open_payload_quarantining(dir, i, payload, record.rows, record.cols);
         shards.push(Shard {
             storage,
-            ids,
-            deleted,
-            live: shard_live,
-            stats,
+            ids: record.ids,
+            deleted: record.deleted,
+            live: record.live,
+            stats: record.stats,
             last_used: AtomicU64::new(0),
             quarantined: AtomicBool::new(quarantined),
         });
@@ -499,6 +581,9 @@ fn read_sharded_body(dir: &Path, r: &mut impl Read) -> io::Result<ShardedCosineI
 /// Loads either layout behind the [`BlockingIndex`] API. See
 /// [`BlockingIndex::load_snapshot`].
 pub(crate) fn load_blocking(dir: &Path) -> io::Result<BlockingIndex> {
+    if dir.join(crate::delta::DELTA_MANIFEST_FILE).is_file() {
+        return crate::delta::load_delta(dir).map(BlockingIndex::Sharded);
+    }
     let (layout, mut r) = open_manifest(dir)?;
     match layout {
         LAYOUT_SHARDED => read_sharded_body(dir, &mut r).map(BlockingIndex::Sharded),

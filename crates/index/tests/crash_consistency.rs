@@ -56,6 +56,15 @@ const CRASH_POINTS: [&str; 3] = [
     "snapshot.manifest.torn", // manifest half-written at its final name
 ];
 
+/// The crash seams of a DELTA publish: the local-payload writes share the full
+/// save's failpoints, the manifest has its own (a delta manifest at its final
+/// name is `DELTA.swdel`, torn by `delta.manifest.torn`).
+const DELTA_CRASH_POINTS: [&str; 3] = [
+    "snapshot.payload.torn",
+    "snapshot.rename.skip",
+    "delta.manifest.torn",
+];
+
 fn assert_bit_identical(
     got: &[(usize, usize, f32)],
     expected: &[(usize, usize, f32)],
@@ -182,6 +191,76 @@ fn a_crashed_overwrite_keeps_the_previous_snapshot_or_fails_typed() {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A DELTA publish killed at any of its crash seams must (a) leave the target
+/// directory unloadable as a whole epoch — typed rejection or quarantine, never a
+/// silently partial chain head — and (b) leave the BASE snapshot untouched and
+/// loadable bit-identically: a crashed incremental publish can cost the new
+/// epoch, never the old one.
+#[test]
+fn a_crashed_delta_publish_rejects_the_head_and_preserves_the_base() {
+    let _serial = fault_lock();
+    let _disarm = DisarmGuard;
+    let queries = vectors(5, 6, 52);
+
+    for point in DELTA_CRASH_POINTS {
+        let base_dir = crash_dir(&format!("delta-base-{}", point.replace('.', "-")));
+        let head_dir = crash_dir(&format!("delta-head-{}", point.replace('.', "-")));
+        ShardedCosineIndex::from_vectors(&vectors(24, 6, 51), 8)
+            .save_snapshot(&base_dir)
+            .expect("the good base save");
+        let base_expected = ShardedCosineIndex::load_snapshot(&base_dir)
+            .expect("base loads")
+            .knn_join(&queries, 4);
+
+        let mut index = ShardedCosineIndex::load_snapshot(&base_dir).expect("cold load");
+        index.add_batch(&vectors(8, 6, 53));
+
+        faults::arm(point, faults::Policy::Once);
+        let err = index
+            .save_delta_snapshot(&base_dir, &head_dir)
+            .expect_err("the delta publish must crash");
+        assert!(
+            err.to_string().contains("failpoint"),
+            "{point}: the injected crash must surface, got: {err}"
+        );
+        faults::disarm(point);
+
+        // (a) The half-published head never loads as a whole epoch.
+        match ShardedCosineIndex::load_snapshot(&head_dir) {
+            Err(e) => {
+                let message = e.to_string();
+                assert!(
+                    message.contains("manifest")
+                        || message.contains("CRC")
+                        || e.kind() == std::io::ErrorKind::NotFound,
+                    "{point}: rejection must be typed, got: {message}"
+                );
+            }
+            Ok(loaded) => {
+                // Only possible when the manifest reached its final name whole;
+                // a torn local payload must then be quarantined, not served.
+                let outcome = loaded.knn_join_report(&queries, 4);
+                assert!(
+                    outcome.degraded && !loaded.quarantined_shards().is_empty(),
+                    "{point}: a surviving manifest over torn payloads must degrade"
+                );
+            }
+        }
+
+        // (b) The base is untouched: bit-identical to before the crashed publish.
+        let base_after = ShardedCosineIndex::load_snapshot(&base_dir)
+            .unwrap_or_else(|e| panic!("{point}: the base must survive, got: {e}"));
+        assert_bit_identical(
+            &base_after.knn_join(&queries, 4),
+            &base_expected,
+            &format!("{point}: base after crashed delta publish"),
+        );
+
+        std::fs::remove_dir_all(&base_dir).ok();
+        std::fs::remove_dir_all(&head_dir).ok();
     }
 }
 

@@ -30,8 +30,9 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    decode_knn_response, decode_stats_response, encode_knn_request, read_frame, split_response,
-    write_frame, Response, ServerStats, OP_PING, OP_STATS,
+    decode_knn_response, decode_knn_subset_response, decode_stats_response, encode_knn_request,
+    encode_knn_subset_request, read_frame, split_response, write_frame, Response, ServerStats,
+    OP_PING, OP_STATS,
 };
 
 /// What [`ServeClient::knn_join_detailed`] returns: the `(query_index, stable_id,
@@ -230,6 +231,75 @@ impl ServeClient {
                     Response::OkDegraded(body) => {
                         return decode_knn_response(body)
                             .map(|pairs| (pairs, true))
+                            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m));
+                    }
+                    Response::Err(message) => return Err(Self::server_error(message)),
+                    Response::Busy => None,
+                },
+                Err(e) => Some(e),
+            };
+            if retry >= self.config.retry.max_retries {
+                return Err(transport_error.unwrap_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "server busy (load shed) after {} attempts",
+                            self.config.retry.max_retries + 1
+                        ),
+                    )
+                }));
+            }
+            let mut rng = self.jitter_rng;
+            std::thread::sleep(self.config.retry.backoff(retry, &mut rng));
+            self.jitter_rng = rng;
+            retry += 1;
+            if transport_error.is_some() {
+                self.reconnect()?;
+            }
+        }
+    }
+
+    /// The scatter-gather half of [`ServeClient::knn_join`]: joins `queries` against
+    /// only the shards at `shard_positions` (positions in the served snapshot's shard
+    /// order), returning the pairs plus the subset shards the server could **not**
+    /// cover (quarantined storage). A coordinator merges per-subset answers through
+    /// the same top-k selector the index uses, which reconstructs the whole-index
+    /// join bit-identically when the subsets partition the snapshot.
+    ///
+    /// Subset joins bypass the server's batcher and query cache (the cache key has
+    /// no subset component), so every call pays a real join — scatter large batches.
+    /// Transport failures and `BUSY` responses are retried like
+    /// [`ServeClient::knn_join`]; a coordinator doing replica failover typically
+    /// sets `max_retries: 0` and fails over to another replica itself instead.
+    ///
+    /// # Errors
+    /// Exhausted retries, or a server-side rejection (dimension mismatch, shard
+    /// position out of range for the served snapshot) as
+    /// [`std::io::ErrorKind::InvalidInput`] — never retried.
+    pub fn knn_join_subset(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: usize,
+        shard_positions: &[usize],
+    ) -> io::Result<crate::protocol::SubsetAnswer> {
+        let dim = queries.first().map_or(0, Vec::len);
+        if let Some(bad) = queries.iter().position(|q| q.len() != dim) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "query {bad} has dimension {}, expected {dim} (the batch must be \
+                     rectangular)",
+                    queries[bad].len()
+                ),
+            ));
+        }
+        let request = encode_knn_subset_request(queries, k, dim, shard_positions);
+        let mut retry = 0u32;
+        loop {
+            let transport_error: Option<io::Error> = match self.round_trip(&request) {
+                Ok(response) => match split_response(&response)? {
+                    Response::Ok(body) | Response::OkDegraded(body) => {
+                        return decode_knn_subset_response(body)
                             .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m));
                     }
                     Response::Err(message) => return Err(Self::server_error(message)),

@@ -20,6 +20,13 @@
 //! * [`ServeClient`] — a synchronous client handle; results are identical (ids,
 //!   scores, and ordering) to calling `knn_join` in-process.
 //!
+//! For distributed serving the protocol also carries a **per-shard-subset** join
+//! frame (`KNN_SUBSET`, [`ServeClient::knn_join_subset`]): a coordinator (the
+//! `sudowoodo-coord` crate) scatters one query batch to the replicas owning each
+//! shard subset and merges the per-subset top-k — bit-identical to a single-process
+//! `knn_join` because top-k selection is order-independent. Subset joins answer
+//! inline (no batching, no caching; see the [`server`] docs for why).
+//!
 //! The serving layer is built to survive faults and overload (see the [`server`]
 //! module docs): bounded admission with `BUSY` load shedding, per-request deadlines,
 //! panic containment (handler failures answer error frames instead of dropping

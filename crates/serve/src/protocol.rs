@@ -26,11 +26,19 @@
 //! KNN  (0x01): k u32 · num_queries u32 · dim u32 · queries f32×(num·dim), row-major
 //! PING (0x02): empty
 //! STATS(0x03): empty
+//! KNN_SUBSET (0x04): k u32 · num_shards u32 · shard u32×num_shards
+//!                    · num_queries u32 · dim u32 · queries f32×(num·dim), row-major
 //! ```
 //!
 //! A `KNN` request carries a whole **query batch** — batching is the unit of both
 //! network amortization and the server-side query cache key, so clients should send
 //! their natural batch, not one query per frame.
+//!
+//! A `KNN_SUBSET` request is the scatter half of distributed scatter-gather: it asks
+//! for the join restricted to the named **shard positions** of the served snapshot.
+//! A coordinator that partitions the shard space across serve processes and merges
+//! the per-subset responses through the index's bounded-heap selector reconstructs
+//! the whole-corpus join bit-identically (see `sudowoodo-coord`).
 //!
 //! ## Responses
 //!
@@ -42,10 +50,17 @@
 //!                · cache_hits u64 · cache_misses u64
 //!                · busy_rejections u64 · deadline_expirations u64
 //!                · degraded_joins u64
-//! degraded: 0x03 · same body as ok KNN
+//! ok KNN_SUBSET: 0x00 · num_missing u32 · shard u32×num_missing
+//!                     · num_pairs u32 · (query u32 · id u64 · score f32)×num_pairs
+//! degraded: 0x03 · same body as the ok of the same opcode
 //! busy:     0x02 · empty
 //! error:    0x01 · message_len u32 · UTF-8 message
 //! ```
+//!
+//! A `KNN_SUBSET` body leads with the **missing shards**: subset positions that were
+//! quarantined on the server and therefore contributed no rows (always empty when the
+//! status is plain ok). The coordinator needs the positions — not just a flag — to
+//! attribute the loss and to try the shard set's surviving replica.
 //!
 //! An error response answers exactly the request that caused it (a dimension
 //! mismatch, an oversized frame, an unknown opcode); the connection stays usable.
@@ -72,6 +87,9 @@ pub const OP_KNN: u8 = 0x01;
 pub const OP_PING: u8 = 0x02;
 /// Request opcode: server/index statistics.
 pub const OP_STATS: u8 = 0x03;
+/// Request opcode: k-nearest-neighbor join restricted to a subset of shard positions
+/// (the scatter half of distributed scatter-gather).
+pub const OP_KNN_SUBSET: u8 = 0x04;
 
 /// Response status: success; the opcode-specific body follows.
 pub const STATUS_OK: u8 = 0x00;
@@ -237,6 +255,156 @@ pub fn decode_knn_response(body: &[u8]) -> Result<Vec<(usize, usize, f32)>, Stri
     Ok(pairs)
 }
 
+/// Serializes a `KNN_SUBSET` request payload.
+pub fn encode_knn_subset_request(
+    queries: &[Vec<f32>],
+    k: usize,
+    dim: usize,
+    shards: &[usize],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 16 + shards.len() * 4 + queries.len() * dim * 4);
+    out.push(OP_KNN_SUBSET);
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+    for &s in shards {
+        out.extend_from_slice(&(s as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    for q in queries {
+        for &x in q {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// A decoded `KNN_SUBSET` request: `(queries, k, shard positions)`.
+pub type SubsetRequest = (Vec<Vec<f32>>, usize, Vec<usize>);
+
+/// A decoded `KNN_SUBSET` answer: `(pairs, missing shard positions)` — the pairs are
+/// exact over the subset minus the missing shards.
+pub type SubsetAnswer = (Vec<(usize, usize, f32)>, Vec<usize>);
+
+/// Deserializes a `KNN_SUBSET` request payload (after the opcode byte) into
+/// `(queries, k, shards)`. Validates the advertised counts against the byte length.
+pub fn decode_knn_subset_request(body: &[u8]) -> Result<SubsetRequest, String> {
+    if body.len() < 8 {
+        return Err("truncated KNN_SUBSET header".into());
+    }
+    let k = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    let num_shards = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
+    let after_shards = num_shards
+        .checked_mul(4)
+        .and_then(|b| b.checked_add(8))
+        .ok_or("KNN_SUBSET shard count overflows")?;
+    if body.len() < after_shards + 8 {
+        return Err(format!(
+            "KNN_SUBSET payload is {} bytes, too short for {num_shards} shards",
+            body.len()
+        ));
+    }
+    let mut shards = Vec::with_capacity(num_shards);
+    for i in 0..num_shards {
+        let at = 8 + i * 4;
+        shards.push(u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize);
+    }
+    let num = u32::from_le_bytes(body[after_shards..after_shards + 4].try_into().unwrap()) as usize;
+    let dim =
+        u32::from_le_bytes(body[after_shards + 4..after_shards + 8].try_into().unwrap()) as usize;
+    let expected = num
+        .checked_mul(dim)
+        .and_then(|f| f.checked_mul(4))
+        .and_then(|b| b.checked_add(after_shards + 8));
+    if expected != Some(body.len()) {
+        return Err(format!(
+            "KNN_SUBSET payload is {} bytes, expected {num} x {dim} queries ({expected:?} bytes)",
+            body.len()
+        ));
+    }
+    let mut queries = Vec::with_capacity(num);
+    let mut offset = after_shards + 8;
+    for _ in 0..num {
+        let mut q = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            q.push(f32::from_le_bytes(
+                body[offset..offset + 4].try_into().unwrap(),
+            ));
+            offset += 4;
+        }
+        queries.push(q);
+    }
+    Ok((queries, k, shards))
+}
+
+/// Serializes a successful `KNN_SUBSET` response payload: the subset positions that
+/// were quarantined (missing from the answer) followed by the pairs. A non-empty
+/// `missing_shards` selects [`STATUS_OK_DEGRADED`].
+pub fn encode_knn_subset_response(
+    pairs: &[(usize, usize, f32)],
+    missing_shards: &[usize],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 8 + missing_shards.len() * 4 + pairs.len() * 16);
+    out.push(if missing_shards.is_empty() {
+        STATUS_OK
+    } else {
+        STATUS_OK_DEGRADED
+    });
+    out.extend_from_slice(&(missing_shards.len() as u32).to_le_bytes());
+    for &s in missing_shards {
+        out.extend_from_slice(&(s as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(query, id, score) in pairs {
+        out.extend_from_slice(&(query as u32).to_le_bytes());
+        out.extend_from_slice(&(id as u64).to_le_bytes());
+        out.extend_from_slice(&score.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a `KNN_SUBSET` response body (after the status byte) into
+/// `(pairs, missing_shards)`.
+pub fn decode_knn_subset_response(body: &[u8]) -> Result<SubsetAnswer, String> {
+    if body.len() < 4 {
+        return Err("truncated KNN_SUBSET response".into());
+    }
+    let num_missing = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    let after_missing = num_missing
+        .checked_mul(4)
+        .and_then(|b| b.checked_add(4))
+        .ok_or("KNN_SUBSET missing-shard count overflows")?;
+    if body.len() < after_missing + 4 {
+        return Err(format!(
+            "KNN_SUBSET response is {} bytes, too short for {num_missing} missing shards",
+            body.len()
+        ));
+    }
+    let mut missing = Vec::with_capacity(num_missing);
+    for i in 0..num_missing {
+        let at = 4 + i * 4;
+        missing.push(u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize);
+    }
+    let count =
+        u32::from_le_bytes(body[after_missing..after_missing + 4].try_into().unwrap()) as usize;
+    if body.len() != after_missing + 4 + count * 16 {
+        return Err(format!(
+            "KNN_SUBSET response is {} bytes, expected {count} pairs",
+            body.len()
+        ));
+    }
+    let mut pairs = Vec::with_capacity(count);
+    let mut offset = after_missing + 4;
+    for _ in 0..count {
+        let query = u32::from_le_bytes(body[offset..offset + 4].try_into().unwrap()) as usize;
+        let id = u64::from_le_bytes(body[offset + 4..offset + 12].try_into().unwrap()) as usize;
+        let score = f32::from_le_bytes(body[offset + 12..offset + 16].try_into().unwrap());
+        pairs.push((query, id, score));
+        offset += 16;
+    }
+    Ok((pairs, missing))
+}
+
 /// Serializes a successful `STATS` response payload.
 pub fn encode_stats_response(stats: &ServerStats) -> Vec<u8> {
     let mut out = Vec::with_capacity(1 + 11 * 8);
@@ -366,6 +534,51 @@ mod tests {
             panic!("expected OkDegraded");
         };
         assert_eq!(decode_knn_response(body).unwrap(), pairs);
+    }
+
+    #[test]
+    fn knn_subset_request_round_trips() {
+        let queries = vec![vec![1.0f32, -2.5], vec![0.0, 3.25]];
+        let shards = vec![0usize, 7, 3];
+        let payload = encode_knn_subset_request(&queries, 5, 2, &shards);
+        assert_eq!(payload[0], OP_KNN_SUBSET);
+        let (decoded, k, decoded_shards) = decode_knn_subset_request(&payload[1..]).unwrap();
+        assert_eq!((decoded, k, decoded_shards), (queries, 5, shards));
+    }
+
+    #[test]
+    fn knn_subset_response_round_trips_and_degrades_on_missing_shards() {
+        let pairs = vec![(0usize, 42usize, 0.75f32), (1, 7, -0.25)];
+        let clean = encode_knn_subset_response(&pairs, &[]);
+        let Response::Ok(body) = split_response(&clean).unwrap() else {
+            panic!("expected Ok");
+        };
+        assert_eq!(
+            decode_knn_subset_response(body).unwrap(),
+            (pairs.clone(), vec![])
+        );
+
+        let degraded = encode_knn_subset_response(&pairs, &[3, 9]);
+        assert_eq!(degraded[0], STATUS_OK_DEGRADED);
+        let Response::OkDegraded(body) = split_response(&degraded).unwrap() else {
+            panic!("expected OkDegraded");
+        };
+        assert_eq!(
+            decode_knn_subset_response(body).unwrap(),
+            (pairs, vec![3, 9])
+        );
+    }
+
+    #[test]
+    fn corrupt_knn_subset_payloads_are_rejected_not_panicked() {
+        assert!(decode_knn_subset_request(&[1, 2, 3]).is_err());
+        let mut bad = encode_knn_subset_request(&[vec![1.0, 2.0]], 1, 2, &[0]);
+        bad[5] = 0xFF; // inflate the shard count past the byte length
+        assert!(decode_knn_subset_request(&bad[1..]).is_err());
+        assert!(decode_knn_subset_response(&[0, 0, 0]).is_err());
+        let mut torn = encode_knn_subset_response(&[(0, 1, 0.5)], &[2]);
+        torn.truncate(torn.len() - 3);
+        assert!(decode_knn_subset_response(&torn[1..]).is_err());
     }
 
     #[test]

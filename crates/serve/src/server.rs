@@ -17,7 +17,12 @@
 //!   the cache exists for.
 //!
 //! `PING` and `STATS` answer inline on the handler thread; only `KNN` pays the
-//! batcher hop.
+//! batcher hop. `KNN_SUBSET` — the scatter-gather frame a coordinator sends — also
+//! runs inline: coalescing two different shard subsets into one join would change
+//! both answers, and the query cache must not see subset joins at all (its
+//! fingerprint covers queries and `k` but not the subset, so a cached subset result
+//! would alias a whole-index one). Each subset request therefore pays its own join;
+//! the coordinator already amortizes by scattering one large batch per replica.
 //!
 //! ## Survival under faults and overload
 //!
@@ -60,8 +65,9 @@ use sudowoodo_faults as faults;
 use sudowoodo_index::BlockingIndex;
 
 use crate::protocol::{
-    decode_knn_request, encode_busy_response, encode_error_response, encode_knn_response,
-    encode_stats_response, ServerStats, MAX_FRAME_LEN, OP_KNN, OP_PING, OP_STATS, STATUS_OK,
+    decode_knn_request, decode_knn_subset_request, encode_busy_response, encode_error_response,
+    encode_knn_response, encode_knn_subset_response, encode_stats_response, ServerStats,
+    MAX_FRAME_LEN, OP_KNN, OP_KNN_SUBSET, OP_PING, OP_STATS, STATUS_OK,
 };
 
 /// How long a handler thread blocks in a read before re-checking the stop flag.
@@ -687,6 +693,51 @@ fn dispatch(
                     Ok(JoinReply::Failed(message)) => encode_error_response(&message),
                     Err(_) => encode_error_response("server shutting down"),
                 }
+            }
+            Err(message) => encode_error_response(&message),
+        },
+        Some(&OP_KNN_SUBSET) => match decode_knn_subset_request(&payload[1..]) {
+            Ok((queries, k, shards)) => {
+                let dim = queries.first().map_or(0, Vec::len);
+                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
+                    return encode_error_response(&format!(
+                        "query dimension {dim} does not match the index dimension {}",
+                        index.dim()
+                    ));
+                }
+                let num_shards = index.num_shards();
+                if let Some(&bad) = shards.iter().find(|&&s| s >= num_shards) {
+                    return encode_error_response(&format!(
+                        "shard position {bad} is out of range: the served snapshot has \
+                         {num_shards} shards (is the coordinator's placement built from \
+                         a different snapshot epoch?)"
+                    ));
+                }
+                let response_bytes = queries
+                    .len()
+                    .saturating_mul(k.min(index.len()))
+                    .saturating_mul(16)
+                    .saturating_add(shards.len().saturating_mul(4))
+                    .saturating_add(9);
+                if response_bytes > MAX_FRAME_LEN as usize {
+                    return encode_error_response(&format!(
+                        "response would be {response_bytes} bytes, over the \
+                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
+                         batch or a smaller k"
+                    ));
+                }
+                // Chaos hook: `serve.subset.stall` wedges the scatter-gather path
+                // long enough (1 s) to trip a coordinator's read timeout, so failover
+                // tests can prove a stalled replica is routed around — unlike
+                // `serve.write.stall`, whose 25 ms is deliberate sub-timeout jitter.
+                if faults::fires("serve.subset.stall") {
+                    std::thread::sleep(Duration::from_millis(1000));
+                }
+                let outcome = index.knn_join_subset_report(&queries, k, &shards);
+                if outcome.degraded {
+                    counters.degraded_joins.fetch_add(1, Ordering::Relaxed);
+                }
+                encode_knn_subset_response(&outcome.pairs, &outcome.quarantined_shards)
             }
             Err(message) => encode_error_response(&message),
         },

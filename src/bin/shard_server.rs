@@ -1,0 +1,45 @@
+//! A minimal serve process for the distributed test tier.
+//!
+//! Usage: `shard_server <snapshot-dir>`
+//!
+//! Cold-loads the snapshot at `<snapshot-dir>`, binds an OS-assigned loopback
+//! port, prints exactly one line `LISTENING <addr>` on stdout (the parent parses
+//! it to learn the port), then serves until stdin reaches EOF — so a parent that
+//! dies takes its cluster down with it, and a test kills one replica by closing
+//! its stdin pipe. Failpoints arm from `SUDOWOODO_FAILPOINTS` as everywhere else,
+//! which is how chaos tests wedge exactly one replica of a cluster: the env var
+//! is per-process.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use sudowoodo::index::BlockingIndex;
+use sudowoodo::serve::Server;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else {
+        eprintln!("usage: shard_server <snapshot-dir>");
+        std::process::exit(2);
+    };
+    let index = match BlockingIndex::load_snapshot(std::path::Path::new(&dir)) {
+        Ok(index) => index,
+        Err(e) => {
+            eprintln!("shard_server: failed to load snapshot at {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::spawn(Arc::new(index), "127.0.0.1:0") {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("shard_server: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("LISTENING {}", server.addr());
+    std::io::stdout().flush().ok();
+    // Block until the parent closes our stdin (or dies, which closes it too).
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+}

@@ -1,0 +1,322 @@
+//! The distributed acceptance tier: scatter-gather over real OS processes must be
+//! **bit-identical** to a single-process `knn_join`.
+//!
+//! Each test publishes one snapshot, spawns `shard_server` child processes that
+//! cold-load it (the production shape: separate address spaces, separate page
+//! caches, nothing shared but the read-only snapshot directory), places shards
+//! onto them with the consistent-hash ring, and compares the coordinator's merged
+//! answer against an in-process join over the same cold-loaded snapshot — ids
+//! AND score bits, across shard capacities and replication factors. The flagship
+//! case is the same 2k-query × 10k-corpus fixture the sharded/dense equivalence
+//! tier uses, on a 3-process cluster with replication 2.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sudowoodo::coord::{Coordinator, CoordinatorConfig};
+use sudowoodo::index::{BlockingIndex, ShardedCosineIndex};
+
+/// Deterministic pseudo-random vectors (std-only LCG; same helper as serve_e2e).
+fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            (0..d)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn snapshot_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sudowoodo-dist-{tag}-{}-{n}", std::process::id()))
+}
+
+struct DirCleanup(PathBuf);
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One `shard_server` child process serving a snapshot. The child exits when its
+/// stdin closes, so a panicking (or finished) test never leaks a server.
+struct ChildServer {
+    child: Child,
+    endpoint: String,
+}
+
+impl ChildServer {
+    fn spawn(snapshot: &std::path::Path) -> ChildServer {
+        Self::spawn_with_env(snapshot, &[])
+    }
+
+    /// `env` entries are set on the child only — how chaos tests arm failpoints in
+    /// exactly one replica of a cluster.
+    fn spawn_with_env(snapshot: &std::path::Path, env: &[(&str, &str)]) -> ChildServer {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_shard_server"));
+        command
+            .arg(snapshot)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        for (key, value) in env {
+            command.env(key, value);
+        }
+        let mut child = command.spawn().expect("spawn shard_server");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read LISTENING line");
+        let endpoint = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected shard_server greeting: {line:?}"))
+            .to_string();
+        ChildServer { child, endpoint }
+    }
+
+    /// Kills the replica the way an operator loses one: abruptly. (Closing stdin
+    /// would be the graceful path; tests that fail a replica mid-batch need the
+    /// abrupt one.)
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ChildServer {
+    fn drop(&mut self) {
+        drop(self.child.stdin.take()); // EOF → clean child shutdown
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_cluster(snapshot: &std::path::Path, n: usize) -> Vec<ChildServer> {
+    (0..n).map(|_| ChildServer::spawn(snapshot)).collect()
+}
+
+fn endpoints(cluster: &[ChildServer]) -> Vec<String> {
+    cluster.iter().map(|c| c.endpoint.clone()).collect()
+}
+
+/// Pairs must agree exactly: same (query, id) sequence, same score **bits**.
+fn assert_bit_identical(
+    got: &[(usize, usize, f32)],
+    expected: &[(usize, usize, f32)],
+    context: &str,
+) {
+    assert_eq!(got.len(), expected.len(), "{context}: result size");
+    for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+        assert_eq!((g.0, g.1), (e.0, e.1), "{context}: pair {i} (query, id)");
+        assert_eq!(
+            g.2.to_bits(),
+            e.2.to_bits(),
+            "{context}: pair {i} score bits ({} vs {})",
+            g.2,
+            e.2
+        );
+    }
+}
+
+/// The flagship: 2k × 10k, three processes, replication 2 — the distributed
+/// answer is bit-identical to the single-process join over the same snapshot.
+#[test]
+fn three_process_cluster_matches_single_process_on_2k_x_10k() {
+    let dim = 16;
+    let k = 10;
+    let corpus = vectors(10_000, dim, 11);
+    let queries = vectors(2_000, dim, 12);
+
+    let dir = snapshot_dir("flagship");
+    let _cleanup = DirCleanup(dir.clone());
+    ShardedCosineIndex::from_vectors(&corpus, 64)
+        .save_snapshot(&dir)
+        .unwrap();
+
+    // Single-process reference: a cold load of the very same snapshot.
+    let local = BlockingIndex::load_snapshot(&dir).unwrap();
+    let expected = local.knn_join(&queries, k);
+    assert_eq!(expected.len(), queries.len() * k);
+
+    let cluster = spawn_cluster(&dir, 3);
+    let mut coord = Coordinator::connect(
+        &endpoints(&cluster),
+        CoordinatorConfig {
+            replication: 2,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(coord.num_shards(), 10_000usize.div_ceil(64));
+    assert_eq!(coord.len(), 10_000);
+
+    let outcome = coord.knn_join_report(&queries, k).unwrap();
+    assert!(!outcome.degraded, "a healthy cluster must not degrade");
+    assert!(outcome.quarantined_shards.is_empty());
+    assert_bit_identical(&outcome.pairs, &expected, "3 processes, R=2, capacity 64");
+}
+
+/// Placement must be invisible across shard capacities (including capacity 1 —
+/// one row per shard, the worst case for placement fan-out) and replication
+/// factors {1, 2}, every process cold-loading the snapshot.
+#[test]
+fn equivalence_holds_across_capacities_and_replication() {
+    let dim = 12;
+    let k = 5;
+    let corpus = vectors(2_000, dim, 21);
+    let queries = vectors(200, dim, 22);
+
+    for capacity in [1usize, 7, 64] {
+        let dir = snapshot_dir(&format!("cap{capacity}"));
+        let _cleanup = DirCleanup(dir.clone());
+        ShardedCosineIndex::from_vectors(&corpus, capacity)
+            .save_snapshot(&dir)
+            .unwrap();
+        let local = BlockingIndex::load_snapshot(&dir).unwrap();
+        let expected = local.knn_join(&queries, k);
+
+        for replication in [1usize, 2] {
+            let cluster = spawn_cluster(&dir, 2);
+            let mut coord = Coordinator::connect(
+                &endpoints(&cluster),
+                CoordinatorConfig {
+                    replication,
+                    ..CoordinatorConfig::default()
+                },
+            )
+            .unwrap();
+            let got = coord.knn_join(&queries, k).unwrap();
+            assert_bit_identical(
+                &got,
+                &expected,
+                &format!("capacity {capacity}, replication {replication}"),
+            );
+        }
+    }
+}
+
+/// A snapshot published as a delta chain serves identically: the coordinator and
+/// every child process resolve the chain on cold load, and the distributed answer
+/// matches the single-process one over the chain head.
+#[test]
+fn delta_chained_snapshot_serves_identically_across_processes() {
+    let dim = 12;
+    let k = 5;
+    let base_rows = vectors(1_200, dim, 31);
+    let added = vectors(300, dim, 32);
+    let queries = vectors(150, dim, 33);
+
+    let base_dir = snapshot_dir("delta-base");
+    let _cleanup_base = DirCleanup(base_dir.clone());
+    let delta_dir = snapshot_dir("delta-head");
+    let _cleanup_delta = DirCleanup(delta_dir.clone());
+
+    let index = ShardedCosineIndex::from_vectors(&base_rows, 128);
+    index.save_snapshot(&base_dir).unwrap();
+    let mut index = ShardedCosineIndex::load_snapshot(&base_dir).unwrap();
+    index.add_batch(&added);
+    index.save_delta_snapshot(&base_dir, &delta_dir).unwrap();
+
+    let local = BlockingIndex::load_snapshot(&delta_dir).unwrap();
+    assert_eq!(local.len(), 1_500);
+    let expected = local.knn_join(&queries, k);
+
+    let cluster = spawn_cluster(&delta_dir, 2);
+    let mut coord = Coordinator::connect(
+        &endpoints(&cluster),
+        CoordinatorConfig {
+            replication: 2,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let got = coord.knn_join(&queries, k).unwrap();
+    assert_bit_identical(&got, &expected, "delta-chained snapshot, 2 processes");
+}
+
+/// Killing one replica mid-run is invisible when every shard keeps a survivor:
+/// the next join is still bit-identical and not degraded. (The wider chaos matrix
+/// lives in `serve_chaos.rs`; this is the distributed tier's own smoke case.)
+#[test]
+fn losing_one_replica_of_two_is_invisible() {
+    let dim = 12;
+    let k = 5;
+    let corpus = vectors(2_000, dim, 41);
+    let queries = vectors(120, dim, 42);
+
+    let dir = snapshot_dir("failover");
+    let _cleanup = DirCleanup(dir.clone());
+    ShardedCosineIndex::from_vectors(&corpus, 64)
+        .save_snapshot(&dir)
+        .unwrap();
+    let local = BlockingIndex::load_snapshot(&dir).unwrap();
+    let expected = local.knn_join(&queries, k);
+
+    let mut cluster = spawn_cluster(&dir, 3);
+    let mut coord = Coordinator::connect(
+        &endpoints(&cluster),
+        CoordinatorConfig {
+            replication: 2,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    assert_bit_identical(
+        &coord.knn_join(&queries, k).unwrap(),
+        &expected,
+        "before the kill",
+    );
+
+    cluster.remove(1).kill(); // abrupt death, not graceful shutdown
+
+    let outcome = coord.knn_join_report(&queries, k).unwrap();
+    assert!(
+        !outcome.degraded,
+        "R=2 must survive one process loss without degrading \
+         (missing: {:?})",
+        outcome.quarantined_shards
+    );
+    assert_bit_identical(&outcome.pairs, &expected, "after the kill");
+}
+
+/// `shard_server` refuses a bad snapshot path with a diagnostic instead of
+/// serving nothing (guards the test harness itself).
+#[test]
+fn shard_server_rejects_a_missing_snapshot() {
+    let output = Command::new(env!("CARGO_BIN_EXE_shard_server"))
+        .arg("/nonexistent/sudowoodo-snapshot")
+        .output()
+        .expect("run shard_server");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("failed to load snapshot"));
+}
+
+/// Keep the helper honest: a spawned child really does exit when stdin closes.
+#[test]
+fn shard_server_exits_on_stdin_eof() {
+    let dim = 8;
+    let corpus = vectors(100, dim, 51);
+    let dir = snapshot_dir("eof");
+    let _cleanup = DirCleanup(dir.clone());
+    ShardedCosineIndex::from_vectors(&corpus, 32)
+        .save_snapshot(&dir)
+        .unwrap();
+
+    let mut server = ChildServer::spawn(&dir);
+    let mut stdin = server.child.stdin.take().expect("stdin piped");
+    stdin.flush().ok();
+    drop(stdin); // EOF
+    let status = server.child.wait().expect("child exits after stdin EOF");
+    assert!(status.success());
+}

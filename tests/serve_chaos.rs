@@ -4,13 +4,23 @@
 //! behavior. Throughout: no handler panics, connections stay usable, degraded
 //! responses are flagged, and results are bit-identical whenever nothing is armed.
 //!
+//! The scatter-gather failover cases live here too: a replica killed or wedged
+//! mid-sequence is routed around with **exact** results, and only the loss of every
+//! replica of a shard set degrades — explicitly, with the missing shards reported,
+//! and never cached. Wedging exactly one replica uses a child `shard_server`
+//! process with `SUDOWOODO_FAILPOINTS` set on the child alone (failpoints are
+//! process-global, so in-process arming would stall every replica at once).
+//!
 //! Failpoints are process-global, so this file is its own test binary and every test
 //! serializes on one mutex, disarming on exit (panic included) via a guard.
 
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
+use sudowoodo::coord::{Coordinator, CoordinatorConfig, LocalCluster};
 use sudowoodo::faults;
 use sudowoodo::index::{BlockingIndex, ShardedCosineIndex};
 use sudowoodo::serve::{ClientConfig, RetryPolicy, ServeClient, Server, ServerConfig};
@@ -31,13 +41,15 @@ impl Drop for DisarmGuard {
 }
 
 /// Every failpoint the stack registers, for the one-at-a-time sweep.
-const ALL_FAILPOINTS: [&str; 6] = [
+const ALL_FAILPOINTS: [&str; 8] = [
     "spill.read.io_err",
     "spill.write.io_err",
     "snapshot.payload.torn",
     "snapshot.rename.skip",
     "snapshot.manifest.torn",
+    "delta.manifest.torn",
     "serve.write.stall",
+    "serve.subset.stall",
 ];
 
 fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -280,4 +292,208 @@ fn an_already_expired_deadline_answers_busy_without_running_the_join() {
     assert_eq!(stats.degraded_joins, 0, "the join never ran: {stats:?}");
     client.ping().expect("connection survives expirations");
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather failover chaos
+// ---------------------------------------------------------------------------
+
+/// A `shard_server` child process with failpoints armed via its own environment —
+/// the only way to wedge ONE replica of a cluster (the registry is per-process).
+struct ChildServer {
+    child: Child,
+    endpoint: String,
+}
+
+impl ChildServer {
+    fn spawn(snapshot: &std::path::Path, failpoints: Option<&str>) -> ChildServer {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_shard_server"));
+        command
+            .arg(snapshot)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        if let Some(spec) = failpoints {
+            command.env("SUDOWOODO_FAILPOINTS", spec);
+        }
+        let mut child = command.spawn().expect("spawn shard_server");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read LISTENING line");
+        let endpoint = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected shard_server greeting: {line:?}"))
+            .to_string();
+        ChildServer { child, endpoint }
+    }
+}
+
+impl Drop for ChildServer {
+    fn drop(&mut self) {
+        drop(self.child.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn assert_exact(got: &[(usize, usize, f32)], expected: &[(usize, usize, f32)], context: &str) {
+    assert_eq!(got.len(), expected.len(), "{context}: result size");
+    for (g, e) in got.iter().zip(expected.iter()) {
+        assert_eq!((g.0, g.1), (e.0, e.1), "{context}: (query, id)");
+        assert_eq!(g.2.to_bits(), e.2.to_bits(), "{context}: score bits");
+    }
+}
+
+/// Killing one replica between batches is invisible: every shard keeps a live
+/// replica (R=2 over 3 endpoints), so the next join fails over and stays exact
+/// and non-degraded.
+#[test]
+fn killing_one_replica_is_invisible_through_failover() {
+    let _serial = fault_lock();
+    let _disarm = DisarmGuard;
+    let corpus = vectors(480, 8, 6);
+    let queries = vectors(24, 8, 60);
+    let index = Arc::new(BlockingIndex::build(corpus, Some(16)));
+    let expected = index.knn_join(&queries, 5);
+
+    let mut cluster = LocalCluster::spawn(Arc::clone(&index), 3).expect("spawn cluster");
+    let mut coord = Coordinator::connect(
+        &cluster.endpoints(),
+        CoordinatorConfig {
+            replication: 2,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("connect coordinator");
+    assert_exact(
+        &coord.knn_join(&queries, 5).expect("healthy join"),
+        &expected,
+        "before the kill",
+    );
+
+    cluster.kill(1);
+
+    let outcome = coord.knn_join_report(&queries, 5).expect("failover join");
+    assert!(
+        !outcome.degraded,
+        "one replica of two lost must not degrade (missing: {:?})",
+        outcome.quarantined_shards
+    );
+    assert_exact(&outcome.pairs, &expected, "after the kill");
+}
+
+/// A replica that accepts connections but wedges mid-request (the stall
+/// failpoint holds the subset join for a full second) is routed around within
+/// the coordinator's read timeout — exact results, no degradation. The stall is
+/// armed in ONE child process via its environment.
+#[test]
+fn a_stalled_replica_is_routed_around_exactly() {
+    let _serial = fault_lock();
+    let _disarm = DisarmGuard;
+    let dir = chaos_dir("stall");
+    let _cleanup = DirCleanup(dir.clone());
+    ShardedCosineIndex::from_vectors(&vectors(300, 8, 7), 16)
+        .save_snapshot(&dir)
+        .expect("save");
+    let queries = vectors(20, 8, 70);
+    let expected = BlockingIndex::load_snapshot(&dir)
+        .expect("cold load")
+        .knn_join(&queries, 5);
+
+    // One wedged replica, one healthy; R=2 over 2 endpoints puts both on every
+    // shard, so every stalled subset has a live fallback.
+    let stalled = ChildServer::spawn(&dir, Some("serve.subset.stall=always"));
+    let healthy = ChildServer::spawn(&dir, None);
+    let mut coord = Coordinator::connect(
+        &[stalled.endpoint.clone(), healthy.endpoint.clone()],
+        CoordinatorConfig {
+            replication: 2,
+            client: ClientConfig {
+                read_timeout: Some(Duration::from_millis(300)),
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    ..RetryPolicy::default()
+                },
+            },
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("connect coordinator");
+
+    let outcome = coord.knn_join_report(&queries, 5).expect("join");
+    assert!(
+        !outcome.degraded,
+        "the healthy replica covers every shard (missing: {:?})",
+        outcome.quarantined_shards
+    );
+    assert_exact(&outcome.pairs, &expected, "stalled replica routed around");
+}
+
+/// Losing EVERY replica of a shard set is the one unrecoverable case: the join
+/// still answers, explicitly degraded, reporting exactly the shards with no live
+/// replica — and a repeated batch recomputes the same degraded answer (the
+/// coordinator holds no cache, so a degraded result can never be replayed as
+/// complete).
+#[test]
+fn losing_every_replica_of_a_shard_set_degrades_explicitly_and_never_caches() {
+    let _serial = fault_lock();
+    let _disarm = DisarmGuard;
+    let corpus = vectors(480, 8, 8);
+    let queries = vectors(24, 8, 80);
+    let index = Arc::new(BlockingIndex::build(corpus, Some(16)));
+
+    let mut cluster = LocalCluster::spawn(Arc::clone(&index), 3).expect("spawn cluster");
+    let mut coord = Coordinator::connect(
+        &cluster.endpoints(),
+        CoordinatorConfig {
+            replication: 2,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("connect coordinator");
+
+    // Endpoints 0 and 1 die; exactly the shards whose whole replica set is
+    // {0, 1} lose coverage. The placement is deterministic, so this set is too.
+    let expected_missing: Vec<usize> = coord
+        .placement()
+        .iter()
+        .enumerate()
+        .filter(|(_, replicas)| replicas.iter().all(|&e| e == 0 || e == 1))
+        .map(|(shard, _)| shard)
+        .collect();
+    assert!(
+        !expected_missing.is_empty(),
+        "fixture must place at least one shard entirely on the doomed endpoints \
+         (placement: {:?})",
+        coord.placement()
+    );
+    let covered: Vec<usize> = (0..coord.num_shards())
+        .filter(|s| !expected_missing.contains(s))
+        .collect();
+    let expected_pairs = index.knn_join_subset_report(&queries, 5, &covered).pairs;
+
+    cluster.kill(0);
+    cluster.kill(0); // original endpoint 1
+
+    let outcome = coord.knn_join_report(&queries, 5).expect("degraded join");
+    assert!(outcome.degraded, "total shard-set loss must be explicit");
+    assert_eq!(
+        outcome.quarantined_shards, expected_missing,
+        "the missing shards must be reported exactly"
+    );
+    assert_exact(
+        &outcome.pairs,
+        &expected_pairs,
+        "covered shards still answer exactly",
+    );
+
+    // Never cached: the identical batch is recomputed and stays degraded and
+    // bit-identical — it cannot resurface later as a complete answer.
+    let again = coord.knn_join_report(&queries, 5).expect("repeat join");
+    assert_eq!(
+        again, outcome,
+        "degraded outcomes must not be replayed from any cache"
+    );
 }
