@@ -166,6 +166,25 @@ struct ScatterGatherRow {
     queries_per_sec: f64,
 }
 
+/// The connection-scaling gate over the sweep rows. Latency is runner-dependent
+/// and never floored; what IS gated is structural: the sweep must actually hold
+/// its (rlimit-clamped) connection target — at least 5k on any box with fds to
+/// spare — with finite, positive p50/p99 reported at that scale. A server that
+/// regressed to per-connection threads or wedged under a parked crowd fails
+/// this long before any latency floor would trip.
+#[derive(Clone, Debug, Serialize)]
+struct ConnectionGate {
+    /// Connections the gate demands (5k clamped by the box's fd rlimit).
+    required_connections: usize,
+    /// Connections the sweep's largest level actually attached.
+    attached_connections: usize,
+    /// p50 at the largest attached level, milliseconds.
+    p50_ms: f64,
+    /// p99 at the largest attached level, milliseconds.
+    p99_ms: f64,
+    regression: bool,
+}
+
 /// The full machine-readable perf report (`target/experiments/BENCH_perf.json`).
 #[derive(Clone, Debug, Serialize)]
 struct PerfReport {
@@ -174,6 +193,8 @@ struct PerfReport {
     any_regression: bool,
     serve_load_shed: LoadShedRow,
     scatter_gather: ScatterGatherRow,
+    serve_connection_sweep: Vec<sudowoodo_bench::connsweep::SweepLevel>,
+    connection_gate: ConnectionGate,
 }
 
 fn build_gate(rows: &[SpeedupRow]) -> (Vec<GateRow>, bool) {
@@ -651,7 +672,7 @@ fn serve_load_shed_row() -> LoadShedRow {
     let index = BlockingIndex::build(corpus, Some(512));
     let config = ServerConfig {
         admission_queue_depth: depth,
-        request_deadline: None,
+        ..ServerConfig::default()
     };
     let server =
         Server::spawn_with_config(Arc::new(index), "127.0.0.1:0", config).expect("spawn server");
@@ -791,6 +812,49 @@ fn scatter_gather_row() -> ScatterGatherRow {
     }
 }
 
+/// Runs the connection-count sweep against a small served index and derives the
+/// structural [`ConnectionGate`] from its largest level. See [`ConnectionGate`]
+/// for what gates (connection count, finite percentiles) and what does not
+/// (the latencies themselves).
+fn connection_sweep_rows() -> (Vec<sudowoodo_bench::connsweep::SweepLevel>, ConnectionGate) {
+    use std::sync::Arc;
+    use sudowoodo_bench::connsweep;
+    use sudowoodo_index::BlockingIndex;
+    use sudowoodo_serve::Server;
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let dim = 32;
+    let k = 10;
+    let corpus: Vec<Vec<f32>> = (0..4_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let index = BlockingIndex::build(corpus, Some(512));
+    let server = Server::spawn(Arc::new(index), "127.0.0.1:0").expect("spawn sweep server");
+
+    let levels: Vec<_> = [512usize, 5_000]
+        .into_iter()
+        .map(|target| connsweep::sweep_level(server.addr(), &queries, k, target, 2, 25))
+        .collect();
+    server.shutdown();
+
+    let top = levels.last().expect("sweep has levels");
+    let required_connections = connsweep::clamp_idle_target(5_000);
+    let finite = |ms: f64| ms.is_finite() && ms > 0.0;
+    let gate = ConnectionGate {
+        required_connections,
+        attached_connections: top.idle_attached,
+        p50_ms: top.p50_ms,
+        p99_ms: top.p99_ms,
+        regression: top.idle_attached < required_connections
+            || !finite(top.p50_ms)
+            || !finite(top.p99_ms),
+    };
+    (levels, gate)
+}
+
 fn main() {
     let mut rows = Vec::new();
     matmul_rows(&mut rows);
@@ -815,6 +879,29 @@ fn main() {
         scatter_gather.processes,
         scatter_gather.replication,
         scatter_gather.queries_per_sec
+    );
+    let (serve_connection_sweep, connection_gate) = connection_sweep_rows();
+    for level in &serve_connection_sweep {
+        println!(
+            "conn sweep: {} idle + {} active: p50 {:.3} ms, p99 {:.3} ms, \
+             {:.0} queries/sec",
+            level.idle_attached,
+            level.active_clients,
+            level.p50_ms,
+            level.p99_ms,
+            level.queries_per_sec
+        );
+    }
+    println!(
+        "connection gate: {}/{} connections held, p99 {:.3} ms — {}",
+        connection_gate.attached_connections,
+        connection_gate.required_connections,
+        connection_gate.p99_ms,
+        if connection_gate.regression {
+            "REGRESSION"
+        } else {
+            "ok"
+        }
     );
 
     let printable: Vec<Vec<String>> = rows
@@ -851,7 +938,8 @@ fn main() {
         &printable,
     );
 
-    let (gate, any_regression) = build_gate(&rows);
+    let (gate, mut any_regression) = build_gate(&rows);
+    any_regression |= connection_gate.regression;
     let gate_printable: Vec<Vec<String>> = gate
         .iter()
         .map(|g| {
@@ -879,6 +967,8 @@ fn main() {
             any_regression,
             serve_load_shed,
             scatter_gather,
+            serve_connection_sweep,
+            connection_gate,
         },
     );
     if any_regression {

@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+use sudowoodo_bench::connsweep::{self, SweepLevel};
 use sudowoodo_bench::harness::print_table;
 use sudowoodo_bench::ResultWriter;
 use sudowoodo_coord::{Coordinator, CoordinatorConfig, LocalCluster};
@@ -72,6 +73,13 @@ struct ServeReport {
     /// `3x2x64`): processes, replication, virtual nodes. Its QPS row rides in
     /// `rows` and is never gated against `target_qps`.
     cluster: ClusterShape,
+    /// Connection-count sweep: p50/p99 per-request latency with 6 → 10k idle
+    /// connections parked (targets clamped by the fd rlimit; two descriptors
+    /// per in-process connection). Idle connections are free under the
+    /// readiness-polled workers, so latency should hold roughly flat.
+    connection_sweep: Vec<SweepLevel>,
+    /// The largest idle crowd actually attached during the sweep.
+    peak_idle_connections: usize,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -177,6 +185,40 @@ fn main() {
         (reps / clients) * clients * queries.len(),
     ));
 
+    // 4d. Connection-count sweep: park 6 → 10k idle connections (clamped by the
+    // fd rlimit) and time a small active set's requests through the crowd. The
+    // batch is tiny and warm-cached so the numbers measure the I/O path — how
+    // much a parked crowd costs per request — not join compute.
+    let sweep_batch = &queries[..64];
+    let mut connection_sweep = Vec::new();
+    for target in [6usize, 512, 5_000, 10_000] {
+        let level = connsweep::sweep_level(server.addr(), sweep_batch, k, target, 2, 40);
+        println!(
+            "conn sweep: {} idle (target {}) + {} active: p50 {:.3} ms, p99 {:.3} ms, \
+             {:.0} queries/s",
+            level.idle_attached,
+            level.idle_target,
+            level.active_clients,
+            level.p50_ms,
+            level.p99_ms,
+            level.queries_per_sec
+        );
+        rows.push(ServeRow::new(
+            format!(
+                "sweep: {} idle + {} active (p50 {:.2} ms, p99 {:.2} ms)",
+                level.idle_attached, level.active_clients, level.p50_ms, level.p99_ms
+            ),
+            level.seconds,
+            level.requests * level.batch,
+        ));
+        connection_sweep.push(level);
+    }
+    let peak_idle_connections = connection_sweep
+        .iter()
+        .map(|l| l.idle_attached)
+        .max()
+        .unwrap_or(0);
+
     let stats = client.stats().expect("stats");
     server.shutdown();
 
@@ -195,7 +237,7 @@ fn main() {
         "127.0.0.1:0",
         ServerConfig {
             admission_queue_depth: depth,
-            request_deadline: None,
+            ..ServerConfig::default()
         },
     )
     .expect("spawn overload server");
@@ -340,6 +382,8 @@ fn main() {
                 replication: spec.replication,
                 virtual_nodes: spec.virtual_nodes,
             },
+            connection_sweep,
+            peak_idle_connections,
         },
     );
 }

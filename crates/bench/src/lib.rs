@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod connsweep;
 pub mod experiments;
 pub mod harness;
 

@@ -26,7 +26,14 @@
 //! Any endpoint can fail mid-batch: connection refused, a torn stream, a read
 //! timeout (wedged process), a `BUSY` load-shed, or a server-side quarantine of a
 //! shard's storage. The coordinator retries the affected **shards** — not the
-//! request — on their surviving replicas, in replica order. Only when a shard is
+//! request — on their surviving replicas, in replica order. The failure *class*
+//! decides what happens to the endpoint itself: a transport failure or timeout
+//! marks it dead for the rest of this call (later calls re-probe from scratch),
+//! but a `BUSY` answer comes from a healthy, responsive process that is load
+//! shedding — its shards fail over to the next replica, while the endpoint stays
+//! eligible for later shard sets in the same call (distinguished via
+//! [`sudowoodo_serve::is_busy`], since an OS read timeout shares the `WouldBlock`
+//! error kind). Only when a shard is
 //! exhausted (every replica failed or reported the shard uncoverable) does the
 //! join degrade: the outcome is still returned, with `degraded = true` and the
 //! missing shard positions listed in
@@ -44,7 +51,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::io;
 
 use sudowoodo_index::{JoinOutcome, TopK};
-use sudowoodo_serve::{ClientConfig, RetryPolicy, ServeClient};
+use sudowoodo_serve::{is_busy, ClientConfig, RetryPolicy, ServeClient};
 
 use crate::ring::HashRing;
 
@@ -266,9 +273,21 @@ impl Coordinator {
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+                    Err(e) if is_busy(&e) => {
+                        // A BUSY answer is load shedding by a *healthy, responsive*
+                        // process — the opposite of a dead endpoint. Advance these
+                        // shards to their next replica (spreading the load), but
+                        // leave the endpoint eligible for later shard sets in this
+                        // same call: blacklisting it here would let one shed
+                        // response knock a live replica out of the whole batch.
+                        for &shard in &shards {
+                            attempt[shard] += 1;
+                        }
+                        pending.extend(shards);
+                    }
                     Err(_) => {
-                        // Transport failure, timeout, or BUSY: the endpoint is out
-                        // of this call; its shards retry on surviving replicas.
+                        // Transport failure or timeout: the endpoint is out of
+                        // this call; its shards retry on surviving replicas.
                         dead.insert(endpoint);
                         pending.extend(shards);
                     }
@@ -310,7 +329,11 @@ impl Coordinator {
         let client = self.clients[endpoint].as_mut().expect("dialed above");
         let result = client.knn_join_subset(queries, k, shards);
         if let Err(e) = &result {
-            if e.kind() != io::ErrorKind::InvalidInput {
+            // A BUSY answer arrived as a complete, well-framed response — the
+            // stream is clean and the endpoint stays connected for re-probing.
+            // Rejections (InvalidInput) likewise leave the stream intact. Only
+            // transport failures tear the connection down.
+            if e.kind() != io::ErrorKind::InvalidInput && !is_busy(e) {
                 self.clients[endpoint] = None;
             }
         }

@@ -236,6 +236,14 @@ pub struct SudowoodoConfig {
     /// *degraded* response (quarantined shards skipped server-side) is a success with
     /// an explicit flag, not a retry trigger.
     pub serve_retry_max: u32,
+    /// I/O worker threads of a query server spawned over the blocking index (maps to
+    /// `sudowoodo_serve::ServerConfig::worker_threads`): a fixed pool of
+    /// readiness-polled workers multiplexes every connection, so this bounds socket-I/O
+    /// parallelism — join compute runs on its own thread either way. `0` (the default)
+    /// sizes the pool from the machine's available parallelism (capped at 4; idle
+    /// connections cost no wakeups, so a handful of workers saturate a NIC long before
+    /// they saturate cores).
+    pub serve_worker_threads: usize,
     /// Shape of a distributed scatter-gather serving cluster (see [`ClusterSpec`] and
     /// the `sudowoodo-coord` crate): how many serve processes load the published
     /// snapshot and how many replicas each shard gets on the consistent-hash ring.
@@ -280,6 +288,7 @@ impl Default for SudowoodoConfig {
             serve_queue_depth: 256,
             serve_deadline_ms: None,
             serve_retry_max: 3,
+            serve_worker_threads: 0,
             cluster_spec: None,
             seed: 42,
         }

@@ -239,9 +239,10 @@ impl Shard {
     /// Scores `q_block x shardᵀ` and offers every live row to the per-query selectors.
     ///
     /// `inv_norms[r]` is the query-row inverse norm; the scale is applied at offer time
-    /// exactly like the dense path (`s * inv`). A spilled shard matrix is read back
-    /// transiently for the duration of the product (with the storage layer's retry
-    /// backoff for transient I/O faults).
+    /// exactly like the dense path (`s * inv`). A spilled shard matrix is scored
+    /// straight out of its shared memory mapping (established, CRC-checked once, with
+    /// the storage layer's retry backoff for transient I/O faults) — the OS page
+    /// cache, not a per-process heap copy, is the working set.
     ///
     /// # Errors
     /// The shard's storage stayed unreadable through the retries; no candidate was
@@ -256,8 +257,11 @@ impl Shard {
         if self.live == 0 {
             return Ok(());
         }
-        let matrix = self.storage.matrix()?;
-        let sims = q_block.matmul_transpose_b(&matrix);
+        // The query path borrows the payload (resident memory or the shared CRC-
+        // verified mapping) instead of faulting a heap copy per tile; the kernels
+        // are identical either way, so scores stay bit-identical.
+        let payload = self.storage.query_payload()?;
+        let sims = q_block.matmul_transpose_b_view(&payload.view());
         for (r, selector) in selectors.iter_mut().enumerate() {
             let inv = inv_norms[r];
             let row = sims.row(r);

@@ -62,11 +62,11 @@ use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use sudowoodo_faults as faults;
-use sudowoodo_nn::matrix::Matrix;
+use sudowoodo_nn::matrix::{Matrix, MatrixView};
 
 /// Magic prefix of a spill file; the trailing `1` is the format version.
 const MAGIC: &[u8; 8] = b"SWSHARD1";
@@ -331,6 +331,11 @@ pub struct SpilledShard {
     owns_file: bool,
     rows: usize,
     cols: usize,
+    /// The query-path memory mapping, established (and CRC-verified) once on first
+    /// use. A failed map is never cached — the next query retries from scratch, so a
+    /// transient fault costs retries, never a permanently broken shard.
+    #[cfg(all(unix, target_endian = "little"))]
+    map: OnceLock<MappedShard>,
 }
 
 impl Drop for SpilledShard {
@@ -399,6 +404,8 @@ impl SpilledShard {
             owns_file: true,
             rows: matrix.rows(),
             cols: matrix.cols(),
+            #[cfg(all(unix, target_endian = "little"))]
+            map: OnceLock::new(),
         })
     }
 
@@ -434,6 +441,8 @@ impl SpilledShard {
             owns_file: false,
             rows,
             cols,
+            #[cfg(all(unix, target_endian = "little"))]
+            map: OnceLock::new(),
         }
     }
 
@@ -526,6 +535,205 @@ impl SpilledShard {
     pub fn file_path(&self) -> &Path {
         &self.path
     }
+
+    /// The shared, validated memory mapping of this payload, established on first
+    /// use (see [`MappedShard`]). Failures are **never cached**: a transiently
+    /// unmappable file is retried from scratch by the next query, exactly like the
+    /// copying fault path.
+    #[cfg(all(unix, target_endian = "little"))]
+    pub fn mapped(&self) -> Result<&MappedShard, StorageError> {
+        if let Some(mapped) = self.map.get() {
+            return Ok(mapped);
+        }
+        let fresh = self.map_retrying()?;
+        // A concurrent query may have won the race; the loser's mapping is munmapped
+        // harmlessly (read-only, MAP_SHARED — dropping a duplicate changes nothing).
+        Ok(self.map.get_or_init(|| fresh))
+    }
+
+    /// [`SpilledShard::map_file`] with the shared fault-retry backoff (mirroring
+    /// [`SpilledShard::load_retrying`]); corruption is not retried.
+    #[cfg(all(unix, target_endian = "little"))]
+    fn map_retrying(&self) -> Result<MappedShard, StorageError> {
+        let mut last = None;
+        for retry in 0..FAULT_ATTEMPTS {
+            if retry > 0 {
+                fault_backoff(retry - 1);
+            }
+            match self.map_file() {
+                Ok(mapped) => return Ok(mapped),
+                Err(e) if e.is_corrupt() => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Maps the payload file read-only and validates it **once**: length against the
+    /// recorded shape, magic, header shape, and the CRC-32 trailer over every
+    /// preceding byte — the same checks [`SpilledShard::load`] performs per fault,
+    /// paid a single time for the lifetime of the mapping.
+    ///
+    /// Failpoint `spill.read.io_err`: fails the attempt before opening the file,
+    /// exactly like the copying read path, so the chaos suites exercise both.
+    #[cfg(all(unix, target_endian = "little"))]
+    fn map_file(&self) -> Result<MappedShard, StorageError> {
+        if faults::fires("spill.read.io_err") {
+            return Err(StorageError::io(
+                &self.path,
+                io::Error::other("failpoint spill.read.io_err: injected spill-read failure"),
+            ));
+        }
+        let ioerr = |e| StorageError::io(&self.path, e);
+        let corrupt = |what: &str| StorageError::corrupt(&self.path, what);
+        let file = fs::File::open(&self.path).map_err(ioerr)?;
+        let expected = HEADER_LEN + self.rows * self.cols * 4 + TRAILER_LEN;
+        let actual = file.metadata().map_err(ioerr)?.len();
+        if actual != expected as u64 {
+            return Err(corrupt(&format!(
+                "{actual} bytes on disk, expected {expected} for a {}x{} shard",
+                self.rows, self.cols
+            )));
+        }
+        let mapped = MappedShard::map(&file, expected, self.rows, self.cols).map_err(ioerr)?;
+        let bytes = mapped.bytes();
+        if &bytes[..8] != MAGIC {
+            return Err(corrupt("bad magic (not a Sudowoodo shard spill file)"));
+        }
+        let rows = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let cols = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        if (rows, cols) != (self.rows, self.cols) {
+            return Err(corrupt("header shape disagrees with the index metadata"));
+        }
+        let body = &bytes[..expected - TRAILER_LEN];
+        let trailer: [u8; TRAILER_LEN] = bytes[expected - TRAILER_LEN..].try_into().unwrap();
+        if u32::from_le_bytes(trailer) != crc32(body) {
+            return Err(corrupt(
+                "CRC-32 mismatch (the payload bytes changed since they were written)",
+            ));
+        }
+        Ok(mapped)
+    }
+}
+
+/// A read-only `mmap(2)` of one `SWSHARD1` payload file, shared across every index
+/// (and every *process*) serving the same snapshot: the faulted pages live in the OS
+/// page cache once, instead of one heap copy per process per query tile. The header,
+/// shape, and CRC-32 trailer are verified a single time when the mapping is
+/// established ([`SpilledShard::mapped`]); after that a query borrows the `f32`
+/// payload directly out of the mapping with zero copies.
+///
+/// Only built on little-endian Unix — the on-disk floats are little-endian, so the
+/// bytes can be reinterpreted in place; elsewhere the query path transparently falls
+/// back to the copying [`SpilledShard::load_retrying`] fault.
+///
+/// The payload offset (`HEADER_LEN` = 24) is 4-byte aligned from the page-aligned
+/// mapping base, so the `f32` reinterpretation is always aligned.
+#[cfg(all(unix, target_endian = "little"))]
+#[derive(Debug)]
+pub struct MappedShard {
+    ptr: *const u8,
+    len: usize,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime and the
+// backing snapshot/spill files are never rewritten in place (spill paths are never
+// reused; snapshots are write-once), so concurrent reads from any thread are safe.
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Send for MappedShard {}
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Sync for MappedShard {}
+
+#[cfg(all(unix, target_endian = "little"))]
+mod sys {
+    //! The two `mmap(2)` symbols this module needs, declared directly against libc
+    //! (which `std` already links) — no new dependency, per the workspace's offline
+    //! build constraint.
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 0x01;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl MappedShard {
+    /// Maps `len` bytes of `file` read-only and shared. `len` is never 0 here (every
+    /// payload carries at least its 28 header + trailer bytes).
+    fn map(file: &fs::File, len: usize, rows: usize, cols: usize) -> io::Result<MappedShard> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: a fresh PROT_READ/MAP_SHARED mapping of a file we hold open; the
+        // kernel validates the fd and length, and failure is reported via MAP_FAILED.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedShard {
+            ptr: ptr as *const u8,
+            len,
+            rows,
+            cols,
+        })
+    }
+
+    /// The whole mapped file, header and trailer included.
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live mapping of exactly `len` bytes (established in
+        // `map`, released only in `Drop`).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The row-major `f32` payload, borrowed straight out of the page cache.
+    pub fn data(&self) -> &[f32] {
+        // SAFETY: the payload spans `rows * cols` little-endian f32s starting at the
+        // 4-byte-aligned HEADER_LEN offset of the `len`-byte mapping (length was
+        // validated at map time); every bit pattern is a valid f32.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.ptr.add(HEADER_LEN) as *const f32,
+                self.rows * self.cols,
+            )
+        }
+    }
+
+    /// The payload as a borrowed matrix view for the scoring kernels.
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.rows, self.cols, self.data())
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl Drop for MappedShard {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the exact region `map` established; the pointer is never
+        // used again (self is being dropped).
+        unsafe {
+            sys::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+        }
+    }
 }
 
 /// `true` when the two paths resolve to the same existing file or directory (a path
@@ -535,6 +743,27 @@ pub(crate) fn same_file(a: &Path, b: &Path) -> bool {
     match (fs::canonicalize(a), fs::canonicalize(b)) {
         (Ok(ca), Ok(cb)) => ca == cb,
         _ => false,
+    }
+}
+
+/// What [`ShardStorage::query_payload`] hands the scoring kernels: a zero-copy view
+/// whenever the payload has a stable home (resident matrix, established mapping), an
+/// owned fault only on targets without the mapping.
+#[derive(Debug)]
+pub enum ShardData<'a> {
+    /// Borrowed straight from resident memory or the shared mapping.
+    Borrowed(MatrixView<'a>),
+    /// A copying fault (non-Unix / big-endian fallback).
+    Owned(Matrix),
+}
+
+impl ShardData<'_> {
+    /// The payload as a [`MatrixView`], whichever arm holds it.
+    pub fn view(&self) -> MatrixView<'_> {
+        match self {
+            ShardData::Borrowed(v) => *v,
+            ShardData::Owned(m) => m.view(),
+        }
     }
 }
 
@@ -621,6 +850,29 @@ impl ShardStorage {
         match self {
             ShardStorage::Resident(m) => Ok(Cow::Borrowed(m)),
             ShardStorage::Spilled(s) => s.load_retrying().map(Cow::Owned),
+        }
+    }
+
+    /// The **query-path** payload: a borrowed view for resident shards, the shared
+    /// validated memory mapping for spilled ones ([`SpilledShard::mapped`]) — so a
+    /// spilled shard's working set is OS page cache shared across every process
+    /// serving the same snapshot, not a fresh heap copy per query tile. On targets
+    /// without the mapping (non-Unix or big-endian) the spilled arm transparently
+    /// falls back to the copying fault, bit-identically.
+    ///
+    /// Mutating paths (compaction, ingestion, cloning) keep using
+    /// [`ShardStorage::matrix`] / [`ShardStorage::make_resident`].
+    ///
+    /// # Errors
+    /// Same contract as [`ShardStorage::matrix`]: the shard stayed unreadable (or
+    /// unmappable) through the retries.
+    pub fn query_payload(&self) -> Result<ShardData<'_>, StorageError> {
+        match self {
+            ShardStorage::Resident(m) => Ok(ShardData::Borrowed(m.view())),
+            #[cfg(all(unix, target_endian = "little"))]
+            ShardStorage::Spilled(s) => s.mapped().map(|m| ShardData::Borrowed(m.view())),
+            #[cfg(not(all(unix, target_endian = "little")))]
+            ShardStorage::Spilled(s) => s.load_retrying().map(ShardData::Owned),
         }
     }
 

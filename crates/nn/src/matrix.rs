@@ -630,6 +630,70 @@ pub(crate) mod kernels {
     }
 }
 
+/// A borrowed, row-major `f32` matrix view — the shape of a [`Matrix`] without the
+/// owned buffer, so kernels can run over externally owned storage (an mmap'd file,
+/// a slice of a larger buffer) with zero copies.
+///
+/// # Examples
+/// ```
+/// use sudowoodo_nn::matrix::{Matrix, MatrixView};
+///
+/// let corpus = [1.0f32, 0.0, 0.0, 1.0];
+/// let view = MatrixView::new(2, 2, &corpus);
+/// let q = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+/// assert_eq!(q.matmul_transpose_b_view(&view).row(0), &[1.0, 0.0]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f32],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a row-major buffer as a `rows x cols` view.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: &'a [f32]) -> MatrixView<'a> {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "MatrixView::new: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        MatrixView { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major buffer.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies the viewed data into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.to_vec())
+    }
+}
+
 /// A dense, row-major matrix of `f32` values.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
@@ -1061,33 +1125,52 @@ impl Matrix {
     /// assert_eq!(sims.row(0), &[1.0, 0.0]);
     /// ```
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        self.matmul_transpose_b_view(&other.view())
+    }
+
+    /// [`Matrix::matmul_transpose_b`] against a borrowed [`MatrixView`] — the same
+    /// kernels (and bit-identical output) over storage this crate does not own, e.g.
+    /// a memory-mapped shard payload.
+    ///
+    /// # Panics
+    /// Panics when the column counts disagree.
+    pub fn matmul_transpose_b_view(&self, other: &MatrixView<'_>) -> Matrix {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols(),
             "matmul_transpose_b: contraction mismatch ({}x{} * ({}x{})^T)",
-            self.rows, self.cols, other.rows, other.cols
+            self.rows,
+            self.cols,
+            other.rows(),
+            other.cols()
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        let flops = self.rows * self.cols * other.rows;
+        let mut out = Matrix::zeros(self.rows, other.rows());
+        let flops = self.rows * self.cols * other.rows();
         if flops >= PAR_FLOPS && self.rows > 1 && rayon::current_num_threads() > 1 {
             out.data
-                .par_chunks_mut(other.rows.max(1))
+                .par_chunks_mut(other.rows().max(1))
                 .enumerate()
                 .for_each(|(i, out_row)| Self::dot_row(self.row(i), other, out_row));
         } else {
             for i in 0..self.rows {
                 let a_row = self.row(i);
-                let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+                let out_row = &mut out.data[i * other.rows()..(i + 1) * other.rows()];
                 Self::dot_row(a_row, other, out_row);
             }
         }
         out
     }
 
+    /// This matrix as a borrowed [`MatrixView`].
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.rows, self.cols, &self.data)
+    }
+
     /// One output row of `matmul_transpose_b`: dots of `a_row` against all rows of `other`,
     /// four at a time.
     #[inline]
-    fn dot_row(a_row: &[f32], other: &Matrix, out_row: &mut [f32]) {
-        let n = other.rows;
+    fn dot_row(a_row: &[f32], other: &MatrixView<'_>, out_row: &mut [f32]) {
+        let n = other.rows();
         let mut j = 0;
         while j + 4 <= n {
             let d = kernels::dot4(

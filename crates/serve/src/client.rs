@@ -25,6 +25,7 @@
 //! [`ServeClient::knn_join_detailed`] additionally reports `degraded = true` so
 //! callers that must not act on partial coverage can tell.
 
+use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -34,6 +35,38 @@ use crate::protocol::{
     encode_knn_subset_request, read_frame, split_response, write_frame, Response, ServerStats,
     OP_PING, OP_STATS,
 };
+
+/// The typed payload inside every `io::Error` this client produces for a `BUSY`
+/// (load-shed) response. The error's *kind* stays
+/// [`std::io::ErrorKind::WouldBlock`] for backward compatibility, but kind alone
+/// is ambiguous — an OS-level read timeout (`SO_RCVTIMEO`) also surfaces as
+/// `WouldBlock` on Linux. Check [`is_busy`] to distinguish "the server answered
+/// BUSY, re-probe it later" from "the transport went quiet, treat the endpoint as
+/// dead": a coordinator must not blacklist a healthy replica over a shed request.
+#[derive(Debug)]
+pub struct ServerBusy {
+    message: String,
+}
+
+impl ServerBusy {
+    fn to_error(message: String) -> io::Error {
+        io::Error::new(io::ErrorKind::WouldBlock, ServerBusy { message })
+    }
+}
+
+impl fmt::Display for ServerBusy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServerBusy {}
+
+/// `true` when `err` is a server `BUSY` (load-shed) answer — see [`ServerBusy`].
+pub fn is_busy(err: &io::Error) -> bool {
+    err.get_ref()
+        .is_some_and(|inner| inner.downcast_ref::<ServerBusy>().is_some())
+}
 
 /// What [`ServeClient::knn_join_detailed`] returns: the `(query_index, stable_id,
 /// score)` pairs plus the degraded flag (`true` when quarantined shards were
@@ -240,13 +273,10 @@ impl ServeClient {
             };
             if retry >= self.config.retry.max_retries {
                 return Err(transport_error.unwrap_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::WouldBlock,
-                        format!(
-                            "server busy (load shed) after {} attempts",
-                            self.config.retry.max_retries + 1
-                        ),
-                    )
+                    ServerBusy::to_error(format!(
+                        "server busy (load shed) after {} attempts",
+                        self.config.retry.max_retries + 1
+                    ))
                 }));
             }
             let mut rng = self.jitter_rng;
@@ -309,13 +339,10 @@ impl ServeClient {
             };
             if retry >= self.config.retry.max_retries {
                 return Err(transport_error.unwrap_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::WouldBlock,
-                        format!(
-                            "server busy (load shed) after {} attempts",
-                            self.config.retry.max_retries + 1
-                        ),
-                    )
+                    ServerBusy::to_error(format!(
+                        "server busy (load shed) after {} attempts",
+                        self.config.retry.max_retries + 1
+                    ))
                 }));
             }
             let mut rng = self.jitter_rng;
@@ -334,10 +361,7 @@ impl ServeClient {
         let response = self.round_trip(&[OP_PING])?;
         match split_response(&response)? {
             Response::Ok(_) | Response::OkDegraded(_) => Ok(()),
-            Response::Busy => Err(io::Error::new(
-                io::ErrorKind::WouldBlock,
-                "server busy (load shed)",
-            )),
+            Response::Busy => Err(ServerBusy::to_error("server busy (load shed)".into())),
             Response::Err(message) => Err(Self::server_error(message)),
         }
     }
@@ -349,10 +373,7 @@ impl ServeClient {
         match split_response(&response)? {
             Response::Ok(body) | Response::OkDegraded(body) => decode_stats_response(body)
                 .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m)),
-            Response::Busy => Err(io::Error::new(
-                io::ErrorKind::WouldBlock,
-                "server busy (load shed)",
-            )),
+            Response::Busy => Err(ServerBusy::to_error("server busy (load shed)".into())),
             Response::Err(message) => Err(Self::server_error(message)),
         }
     }

@@ -7,16 +7,20 @@
 //! step, built on the PR 4 spill layer and the snapshot/cache layers of
 //! `sudowoodo-index`.
 //!
-//! Everything is `std` — `TcpListener`/`TcpStream`, threads, a condvar — no new
-//! dependencies (the workspace builds offline). Three pieces:
+//! Everything is `std` — `TcpListener`/`TcpStream`, threads, a condvar, and a thin
+//! `poll(2)` wrapper ([`reactor`]) — no new dependencies (the workspace builds
+//! offline). Four pieces:
 //!
 //! * [`protocol`] — a small length-prefixed binary protocol (opcode frames, fixed
 //!   little-endian layouts, a 64 MiB frame bound). Documented field-by-field in the
 //!   module; a client in another language is an afternoon's work.
-//! * [`Server`] — one thread per connection plus a join worker that **coalesces
-//!   concurrent requests into one `knn_join`** (server-side request batching: N
-//!   clients landing together cost one GEMM pass per visited shard, not N). `PING`
-//!   and `STATS` answer inline.
+//! * [`reactor`] — the std-only readiness layer: `poll(2)` over non-blocking
+//!   sockets plus a loopback-pair [`reactor::Waker`].
+//! * [`Server`] — a fixed pool of readiness-polled I/O workers (idle connections
+//!   cost zero wakeups; thousands of sockets per thread) plus a join worker that
+//!   **coalesces concurrent requests into one `knn_join`** (server-side request
+//!   batching: N clients landing together cost one GEMM pass per visited shard,
+//!   not N). `PING` and `STATS` answer inline on the I/O workers.
 //! * [`ServeClient`] — a synchronous client handle; results are identical (ids,
 //!   scores, and ordering) to calling `knn_join` in-process.
 //!
@@ -24,8 +28,9 @@
 //! frame (`KNN_SUBSET`, [`ServeClient::knn_join_subset`]): a coordinator (the
 //! `sudowoodo-coord` crate) scatters one query batch to the replicas owning each
 //! shard subset and merges the per-subset top-k — bit-identical to a single-process
-//! `knn_join` because top-k selection is order-independent. Subset joins answer
-//! inline (no batching, no caching; see the [`server`] docs for why).
+//! `knn_join` because top-k selection is order-independent. Subset joins are never
+//! coalesced or cached and bypass the admission queue (see the [`server`] docs for
+//! why).
 //!
 //! The serving layer is built to survive faults and overload (see the [`server`]
 //! module docs): bounded admission with `BUSY` load shedding, per-request deadlines,
@@ -73,8 +78,9 @@
 
 pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
-pub use client::{ClientConfig, RetryPolicy, ServeClient};
+pub use client::{is_busy, ClientConfig, RetryPolicy, ServeClient, ServerBusy};
 pub use protocol::ServerStats;
 pub use server::{Server, ServerConfig};

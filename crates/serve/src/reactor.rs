@@ -1,0 +1,200 @@
+//! A thin, std-only readiness layer over `poll(2)` for the serve worker pool.
+//!
+//! The server multiplexes every connection onto a fixed set of worker threads, so it
+//! needs one primitive the standard library does not expose: "block until any of
+//! these sockets is readable/writable (or a deadline passes)". This module declares
+//! the two symbols that primitive needs — `poll(2)` itself — directly against libc,
+//! which `std` already links: no new dependency, per the workspace's offline/shims
+//! build constraint. Everything else (sockets, wakers) is plain `std::net`.
+//!
+//! Two pieces:
+//!
+//! * [`poll_fds`] — a safe wrapper over `poll(2)`: takes a borrowed [`PollFd`] set
+//!   and an optional timeout, handles `EINTR` by re-polling with the *remaining*
+//!   time, and returns how many entries have events.
+//! * [`Waker`] — a loopback socket pair a worker parks on: any thread calls
+//!   [`Waker::wake`] to make the worker's `poll` return (new connection handed over,
+//!   join reply ready, shutdown). Writes coalesce — a wake while one is already
+//!   pending is a no-op — so wakers never accumulate unread bytes beyond a socket
+//!   buffer.
+//!
+//! The wrapper is Unix-only by construction (the server targets the same platforms
+//! the spill layer's `mmap` path does); the constants below are the POSIX values,
+//! which Linux and the BSDs share.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
+
+/// Readable data (or a pending accept) is available.
+pub const POLLIN: i16 = 0x001;
+/// Writing now would not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition on the descriptor (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always polled, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (always polled, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One `poll(2)` registration: the layout is `struct pollfd` itself, so a
+/// `&mut [PollFd]` passes straight through the FFI with no translation.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT` ORed together; 0 parks the entry —
+    /// `POLLERR`/`POLLHUP` are still reported, which is how a worker notices a dead
+    /// peer without paying read-readiness wakeups for it).
+    pub events: i16,
+    /// Returned events, filled by [`poll_fds`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A registration for `fd` with the given requested events.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one registered descriptor has events, the timeout passes
+/// (`Ok(0)`), or an unexpected OS error occurs. `None` waits indefinitely. `EINTR`
+/// re-polls with the remaining time, so signals can only shorten a wait by delivering
+/// events, never extend it.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let deadline = timeout.map(|t| Instant::now() + t);
+    loop {
+        let millis: c_int = match deadline {
+            None => -1,
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                // Round up so a sub-millisecond remainder sleeps instead of spinning.
+                let ms = remaining
+                    .as_millis()
+                    .saturating_add(u128::from(remaining.subsec_nanos() % 1_000_000 != 0));
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        };
+        // SAFETY: `fds` is a valid, exclusively borrowed `pollfd` array of exactly
+        // `fds.len()` entries for the duration of the call.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, millis) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Ok(0);
+            }
+        }
+    }
+}
+
+/// A cross-thread wakeup for a worker parked in [`poll_fds`]: a connected loopback
+/// socket pair. The worker registers [`Waker::read_fd`] with `POLLIN`; any thread
+/// calls [`Waker::wake`] to make the poll return, and the worker [`Waker::drain`]s
+/// the pending bytes before going back to sleep.
+#[derive(Debug)]
+pub struct Waker {
+    /// The write half (any thread).
+    tx: TcpStream,
+    /// The read half (the owning worker).
+    rx: TcpStream,
+}
+
+impl Waker {
+    /// Builds the pair: bind an ephemeral loopback listener, connect to it, accept,
+    /// and drop the listener. The accept is verified against the connecting socket's
+    /// address so a stray connection racing to the ephemeral port cannot pair up.
+    pub fn new() -> io::Result<Waker> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let ours = tx.local_addr()?;
+        let rx = loop {
+            let (stream, peer) = listener.accept()?;
+            if peer == ours {
+                break stream;
+            }
+            // A foreign connect raced us to the port: drop it and keep waiting for
+            // our own (already in the backlog).
+        };
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        tx.set_nodelay(true).ok();
+        Ok(Waker { tx, rx })
+    }
+
+    /// Makes the owning worker's poll return. Callable from any thread through a
+    /// shared reference; a full socket buffer (`WouldBlock`) means a wake is already
+    /// pending, which is exactly as good as another byte.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Consumes every pending wake byte (the worker, after its poll returned).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.rx).read(&mut buf) {
+            if n == 0 {
+                return; // tx half closed; nothing more will arrive
+            }
+        }
+    }
+
+    /// The descriptor the owning worker registers with `POLLIN`.
+    pub fn read_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_times_out_and_reports_readiness() {
+        let waker = Waker::new().expect("waker");
+        let mut fds = [PollFd::new(waker.read_fd(), POLLIN)];
+
+        // Nothing pending: a short timeout elapses with zero events.
+        let start = Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(20))).expect("poll");
+        assert_eq!(n, 0, "no events were due");
+        assert!(start.elapsed() >= Duration::from_millis(15));
+
+        // A wake from another thread is observed as POLLIN within the timeout.
+        waker.wake();
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0, "revents: {:#x}", fds[0].revents);
+        waker.drain();
+    }
+
+    #[test]
+    fn wakes_coalesce_and_drain_resets() {
+        let waker = Waker::new().expect("waker");
+        // Many wakes while nobody drains must neither block nor error.
+        for _ in 0..100_000 {
+            waker.wake();
+        }
+        waker.drain();
+        let mut fds = [PollFd::new(waker.read_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).expect("poll");
+        assert_eq!(n, 0, "drained waker must be quiet");
+    }
+}

@@ -1,28 +1,48 @@
-//! The concurrent query server: one thread per connection, one batching worker.
+//! The concurrent query server: a fixed pool of readiness-polled I/O workers plus
+//! one batching join worker.
 //!
 //! ## Threading model
 //!
-//! * An **accept thread** owns the `TcpListener` and spawns one handler thread per
-//!   connection (connections are long-lived; entity-matching clients keep a socket
-//!   open and stream query batches through it).
-//! * Handler threads do the byte work — framing, decoding, encoding — and hand every
-//!   decoded `KNN` request to the shared **batcher** instead of calling the index
-//!   directly.
-//! * One **join worker** drains the batcher: requests that arrived while the previous
-//!   join was running are coalesced — their query batches are concatenated and
-//!   answered by a *single* `knn_join` (one GEMM pass over each visited shard instead
-//!   of one per request), then split back per request. Under light load the queue
-//!   holds a single request and the worker degenerates to a plain call, which keeps
-//!   the query-cache fingerprint of a lone repeated batch stable — exactly the case
-//!   the cache exists for.
+//! * A fixed pool of **I/O workers** ([`ServerConfig::worker_threads`]; default one
+//!   per core, capped at 4) multiplexes every connection over non-blocking sockets
+//!   with `poll(2)` (the [`crate::reactor`] wrapper). Worker 0 also owns the
+//!   `TcpListener` and deals accepted connections round-robin across the pool. An
+//!   idle connection is a parked descriptor: it costs **zero wakeups** and no
+//!   thread, so connection count no longer bounds thread count. (The previous model
+//!   spent one thread per connection, each waking ten times a second to poll the
+//!   stop flag — a core's worth of timer churn well before 10k idle sockets.)
+//! * Each worker runs the byte work — framing, decoding, encoding — as a
+//!   per-connection state machine and hands every decoded `KNN` request to the
+//!   shared **batcher** instead of calling the index directly; the connection
+//!   parks (its read side goes quiet) until the reply comes back through the
+//!   worker's inbox.
+//! * One **join worker** drains the batcher: requests that arrived while the
+//!   previous join was running are coalesced — their query batches are
+//!   concatenated and answered by a *single* `knn_join` (one GEMM pass over each
+//!   visited shard instead of one per request), then split back per request. Under
+//!   light load the queue holds a single request and the worker degenerates to a
+//!   plain call, which keeps the query-cache fingerprint of a lone repeated batch
+//!   stable — exactly the case the cache exists for.
 //!
-//! `PING` and `STATS` answer inline on the handler thread; only `KNN` pays the
-//! batcher hop. `KNN_SUBSET` — the scatter-gather frame a coordinator sends — also
-//! runs inline: coalescing two different shard subsets into one join would change
-//! both answers, and the query cache must not see subset joins at all (its
-//! fingerprint covers queries and `k` but not the subset, so a cached subset result
-//! would alias a whole-index one). Each subset request therefore pays its own join;
-//! the coordinator already amortizes by scattering one large batch per replica.
+//! `PING` and `STATS` answer inline on the I/O worker; only `KNN` pays the batcher
+//! hop. `KNN_SUBSET` — the scatter-gather frame a coordinator sends — also runs on
+//! the join worker, but as its own never-coalesced join that bypasses the
+//! admission queue and deadlines: coalescing two different shard subsets into one
+//! join would change both answers, and the query cache must not see subset joins
+//! at all (its fingerprint covers queries and `k` but not the subset, so a cached
+//! subset result would alias a whole-index one). Each subset request therefore
+//! pays its own join; the coordinator already amortizes by scattering one large
+//! batch per replica.
+//!
+//! ## Writes and slow clients
+//!
+//! Responses queue on the connection's outbox and drain as `POLLOUT` readiness
+//! allows. A slow-but-alive client draining a large frame is fine: the write-stall
+//! budget ([`ServerConfig::write_stall_timeout`]) resets on every partial write,
+//! so only a **total** stall — bytes pending and no progress for the whole budget
+//! — closes the connection. (The previous model reused the 100 ms read-poll as the
+//! write timeout, so a client legitimately taking its time over a near-64 MiB
+//! frame kept eating timeouts that only total stall should cause.)
 //!
 //! ## Survival under faults and overload
 //!
@@ -42,21 +62,25 @@
 //!   pairs, explicitly flagged, never silently wrong.
 //! * **Panic containment**: the join and the request dispatch run under
 //!   `catch_unwind`; a handler failure answers an error frame on the same
-//!   connection instead of killing the thread and dropping the socket.
+//!   connection instead of killing a worker (which would drop every connection that
+//!   worker multiplexes).
 //!
 //! ## Shutdown
 //!
-//! [`Server::shutdown`] flips a stop flag, wakes the accept thread with a loopback
-//! connection, wakes the worker through its condvar, and joins everything. Handler
-//! threads poll the flag between reads (sockets carry a short read timeout), so
-//! shutdown completes promptly even with idle clients attached.
+//! [`Server::shutdown`] stops the join worker first — already-queued requests are
+//! still served and their replies delivered — then stops the I/O workers through
+//! their [`crate::reactor::Waker`]s, flushes whatever the sockets will take, and
+//! joins every thread. No connect-to-own-address tricks: the old accept thread was
+//! woken by dialing the listen address, which can never reach a wildcard bind like
+//! `0.0.0.0:port` without routing help, wedging shutdown; wakers work for any bind
+//! address.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -69,9 +93,11 @@ use crate::protocol::{
     encode_knn_response, encode_knn_subset_response, encode_stats_response, ServerStats,
     MAX_FRAME_LEN, OP_KNN, OP_KNN_SUBSET, OP_PING, OP_STATS, STATUS_OK,
 };
+use crate::reactor::{poll_fds, PollFd, Waker, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 
-/// How long a handler thread blocks in a read before re-checking the stop flag.
-const READ_POLL: Duration = Duration::from_millis(100);
+/// Above this, a drained outbox gives its buffer back to the allocator instead of
+/// keeping a response-sized allocation pinned per idle connection.
+const OUTBOX_KEEP: usize = 256 * 1024;
 
 /// Server-side robustness knobs — see the module docs ("Survival under faults and
 /// overload") for the behavior each one buys.
@@ -84,6 +110,14 @@ pub struct ServerConfig {
     /// A request older than this when the join worker reaches it is answered `BUSY`
     /// without running. `None` (the default) disables deadlines.
     pub request_deadline: Option<Duration>,
+    /// How many I/O worker threads multiplex the connections. `0` (the default)
+    /// sizes the pool automatically: one per available core, capped at 4 — the
+    /// byte work is cheap, so a few workers saturate well before the join does.
+    pub worker_threads: usize,
+    /// A connection with response bytes pending that makes **no** write progress
+    /// for this long is dropped. Partial writes reset the budget, so a slow reader
+    /// draining a large frame is never punished — only a total stall is.
+    pub write_stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -91,11 +125,13 @@ impl Default for ServerConfig {
         ServerConfig {
             admission_queue_depth: 256,
             request_deadline: None,
+            worker_threads: 0,
+            write_stall_timeout: Duration::from_secs(30),
         }
     }
 }
 
-/// What the join worker tells a handler about its request.
+/// What the join worker tells an I/O worker about a `KNN` request.
 enum JoinReply {
     /// The join ran; `degraded` is `true` when quarantined shards were skipped.
     Done {
@@ -108,17 +144,59 @@ enum JoinReply {
     Failed(String),
 }
 
+/// Where a response goes when the join worker finishes: back to the owning I/O
+/// worker's inbox, keyed by connection token, with a waker kick.
+struct ReplyHandle {
+    worker: Arc<WorkerShared>,
+    token: ConnToken,
+}
+
+impl ReplyHandle {
+    /// Encodes a join reply and delivers it (see [`ReplyHandle::send_raw`]).
+    fn send(&self, reply: JoinReply) {
+        let response = match reply {
+            JoinReply::Done { pairs, degraded } => encode_knn_response(&pairs, degraded),
+            JoinReply::Expired => encode_busy_response(),
+            JoinReply::Failed(message) => encode_error_response(&message),
+        };
+        self.send_raw(response);
+    }
+
+    /// Queues an already-encoded response on the owning worker's inbox and wakes
+    /// it. If the connection died meanwhile, the worker drops the response by
+    /// token mismatch — delivery is always safe, never blocking.
+    fn send_raw(&self, response: Vec<u8>) {
+        self.worker
+            .inbox
+            .lock()
+            .unwrap()
+            .completed
+            .push((self.token, response));
+        self.worker.waker.wake();
+    }
+}
+
 /// One decoded `KNN` request waiting for the join worker.
 struct Pending {
     queries: Vec<Vec<f32>>,
     k: usize,
     enqueued_at: Instant,
-    reply: mpsc::Sender<JoinReply>,
+    reply: ReplyHandle,
+}
+
+/// One decoded `KNN_SUBSET` request waiting for the join worker. Subsets skip the
+/// admission queue and deadlines (PR 6 contract: the coordinator applies its own
+/// retry/failover policy) and are never coalesced or cached.
+struct SubsetPending {
+    queries: Vec<Vec<f32>>,
+    k: usize,
+    shards: Vec<usize>,
+    reply: ReplyHandle,
 }
 
 /// The outcome of offering a request to the admission queue.
 enum Admission {
-    /// Queued; a [`JoinReply`] will arrive on the reply channel.
+    /// Queued; a [`JoinReply`] will arrive through the reply handle.
     Queued,
     /// The queue is full; the caller answers `BUSY` itself.
     Busy,
@@ -126,18 +204,29 @@ enum Admission {
     Stopped,
 }
 
+/// What the join worker picked up next.
+enum Work {
+    /// A same-`k` group of `KNN` requests to coalesce.
+    Group(Vec<Pending>),
+    /// One scatter-gather subset join (never grouped).
+    Subset(SubsetPending),
+    /// Stop requested and both queues are drained.
+    Shutdown,
+}
+
 /// The queue state behind the batcher's mutex. `stopped` lives under the same lock as
-/// the queue so a push can never race the worker's exit: the worker marks `stopped`
+/// the queues so a push can never race the worker's exit: the worker marks `stopped`
 /// while holding the lock, so every later push observes it and is rejected — a
 /// request can never be enqueued with nobody left to answer it (which would leave its
-/// handler blocked in `rx.recv()` forever and hang shutdown).
+/// connection parked forever waiting for a reply).
 #[derive(Default)]
 struct BatchQueue {
     queue: VecDeque<Pending>,
+    subsets: VecDeque<SubsetPending>,
     stopped: bool,
 }
 
-/// The shared request queue between handler threads and the join worker.
+/// The shared request queue between I/O workers and the join worker.
 struct Batcher {
     state: Mutex<BatchQueue>,
     ready: Condvar,
@@ -170,14 +259,34 @@ impl Batcher {
         Admission::Queued
     }
 
-    /// Blocks until at least one request is queued (or `stop` is set), then drains
-    /// every queued request sharing the front request's `k` (requests with another
-    /// `k` keep their order for the next round). Already-queued requests are always
-    /// served before the stop flag is honoured; the empty return marks the queue
-    /// `stopped` under the lock (see [`BatchQueue`]).
-    fn next_group(&self, stop: &AtomicBool) -> Vec<Pending> {
+    /// Offers a subset join. Not admission-limited (the coordinator owns retry
+    /// policy); `false` only when the worker already exited.
+    fn push_subset(&self, pending: SubsetPending) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if state.stopped {
+            return false;
+        }
+        state.subsets.push_back(pending);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until work is queued (or `stop` is set). Subset joins are served
+    /// first — they sit on a coordinator's critical path — then every queued `KNN`
+    /// request sharing the front request's `k` is drained as one group (requests
+    /// with another `k` keep their order for the next round). Already-queued work
+    /// is always served before the stop flag is honoured; [`Work::Shutdown`] marks
+    /// the queue `stopped` under the lock (see [`BatchQueue`]).
+    fn next_work(&self, stop: &AtomicBool) -> Work {
         let mut state = self.state.lock().unwrap();
         loop {
+            if let Some(subset) = state.subsets.pop_front() {
+                if !state.subsets.is_empty() || !state.queue.is_empty() {
+                    // More work behind this one: keep the worker awake.
+                    self.ready.notify_one();
+                }
+                return Work::Subset(subset);
+            }
             if let Some(front) = state.queue.front() {
                 let k = front.k;
                 let mut group = Vec::new();
@@ -194,11 +303,11 @@ impl Batcher {
                     // More work behind a different k: keep the worker awake.
                     self.ready.notify_one();
                 }
-                return group;
+                return Work::Group(group);
             }
             if stop.load(Ordering::Relaxed) {
                 state.stopped = true;
-                return Vec::new();
+                return Work::Shutdown;
             }
             state = self.ready.wait(state).unwrap();
         }
@@ -215,17 +324,107 @@ struct Counters {
     degraded_joins: AtomicU64,
 }
 
+/// Identifies a connection slot on one worker across its lifetime: the generation
+/// guards against slot reuse, so a reply addressed to a connection that died (and
+/// whose slot now holds a newcomer) is dropped instead of delivered to a stranger.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ConnToken {
+    slot: usize,
+    gen: u64,
+}
+
+/// Cross-thread mailbox of one I/O worker: connections dealt to it by the
+/// acceptor, and finished responses from the join worker. Both arrive with a
+/// waker kick so the worker's `poll` returns.
+#[derive(Default)]
+struct WorkerInbox {
+    adopted: Vec<TcpStream>,
+    completed: Vec<(ConnToken, Vec<u8>)>,
+}
+
+/// The shared half of one I/O worker (the waker any thread may kick, plus the
+/// inbox behind a mutex).
+struct WorkerShared {
+    waker: Waker,
+    inbox: Mutex<WorkerInbox>,
+}
+
+/// Everything one I/O worker thread needs. Only worker 0 holds the listener and
+/// the peer ring it deals new connections across.
+struct WorkerCtx {
+    shared: Arc<WorkerShared>,
+    peers: Vec<Arc<WorkerShared>>,
+    listener: Option<TcpListener>,
+    index: Arc<BlockingIndex>,
+    counters: Arc<Counters>,
+    batcher: Arc<Batcher>,
+    reactor_stop: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+/// Read-side state of one connection's frame parser.
+enum ReadState {
+    /// Accumulating the 4-byte length prefix.
+    Len { buf: [u8; 4], filled: usize },
+    /// Accumulating the payload (`buf.len()` is the frame length).
+    Payload { buf: Vec<u8>, filled: usize },
+}
+
+impl ReadState {
+    fn start() -> ReadState {
+        ReadState::Len {
+            buf: [0u8; 4],
+            filled: 0,
+        }
+    }
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    read: ReadState,
+    /// Encoded response bytes not yet accepted by the socket (`sent..` is pending).
+    outbox: Vec<u8>,
+    sent: usize,
+    /// A `KNN`/`KNN_SUBSET` request is at the join worker; reads pause until the
+    /// reply lands (the wire protocol is strictly request/reply per connection).
+    awaiting: bool,
+    /// Close once the outbox drains (set after an unrecoverable protocol error).
+    closing: bool,
+    /// Last instant the socket accepted bytes (or the outbox became non-empty);
+    /// drives the progress-based write-stall kill.
+    last_progress: Instant,
+}
+
+/// What a poll registration entry maps back to.
+enum Target {
+    Waker,
+    Listener,
+    Conn(usize),
+}
+
+/// What dispatch decided for one request frame.
+enum Action {
+    /// Answer immediately with this response payload.
+    Respond(Vec<u8>),
+    /// The request went to the join worker; the reply arrives via the inbox.
+    AwaitReply,
+}
+
 /// A running query server. Dropping the handle shuts the server down.
 ///
 /// Spawn with [`Server::spawn`]; see the crate docs for a full example.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    reactor_stop: Arc<AtomicBool>,
     index: Arc<BlockingIndex>,
     counters: Arc<Counters>,
     batcher: Arc<Batcher>,
-    accept_thread: Option<JoinHandle<()>>,
-    worker_thread: Option<JoinHandle<()>>,
+    workers: Vec<Arc<WorkerShared>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    join_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -238,19 +437,37 @@ impl Server {
     }
 
     /// [`Server::spawn`] with explicit robustness knobs (admission queue depth,
-    /// per-request deadline).
+    /// per-request deadline, worker pool size, write-stall budget).
     pub fn spawn_with_config(
         index: Arc<BlockingIndex>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let reactor_stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
         let batcher = Arc::new(Batcher::new(config.admission_queue_depth));
 
-        let worker_thread = {
+        let pool = if config.worker_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 4)
+        } else {
+            config.worker_threads
+        };
+        let mut workers = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            workers.push(Arc::new(WorkerShared {
+                waker: Waker::new()?,
+                inbox: Mutex::default(),
+            }));
+        }
+
+        let join_thread = {
             let (index, stop, counters, batcher) = (
                 Arc::clone(&index),
                 Arc::clone(&stop),
@@ -260,48 +477,32 @@ impl Server {
             std::thread::spawn(move || join_worker(&index, &stop, &counters, &batcher, config))
         };
 
-        let accept_thread = {
-            let (index, stop, counters, batcher) = (
-                Arc::clone(&index),
-                Arc::clone(&stop),
-                Arc::clone(&counters),
-                Arc::clone(&batcher),
-            );
-            std::thread::spawn(move || {
-                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    // Reap finished handler threads as connections come and go, so a
-                    // long-lived server under short-lived clients (health checks,
-                    // one-shot connections) does not accumulate dead handles.
-                    handlers.retain(|h| !h.is_finished());
-                    let Ok(stream) = conn else { continue };
-                    let (index, stop, counters, batcher) = (
-                        Arc::clone(&index),
-                        Arc::clone(&stop),
-                        Arc::clone(&counters),
-                        Arc::clone(&batcher),
-                    );
-                    handlers.push(std::thread::spawn(move || {
-                        let _ = handle_connection(stream, &index, &stop, &counters, &batcher);
-                    }));
-                }
-                for handler in handlers {
-                    let _ = handler.join();
-                }
-            })
-        };
+        let mut listener = Some(listener);
+        let mut worker_threads = Vec::with_capacity(pool);
+        for (i, shared) in workers.iter().enumerate() {
+            let ctx = WorkerCtx {
+                shared: Arc::clone(shared),
+                peers: if i == 0 { workers.clone() } else { Vec::new() },
+                listener: if i == 0 { listener.take() } else { None },
+                index: Arc::clone(&index),
+                counters: Arc::clone(&counters),
+                batcher: Arc::clone(&batcher),
+                reactor_stop: Arc::clone(&reactor_stop),
+                config,
+            };
+            worker_threads.push(std::thread::spawn(move || worker_loop(ctx)));
+        }
 
         Ok(Server {
             addr,
             stop,
+            reactor_stop,
             index,
             counters,
             batcher,
-            accept_thread: Some(accept_thread),
-            worker_thread: Some(worker_thread),
+            workers,
+            worker_threads,
+            join_thread: Some(join_thread),
         })
     }
 
@@ -328,15 +529,23 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
+        // Stage 1: stop the join worker. It serves everything already queued —
+        // delivering those replies to the (still running) I/O workers — then marks
+        // the queue stopped and exits.
         self.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway loopback connection.
-        let _ = TcpStream::connect(self.addr);
-        // Wake the worker's condvar wait.
         self.batcher.ready.notify_all();
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.join_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.worker_thread.take() {
+        // Stage 2: stop the I/O workers. Every reply is already in an inbox, so
+        // the final pass can flush best-effort and close. Wakers reach a worker on
+        // any bind address — no connect-to-own-address trick (which a `0.0.0.0`
+        // bind would wedge on).
+        self.reactor_stop.store(true, Ordering::Relaxed);
+        for worker in &self.workers {
+            worker.waker.wake();
+        }
+        for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -376,6 +585,520 @@ fn build_stats(index: &BlockingIndex, counters: &Counters) -> ServerStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// I/O workers
+// ---------------------------------------------------------------------------
+
+/// One I/O worker: poll every owned socket, accept (worker 0), read and dispatch
+/// frames, flush outboxes, deliver join replies, and enforce write-stall kills.
+fn worker_loop(ctx: WorkerCtx) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_gen: u64 = 0;
+    let mut next_peer: usize = 0;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut targets: Vec<Target> = Vec::new();
+
+    loop {
+        if ctx.reactor_stop.load(Ordering::Relaxed) {
+            shutdown_flush(&ctx, &mut conns);
+            return;
+        }
+
+        fds.clear();
+        targets.clear();
+        fds.push(PollFd::new(ctx.shared.waker.read_fd(), POLLIN));
+        targets.push(Target::Waker);
+        if let Some(listener) = &ctx.listener {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+            targets.push(Target::Listener);
+        }
+        let mut timeout: Option<Duration> = None;
+        for (slot, entry) in conns.iter().enumerate() {
+            let Some(conn) = entry else { continue };
+            let mut events = 0i16;
+            if !conn.awaiting && !conn.closing {
+                events |= POLLIN;
+            }
+            if conn.sent < conn.outbox.len() {
+                events |= POLLOUT;
+                // Wake in time to enforce the stall budget even if the socket
+                // never becomes writable.
+                let left = ctx
+                    .config
+                    .write_stall_timeout
+                    .saturating_sub(conn.last_progress.elapsed());
+                timeout = Some(timeout.map_or(left, |t| t.min(left)));
+            }
+            // events == 0 still reports POLLERR/POLLHUP/POLLNVAL: a parked
+            // connection (awaiting a join reply) costs no read wakeups but a dead
+            // peer is still noticed.
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            targets.push(Target::Conn(slot));
+        }
+        if poll_fds(&mut fds, timeout).is_err() {
+            // We own every registered fd, so this is unexpected; back off rather
+            // than spin on a persistent error.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        for (i, target) in targets.iter().enumerate() {
+            let revents = fds[i].revents;
+            if revents == 0 {
+                continue;
+            }
+            match target {
+                Target::Waker => ctx.shared.waker.drain(),
+                Target::Listener => {
+                    accept_ready(&ctx, &mut conns, &mut free, &mut next_gen, &mut next_peer)
+                }
+                Target::Conn(slot) => {
+                    conn_events(&ctx, &mut conns, &mut free, *slot, revents);
+                }
+            }
+        }
+
+        // Drain the inbox every pass, not only on a waker event: a wake landing
+        // between poll and drain is then handled now instead of next pass.
+        let (adopted, completed) = {
+            let mut inbox = ctx.shared.inbox.lock().unwrap();
+            (
+                std::mem::take(&mut inbox.adopted),
+                std::mem::take(&mut inbox.completed),
+            )
+        };
+        for stream in adopted {
+            register_conn(&mut conns, &mut free, &mut next_gen, stream);
+        }
+        for (token, response) in completed {
+            deliver(&mut conns, &mut free, token, response);
+        }
+
+        // Progress-based write-stall enforcement: only a connection with bytes
+        // pending AND zero progress for the whole budget is dropped.
+        for slot in 0..conns.len() {
+            let stalled = match &conns[slot] {
+                Some(conn) => {
+                    conn.sent < conn.outbox.len()
+                        && conn.last_progress.elapsed() >= ctx.config.write_stall_timeout
+                }
+                None => false,
+            };
+            if stalled {
+                close_conn(&mut conns, &mut free, slot);
+            }
+        }
+    }
+}
+
+/// Accepts every pending connection (worker 0 only) and deals them round-robin
+/// across the pool, including itself.
+fn accept_ready(
+    ctx: &WorkerCtx,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    next_gen: &mut u64,
+    next_peer: &mut usize,
+) {
+    let Some(listener) = &ctx.listener else {
+        return;
+    };
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let target = *next_peer % ctx.peers.len();
+                *next_peer = (*next_peer + 1) % ctx.peers.len();
+                if Arc::ptr_eq(&ctx.peers[target], &ctx.shared) {
+                    register_conn(conns, free, next_gen, stream);
+                } else {
+                    let peer = &ctx.peers[target];
+                    peer.inbox.lock().unwrap().adopted.push(stream);
+                    peer.waker.wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (fd exhaustion, aborted handshake): leave
+            // the backlog for the next readiness report instead of spinning.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Adopts a connection into a slot (reusing a freed one when available).
+fn register_conn(
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    next_gen: &mut u64,
+    stream: TcpStream,
+) {
+    if stream.set_nonblocking(true).is_err() {
+        return; // the socket is already unusable; drop it
+    }
+    stream.set_nodelay(true).ok(); // latency over throughput for small frames
+    *next_gen += 1;
+    let conn = Conn {
+        stream,
+        gen: *next_gen,
+        read: ReadState::start(),
+        outbox: Vec::new(),
+        sent: 0,
+        awaiting: false,
+        closing: false,
+        last_progress: Instant::now(),
+    };
+    match free.pop() {
+        Some(slot) => conns[slot] = Some(conn),
+        None => conns.push(Some(conn)),
+    }
+}
+
+fn close_conn(conns: &mut [Option<Conn>], free: &mut Vec<usize>, slot: usize) {
+    if conns[slot].take().is_some() {
+        free.push(slot);
+    }
+}
+
+/// Routes one connection's poll results: errors close, readable data feeds the
+/// frame parser, writable space drains the outbox.
+fn conn_events(
+    ctx: &WorkerCtx,
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    slot: usize,
+    revents: i16,
+) {
+    let mut close = false;
+    {
+        let Some(conn) = conns[slot].as_mut() else {
+            return;
+        };
+        if revents & (POLLERR | POLLNVAL) != 0 {
+            close = true;
+        } else if revents & POLLIN != 0 {
+            let token = ConnToken {
+                slot,
+                gen: conn.gen,
+            };
+            close = !conn_read(ctx, conn, token);
+        } else if revents & POLLHUP != 0 {
+            // Hangup with nothing left to read (the POLLIN case above drains
+            // buffered bytes first and sees EOF itself).
+            close = true;
+        }
+        if !close {
+            close = !conn_flush(conn);
+            if !close && conn.closing && conn.sent == conn.outbox.len() {
+                close = true;
+            }
+        }
+    }
+    if close {
+        close_conn(conns, free, slot);
+    }
+}
+
+/// Delivers a finished response from the join worker to its connection. A stale
+/// token (connection died, slot possibly reused) drops the response.
+fn deliver(conns: &mut [Option<Conn>], free: &mut Vec<usize>, token: ConnToken, response: Vec<u8>) {
+    let close = {
+        let Some(conn) = conns.get_mut(token.slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.gen != token.gen {
+            return;
+        }
+        conn.awaiting = false;
+        enqueue_response(conn, &response);
+        !conn_flush(conn)
+    };
+    if close {
+        close_conn(conns, free, token.slot);
+    }
+}
+
+/// Feeds readable bytes through the frame parser, dispatching every completed
+/// frame, until the socket would block (or the connection must pause/close).
+/// Returns `false` when the connection should be closed.
+fn conn_read(ctx: &WorkerCtx, conn: &mut Conn, token: ConnToken) -> bool {
+    loop {
+        // A complete frame? (Covers zero-length payloads, which need no read.)
+        let complete = match &mut conn.read {
+            ReadState::Payload { buf, filled } if *filled == buf.len() => Some(std::mem::take(buf)),
+            _ => None,
+        };
+        if let Some(payload) = complete {
+            conn.read = ReadState::start();
+            ctx.counters.served_requests.fetch_add(1, Ordering::Relaxed);
+            let reply = ReplyHandle {
+                worker: Arc::clone(&ctx.shared),
+                token,
+            };
+            // A panic anywhere in decode/dispatch answers an error frame on the
+            // same connection instead of unwinding the worker (which would drop
+            // every connection it multiplexes).
+            let action = catch_unwind(AssertUnwindSafe(|| {
+                dispatch(&payload, &ctx.index, &ctx.counters, &ctx.batcher, reply)
+            }))
+            .unwrap_or_else(|_| {
+                Action::Respond(encode_error_response(
+                    "internal error: request handler panicked",
+                ))
+            });
+            match action {
+                Action::Respond(response) => enqueue_response(conn, &response),
+                Action::AwaitReply => {
+                    conn.awaiting = true;
+                    return true;
+                }
+            }
+            if conn.closing {
+                return true;
+            }
+            continue;
+        }
+
+        let result = match &mut conn.read {
+            ReadState::Len { buf, filled } => (&conn.stream)
+                .read(&mut buf[*filled..])
+                .inspect(|n| *filled += n),
+            ReadState::Payload { buf, filled } => (&conn.stream)
+                .read(&mut buf[*filled..])
+                .inspect(|n| *filled += n),
+        };
+        match result {
+            // EOF: a clean disconnect between frames or a torn frame — close
+            // either way (no response is owed mid-frame).
+            Ok(0) => return false,
+            Ok(_) => {
+                let frame_len = match &conn.read {
+                    ReadState::Len { buf, filled: 4 } => Some(u32::from_le_bytes(*buf)),
+                    _ => None,
+                };
+                if let Some(len) = frame_len {
+                    if len > MAX_FRAME_LEN {
+                        // The stream is unrecoverable (we cannot skip what we will
+                        // not buffer): answer, flush, and close.
+                        let msg =
+                            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit");
+                        enqueue_response(conn, &encode_error_response(&msg));
+                        conn.closing = true;
+                        return true;
+                    }
+                    conn.read = ReadState::Payload {
+                        buf: vec![0u8; len as usize],
+                        filled: 0,
+                    };
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Appends one response frame (length prefix + payload) to the outbox.
+fn enqueue_response(conn: &mut Conn, payload: &[u8]) {
+    // Chaos hook: `serve.write.stall` simulates a slow/stuck write path by
+    // delaying response delivery 25 ms — enough to exercise latency and
+    // interleaving without tearing any frame or tripping the stall budget.
+    if faults::fires("serve.write.stall") {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if conn.sent == conn.outbox.len() {
+        conn.outbox.clear();
+        conn.sent = 0;
+        // The outbox just became non-empty: the stall budget starts now.
+        conn.last_progress = Instant::now();
+    }
+    conn.outbox
+        .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    conn.outbox.extend_from_slice(payload);
+}
+
+/// Writes as much pending outbox as the socket will take. Every accepted byte
+/// resets the stall budget (progress-based, not per-attempt). Returns `false`
+/// when the connection should be closed.
+fn conn_flush(conn: &mut Conn) -> bool {
+    while conn.sent < conn.outbox.len() {
+        match (&conn.stream).write(&conn.outbox[conn.sent..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.sent += n;
+                conn.last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if conn.outbox.capacity() > OUTBOX_KEEP {
+        conn.outbox = Vec::new();
+    } else {
+        conn.outbox.clear();
+    }
+    conn.sent = 0;
+    true
+}
+
+/// The final pass after `reactor_stop`: pick up replies that raced shutdown,
+/// flush what the sockets will take within a short blocking budget, and drop
+/// everything. Sockets with nothing pending (idle connections) cost nothing, so
+/// shutdown stays prompt however many are attached.
+fn shutdown_flush(ctx: &WorkerCtx, conns: &mut [Option<Conn>]) {
+    ctx.shared.waker.drain();
+    let (adopted, completed) = {
+        let mut inbox = ctx.shared.inbox.lock().unwrap();
+        (
+            std::mem::take(&mut inbox.adopted),
+            std::mem::take(&mut inbox.completed),
+        )
+    };
+    drop(adopted); // accepted but never served: closing them is the shutdown
+    for (token, response) in completed {
+        if let Some(conn) = conns.get_mut(token.slot).and_then(Option::as_mut) {
+            if conn.gen == token.gen {
+                conn.awaiting = false;
+                enqueue_response(conn, &response);
+            }
+        }
+    }
+    for conn in conns.iter_mut().flatten() {
+        if conn.sent >= conn.outbox.len() {
+            continue;
+        }
+        // Best-effort blocking flush with a short timeout: deliver replies that
+        // raced shutdown without letting a stuck peer hold the join hostage.
+        if conn.stream.set_nonblocking(false).is_err()
+            || conn
+                .stream
+                .set_write_timeout(Some(Duration::from_secs(1)))
+                .is_err()
+        {
+            continue;
+        }
+        let mut sent = conn.sent;
+        while sent < conn.outbox.len() {
+            match (&conn.stream).write(&conn.outbox[sent..]) {
+                Ok(0) => break,
+                Ok(n) => sent += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Decodes one request payload and decides how it is answered; all failures
+/// become error responses. `KNN` and `KNN_SUBSET` hand off to the join worker
+/// (unless rejected up front); everything else answers inline.
+fn dispatch(
+    payload: &[u8],
+    index: &BlockingIndex,
+    counters: &Counters,
+    batcher: &Batcher,
+    reply: ReplyHandle,
+) -> Action {
+    match payload.first() {
+        Some(&OP_KNN) => match decode_knn_request(&payload[1..]) {
+            Ok((queries, k)) => {
+                let dim = queries.first().map_or(0, Vec::len);
+                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
+                    return Action::Respond(encode_error_response(&format!(
+                        "query dimension {dim} does not match the index dimension {}",
+                        index.dim()
+                    )));
+                }
+                // A protocol-legal request can still imply a response frame over the
+                // protocol limit (pairs = queries x min(k, corpus)); bound it here so
+                // the response encoder never produces an unsendable frame.
+                let response_bytes = queries
+                    .len()
+                    .saturating_mul(k.min(index.len()))
+                    .saturating_mul(16)
+                    .saturating_add(5);
+                if response_bytes > MAX_FRAME_LEN as usize {
+                    return Action::Respond(encode_error_response(&format!(
+                        "response would be {response_bytes} bytes, over the \
+                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
+                         batch or a smaller k"
+                    )));
+                }
+                match batcher.push(Pending {
+                    queries,
+                    k,
+                    enqueued_at: Instant::now(),
+                    reply,
+                }) {
+                    Admission::Queued => Action::AwaitReply,
+                    Admission::Busy => {
+                        counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        Action::Respond(encode_busy_response())
+                    }
+                    Admission::Stopped => {
+                        Action::Respond(encode_error_response("server shutting down"))
+                    }
+                }
+            }
+            Err(message) => Action::Respond(encode_error_response(&message)),
+        },
+        Some(&OP_KNN_SUBSET) => match decode_knn_subset_request(&payload[1..]) {
+            Ok((queries, k, shards)) => {
+                let dim = queries.first().map_or(0, Vec::len);
+                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
+                    return Action::Respond(encode_error_response(&format!(
+                        "query dimension {dim} does not match the index dimension {}",
+                        index.dim()
+                    )));
+                }
+                let num_shards = index.num_shards();
+                if let Some(&bad) = shards.iter().find(|&&s| s >= num_shards) {
+                    return Action::Respond(encode_error_response(&format!(
+                        "shard position {bad} is out of range: the served snapshot has \
+                         {num_shards} shards (is the coordinator's placement built from \
+                         a different snapshot epoch?)"
+                    )));
+                }
+                let response_bytes = queries
+                    .len()
+                    .saturating_mul(k.min(index.len()))
+                    .saturating_mul(16)
+                    .saturating_add(shards.len().saturating_mul(4))
+                    .saturating_add(9);
+                if response_bytes > MAX_FRAME_LEN as usize {
+                    return Action::Respond(encode_error_response(&format!(
+                        "response would be {response_bytes} bytes, over the \
+                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
+                         batch or a smaller k"
+                    )));
+                }
+                if batcher.push_subset(SubsetPending {
+                    queries,
+                    k,
+                    shards,
+                    reply,
+                }) {
+                    Action::AwaitReply
+                } else {
+                    Action::Respond(encode_error_response("server shutting down"))
+                }
+            }
+            Err(message) => Action::Respond(encode_error_response(&message)),
+        },
+        Some(&OP_PING) => Action::Respond(vec![STATUS_OK]),
+        Some(&OP_STATS) => Action::Respond(encode_stats_response(&build_stats(index, counters))),
+        Some(&other) => Action::Respond(encode_error_response(&format!(
+            "unknown opcode {other:#04x}"
+        ))),
+        None => Action::Respond(encode_error_response("empty request payload")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join worker
+// ---------------------------------------------------------------------------
+
 /// Runs one `knn_join_report` with panic containment: a panicking join (a poisoned
 /// lock, an index bug, an injected fault escaping its retry budget) becomes an
 /// error message for the requester instead of killing the worker thread — which
@@ -395,6 +1118,30 @@ fn run_join(
     })
 }
 
+/// Serves one scatter-gather subset join (never coalesced, never cached, not
+/// admission-limited — the coordinator owns retry and failover policy).
+fn serve_subset(index: &BlockingIndex, counters: &Counters, sub: SubsetPending) {
+    // Chaos hook: `serve.subset.stall` wedges the scatter-gather path long enough
+    // (1 s) to trip a coordinator's read timeout, so failover tests can prove a
+    // stalled replica is routed around — unlike `serve.write.stall`, whose 25 ms
+    // is deliberate sub-timeout jitter.
+    if faults::fires("serve.subset.stall") {
+        std::thread::sleep(Duration::from_millis(1000));
+    }
+    let response = match catch_unwind(AssertUnwindSafe(|| {
+        index.knn_join_subset_report(&sub.queries, sub.k, &sub.shards)
+    })) {
+        Ok(outcome) => {
+            if outcome.degraded {
+                counters.degraded_joins.fetch_add(1, Ordering::Relaxed);
+            }
+            encode_knn_subset_response(&outcome.pairs, &outcome.quarantined_shards)
+        }
+        Err(_) => encode_error_response("internal error: request handler panicked"),
+    };
+    sub.reply.send_raw(response);
+}
+
 /// The join worker: coalesce queued requests, run one `knn_join`, split the results.
 fn join_worker(
     index: &BlockingIndex,
@@ -404,10 +1151,14 @@ fn join_worker(
     config: ServerConfig,
 ) {
     loop {
-        let group = batcher.next_group(stop);
-        if group.is_empty() {
-            return; // stop requested and the queue is drained
-        }
+        let group = match batcher.next_work(stop) {
+            Work::Shutdown => return, // stop requested and the queues are drained
+            Work::Subset(sub) => {
+                serve_subset(index, counters, sub);
+                continue;
+            }
+            Work::Group(group) => group,
+        };
         // Expire requests whose deadline passed while they waited: their client has
         // given up (or will momentarily), so running the join for them spends the
         // server's scarcest resource on nobody. They get `BUSY` — the request never
@@ -421,7 +1172,7 @@ fn join_worker(
                         counters
                             .deadline_expirations
                             .fetch_add(1, Ordering::Relaxed);
-                        let _ = pending.reply.send(JoinReply::Expired);
+                        pending.reply.send(JoinReply::Expired);
                         None
                     } else {
                         Some(pending)
@@ -443,7 +1194,7 @@ fn join_worker(
                 .filter_map(
                     |pending| match index.cached_knn_join(&pending.queries, pending.k) {
                         Some(hit) => {
-                            let _ = pending.reply.send(JoinReply::Done {
+                            pending.reply.send(JoinReply::Done {
                                 pairs: hit,
                                 degraded: false,
                             });
@@ -463,13 +1214,13 @@ fn join_worker(
                         if outcome.degraded {
                             counters.degraded_joins.fetch_add(1, Ordering::Relaxed);
                         }
-                        let _ = pending.reply.send(JoinReply::Done {
+                        pending.reply.send(JoinReply::Done {
                             pairs: outcome.pairs,
                             degraded: outcome.degraded,
                         });
                     }
                     Err(message) => {
-                        let _ = pending.reply.send(JoinReply::Failed(message));
+                        pending.reply.send(JoinReply::Failed(message));
                     }
                 }
             }
@@ -488,7 +1239,7 @@ fn join_worker(
                     Ok(outcome) => outcome,
                     Err(message) => {
                         for pending in group {
-                            let _ = pending.reply.send(JoinReply::Failed(message.clone()));
+                            pending.reply.send(JoinReply::Failed(message.clone()));
                         }
                         continue;
                     }
@@ -515,7 +1266,7 @@ fn join_worker(
                     if !outcome.degraded {
                         index.cache_join_result(&pending.queries, k, own.clone());
                     }
-                    let _ = pending.reply.send(JoinReply::Done {
+                    pending.reply.send(JoinReply::Done {
                         pairs: own,
                         degraded: outcome.degraded,
                     });
@@ -525,225 +1276,122 @@ fn join_worker(
     }
 }
 
-/// Reads exactly `buf.len()` bytes, retrying across read-timeout polls so a frame is
-/// never torn by the stop-flag poll. Returns `false` on a clean EOF **before any byte
-/// of this read** (client closed between frames); mid-buffer EOF is an error.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Ok(false)
-                } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop.load(Ordering::Relaxed) {
-                    return Err(io::ErrorKind::Interrupted.into());
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::encode_knn_request;
 
-/// Writes all of `buf`, retrying across write-timeout polls (mirroring [`read_full`])
-/// so a stalled client — one that stops reading until the TCP send buffer fills —
-/// cannot block the handler past shutdown. Progress is tracked byte-exactly, so a
-/// timeout mid-frame resumes where it left off instead of tearing the stream.
-fn write_full(stream: &mut TcpStream, buf: &[u8], stop: &AtomicBool) -> io::Result<()> {
-    // Chaos hook: `serve.write.stall` simulates a slow/stuck peer by delaying the
-    // write path. The stall (25 ms) is well under the write-timeout poll, so it
-    // exercises latency and interleaving without tearing any frame.
-    if faults::fires("serve.write.stall") {
-        std::thread::sleep(Duration::from_millis(25));
+    fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                    })
+                    .collect()
+            })
+            .collect()
     }
-    let mut sent = 0;
-    while sent < buf.len() {
-        match stream.write(&buf[sent..]) {
-            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => sent += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop.load(Ordering::Relaxed) {
-                    return Err(io::ErrorKind::Interrupted.into());
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
+
+    fn small_server(config: ServerConfig) -> Server {
+        let index = BlockingIndex::build(vectors(200, 4, 7), Some(16));
+        Server::spawn_with_config(Arc::new(index), "127.0.0.1:0", config).expect("spawn")
     }
-    Ok(())
-}
 
-/// Writes one response frame (length prefix + payload) through [`write_full`].
-fn write_response(stream: &mut TcpStream, payload: &[u8], stop: &AtomicBool) -> io::Result<()> {
-    write_full(stream, &(payload.len() as u32).to_le_bytes(), stop)?;
-    write_full(stream, payload, stop)
-}
+    /// Raw framed request over a plain `TcpStream`, so the test controls the read
+    /// side byte-by-byte (the real client would drain eagerly).
+    fn send_request(stream: &mut TcpStream, payload: &[u8]) {
+        stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .expect("len");
+        stream.write_all(payload).expect("payload");
+    }
 
-/// One connection's request loop.
-fn handle_connection(
-    mut stream: TcpStream,
-    index: &BlockingIndex,
-    stop: &AtomicBool,
-    counters: &Counters,
-    batcher: &Batcher,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_POLL))?;
-    stream.set_write_timeout(Some(READ_POLL))?;
-    stream.set_nodelay(true).ok(); // latency over throughput for small frames
-    let mut writer = stream.try_clone()?;
-    loop {
+    /// Satellite regression: a slow-but-alive reader draining a multi-megabyte
+    /// response in small sips takes far longer than the stall budget overall, yet
+    /// must never be dropped — every sip makes progress, and progress resets the
+    /// budget. (The old write path reused a fixed 100 ms poll as its write
+    /// timeout, which this scenario starved.)
+    #[test]
+    fn a_throttled_reader_making_progress_is_never_dropped() {
+        let server = small_server(ServerConfig {
+            write_stall_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        });
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        // 8000 queries x k=100 x 16 bytes/pair ≈ 12.8 MiB response — far beyond
+        // any socket buffer, so the server must keep writing as we sip.
+        let queries = vectors(8000, 4, 11);
+        send_request(&mut stream, &encode_knn_request(&queries, 100, 4));
+
         let mut len_bytes = [0u8; 4];
-        if !read_full(&mut stream, &mut len_bytes, stop)? {
-            return Ok(()); // clean disconnect
+        stream.read_exact(&mut len_bytes).expect("response length");
+        let total = u32::from_le_bytes(len_bytes) as usize;
+        assert!(
+            total > 8 * 1024 * 1024,
+            "response should dwarf socket buffers, got {total} bytes"
+        );
+        let started = Instant::now();
+        let mut body = vec![0u8; total];
+        let mut filled = 0;
+        while filled < total {
+            // Sip at most 256 KiB every 25 ms: the whole drain takes ~10x the
+            // 300 ms stall budget, with progress on every sip.
+            let chunk = (total - filled).min(256 * 1024);
+            stream
+                .read_exact(&mut body[filled..filled + chunk])
+                .expect("throttled read survived");
+            filled += chunk;
+            std::thread::sleep(Duration::from_millis(25));
         }
-        let len = u32::from_le_bytes(len_bytes);
-        if len > MAX_FRAME_LEN {
-            // The stream is unrecoverable (we cannot skip what we will not buffer):
-            // answer and drop the connection.
-            let msg = format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit");
-            let _ = write_response(&mut writer, &encode_error_response(&msg), stop);
-            return Err(io::ErrorKind::InvalidData.into());
-        }
-        let mut payload = vec![0u8; len as usize];
-        if !read_full(&mut stream, &mut payload, stop)? {
-            return Err(io::ErrorKind::UnexpectedEof.into());
-        }
-        counters.served_requests.fetch_add(1, Ordering::Relaxed);
-        // A panic anywhere in decode/dispatch answers an error frame on the same
-        // connection instead of unwinding the handler thread (which would drop the
-        // socket with responses owed on it).
-        let response = catch_unwind(AssertUnwindSafe(|| {
-            dispatch(&payload, index, counters, batcher)
-        }))
-        .unwrap_or_else(|_| encode_error_response("internal error: request handler panicked"));
-        write_response(&mut writer, &response, stop)?;
+        assert!(
+            started.elapsed() > Duration::from_millis(600),
+            "the drain must outlast the stall budget for this test to mean anything"
+        );
+        assert_eq!(body[0], STATUS_OK);
+        server.shutdown();
     }
-}
 
-/// Decodes and answers one request payload; all failures become error responses.
-fn dispatch(
-    payload: &[u8],
-    index: &BlockingIndex,
-    counters: &Counters,
-    batcher: &Batcher,
-) -> Vec<u8> {
-    match payload.first() {
-        Some(&OP_KNN) => match decode_knn_request(&payload[1..]) {
-            Ok((queries, k)) => {
-                let dim = queries.first().map_or(0, Vec::len);
-                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
-                    return encode_error_response(&format!(
-                        "query dimension {dim} does not match the index dimension {}",
-                        index.dim()
-                    ));
-                }
-                // A protocol-legal request can still imply a response frame over the
-                // protocol limit (pairs = queries x min(k, corpus)); bound it here so
-                // the response encoder never produces an unsendable frame.
-                let response_bytes = queries
-                    .len()
-                    .saturating_mul(k.min(index.len()))
-                    .saturating_mul(16)
-                    .saturating_add(5);
-                if response_bytes > MAX_FRAME_LEN as usize {
-                    return encode_error_response(&format!(
-                        "response would be {response_bytes} bytes, over the \
-                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
-                         batch or a smaller k"
-                    ));
-                }
-                let (tx, rx) = mpsc::channel();
-                match batcher.push(Pending {
-                    queries,
-                    k,
-                    enqueued_at: Instant::now(),
-                    reply: tx,
-                }) {
-                    Admission::Queued => {}
-                    Admission::Busy => {
-                        counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                        return encode_busy_response();
-                    }
-                    Admission::Stopped => {
-                        return encode_error_response("server shutting down");
+    /// The flip side: a reader that stops reading entirely IS dropped once the
+    /// stall budget passes with zero progress — a wedged peer cannot pin a
+    /// response buffer forever.
+    #[test]
+    fn a_fully_stalled_reader_is_dropped_after_the_budget() {
+        let server = small_server(ServerConfig {
+            write_stall_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        });
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let queries = vectors(8000, 4, 13);
+        send_request(&mut stream, &encode_knn_request(&queries, 100, 4));
+        // Read nothing. The server fills the socket buffers, then sees zero
+        // progress for the whole budget and closes the connection.
+        std::thread::sleep(Duration::from_millis(1500));
+        // Drain until the peer's close shows through (EOF or reset). A healthy
+        // server would happily feed us all ~12.8 MiB; a dropped connection ends
+        // orders of magnitude earlier.
+        let mut drained = 0usize;
+        let mut buf = vec![0u8; 64 * 1024];
+        let ended = loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break true,
+                Ok(n) => {
+                    drained += n;
+                    if drained > 13 * 1024 * 1024 {
+                        break false;
                     }
                 }
-                match rx.recv() {
-                    Ok(JoinReply::Done { pairs, degraded }) => {
-                        encode_knn_response(&pairs, degraded)
-                    }
-                    Ok(JoinReply::Expired) => encode_busy_response(),
-                    Ok(JoinReply::Failed(message)) => encode_error_response(&message),
-                    Err(_) => encode_error_response("server shutting down"),
-                }
+                Err(_) => break true,
             }
-            Err(message) => encode_error_response(&message),
-        },
-        Some(&OP_KNN_SUBSET) => match decode_knn_subset_request(&payload[1..]) {
-            Ok((queries, k, shards)) => {
-                let dim = queries.first().map_or(0, Vec::len);
-                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
-                    return encode_error_response(&format!(
-                        "query dimension {dim} does not match the index dimension {}",
-                        index.dim()
-                    ));
-                }
-                let num_shards = index.num_shards();
-                if let Some(&bad) = shards.iter().find(|&&s| s >= num_shards) {
-                    return encode_error_response(&format!(
-                        "shard position {bad} is out of range: the served snapshot has \
-                         {num_shards} shards (is the coordinator's placement built from \
-                         a different snapshot epoch?)"
-                    ));
-                }
-                let response_bytes = queries
-                    .len()
-                    .saturating_mul(k.min(index.len()))
-                    .saturating_mul(16)
-                    .saturating_add(shards.len().saturating_mul(4))
-                    .saturating_add(9);
-                if response_bytes > MAX_FRAME_LEN as usize {
-                    return encode_error_response(&format!(
-                        "response would be {response_bytes} bytes, over the \
-                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
-                         batch or a smaller k"
-                    ));
-                }
-                // Chaos hook: `serve.subset.stall` wedges the scatter-gather path
-                // long enough (1 s) to trip a coordinator's read timeout, so failover
-                // tests can prove a stalled replica is routed around — unlike
-                // `serve.write.stall`, whose 25 ms is deliberate sub-timeout jitter.
-                if faults::fires("serve.subset.stall") {
-                    std::thread::sleep(Duration::from_millis(1000));
-                }
-                let outcome = index.knn_join_subset_report(&queries, k, &shards);
-                if outcome.degraded {
-                    counters.degraded_joins.fetch_add(1, Ordering::Relaxed);
-                }
-                encode_knn_subset_response(&outcome.pairs, &outcome.quarantined_shards)
-            }
-            Err(message) => encode_error_response(&message),
-        },
-        Some(&OP_PING) => vec![STATUS_OK],
-        Some(&OP_STATS) => encode_stats_response(&build_stats(index, counters)),
-        Some(&other) => encode_error_response(&format!("unknown opcode {other:#04x}")),
-        None => encode_error_response("empty request payload"),
+        };
+        assert!(
+            ended,
+            "the server kept serving a reader stalled past the budget ({drained} bytes)"
+        );
+        server.shutdown();
     }
 }

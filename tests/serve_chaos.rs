@@ -16,7 +16,7 @@
 
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
@@ -239,7 +239,7 @@ fn a_zero_depth_admission_queue_sheds_every_join_with_busy() {
     let _disarm = DisarmGuard;
     let config = ServerConfig {
         admission_queue_depth: 0,
-        request_deadline: None,
+        ..ServerConfig::default()
     };
     let (server, _dir) = spawn_spilled_server(4, config);
     let client_config = ClientConfig {
@@ -272,6 +272,7 @@ fn an_already_expired_deadline_answers_busy_without_running_the_join() {
     let config = ServerConfig {
         admission_queue_depth: 64,
         request_deadline: Some(Duration::ZERO),
+        ..ServerConfig::default()
     };
     let (server, _dir) = spawn_spilled_server(5, config);
     let client_config = ClientConfig {
@@ -429,6 +430,193 @@ fn a_stalled_replica_is_routed_around_exactly() {
         outcome.quarantined_shards
     );
     assert_exact(&outcome.pairs, &expected, "stalled replica routed around");
+}
+
+/// What a proxied endpoint does when a `KNN_SUBSET` frame arrives. Everything
+/// else (STATS at connect time, PING) is forwarded verbatim, so the coordinator's
+/// strict connect handshake succeeds against both behaviors.
+#[derive(Clone, Copy)]
+enum SubsetScript {
+    /// Answer the first subset join with a wire `STATUS_BUSY`, forward the rest:
+    /// a healthy process load-shedding exactly once. (No server config can do
+    /// this — subsets bypass the admission queue — hence the proxy.)
+    BusyOnce,
+    /// Drop the connection on every subset join: a transport failure
+    /// mid-protocol, while still looking healthy at connect time.
+    HangUp,
+}
+
+/// A frame-level proxy in front of a real server, scripted per-opcode.
+struct ScriptedProxy {
+    addr: String,
+    subset_requests: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ScriptedProxy {
+    fn spawn(upstream: std::net::SocketAddr, script: SubsetScript) -> ScriptedProxy {
+        use sudowoodo::serve::protocol as proto;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+        let addr = listener.local_addr().expect("proxy addr").to_string();
+        let subset_requests = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let shed_pending = Arc::new(AtomicBool::new(true));
+        let counter = Arc::clone(&subset_requests);
+        let stopped = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stopped.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(mut down) = conn else { break };
+                let counter = Arc::clone(&counter);
+                let shed_pending = Arc::clone(&shed_pending);
+                std::thread::spawn(move || {
+                    let Ok(mut up) = std::net::TcpStream::connect(upstream) else {
+                        return;
+                    };
+                    while let Ok(Some(frame)) = proto::read_frame(&mut down) {
+                        if frame.first() == Some(&proto::OP_KNN_SUBSET) {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            match script {
+                                // Dropping both streams is the transport failure.
+                                SubsetScript::HangUp => return,
+                                SubsetScript::BusyOnce => {
+                                    if shed_pending.swap(false, Ordering::Relaxed) {
+                                        if proto::write_frame(
+                                            &mut down,
+                                            &proto::encode_busy_response(),
+                                        )
+                                        .is_err()
+                                        {
+                                            return;
+                                        }
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                        if proto::write_frame(&mut up, &frame).is_err() {
+                            return;
+                        }
+                        let Ok(Some(reply)) = proto::read_frame(&mut up) else {
+                            return;
+                        };
+                        if proto::write_frame(&mut down, &reply).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        ScriptedProxy {
+            addr,
+            subset_requests,
+            stop,
+        }
+    }
+
+    fn subset_requests(&self) -> u64 {
+        self.subset_requests.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ScriptedProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop so the thread exits.
+        let _ = std::net::TcpStream::connect(&self.addr);
+    }
+}
+
+/// BUSY and transport failure are opposite failover signals, and this pins the
+/// difference within ONE call. Endpoint A sheds its first subset join with BUSY
+/// (a healthy process saying "not now"); endpoint B accepts connections but
+/// hangs up on every subset join (a dead process that still passes the connect
+/// handshake). Shards with A as primary get shed, fail over toward B, find it
+/// dead, and are lost. Shards with B as primary find B dead and fail over to A —
+/// which MUST still be eligible even though it shed earlier in the same call.
+/// A coordinator that treated BUSY like a dead endpoint would blacklist A in
+/// round one and lose every shard; the report pins that exactly the B-primary
+/// shards survive, served by the endpoint that had already said BUSY once.
+#[test]
+fn a_busy_shed_does_not_blacklist_an_endpoint_but_a_hangup_does() {
+    let _serial = fault_lock();
+    let _disarm = DisarmGuard;
+    let corpus = vectors(480, 8, 9);
+    let queries = vectors(24, 8, 90);
+    let index = Arc::new(BlockingIndex::build(corpus, Some(16)));
+    let upstream = Server::spawn(Arc::clone(&index), "127.0.0.1:0").expect("spawn upstream");
+
+    // Placement hashes the proxies' ephemeral addresses, so whether a given
+    // shard lands A-primary or B-primary varies per run; the test needs both
+    // kinds to exist. Re-bind (fresh ports, fresh placement) until they do.
+    let mut tries = 0;
+    let (busy, dead, mut coord, a_primary, b_primary) = loop {
+        let busy = ScriptedProxy::spawn(upstream.addr(), SubsetScript::BusyOnce);
+        let dead = ScriptedProxy::spawn(upstream.addr(), SubsetScript::HangUp);
+        let coord = Coordinator::connect(
+            &[busy.addr.clone(), dead.addr.clone()],
+            CoordinatorConfig::default(),
+        )
+        .expect("connect through the proxies");
+        let primaries = |endpoint: usize| -> Vec<usize> {
+            coord
+                .placement()
+                .iter()
+                .enumerate()
+                .filter(|(_, replicas)| replicas[0] == endpoint)
+                .map(|(shard, _)| shard)
+                .collect()
+        };
+        let (a_primary, b_primary) = (primaries(0), primaries(1));
+        if !a_primary.is_empty() && !b_primary.is_empty() {
+            break (busy, dead, coord, a_primary, b_primary);
+        }
+        tries += 1;
+        assert!(tries < 16, "no mixed placement in {tries} tries");
+    };
+
+    // Call 1: A sheds once. The B-primary shards reach A *after* the shed and
+    // must still be served by it; the A-primary shards exhaust (A shed them,
+    // B is dead) and are reported lost — nothing silently dropped.
+    let outcome = coord.knn_join_report(&queries, 5).expect("join");
+    assert!(
+        outcome.degraded,
+        "A-primary shards have no live replica left"
+    );
+    assert_eq!(
+        outcome.quarantined_shards, a_primary,
+        "exactly the A-primary shards are lost"
+    );
+    let expected_covered = index.knn_join_subset_report(&queries, 5, &b_primary).pairs;
+    assert_exact(
+        &outcome.pairs,
+        &expected_covered,
+        "B-primary shards served by the endpoint that shed BUSY earlier",
+    );
+    assert_eq!(
+        busy.subset_requests(),
+        2,
+        "A: one shed + one re-probe (a blacklisting coordinator would stop at 1)"
+    );
+    assert_eq!(
+        dead.subset_requests(),
+        1,
+        "B: one hangup makes it call-fatal; it must not be re-probed in-call"
+    );
+
+    // Call 2: the shed was transient and deadness was call-scoped. A now serves
+    // everything (B's shards fail over to it), so the join is whole again.
+    let again = coord.knn_join_report(&queries, 5).expect("second join");
+    assert!(!again.degraded, "missing: {:?}", again.quarantined_shards);
+    assert_exact(
+        &again.pairs,
+        &index.knn_join(&queries, 5),
+        "one BUSY answer must not leave any lasting mark",
+    );
+    assert_eq!(dead.subset_requests(), 2, "B is re-probed on the NEXT call");
+    upstream.shutdown();
 }
 
 /// Losing EVERY replica of a shard set is the one unrecoverable case: the join

@@ -219,3 +219,27 @@ fn shutdown_is_prompt_with_idle_clients_attached() {
         "shutdown must not hang on idle connections"
     );
 }
+
+/// Regression (wedged shutdown on wildcard binds): the old accept thread was woken
+/// by connecting to the listener's own address, and a `0.0.0.0` bind made that
+/// connect target the wildcard — unroutable without rewriting it to a loopback —
+/// so shutdown hung until a real client happened to dial in. The reactor wakes
+/// workers through loopback socket pairs it owns, so the bind address is
+/// irrelevant; this pins that for the wildcard case specifically.
+#[test]
+fn shutdown_is_prompt_on_a_wildcard_bind() {
+    let index = BlockingIndex::build(vectors(20, 4, 9), Some(4));
+    let server = Server::spawn(Arc::new(index), "0.0.0.0:0").unwrap();
+    // The server must actually be reachable (via loopback at the bound port)...
+    let port = server.addr().port();
+    let mut client = ServeClient::connect(("127.0.0.1", port)).unwrap();
+    client.ping().unwrap();
+    assert_eq!(client.knn_join(&vectors(3, 4, 1), 2).unwrap().len(), 6);
+    // ...and shutting down with that client still attached must not wedge.
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown must not hang on a 0.0.0.0 bind"
+    );
+}

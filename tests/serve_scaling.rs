@@ -1,0 +1,111 @@
+//! Connection-scaling integration test for the readiness-polled server: hundreds of
+//! idle connections must cost nothing (no per-connection threads, no timeout
+//! wakeups) while a small active set keeps getting bit-identical answers, STATS
+//! counters stay consistent, and shutdown remains prompt.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sudowoodo::index::{BlockingIndex, ShardedCosineIndex};
+use sudowoodo::serve::{ServeClient, Server};
+
+fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            (0..d)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn hundreds_of_idle_connections_do_not_disturb_active_ones() {
+    const IDLE_CONNS: usize = 512;
+    const ACTIVE_CLIENTS: usize = 4;
+    const JOINS_PER_CLIENT: usize = 8;
+
+    let corpus = vectors(300, 16, 41);
+    let queries = vectors(25, 16, 42);
+    let mut built = ShardedCosineIndex::from_vectors(&corpus, 32);
+    let expected = built.knn_join(&queries, 6);
+    built.set_query_cache_capacity(8);
+    let server = Server::spawn(Arc::new(BlockingIndex::Sharded(built)), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // Park a crowd of idle connections. Under the old thread-per-connection model
+    // this was 512 handler threads each waking 10x/s; under the reactor they are
+    // parked descriptors. They stay open for the whole test.
+    let idle: Vec<ServeClient> = (0..IDLE_CONNS)
+        .map(|i| {
+            ServeClient::connect(addr).unwrap_or_else(|e| panic!("idle connect {i} failed: {e}"))
+        })
+        .collect();
+
+    // A small active set keeps querying through the crowd; every answer must be
+    // bit-identical to the in-process join.
+    let workers: Vec<_> = (0..ACTIVE_CLIENTS)
+        .map(|_| {
+            let queries = queries.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("active connect");
+                for round in 0..JOINS_PER_CLIENT {
+                    let served = client.knn_join(&queries, 6).expect("served join");
+                    assert_eq!(served.len(), expected.len(), "round {round}: pair count");
+                    for (a, b) in served.iter().zip(expected.iter()) {
+                        assert_eq!((a.0, a.1), (b.0, b.1), "round {round}: ids");
+                        assert_eq!(a.2.to_bits(), b.2.to_bits(), "round {round}: scores");
+                    }
+                }
+                client.stats().expect("stats over the wire")
+            })
+        })
+        .collect();
+    let wire_stats: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // Counter consistency: every KNN frame is counted exactly once — idle
+    // connections contribute nothing — and the wire STATS agree with the handle.
+    let stats = server.stats();
+    let total_joins = (ACTIVE_CLIENTS * JOINS_PER_CLIENT) as u64;
+    // Each worker also sent one STATS frame; those land in served_requests too,
+    // but only after the joins, so the join count is a hard floor and the final
+    // tally is exact.
+    assert_eq!(
+        stats.served_requests,
+        total_joins + ACTIVE_CLIENTS as u64,
+        "512 idle connections must not leak phantom requests"
+    );
+    assert_eq!(stats.busy_rejections, 0, "no shedding at this load");
+    assert_eq!(stats.degraded_joins, 0, "nothing quarantined");
+    for wire in &wire_stats {
+        assert!(
+            wire.served_requests <= stats.served_requests,
+            "a mid-flight STATS snapshot can never exceed the final tally"
+        );
+        assert_eq!(wire.len, stats.len);
+        assert_eq!(wire.num_shards, stats.num_shards);
+    }
+    // Repeated identical batches are the cache's bread and butter; with 4 clients
+    // repeating one batch the cache must have answered most of them.
+    assert!(
+        stats.cache_hits > 0,
+        "repeated batches should hit the query cache"
+    );
+
+    // Shutdown with all 512 idle connections still attached must stay prompt.
+    let start = Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} with {IDLE_CONNS} idle connections attached",
+        start.elapsed()
+    );
+    drop(idle);
+}
