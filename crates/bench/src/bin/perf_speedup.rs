@@ -166,6 +166,20 @@ struct ScatterGatherRow {
     queries_per_sec: f64,
 }
 
+/// A served model request path (`EMBED` or `MATCH`) over a cold-loaded model
+/// snapshot, verified bit-identical to the in-process model before timing.
+/// Recorded for trend-watching only — model inference dominates the round trip and
+/// its kernels are already gated by the `embed_all`/`matmul` floors, so these rows
+/// are intentionally NOT in [`SPEEDUP_FLOORS`] and never gate (they must not flip
+/// `any_regression` while the baseline is established).
+#[derive(Clone, Debug, Serialize)]
+struct ModelServeRow {
+    case: String,
+    seconds: f64,
+    items: usize,
+    items_per_sec: f64,
+}
+
 /// The connection-scaling gate over the sweep rows. Latency is runner-dependent
 /// and never floored; what IS gated is structural: the sweep must actually hold
 /// its (rlimit-clamped) connection target — at least 5k on any box with fds to
@@ -193,6 +207,8 @@ struct PerfReport {
     any_regression: bool,
     serve_load_shed: LoadShedRow,
     scatter_gather: ScatterGatherRow,
+    serve_embed: ModelServeRow,
+    serve_match: ModelServeRow,
     serve_connection_sweep: Vec<sudowoodo_bench::connsweep::SweepLevel>,
     connection_gate: ConnectionGate,
 }
@@ -812,6 +828,117 @@ fn scatter_gather_row() -> ScatterGatherRow {
     }
 }
 
+/// Measures the served `EMBED` and `MATCH` request paths: a tiny matcher is trained,
+/// snapshotted (`SWMODEL1`), cold-loaded, and served; both answers are verified
+/// bit-identical to the in-process model before timing. See [`ModelServeRow`] for
+/// why these rows never gate.
+fn model_serve_rows() -> (ModelServeRow, ModelServeRow) {
+    use std::sync::Arc;
+    use sudowoodo_core::matcher::{FineTuneConfig, PairMatcher, TrainPair};
+    use sudowoodo_core::model_snapshot::{self, MatcherBackend};
+    use sudowoodo_index::BlockingIndex;
+    use sudowoodo_serve::{ServeClient, Server, ServerConfig};
+
+    let texts = perf_corpus();
+    let texts = &texts[..1_000];
+    let encoder = Encoder::from_corpus(
+        EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
+        texts,
+        9,
+    );
+    let mut matcher = PairMatcher::new(encoder, true, 9);
+    let train: Vec<TrainPair> = (0..32)
+        .map(|i| TrainPair::new(texts[i].clone(), texts[(i + 5) % 64].clone(), i % 2 == 0))
+        .collect();
+    matcher.fine_tune(
+        &train,
+        &FineTuneConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 1e-3,
+            seed: 9,
+        },
+    );
+
+    // Through the snapshot: the served model is a cold load, like production.
+    let path = std::env::temp_dir().join(format!(
+        "sudowoodo-perf-model-{}.swmodel",
+        std::process::id()
+    ));
+    model_snapshot::save_matcher(&matcher, &path).expect("save model snapshot");
+    let cold = model_snapshot::load_matcher(&path).expect("load model snapshot");
+    let _ = std::fs::remove_file(&path);
+
+    let mut rng = StdRng::seed_from_u64(10);
+    let index: Vec<Vec<f32>> = (0..256)
+        .map(|_| (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let server = Server::spawn_with_model(
+        Arc::new(BlockingIndex::build(index, Some(64))),
+        Arc::new(MatcherBackend(cold)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("spawn model server");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    let batch = &texts[..512];
+    let served = client.embed(batch).expect("served embed");
+    assert!(
+        served.iter().flatten().map(|x| x.to_bits()).eq(matcher
+            .encoder
+            .embed_all(batch)
+            .iter()
+            .flatten()
+            .map(|x| x.to_bits())),
+        "served embeddings diverged from the in-process model"
+    );
+    let embed_secs = time(3, || client.embed(batch).expect("served embed"));
+    let serve_embed = ModelServeRow {
+        case: "serve_embed 512 texts (MeanPool d=32) over a cold model snapshot".into(),
+        seconds: embed_secs,
+        items: batch.len(),
+        items_per_sec: if embed_secs > 0.0 {
+            batch.len() as f64 / embed_secs
+        } else {
+            0.0
+        },
+    };
+
+    let pairs: Vec<(String, String)> = (0..128)
+        .map(|i| (texts[i].clone(), texts[(i + 13) % 256].clone()))
+        .collect();
+    let served = client.match_pairs(&pairs).expect("served match");
+    assert!(
+        served
+            .iter()
+            .map(|x| x.to_bits())
+            .eq(matcher.predict_scores(&pairs).iter().map(|x| x.to_bits())),
+        "served match scores diverged from the in-process model"
+    );
+    let match_secs = time(3, || client.match_pairs(&pairs).expect("served match"));
+    let serve_match = ModelServeRow {
+        case: "serve_match 128 pairs (MeanPool d=32) over a cold model snapshot".into(),
+        seconds: match_secs,
+        items: pairs.len(),
+        items_per_sec: if match_secs > 0.0 {
+            pairs.len() as f64 / match_secs
+        } else {
+            0.0
+        },
+    };
+
+    server.shutdown();
+    (serve_embed, serve_match)
+}
+
 /// Runs the connection-count sweep against a small served index and derives the
 /// structural [`ConnectionGate`] from its largest level. See [`ConnectionGate`]
 /// for what gates (connection count, finite percentiles) and what does not
@@ -879,6 +1006,12 @@ fn main() {
         scatter_gather.processes,
         scatter_gather.replication,
         scatter_gather.queries_per_sec
+    );
+    let (serve_embed, serve_match) = model_serve_rows();
+    println!(
+        "multi-task serving: EMBED {:.0} texts/sec, MATCH {:.0} pairs/sec over a cold \
+         model snapshot (ungated; trend only)",
+        serve_embed.items_per_sec, serve_match.items_per_sec
     );
     let (serve_connection_sweep, connection_gate) = connection_sweep_rows();
     for level in &serve_connection_sweep {
@@ -967,6 +1100,8 @@ fn main() {
             any_regression,
             serve_load_shed,
             scatter_gather,
+            serve_embed,
+            serve_match,
             serve_connection_sweep,
             connection_gate,
         },

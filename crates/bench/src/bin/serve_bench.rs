@@ -28,6 +28,10 @@ use sudowoodo_bench::connsweep::{self, SweepLevel};
 use sudowoodo_bench::harness::print_table;
 use sudowoodo_bench::ResultWriter;
 use sudowoodo_coord::{Coordinator, CoordinatorConfig, LocalCluster};
+use sudowoodo_core::config::{EncoderConfig, EncoderKind};
+use sudowoodo_core::encoder::Encoder;
+use sudowoodo_core::matcher::{FineTuneConfig, PairMatcher, TrainPair};
+use sudowoodo_core::model_snapshot::{self, MatcherBackend};
 use sudowoodo_core::ClusterSpec;
 use sudowoodo_index::{BlockingIndex, ShardedCosineIndex};
 use sudowoodo_serve::{ClientConfig, RetryPolicy, ServeClient, Server, ServerConfig};
@@ -80,6 +84,16 @@ struct ServeReport {
     connection_sweep: Vec<SweepLevel>,
     /// The largest idle crowd actually attached during the sweep.
     peak_idle_connections: usize,
+    /// Served `EMBED` throughput (texts/sec) over a cold-loaded model snapshot;
+    /// ungated — model inference dominates, and its speed is a property of the
+    /// encoder kernels already gated by `perf_speedup`.
+    serve_embed_texts_per_sec: f64,
+    /// Served `MATCH` throughput (pairs/sec) over the same model; ungated, same
+    /// reasoning.
+    serve_match_pairs_per_sec: f64,
+    /// Wall-clock seconds of the streaming-dedup publish step (builder add_batch +
+    /// delta snapshot + server hot swap); ungated, trend only.
+    streaming_publish_secs: f64,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -331,6 +345,145 @@ fn main() {
     drop(coord);
     drop(cluster);
 
+    // 7. Multi-task serving: a trained matcher travels through a model snapshot
+    // (train once, serve cold — like the index), and the server answers `EMBED` and
+    // `MATCH` alongside `KNN`. Both answers are verified bit-identical to the
+    // in-process model before timing; the throughput rows are never gated.
+    let texts: Vec<String> = (0..1_000)
+        .map(|i| {
+            format!(
+                "[COL] title [VAL] canon pixma printer sku{i} mdl{} [COL] price [VAL] {}",
+                (i * 7) % 5_000,
+                i % 97
+            )
+        })
+        .collect();
+    let encoder = Encoder::from_corpus(
+        EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
+        &texts,
+        19,
+    );
+    let mut matcher = PairMatcher::new(encoder, true, 19);
+    let train: Vec<TrainPair> = (0..32)
+        .map(|i| TrainPair::new(texts[i].clone(), texts[(i + 5) % 64].clone(), i % 2 == 0))
+        .collect();
+    matcher.fine_tune(
+        &train,
+        &FineTuneConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 1e-3,
+            seed: 19,
+        },
+    );
+    let model_path = dir.join(model_snapshot::MODEL_SNAPSHOT_FILE);
+    let model_snapshot_start = Instant::now();
+    model_snapshot::save_matcher(&matcher, &model_path).expect("save model snapshot");
+    let cold_model = model_snapshot::load_matcher(&model_path).expect("load model snapshot");
+    rows.push(ServeRow::new(
+        "model snapshot save + cold load",
+        model_snapshot_start.elapsed().as_secs_f64(),
+        0,
+    ));
+
+    let model_index = BlockingIndex::load_snapshot(&dir).expect("load snapshot");
+    let model_server = Server::spawn_with_model(
+        Arc::new(model_index),
+        Arc::new(MatcherBackend(cold_model)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("spawn model server");
+    let mut model_client = ServeClient::connect(model_server.addr()).expect("connect");
+
+    let served_embed = model_client.embed(&texts).expect("served embed");
+    let expected_embed = matcher.encoder.embed_all(&texts);
+    assert!(
+        served_embed
+            .iter()
+            .flatten()
+            .map(|x| x.to_bits())
+            .eq(expected_embed.iter().flatten().map(|x| x.to_bits())),
+        "served embeddings diverged from the in-process model"
+    );
+    let embed_reps = 5;
+    let embed_start = Instant::now();
+    for _ in 0..embed_reps {
+        let vecs = model_client.embed(&texts).expect("served embed");
+        std::hint::black_box(&vecs);
+    }
+    let embed_row = ServeRow::new(
+        format!("served EMBED x{embed_reps} (1k texts, MeanPool d=32)"),
+        embed_start.elapsed().as_secs_f64(),
+        embed_reps * texts.len(),
+    );
+    let serve_embed_texts_per_sec = embed_row.queries_per_sec;
+    rows.push(embed_row);
+
+    let pairs: Vec<(String, String)> = (0..256)
+        .map(|i| (texts[i].clone(), texts[(i + 13) % 512].clone()))
+        .collect();
+    let served_scores = model_client.match_pairs(&pairs).expect("served match");
+    assert!(
+        served_scores
+            .iter()
+            .map(|x| x.to_bits())
+            .eq(matcher.predict_scores(&pairs).iter().map(|x| x.to_bits())),
+        "served match scores diverged from the in-process model"
+    );
+    let match_reps = 5;
+    let match_start = Instant::now();
+    for _ in 0..match_reps {
+        let scores = model_client.match_pairs(&pairs).expect("served match");
+        std::hint::black_box(&scores);
+    }
+    let match_row = ServeRow::new(
+        format!("served MATCH x{match_reps} (256 pairs, MeanPool d=32)"),
+        match_start.elapsed().as_secs_f64(),
+        match_reps * pairs.len(),
+    );
+    let serve_match_pairs_per_sec = match_row.queries_per_sec;
+    rows.push(match_row);
+
+    // 8. Streaming dedup: warm a cached batch, append new records in the builder
+    // role, publish a `SWDELTA1` delta, hot-swap it in, and measure the publish
+    // plus the first post-publish batch (which must see the new epoch).
+    let probe = &queries[..256];
+    let before = model_client.knn_join(probe, k).expect("pre-delta batch");
+    let stream_start = Instant::now();
+    let delta_dir = std::env::temp_dir().join(format!(
+        "sudowoodo-serve-bench-delta-{}",
+        std::process::id()
+    ));
+    let mut builder = ShardedCosineIndex::load_snapshot(&dir).expect("load base");
+    builder.add_batch(probe);
+    builder
+        .save_delta_snapshot(&dir, &delta_dir)
+        .expect("save delta");
+    let next = ShardedCosineIndex::load_snapshot(&delta_dir).expect("load delta");
+    model_server.publish_index(Arc::new(BlockingIndex::Sharded(next)));
+    let streaming_publish_secs = stream_start.elapsed().as_secs_f64();
+    let post_start = Instant::now();
+    let after = model_client.knn_join(probe, k).expect("post-delta batch");
+    assert_ne!(before, after, "the delta epoch must be visible to queries");
+    rows.push(ServeRow::new(
+        format!(
+            "streaming dedup: delta publish {streaming_publish_secs:.4}s + first \
+             post-publish batch"
+        ),
+        post_start.elapsed().as_secs_f64(),
+        probe.len(),
+    ));
+    model_server.shutdown();
+    let _ = std::fs::remove_dir_all(&delta_dir);
+
     let _ = std::fs::remove_dir_all(&dir);
 
     let printable: Vec<Vec<String>> = rows
@@ -367,6 +520,11 @@ fn main() {
         "warm-cache throughput: {warm_cache_qps:.0} queries/sec — target {TARGET_QPS:.0}: {}",
         if target_met { "MET" } else { "NOT MET" }
     );
+    println!(
+        "multi-task serving: EMBED {serve_embed_texts_per_sec:.0} texts/sec, MATCH \
+         {serve_match_pairs_per_sec:.0} pairs/sec, streaming delta publish \
+         {streaming_publish_secs:.4}s (ungated; trend only)"
+    );
 
     ResultWriter::new().write(
         "serve_bench",
@@ -384,6 +542,9 @@ fn main() {
             },
             connection_sweep,
             peak_idle_connections,
+            serve_embed_texts_per_sec,
+            serve_match_pairs_per_sec,
+            streaming_publish_secs,
         },
     );
 }

@@ -46,6 +46,19 @@
 //! surfaced as [`std::io::ErrorKind::InvalidInput`]) are configuration errors
 //! that would fail identically on every replica; they propagate immediately
 //! instead of burning the failover budget.
+//!
+//! ## Model requests are single-endpoint, not scattered
+//!
+//! `EMBED` and `MATCH` ([`Coordinator::embed`], [`Coordinator::match_pairs`]) do
+//! **not** scatter. Scatter-gather works for `KNN` because the index is
+//! partitioned by shard and top-k merging is order-independent; a model batch has
+//! neither property — every endpoint loads the *same* model snapshot (there is
+//! nothing to partition), and splitting a batch across endpoints would move the
+//! model's internal chunk boundaries and change low-order `f32` bits, breaking
+//! the workspace's bit-identity oracle discipline. So the coordinator sends the
+//! whole batch to **one** endpoint and fails over to the next (in endpoint order)
+//! on a transport failure or a `BUSY` shed — any replica's answer is
+//! bit-identical to any other's.
 
 use std::collections::{BTreeMap, HashSet};
 use std::io;
@@ -308,6 +321,72 @@ impl Coordinator {
             degraded: !lost.is_empty(),
             quarantined_shards: lost,
         })
+    }
+
+    /// The distributed form of [`sudowoodo_serve::ServeClient::embed`]: the whole
+    /// batch goes to one endpoint (see the module docs for why model requests are
+    /// never scattered), failing over in endpoint order on transport failures and
+    /// `BUSY` sheds. Answers are bit-identical regardless of which replica served.
+    ///
+    /// # Errors
+    /// A server-side rejection ([`std::io::ErrorKind::InvalidInput`] — e.g. the
+    /// cluster serves no model) propagates immediately: it would fail identically
+    /// on every replica. Otherwise the last failure once every endpoint has been
+    /// tried.
+    pub fn embed(&mut self, texts: &[String]) -> io::Result<Vec<Vec<f32>>> {
+        self.on_any_endpoint(|client| client.embed(texts))
+    }
+
+    /// The distributed form of [`sudowoodo_serve::ServeClient::match_pairs`]:
+    /// single-endpoint with failover, like [`Coordinator::embed`].
+    ///
+    /// # Errors
+    /// As [`Coordinator::embed`] (a mismatched pair batch cannot arise — the pair
+    /// representation is aligned by construction).
+    pub fn match_pairs(&mut self, pairs: &[(String, String)]) -> io::Result<Vec<f32>> {
+        self.on_any_endpoint(|client| client.match_pairs(pairs))
+    }
+
+    /// Runs `call` against the first endpoint that answers, in endpoint order:
+    /// the single-endpoint failover loop behind [`Coordinator::embed`] and
+    /// [`Coordinator::match_pairs`]. Transport failures drop the connection (the
+    /// next use re-dials); `BUSY` leaves it connected; rejections propagate.
+    fn on_any_endpoint<T>(
+        &mut self,
+        mut call: impl FnMut(&mut ServeClient) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut last_error: Option<io::Error> = None;
+        for endpoint in 0..self.endpoints.len() {
+            if self.clients[endpoint].is_none() {
+                match ServeClient::connect_with_config(
+                    self.endpoints[endpoint].as_str(),
+                    self.config.client,
+                ) {
+                    Ok(client) => self.clients[endpoint] = Some(client),
+                    Err(e) => {
+                        last_error = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let client = self.clients[endpoint].as_mut().expect("dialed above");
+            match call(client) {
+                Ok(answer) => return Ok(answer),
+                Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+                Err(e) => {
+                    if !is_busy(&e) {
+                        self.clients[endpoint] = None;
+                    }
+                    last_error = Some(e);
+                }
+            }
+        }
+        Err(last_error.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotConnected,
+                "no endpoint could serve the model request",
+            )
+        }))
     }
 
     /// One subset join against one endpoint, lazily (re)dialing its connection.

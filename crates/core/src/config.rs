@@ -5,6 +5,7 @@
 //! `use_pseudo_labels`) correspond exactly to the ablation variants of Tables V / VI / XV:
 //! turning all four off recovers the plain SimCLR baseline.
 
+use serde::Serialize;
 use sudowoodo_augment::{CutoffKind, DaOp};
 
 /// Which encoder architecture the embedding model uses.
@@ -63,9 +64,9 @@ impl EncoderConfig {
 
 /// Shape of a scatter-gather serving cluster over the published blocking-index
 /// snapshot (the `sudowoodo-coord` crate): how many serve processes to run and how
-/// shards are replicated onto them. Carried on [`SudowoodoConfig::cluster_spec`];
-/// `None` keeps serving single-process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// shards are replicated onto them. Carried on [`ServeConfig::cluster`] (under
+/// [`SudowoodoConfig::serve`]); `None` keeps serving single-process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct ClusterSpec {
     /// Serve processes in the cluster (each cold-loads the full snapshot).
     pub processes: usize,
@@ -122,6 +123,119 @@ impl ClusterSpec {
             ));
         }
         Ok(out)
+    }
+
+    /// Decodes the [`serde::Value`] tree produced by `Serialize` back into a spec
+    /// (the serde shim has no `Deserialize` half, so decoding is by hand).
+    ///
+    /// # Errors
+    /// A descriptive message on missing fields or wrong JSON types.
+    pub fn from_value(value: &serde::Value) -> Result<ClusterSpec, String> {
+        Ok(ClusterSpec {
+            processes: field_usize(value, "processes")?,
+            replication: field_usize(value, "replication")?,
+            virtual_nodes: field_usize(value, "virtual_nodes")?,
+        })
+    }
+}
+
+/// Serving-side knobs of the framework, grouped: admission control, deadlines,
+/// client retries, socket workers, and the optional scatter-gather cluster shape.
+///
+/// Carried on [`SudowoodoConfig::serve`]. These were flat `serve_*` fields on
+/// [`SudowoodoConfig`] before; the nesting keeps serving concerns in one place and
+/// gives them one (de)serialization boundary — [`Serialize`] via the serde shim and
+/// [`ServeConfig::from_value`] for the way back.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct ServeConfig {
+    /// Admission-queue depth of a query server spawned over the blocking index (maps
+    /// to `sudowoodo_serve::ServerConfig::admission_queue_depth`): requests beyond
+    /// this many waiting are answered with a `BUSY` frame instead of queueing without
+    /// bound — the server sheds load rather than building unbounded latency.
+    pub queue_depth: usize,
+    /// Per-request deadline, in milliseconds (maps to
+    /// `sudowoodo_serve::ServerConfig::request_deadline`): a request that waited
+    /// longer than this in the admission queue is answered `BUSY` without running.
+    /// `None` (the default) disables deadlines.
+    pub deadline_ms: Option<u64>,
+    /// Client-side retries for idempotent requests (maps to
+    /// `sudowoodo_serve::RetryPolicy::max_retries`): transport failures and `BUSY`
+    /// load-shed responses are retried this many times with exponential backoff and
+    /// deterministic jitter; server error responses are never retried. A *degraded*
+    /// response (quarantined shards skipped server-side) is a success with an
+    /// explicit flag, not a retry trigger.
+    pub retry_max: u32,
+    /// I/O worker threads of the server (maps to
+    /// `sudowoodo_serve::ServerConfig::worker_threads`): a fixed pool of
+    /// readiness-polled workers multiplexes every connection, so this bounds
+    /// socket-I/O parallelism — join compute runs on its own thread either way. `0`
+    /// (the default) sizes the pool from the machine's available parallelism.
+    pub worker_threads: usize,
+    /// Shape of a distributed scatter-gather serving cluster (see [`ClusterSpec`]
+    /// and the `sudowoodo-coord` crate). `None` (the default) keeps serving
+    /// single-process.
+    pub cluster: Option<ClusterSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 256,
+            deadline_ms: None,
+            retry_max: 3,
+            worker_threads: 0,
+            cluster: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Decodes the [`serde::Value`] tree produced by `Serialize` back into a config
+    /// (the serde shim has no `Deserialize` half, so decoding is by hand). Inverse
+    /// of `to_value`: `from_value(&c.to_value()) == Ok(c)` for every config.
+    ///
+    /// # Errors
+    /// A descriptive message on missing fields or wrong JSON types.
+    pub fn from_value(value: &serde::Value) -> Result<ServeConfig, String> {
+        let deadline_ms = match field(value, "deadline_ms")? {
+            serde::Value::Null => None,
+            serde::Value::Number(n) => Some(*n as u64),
+            other => return Err(format!("serve config: deadline_ms is {other:?}")),
+        };
+        let cluster = match field(value, "cluster")? {
+            serde::Value::Null => None,
+            nested @ serde::Value::Object(_) => Some(ClusterSpec::from_value(nested)?),
+            other => return Err(format!("serve config: cluster is {other:?}")),
+        };
+        Ok(ServeConfig {
+            queue_depth: field_usize(value, "queue_depth")?,
+            deadline_ms,
+            retry_max: field_usize(value, "retry_max")? as u32,
+            worker_threads: field_usize(value, "worker_threads")?,
+            cluster,
+        })
+    }
+}
+
+/// Looks up one field of a [`serde::Value::Object`].
+fn field<'v>(value: &'v serde::Value, name: &str) -> Result<&'v serde::Value, String> {
+    let serde::Value::Object(entries) = value else {
+        return Err(format!("expected a JSON object, got {value:?}"));
+    };
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {name:?}"))
+}
+
+/// Looks up one numeric field and converts it to `usize`.
+fn field_usize(value: &serde::Value, name: &str) -> Result<usize, String> {
+    match field(value, name)? {
+        serde::Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+        other => Err(format!(
+            "field {name:?} is not a non-negative integer: {other:?}"
+        )),
     }
 }
 
@@ -218,37 +332,13 @@ pub struct SudowoodoConfig {
     /// never pipeline failures.
     pub snapshot_dir: Option<std::path::PathBuf>,
 
-    // ---- serving robustness ---------------------------------------------------------------
-    /// Admission-queue depth of a query server spawned over the blocking index (maps to
-    /// `sudowoodo_serve::ServerConfig::admission_queue_depth`): `KNN` requests beyond
-    /// this many waiting are answered with a `BUSY` frame instead of queueing without
-    /// bound — the server sheds load rather than building unbounded latency.
-    pub serve_queue_depth: usize,
-    /// Per-request deadline, in milliseconds, of a query server spawned over the
-    /// blocking index (maps to `sudowoodo_serve::ServerConfig::request_deadline`): a
-    /// request that waited longer than this in the admission queue is answered `BUSY`
-    /// without running. `None` (the default) disables deadlines.
-    pub serve_deadline_ms: Option<u64>,
-    /// Client-side retries for idempotent `KNN` requests (maps to
-    /// `sudowoodo_serve::RetryPolicy::max_retries`): transport failures and `BUSY`
-    /// load-shed responses are retried this many times with exponential backoff and
-    /// deterministic jitter; server error responses are never retried. Note that a
-    /// *degraded* response (quarantined shards skipped server-side) is a success with
-    /// an explicit flag, not a retry trigger.
-    pub serve_retry_max: u32,
-    /// I/O worker threads of a query server spawned over the blocking index (maps to
-    /// `sudowoodo_serve::ServerConfig::worker_threads`): a fixed pool of
-    /// readiness-polled workers multiplexes every connection, so this bounds socket-I/O
-    /// parallelism — join compute runs on its own thread either way. `0` (the default)
-    /// sizes the pool from the machine's available parallelism (capped at 4; idle
-    /// connections cost no wakeups, so a handful of workers saturate a NIC long before
-    /// they saturate cores).
-    pub serve_worker_threads: usize,
-    /// Shape of a distributed scatter-gather serving cluster (see [`ClusterSpec`] and
-    /// the `sudowoodo-coord` crate): how many serve processes load the published
-    /// snapshot and how many replicas each shard gets on the consistent-hash ring.
-    /// `None` (the default) keeps serving single-process.
-    pub cluster_spec: Option<ClusterSpec>,
+    // ---- serving -------------------------------------------------------------------------
+    /// Serving-side knobs, grouped (see [`ServeConfig`]): admission control,
+    /// deadlines, client retries, socket workers, and the optional scatter-gather
+    /// cluster shape. These replaced the flat `serve_queue_depth` /
+    /// `serve_deadline_ms` / `serve_retry_max` / `serve_worker_threads` /
+    /// `cluster_spec` fields.
+    pub serve: ServeConfig,
 
     /// Random seed controlling every stochastic choice.
     pub seed: u64,
@@ -285,11 +375,7 @@ impl Default for SudowoodoConfig {
             shard_memory_budget: None,
             blocking_query_cache: 8,
             snapshot_dir: None,
-            serve_queue_depth: 256,
-            serve_deadline_ms: None,
-            serve_retry_max: 3,
-            serve_worker_threads: 0,
-            cluster_spec: None,
+            serve: ServeConfig::default(),
             seed: 42,
         }
     }
@@ -446,6 +532,40 @@ mod tests {
 
     #[test]
     fn cluster_serving_is_off_by_default() {
-        assert_eq!(SudowoodoConfig::default().cluster_spec, None);
+        assert_eq!(SudowoodoConfig::default().serve.cluster, None);
+    }
+
+    #[test]
+    fn serve_config_round_trips_through_serde_value() {
+        for config in [
+            ServeConfig::default(),
+            ServeConfig {
+                queue_depth: 16,
+                deadline_ms: Some(750),
+                retry_max: 7,
+                worker_threads: 2,
+                cluster: Some(ClusterSpec {
+                    processes: 5,
+                    replication: 2,
+                    virtual_nodes: 128,
+                }),
+            },
+        ] {
+            let value = config.to_value();
+            assert_eq!(ServeConfig::from_value(&value), Ok(config));
+        }
+    }
+
+    #[test]
+    fn serve_config_decode_rejects_malformed_trees() {
+        let err = ServeConfig::from_value(&serde::Value::Null).unwrap_err();
+        assert!(err.contains("expected a JSON object"), "{err}");
+
+        let mut value = ServeConfig::default().to_value();
+        if let serde::Value::Object(entries) = &mut value {
+            entries.retain(|(key, _)| key != "retry_max");
+        }
+        let err = ServeConfig::from_value(&value).unwrap_err();
+        assert!(err.contains("retry_max"), "{err}");
     }
 }

@@ -42,6 +42,7 @@ pub mod config;
 pub mod encoder;
 pub mod loss;
 pub mod matcher;
+pub mod model_snapshot;
 pub mod pipeline;
 pub mod pretrain;
 pub mod pseudo;

@@ -190,6 +190,15 @@ impl PairMatcher {
             .collect()
     }
 
+    /// All trainable parameters (encoder + head), the persistable state of the
+    /// matcher — what [`crate::model_snapshot`] writes into a model snapshot and
+    /// rebinds by name on load.
+    pub fn params(&self) -> Vec<sudowoodo_nn::param::Param> {
+        let mut ps = self.encoder.params();
+        ps.extend(self.head.params());
+        ps
+    }
+
     /// Number of trainable parameters (encoder + head).
     pub fn num_parameters(&self) -> usize {
         self.encoder.num_parameters()

@@ -124,6 +124,7 @@ impl CleaningPipeline {
                 seed: self.config.seed,
             },
         );
+        super::persist_matcher(&self.config, &matcher);
         // Candidate sets are heavily imbalanced (at most one correct candidate per cell), so
         // calibrate the acceptance threshold on the labeled rows rather than using 0.5.
         let acceptance_threshold = if train_pairs.is_empty() {

@@ -111,6 +111,7 @@ impl ColumnPipeline {
                 seed: self.config.seed,
             },
         );
+        super::persist_matcher(&self.config, &matcher);
 
         // Threshold selected on the validation split, evaluation on both splits.
         let score_split = |pairs: &[ColumnPair]| -> (Vec<f32>, Vec<bool>) {

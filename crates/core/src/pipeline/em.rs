@@ -233,6 +233,7 @@ impl EmPipeline {
                 seed: self.config.seed,
             },
         );
+        super::persist_matcher(&self.config, &matcher);
 
         // 5. Select the decision threshold on the labeled pairs (paper: best epoch/threshold
         //    on the validation split). In the unsupervised setting the pseudo labels play the

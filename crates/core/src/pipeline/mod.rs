@@ -46,3 +46,59 @@ pub(crate) fn build_blocking_index(
     }
     index
 }
+
+/// Persists the fine-tuned matcher next to the index snapshot when `snapshot_dir` is
+/// set — the model half of the same train-once/serve-many contract: a serving process
+/// loads `model.swmodel` cold ([`crate::model_snapshot::load_matcher`]) and answers
+/// `EMBED`/`MATCH` traffic bit-identically to this process. Like the index snapshot,
+/// an I/O failure is a warning, never a pipeline failure.
+pub(crate) fn persist_matcher(config: &SudowoodoConfig, matcher: &crate::matcher::PairMatcher) {
+    let Some(dir) = &config.snapshot_dir else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!(
+            "warning: could not create snapshot dir {}: {e}",
+            dir.display()
+        );
+        return;
+    }
+    let path = dir.join(crate::model_snapshot::MODEL_SNAPSHOT_FILE);
+    if let Err(e) = crate::model_snapshot::save_matcher(matcher, &path) {
+        eprintln!(
+            "warning: model snapshot into {} failed (EMBED/MATCH serving will need a \
+             retrain): {e}",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderConfig;
+    use crate::encoder::Encoder;
+    use crate::matcher::PairMatcher;
+
+    #[test]
+    fn persist_matcher_writes_a_loadable_model_beside_the_index_snapshot() {
+        let corpus: Vec<String> = (0..4).map(|i| format!("[COL] t [VAL] item {i}")).collect();
+        let encoder = Encoder::from_corpus(EncoderConfig::tiny(), &corpus, 1);
+        let matcher = PairMatcher::new(encoder, true, 1);
+
+        // No snapshot_dir: a no-op, nothing written anywhere.
+        let mut config = SudowoodoConfig::test_config();
+        config.snapshot_dir = None;
+        persist_matcher(&config, &matcher);
+
+        // With snapshot_dir: the model lands beside the index snapshot and loads back.
+        let dir =
+            std::env::temp_dir().join(format!("sudowoodo-persist-matcher-{}", std::process::id()));
+        config.snapshot_dir = Some(dir.clone());
+        persist_matcher(&config, &matcher);
+        let path = dir.join(crate::model_snapshot::MODEL_SNAPSHOT_FILE);
+        let loaded = crate::model_snapshot::load_matcher(&path).expect("model must load");
+        assert_eq!(loaded.encoder.config, matcher.encoder.config);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

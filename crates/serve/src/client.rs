@@ -5,6 +5,15 @@
 //! its own thread and coalesces concurrent joins server-side, so N clients cost one
 //! GEMM pass when their requests land together).
 //!
+//! ## One retry loop
+//!
+//! Every typed method — [`ServeClient::knn_join`], [`ServeClient::knn_join_subset`],
+//! [`ServeClient::embed`], [`ServeClient::match_pairs`] — is a thin wrapper over one
+//! core, [`ServeClient::request`]: encode a [`Request`], round-trip the frame, decode
+//! the [`Response`], and apply the retry policy. Retry/backoff/reconnect therefore
+//! lives in exactly one place; a wrapper only chooses the request variant and unpacks
+//! the matching response variant.
+//!
 //! ## Failure handling
 //!
 //! The client carries a [`ClientConfig`]:
@@ -13,12 +22,13 @@
 //!   (wedged worker, partitioned network) surfaces as a timeout error instead of
 //!   blocking the caller forever. It mirrors the server's own write-timeout
 //!   discipline: neither side of the protocol will wait unboundedly on the other.
-//! * **Retry policy** ([`RetryPolicy`]) — `KNN` joins are idempotent (the server
-//!   mutates nothing), so transport failures and `BUSY` load-shed responses are
-//!   retried with exponential backoff plus deterministic jitter, reconnecting first
-//!   when the transport broke. Server *error* responses are never retried — the same
-//!   request would fail the same way — and non-idempotent semantics never arise
-//!   because the protocol has none.
+//! * **Retry policy** ([`RetryPolicy`]) — every request in the protocol is
+//!   idempotent (the server mutates nothing on behalf of a client), so transport
+//!   failures and `BUSY` load-shed responses are retried with exponential backoff
+//!   plus deterministic jitter, reconnecting first when the transport broke. Server
+//!   *error* responses are never retried — the same request would fail the same way.
+//!   `PING` and `STATS` are deliberately not retried: callers probing liveness want
+//!   the first answer, not a flattering one.
 //!
 //! A degraded response (quarantined shards skipped server-side) is success with a
 //! flag: [`ServeClient::knn_join`] returns the pairs, and
@@ -30,11 +40,7 @@ use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{
-    decode_knn_response, decode_knn_subset_response, decode_stats_response, encode_knn_request,
-    encode_knn_subset_request, read_frame, split_response, write_frame, Response, ServerStats,
-    OP_PING, OP_STATS,
-};
+use crate::protocol::{read_frame, write_frame, Request, Response, ServerStats, SubsetAnswer};
 
 /// The typed payload inside every `io::Error` this client produces for a `BUSY`
 /// (load-shed) response. The error's *kind* stays
@@ -73,8 +79,8 @@ pub fn is_busy(err: &io::Error) -> bool {
 /// skipped, making the otherwise exact pair set explicitly incomplete).
 pub type DetailedJoin = (Vec<(usize, usize, f32)>, bool);
 
-/// Retry policy for idempotent requests (`KNN` joins): exponential backoff with
-/// deterministic jitter, reconnecting when the transport broke.
+/// Retry policy for idempotent requests: exponential backoff with deterministic
+/// jitter, reconnecting when the transport broke.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Retries after the first attempt (`0` disables retrying).
@@ -123,7 +129,7 @@ pub struct ClientConfig {
     /// How long a response read may block before failing with a timeout error.
     /// `None` waits forever (not recommended outside debugging).
     pub read_timeout: Option<Duration>,
-    /// Retry policy for idempotent `KNN` requests.
+    /// Retry policy for idempotent requests (everything except `PING`/`STATS`).
     pub retry: RetryPolicy,
 }
 
@@ -202,6 +208,86 @@ impl ServeClient {
         io::Error::new(io::ErrorKind::InvalidInput, format!("server: {message}"))
     }
 
+    /// A response variant the request kind rules out — only reachable if the
+    /// protocol decoder and the kind table disagree, i.e. a bug, not a peer fault.
+    fn unexpected(response: &Response) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("response variant does not answer the request: {response:?}"),
+        )
+    }
+
+    /// Rejects ragged query batches client-side before anything is sent.
+    fn check_rectangular(queries: &[Vec<f32>]) -> io::Result<()> {
+        let dim = queries.first().map_or(0, Vec::len);
+        if let Some(bad) = queries.iter().position(|q| q.len() != dim) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "query {bad} has dimension {}, expected {dim} (the batch must be \
+                     rectangular)",
+                    queries[bad].len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sends one typed [`Request`] and returns its typed [`Response`] — the single
+    /// retry core every typed wrapper goes through.
+    ///
+    /// Transport failures tear the stream (a response may be half-read), so every
+    /// retry of one starts from a fresh connection; `BUSY` leaves the stream clean
+    /// and the retry reuses it after the backoff. A server [`Response::Error`] is
+    /// surfaced as [`std::io::ErrorKind::InvalidInput`] and never retried — the
+    /// same request would fail the same way. [`Response::Busy`] surviving retry
+    /// exhaustion becomes a [`ServerBusy`]-carrying error (check [`is_busy`]).
+    ///
+    /// All other variants — including degraded `KNN` answers — return `Ok`; the
+    /// wrappers unpack them.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.request_with_retries(request, self.config.retry.max_retries)
+    }
+
+    fn request_with_retries(
+        &mut self,
+        request: &Request,
+        max_retries: u32,
+    ) -> io::Result<Response> {
+        let payload = request.encode();
+        let kind = request.kind();
+        let mut retry = 0u32;
+        loop {
+            let transport_error: Option<io::Error> = match self.round_trip(&payload) {
+                Ok(frame) => {
+                    let response = Response::decode(&frame, kind)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    match response {
+                        Response::Busy => None,
+                        Response::Error(message) => return Err(Self::server_error(message)),
+                        response => return Ok(response),
+                    }
+                }
+                Err(e) => Some(e),
+            };
+            if retry >= max_retries {
+                return Err(transport_error.unwrap_or_else(|| {
+                    ServerBusy::to_error(format!(
+                        "server busy (load shed) after {} attempts",
+                        max_retries + 1
+                    ))
+                }));
+            }
+            let mut rng = self.jitter_rng;
+            std::thread::sleep(self.config.retry.backoff(retry, &mut rng));
+            self.jitter_rng = rng;
+            retry += 1;
+            if transport_error.is_some() {
+                self.reconnect()?;
+            }
+        }
+    }
+
     /// Retrieves, for every query, its `k` nearest indexed vectors as
     /// `(query_index, stable_id, score)` pairs — the remote form of
     /// [`sudowoodo_index::BlockingIndex::knn_join`], with identical results and
@@ -237,55 +323,14 @@ impl ServeClient {
         queries: &[Vec<f32>],
         k: usize,
     ) -> io::Result<DetailedJoin> {
-        let dim = queries.first().map_or(0, Vec::len);
-        if let Some(bad) = queries.iter().position(|q| q.len() != dim) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "query {bad} has dimension {}, expected {dim} (the batch must be \
-                     rectangular)",
-                    queries[bad].len()
-                ),
-            ));
-        }
-        let request = encode_knn_request(queries, k, dim);
-        let mut retry = 0u32;
-        loop {
-            // Transport failures tear the stream (a response may be half-read), so
-            // every retry starts from a fresh connection. `BUSY` leaves the stream
-            // clean — the retry reuses it after the backoff.
-            let transport_error: Option<io::Error> = match self.round_trip(&request) {
-                Ok(response) => match split_response(&response)? {
-                    Response::Ok(body) => {
-                        return decode_knn_response(body)
-                            .map(|pairs| (pairs, false))
-                            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m));
-                    }
-                    Response::OkDegraded(body) => {
-                        return decode_knn_response(body)
-                            .map(|pairs| (pairs, true))
-                            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m));
-                    }
-                    Response::Err(message) => return Err(Self::server_error(message)),
-                    Response::Busy => None,
-                },
-                Err(e) => Some(e),
-            };
-            if retry >= self.config.retry.max_retries {
-                return Err(transport_error.unwrap_or_else(|| {
-                    ServerBusy::to_error(format!(
-                        "server busy (load shed) after {} attempts",
-                        self.config.retry.max_retries + 1
-                    ))
-                }));
-            }
-            let mut rng = self.jitter_rng;
-            std::thread::sleep(self.config.retry.backoff(retry, &mut rng));
-            self.jitter_rng = rng;
-            retry += 1;
-            if transport_error.is_some() {
-                self.reconnect()?;
-            }
+        Self::check_rectangular(queries)?;
+        let request = Request::Knn {
+            queries: queries.to_vec(),
+            k,
+        };
+        match self.request(&request)? {
+            Response::Knn { pairs, degraded } => Ok((pairs, degraded)),
+            other => Err(Self::unexpected(&other)),
         }
     }
 
@@ -311,70 +356,80 @@ impl ServeClient {
         queries: &[Vec<f32>],
         k: usize,
         shard_positions: &[usize],
-    ) -> io::Result<crate::protocol::SubsetAnswer> {
-        let dim = queries.first().map_or(0, Vec::len);
-        if let Some(bad) = queries.iter().position(|q| q.len() != dim) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "query {bad} has dimension {}, expected {dim} (the batch must be \
-                     rectangular)",
-                    queries[bad].len()
-                ),
-            ));
+    ) -> io::Result<SubsetAnswer> {
+        Self::check_rectangular(queries)?;
+        let request = Request::KnnSubset {
+            queries: queries.to_vec(),
+            k,
+            shards: shard_positions.to_vec(),
+        };
+        match self.request(&request)? {
+            Response::KnnSubset {
+                pairs,
+                missing_shards,
+            } => Ok((pairs, missing_shards)),
+            other => Err(Self::unexpected(&other)),
         }
-        let request = encode_knn_subset_request(queries, k, dim, shard_positions);
-        let mut retry = 0u32;
-        loop {
-            let transport_error: Option<io::Error> = match self.round_trip(&request) {
-                Ok(response) => match split_response(&response)? {
-                    Response::Ok(body) | Response::OkDegraded(body) => {
-                        return decode_knn_subset_response(body)
-                            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m));
-                    }
-                    Response::Err(message) => return Err(Self::server_error(message)),
-                    Response::Busy => None,
-                },
-                Err(e) => Some(e),
-            };
-            if retry >= self.config.retry.max_retries {
-                return Err(transport_error.unwrap_or_else(|| {
-                    ServerBusy::to_error(format!(
-                        "server busy (load shed) after {} attempts",
-                        self.config.retry.max_retries + 1
-                    ))
-                }));
-            }
-            let mut rng = self.jitter_rng;
-            std::thread::sleep(self.config.retry.backoff(retry, &mut rng));
-            self.jitter_rng = rng;
-            retry += 1;
-            if transport_error.is_some() {
-                self.reconnect()?;
-            }
+    }
+
+    /// Asks the served *model* for the raw encoder vector of every text, in input
+    /// order — the remote form of the in-process encoder's `embed_all`, with
+    /// bit-identical `f32` output for the same batch (the server never coalesces
+    /// model batches, precisely so chunk boundaries — and therefore bits — match).
+    ///
+    /// Retried like [`ServeClient::knn_join`] (the model mutates nothing).
+    ///
+    /// # Errors
+    /// A server without a loaded model answers a typed error
+    /// ([`std::io::ErrorKind::InvalidInput`], never retried); so does a batch whose
+    /// reply would exceed the frame limit — send fewer texts per call.
+    pub fn embed(&mut self, texts: &[String]) -> io::Result<Vec<Vec<f32>>> {
+        let request = Request::Embed {
+            texts: texts.to_vec(),
+        };
+        match self.request(&request)? {
+            Response::Embeddings(vectors) => Ok(vectors),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks the served pair matcher to score `pairs`, one match probability per
+    /// `(left, right)` pair in input order — the remote form of the in-process
+    /// matcher's `predict_scores`, bit-identical for the same batch.
+    ///
+    /// Retried like [`ServeClient::knn_join`] (the model mutates nothing).
+    ///
+    /// # Errors
+    /// A server without a loaded model answers a typed error
+    /// ([`std::io::ErrorKind::InvalidInput`], never retried).
+    pub fn match_pairs(&mut self, pairs: &[(String, String)]) -> io::Result<Vec<f32>> {
+        let (lefts, rights): (Vec<String>, Vec<String>) = pairs.iter().cloned().unzip();
+        let request = Request::MatchPairs { lefts, rights };
+        match self.request(&request)? {
+            Response::MatchScores(scores) => Ok(scores),
+            other => Err(Self::unexpected(&other)),
         }
     }
 
     /// Liveness check: one round trip, no payload. Not retried — callers probing
     /// liveness want the first answer, not a flattering one.
     pub fn ping(&mut self) -> io::Result<()> {
-        let response = self.round_trip(&[OP_PING])?;
-        match split_response(&response)? {
-            Response::Ok(_) | Response::OkDegraded(_) => Ok(()),
-            Response::Busy => Err(ServerBusy::to_error("server busy (load shed)".into())),
-            Response::Err(message) => Err(Self::server_error(message)),
+        match self.request_with_retries(&Request::Ping, 0) {
+            Ok(Response::Pong) => Ok(()),
+            Ok(other) => Err(Self::unexpected(&other)),
+            Err(e) if is_busy(&e) => Err(ServerBusy::to_error("server busy (load shed)".into())),
+            Err(e) => Err(e),
         }
     }
 
     /// Fetches server/index statistics (corpus size, shard residency, cache,
     /// batching, and robustness counters). Not retried.
     pub fn stats(&mut self) -> io::Result<ServerStats> {
-        let response = self.round_trip(&[OP_STATS])?;
-        match split_response(&response)? {
-            Response::Ok(body) | Response::OkDegraded(body) => decode_stats_response(body)
-                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m)),
-            Response::Busy => Err(ServerBusy::to_error("server busy (load shed)".into())),
-            Response::Err(message) => Err(Self::server_error(message)),
+        match self.request_with_retries(&Request::Stats, 0) {
+            Ok(Response::Stats(stats)) => Ok(stats),
+            Ok(other) => Err(Self::unexpected(&other)),
+            Err(e) if is_busy(&e) => Err(ServerBusy::to_error("server busy (load shed)".into())),
+            Err(e) => Err(e),
         }
     }
 }

@@ -11,9 +11,10 @@
 //! `poll(2)` wrapper ([`reactor`]) — no new dependencies (the workspace builds
 //! offline). Four pieces:
 //!
-//! * [`protocol`] — a small length-prefixed binary protocol (opcode frames, fixed
-//!   little-endian layouts, a 64 MiB frame bound). Documented field-by-field in the
-//!   module; a client in another language is an afternoon's work.
+//! * [`protocol`] — a small length-prefixed binary protocol (a typed
+//!   [`protocol::Request`]/[`protocol::Response`] enum pair over opcode frames,
+//!   fixed little-endian layouts, a 64 MiB frame bound). Documented field-by-field
+//!   in the module; a client in another language is an afternoon's work.
 //! * [`reactor`] — the std-only readiness layer: `poll(2)` over non-blocking
 //!   sockets plus a loopback-pair [`reactor::Waker`].
 //! * [`Server`] — a fixed pool of readiness-polled I/O workers (idle connections
@@ -23,6 +24,15 @@
 //!   not N). `PING` and `STATS` answer inline on the I/O workers.
 //! * [`ServeClient`] — a synchronous client handle; results are identical (ids,
 //!   scores, and ordering) to calling `knn_join` in-process.
+//!
+//! Serving is **multi-purpose**: alongside the index the server can own a trained
+//! [`ModelBackend`] (an encoder + pair matcher loaded from a model snapshot) and
+//! answer `EMBED` (raw encoder vectors for a record batch) and `MATCH` (pair-match
+//! scores) requests — [`Server::spawn_with_model`], [`ServeClient::embed`],
+//! [`ServeClient::match_pairs`]. Model answers are bit-identical to the in-process
+//! model on the same batch. The served index can also be **republished** live
+//! ([`Server::publish_index`]) after a delta snapshot lands, for streaming-dedup
+//! deployments where records keep arriving after the initial snapshot.
 //!
 //! For distributed serving the protocol also carries a **per-shard-subset** join
 //! frame (`KNN_SUBSET`, [`ServeClient::knn_join_subset`]): a coordinator (the
@@ -77,10 +87,12 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod model;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
 
 pub use client::{is_busy, ClientConfig, RetryPolicy, ServeClient, ServerBusy};
-pub use protocol::ServerStats;
+pub use model::ModelBackend;
+pub use protocol::{Request, Response, ServerStats};
 pub use server::{Server, ServerConfig};

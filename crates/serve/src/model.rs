@@ -1,0 +1,35 @@
+//! The served model: what a server needs from an encoder + pair matcher.
+//!
+//! The serve crate sits *below* the model crates in the dependency order (it only
+//! knows about the index and the fault layer), so the `EMBED` and `MATCH` request
+//! paths are expressed against this trait and the model crate implements it — the
+//! same inversion that lets the index be served without the server knowing how it
+//! was built.
+//!
+//! ## Determinism contract
+//!
+//! Served answers must be **bit-identical** to calling the in-process model on the
+//! same inputs (the repo-wide oracle discipline). Implementations must therefore be
+//! deterministic functions of the input batch alone: same texts in, same `f32` bits
+//! out, independent of thread count or of what other requests the server is
+//! handling. This is also why the server never coalesces `EMBED`/`MATCH` batches
+//! from different connections — implementations may (and do) chunk internally, and
+//! concatenating two clients' batches would move those chunk boundaries.
+
+/// A trained model the server can answer `EMBED` and `MATCH` requests from.
+///
+/// Implementations must be deterministic per batch (see the module docs) and
+/// panic-safe: the server wraps calls in `catch_unwind` and answers an error frame,
+/// but a poisoned implementation would fail every later request.
+pub trait ModelBackend: Send + Sync {
+    /// Embedding dimensionality of [`ModelBackend::embed`] outputs.
+    fn dim(&self) -> usize;
+
+    /// Encodes a batch of serialized records into one vector each, in input order.
+    fn embed(&self, texts: &[String]) -> Vec<Vec<f32>>;
+
+    /// Scores the aligned pairs `(lefts[i], rights[i])` with one match probability
+    /// each, in input order. Callers guarantee `lefts.len() == rights.len()` (the
+    /// server rejects mismatched batches before they reach the model).
+    fn match_scores(&self, lefts: &[String], rights: &[String]) -> Vec<f32>;
+}

@@ -34,6 +34,40 @@
 //! pays its own join; the coordinator already amortizes by scattering one large
 //! batch per replica.
 //!
+//! ## Model requests (`EMBED` / `MATCH`)
+//!
+//! A server spawned with [`Server::spawn_with_model`] also owns a trained
+//! [`ModelBackend`] and answers `EMBED` and `MATCH` frames. Model requests run on
+//! the join worker too (encoder inference is the same scarce compute as a join),
+//! subject to the admission queue and per-request deadlines like `KNN`, but they
+//! are **never coalesced and never cached**:
+//!
+//! * No coalescing — served answers must be bit-identical to calling the model
+//!   in-process on the same batch, and the model chunks each batch internally
+//!   (`embed_all` by 64 texts, `predict_scores` by 32 pairs). Concatenating two
+//!   clients' batches would move those chunk boundaries and change low-order bits.
+//!   Each request keeps its own batch; clients amortize by batching client-side,
+//!   exactly like `KNN`.
+//! * No caching — the query cache fingerprints `f32` query batches for the
+//!   *index*; model outputs would alias nothing and stale nothing. The model is
+//!   immutable for the server's lifetime, so callers can cache client-side freely.
+//!
+//! A server without a model answers both opcodes with a typed error (the
+//! connection stays usable). A `MATCH` batch whose sides differ in length is
+//! protocol-legal but semantically broken — it is rejected with a typed error at
+//! dispatch, before it can reach the model.
+//!
+//! ## Live index republish
+//!
+//! [`Server::publish_index`] atomically replaces the served index — the
+//! streaming-dedup path: a writer process `add_batch`es new records onto a loaded
+//! base snapshot, saves a delta snapshot, and the serving process cold-loads the
+//! delta and publishes it. In-flight requests finish against whichever index they
+//! started with (each join loads the current `Arc` once); later requests see the
+//! new epoch. The query cache travels *inside* the index value, so a publish can
+//! never serve pre-delta cache entries: the new index arrives with its own cache,
+//! and the old one is dropped with the old index.
+//!
 //! ## Writes and slow clients
 //!
 //! Responses queue on the connection's outbox and drain as `POLLOUT` readiness
@@ -81,18 +115,15 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sudowoodo_faults as faults;
 use sudowoodo_index::BlockingIndex;
 
-use crate::protocol::{
-    decode_knn_request, decode_knn_subset_request, encode_busy_response, encode_error_response,
-    encode_knn_response, encode_knn_subset_response, encode_stats_response, ServerStats,
-    MAX_FRAME_LEN, OP_KNN, OP_KNN_SUBSET, OP_PING, OP_STATS, STATUS_OK,
-};
+use crate::model::ModelBackend;
+use crate::protocol::{Request, Response, ServerStats, MAX_FRAME_LEN};
 use crate::reactor::{poll_fds, PollFd, Waker, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 
 /// Above this, a drained outbox gives its buffer back to the allocator instead of
@@ -131,6 +162,23 @@ impl Default for ServerConfig {
     }
 }
 
+/// The served index behind a swap lock: readers clone the current `Arc` (held for
+/// the duration of one join, never across a wait), and [`Server::publish_index`]
+/// replaces it. The query cache lives inside the index value, so a swap retires
+/// the old cache with the old epoch — stale pre-delta entries are unreachable by
+/// construction.
+struct ServedIndex(RwLock<Arc<BlockingIndex>>);
+
+impl ServedIndex {
+    fn current(&self) -> Arc<BlockingIndex> {
+        Arc::clone(&self.0.read().unwrap())
+    }
+
+    fn publish(&self, next: Arc<BlockingIndex>) {
+        *self.0.write().unwrap() = next;
+    }
+}
+
 /// What the join worker tells an I/O worker about a `KNN` request.
 enum JoinReply {
     /// The join ran; `degraded` is `true` when quarantined shards were skipped.
@@ -155,11 +203,11 @@ impl ReplyHandle {
     /// Encodes a join reply and delivers it (see [`ReplyHandle::send_raw`]).
     fn send(&self, reply: JoinReply) {
         let response = match reply {
-            JoinReply::Done { pairs, degraded } => encode_knn_response(&pairs, degraded),
-            JoinReply::Expired => encode_busy_response(),
-            JoinReply::Failed(message) => encode_error_response(&message),
+            JoinReply::Done { pairs, degraded } => Response::Knn { pairs, degraded },
+            JoinReply::Expired => Response::Busy,
+            JoinReply::Failed(message) => Response::Error(message),
         };
-        self.send_raw(response);
+        self.send_raw(response.encode());
     }
 
     /// Queues an already-encoded response on the owning worker's inbox and wakes
@@ -194,6 +242,27 @@ struct SubsetPending {
     reply: ReplyHandle,
 }
 
+/// The model half of a queued `EMBED`/`MATCH` request.
+enum ModelTask {
+    /// Encode these texts ([`ModelBackend::embed`]).
+    Embed(Vec<String>),
+    /// Score these aligned pairs ([`ModelBackend::match_scores`]); dispatch
+    /// guarantees the sides are the same length.
+    Match {
+        lefts: Vec<String>,
+        rights: Vec<String>,
+    },
+}
+
+/// One decoded `EMBED`/`MATCH` request waiting for the join worker. Model tasks
+/// share the admission queue and deadlines with `KNN` (they compete for the same
+/// compute) but are never coalesced or cached — see the module docs.
+struct TaskPending {
+    task: ModelTask,
+    enqueued_at: Instant,
+    reply: ReplyHandle,
+}
+
 /// The outcome of offering a request to the admission queue.
 enum Admission {
     /// Queued; a [`JoinReply`] will arrive through the reply handle.
@@ -210,7 +279,10 @@ enum Work {
     Group(Vec<Pending>),
     /// One scatter-gather subset join (never grouped).
     Subset(SubsetPending),
-    /// Stop requested and both queues are drained.
+    /// One model task (never grouped — coalescing would move the model's internal
+    /// chunk boundaries and break bit-identity with in-process inference).
+    Task(TaskPending),
+    /// Stop requested and every queue is drained.
     Shutdown,
 }
 
@@ -223,6 +295,7 @@ enum Work {
 struct BatchQueue {
     queue: VecDeque<Pending>,
     subsets: VecDeque<SubsetPending>,
+    tasks: VecDeque<TaskPending>,
     stopped: bool,
 }
 
@@ -271,21 +344,44 @@ impl Batcher {
         true
     }
 
+    /// Offers a model task to the admission queue. Tasks share the `KNN` depth
+    /// budget — they compete for the same join-worker compute, so under overload
+    /// both shed the same way.
+    fn push_task(&self, pending: TaskPending) -> Admission {
+        let mut state = self.state.lock().unwrap();
+        if state.stopped {
+            return Admission::Stopped;
+        }
+        if state.queue.len() + state.tasks.len() >= self.depth {
+            return Admission::Busy;
+        }
+        state.tasks.push_back(pending);
+        self.ready.notify_one();
+        Admission::Queued
+    }
+
     /// Blocks until work is queued (or `stop` is set). Subset joins are served
-    /// first — they sit on a coordinator's critical path — then every queued `KNN`
-    /// request sharing the front request's `k` is drained as one group (requests
-    /// with another `k` keep their order for the next round). Already-queued work
-    /// is always served before the stop flag is honoured; [`Work::Shutdown`] marks
-    /// the queue `stopped` under the lock (see [`BatchQueue`]).
+    /// first — they sit on a coordinator's critical path — then model tasks (one
+    /// at a time, never grouped), then every queued `KNN` request sharing the
+    /// front request's `k` is drained as one group (requests with another `k`
+    /// keep their order for the next round). Already-queued work is always served
+    /// before the stop flag is honoured; [`Work::Shutdown`] marks the queue
+    /// `stopped` under the lock (see [`BatchQueue`]).
     fn next_work(&self, stop: &AtomicBool) -> Work {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(subset) = state.subsets.pop_front() {
-                if !state.subsets.is_empty() || !state.queue.is_empty() {
+                if !state.subsets.is_empty() || !state.tasks.is_empty() || !state.queue.is_empty() {
                     // More work behind this one: keep the worker awake.
                     self.ready.notify_one();
                 }
                 return Work::Subset(subset);
+            }
+            if let Some(task) = state.tasks.pop_front() {
+                if !state.tasks.is_empty() || !state.queue.is_empty() {
+                    self.ready.notify_one();
+                }
+                return Work::Task(task);
             }
             if let Some(front) = state.queue.front() {
                 let k = front.k;
@@ -355,7 +451,8 @@ struct WorkerCtx {
     shared: Arc<WorkerShared>,
     peers: Vec<Arc<WorkerShared>>,
     listener: Option<TcpListener>,
-    index: Arc<BlockingIndex>,
+    index: Arc<ServedIndex>,
+    model: Option<Arc<dyn ModelBackend>>,
     counters: Arc<Counters>,
     batcher: Arc<Batcher>,
     reactor_stop: Arc<AtomicBool>,
@@ -419,7 +516,7 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     reactor_stop: Arc<AtomicBool>,
-    index: Arc<BlockingIndex>,
+    index: Arc<ServedIndex>,
     counters: Arc<Counters>,
     batcher: Arc<Batcher>,
     workers: Vec<Arc<WorkerShared>>,
@@ -443,6 +540,29 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        Self::spawn_inner(index, None, addr, config)
+    }
+
+    /// [`Server::spawn_with_config`] plus a trained [`ModelBackend`], enabling the
+    /// `EMBED` and `MATCH` request paths (a server spawned without one answers
+    /// those opcodes with a typed error). Load the model the same way as the
+    /// index: train once, snapshot, and have every serving process cold-load the
+    /// same artifact so served answers are bit-identical across replicas.
+    pub fn spawn_with_model(
+        index: Arc<BlockingIndex>,
+        model: Arc<dyn ModelBackend>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Self::spawn_inner(index, Some(model), addr, config)
+    }
+
+    fn spawn_inner(
+        index: Arc<BlockingIndex>,
+        model: Option<Arc<dyn ModelBackend>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -450,6 +570,7 @@ impl Server {
         let reactor_stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
         let batcher = Arc::new(Batcher::new(config.admission_queue_depth));
+        let index = Arc::new(ServedIndex(RwLock::new(index)));
 
         let pool = if config.worker_threads == 0 {
             std::thread::available_parallelism()
@@ -468,13 +589,16 @@ impl Server {
         }
 
         let join_thread = {
-            let (index, stop, counters, batcher) = (
+            let (index, model, stop, counters, batcher) = (
                 Arc::clone(&index),
+                model.clone(),
                 Arc::clone(&stop),
                 Arc::clone(&counters),
                 Arc::clone(&batcher),
             );
-            std::thread::spawn(move || join_worker(&index, &stop, &counters, &batcher, config))
+            std::thread::spawn(move || {
+                join_worker(&index, model.as_ref(), &stop, &counters, &batcher, config)
+            })
         };
 
         let mut listener = Some(listener);
@@ -485,6 +609,7 @@ impl Server {
                 peers: if i == 0 { workers.clone() } else { Vec::new() },
                 listener: if i == 0 { listener.take() } else { None },
                 index: Arc::clone(&index),
+                model: model.clone(),
                 counters: Arc::clone(&counters),
                 batcher: Arc::clone(&batcher),
                 reactor_stop: Arc::clone(&reactor_stop),
@@ -512,14 +637,30 @@ impl Server {
     }
 
     /// The served index (shared; useful for warming or inspecting counters).
-    pub fn index(&self) -> &Arc<BlockingIndex> {
-        &self.index
+    /// Returns the *currently published* index — after a
+    /// [`Server::publish_index`] this is the new epoch.
+    pub fn index(&self) -> Arc<BlockingIndex> {
+        self.index.current()
+    }
+
+    /// Atomically replaces the served index — the streaming-dedup publish step:
+    /// load the delta snapshot cold in this process, then publish it here. Later
+    /// requests (including cache lookups) run against the new epoch; requests
+    /// already executing finish against the epoch they started with. The query
+    /// cache is part of the index value, so the old epoch's entries can never
+    /// leak into the new one.
+    ///
+    /// The new index must have the same dimensionality, and — when a coordinator
+    /// scatters to this server — the same shard geometry as the one it replaces;
+    /// the server does not re-handshake connected clients.
+    pub fn publish_index(&self, next: Arc<BlockingIndex>) {
+        self.index.publish(next);
     }
 
     /// A point-in-time statistics snapshot — the same numbers a `STATS` request
     /// returns over the wire.
     pub fn stats(&self) -> ServerStats {
-        build_stats(&self.index, &self.counters)
+        build_stats(&self.index.current(), &self.counters)
     }
 
     /// Stops accepting, wakes every thread, and joins them. Called by `Drop` too;
@@ -838,12 +979,19 @@ fn conn_read(ctx: &WorkerCtx, conn: &mut Conn, token: ConnToken) -> bool {
             // same connection instead of unwinding the worker (which would drop
             // every connection it multiplexes).
             let action = catch_unwind(AssertUnwindSafe(|| {
-                dispatch(&payload, &ctx.index, &ctx.counters, &ctx.batcher, reply)
+                dispatch(
+                    &payload,
+                    &ctx.index.current(),
+                    ctx.model.as_ref(),
+                    &ctx.counters,
+                    &ctx.batcher,
+                    reply,
+                )
             }))
             .unwrap_or_else(|_| {
-                Action::Respond(encode_error_response(
-                    "internal error: request handler panicked",
-                ))
+                Action::Respond(
+                    Response::Error("internal error: request handler panicked".into()).encode(),
+                )
             });
             match action {
                 Action::Respond(response) => enqueue_response(conn, &response),
@@ -881,7 +1029,7 @@ fn conn_read(ctx: &WorkerCtx, conn: &mut Conn, token: ConnToken) -> bool {
                         // not buffer): answer, flush, and close.
                         let msg =
                             format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit");
-                        enqueue_response(conn, &encode_error_response(&msg));
+                        enqueue_response(conn, &Response::Error(msg).encode());
                         conn.closing = true;
                         return true;
                     }
@@ -991,107 +1139,171 @@ fn shutdown_flush(ctx: &WorkerCtx, conns: &mut [Option<Conn>]) {
 }
 
 /// Decodes one request payload and decides how it is answered; all failures
-/// become error responses. `KNN` and `KNN_SUBSET` hand off to the join worker
-/// (unless rejected up front); everything else answers inline.
+/// become error responses. `KNN`, `KNN_SUBSET`, and the model tasks hand off to
+/// the join worker (unless rejected up front); everything else answers inline.
+///
+/// `index` is the epoch current at dispatch time (loaded once per frame); the
+/// join worker loads its own epoch when the work actually runs, so preflight
+/// checks here are advisory under a concurrent republish — the authoritative
+/// geometry checks live in the index itself.
 fn dispatch(
     payload: &[u8],
     index: &BlockingIndex,
+    model: Option<&Arc<dyn ModelBackend>>,
     counters: &Counters,
     batcher: &Batcher,
     reply: ReplyHandle,
 ) -> Action {
-    match payload.first() {
-        Some(&OP_KNN) => match decode_knn_request(&payload[1..]) {
-            Ok((queries, k)) => {
-                let dim = queries.first().map_or(0, Vec::len);
-                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
-                    return Action::Respond(encode_error_response(&format!(
-                        "query dimension {dim} does not match the index dimension {}",
-                        index.dim()
-                    )));
-                }
-                // A protocol-legal request can still imply a response frame over the
-                // protocol limit (pairs = queries x min(k, corpus)); bound it here so
-                // the response encoder never produces an unsendable frame.
-                let response_bytes = queries
-                    .len()
-                    .saturating_mul(k.min(index.len()))
-                    .saturating_mul(16)
-                    .saturating_add(5);
-                if response_bytes > MAX_FRAME_LEN as usize {
-                    return Action::Respond(encode_error_response(&format!(
-                        "response would be {response_bytes} bytes, over the \
-                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
-                         batch or a smaller k"
-                    )));
-                }
-                match batcher.push(Pending {
-                    queries,
-                    k,
-                    enqueued_at: Instant::now(),
-                    reply,
-                }) {
-                    Admission::Queued => Action::AwaitReply,
-                    Admission::Busy => {
-                        counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                        Action::Respond(encode_busy_response())
-                    }
-                    Admission::Stopped => {
-                        Action::Respond(encode_error_response("server shutting down"))
-                    }
-                }
+    let error = |message: String| Action::Respond(Response::Error(message).encode());
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(e) => return error(e.to_string()),
+    };
+    match request {
+        Request::Knn { queries, k } => {
+            let dim = queries.first().map_or(0, Vec::len);
+            if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
+                return error(format!(
+                    "query dimension {dim} does not match the index dimension {}",
+                    index.dim()
+                ));
             }
-            Err(message) => Action::Respond(encode_error_response(&message)),
-        },
-        Some(&OP_KNN_SUBSET) => match decode_knn_subset_request(&payload[1..]) {
-            Ok((queries, k, shards)) => {
-                let dim = queries.first().map_or(0, Vec::len);
-                if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
-                    return Action::Respond(encode_error_response(&format!(
-                        "query dimension {dim} does not match the index dimension {}",
-                        index.dim()
-                    )));
-                }
-                let num_shards = index.num_shards();
-                if let Some(&bad) = shards.iter().find(|&&s| s >= num_shards) {
-                    return Action::Respond(encode_error_response(&format!(
-                        "shard position {bad} is out of range: the served snapshot has \
-                         {num_shards} shards (is the coordinator's placement built from \
-                         a different snapshot epoch?)"
-                    )));
-                }
-                let response_bytes = queries
-                    .len()
-                    .saturating_mul(k.min(index.len()))
-                    .saturating_mul(16)
-                    .saturating_add(shards.len().saturating_mul(4))
-                    .saturating_add(9);
-                if response_bytes > MAX_FRAME_LEN as usize {
-                    return Action::Respond(encode_error_response(&format!(
-                        "response would be {response_bytes} bytes, over the \
-                         {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
-                         batch or a smaller k"
-                    )));
-                }
-                if batcher.push_subset(SubsetPending {
-                    queries,
-                    k,
-                    shards,
-                    reply,
-                }) {
-                    Action::AwaitReply
-                } else {
-                    Action::Respond(encode_error_response("server shutting down"))
-                }
+            // A protocol-legal request can still imply a response frame over the
+            // protocol limit (pairs = queries x min(k, corpus)); bound it here so
+            // the response encoder never produces an unsendable frame.
+            let response_bytes = queries
+                .len()
+                .saturating_mul(k.min(index.len()))
+                .saturating_mul(16)
+                .saturating_add(5);
+            if response_bytes > MAX_FRAME_LEN as usize {
+                return error(format!(
+                    "response would be {response_bytes} bytes, over the \
+                     {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
+                     batch or a smaller k"
+                ));
             }
-            Err(message) => Action::Respond(encode_error_response(&message)),
-        },
-        Some(&OP_PING) => Action::Respond(vec![STATUS_OK]),
-        Some(&OP_STATS) => Action::Respond(encode_stats_response(&build_stats(index, counters))),
-        Some(&other) => Action::Respond(encode_error_response(&format!(
-            "unknown opcode {other:#04x}"
-        ))),
-        None => Action::Respond(encode_error_response("empty request payload")),
+            match batcher.push(Pending {
+                queries,
+                k,
+                enqueued_at: Instant::now(),
+                reply,
+            }) {
+                Admission::Queued => Action::AwaitReply,
+                Admission::Busy => {
+                    counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    Action::Respond(Response::Busy.encode())
+                }
+                Admission::Stopped => error("server shutting down".into()),
+            }
+        }
+        Request::KnnSubset { queries, k, shards } => {
+            let dim = queries.first().map_or(0, Vec::len);
+            if !queries.is_empty() && !index.is_empty() && dim != index.dim() {
+                return error(format!(
+                    "query dimension {dim} does not match the index dimension {}",
+                    index.dim()
+                ));
+            }
+            let num_shards = index.num_shards();
+            if let Some(&bad) = shards.iter().find(|&&s| s >= num_shards) {
+                return error(format!(
+                    "shard position {bad} is out of range: the served snapshot has \
+                     {num_shards} shards (is the coordinator's placement built from \
+                     a different snapshot epoch?)"
+                ));
+            }
+            let response_bytes = queries
+                .len()
+                .saturating_mul(k.min(index.len()))
+                .saturating_mul(16)
+                .saturating_add(shards.len().saturating_mul(4))
+                .saturating_add(9);
+            if response_bytes > MAX_FRAME_LEN as usize {
+                return error(format!(
+                    "response would be {response_bytes} bytes, over the \
+                     {MAX_FRAME_LEN}-byte frame limit; send fewer queries per \
+                     batch or a smaller k"
+                ));
+            }
+            if batcher.push_subset(SubsetPending {
+                queries,
+                k,
+                shards,
+                reply,
+            }) {
+                Action::AwaitReply
+            } else {
+                error("server shutting down".into())
+            }
+        }
+        Request::Ping => Action::Respond(Response::Pong.encode()),
+        Request::Stats => Action::Respond(Response::Stats(build_stats(index, counters)).encode()),
+        Request::Embed { texts } => {
+            let Some(model) = model else {
+                return error(
+                    "this server has no model loaded: EMBED requires a server \
+                     spawned with a model snapshot (Server::spawn_with_model)"
+                        .into(),
+                );
+            };
+            // num · dim header (8 bytes) + status byte + num×dim f32 rows: reject
+            // batches whose reply could not be framed, before they queue.
+            let response_bytes = texts
+                .len()
+                .saturating_mul(model.dim())
+                .saturating_mul(4)
+                .saturating_add(9);
+            if response_bytes > MAX_FRAME_LEN as usize {
+                return error(format!(
+                    "response would be {response_bytes} bytes, over the \
+                     {MAX_FRAME_LEN}-byte frame limit; send fewer texts per batch"
+                ));
+            }
+            enqueue_task(batcher, counters, ModelTask::Embed(texts), reply)
+        }
+        Request::MatchPairs { lefts, rights } => {
+            if model.is_none() {
+                return error(
+                    "this server has no model loaded: MATCH requires a server \
+                     spawned with a model snapshot (Server::spawn_with_model)"
+                        .into(),
+                );
+            }
+            // Wire-legal but semantically broken: the pairs cannot be aligned.
+            if lefts.len() != rights.len() {
+                return error(format!(
+                    "MATCH batch is misaligned: {} left texts vs {} right texts",
+                    lefts.len(),
+                    rights.len()
+                ));
+            }
+            enqueue_task(batcher, counters, ModelTask::Match { lefts, rights }, reply)
+        }
+    }
+}
+
+/// Offers a model task to the admission queue, translating the outcome exactly
+/// like a `KNN` push (`BUSY` on shed, error on shutdown).
+fn enqueue_task(
+    batcher: &Batcher,
+    counters: &Counters,
+    task: ModelTask,
+    reply: ReplyHandle,
+) -> Action {
+    match batcher.push_task(TaskPending {
+        task,
+        enqueued_at: Instant::now(),
+        reply,
+    }) {
+        Admission::Queued => Action::AwaitReply,
+        Admission::Busy => {
+            counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            Action::Respond(Response::Busy.encode())
+        }
+        Admission::Stopped => {
+            Action::Respond(Response::Error("server shutting down".into()).encode())
+        }
     }
 }
 
@@ -1135,16 +1347,62 @@ fn serve_subset(index: &BlockingIndex, counters: &Counters, sub: SubsetPending) 
             if outcome.degraded {
                 counters.degraded_joins.fetch_add(1, Ordering::Relaxed);
             }
-            encode_knn_subset_response(&outcome.pairs, &outcome.quarantined_shards)
+            Response::KnnSubset {
+                pairs: outcome.pairs,
+                missing_shards: outcome.quarantined_shards,
+            }
+            .encode()
         }
-        Err(_) => encode_error_response("internal error: request handler panicked"),
+        Err(_) => Response::Error("internal error: request handler panicked".into()).encode(),
     };
     sub.reply.send_raw(response);
 }
 
+/// Serves one model task (never coalesced, never cached — see the module docs).
+/// Tasks honour the same deadline as `KNN`: a request whose client has given up
+/// is answered `BUSY` without spending encoder compute on it. `model` is `None`
+/// only if dispatch raced a misconfiguration — it rejects model opcodes up front
+/// on model-less servers — so the error arm here is pure defense.
+fn serve_task(
+    model: Option<&Arc<dyn ModelBackend>>,
+    counters: &Counters,
+    config: &ServerConfig,
+    task: TaskPending,
+) {
+    if let Some(deadline) = config.request_deadline {
+        if task.enqueued_at.elapsed() >= deadline {
+            counters
+                .deadline_expirations
+                .fetch_add(1, Ordering::Relaxed);
+            task.reply.send_raw(Response::Busy.encode());
+            return;
+        }
+    }
+    let Some(model) = model else {
+        task.reply
+            .send_raw(Response::Error("this server has no model loaded".into()).encode());
+        return;
+    };
+    let response = match catch_unwind(AssertUnwindSafe(|| match &task.task {
+        ModelTask::Embed(texts) => Response::Embeddings(model.embed(texts)),
+        ModelTask::Match { lefts, rights } => {
+            Response::MatchScores(model.match_scores(lefts, rights))
+        }
+    })) {
+        Ok(response) => response,
+        Err(_) => Response::Error("internal error: request handler panicked".into()),
+    };
+    task.reply.send_raw(response.encode());
+}
+
 /// The join worker: coalesce queued requests, run one `knn_join`, split the results.
+///
+/// Each unit of work loads the currently published index once and runs wholly
+/// against it — a concurrent [`Server::publish_index`] affects the next unit, so
+/// a coalesced group is never answered half-old-epoch, half-new.
 fn join_worker(
-    index: &BlockingIndex,
+    served: &ServedIndex,
+    model: Option<&Arc<dyn ModelBackend>>,
     stop: &AtomicBool,
     counters: &Counters,
     batcher: &Batcher,
@@ -1154,11 +1412,17 @@ fn join_worker(
         let group = match batcher.next_work(stop) {
             Work::Shutdown => return, // stop requested and the queues are drained
             Work::Subset(sub) => {
-                serve_subset(index, counters, sub);
+                serve_subset(&served.current(), counters, sub);
+                continue;
+            }
+            Work::Task(task) => {
+                serve_task(model, counters, &config, task);
                 continue;
             }
             Work::Group(group) => group,
         };
+        let index = served.current();
+        let index = index.as_ref();
         // Expire requests whose deadline passed while they waited: their client has
         // given up (or will momentarily), so running the join for them spends the
         // server's scarcest resource on nobody. They get `BUSY` — the request never
@@ -1279,7 +1543,15 @@ fn join_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::encode_knn_request;
+    use crate::protocol::STATUS_OK;
+
+    fn encode_knn_request(queries: &[Vec<f32>], k: usize) -> Vec<u8> {
+        Request::Knn {
+            queries: queries.to_vec(),
+            k,
+        }
+        .encode()
+    }
 
     fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
@@ -1323,10 +1595,13 @@ mod tests {
             ..ServerConfig::default()
         });
         let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
         // 8000 queries x k=100 x 16 bytes/pair ≈ 12.8 MiB response — far beyond
         // any socket buffer, so the server must keep writing as we sip.
         let queries = vectors(8000, 4, 11);
-        send_request(&mut stream, &encode_knn_request(&queries, 100, 4));
+        send_request(&mut stream, &encode_knn_request(&queries, 100));
 
         let mut len_bytes = [0u8; 4];
         stream.read_exact(&mut len_bytes).expect("response length");
@@ -1366,14 +1641,25 @@ mod tests {
             ..ServerConfig::default()
         });
         let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
         let queries = vectors(8000, 4, 13);
-        send_request(&mut stream, &encode_knn_request(&queries, 100, 4));
-        // Read nothing. The server fills the socket buffers, then sees zero
-        // progress for the whole budget and closes the connection.
+        send_request(&mut stream, &encode_knn_request(&queries, 100));
+        // Wait for the response to actually be in flight before stalling —
+        // otherwise a slow join on a loaded machine finishes only after the
+        // sleep below, the drain loop then makes continuous progress, and the
+        // stall budget never fires (the reader was measuring compute, not its
+        // own stall). The 4-byte length prefix is the handshake.
+        let mut len_bytes = [0u8; 4];
+        stream.read_exact(&mut len_bytes).expect("response length");
+        // Read nothing more. The server fills the socket buffers, then sees
+        // zero progress for the whole budget and closes the connection.
         std::thread::sleep(Duration::from_millis(1500));
         // Drain until the peer's close shows through (EOF or reset). A healthy
         // server would happily feed us all ~12.8 MiB; a dropped connection ends
-        // orders of magnitude earlier.
+        // orders of magnitude earlier. A read timeout means the server neither
+        // fed nor closed us — treat it as "kept serving" and fail.
         let mut drained = 0usize;
         let mut buf = vec![0u8; 64 * 1024];
         let ended = loop {
@@ -1384,6 +1670,14 @@ mod tests {
                     if drained > 13 * 1024 * 1024 {
                         break false;
                     }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break false
                 }
                 Err(_) => break true,
             }

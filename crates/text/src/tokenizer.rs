@@ -213,6 +213,31 @@ impl Vocab {
         ids
     }
 
+    /// The vocabulary's persistable parts: the id-ordered token list (specials
+    /// first) and the OOV hash-bucket count. Together with
+    /// [`Vocab::from_parts`] this is the round trip a model snapshot uses —
+    /// `token_to_id` is derived, so it is not part of the representation.
+    pub fn parts(&self) -> (&[String], usize) {
+        (&self.id_to_token, self.hash_buckets)
+    }
+
+    /// Rebuilds a vocabulary from [`Vocab::parts`] output. `id_to_token` must be
+    /// the full id-ordered token list, specials included — token `i` gets id `i`,
+    /// so a round trip preserves every id assignment (and therefore every
+    /// embedding-row binding) exactly.
+    pub fn from_parts(id_to_token: Vec<String>, hash_buckets: usize) -> Self {
+        let token_to_id = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(id, token)| (token.clone(), id))
+            .collect();
+        Vocab {
+            token_to_id,
+            id_to_token,
+            hash_buckets,
+        }
+    }
+
     /// Encodes a list of already-produced tokens.
     pub fn encode_tokens(&self, tokens: &[String], max_len: usize) -> Vec<usize> {
         let mut ids: Vec<usize> = tokens.iter().map(|t| self.id_of(t)).collect();

@@ -1,0 +1,160 @@
+//! Multi-task serving quickstart: train once, snapshot the index AND the model,
+//! cold-load both in the serving role, and answer all three request shapes —
+//! `KNN` blocking joins, raw `EMBED` vectors, and pairwise `MATCH` scores — over
+//! one connection, bit-identically to the training process. Finishes with the
+//! online streaming-dedup loop: append records, publish a delta snapshot, and
+//! hot-swap the served epoch without restarting the server.
+//!
+//! Run with: `cargo run --release --example match_and_embed`
+
+use std::sync::Arc;
+
+use sudowoodo::core::model_snapshot::{self, MatcherBackend, MODEL_SNAPSHOT_FILE};
+use sudowoodo::index::BlockingIndex;
+use sudowoodo::prelude::*;
+use sudowoodo::serve::{ServeClient, Server, ServerConfig};
+use sudowoodo::text::serialize::serialize_record;
+
+fn main() {
+    // 1. Builder role: pre-train on a synthetic product corpus, fine-tune the
+    //    pairwise matcher on a small label budget.
+    let dataset = EmProfile::abt_buy().generate(0.15, 42);
+    let config = SudowoodoConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::MeanPool,
+            dim: 32,
+            layers: 1,
+            heads: 2,
+            ff_hidden: 64,
+            max_len: 32,
+        },
+        projector_dim: 32,
+        pretrain_epochs: 1,
+        max_corpus_size: 1_000,
+        blocking_shard_capacity: Some(64),
+        ..SudowoodoConfig::default()
+    };
+    let corpus: Vec<String> = dataset.corpus();
+    let (encoder, _) = pretrain(&corpus, &config);
+
+    let texts_a: Vec<String> = dataset.table_a.iter().map(serialize_record).collect();
+    let texts_b: Vec<String> = dataset.table_b.iter().map(serialize_record).collect();
+    let train_pairs: Vec<TrainPair> = dataset
+        .gold_matches
+        .iter()
+        .take(32)
+        .flat_map(|&(a, b)| {
+            let positive = TrainPair::new(texts_a[a].clone(), texts_b[b].clone(), true);
+            let negative = TrainPair::new(
+                texts_a[a].clone(),
+                texts_b[(b + 1) % texts_b.len()].clone(),
+                false,
+            );
+            [positive, negative]
+        })
+        .collect();
+    let mut matcher = PairMatcher::new(encoder, config.use_diff_head, config.seed);
+    matcher.fine_tune(
+        &train_pairs,
+        &FineTuneConfig {
+            epochs: 1,
+            batch_size: config.finetune_batch_size,
+            learning_rate: config.finetune_lr,
+            seed: config.seed,
+        },
+    );
+    println!("fine-tuned on {} labeled pairs", train_pairs.len());
+
+    // 2. Persist BOTH artifacts: the blocking index snapshot and the model
+    //    snapshot beside it. (Pipelines do both automatically when
+    //    `SudowoodoConfig::snapshot_dir` is set.)
+    let root = std::env::temp_dir().join(format!("sudowoodo-example-mt-{}", std::process::id()));
+    let base_dir = root.join("epoch-0");
+    let emb_b = matcher.encoder.embed_all(&texts_b);
+    ShardedCosineIndex::from_vectors(&emb_b, 64)
+        .save_snapshot(&base_dir)
+        .expect("save index snapshot");
+    let model_path = base_dir.join(MODEL_SNAPSHOT_FILE);
+    model_snapshot::save_matcher(&matcher, &model_path).expect("save model snapshot");
+    println!("index + model snapshot saved to {}", base_dir.display());
+
+    // 3. Server role (normally a different process): cold-load both artifacts and
+    //    serve. The model load rebinds every parameter by name with shape checks —
+    //    corruption is a typed error, never a panic.
+    let mut serving = ShardedCosineIndex::load_snapshot(&base_dir).expect("load index");
+    serving.set_query_cache_capacity(16);
+    let served_model = model_snapshot::load_matcher(&model_path).expect("load model");
+    let server = Server::spawn_with_model(
+        Arc::new(BlockingIndex::Sharded(serving)),
+        Arc::new(MatcherBackend(served_model)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("spawn server");
+    println!("serving on {}", server.addr());
+
+    // 4. Client role: all three request shapes over one connection, each
+    //    bit-identical to the in-process model/index.
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    let probe_texts: Vec<String> = texts_a.iter().take(64).cloned().collect();
+    let served_vectors = client.embed(&probe_texts).expect("served EMBED");
+    assert_eq!(served_vectors, matcher.encoder.embed_all(&probe_texts));
+    println!(
+        "EMBED: {} texts -> {}-dim vectors, bit-identical to the training process",
+        served_vectors.len(),
+        served_vectors[0].len()
+    );
+
+    let candidate_pairs: Vec<(String, String)> = dataset
+        .gold_matches
+        .iter()
+        .take(16)
+        .map(|&(a, b)| (texts_a[a].clone(), texts_b[b].clone()))
+        .collect();
+    let served_scores = client.match_pairs(&candidate_pairs).expect("served MATCH");
+    assert_eq!(served_scores, matcher.predict_scores(&candidate_pairs));
+    println!(
+        "MATCH: {} candidate pairs scored, mean score {:.3}",
+        served_scores.len(),
+        served_scores.iter().sum::<f32>() / served_scores.len() as f32
+    );
+
+    let queries = matcher.encoder.embed_all(&probe_texts);
+    let blocked = client
+        .knn_join(&queries, config.blocking_k)
+        .expect("served KNN");
+    println!(
+        "KNN: {} candidate pairs for {} queries",
+        blocked.len(),
+        queries.len()
+    );
+
+    // 5. Streaming dedup: the builder role appends newly arrived records and
+    //    publishes a delta snapshot (only mutated shards rewritten); the serving
+    //    role cold-loads the delta and hot-swaps it in. The repeated query batch
+    //    now finds the new records — never a stale cached answer.
+    let before = client.knn_join(&queries[..8], 3).expect("pre-delta join");
+    let delta_dir = root.join("epoch-1");
+    let mut builder = ShardedCosineIndex::load_snapshot(&base_dir).expect("builder load");
+    let new_ids = builder.add_batch(&queries[..8]);
+    builder
+        .save_delta_snapshot(&base_dir, &delta_dir)
+        .expect("publish delta");
+    let mut next = ShardedCosineIndex::load_snapshot(&delta_dir).expect("load delta");
+    next.set_query_cache_capacity(16);
+    server.publish_index(Arc::new(BlockingIndex::Sharded(next)));
+
+    let after = client.knn_join(&queries[..8], 3).expect("post-delta join");
+    assert_ne!(after, before, "the new epoch must change the answers");
+    for (q, id) in new_ids.enumerate() {
+        assert!(
+            after.iter().any(|&(query, hit, _)| query == q && hit == id),
+            "query {q} must find its newly appended duplicate {id}"
+        );
+    }
+    println!("streaming dedup: delta published, every query found its new duplicate");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).expect("clean up snapshot dirs");
+}

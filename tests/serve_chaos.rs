@@ -157,7 +157,7 @@ fn concurrent_clients_survive_seeded_transient_chaos_bit_identically() {
     assert_eq!(pairs, reference.knn_join(&queries, 5));
     let stats = client.stats().expect("stats");
     assert_eq!(stats.degraded_joins, 0, "stats: {stats:?}");
-    if let BlockingIndex::Sharded(sharded) = &**server.index() {
+    if let BlockingIndex::Sharded(sharded) = &*server.index() {
         assert!(sharded.quarantined_shards().is_empty());
     }
     server.shutdown();
@@ -183,7 +183,7 @@ fn durable_faults_degrade_explicitly_and_report_quarantined_shards() {
     faults::disarm("spill.read.io_err");
 
     // The quarantine is visible in the routing report and the server counters.
-    if let BlockingIndex::Sharded(sharded) = &**server.index() {
+    if let BlockingIndex::Sharded(sharded) = &*server.index() {
         let report = sharded.routing_report();
         assert!(!report.quarantined_shards.is_empty(), "report: {report:?}");
         assert!(report.shards_quarantined > 0, "report: {report:?}");
@@ -476,7 +476,8 @@ impl ScriptedProxy {
                         return;
                     };
                     while let Ok(Some(frame)) = proto::read_frame(&mut down) {
-                        if frame.first() == Some(&proto::OP_KNN_SUBSET) {
+                        if proto::Request::peek_kind(&frame) == Some(proto::RequestKind::KnnSubset)
+                        {
                             counter.fetch_add(1, Ordering::Relaxed);
                             match script {
                                 // Dropping both streams is the transport failure.
@@ -485,7 +486,7 @@ impl ScriptedProxy {
                                     if shed_pending.swap(false, Ordering::Relaxed) {
                                         if proto::write_frame(
                                             &mut down,
-                                            &proto::encode_busy_response(),
+                                            &proto::Response::Busy.encode(),
                                         )
                                         .is_err()
                                         {

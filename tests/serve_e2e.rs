@@ -1,12 +1,22 @@
 //! End-to-end serving over localhost: snapshot a blocking index, load it cold in the
 //! server role, and verify that remote `knn_join` results are identical to in-process
 //! ones — including under concurrent clients, error inputs, and server statistics.
+//!
+//! The model half mirrors the index half: a trained matcher is snapshotted
+//! (`model.swmodel`), cold-loaded in the server role, and `EMBED`/`MATCH` answers
+//! must be bit-identical to the in-process model. The streaming-dedup scenario
+//! chains both: records added after the initial snapshot are published as a delta
+//! epoch, and the server picks them up without ever serving a stale cached answer.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use sudowoodo::core::config::SudowoodoConfig;
+use sudowoodo::core::encoder::Encoder;
+use sudowoodo::core::matcher::{FineTuneConfig, PairMatcher, TrainPair};
+use sudowoodo::core::model_snapshot::{self, MatcherBackend};
 use sudowoodo::index::{BlockingIndex, ShardedCosineIndex};
-use sudowoodo::serve::{ServeClient, Server};
+use sudowoodo::serve::{Request, ServeClient, Server, ServerConfig};
 
 fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
@@ -205,6 +215,216 @@ fn pipeline_snapshot_dir_feeds_a_serving_process() {
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Trains a tiny matcher on the configured test encoder (`SUDOWOODO_TEST_ENCODER`
+/// switches the architecture in CI) — the in-process oracle for the model tests.
+fn trained_matcher() -> PairMatcher {
+    let corpus: Vec<String> = (0..10)
+        .map(|i| format!("[COL] title [VAL] acme widget model w{i}"))
+        .collect();
+    let encoder = Encoder::from_corpus(SudowoodoConfig::test_config().encoder, &corpus, 11);
+    let mut matcher = PairMatcher::new(encoder, true, 11);
+    let pairs: Vec<TrainPair> = (0..6)
+        .map(|i| {
+            TrainPair::new(
+                corpus[i].clone(),
+                corpus[(i + 3) % corpus.len()].clone(),
+                i % 2 == 0,
+            )
+        })
+        .collect();
+    matcher.fine_tune(
+        &pairs,
+        &FineTuneConfig {
+            epochs: 1,
+            batch_size: 4,
+            learning_rate: 1e-3,
+            seed: 11,
+        },
+    );
+    matcher
+}
+
+/// Spawns a server over a small index plus a **cold-loaded** copy of `matcher` —
+/// the model travels through the `SWMODEL1` snapshot exactly as in production.
+fn spawn_model_server(matcher: &PairMatcher) -> Server {
+    let dir = snapshot_dir("model");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(model_snapshot::MODEL_SNAPSHOT_FILE);
+    model_snapshot::save_matcher(matcher, &path).unwrap();
+    let loaded = model_snapshot::load_matcher(&path).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let index = BlockingIndex::build(vectors(20, matcher.encoder.dim(), 13), Some(8));
+    Server::spawn_with_model(
+        Arc::new(index),
+        Arc::new(MatcherBackend(loaded)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn embed_and_match_answers_are_bit_identical_over_a_cold_model_snapshot() {
+    let matcher = trained_matcher();
+    let server = spawn_model_server(&matcher);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let texts: Vec<String> = (0..7)
+        .map(|i| format!("[COL] title [VAL] acme widget model w{i}"))
+        .collect();
+
+    // EMBED == the in-process encoder, bit for bit.
+    let served = client.embed(&texts).unwrap();
+    let expected = matcher.encoder.embed_all(&texts);
+    assert_eq!(served.len(), expected.len());
+    for (a, b) in served.iter().zip(expected.iter()) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "served embedding bits diverged");
+        }
+    }
+
+    // MATCH == the in-process matcher, bit for bit.
+    let pairs: Vec<(String, String)> = texts
+        .iter()
+        .cloned()
+        .zip(texts.iter().rev().cloned())
+        .collect();
+    let served = client.match_pairs(&pairs).unwrap();
+    let expected = matcher.predict_scores(&pairs);
+    assert_eq!(served.len(), expected.len());
+    for (x, y) in served.iter().zip(expected.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "served match-score bits diverged");
+    }
+
+    // The same connection still serves the index workload.
+    assert!(!client
+        .knn_join(&vectors(3, matcher.encoder.dim(), 14), 2)
+        .unwrap()
+        .is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_embed_reply_is_rejected_and_the_connection_survives() {
+    let matcher = trained_matcher();
+    let dim = matcher.encoder.dim();
+    let server = spawn_model_server(&matcher);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Protocol-legal batch whose *reply* (num × dim f32 rows) cannot be framed:
+    // rejected up front with a typed error, before any embedding runs.
+    let num = (64 * 1024 * 1024) / (dim * 4) + 1;
+    let huge = vec!["a".to_string(); num];
+    let err = client.embed(&huge).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("frame limit"), "got: {err}");
+
+    // The connection is still usable for both model and index traffic.
+    assert_eq!(client.embed(&huge[..2]).unwrap().len(), 2);
+    assert!(!client.knn_join(&vectors(2, dim, 15), 2).unwrap().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn mismatched_match_batch_answers_a_typed_error() {
+    let matcher = trained_matcher();
+    let server = spawn_model_server(&matcher);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Wire-legal but semantically broken: 2 lefts vs 1 right. The typed client
+    // wrapper cannot produce this, so speak the protocol directly.
+    let err = client
+        .request(&Request::MatchPairs {
+            lefts: vec!["a".into(), "b".into()],
+            rights: vec!["c".into()],
+        })
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("misaligned"), "got: {err}");
+
+    // The connection survives and the aligned form works.
+    let scores = client
+        .match_pairs(&[("a".to_string(), "c".to_string())])
+        .unwrap();
+    assert_eq!(scores.len(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn model_less_servers_reject_model_opcodes_with_a_typed_error() {
+    let index = BlockingIndex::build(vectors(30, 4, 17), Some(8));
+    let server = Server::spawn(Arc::new(index), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let err = client.embed(&["a".to_string()]).unwrap_err();
+    assert!(err.to_string().contains("no model loaded"), "got: {err}");
+    let err = client
+        .match_pairs(&[("a".to_string(), "b".to_string())])
+        .unwrap_err();
+    assert!(err.to_string().contains("no model loaded"), "got: {err}");
+
+    // The index workload is unaffected.
+    assert!(!client.knn_join(&vectors(2, 4, 18), 2).unwrap().is_empty());
+    server.shutdown();
+}
+
+/// The online streaming-dedup scenario: serve an initial epoch, add records in the
+/// builder role, publish them as a `SWDELTA1` delta snapshot, cold-load the delta
+/// in the serving role, and hot-swap it in. New records must be findable, and the
+/// epoch-keyed query cache must never replay a pre-delta answer.
+#[test]
+fn streaming_dedup_serves_the_new_epoch_after_a_delta_publish() {
+    let corpus = vectors(120, 8, 21);
+    let queries = vectors(6, 8, 22);
+
+    let root = snapshot_dir("stream");
+    let base_dir = root.join("epoch-0");
+    let delta_dir = root.join("epoch-1");
+    ShardedCosineIndex::from_vectors(&corpus, 16)
+        .save_snapshot(&base_dir)
+        .unwrap();
+
+    // Serving role: cold-load the base epoch, cache enabled (the stale-answer hazard).
+    let mut serving = ShardedCosineIndex::load_snapshot(&base_dir).unwrap();
+    serving.set_query_cache_capacity(8);
+    let server = Server::spawn(Arc::new(BlockingIndex::Sharded(serving)), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let before = client.knn_join(&queries, 3).unwrap();
+    // Second identical batch: answered from the query cache, same result.
+    assert_eq!(client.knn_join(&queries, 3).unwrap(), before);
+
+    // Builder role: load the same base cold, append the *query vectors themselves*
+    // (so each query's top hit must move to its new duplicate), publish a delta.
+    let mut builder = ShardedCosineIndex::load_snapshot(&base_dir).unwrap();
+    let new_ids = builder.add_batch(&queries);
+    assert_eq!(new_ids, 120..126);
+    builder.save_delta_snapshot(&base_dir, &delta_dir).unwrap();
+
+    // Serving role: cold-load the delta epoch and hot-swap it in.
+    let mut next = ShardedCosineIndex::load_snapshot(&delta_dir).unwrap();
+    next.set_query_cache_capacity(8);
+    let expected = next.knn_join(&queries, 3);
+    server.publish_index(Arc::new(BlockingIndex::Sharded(next)));
+
+    // The same cached batch must now answer from the new epoch — bit-identical to
+    // the in-process delta index, never the stale pre-delta answer.
+    let after = client.knn_join(&queries, 3).unwrap();
+    assert_eq!(after, expected);
+    assert_ne!(after, before, "the delta epoch must change the answer");
+    for (q, id) in new_ids.enumerate() {
+        assert!(
+            after.iter().any(|&(query, hit, _)| query == q && hit == id),
+            "query {q} must find its newly added duplicate {id}"
+        );
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
 }
 
 #[test]
