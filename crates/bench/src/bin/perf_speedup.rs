@@ -14,8 +14,10 @@
 //!   the frozen per-sequence inference oracle (`infer_chunk_reference`) and the batched
 //!   `encode_batch` tape graph vs. one per-row graph per text;
 //! * `knn_join`: the GEMM-tiled join vs. a per-query scalar scan without kernels — in
-//!   the dense layout, the sharded layout (routing on and off), and the sharded layout
-//!   with every shard spilled to disk under a zero residency budget (routed + spilled);
+//!   the dense layout, the sharded layout (routing on and off), the sharded layout
+//!   with every shard spilled to disk under a zero residency budget (routed + spilled),
+//!   and the i8-quantized two-stage scan (resident and spilled; throughput ungated,
+//!   with a **gated** 3.5x memory-density floor on the scan payload format);
 //! * the persistence/serving subsystem: cold `ShardedCosineIndex::load_snapshot` (reads
 //!   only the manifest) vs. rebuilding the same index from raw vectors, and a warm
 //!   query-cache `knn_join` served over localhost TCP (`sudowoodo-serve`) vs. computing
@@ -42,7 +44,7 @@ use sudowoodo_bench::harness::print_table;
 use sudowoodo_bench::ResultWriter;
 use sudowoodo_core::config::{EncoderConfig, EncoderKind};
 use sudowoodo_core::encoder::Encoder;
-use sudowoodo_index::{CosineIndex, ShardedCosineIndex};
+use sudowoodo_index::{CosineIndex, QuantSpec, ShardedCosineIndex};
 use sudowoodo_nn::matrix::Matrix;
 use sudowoodo_nn::tape::Tape;
 
@@ -131,6 +133,21 @@ struct GateRow {
     regression: bool,
 }
 
+/// The **gated** memory-density measurement of the quantized tier: payload bytes the
+/// candidate scan touches per row, dense f32 (`4·dim`) vs i8 codes + per-row scale
+/// (`dim + 4`). The ratio is a format property, not a timing, so unlike the speedup
+/// floors it is immune to runner variance — the floor of 3.5x trips only if the
+/// format itself regresses (padding creep, widened scales, codes stored wider).
+#[derive(Clone, Debug, Serialize)]
+struct MemoryDensityRow {
+    case: String,
+    dense_payload_bytes: usize,
+    quantized_scan_bytes: usize,
+    density: f64,
+    floor: f64,
+    regression: bool,
+}
+
 /// The served load-shed measurement: clients at 2x the admission capacity, unique
 /// (cache-defeating) batches. Recorded for trend-watching only — shed rate depends on
 /// runner timing, so this row is intentionally NOT in [`SPEEDUP_FLOORS`] and never
@@ -205,6 +222,7 @@ struct PerfReport {
     rows: Vec<SpeedupRow>,
     gate: Vec<GateRow>,
     any_regression: bool,
+    quantized_memory_density: MemoryDensityRow,
     serve_load_shed: LoadShedRow,
     scatter_gather: ScatterGatherRow,
     serve_embed: ModelServeRow,
@@ -580,18 +598,99 @@ fn knn_rows(rows: &mut Vec<SpeedupRow>) {
         scored_pairs,
     ));
 
+    // Quantized two-stage scan (i8 candidate pass + exact f32 rescore), resident and
+    // spilled. Throughput recorded for trend-watching only — these rows are
+    // intentionally NOT in SPEEDUP_FLOORS while the baseline is established (the
+    // quantized tier's *gated* property is the memory-density row, which is a format
+    // invariant rather than a timing).
+    let mut quantized = ShardedCosineIndex::from_vectors(&corpus, 1024);
+    quantized.set_quantization(Some(QuantSpec::default()));
+    quantized.compact();
+    let fast_quantized = time(2, || quantized.knn_join(&queries, k));
+    rows.push(SpeedupRow::new(
+        format!("knn_join sharded quantized cap=1024 (d={dim}, k={k})"),
+        naive,
+        fast_quantized,
+        queries.len(),
+        scored_pairs,
+    ));
+
+    let mut quant_spilled = ShardedCosineIndex::from_vectors(&corpus, 1024);
+    quant_spilled.set_quantization(Some(QuantSpec::default()));
+    quant_spilled.set_memory_budget(Some(0));
+    quant_spilled.compact();
+    assert_eq!(
+        quant_spilled.num_spilled_shards(),
+        quant_spilled.num_shards(),
+        "zero budget must spill every quantized shard"
+    );
+    let fast_quant_spilled = time(2, || quant_spilled.knn_join(&queries, k));
+    let quant_report = quant_spilled.routing_report();
+    rows.push(SpeedupRow::new(
+        format!(
+            "knn_join sharded quantized spilled+routed cap=1024 budget=0 (d={dim}, \
+             k={k}, {} quant scans / {} rescored rows)",
+            quant_report.quant_scans, quant_report.rescored_rows
+        ),
+        naive,
+        fast_quant_spilled,
+        queries.len(),
+        scored_pairs,
+    ));
+
     // Sanity: every sharded variant answers exactly like the dense index.
     let expected = index.knn_join(&queries[..64], k);
     for (name, variant) in [
         ("routed", &sharded),
         ("unrouted", &unrouted),
         ("spilled", &spilled),
+        ("quantized", &quantized),
+        ("quantized spilled", &quant_spilled),
     ] {
         assert_eq!(
             variant.knn_join(&queries[..64], k),
             expected,
             "{name} sharded join diverged from dense"
         );
+    }
+}
+
+/// Measures the quantized tier's memory density: the payload bytes the candidate
+/// scan reads per row under each storage format. Dense f32 shards cost `4·dim`
+/// bytes/row; quantized shards cost `dim` i8 codes plus one f32 scale. At `d=64`
+/// the ratio is `256/68 ≈ 3.76x`, and the 3.5x floor **gates** — see
+/// [`MemoryDensityRow`] for why this floor, unlike the speedup floors, cannot be
+/// tripped by a slow runner.
+fn quantized_memory_density_row() -> MemoryDensityRow {
+    let mut rng = StdRng::seed_from_u64(5);
+    let dim = 64;
+    let corpus: Vec<Vec<f32>> = (0..10_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+
+    let dense = ShardedCosineIndex::from_vectors(&corpus, 1024);
+    let dense_payload_bytes = dense.resident_bytes();
+
+    let mut quantized = ShardedCosineIndex::from_vectors(&corpus, 1024);
+    quantized.set_quantization(Some(QuantSpec::default()));
+    quantized.compact();
+    assert_eq!(quantized.num_quantized_shards(), quantized.num_shards());
+    let quantized_scan_bytes = quantized.quantized_payload_bytes();
+
+    let density = dense_payload_bytes as f64 / quantized_scan_bytes as f64;
+    let floor = 3.5;
+    // NaN-incomparable densities count as regressions, like the speedup gate.
+    let regression = !matches!(
+        density.partial_cmp(&floor),
+        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+    );
+    MemoryDensityRow {
+        case: format!("quantized scan payload density 10k corpus (d={dim}) vs dense f32"),
+        dense_payload_bytes,
+        quantized_scan_bytes,
+        density,
+        floor,
+        regression,
     }
 }
 
@@ -1071,8 +1170,23 @@ fn main() {
         &printable,
     );
 
+    let quantized_memory_density = quantized_memory_density_row();
+    println!(
+        "quantized memory density: {} -> {} payload bytes ({:.2}x, floor {:.1}x) — {}",
+        quantized_memory_density.dense_payload_bytes,
+        quantized_memory_density.quantized_scan_bytes,
+        quantized_memory_density.density,
+        quantized_memory_density.floor,
+        if quantized_memory_density.regression {
+            "REGRESSION"
+        } else {
+            "ok"
+        }
+    );
+
     let (gate, mut any_regression) = build_gate(&rows);
     any_regression |= connection_gate.regression;
+    any_regression |= quantized_memory_density.regression;
     let gate_printable: Vec<Vec<String>> = gate
         .iter()
         .map(|g| {
@@ -1098,6 +1212,7 @@ fn main() {
             rows,
             gate,
             any_regression,
+            quantized_memory_density,
             serve_load_shed,
             scatter_gather,
             serve_embed,

@@ -7,6 +7,7 @@
 
 use serde::Serialize;
 use sudowoodo_augment::{CutoffKind, DaOp};
+use sudowoodo_index::QuantSpec;
 
 /// Which encoder architecture the embedding model uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -316,6 +317,15 @@ pub struct SudowoodoConfig {
     /// (`blocking_shard_capacity: None`), which cannot partially spill. Results are
     /// identical in every configuration; only the memory/IO profile changes.
     pub shard_memory_budget: Option<usize>,
+    /// Optional i8 quantization of the sharded blocking index's shard payloads
+    /// (`sudowoodo_index::QuantSpec`). `Some(spec)` stores each shard as per-row-scaled
+    /// i8 codes alongside the exact f32 payload; `knn_join` then runs a two-stage scan —
+    /// a cheap quantized pass that keeps `spec.alpha · k` candidates under an admissible
+    /// error bound, followed by an exact f32 rescore — so the final ids **and** score
+    /// bits are identical to the dense build while the scan reads ~4× fewer payload
+    /// bytes. Ignored by the dense layout (`blocking_shard_capacity: None`). `None`
+    /// (the default) keeps plain f32 shards.
+    pub shard_quantization: Option<QuantSpec>,
     /// Query-batch cache capacity of the sharded blocking index, in cached batches
     /// (`0` disables). A repeated `knn_join` batch (the serving workload: dashboard
     /// refreshes, retried RPCs) answers from the cache without touching a single shard
@@ -373,6 +383,7 @@ impl Default for SudowoodoConfig {
             blocking_k: 10,
             blocking_shard_capacity: None,
             shard_memory_budget: None,
+            shard_quantization: None,
             blocking_query_cache: 8,
             snapshot_dir: None,
             serve: ServeConfig::default(),
@@ -388,6 +399,11 @@ impl SudowoodoConfig {
     /// (`meanpool` | `transformer`, case-insensitive): CI runs the workspace test suite
     /// once per encoder kind so the batched Transformer path cannot silently rot while
     /// the default (`MeanPool`) tier stays fast.
+    ///
+    /// `SUDOWOODO_TEST_QUANT=1` routes blocking through the sharded layout with i8
+    /// shard quantization enabled, giving CI a leg where every pipeline join runs the
+    /// quantized two-stage scan. Because the quantized join is bit-identical to the
+    /// dense one, every test must pass unchanged on that leg.
     pub fn test_config() -> Self {
         let mut encoder = EncoderConfig::tiny();
         match std::env::var("SUDOWOODO_TEST_ENCODER")
@@ -399,8 +415,18 @@ impl SudowoodoConfig {
             "meanpool" | "" => {}
             other => panic!("SUDOWOODO_TEST_ENCODER: unknown encoder kind {other:?}"),
         }
+        let quant = match std::env::var("SUDOWOODO_TEST_QUANT")
+            .unwrap_or_default()
+            .as_str()
+        {
+            "1" => true,
+            "" | "0" => false,
+            other => panic!("SUDOWOODO_TEST_QUANT: expected 0 or 1, got {other:?}"),
+        };
         SudowoodoConfig {
             encoder,
+            blocking_shard_capacity: quant.then_some(64),
+            shard_quantization: quant.then(QuantSpec::default),
             projector_dim: 16,
             pretrain_epochs: 1,
             batch_size: 8,

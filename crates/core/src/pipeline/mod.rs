@@ -17,8 +17,9 @@ use crate::config::SudowoodoConfig;
 /// Builds the blocking index every pipeline retrieves through, applying the full
 /// blocking configuration in one place so the pipelines cannot drift:
 ///
-/// * layout and spill — `blocking_shard_capacity` / `shard_memory_budget`
-///   ([`BlockingIndex::build_with_budget`]);
+/// * layout, spill, and quantization — `blocking_shard_capacity` /
+///   `shard_memory_budget` / `shard_quantization`
+///   ([`BlockingIndex::build_with_options`]);
 /// * the query-batch cache — `blocking_query_cache`
 ///   ([`BlockingIndex::set_query_cache_capacity`]);
 /// * persistence — when `snapshot_dir` is set, the built index is saved there
@@ -29,10 +30,11 @@ pub(crate) fn build_blocking_index(
     config: &SudowoodoConfig,
     vectors: Vec<Vec<f32>>,
 ) -> BlockingIndex {
-    let mut index = BlockingIndex::build_with_budget(
+    let mut index = BlockingIndex::build_with_options(
         vectors,
         config.blocking_shard_capacity,
         config.shard_memory_budget,
+        config.shard_quantization,
     );
     index.set_query_cache_capacity(config.blocking_query_cache);
     if let Some(dir) = &config.snapshot_dir {

@@ -10,7 +10,7 @@ use std::io;
 use std::path::Path;
 
 use crate::knn::{CosineIndex, Neighbor};
-use crate::sharded::{JoinOutcome, RemoveError, ShardedCosineIndex};
+use crate::sharded::{JoinOutcome, QuantSpec, RemoveError, ShardedCosineIndex};
 use crate::snapshot;
 
 /// An exact cosine kNN index in either layout, behind the common search API.
@@ -25,6 +25,10 @@ use crate::snapshot;
 /// let sharded = BlockingIndex::build(corpus, Some(2));
 /// assert_eq!(dense.knn_join(&queries, 2), sharded.knn_join(&queries, 2));
 /// ```
+// The sharded variant is large (routing stats, cache, quantization state inline), but a
+// process holds a handful of these at most — indirection would cost a pointer chase on
+// every search for no measurable memory win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum BlockingIndex {
     /// The whole corpus as one row-major matrix ([`CosineIndex`]).
@@ -54,13 +58,29 @@ impl BlockingIndex {
         shard_capacity: Option<usize>,
         memory_budget: Option<usize>,
     ) -> Self {
+        Self::build_with_options(vectors, shard_capacity, memory_budget, None)
+    }
+
+    /// Like [`BlockingIndex::build_with_budget`], additionally enabling the i8
+    /// quantized shard tier on the sharded layout — see
+    /// [`ShardedCosineIndex::set_quantization`] for the two-stage scan and the
+    /// bit-identical-results contract. The dense layout ignores `quantization` exactly
+    /// like it ignores the budget (one monolithic matrix has neither tier).
+    pub fn build_with_options(
+        vectors: Vec<Vec<f32>>,
+        shard_capacity: Option<usize>,
+        memory_budget: Option<usize>,
+        quantization: Option<QuantSpec>,
+    ) -> Self {
         match shard_capacity {
             None => BlockingIndex::Dense(CosineIndex::build(vectors)),
-            Some(capacity) => BlockingIndex::Sharded(ShardedCosineIndex::from_vectors_with_budget(
-                &vectors,
-                capacity,
-                memory_budget,
-            )),
+            Some(capacity) => {
+                let mut index = ShardedCosineIndex::from_vectors(&vectors, capacity);
+                index.set_quantization(quantization);
+                index.set_memory_budget(memory_budget);
+                index.compact();
+                BlockingIndex::Sharded(index)
+            }
         }
     }
 
@@ -103,6 +123,16 @@ impl BlockingIndex {
     pub fn set_query_cache_capacity(&mut self, capacity: usize) {
         if let BlockingIndex::Sharded(index) = self {
             index.set_query_cache_capacity(capacity);
+        }
+    }
+
+    /// Enables or disables the i8 quantized shard tier on the sharded layout — see
+    /// [`ShardedCosineIndex::set_quantization`] (takes effect at the next compact; a
+    /// cold-loaded snapshot serves its on-disk formats until then). Ignored by the
+    /// dense layout.
+    pub fn set_quantization(&mut self, spec: Option<QuantSpec>) {
+        if let BlockingIndex::Sharded(index) = self {
+            index.set_quantization(spec);
         }
     }
 

@@ -66,12 +66,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64};
 use sudowoodo_faults as faults;
 
 use crate::cache::QueryCache;
-use crate::sharded::{RoutingCounters, Shard, ShardedCosineIndex};
+use crate::sharded::{QuantSpec, RoutingCounters, Shard, ShardedCosineIndex};
 use crate::snapshot::{
     corrupt_at, open_payload_quarantining, r_usize, read_shard_record, shard_payload, w_u64,
     write_file_atomic, write_shard_record, MANIFEST_FILE,
 };
-use crate::storage::{crc32, same_file, write_matrix_file, ShardStorage};
+use crate::storage::{crc32, same_file, write_matrix_file, write_quant_matrix_file, ShardStorage};
 
 /// File name of the delta manifest inside a delta-snapshot directory. Its presence is
 /// what routes [`crate::ShardedCosineIndex::load_snapshot`] through the chain loader.
@@ -194,29 +194,52 @@ pub(crate) fn save_delta(
     // `index` still spilled onto one of these files is unchanged and inherits.
     let mut base_payloads: HashMap<PathBuf, usize> = HashMap::new();
     for (j, shard) in base.shards.iter().enumerate() {
-        if let ShardStorage::Spilled(spilled) = &shard.storage {
-            if let Ok(canonical) = fs::canonicalize(spilled.file_path()) {
-                base_payloads.insert(canonical, j);
-            }
+        let backing = match &shard.storage {
+            ShardStorage::Spilled(spilled) => Some(spilled.file_path()),
+            ShardStorage::QuantSpilled(spilled) => Some(spilled.file_path()),
+            _ => None,
+        };
+        if let Some(Ok(canonical)) = backing.map(fs::canonicalize) {
+            base_payloads.insert(canonical, j);
         }
     }
     let mut sources: Vec<Option<usize>> = Vec::with_capacity(index.shards.len());
     let mut written = 0usize;
     for (i, shard) in index.shards.iter().enumerate() {
-        let inherited = match &shard.storage {
-            ShardStorage::Spilled(spilled) => fs::canonicalize(spilled.file_path())
-                .ok()
-                .and_then(|canonical| base_payloads.get(&canonical).copied()),
-            ShardStorage::Resident(_) => None,
+        // A shard still spilled onto a chain-resolved base payload (either format) is
+        // unchanged and inherits; resident shards always write locally.
+        let backing = match &shard.storage {
+            ShardStorage::Spilled(spilled) => Some(spilled.file_path()),
+            ShardStorage::QuantSpilled(spilled) => Some(spilled.file_path()),
+            ShardStorage::Resident(_) | ShardStorage::QuantResident { .. } => None,
         };
+        let inherited = backing
+            .and_then(|p| fs::canonicalize(p).ok())
+            .and_then(|canonical| base_payloads.get(&canonical).copied());
         if let Some(j) = inherited {
             sources.push(Some(j));
             continue;
         }
         let dest = dir.join(shard_payload(i));
+        // Same refusal as the full-snapshot saver: overwriting a different file
+        // inside the target directory would corrupt our own handles.
+        let refuse_same_dir = |backing: &Path| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "delta snapshot into {}: shard {i} is backed by {} inside the \
+                     same directory; publish into a fresh directory instead",
+                    dir.display(),
+                    backing.display()
+                ),
+            )
+        };
         match &shard.storage {
             ShardStorage::Resident(matrix) => {
                 write_file_atomic(&dest, |tmp| write_matrix_file(tmp, matrix))?;
+            }
+            ShardStorage::QuantResident { quant, exact } => {
+                write_file_atomic(&dest, |tmp| write_quant_matrix_file(tmp, quant, exact))?;
             }
             ShardStorage::Spilled(spilled) => {
                 if same_file(spilled.file_path(), &dest) {
@@ -226,17 +249,19 @@ pub(crate) fn save_delta(
                     .parent()
                     .is_some_and(|p| same_file(p, dir))
                 {
-                    // Same refusal as the full-snapshot saver: overwriting a different
-                    // file inside the target directory would corrupt our own handles.
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidInput,
-                        format!(
-                            "delta snapshot into {}: shard {i} is backed by {} inside the \
-                             same directory; publish into a fresh directory instead",
-                            dir.display(),
-                            spilled.file_path().display()
-                        ),
-                    ));
+                    return Err(refuse_same_dir(spilled.file_path()));
+                } else {
+                    write_file_atomic(&dest, |tmp| spilled.copy_to(tmp))?;
+                }
+            }
+            ShardStorage::QuantSpilled(spilled) => {
+                if same_file(spilled.file_path(), &dest) {
+                } else if spilled
+                    .file_path()
+                    .parent()
+                    .is_some_and(|p| same_file(p, dir))
+                {
+                    return Err(refuse_same_dir(spilled.file_path()));
                 } else {
                     write_file_atomic(&dest, |tmp| spilled.copy_to(tmp))?;
                 }
@@ -493,8 +518,9 @@ fn load_delta_depth(dir: &Path, depth: usize) -> io::Result<ShardedCosineIndex> 
             None => dir.join(shard_payload(i)),
             Some(j) => match &base.shards[j].storage {
                 ShardStorage::Spilled(spilled) => spilled.file_path().to_path_buf(),
+                ShardStorage::QuantSpilled(spilled) => spilled.file_path().to_path_buf(),
                 // Cold loads always come up spilled; defensive rather than reachable.
-                ShardStorage::Resident(_) => {
+                ShardStorage::Resident(_) | ShardStorage::QuantResident { .. } => {
                     return Err(corrupt_at(
                         &manifest,
                         format!("shard {i}: base shard {j} has no payload file to inherit"),
@@ -503,7 +529,7 @@ fn load_delta_depth(dir: &Path, depth: usize) -> io::Result<ShardedCosineIndex> 
             },
         };
         let (storage, quarantined) =
-            open_payload_quarantining(dir, i, payload, record.rows, record.cols);
+            open_payload_quarantining(dir, i, payload, record.rows, record.cols, record.quantized);
         shards.push(Shard {
             storage,
             ids: record.ids,
@@ -520,6 +546,12 @@ fn load_delta_depth(dir: &Path, depth: usize) -> io::Result<ShardedCosineIndex> 
             "total live count disagrees with the shards",
         ));
     }
+    // Disk wins at load: a chain whose resolved shards carry quantized payloads comes
+    // up with the tier enabled (same rule as the full-snapshot loader).
+    let quantization = shards
+        .iter()
+        .any(|s| s.storage.is_quantized())
+        .then(QuantSpec::default);
     Ok(ShardedCosineIndex {
         shard_capacity,
         dim,
@@ -533,5 +565,6 @@ fn load_delta_depth(dir: &Path, depth: usize) -> io::Result<ShardedCosineIndex> 
         counters: RoutingCounters::default(),
         epoch: AtomicU64::new(0),
         cache: QueryCache::new(0),
+        quantization,
     })
 }

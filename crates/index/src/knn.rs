@@ -127,6 +127,11 @@ impl TopK {
         }
     }
 
+    /// The retention capacity `k` this selector was created with.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
     /// The `k`-th best score currently retained, or `None` while fewer than `k`
     /// candidates are held. This is the pruning threshold of the sharded index's
     /// routing layer: a shard whose score upper bound is strictly below this value for

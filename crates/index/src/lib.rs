@@ -50,6 +50,9 @@ pub use cache::{fingerprint, QueryFingerprint};
 pub use delta::{DeltaSaveReport, DELTA_MANIFEST_FILE};
 pub use knn::{evaluate_blocking, BlockingQuality, CosineIndex, Neighbor, TopK};
 pub use routing::RoutingStats;
-pub use sharded::{JoinOutcome, RemoveError, RoutingReport, ShardedCosineIndex};
+pub use sharded::{JoinOutcome, QuantSpec, RemoveError, RoutingReport, ShardedCosineIndex};
 pub use snapshot::MANIFEST_FILE;
-pub use storage::{ShardStorage, SpillDir, SpilledShard, StorageError, StorageErrorKind};
+pub use storage::{
+    QuantSpilledShard, QuantizedMatrix, QuantizedRow, ShardStorage, SpillDir, SpilledShard,
+    StorageError, StorageErrorKind,
+};

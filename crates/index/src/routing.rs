@@ -42,6 +42,30 @@
 //! A pruned shard therefore contains no row that could enter any query's final top-k,
 //! so pruning is invisible in results — `crates/index/tests/routing_props.rs` proves
 //! this across duplicate-row corpora, near-tie scores, and all-/none-pruned extremes.
+//!
+//! ## The quantization-error term ([`RoutingStats::quant_scan_epsilon`])
+//!
+//! Quantized shards ([`crate::QuantizedMatrix`]) add a second, *within-shard* bound:
+//! the approximate i8 scores of the first-stage scan may only be used to **select**
+//! rescore candidates, never to rank results, and the selection threshold must be
+//! padded by an admissible bound on how far an approximate score can sit from the
+//! exact one. Writing the quantized query as `q̂ = t·c_q + e_q` and a stored row as
+//! `x = s·c_r + e_r`:
+//!
+//! ```text
+//! q̂·x − t·s·(c_q·c_r)  =  e_q·x + (q̂ − e_q)·e_r
+//! |q̂·x − t·s·(c_q·c_r)| ≤ ‖e_q‖·‖x‖ + (‖q̂‖ + ‖e_q‖)·‖e_r‖
+//!                       ≤ q_err·max_row_norm + (q_norm + q_err)·max_err_norm
+//! ```
+//!
+//! All four norms are *measured* during quantization and rounded **up** into `f32`,
+//! so the right-hand side can only overestimate. [`RoutingStats::quant_scan_epsilon`]
+//! evaluates it in `f64` and adds [`RoutingStats::prune_slack`] on top, which covers
+//! both the f32 kernel accumulation of the exact scores and the rounding of the
+//! approximate product `(t·s·idot)` — the integer dot `idot` itself is exact. The
+//! shard-level prune above needs **no** extra term: selectors only ever hold exact
+//! (rescored) scores, so the worst-retained thresholds it compares against are the
+//! same ones the dense build produces.
 
 use std::ops::Range;
 
@@ -207,6 +231,31 @@ impl RoutingStats {
         }
         (dot * inv_norm as f64) as f32 + self.radius
     }
+
+    /// Admissible bound on `|exact − approx|` for one (query, shard) pair of the
+    /// two-stage quantized scan (see the module docs for the derivation).
+    ///
+    /// * `query_norm` / `query_err_norm` — measured `‖q̂‖` and `‖q̂ − t·c_q‖` of the
+    ///   quantized (pre-normalized) query, from [`crate::QuantizedRow`];
+    /// * `max_err_norm` / `max_row_norm` — the shard's worst-row reconstruction error
+    ///   and magnitude, from [`crate::QuantizedMatrix`].
+    ///
+    /// Every input was rounded *up* when measured, the arithmetic here runs in `f64`,
+    /// and [`RoutingStats::prune_slack`] is added on top to absorb the f32 rescore
+    /// kernels' accumulation error and the rounding of the approximate product — so a
+    /// row whose approximate score falls more than this far below a threshold provably
+    /// has an exact score below that threshold and can be skipped without rescoring.
+    pub fn quant_scan_epsilon(
+        query_norm: f32,
+        query_err_norm: f32,
+        max_err_norm: f32,
+        max_row_norm: f32,
+        dim: usize,
+    ) -> f64 {
+        let reconstruction = (query_norm as f64 + query_err_norm as f64) * max_err_norm as f64
+            + query_err_norm as f64 * max_row_norm as f64;
+        reconstruction + Self::prune_slack(dim) as f64
+    }
 }
 
 /// Squared Euclidean distance between two `f32` slices, accumulated in `f64`.
@@ -346,6 +395,57 @@ mod tests {
         for row in &rows[..2] {
             let score: f32 = row.iter().zip(q.iter()).map(|(a, b)| a * b).sum::<f32>() * inv;
             assert!(score <= bound + RoutingStats::prune_slack(3));
+        }
+    }
+
+    #[test]
+    fn quant_scan_epsilon_dominates_the_true_approximation_error() {
+        use crate::storage::{QuantizedMatrix, QuantizedRow};
+        let dim = 24;
+        // Adversarial rows: mixed magnitudes, a huge-scale outlier, a zero row.
+        let mut rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * dim + j) as f32 * 0.29).sin() * (1.0 + (i % 7) as f32))
+                    .collect()
+            })
+            .collect();
+        rows.push(vec![0.0; dim]);
+        rows.push((0..dim).map(|j| if j == 3 { 1e6 } else { 1e-3 }).collect());
+        let matrix = shard_matrix(&rows);
+        let quant = QuantizedMatrix::quantize(&matrix);
+        for qi in 0..20 {
+            let q: Vec<f32> = (0..dim)
+                .map(|j| ((qi * dim + j) as f32 * 0.41).cos() * 2.0)
+                .collect();
+            let norm: f32 = q.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let q_hat: Vec<f32> = q.iter().map(|x| x / norm).collect();
+            let qq = QuantizedRow::from_row(&q_hat);
+            let eps = RoutingStats::quant_scan_epsilon(
+                qq.norm,
+                qq.err_norm,
+                quant.max_err_norm(),
+                quant.max_row_norm(),
+                dim,
+            );
+            for (r, row) in rows.iter().enumerate() {
+                let exact: f64 = q_hat
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(&a, &b)| a as f64 * b as f64)
+                    .sum();
+                let idot: i64 = qq
+                    .codes
+                    .iter()
+                    .zip(quant.code_row(r))
+                    .map(|(&a, &b)| a as i64 * b as i64)
+                    .sum();
+                let approx = (qq.scale as f64) * (quant.scale(r) as f64) * idot as f64;
+                assert!(
+                    (exact - approx).abs() <= eps,
+                    "row {r} query {qi}: |{exact} - {approx}| exceeds epsilon {eps}"
+                );
+            }
         }
     }
 

@@ -58,6 +58,7 @@ use std::fmt;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use rayon::prelude::*;
 
@@ -67,7 +68,7 @@ use crate::cache::{fingerprint, QueryCache};
 use crate::knn::{check_row_dim, pack_query_block, padded_rows, Neighbor, TopK};
 use crate::routing::RoutingStats;
 use crate::snapshot;
-use crate::storage::{ShardStorage, SpillDir};
+use crate::storage::{QuantizedMatrix, QuantizedRow, ShardStorage, SpillDir};
 
 /// Number of query rows per GEMM tile in [`ShardedCosineIndex::knn_join`] — the same tile
 /// height as the dense index so both paths have identical cache behavior per shard.
@@ -120,9 +121,20 @@ impl fmt::Display for RemoveError {
 
 impl std::error::Error for RemoveError {}
 
-/// Shard-skipping, disk-fault, and query-cache tallies of searches since the last
-/// reset — the observable effect of the routing/spill/cache layers (results are
-/// unchanged by design, so the counters are how tests and benches see them work).
+/// Shard-skipping, disk-fault, and query-cache tallies — the observable effect of the
+/// routing/spill/cache/quantization layers (results are unchanged by design, so the
+/// counters are how tests and benches see them work).
+///
+/// The counters split into two lifetimes:
+///
+/// * **Scan counters** (`shards_visited`, `shards_pruned`, `spill_faults`,
+///   `shards_quarantined`, `quant_scans`, `rescored_rows`) are **per join**: every
+///   [`ShardedCosineIndex::knn_join_report`] / subset join zeroes them on entry, so a
+///   report read after a join describes exactly that join on a reused handle.
+/// * **Cache counters** (`cache_hits`, `cache_misses`) are **cumulative** since
+///   construction or the last [`ShardedCosineIndex::reset_routing_report`] — hit-rate
+///   over a serving window is their whole point, and a cache hit returns before any
+///   scan happens.
 ///
 /// Shard counts are per *visit opportunity*: one shard scored (or skipped) for one
 /// query tile (with routing disabled, for one query tile in one merge group). Cache
@@ -141,9 +153,15 @@ pub struct RoutingReport {
     pub cache_hits: u64,
     /// `knn_join` calls that missed the enabled query-batch cache and were computed.
     pub cache_misses: u64,
-    /// Shard-quarantine events since the last reset (a shard whose storage stayed
-    /// unreadable through the retry backoff and was taken out of service).
+    /// Shard-quarantine events (a shard whose storage stayed unreadable through the
+    /// retry backoff and was taken out of service).
     pub shards_quarantined: u64,
+    /// Quantized first-stage scans that actually ran: one per (quantized shard, query
+    /// tile) visit. Zero means every visited shard was scored on the dense path.
+    pub quant_scans: u64,
+    /// Rows gathered for the exact f32 rescore by quantized scans — the second-stage
+    /// work. Compare against `live x tiles` to see what the i8 stage filtered out.
+    pub rescored_rows: u64,
     /// Positions of the shards **currently** quarantined — live state, not a counter:
     /// populated while the index is serving degraded results and emptied when
     /// [`ShardedCosineIndex::compact`] recovers or drops the shards.
@@ -158,6 +176,43 @@ pub(crate) struct RoutingCounters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     quarantines: AtomicU64,
+    quant_scans: AtomicU64,
+    rescored_rows: AtomicU64,
+}
+
+impl RoutingCounters {
+    /// Zeroes the per-join scan counters (visited/pruned/faults/quarantines/quant) —
+    /// called on entry to every join so a post-join report describes that join alone.
+    /// Cache hit/miss tallies survive: they meter the serving window, not one scan.
+    fn reset_scan(&self) {
+        self.visited.store(0, Ordering::Relaxed);
+        self.pruned.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
+        self.quarantines.store(0, Ordering::Relaxed);
+        self.quant_scans.store(0, Ordering::Relaxed);
+        self.rescored_rows.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Configuration of the i8 quantized shard tier (see [`crate::storage::QuantizedMatrix`]
+/// and the two-stage scan described on [`ShardedCosineIndex::set_quantization`]).
+///
+/// Results are **bit-identical** to the dense build at any setting — `alpha` trades
+/// first-stage selectivity against rescore volume, never correctness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuantSpec {
+    /// Candidate-widening factor of the quantized scan: each query keeps at least the
+    /// `alpha * k` best approximate rows (plus everything within the admissible error
+    /// band of the thresholds) for exact rescoring. Values below 1 behave as 1.
+    pub alpha: usize,
+}
+
+impl Default for QuantSpec {
+    /// `alpha = 2`: rescore roughly twice the requested depth — enough slack that the
+    /// error-band terms, not the count, usually decide the candidate set.
+    fn default() -> Self {
+        QuantSpec { alpha: 2 }
+    }
 }
 
 /// The full result of a fault-aware join: the candidate pairs plus whether any
@@ -275,6 +330,40 @@ impl Shard {
     }
 }
 
+/// Lazily quantized copies of one query tile's normalized rows, computed at most once
+/// per tile and only when a quantized shard is actually scanned — a fully dense index
+/// never pays for query quantization. Shared across the tile's shard visits (including
+/// the rayon-parallel merge groups of the unrouted path) through the `OnceLock`.
+struct QuantQueries<'a> {
+    q_block: &'a Matrix,
+    inv_norms: &'a [f32],
+    rows: OnceLock<Vec<QuantizedRow>>,
+}
+
+impl<'a> QuantQueries<'a> {
+    fn new(q_block: &'a Matrix, inv_norms: &'a [f32]) -> Self {
+        QuantQueries {
+            q_block,
+            inv_norms,
+            rows: OnceLock::new(),
+        }
+    }
+
+    /// One [`QuantizedRow`] per tile query, quantizing `q * inv_norm` — the normalized
+    /// vector whose dot against a corpus row is the exact score being approximated.
+    fn get(&self) -> &[QuantizedRow] {
+        self.rows.get_or_init(|| {
+            (0..self.q_block.rows())
+                .map(|r| {
+                    let inv = self.inv_norms[r];
+                    let row: Vec<f32> = self.q_block.row(r).iter().map(|&x| x * inv).collect();
+                    QuantizedRow::from_row(&row)
+                })
+                .collect()
+        })
+    }
+}
+
 /// A streaming, sharded collection of L2-normalized dense vectors.
 ///
 /// Functionally a [`crate::CosineIndex`] that can grow in batches, delete rows, score
@@ -346,6 +435,9 @@ pub struct ShardedCosineIndex {
     /// Query-batch result cache consulted by `knn_join` ahead of routing (disabled at
     /// capacity 0, the default — see [`crate::cache`]).
     pub(crate) cache: QueryCache,
+    /// i8 quantized-tier configuration; `None` (the default) keeps every shard dense.
+    /// Applied to shard storage by [`ShardedCosineIndex::compact`].
+    pub(crate) quantization: Option<QuantSpec>,
 }
 
 impl Clone for ShardedCosineIndex {
@@ -367,6 +459,7 @@ impl Clone for ShardedCosineIndex {
             counters: RoutingCounters::default(),
             epoch: AtomicU64::new(self.epoch.load(Ordering::Relaxed)),
             cache: QueryCache::new(self.cache.capacity()),
+            quantization: self.quantization,
         }
     }
 }
@@ -398,6 +491,7 @@ impl ShardedCosineIndex {
             counters: RoutingCounters::default(),
             epoch: AtomicU64::new(0),
             cache: QueryCache::new(0),
+            quantization: None,
         }
     }
 
@@ -489,8 +583,10 @@ impl ShardedCosineIndex {
         self.routing
     }
 
-    /// Pruning/fault counters accumulated since construction or the last
-    /// [`Self::reset_routing_report`].
+    /// Pruning/fault/quantization counters: the scan fields describe **the most recent
+    /// join** on this handle (each join zeroes them on entry); the cache fields
+    /// accumulate since construction or the last [`Self::reset_routing_report`] — see
+    /// [`RoutingReport`] for the split.
     pub fn routing_report(&self) -> RoutingReport {
         RoutingReport {
             shards_visited: self.counters.visited.load(Ordering::Relaxed),
@@ -499,6 +595,8 @@ impl ShardedCosineIndex {
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             shards_quarantined: self.counters.quarantines.load(Ordering::Relaxed),
+            quant_scans: self.counters.quant_scans.load(Ordering::Relaxed),
+            rescored_rows: self.counters.rescored_rows.load(Ordering::Relaxed),
             quarantined_shards: self.quarantined_shards(),
         }
     }
@@ -514,16 +612,53 @@ impl ShardedCosineIndex {
             .collect()
     }
 
-    /// Resets the [`Self::routing_report`] counters to zero. Quarantine *flags* are
-    /// state, not counters — they persist until [`Self::compact`] recovers or drops
-    /// the affected shards.
+    /// Resets **all** [`Self::routing_report`] counters to zero, including the
+    /// cumulative cache hit/miss tallies (the per-join scan counters are also reset by
+    /// every join on entry). Quarantine *flags* are state, not counters — they persist
+    /// until [`Self::compact`] recovers or drops the affected shards.
     pub fn reset_routing_report(&self) {
-        self.counters.visited.store(0, Ordering::Relaxed);
-        self.counters.pruned.store(0, Ordering::Relaxed);
-        self.counters.faults.store(0, Ordering::Relaxed);
+        self.counters.reset_scan();
         self.counters.cache_hits.store(0, Ordering::Relaxed);
         self.counters.cache_misses.store(0, Ordering::Relaxed);
-        self.counters.quarantines.store(0, Ordering::Relaxed);
+    }
+
+    /// Enables (`Some`) or disables (`None`) the i8 quantized shard tier. Takes effect
+    /// at the next [`Self::compact`], which re-encodes every shard's storage to match.
+    ///
+    /// With quantization on, each shard carries an i8 (per-row scale) copy of its
+    /// matrix next to the exact f32 payload, and `knn_join` scans it **two-stage**:
+    /// an i8 integer-dot pass selects a widened candidate set (at least
+    /// `alpha * k` rows per query, plus every row inside the admissible error band
+    /// of the selection thresholds — see [`RoutingStats::quant_scan_epsilon`]), and
+    /// the survivors are rescored with the exact f32 kernels. Final ids **and score
+    /// bits** are identical to a dense build; the quantized spill/snapshot payloads
+    /// (`SWSHARDQ1`) let a spilled shard scan from a ~4x smaller resident footprint,
+    /// faulting exact rows only for the rescore.
+    pub fn set_quantization(&mut self, spec: Option<QuantSpec>) {
+        self.quantization = spec;
+    }
+
+    /// The configured quantized tier, if any (see [`Self::set_quantization`]).
+    pub fn quantization(&self) -> Option<QuantSpec> {
+        self.quantization
+    }
+
+    /// Number of shards whose storage currently carries the i8 quantized tier.
+    pub fn num_quantized_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.storage.is_quantized())
+            .count()
+    }
+
+    /// Heap bytes of the i8 quantized tier (codes + scales) across all shards — the
+    /// resident scanning footprint of quantized spilled shards, which the memory-
+    /// density bench compares against the 4-bytes-per-coordinate dense payload.
+    pub fn quantized_payload_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.storage.quantized_payload_bytes())
+            .sum()
     }
 
     /// Sets the query-batch cache capacity, in cached batches (0, the default,
@@ -890,6 +1025,9 @@ impl ShardedCosineIndex {
         if reclaimed > 0 || self.shards.iter().any(|s| s.is_quarantined()) {
             self.repack();
         }
+        // Re-encode storage to match the quantization setting before the budget pass,
+        // so shards spilled under the budget land in the matching payload format.
+        self.apply_quantization();
         self.apply_memory_budget();
         // Compaction never changes results, but the epoch bump is deliberately
         // conservative: cached batches are cheap to recompute once, reasoning about a
@@ -956,6 +1094,36 @@ impl ShardedCosineIndex {
                 last_used: AtomicU64::new(recency),
                 quarantined: AtomicBool::new(false),
             });
+        }
+    }
+
+    /// Re-encodes every shard's storage to match [`Self::quantization`]: with the tier
+    /// enabled, dense shards gain an i8 quantized copy; with it disabled, quantized
+    /// shards drop theirs. Transitions go through the resident state (a mismatched
+    /// spilled shard is faulted in, re-encoded, and re-spilled by the budget pass that
+    /// follows). A shard whose storage cannot be read keeps its current format with a
+    /// warning — queries retry it lazily, and results are unaffected either way.
+    fn apply_quantization(&mut self) {
+        let want = self.quantization.is_some();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if shard.storage.is_quantized() == want {
+                continue;
+            }
+            if !shard.storage.is_resident() {
+                self.counters.faults.fetch_add(1, Ordering::Relaxed);
+            }
+            // `make_resident` lands on the plain dense state from every variant.
+            if let Err(e) = shard.storage.make_resident() {
+                let e = e.with_shard(i);
+                eprintln!(
+                    "warning: ShardedCosineIndex: cannot re-encode shard storage, \
+                     keeping its current format: {e}"
+                );
+                continue;
+            }
+            if want {
+                shard.storage.quantize_resident();
+            }
         }
     }
 
@@ -1097,6 +1265,9 @@ impl ShardedCosineIndex {
     /// later non-degraded join repairs the answer. [`Self::compact`] retries and then
     /// recovers or drops quarantined shards.
     pub fn knn_join_report(&self, queries: &[Vec<f32>], k: usize) -> JoinOutcome {
+        // Scan counters describe one join at a time on a reused handle; cache counters
+        // keep accumulating (see `RoutingReport`).
+        self.counters.reset_scan();
         if k == 0 || self.is_empty() || queries.is_empty() {
             return JoinOutcome::default();
         }
@@ -1131,6 +1302,7 @@ impl ShardedCosineIndex {
                 let base = block_idx * QUERY_TILE;
                 let (q_block, inv_norms) =
                     pack_query_block("ShardedCosineIndex::knn_join (query)", base, block, dim);
+                let quant_queries = QuantQueries::new(&q_block, &inv_norms);
                 let selectors = if self.routing {
                     // One shared selector set, best-bound-first scan with pruning.
                     let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
@@ -1138,6 +1310,7 @@ impl ShardedCosineIndex {
                         block,
                         &q_block,
                         &inv_norms,
+                        &quant_queries,
                         &mut selectors,
                         stamp,
                         &all_shards,
@@ -1159,9 +1332,13 @@ impl ShardedCosineIndex {
                                     if !shard.storage.is_resident() {
                                         self.counters.faults.fetch_add(1, Ordering::Relaxed);
                                     }
-                                    if let Err(e) =
-                                        shard.offer_into(&q_block, &inv_norms, &mut selectors)
-                                    {
+                                    if let Err(e) = self.offer_shard(
+                                        shard,
+                                        &q_block,
+                                        &inv_norms,
+                                        &quant_queries,
+                                        &mut selectors,
+                                    ) {
                                         self.quarantine(group_idx * group_size + j, e);
                                     }
                                 }
@@ -1240,6 +1417,7 @@ impl ShardedCosineIndex {
         k: usize,
         shard_subset: &[usize],
     ) -> JoinOutcome {
+        self.counters.reset_scan();
         let mut subset: Vec<usize> = shard_subset.to_vec();
         subset.sort_unstable();
         subset.dedup();
@@ -1262,6 +1440,7 @@ impl ShardedCosineIndex {
                 let base = block_idx * QUERY_TILE;
                 let (q_block, inv_norms) =
                     pack_query_block("ShardedCosineIndex::knn_join (query)", base, block, dim);
+                let quant_queries = QuantQueries::new(&q_block, &inv_norms);
                 let mut selectors: Vec<TopK> = (0..block.len()).map(|_| TopK::new(k)).collect();
                 if self.routing {
                     // Same best-bound-first pruning scan as the whole-index join,
@@ -1270,6 +1449,7 @@ impl ShardedCosineIndex {
                         block,
                         &q_block,
                         &inv_norms,
+                        &quant_queries,
                         &mut selectors,
                         stamp,
                         &subset,
@@ -1282,7 +1462,13 @@ impl ShardedCosineIndex {
                             if !shard.storage.is_resident() {
                                 self.counters.faults.fetch_add(1, Ordering::Relaxed);
                             }
-                            if let Err(e) = shard.offer_into(&q_block, &inv_norms, &mut selectors) {
+                            if let Err(e) = self.offer_shard(
+                                shard,
+                                &q_block,
+                                &inv_norms,
+                                &quant_queries,
+                                &mut selectors,
+                            ) {
                                 self.quarantine(i, e);
                             }
                         }
@@ -1330,17 +1516,161 @@ impl ShardedCosineIndex {
         }
     }
 
+    /// Scores one shard against a query tile: dense storage goes through the exact
+    /// [`Shard::offer_into`] GEMM; quantized storage through the two-stage scan of
+    /// [`Self::offer_shard_quantized`]. Either way every score a selector receives is
+    /// an exact f32 kernel score, which is what keeps the shard-level routing prune
+    /// (and the results) identical to the dense build.
+    fn offer_shard(
+        &self,
+        shard: &Shard,
+        q_block: &Matrix,
+        inv_norms: &[f32],
+        quant_queries: &QuantQueries<'_>,
+        selectors: &mut [TopK],
+    ) -> Result<(), crate::storage::StorageError> {
+        if shard.live == 0 {
+            return Ok(());
+        }
+        match shard.storage.quant() {
+            None => shard.offer_into(q_block, inv_norms, selectors),
+            Some(Err(e)) => Err(e),
+            Some(Ok(quant)) => self.offer_shard_quantized(
+                shard,
+                quant,
+                q_block,
+                inv_norms,
+                quant_queries,
+                selectors,
+            ),
+        }
+    }
+
+    /// The two-stage quantized scan for one (shard, query tile) visit.
+    ///
+    /// **Stage 1** scores every live row against every tile query with an exact i8
+    /// integer dot (`approx = t·s·(c_q·c_r)`, evaluated in f64) and keeps, per query,
+    /// every row whose approximate score reaches the higher of two thresholds, each
+    /// padded by the admissible error band `eps` of
+    /// [`RoutingStats::quant_scan_epsilon`]:
+    ///
+    /// * `worst − eps` — a row further below the query's current `k`-th best exact
+    ///   score provably cannot displace it;
+    /// * `a_ref − 2·eps`, with `a_ref` the `alpha·k`-th best approximate score in the
+    ///   shard — a row further below is *strictly* exact-dominated by at least `k`
+    ///   rows that are themselves kept (their exacts are ≥ `a_ref − eps`, its own is
+    ///   `< a_ref − eps`), so it cannot appear in any final top-k.
+    ///
+    /// Ties with the threshold are kept (`>=`), and all comparisons run in f64.
+    ///
+    /// **Stage 2** gathers the union of survivors from the exact f32 tier, zero-pads
+    /// the gather to the kernel row-group width (so every gathered row is scored by
+    /// the same per-row-independent `dot4` microkernel as in a full-shard scan —
+    /// bit-identical scores), and offers the exact scores to every selector. Offering
+    /// the cross-query union is superset-safe: extra exact-scored rows are exactly
+    /// what the dense path offers anyway.
+    #[allow(clippy::too_many_arguments)]
+    fn offer_shard_quantized(
+        &self,
+        shard: &Shard,
+        quant: &QuantizedMatrix,
+        q_block: &Matrix,
+        inv_norms: &[f32],
+        quant_queries: &QuantQueries<'_>,
+        selectors: &mut [TopK],
+    ) -> Result<(), crate::storage::StorageError> {
+        let dim = self.dim;
+        let k = selectors.first().map_or(0, TopK::capacity);
+        let alpha = self.quantization.unwrap_or_default().alpha.max(1);
+        let k_wide = k.saturating_mul(alpha);
+        let qq = quant_queries.get();
+        let live_rows: Vec<usize> = (0..shard.ids.len())
+            .filter(|&row| !shard.deleted[row])
+            .collect();
+        let mut approx = vec![0.0f64; live_rows.len()];
+        let mut order_scratch = vec![0.0f64; live_rows.len()];
+        let mut candidate = vec![false; live_rows.len()];
+        for (r, selector) in selectors.iter().enumerate() {
+            let q = &qq[r];
+            let eps = RoutingStats::quant_scan_epsilon(
+                q.norm,
+                q.err_norm,
+                quant.max_err_norm(),
+                quant.max_row_norm(),
+                dim,
+            );
+            for (j, &row) in live_rows.iter().enumerate() {
+                let idot = Matrix::dot_i8(&q.codes, quant.code_row(row));
+                approx[j] = q.scale as f64 * quant.scale(row) as f64 * idot as f64;
+            }
+            let a_ref = if k_wide == 0 || live_rows.len() <= k_wide {
+                // No surplus to filter: every live row is a candidate.
+                f64::NEG_INFINITY
+            } else {
+                order_scratch.copy_from_slice(&approx);
+                let (_, nth, _) = order_scratch.select_nth_unstable_by(k_wide - 1, |a, b| {
+                    b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                *nth
+            };
+            let worst = selector
+                .worst_score_when_full()
+                .map_or(f64::NEG_INFINITY, |w| w as f64 - eps);
+            let threshold = worst.max(a_ref - 2.0 * eps);
+            for (j, &a) in approx.iter().enumerate() {
+                if a >= threshold {
+                    candidate[j] = true;
+                }
+            }
+        }
+        let rescore: Vec<usize> = live_rows
+            .iter()
+            .zip(candidate.iter())
+            .filter(|(_, &c)| c)
+            .map(|(&row, _)| row)
+            .collect();
+        self.counters.quant_scans.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .rescored_rows
+            .fetch_add(rescore.len() as u64, Ordering::Relaxed);
+        if rescore.is_empty() {
+            return Ok(());
+        }
+        // For a spilled shard this faults exact rows through the shared mapping (page
+        // cache, not heap) — the resident scanning footprint stays the i8 tier.
+        let payload = shard.storage.query_payload()?;
+        let view = payload.view();
+        let padded = padded_rows(rescore.len());
+        let mut data = Vec::with_capacity(padded * dim);
+        for &row in &rescore {
+            data.extend_from_slice(view.row(row));
+        }
+        data.resize(padded * dim, 0.0);
+        let gathered = Matrix::from_vec(padded, dim, data);
+        let sims = q_block.matmul_transpose_b_view(&gathered.view());
+        for (r, selector) in selectors.iter_mut().enumerate() {
+            let inv = inv_norms[r];
+            let srow = sims.row(r);
+            for (j, &row) in rescore.iter().enumerate() {
+                selector.offer(shard.ids[row], srow[j] * inv);
+            }
+        }
+        Ok(())
+    }
+
     /// Scores the `candidates` shard positions against one query tile with
     /// routing-statistics skipping: shards are visited best-bound-first, and once every
     /// selector holds `k` candidates, a shard whose bound is strictly below every
     /// query's retained `k`-th best score (minus the float slack) is skipped without
     /// touching its matrix. The whole-index join passes every position; the
     /// scatter-gather subset join passes its subset.
+    #[allow(clippy::too_many_arguments)]
     fn offer_shards_routed(
         &self,
         block: &[Vec<f32>],
         q_block: &Matrix,
         inv_norms: &[f32],
+        quant_queries: &QuantQueries<'_>,
         selectors: &mut [TopK],
         stamp: u64,
         candidates: &[usize],
@@ -1387,7 +1717,7 @@ impl ShardedCosineIndex {
             if !shard.storage.is_resident() {
                 self.counters.faults.fetch_add(1, Ordering::Relaxed);
             }
-            if let Err(e) = shard.offer_into(q_block, inv_norms, selectors) {
+            if let Err(e) = self.offer_shard(shard, q_block, inv_norms, quant_queries, selectors) {
                 self.quarantine(i, e);
             }
             shard.last_used.store(stamp, Ordering::Relaxed);
@@ -1767,7 +2097,8 @@ mod tests {
     fn destroy_spill_file(index: &ShardedCosineIndex, i: usize) {
         match &index.shards[i].storage {
             ShardStorage::Spilled(s) => std::fs::remove_file(s.file_path()).unwrap(),
-            ShardStorage::Resident(_) => panic!("shard {i} is not spilled"),
+            ShardStorage::QuantSpilled(s) => std::fs::remove_file(s.file_path()).unwrap(),
+            _ => panic!("shard {i} is not spilled"),
         }
     }
 
@@ -1807,10 +2138,13 @@ mod tests {
         assert_eq!(report.shards_quarantined, 1);
         assert_eq!(report.quarantined_shards, vec![1]);
 
-        // A repeated degraded join skips the quarantined shard without re-quarantining.
+        // A repeated degraded join skips the quarantined shard without re-quarantining:
+        // the per-join quarantine counter is 0 (no new event this join), while the
+        // quarantine *state* still lists the shard.
         let again = index.knn_join_report(&queries, 4);
         assert_eq!(again, outcome);
-        assert_eq!(index.routing_report().shards_quarantined, 1);
+        assert_eq!(index.routing_report().shards_quarantined, 0);
+        assert_eq!(index.routing_report().quarantined_shards, vec![1]);
 
         // Compact drops the still-unreadable shard; service returns to non-degraded
         // over the surviving rows (== a fresh index without shard 1's rows).
@@ -1883,5 +2217,85 @@ mod tests {
         let healed = index.knn_join_report(&queries, 4);
         assert!(!healed.degraded);
         assert_eq!(healed.pairs, expected);
+    }
+
+    /// Regression: scan counters used to accumulate across `knn_join` calls on a
+    /// reused handle, so the second identical join reported doubled visit/fault
+    /// tallies. They are per-join now; cache hit/miss tallies stay cumulative.
+    #[test]
+    fn scan_counters_describe_one_join_cache_counters_accumulate() {
+        let corpus = vectors(48, 8, 61);
+        let queries = vectors(6, 8, 62);
+        let mut index = ShardedCosineIndex::from_vectors(&corpus, 8);
+        index.set_memory_budget(Some(0));
+        index.compact();
+        let _ = index.knn_join(&queries, 3);
+        let first = index.routing_report();
+        assert!(first.shards_visited > 0);
+        assert!(first.spill_faults > 0);
+        let _ = index.knn_join(&queries, 3);
+        let second = index.routing_report();
+        assert_eq!(
+            (second.shards_visited, second.spill_faults),
+            (first.shards_visited, first.spill_faults),
+            "an identical repeated join must report identical (not doubled) scan work"
+        );
+
+        index.set_query_cache_capacity(2);
+        let _ = index.knn_join(&queries, 3); // computes, inserts
+        let _ = index.knn_join(&queries, 3); // served from the cache
+        let report = index.routing_report();
+        assert_eq!((report.cache_misses, report.cache_hits), (1, 1));
+        assert_eq!(
+            (report.shards_visited, report.spill_faults),
+            (0, 0),
+            "a cache hit scans nothing, and the report must say so"
+        );
+    }
+
+    #[test]
+    fn quantized_join_is_bit_identical_and_counts_its_scans() {
+        let corpus = vectors(100, 16, 71);
+        let queries = vectors(9, 16, 72);
+        let dense = ShardedCosineIndex::from_vectors(&corpus, 16);
+        let expected = dense.knn_join(&queries, 5);
+
+        let mut quantized = ShardedCosineIndex::from_vectors(&corpus, 16);
+        quantized.set_quantization(Some(QuantSpec::default()));
+        quantized.compact();
+        assert_eq!(quantized.num_quantized_shards(), quantized.num_shards());
+        let pairs = quantized.knn_join(&queries, 5);
+        assert_eq!(pairs.len(), expected.len());
+        for (got, want) in pairs.iter().zip(expected.iter()) {
+            assert_eq!(
+                (got.0, got.1, got.2.to_bits()),
+                (want.0, want.1, want.2.to_bits()),
+                "quantized ids and score bits must match the dense build"
+            );
+        }
+        let report = quantized.routing_report();
+        assert!(report.quant_scans > 0, "the i8 first stage must have run");
+        assert!(
+            report.rescored_rows > 0,
+            "survivors must have been rescored"
+        );
+
+        // Spilled + quantized: results unchanged, and the resident scanning footprint
+        // is the i8 tier only (the exact payload stays on disk for the rescore).
+        quantized.set_memory_budget(Some(0));
+        quantized.compact();
+        assert_eq!(quantized.num_spilled_shards(), quantized.num_shards());
+        assert_eq!(quantized.resident_bytes(), 0);
+        let spilled_pairs = quantized.knn_join(&queries, 5);
+        assert_eq!(spilled_pairs, pairs);
+        assert!(quantized.quantized_payload_bytes() > 0);
+
+        // Turning the tier off re-encodes back to dense storage at the next compact.
+        quantized.set_quantization(None);
+        quantized.set_memory_budget(None);
+        quantized.compact();
+        assert_eq!(quantized.num_quantized_shards(), 0);
+        assert_eq!(quantized.knn_join(&queries, 5), pairs);
+        assert_eq!(quantized.routing_report().quant_scans, 0);
     }
 }

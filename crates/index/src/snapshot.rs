@@ -56,6 +56,7 @@
 //! sharded: dim u64 · shard_capacity u64 · next_id u64 · live u64 · num_shards u64
 //!          then per shard i (payload: shard-<i>.bin):
 //!            rows u64 · cols u64                            (payload matrix shape)
+//!            kind u8                                        (0 = SWSHARD1 f32, 1 = SWSHARDQ1 quantized)
 //!            n u64 · ids u64×n · deleted bitmask ⌈n/8⌉ bytes · live u64
 //!            stats: counted u64 · radius f32
 //!                   centroid_len u64 · centroid f32×len
@@ -88,8 +89,11 @@ use crate::blocking::BlockingIndex;
 use crate::cache::QueryCache;
 use crate::knn::CosineIndex;
 use crate::routing::RoutingStats;
-use crate::sharded::{RoutingCounters, Shard, ShardedCosineIndex};
-use crate::storage::{crc32, same_file, write_matrix_file, ShardStorage, SpilledShard};
+use crate::sharded::{QuantSpec, RoutingCounters, Shard, ShardedCosineIndex};
+use crate::storage::{
+    crc32, same_file, write_matrix_file, write_quant_matrix_file, QuantSpilledShard, ShardStorage,
+    SpilledShard,
+};
 
 /// File name of the snapshot manifest inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.swidx";
@@ -188,6 +192,9 @@ pub(crate) fn write_file_atomic(
 pub(crate) fn write_shard_record(w: &mut Vec<u8>, shard: &Shard) -> io::Result<()> {
     w_u64(w, shard.storage.rows() as u64)?;
     w_u64(w, shard.storage.cols() as u64)?;
+    // Storage kind: which payload format backs this shard. Drives the load-time
+    // length check and handle type; the payload's own magic is re-verified on fault.
+    w.write_all(&[shard.storage.is_quantized() as u8])?;
     w_u64(w, shard.ids.len() as u64)?;
     for &id in &shard.ids {
         w_u64(w, id as u64)?;
@@ -220,6 +227,8 @@ pub(crate) struct ShardRecord {
     pub rows: usize,
     /// Payload matrix column count (== the index dimension).
     pub cols: usize,
+    /// `true` when the payload is a quantized `SWSHARDQ1` file, `false` for `SWSHARD1`.
+    pub quantized: bool,
     /// Stable ids of the shard's slots, ascending.
     pub ids: Vec<usize>,
     /// Tombstone per slot.
@@ -249,6 +258,15 @@ pub(crate) fn read_shard_record(
             format!("shard {i} payload has {cols} columns, index dimension is {dim}"),
         ));
     }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    if kind[0] > 1 {
+        return Err(corrupt_at(
+            manifest,
+            format!("shard {i} has unknown storage kind {}", kind[0]),
+        ));
+    }
+    let quantized = kind[0] == 1;
     let n = r_usize(r)?;
     if n > rows || n > shard_capacity || n > next_id {
         return Err(corrupt_at(
@@ -318,6 +336,7 @@ pub(crate) fn read_shard_record(
     Ok(ShardRecord {
         rows,
         cols,
+        quantized,
         ids,
         deleted,
         live,
@@ -336,18 +355,32 @@ pub(crate) fn open_payload_quarantining(
     payload: PathBuf,
     rows: usize,
     cols: usize,
+    quantized: bool,
 ) -> (ShardStorage, bool) {
-    match SpilledShard::open(payload.clone(), rows, cols) {
-        Ok(opened) => (ShardStorage::Spilled(opened), false),
-        Err(e) => {
-            let e = e.with_shard(i);
-            eprintln!(
-                "warning: snapshot load {}: quarantining shard with invalid \
-                 payload (degraded results until compact): {e}",
-                dir.display()
-            );
-            let unchecked = SpilledShard::open_unchecked(payload, rows, cols);
-            (ShardStorage::Spilled(unchecked), true)
+    let warn = |e: crate::StorageError| {
+        eprintln!(
+            "warning: snapshot load {}: quarantining shard with invalid \
+             payload (degraded results until compact): {e}",
+            dir.display()
+        );
+    };
+    if quantized {
+        match QuantSpilledShard::open(payload.clone(), rows, cols) {
+            Ok(opened) => (ShardStorage::QuantSpilled(opened), false),
+            Err(e) => {
+                warn(e.with_shard(i));
+                let unchecked = QuantSpilledShard::open_unchecked(payload, rows, cols);
+                (ShardStorage::QuantSpilled(unchecked), true)
+            }
+        }
+    } else {
+        match SpilledShard::open(payload.clone(), rows, cols) {
+            Ok(opened) => (ShardStorage::Spilled(opened), false),
+            Err(e) => {
+                warn(e.with_shard(i));
+                let unchecked = SpilledShard::open_unchecked(payload, rows, cols);
+                (ShardStorage::Spilled(unchecked), true)
+            }
         }
     }
 }
@@ -360,9 +393,28 @@ pub(crate) fn save_sharded(index: &ShardedCosineIndex, dir: &Path) -> io::Result
     fs::create_dir_all(dir)?;
     for (i, shard) in index.shards.iter().enumerate() {
         let dest = dir.join(shard_payload(i));
+        // A shard backed by a *different* file inside the target directory moved
+        // position since this snapshot was loaded. Overwriting files out from under
+        // our own live handles would corrupt this index, so refuse; a fresh
+        // directory is always safe.
+        let refuse_same_dir = |backing: &Path| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "snapshot save into {}: shard {i} is backed by {} inside the \
+                     same directory; save a mutated snapshot-loaded index into a \
+                     fresh directory instead",
+                    dir.display(),
+                    backing.display()
+                ),
+            )
+        };
         match &shard.storage {
             ShardStorage::Resident(matrix) => {
                 write_file_atomic(&dest, |tmp| write_matrix_file(tmp, matrix))?;
+            }
+            ShardStorage::QuantResident { quant, exact } => {
+                write_file_atomic(&dest, |tmp| write_quant_matrix_file(tmp, quant, exact))?;
             }
             ShardStorage::Spilled(spilled) => {
                 if same_file(spilled.file_path(), &dest) {
@@ -375,20 +427,20 @@ pub(crate) fn save_sharded(index: &ShardedCosineIndex, dir: &Path) -> io::Result
                     .parent()
                     .is_some_and(|p| same_file(p, dir))
                 {
-                    // The shard is backed by a *different* file inside the target
-                    // directory (it moved position since this snapshot was loaded).
-                    // Overwriting files out from under our own live handles would
-                    // corrupt this index, so refuse; a fresh directory is always safe.
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidInput,
-                        format!(
-                            "snapshot save into {}: shard {i} is backed by {} inside the \
-                             same directory; save a mutated snapshot-loaded index into a \
-                             fresh directory instead",
-                            dir.display(),
-                            spilled.file_path().display()
-                        ),
-                    ));
+                    return Err(refuse_same_dir(spilled.file_path()));
+                }
+                write_file_atomic(&dest, |tmp| spilled.copy_to(tmp))?;
+            }
+            ShardStorage::QuantSpilled(spilled) => {
+                if same_file(spilled.file_path(), &dest) {
+                    continue;
+                }
+                if spilled
+                    .file_path()
+                    .parent()
+                    .is_some_and(|p| same_file(p, dir))
+                {
+                    return Err(refuse_same_dir(spilled.file_path()));
                 }
                 write_file_atomic(&dest, |tmp| spilled.copy_to(tmp))?;
             }
@@ -548,7 +600,7 @@ fn read_sharded_body(dir: &Path, r: &mut impl Read) -> io::Result<ShardedCosineI
         live_seen += record.live;
         let payload = dir.join(shard_payload(i));
         let (storage, quarantined) =
-            open_payload_quarantining(dir, i, payload, record.rows, record.cols);
+            open_payload_quarantining(dir, i, payload, record.rows, record.cols, record.quantized);
         shards.push(Shard {
             storage,
             ids: record.ids,
@@ -562,6 +614,15 @@ fn read_sharded_body(dir: &Path, r: &mut impl Read) -> io::Result<ShardedCosineI
     if live_seen != live {
         return Err(corrupt(dir, "total live count disagrees with the shards"));
     }
+    // The on-disk payload formats win at load time; the index-level setting follows
+    // them so a later `compact` preserves what was saved rather than silently
+    // re-encoding. `set_quantization` overrides (typed cross-load behavior: a
+    // dense-saved snapshot serves dense until the next compact re-encodes it, and
+    // vice versa).
+    let quantization = shards
+        .iter()
+        .any(|s| s.storage.is_quantized())
+        .then(QuantSpec::default);
     Ok(ShardedCosineIndex {
         shard_capacity,
         dim,
@@ -575,6 +636,7 @@ fn read_sharded_body(dir: &Path, r: &mut impl Read) -> io::Result<ShardedCosineI
         counters: RoutingCounters::default(),
         epoch: AtomicU64::new(0),
         cache: QueryCache::new(0),
+        quantization,
     })
 }
 

@@ -45,6 +45,34 @@
 //! snapshot-loaded shard is served through the exact same fault path — just via a
 //! non-owning handle ([`SpilledShard::open`]) that never deletes the snapshot.
 //!
+//! ## Quantized payloads (`SWSHARDQ1`)
+//!
+//! A shard quantized by [`QuantizedMatrix::quantize`] (i8 codes with one f32 scale per
+//! row) spills and snapshots into a second format that carries **both tiers** of the
+//! two-stage scan — the i8 codes the approximate scan reads and the exact f32 rows the
+//! rescore tier reads, so a quantized shard still answers queries bit-identically:
+//!
+//! ```text
+//! offset            size           field
+//! 0                 9              magic  b"SWSHARDQ1"
+//! 9                 7              zero padding (keeps every later field 4-byte aligned)
+//! 16                8              rows   (u64, little endian)
+//! 24                8              cols   (u64, little endian)
+//! 32                4              max_err_norm (f32 LE, see `QuantizedMatrix`)
+//! 36                4              max_row_norm (f32 LE)
+//! 40                rows*4         per-row scales (f32 LE)
+//! 40+4r             rows*cols*4    exact row-major f32 payload (bit-for-bit)
+//! 40+4r+4rc         rows*cols      i8 codes, row-major
+//! end-4             4              CRC-32 (ISO-HDLC) of every preceding byte
+//! ```
+//!
+//! The exact payload sits at a 4-byte-aligned offset so the mmap query path
+//! ([`MappedQuantShard`]) reinterprets it in place exactly like `SWSHARD1`; the codes
+//! and scales are decoded into a small heap copy once per handle ([`QuantSpilledShard`])
+//! — a quarter the bytes of the f32 payload, which is the whole memory-density point.
+//! Torn or corrupt `SWSHARDQ1` files fail with the same typed [`StorageError`]s as
+//! `SWSHARD1`, so snapshot loads quarantine them identically.
+//!
 //! ## Failure model
 //!
 //! Every fault path returns a typed [`StorageError`] naming the file (and, one layer
@@ -746,6 +774,702 @@ pub(crate) fn same_file(a: &Path, b: &Path) -> bool {
     }
 }
 
+// ---- i8 quantization -----------------------------------------------------------------
+
+/// Magic prefix of a quantized payload file; the trailing `1` is the format version.
+const QMAGIC: &[u8; 9] = b"SWSHARDQ1";
+
+/// Byte length of the quantized-file header: magic (9) + zero pad (7) + rows (8) +
+/// cols (8) + max_err_norm (4) + max_row_norm (4). A multiple of 4, so the scales and
+/// the exact f32 payload that follow are 4-byte aligned from the page-aligned mmap base.
+const QHEADER_LEN: usize = 9 + 7 + 8 + 8 + 4 + 4;
+
+/// Total on-disk length of a quantized payload for a `rows x cols` shard.
+fn quant_file_len(rows: usize, cols: usize) -> u64 {
+    (QHEADER_LEN + rows * 4 + rows * cols * 4 + rows * cols + TRAILER_LEN) as u64
+}
+
+/// Rounds a non-negative f64 up into an f32 that is **guaranteed ≥ the true value** —
+/// the `as f32` cast rounds to nearest, so a measured error bound could otherwise
+/// round *down* and break admissibility. Mirrors the `.next_up()` radius idiom of
+/// [`crate::routing`].
+fn round_up_to_f32(x: f64) -> f32 {
+    let f = x as f32;
+    if (f as f64) < x {
+        f.next_up()
+    } else {
+        f
+    }
+}
+
+/// An i8 (per-row scale) quantized copy of a shard matrix — the first tier of the
+/// two-stage quantized scan.
+///
+/// Each row `x` is encoded as `code[j] = round(x[j] / s)` with `s = max_j |x[j]| / 127`
+/// (zero rows get scale 0 and all-zero codes), so `s * code` reconstructs the row to
+/// within one half-step per coordinate. Two **measured** (not estimated) per-shard
+/// norms travel with the codes and feed the admissible candidate bound in
+/// [`crate::routing`]:
+///
+/// * `max_err_norm` — `max_r ‖x_r − s_r·c_r‖₂`, the worst row reconstruction error;
+/// * `max_row_norm` — `max_r ‖x_r‖₂`, the worst row magnitude.
+///
+/// Both are accumulated in f64 and rounded **up** into f32, so the bound derived from
+/// them can only be slacker than reality, never tighter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    max_err_norm: f32,
+    max_row_norm: f32,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `matrix` row by row, measuring the reconstruction-error norms as it
+    /// goes. Deterministic: the same matrix always produces the same codes, scales,
+    /// and norms on every platform (scalar f32/f64 arithmetic only).
+    pub fn quantize(matrix: &Matrix) -> QuantizedMatrix {
+        let (rows, cols) = (matrix.rows(), matrix.cols());
+        let mut codes = vec![0i8; rows * cols];
+        let mut scales = vec![0f32; rows];
+        let mut max_err_sq = 0f64;
+        let mut max_norm_sq = 0f64;
+        for r in 0..rows {
+            let row = matrix.row(r);
+            let (scale, err_sq, norm_sq) =
+                quantize_row_into(row, &mut codes[r * cols..(r + 1) * cols]);
+            scales[r] = scale;
+            max_err_sq = max_err_sq.max(err_sq);
+            max_norm_sq = max_norm_sq.max(norm_sq);
+        }
+        QuantizedMatrix {
+            rows,
+            cols,
+            codes,
+            scales,
+            max_err_norm: round_up_to_f32(max_err_sq.sqrt()),
+            max_row_norm: round_up_to_f32(max_norm_sq.sqrt()),
+        }
+    }
+
+    /// Rebuilds a quantized matrix from its serialized parts (the `SWSHARDQ1` loader).
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        codes: Vec<i8>,
+        scales: Vec<f32>,
+        max_err_norm: f32,
+        max_row_norm: f32,
+    ) -> QuantizedMatrix {
+        QuantizedMatrix {
+            rows,
+            cols,
+            codes,
+            scales,
+            max_err_norm,
+            max_row_norm,
+        }
+    }
+
+    /// Number of encoded rows (including zero padding rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of encoded columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The i8 codes of row `r`.
+    #[inline]
+    pub fn code_row(&self, r: usize) -> &[i8] {
+        &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The reconstruction scale of row `r` (`row ≈ scale * codes`).
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// All row scales (the serialization order of the `SWSHARDQ1` scales section).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// All codes, row-major (the serialization order of the codes section).
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// Worst-row reconstruction error norm `max_r ‖x_r − s_r·c_r‖₂` (rounded up).
+    pub fn max_err_norm(&self) -> f32 {
+        self.max_err_norm
+    }
+
+    /// Worst-row magnitude `max_r ‖x_r‖₂` (rounded up).
+    pub fn max_row_norm(&self) -> f32 {
+        self.max_row_norm
+    }
+
+    /// Heap bytes this quantized copy occupies (codes + scales) — what the
+    /// memory-density bench compares against the 4 bytes/coordinate f32 payload.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self.codes.as_slice()) + std::mem::size_of_val(self.scales.as_slice())
+    }
+}
+
+/// Quantizes one row into `out`, returning `(scale, err_sq, norm_sq)` with the error
+/// and norm accumulated in f64. Shared by the shard-side [`QuantizedMatrix::quantize`]
+/// and the query-side [`QuantizedRow::from_row`] so the two sides can never disagree
+/// on the rounding rule (round half away from zero, clamped to ±127).
+fn quantize_row_into(row: &[f32], out: &mut [i8]) -> (f32, f64, f64) {
+    let amax = row.iter().fold(0f32, |m, &x| m.max(x.abs()));
+    let mut err_sq = 0f64;
+    let mut norm_sq = 0f64;
+    if amax <= 0.0 || !amax.is_finite() {
+        // A zero row stays all-zero codes with scale 0 (exactly reconstructed); a
+        // non-finite row cannot be coded, so it degrades to "everything is error" —
+        // still admissible because the measured norms absorb it.
+        for x in row {
+            norm_sq += (*x as f64) * (*x as f64);
+        }
+        out.fill(0);
+        return (0.0, norm_sq, norm_sq);
+    }
+    let scale = amax / 127.0;
+    for (c, &x) in out.iter_mut().zip(row.iter()) {
+        let code = ((x as f64) / (scale as f64)).round().clamp(-127.0, 127.0);
+        *c = code as i8;
+        let delta = (x as f64) - (scale as f64) * code;
+        err_sq += delta * delta;
+        norm_sq += (x as f64) * (x as f64);
+    }
+    (scale, err_sq, norm_sq)
+}
+
+/// A query row quantized with the same rule as [`QuantizedMatrix`], plus the measured
+/// norms the candidate bound needs. Built lazily, once per query tile, and only when a
+/// quantized shard is actually scanned.
+#[derive(Clone, Debug)]
+pub struct QuantizedRow {
+    /// i8 codes of the (pre-normalized) query row.
+    pub codes: Vec<i8>,
+    /// Reconstruction scale (`row ≈ scale * codes`).
+    pub scale: f32,
+    /// Measured `‖row − scale·codes‖₂`, rounded up.
+    pub err_norm: f32,
+    /// Measured `‖row‖₂`, rounded up.
+    pub norm: f32,
+}
+
+impl QuantizedRow {
+    /// Quantizes one query row (the caller passes the row already scaled by its
+    /// inverse norm, so these codes approximate the *unit* query vector).
+    pub fn from_row(row: &[f32]) -> QuantizedRow {
+        let mut codes = vec![0i8; row.len()];
+        let (scale, err_sq, norm_sq) = quantize_row_into(row, &mut codes);
+        QuantizedRow {
+            codes,
+            scale,
+            err_norm: round_up_to_f32(err_sq.sqrt()),
+            norm: round_up_to_f32(norm_sq.sqrt()),
+        }
+    }
+}
+
+/// Serializes a quantized shard (both tiers) into the `SWSHARDQ1` format at `path` —
+/// see the module docs for the layout. Streams the f32 payload in bounded chunks like
+/// [`write_matrix_file`] and appends the CRC-32 trailer.
+///
+/// Failpoint `snapshot.payload.torn`: writes the header, the scales, and roughly half
+/// the exact payload, then errors out without codes or trailer — the on-disk shape of
+/// a crash mid-write, shared with the `SWSHARD1` writer so the chaos suites exercise
+/// both formats through one switch.
+pub(crate) fn write_quant_matrix_file(
+    path: &Path,
+    quant: &QuantizedMatrix,
+    exact: &Matrix,
+) -> io::Result<()> {
+    debug_assert_eq!((quant.rows(), quant.cols()), (exact.rows(), exact.cols()));
+    let torn = faults::fires("snapshot.payload.torn");
+    let mut file = io::BufWriter::new(fs::File::create(path)?);
+    let mut crc = Crc32::new();
+    let mut put = |file: &mut io::BufWriter<fs::File>, bytes: &[u8]| -> io::Result<()> {
+        crc.update(bytes);
+        file.write_all(bytes)
+    };
+    put(&mut file, QMAGIC)?;
+    put(&mut file, &[0u8; 7])?;
+    put(&mut file, &(exact.rows() as u64).to_le_bytes())?;
+    put(&mut file, &(exact.cols() as u64).to_le_bytes())?;
+    put(&mut file, &quant.max_err_norm().to_le_bytes())?;
+    put(&mut file, &quant.max_row_norm().to_le_bytes())?;
+    let mut buf = Vec::with_capacity(16 * 1024);
+    for chunk in quant.scales().chunks(4 * 1024) {
+        buf.clear();
+        for &x in chunk {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        put(&mut file, &buf)?;
+    }
+    let data = exact.data();
+    let keep = if torn { data.len() / 2 } else { data.len() };
+    for chunk in data[..keep].chunks(4 * 1024) {
+        buf.clear();
+        for &x in chunk {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        put(&mut file, &buf)?;
+    }
+    if torn {
+        file.flush()?;
+        return Err(io::Error::other(
+            "failpoint snapshot.payload.torn: simulated crash mid-payload",
+        ));
+    }
+    for chunk in quant.codes().chunks(16 * 1024) {
+        // SAFETY-free reinterpret: i8 and u8 have identical layout; iterate instead
+        // of transmuting to stay in safe code.
+        buf.clear();
+        buf.extend(chunk.iter().map(|&c| c as u8));
+        put(&mut file, &buf)?;
+    }
+    file.write_all(&crc.finish().to_le_bytes())?;
+    file.flush()
+}
+
+/// A quantized shard serialized to disk in the `SWSHARDQ1` format — the quantized twin
+/// of [`SpilledShard`], with the same two ownership flavours (owning spill file vs
+/// non-owning snapshot payload), the same typed-error fault model, and the same
+/// validate-once mmap query path.
+///
+/// Two lazily established caches live on the handle:
+///
+/// * `quant` — the heap copy of codes + scales (a quarter of the f32 payload bytes)
+///   that the first-stage scan reads; seeded for free when the handle was produced by
+///   spilling a resident quantized shard, decoded from the mapping (or the copying
+///   fallback) on first scan after a cold snapshot load.
+/// * `map` — the shared read-only mapping serving the **exact** f32 tier with zero
+///   copies, exactly like [`SpilledShard`]'s.
+#[derive(Debug)]
+pub struct QuantSpilledShard {
+    /// Keeps the spill directory alive as long as any owned file in it exists; `None`
+    /// for non-owning snapshot-backed handles.
+    _dir: Option<SpillDir>,
+    path: PathBuf,
+    owns_file: bool,
+    rows: usize,
+    cols: usize,
+    quant: OnceLock<QuantizedMatrix>,
+    #[cfg(all(unix, target_endian = "little"))]
+    map: OnceLock<MappedQuantShard>,
+}
+
+impl Drop for QuantSpilledShard {
+    fn drop(&mut self) {
+        if self.owns_file {
+            remove_quietly(&self.path, false);
+        }
+    }
+}
+
+impl QuantSpilledShard {
+    /// Serializes both tiers into a fresh file under `dir`. The returned handle owns
+    /// the file and deletes it on drop, and its `quant` cache is seeded from the
+    /// in-memory copy — spilling never has to read its own file back.
+    ///
+    /// Failpoint `spill.write.io_err`: fails before touching the filesystem (the shard
+    /// stays resident — spilling is an optimization).
+    pub fn write(
+        dir: &SpillDir,
+        quant: &QuantizedMatrix,
+        exact: &Matrix,
+    ) -> io::Result<QuantSpilledShard> {
+        if faults::fires("spill.write.io_err") {
+            return Err(io::Error::other(
+                "failpoint spill.write.io_err: injected spill-write failure",
+            ));
+        }
+        let path = dir.next_path();
+        write_quant_matrix_file(&path, quant, exact)?;
+        let seeded = OnceLock::new();
+        let _ = seeded.set(quant.clone());
+        Ok(QuantSpilledShard {
+            _dir: Some(dir.clone()),
+            path,
+            owns_file: true,
+            rows: exact.rows(),
+            cols: exact.cols(),
+            quant: seeded,
+            #[cfg(all(unix, target_endian = "little"))]
+            map: OnceLock::new(),
+        })
+    }
+
+    /// Opens an existing `SWSHARDQ1` payload (a snapshot shard) without taking
+    /// ownership, checking the file length against the manifest shape so a truncated
+    /// snapshot fails at load time, not mid-query.
+    pub fn open(
+        path: PathBuf,
+        rows: usize,
+        cols: usize,
+    ) -> Result<QuantSpilledShard, StorageError> {
+        let expected = quant_file_len(rows, cols);
+        let actual = fs::metadata(&path)
+            .map_err(|e| StorageError::io(&path, e))?
+            .len();
+        if actual != expected {
+            return Err(StorageError::corrupt(
+                &path,
+                format!(
+                    "{actual} bytes on disk, expected {expected} for a {rows}x{cols} quantized shard"
+                ),
+            ));
+        }
+        Ok(Self::open_unchecked(path, rows, cols))
+    }
+
+    /// Like [`QuantSpilledShard::open`] but without touching the filesystem — for
+    /// building a **quarantined** shard over a payload that already failed validation.
+    pub(crate) fn open_unchecked(path: PathBuf, rows: usize, cols: usize) -> QuantSpilledShard {
+        QuantSpilledShard {
+            _dir: None,
+            path,
+            owns_file: false,
+            rows,
+            cols,
+            quant: OnceLock::new(),
+            #[cfg(all(unix, target_endian = "little"))]
+            map: OnceLock::new(),
+        }
+    }
+
+    /// Copies the serialized payload to `dest` without deserializing it (snapshot
+    /// save path); copying a file onto itself is a no-op.
+    pub(crate) fn copy_to(&self, dest: &Path) -> io::Result<()> {
+        if same_file(&self.path, dest) {
+            return Ok(());
+        }
+        fs::copy(&self.path, dest).map(|_| ())
+    }
+
+    /// Rows of the serialized shard (including zero padding rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the serialized shard.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The on-disk location of the payload.
+    pub fn file_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads both tiers back, verifying magic, shape, and the CRC-32 trailer. The
+    /// returned exact matrix is bit-for-bit the one passed to
+    /// [`QuantSpilledShard::write`]; the quantized tier round-trips exactly too
+    /// (integer codes, f32 scales and norms).
+    ///
+    /// Failpoint `spill.read.io_err`: fails the attempt before opening the file.
+    pub fn load_all(&self) -> Result<(QuantizedMatrix, Matrix), StorageError> {
+        if faults::fires("spill.read.io_err") {
+            return Err(StorageError::io(
+                &self.path,
+                io::Error::other("failpoint spill.read.io_err: injected spill-read failure"),
+            ));
+        }
+        let bytes = fs::read(&self.path).map_err(|e| StorageError::io(&self.path, e))?;
+        let corrupt = |what: String| StorageError::corrupt(&self.path, what);
+        let expected = quant_file_len(self.rows, self.cols) as usize;
+        if bytes.len() != expected {
+            return Err(corrupt(format!(
+                "{} bytes on disk, expected {expected} for a {}x{} quantized shard",
+                bytes.len(),
+                self.rows,
+                self.cols
+            )));
+        }
+        if &bytes[..QMAGIC.len()] != QMAGIC {
+            return Err(corrupt(
+                "bad magic (not a Sudowoodo quantized shard file)".into(),
+            ));
+        }
+        let rows = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let cols = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+        if (rows, cols) != (self.rows, self.cols) {
+            return Err(corrupt(
+                "header shape disagrees with the index metadata".into(),
+            ));
+        }
+        let body = &bytes[..expected - TRAILER_LEN];
+        let trailer: [u8; TRAILER_LEN] = bytes[expected - TRAILER_LEN..].try_into().unwrap();
+        if u32::from_le_bytes(trailer) != crc32(body) {
+            return Err(corrupt(
+                "CRC-32 mismatch (the payload bytes changed since they were written)".into(),
+            ));
+        }
+        let max_err_norm = f32::from_le_bytes(bytes[32..36].try_into().unwrap());
+        let max_row_norm = f32::from_le_bytes(bytes[36..40].try_into().unwrap());
+        let scales_at = QHEADER_LEN;
+        let exact_at = scales_at + rows * 4;
+        let codes_at = exact_at + rows * cols * 4;
+        let scales: Vec<f32> = bytes[scales_at..exact_at]
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        let data: Vec<f32> = bytes[exact_at..codes_at]
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        let codes: Vec<i8> = bytes[codes_at..expected - TRAILER_LEN]
+            .iter()
+            .map(|&b| b as i8)
+            .collect();
+        Ok((
+            QuantizedMatrix::from_parts(rows, cols, codes, scales, max_err_norm, max_row_norm),
+            Matrix::from_vec(rows, cols, data),
+        ))
+    }
+
+    /// [`QuantSpilledShard::load_all`] with the shared fault-retry backoff;
+    /// corruption is not retried.
+    pub fn load_all_retrying(&self) -> Result<(QuantizedMatrix, Matrix), StorageError> {
+        let mut last = None;
+        for retry in 0..FAULT_ATTEMPTS {
+            if retry > 0 {
+                fault_backoff(retry - 1);
+            }
+            match self.load_all() {
+                Ok(parts) => return Ok(parts),
+                Err(e) if e.is_corrupt() => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// The quantized tier (codes + scales + norms), decoded into the heap cache on
+    /// first use: from the validated mapping where available, through the copying
+    /// loader otherwise. Failures are never cached — the next scan retries.
+    pub fn quant(&self) -> Result<&QuantizedMatrix, StorageError> {
+        if let Some(q) = self.quant.get() {
+            return Ok(q);
+        }
+        let fresh;
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            let mapped = self.mapped()?;
+            fresh = QuantizedMatrix::from_parts(
+                self.rows,
+                self.cols,
+                mapped.codes().to_vec(),
+                mapped.scales().to_vec(),
+                mapped.max_err_norm(),
+                mapped.max_row_norm(),
+            );
+        }
+        #[cfg(not(all(unix, target_endian = "little")))]
+        {
+            fresh = self.load_all_retrying()?.0;
+        }
+        // A concurrent scan may have won the race; both decoded the same bytes.
+        Ok(self.quant.get_or_init(|| fresh))
+    }
+
+    /// The **exact** f32 tier for the rescore stage and the legacy full-scan path:
+    /// borrowed from the shared mapping where available, a copying fault otherwise.
+    pub fn exact_payload(&self) -> Result<ShardData<'_>, StorageError> {
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            self.mapped().map(|m| ShardData::Borrowed(m.view()))
+        }
+        #[cfg(not(all(unix, target_endian = "little")))]
+        {
+            self.load_all_retrying().map(|(_, m)| ShardData::Owned(m))
+        }
+    }
+
+    /// The shared, validated memory mapping (see [`SpilledShard::mapped`] — same
+    /// never-cache-failures contract).
+    #[cfg(all(unix, target_endian = "little"))]
+    pub(crate) fn mapped(&self) -> Result<&MappedQuantShard, StorageError> {
+        if let Some(mapped) = self.map.get() {
+            return Ok(mapped);
+        }
+        let fresh = self.map_retrying()?;
+        Ok(self.map.get_or_init(|| fresh))
+    }
+
+    #[cfg(all(unix, target_endian = "little"))]
+    fn map_retrying(&self) -> Result<MappedQuantShard, StorageError> {
+        let mut last = None;
+        for retry in 0..FAULT_ATTEMPTS {
+            if retry > 0 {
+                fault_backoff(retry - 1);
+            }
+            match self.map_file() {
+                Ok(mapped) => return Ok(mapped),
+                Err(e) if e.is_corrupt() => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Maps the payload read-only and validates it **once** (length, magic, shape,
+    /// CRC over every preceding byte), mirroring [`SpilledShard::map_file`].
+    ///
+    /// Failpoint `spill.read.io_err`: fails the attempt before opening the file.
+    #[cfg(all(unix, target_endian = "little"))]
+    fn map_file(&self) -> Result<MappedQuantShard, StorageError> {
+        if faults::fires("spill.read.io_err") {
+            return Err(StorageError::io(
+                &self.path,
+                io::Error::other("failpoint spill.read.io_err: injected spill-read failure"),
+            ));
+        }
+        let ioerr = |e| StorageError::io(&self.path, e);
+        let corrupt = |what: &str| StorageError::corrupt(&self.path, what);
+        let file = fs::File::open(&self.path).map_err(ioerr)?;
+        let expected = quant_file_len(self.rows, self.cols) as usize;
+        let actual = file.metadata().map_err(ioerr)?.len();
+        if actual != expected as u64 {
+            return Err(corrupt(&format!(
+                "{actual} bytes on disk, expected {expected} for a {}x{} quantized shard",
+                self.rows, self.cols
+            )));
+        }
+        let mapped = MappedQuantShard::map(&file, expected, self.rows, self.cols).map_err(ioerr)?;
+        let bytes = mapped.bytes();
+        if &bytes[..QMAGIC.len()] != QMAGIC {
+            return Err(corrupt("bad magic (not a Sudowoodo quantized shard file)"));
+        }
+        let rows = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let cols = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+        if (rows, cols) != (self.rows, self.cols) {
+            return Err(corrupt("header shape disagrees with the index metadata"));
+        }
+        let body = &bytes[..expected - TRAILER_LEN];
+        let trailer: [u8; TRAILER_LEN] = bytes[expected - TRAILER_LEN..].try_into().unwrap();
+        if u32::from_le_bytes(trailer) != crc32(body) {
+            return Err(corrupt(
+                "CRC-32 mismatch (the payload bytes changed since they were written)",
+            ));
+        }
+        Ok(mapped)
+    }
+}
+
+/// A read-only `mmap(2)` of one `SWSHARDQ1` payload file — [`MappedShard`]'s quantized
+/// twin. Validated once at map time; after that the exact f32 tier is borrowed
+/// straight out of the page cache (its offset is 4-byte aligned by the format's header
+/// padding) and the i8 codes/scales are copied out once into the handle's heap cache.
+#[cfg(all(unix, target_endian = "little"))]
+#[derive(Debug)]
+pub struct MappedQuantShard {
+    ptr: *const u8,
+    len: usize,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: same argument as `MappedShard` — PROT_READ for the whole lifetime, backing
+// files are write-once, so concurrent reads from any thread are safe.
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Send for MappedQuantShard {}
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Sync for MappedQuantShard {}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl MappedQuantShard {
+    fn map(file: &fs::File, len: usize, rows: usize, cols: usize) -> io::Result<MappedQuantShard> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: a fresh PROT_READ/MAP_SHARED mapping of a file we hold open; failure
+        // is reported via MAP_FAILED.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedQuantShard {
+            ptr: ptr as *const u8,
+            len,
+            rows,
+            cols,
+        })
+    }
+
+    /// The whole mapped file, header and trailer included.
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live mapping of exactly `len` bytes.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Worst-row reconstruction error norm recorded in the header.
+    fn max_err_norm(&self) -> f32 {
+        f32::from_le_bytes(self.bytes()[32..36].try_into().unwrap())
+    }
+
+    /// Worst-row magnitude recorded in the header.
+    fn max_row_norm(&self) -> f32 {
+        f32::from_le_bytes(self.bytes()[36..40].try_into().unwrap())
+    }
+
+    /// The per-row scales section.
+    fn scales(&self) -> &[f32] {
+        // SAFETY: the scales span `rows` little-endian f32s at the 4-byte-aligned
+        // QHEADER_LEN offset of the validated `len`-byte mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(QHEADER_LEN) as *const f32, self.rows) }
+    }
+
+    /// The i8 codes section, row-major.
+    fn codes(&self) -> &[i8] {
+        let at = QHEADER_LEN + self.rows * 4 + self.rows * self.cols * 4;
+        // SAFETY: the codes span `rows * cols` bytes at offset `at` of the validated
+        // mapping; i8 has alignment 1 and every bit pattern is valid.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(at) as *const i8, self.rows * self.cols) }
+    }
+
+    /// The exact row-major f32 tier, borrowed straight out of the page cache.
+    pub fn data(&self) -> &[f32] {
+        let at = QHEADER_LEN + self.rows * 4;
+        // SAFETY: the exact payload spans `rows * cols` little-endian f32s at the
+        // 4-byte-aligned offset `at` (header and scales are both multiples of 4);
+        // every bit pattern is a valid f32.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(at) as *const f32, self.rows * self.cols) }
+    }
+
+    /// The exact tier as a borrowed matrix view for the scoring kernels.
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.rows, self.cols, self.data())
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl Drop for MappedQuantShard {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the exact region `map` established.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
 /// What [`ShardStorage::query_payload`] hands the scoring kernels: a zero-copy view
 /// whenever the payload has a stable home (resident matrix, established mapping), an
 /// owned fault only on targets without the mapping.
@@ -779,11 +1503,25 @@ pub enum ShardStorage {
     Resident(Matrix),
     /// The matrix is on disk and is read back per use.
     Spilled(SpilledShard),
+    /// Both tiers of a quantized shard are in memory: the i8 codes the first-stage
+    /// scan reads and the exact f32 matrix the rescore tier reads.
+    QuantResident {
+        /// The i8 codes + per-row scales + measured error norms.
+        quant: QuantizedMatrix,
+        /// The exact f32 payload — the bit-identical source of truth for rescoring,
+        /// mutation, and snapshots.
+        exact: Matrix,
+    },
+    /// A quantized shard on disk in the `SWSHARDQ1` format; the small quantized tier
+    /// is decoded into a heap cache on first scan, the exact tier is served through
+    /// the shared mapping.
+    QuantSpilled(QuantSpilledShard),
 }
 
 impl Clone for ShardStorage {
     /// Cloning faults spilled storage back into memory: spill files are single-owner
-    /// (deleted on drop), so the clone gets an independent resident copy.
+    /// (deleted on drop), so the clone gets an independent resident copy (quantized
+    /// storage stays quantized — both tiers are cloned or loaded).
     ///
     /// # Panics
     /// `Clone` has no error channel, so an unreadable spill file (after the retry
@@ -797,6 +1535,16 @@ impl Clone for ShardStorage {
                 s.load_retrying()
                     .unwrap_or_else(|e| panic!("ShardStorage::clone: {e}")),
             ),
+            ShardStorage::QuantResident { quant, exact } => ShardStorage::QuantResident {
+                quant: quant.clone(),
+                exact: exact.clone(),
+            },
+            ShardStorage::QuantSpilled(s) => {
+                let (quant, exact) = s
+                    .load_all_retrying()
+                    .unwrap_or_else(|e| panic!("ShardStorage::clone: {e}"));
+                ShardStorage::QuantResident { quant, exact }
+            }
         }
     }
 }
@@ -807,6 +1555,8 @@ impl ShardStorage {
         match self {
             ShardStorage::Resident(m) => m.rows(),
             ShardStorage::Spilled(s) => s.rows(),
+            ShardStorage::QuantResident { exact, .. } => exact.rows(),
+            ShardStorage::QuantSpilled(s) => s.rows(),
         }
     }
 
@@ -815,32 +1565,77 @@ impl ShardStorage {
         match self {
             ShardStorage::Resident(m) => m.cols(),
             ShardStorage::Spilled(s) => s.cols(),
+            ShardStorage::QuantResident { exact, .. } => exact.cols(),
+            ShardStorage::QuantSpilled(s) => s.cols(),
         }
     }
 
-    /// Bytes the matrix payload occupies (or would occupy) in memory, regardless of
-    /// where it currently lives — the per-shard quantity the residency budget weighs
+    /// Bytes the **exact f32** payload occupies (or would occupy) in memory, regardless
+    /// of where it currently lives — the per-shard quantity the residency budget weighs
     /// when deciding what to keep resident and what to fault back.
     pub fn payload_bytes(&self) -> usize {
         self.rows() * self.cols() * std::mem::size_of::<f32>()
     }
 
-    /// `true` when the matrix is in memory.
+    /// `true` when the exact payload is in memory.
     pub fn is_resident(&self) -> bool {
-        matches!(self, ShardStorage::Resident(_))
+        matches!(
+            self,
+            ShardStorage::Resident(_) | ShardStorage::QuantResident { .. }
+        )
     }
 
-    /// Bytes of matrix payload currently held in memory (0 when spilled) — the quantity
-    /// the residency budget is accounted in.
+    /// `true` when this storage carries a quantized tier (resident or spilled).
+    pub fn is_quantized(&self) -> bool {
+        matches!(
+            self,
+            ShardStorage::QuantResident { .. } | ShardStorage::QuantSpilled(_)
+        )
+    }
+
+    /// Bytes of **exact f32** payload currently held in memory (0 when spilled) — the
+    /// quantity the residency budget is accounted in. The quantized tier is tracked
+    /// separately by [`ShardStorage::quantized_payload_bytes`]: it is metadata-sized
+    /// (a quarter of the payload) and deliberately outside the budget, like the
+    /// routing statistics.
     pub fn resident_bytes(&self) -> usize {
         match self {
             ShardStorage::Resident(m) => std::mem::size_of_val(m.data()),
             ShardStorage::Spilled(_) => 0,
+            ShardStorage::QuantResident { exact, .. } => std::mem::size_of_val(exact.data()),
+            ShardStorage::QuantSpilled(_) => 0,
         }
     }
 
-    /// The matrix, borrowed when resident and transiently loaded (with the retry
-    /// backoff) when spilled.
+    /// Heap bytes of the quantized tier (codes + scales), 0 for plain f32 storage and
+    /// for quantized spills whose cache has not been decoded yet — what the
+    /// memory-density bench sums against [`ShardStorage::payload_bytes`].
+    pub fn quantized_payload_bytes(&self) -> usize {
+        match self {
+            ShardStorage::QuantResident { quant, .. } => quant.heap_bytes(),
+            ShardStorage::QuantSpilled(s) => s.quant.get().map_or(0, |q| q.heap_bytes()),
+            _ => 0,
+        }
+    }
+
+    /// The quantized tier for the first-stage scan: `None` for plain f32 storage,
+    /// otherwise the codes/scales (decoding the spilled cache on first use).
+    ///
+    /// # Errors
+    /// The inner `Result` carries the same contract as [`ShardStorage::matrix`]: a
+    /// spilled quantized payload that stayed unreadable through the retries — the
+    /// caller quarantines the shard exactly like an exact-tier fault.
+    pub fn quant(&self) -> Option<Result<&QuantizedMatrix, StorageError>> {
+        match self {
+            ShardStorage::QuantResident { quant, .. } => Some(Ok(quant)),
+            ShardStorage::QuantSpilled(s) => Some(s.quant()),
+            _ => None,
+        }
+    }
+
+    /// The **exact** matrix, borrowed when resident and transiently loaded (with the
+    /// retry backoff) when spilled. Quantized storage hands out its exact tier —
+    /// mutation and legacy paths never see codes.
     ///
     /// # Errors
     /// A spilled shard whose file cannot be read back even after
@@ -850,6 +1645,8 @@ impl ShardStorage {
         match self {
             ShardStorage::Resident(m) => Ok(Cow::Borrowed(m)),
             ShardStorage::Spilled(s) => s.load_retrying().map(Cow::Owned),
+            ShardStorage::QuantResident { exact, .. } => Ok(Cow::Borrowed(exact)),
+            ShardStorage::QuantSpilled(s) => s.load_all_retrying().map(|(_, m)| Cow::Owned(m)),
         }
     }
 
@@ -858,7 +1655,9 @@ impl ShardStorage {
     /// spilled shard's working set is OS page cache shared across every process
     /// serving the same snapshot, not a fresh heap copy per query tile. On targets
     /// without the mapping (non-Unix or big-endian) the spilled arm transparently
-    /// falls back to the copying fault, bit-identically.
+    /// falls back to the copying fault, bit-identically. Quantized storage serves its
+    /// **exact** tier here — this is what the rescore stage (and any full scan)
+    /// scores against.
     ///
     /// Mutating paths (compaction, ingestion, cloning) keep using
     /// [`ShardStorage::matrix`] / [`ShardStorage::make_resident`].
@@ -873,36 +1672,95 @@ impl ShardStorage {
             ShardStorage::Spilled(s) => s.mapped().map(|m| ShardData::Borrowed(m.view())),
             #[cfg(not(all(unix, target_endian = "little")))]
             ShardStorage::Spilled(s) => s.load_retrying().map(ShardData::Owned),
+            ShardStorage::QuantResident { exact, .. } => Ok(ShardData::Borrowed(exact.view())),
+            ShardStorage::QuantSpilled(s) => s.exact_payload(),
         }
     }
 
-    /// Spills the matrix to a fresh file under `dir`. No-op when already spilled. On
-    /// I/O failure the matrix simply stays resident (spilling is an optimization; the
-    /// error is returned for reporting).
+    /// Spills the matrix (both tiers when quantized) to a fresh file under `dir`.
+    /// No-op when already spilled. On I/O failure the matrix simply stays resident
+    /// (spilling is an optimization; the error is returned for reporting).
     pub fn spill(&mut self, dir: &SpillDir) -> io::Result<()> {
-        if let ShardStorage::Resident(matrix) = self {
-            let spilled = SpilledShard::write(dir, matrix)?;
-            *self = ShardStorage::Spilled(spilled);
+        match self {
+            ShardStorage::Resident(matrix) => {
+                let spilled = SpilledShard::write(dir, matrix)?;
+                *self = ShardStorage::Spilled(spilled);
+            }
+            ShardStorage::QuantResident { quant, exact } => {
+                let spilled = QuantSpilledShard::write(dir, quant, exact)?;
+                *self = ShardStorage::QuantSpilled(spilled);
+            }
+            ShardStorage::Spilled(_) | ShardStorage::QuantSpilled(_) => {}
         }
         Ok(())
     }
 
-    /// Faults the matrix back into memory for mutation (ingestion into a partially
-    /// filled tail shard). An owned spill file is deleted; a non-owning snapshot
-    /// payload is left on disk for other loads of the same snapshot. No-op when
-    /// already resident.
+    /// Faults the exact matrix back into memory for mutation (ingestion into a
+    /// partially filled tail shard). An owned spill file is deleted; a non-owning
+    /// snapshot payload is left on disk for other loads of the same snapshot. No-op
+    /// when already plain-resident.
+    ///
+    /// Quantized storage degrades to plain [`ShardStorage::Resident`] here: mutation
+    /// invalidates the codes, and the next `compact()` re-quantizes under the index's
+    /// current quantization setting.
     ///
     /// # Errors
     /// An unreadable spill file (after the retry backoff); the storage is left
     /// spilled and untouched.
     pub fn make_resident(&mut self) -> Result<&mut Matrix, StorageError> {
-        if let ShardStorage::Spilled(s) = self {
-            let matrix = s.load_retrying()?;
-            *self = ShardStorage::Resident(matrix);
+        match self {
+            ShardStorage::Spilled(s) => {
+                let matrix = s.load_retrying()?;
+                *self = ShardStorage::Resident(matrix);
+            }
+            ShardStorage::QuantSpilled(s) => {
+                let (_, exact) = s.load_all_retrying()?;
+                *self = ShardStorage::Resident(exact);
+            }
+            ShardStorage::QuantResident { .. } => {
+                let ShardStorage::QuantResident { exact, .. } =
+                    std::mem::replace(self, ShardStorage::Resident(Matrix::zeros(0, 0)))
+                else {
+                    unreachable!("matched above")
+                };
+                *self = ShardStorage::Resident(exact);
+            }
+            ShardStorage::Resident(_) => {}
         }
         match self {
             ShardStorage::Resident(m) => Ok(m),
-            ShardStorage::Spilled(_) => unreachable!("made resident above"),
+            _ => unreachable!("made resident above"),
+        }
+    }
+
+    /// Quantizes a plain-resident shard in place (builds the i8 tier next to the
+    /// untouched exact matrix). No-op for already-quantized or spilled storage —
+    /// spilled shards are re-quantized when compaction rebuilds them resident.
+    pub(crate) fn quantize_resident(&mut self) {
+        if matches!(self, ShardStorage::Resident(_)) {
+            let ShardStorage::Resident(exact) =
+                std::mem::replace(self, ShardStorage::Resident(Matrix::zeros(0, 0)))
+            else {
+                unreachable!("matched above")
+            };
+            let quant = QuantizedMatrix::quantize(&exact);
+            *self = ShardStorage::QuantResident { quant, exact };
+        }
+    }
+
+    /// Drops the quantized tier of a quant-resident shard, keeping the exact matrix
+    /// (the reverse of [`ShardStorage::quantize_resident`]). No-op otherwise. The
+    /// non-test path goes through [`ShardStorage::make_resident`], which lands on the
+    /// plain dense state from every variant.
+    #[cfg(test)]
+    pub(crate) fn dequantize_resident(&mut self) {
+        if matches!(self, ShardStorage::QuantResident { .. }) {
+            let ShardStorage::QuantResident { exact, .. } =
+                std::mem::replace(self, ShardStorage::Resident(Matrix::zeros(0, 0)))
+            else {
+                unreachable!("matched above")
+            };
+            *self = ShardStorage::Resident(exact);
         }
     }
 }
@@ -1114,6 +1972,128 @@ pub(crate) mod tests {
         faults::arm("spill.read.io_err", faults::Policy::Always);
         let err = spilled.load_retrying().expect_err("durable fault");
         assert!(err.to_string().contains("spill.read.io_err"), "got: {err}");
+    }
+
+    #[test]
+    fn quantized_spill_round_trip_is_byte_identical_on_both_tiers() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let exact = fixture_matrix();
+        let quant = QuantizedMatrix::quantize(&exact);
+        let spilled = QuantSpilledShard::write(&dir, &quant, &exact).expect("spill");
+        let (q2, e2) = spilled.load_all().expect("fault");
+        assert_eq!(q2, quant, "quantized tier must round-trip exactly");
+        for (i, (a, b)) in exact.data().iter().zip(e2.data().iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "exact element {i} changed bits across the quantized round trip"
+            );
+        }
+        // The seeded cache answers without re-reading the file.
+        assert_eq!(spilled.quant().expect("seeded"), &quant);
+        // The mmap'd exact tier serves the same bits.
+        let view = spilled.exact_payload().expect("map").view().to_matrix();
+        assert_eq!(view, exact);
+    }
+
+    #[test]
+    fn quantization_reconstructs_rows_within_the_measured_error_norm() {
+        let exact = fixture_matrix();
+        let quant = QuantizedMatrix::quantize(&exact);
+        for r in 0..exact.rows() {
+            let row = exact.row(r);
+            let s = quant.scale(r) as f64;
+            let err_sq: f64 = row
+                .iter()
+                .zip(quant.code_row(r))
+                .map(|(&x, &c)| {
+                    let d = x as f64 - s * c as f64;
+                    d * d
+                })
+                .sum();
+            assert!(
+                err_sq.sqrt() <= quant.max_err_norm() as f64,
+                "row {r} error {} exceeds the claimed bound {}",
+                err_sq.sqrt(),
+                quant.max_err_norm()
+            );
+            let norm_sq: f64 = row.iter().map(|&x| (x as f64) * (x as f64)).sum();
+            assert!(norm_sq.sqrt() <= quant.max_row_norm() as f64);
+        }
+    }
+
+    #[test]
+    fn quantized_storage_transitions_account_both_tiers() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let exact = fixture_matrix();
+        let bytes = exact.data().len() * 4;
+        let mut storage = ShardStorage::Resident(exact.clone());
+        assert_eq!(storage.quantized_payload_bytes(), 0);
+
+        storage.quantize_resident();
+        assert!(storage.is_resident() && storage.is_quantized());
+        assert_eq!(storage.resident_bytes(), bytes);
+        let qbytes = exact.rows() * exact.cols() + exact.rows() * 4;
+        assert_eq!(storage.quantized_payload_bytes(), qbytes);
+        assert_eq!(*storage.matrix().expect("exact tier"), exact);
+
+        storage.spill(&dir).expect("spill");
+        assert!(!storage.is_resident() && storage.is_quantized());
+        assert_eq!(storage.resident_bytes(), 0);
+        // The spill seeded the quantized cache, so its bytes are still resident.
+        assert_eq!(storage.quantized_payload_bytes(), qbytes);
+        assert_eq!(
+            storage
+                .query_payload()
+                .expect("exact view")
+                .view()
+                .to_matrix(),
+            exact
+        );
+
+        // Cloning a quantized spill produces an independent quant-resident copy.
+        let cloned = storage.clone();
+        assert!(cloned.is_resident() && cloned.is_quantized());
+        assert_eq!(*cloned.matrix().expect("resident"), exact);
+
+        // Faulting back for mutation drops the (soon stale) quantized tier.
+        let faulted = storage.make_resident().expect("fault back");
+        assert_eq!(*faulted, exact);
+        assert!(storage.is_resident() && !storage.is_quantized());
+
+        storage.quantize_resident();
+        storage.dequantize_resident();
+        assert!(!storage.is_quantized());
+        assert_eq!(*storage.matrix().expect("still exact"), exact);
+    }
+
+    #[test]
+    fn corrupt_quantized_payloads_fail_typed_like_dense_ones() {
+        let dir = SpillDir::create().expect("create spill dir");
+        let exact = fixture_matrix();
+        let quant = QuantizedMatrix::quantize(&exact);
+        let spilled = QuantSpilledShard::write(&dir, &quant, &exact).expect("spill");
+
+        // A single flipped bit deep in the codes section fails the CRC.
+        let mut bytes = fs::read(&spilled.path).unwrap();
+        let codes_at = QHEADER_LEN + exact.rows() * 4 + exact.rows() * exact.cols() * 4;
+        bytes[codes_at + 3] ^= 0x01;
+        fs::write(&spilled.path, &bytes).unwrap();
+        let fresh =
+            QuantSpilledShard::open_unchecked(spilled.path.clone(), exact.rows(), exact.cols());
+        let err = fresh.load_all().expect_err("bit rot must not load");
+        assert!(err.is_corrupt());
+        assert!(err.to_string().contains("CRC-32"), "got: {err}");
+        let err = fresh.quant().expect_err("mapped path rejects it too");
+        assert!(err.is_corrupt());
+
+        // A truncated (torn) file is caught by the open-time length check.
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&spilled.path, &bytes).unwrap();
+        let err = QuantSpilledShard::open(spilled.path.clone(), exact.rows(), exact.cols())
+            .expect_err("torn file must fail fast");
+        assert!(err.is_corrupt());
+        assert!(err.to_string().contains("bytes on disk"), "got: {err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use sudowoodo_faults as faults;
-use sudowoodo_index::{BlockingIndex, ShardedCosineIndex, MANIFEST_FILE};
+use sudowoodo_index::{BlockingIndex, QuantSpec, ShardedCosineIndex, MANIFEST_FILE};
 
 fn fault_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -261,6 +261,59 @@ fn a_crashed_delta_publish_rejects_the_head_and_preserves_the_base() {
 
         std::fs::remove_dir_all(&base_dir).ok();
         std::fs::remove_dir_all(&head_dir).ok();
+    }
+}
+
+/// The crash seams hold for the quantized payload format too: `SWSHARDQ1` shares
+/// the torn-payload failpoint with `SWSHARD1` (the writer dies mid-file, before the
+/// codes and the CRC trailer), and a quantized save killed at any crash point must
+/// reject or quarantine — never serve a half-written quantized shard.
+#[test]
+fn a_crashed_quantized_save_never_loads_as_a_whole_index() {
+    let _serial = fault_lock();
+    let _disarm = DisarmGuard;
+    let corpus = vectors(24, 6, 61);
+    let queries = vectors(5, 6, 62);
+    let mut built = ShardedCosineIndex::from_vectors(&corpus, 8);
+    built.set_quantization(Some(QuantSpec::default()));
+    built.compact();
+    assert_eq!(built.num_quantized_shards(), built.num_shards());
+    let expected = built.knn_join(&queries, 4);
+
+    for point in CRASH_POINTS {
+        let dir = crash_dir(&format!("quant-fresh-{}", point.replace('.', "-")));
+        faults::arm(point, faults::Policy::Once);
+        let err = built.save_snapshot(&dir).expect_err("the save must crash");
+        assert!(
+            err.to_string().contains("failpoint"),
+            "{point}: the injected crash must surface, got: {err}"
+        );
+        faults::disarm(point);
+
+        match ShardedCosineIndex::load_snapshot(&dir) {
+            Err(e) => {
+                let message = e.to_string();
+                assert!(
+                    message.contains("manifest")
+                        || message.contains("CRC")
+                        || e.kind() == std::io::ErrorKind::NotFound,
+                    "{point}: rejection must be typed, got: {message}"
+                );
+            }
+            Ok(loaded) => {
+                let outcome = loaded.knn_join_report(&queries, 4);
+                if loaded.quarantined_shards().is_empty() {
+                    assert_bit_identical(&outcome.pairs, &expected, point);
+                    assert!(!outcome.degraded, "{point}: whole load cannot degrade");
+                } else {
+                    assert!(
+                        outcome.degraded,
+                        "{point}: quarantined shards must flag the join"
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

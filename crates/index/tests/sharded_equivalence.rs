@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sudowoodo_index::{CosineIndex, ShardedCosineIndex};
+use sudowoodo_index::{CosineIndex, QuantSpec, ShardedCosineIndex};
 
 fn random_vectors(n: usize, d: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
     (0..n)
@@ -94,6 +94,53 @@ fn spilled_and_routed_knn_join_matches_dense_2k_x_10k() {
         assert!(
             report.spill_faults <= report.shards_visited,
             "capacity {capacity}: faults cannot exceed visits ({report:?})"
+        );
+    }
+}
+
+#[test]
+fn quantized_spilled_and_routed_knn_join_matches_dense_2k_x_10k() {
+    // The acceptance case for the quantized tier: shards re-encoded as i8 codes +
+    // exact residuals, every shard spilled to the SWSHARDQ1 on-disk format (budget
+    // 0), routing pruning enabled. The two-stage scan (quantized candidate pass,
+    // exact f32 rescore) must be **bit-identical** — ids AND score bits — to the
+    // dense layout across shard capacities, and the report must prove the quantized
+    // scan actually ran.
+    let mut rng = StdRng::seed_from_u64(11);
+    let dim = 16;
+    let k = 10;
+    let corpus = random_vectors(10_000, dim, &mut rng);
+    let queries = random_vectors(2_000, dim, &mut rng);
+
+    let dense = CosineIndex::build(corpus.clone());
+    let expected = dense.knn_join(&queries, k);
+
+    for capacity in [1usize, 7, 64] {
+        let mut sharded = ShardedCosineIndex::from_vectors(&corpus, capacity);
+        sharded.set_quantization(Some(QuantSpec::default()));
+        sharded.set_memory_budget(Some(0));
+        sharded.compact();
+        assert_eq!(
+            sharded.num_quantized_shards(),
+            sharded.num_shards(),
+            "capacity {capacity}: every shard must be quantized"
+        );
+        assert_eq!(
+            sharded.num_spilled_shards(),
+            sharded.num_shards(),
+            "capacity {capacity}: the zero budget must spill every shard"
+        );
+        assert!(sharded.routing_enabled());
+        let got = sharded.knn_join(&queries, k);
+        assert_eq!(
+            got, expected,
+            "capacity {capacity}: quantized+spilled+routed join must be bit-identical \
+             to dense"
+        );
+        let report = sharded.routing_report();
+        assert!(
+            report.quant_scans > 0 && report.rescored_rows > 0,
+            "capacity {capacity}: the quantized scan must actually have run: {report:?}"
         );
     }
 }

@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sudowoodo_index::{BlockingIndex, ShardedCosineIndex, MANIFEST_FILE};
+use sudowoodo_index::{BlockingIndex, QuantSpec, ShardedCosineIndex, MANIFEST_FILE};
 
 fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
@@ -290,6 +290,145 @@ fn loading_garbage_fails_cleanly() {
 
     std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_dir_all(&dense_dir).unwrap();
+}
+
+#[test]
+fn quantized_round_trip_is_bit_identical_and_byte_stable() {
+    // A quantized index snapshots its shards in the SWSHARDQ1 format (i8 codes +
+    // exact f32 residuals). The cold load must restore the quantized tier from disk
+    // alone, join bit-identically, and a re-save must reproduce the payload files
+    // byte for byte — quantization is deterministic, so the format round-trips
+    // without drift.
+    let corpus = vectors(300, 12, 81);
+    let queries = vectors(40, 12, 82);
+    let mut built = ShardedCosineIndex::from_vectors(&corpus, 32);
+    built.set_quantization(Some(QuantSpec::default()));
+    built.compact();
+    assert_eq!(built.num_quantized_shards(), built.num_shards());
+    let expected = built.knn_join(&queries, 8);
+
+    let dir = snapshot_dir("quant");
+    built.save_snapshot(&dir).expect("save");
+    drop(built);
+
+    // The payload files really are the quantized format.
+    let bytes = std::fs::read(dir.join("shard-0.bin")).unwrap();
+    assert_eq!(&bytes[..9], b"SWSHARDQ1", "payload must be SWSHARDQ1");
+
+    // Cold load restores the quantized tier ("disk wins") and joins identically.
+    let loaded = ShardedCosineIndex::load_snapshot(&dir).expect("load");
+    assert_eq!(loaded.quantization(), Some(QuantSpec::default()));
+    assert_eq!(loaded.num_quantized_shards(), loaded.num_shards());
+    assert_bit_identical(&loaded.knn_join(&queries, 8), &expected, "quantized load");
+    let report = loaded.routing_report();
+    assert!(report.quant_scans > 0, "{report:?}");
+
+    // Re-saving the loaded index reproduces every payload byte-identically.
+    let redir = snapshot_dir("quant-resave");
+    loaded.save_snapshot(&redir).expect("re-save");
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("shard-") {
+            continue;
+        }
+        let original = std::fs::read(entry.path()).unwrap();
+        let resaved = std::fs::read(redir.join(&name)).unwrap();
+        assert_eq!(original, resaved, "{name}: re-saved payload bytes diverged");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&redir).unwrap();
+}
+
+#[test]
+fn snapshots_cross_load_between_dense_and_quantized_configs() {
+    // The typed cross-load behavior: a snapshot carries its storage tier on disk, so
+    // the loader always restores what was saved ("disk wins"), and a caller that
+    // wants the *other* tier states so explicitly with `set_quantization` + compact
+    // — which must re-encode the payloads without moving a single result bit.
+    let corpus = vectors(200, 10, 91);
+    let queries = vectors(30, 10, 92);
+    let plain = ShardedCosineIndex::from_vectors(&corpus, 16);
+    let expected = plain.knn_join(&queries, 6);
+
+    // Dense-saved snapshot, opted into quantization after load.
+    let dir = snapshot_dir("cross-dense");
+    plain.save_snapshot(&dir).expect("save plain");
+    let mut loaded = ShardedCosineIndex::load_snapshot(&dir).expect("load plain");
+    assert_eq!(loaded.quantization(), None, "plain snapshot loads plain");
+    loaded.set_quantization(Some(QuantSpec::default()));
+    loaded.compact();
+    assert_eq!(loaded.num_quantized_shards(), loaded.num_shards());
+    assert_bit_identical(
+        &loaded.knn_join(&queries, 6),
+        &expected,
+        "plain snapshot quantized after load",
+    );
+
+    // Quantized-saved snapshot, opted back out after load.
+    let qdir = snapshot_dir("cross-quant");
+    loaded.save_snapshot(&qdir).expect("save quantized");
+    let mut back = ShardedCosineIndex::load_snapshot(&qdir).expect("load quantized");
+    assert_eq!(
+        back.quantization(),
+        Some(QuantSpec::default()),
+        "quantized snapshot loads quantized"
+    );
+    back.set_quantization(None);
+    back.compact();
+    assert_eq!(back.num_quantized_shards(), 0);
+    assert_bit_identical(
+        &back.knn_join(&queries, 6),
+        &expected,
+        "quantized snapshot dequantized after load",
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&qdir).unwrap();
+}
+
+#[test]
+fn corrupt_quantized_payload_quarantines_instead_of_aborting() {
+    // The degraded-load contract extends to SWSHARDQ1: a truncated or bit-flipped
+    // quantized payload quarantines that shard (CRC mismatch), the rest of the
+    // snapshot loads, and joins answer degraded — exactly the SWSHARD1 behavior.
+    let corpus = vectors(48, 6, 95);
+    let queries = vectors(5, 6, 96);
+    for tamper in ["truncate", "bitflip"] {
+        let dir = snapshot_dir(&format!("quant-corrupt-{tamper}"));
+        let mut built = ShardedCosineIndex::from_vectors(&corpus, 8);
+        built.set_quantization(Some(QuantSpec::default()));
+        built.compact();
+        built.save_snapshot(&dir).expect("save");
+
+        let payload = dir.join("shard-2.bin");
+        let mut bytes = std::fs::read(&payload).unwrap();
+        assert_eq!(&bytes[..9], b"SWSHARDQ1");
+        match tamper {
+            "truncate" => bytes.truncate(bytes.len() - 5),
+            _ => {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+            }
+        }
+        std::fs::write(&payload, &bytes).unwrap();
+
+        // A truncated payload fails the length check eagerly at load; a bit-flip
+        // keeps the length valid and is only caught by the CRC on the first fault
+        // — either way the shard ends up quarantined, never silently wrong.
+        let degraded = ShardedCosineIndex::load_snapshot(&dir).expect("degraded load");
+        let outcome = degraded.knn_join_report(&queries, 4);
+        assert_eq!(degraded.quarantined_shards(), vec![2], "{tamper}");
+        assert!(outcome.degraded, "{tamper}: join must flag degradation");
+        assert!(
+            outcome
+                .pairs
+                .iter()
+                .all(|&(_, id, _)| !(16..24).contains(&id)),
+            "{tamper}: quarantined rows must not be answered"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 #[test]

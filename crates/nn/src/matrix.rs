@@ -628,6 +628,124 @@ pub(crate) mod kernels {
         let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0b01));
         _mm_cvtss_f32(sum1)
     }
+
+    /// `true` when the AVX-512BW widening i8 kernels are usable (checked once).
+    /// BW implies the 512-bit integer `madd`; F is needed for the lane extracts.
+    #[inline]
+    pub fn use_avx512bw() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::OnceLock;
+            static AVAILABLE: OnceLock<bool> = OnceLock::new();
+            *AVAILABLE.get_or_init(|| {
+                std::is_x86_feature_detected!("avx512f")
+                    && std::is_x86_feature_detected!("avx512bw")
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Elements between flushes of the i8 kernels' `i32` lane accumulators into the
+    /// `i64` total. Each `madd` lane gains at most two `127*127` products per 16 (AVX2)
+    /// or 32 (AVX-512) elements, so a lane stays below `32768 * 16129 ≈ 5.3e8 << i32::MAX`
+    /// within one chunk on every path. Must stay a multiple of 32.
+    #[cfg(target_arch = "x86_64")]
+    const I8_CHUNK: usize = 32768;
+
+    /// Exact integer dot product of two i8 code vectors.
+    ///
+    /// Every path — scalar, AVX2 (`cvtepi8_epi16` + `madd_epi16`), AVX-512BW — sums the
+    /// same integer products, so all return bit-identical results by construction:
+    /// integer arithmetic has no rounding for vectorization order to perturb. This is
+    /// what lets the quantized index scan promise exactness downstream.
+    #[inline]
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i64 {
+        debug_assert!(b.len() >= a.len());
+        #[cfg(target_arch = "x86_64")]
+        {
+            if use_avx512bw() {
+                // SAFETY: feature presence checked above; slice lengths checked above.
+                return unsafe { dot_i8_avx512bw(a, b) };
+            }
+            if use_avx2_fma() {
+                // SAFETY: feature presence checked above; slice lengths checked above.
+                return unsafe { dot_i8_avx2(a, b) };
+            }
+        }
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x as i64 * y as i64)
+            .sum()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i64 {
+        let n = a.len();
+        let mut total: i64 = 0;
+        let mut j = 0;
+        while j + 16 <= n {
+            // One overflow-safe chunk of 16-wide madd accumulation.
+            let block_end = n.min(j + I8_CHUNK);
+            let mut acc = _mm256_setzero_si256();
+            while j + 16 <= block_end {
+                let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(j) as *const __m128i));
+                let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(j) as *const __m128i));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+                j += 16;
+            }
+            total += hsum256_epi32(acc);
+        }
+        while j < n {
+            total += *a.get_unchecked(j) as i64 * *b.get_unchecked(j) as i64;
+            j += 1;
+        }
+        total
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    unsafe fn dot_i8_avx512bw(a: &[i8], b: &[i8]) -> i64 {
+        let n = a.len();
+        let mut total: i64 = 0;
+        let mut j = 0;
+        while j + 32 <= n {
+            let block_end = n.min(j + I8_CHUNK);
+            let mut acc = _mm512_setzero_si512();
+            while j + 32 <= block_end {
+                let va =
+                    _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(j) as *const __m256i));
+                let vb =
+                    _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i));
+                acc = _mm512_add_epi32(acc, _mm512_madd_epi16(va, vb));
+                j += 32;
+            }
+            let hi = _mm512_extracti64x4_epi64(acc, 1);
+            let lo = _mm512_castsi512_si256(acc);
+            total += hsum256_epi32(_mm256_add_epi32(lo, hi));
+        }
+        while j < n {
+            total += *a.get_unchecked(j) as i64 * *b.get_unchecked(j) as i64;
+            j += 1;
+        }
+        total
+    }
+
+    /// Sums the eight i32 lanes into an i64. Lane magnitudes are bounded by the chunked
+    /// accumulation (see [`I8_CHUNK`]), so the 32-bit horizontal adds cannot wrap.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256_epi32(v: __m256i) -> i64 {
+        let hi = _mm256_extracti128_si256(v, 1);
+        let lo = _mm256_castsi256_si128(v);
+        let sum4 = _mm_add_epi32(lo, hi);
+        let sum2 = _mm_add_epi32(sum4, _mm_unpackhi_epi64(sum4, sum4));
+        let sum1 = _mm_add_epi32(sum2, _mm_shuffle_epi32(sum2, 0b01));
+        _mm_cvtsi128_si32(sum1) as i64
+    }
 }
 
 /// A borrowed, row-major `f32` matrix view — the shape of a [`Matrix`] without the
@@ -1443,6 +1561,18 @@ impl Matrix {
         kernels::dot(a, b)
     }
 
+    /// Exact integer dot product of two equal-length i8 code vectors through the SIMD
+    /// kernel (AVX-512BW / AVX2 `madd`, scalar fallback). All paths return bit-identical
+    /// results — integer accumulation has no rounding — which is what lets the quantized
+    /// index scan stay exact end to end.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i64 {
+        assert_eq!(a.len(), b.len(), "dot_i8: dimension mismatch");
+        kernels::dot_i8(a, b)
+    }
+
     /// Cosine similarity between two rows of (possibly different) matrices.
     pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
         assert_eq!(a.len(), b.len(), "cosine: dimension mismatch");
@@ -1631,6 +1761,30 @@ mod tests {
         assert!((Matrix::cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
         assert!(Matrix::cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
         assert!((Matrix::cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn i8_dot_kernel_matches_scalar_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(77);
+        use rand::Rng;
+        // Odd lengths exercise every tail path; extreme codes probe madd saturation
+        // headroom (none should occur: products are at most 127*127).
+        for &len in &[0usize, 1, 3, 15, 16, 17, 31, 32, 33, 64, 257, 1000] {
+            let a: Vec<i8> = (0..len)
+                .map(|_| rng.gen_range(-128i16..=127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..len)
+                .map(|_| rng.gen_range(-128i16..=127) as i8)
+                .collect();
+            let reference: i64 = a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| x as i64 * y as i64)
+                .sum();
+            assert_eq!(kernels::dot_i8(&a, &b), reference, "len {len}");
+        }
+        let worst = vec![-128i8; 4096];
+        assert_eq!(kernels::dot_i8(&worst, &worst), 4096 * 128 * 128);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use sudowoodo::core::config::SudowoodoConfig;
 use sudowoodo::core::encoder::Encoder;
 use sudowoodo::core::matcher::{FineTuneConfig, PairMatcher, TrainPair};
 use sudowoodo::core::model_snapshot::{self, MatcherBackend};
-use sudowoodo::index::{BlockingIndex, ShardedCosineIndex};
+use sudowoodo::index::{BlockingIndex, QuantSpec, ShardedCosineIndex};
 use sudowoodo::serve::{Request, ServeClient, Server, ServerConfig};
 
 fn vectors(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -112,6 +112,60 @@ fn concurrent_clients_all_get_correct_answers() {
     let stats = server.stats();
     assert_eq!(stats.served_requests, 120);
     server.shutdown();
+}
+
+/// The quantized serving scenario: a snapshot saved with i8 shard quantization is
+/// cold-loaded in the server role (the load restores the quantized tier from the
+/// `SWSHARDQ1` payloads alone) and served to 6 concurrent clients — every remote
+/// answer must be **bit-identical** to an in-process join over the plain dense
+/// layout, proving the two-stage quantized scan is invisible across the snapshot
+/// boundary, the wire, and concurrency all at once.
+#[test]
+fn quantized_snapshots_serve_bit_identically_to_dense_under_concurrency() {
+    let corpus = vectors(400, 16, 31);
+    let mut built = ShardedCosineIndex::from_vectors(&corpus, 32);
+    built.set_quantization(Some(QuantSpec::default()));
+    built.compact();
+    assert_eq!(built.num_quantized_shards(), built.num_shards());
+
+    let dir = snapshot_dir("quant");
+    built.save_snapshot(&dir).unwrap();
+    drop(built);
+
+    // Server role: the cold load must come back quantized ("disk wins").
+    let mut serving = ShardedCosineIndex::load_snapshot(&dir).unwrap();
+    assert_eq!(serving.quantization(), Some(QuantSpec::default()));
+    assert_eq!(serving.num_quantized_shards(), serving.num_shards());
+    serving.set_query_cache_capacity(8);
+    let server = Server::spawn(Arc::new(BlockingIndex::Sharded(serving)), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // The oracle is the plain DENSE layout — not the index that was served — so the
+    // assertion spans quantization, snapshotting, and the wire protocol together.
+    let dense = BlockingIndex::build(corpus, None);
+    std::thread::scope(|scope| {
+        for t in 0..6u64 {
+            let dense = &dense;
+            scope.spawn(move || {
+                let queries = vectors(12, 16, 200 + t);
+                let expected = dense.knn_join(&queries, 6);
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for _ in 0..10 {
+                    let served = client.knn_join(&queries, 6).expect("served join");
+                    assert_eq!(served.len(), expected.len(), "thread {t}");
+                    for (a, b) in served.iter().zip(expected.iter()) {
+                        assert_eq!((a.0, a.1), (b.0, b.1), "thread {t}: ids");
+                        assert_eq!(a.2.to_bits(), b.2.to_bits(), "thread {t}: score bits");
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.served_requests, 60);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
